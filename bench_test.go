@@ -1,0 +1,307 @@
+package psmr_test
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§VII) at benchmark scale. Each Benchmark* family is one
+// artifact; cmd/psmr-bench runs the same experiments at full scale and
+// EXPERIMENTS.md records paper-vs-measured values.
+//
+// The benchmarks report Kcps (kilo-commands per second, the paper's
+// unit), mean latency in ms, and server CPU% as custom metrics; b.N is
+// decoupled from the measured interval (each iteration is one full
+// timed run).
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/experiment"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/workload"
+)
+
+// benchScale keeps benchmark iterations short.
+func benchScale() experiment.Scale {
+	s := experiment.QuickScale()
+	return s
+}
+
+func reportResult(b *testing.B, res *bench.Result) {
+	b.Helper()
+	b.ReportMetric(res.Kcps(), "Kcps")
+	if res.Latency != nil && res.Latency.Count() > 0 {
+		b.ReportMetric(float64(res.Latency.Mean().Microseconds())/1000, "ms/op-mean")
+	}
+	b.ReportMetric(res.CPUPercent, "server-cpu%")
+}
+
+func runKVBench(b *testing.B, setup experiment.KVSetup) {
+	b.Helper()
+	var last *bench.Result
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			b.Fatalf("RunKV: %v", err)
+		}
+		last = res
+	}
+	reportResult(b, last)
+}
+
+// BenchmarkTable1 prints the structural parallelism matrix (Table I).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.PrintTable1(discard{})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkFig3 — performance of independent commands (read-only KV):
+// no-rep(2), SMR(1), sP-SMR(2), P-SMR(8), BDB(6).
+func BenchmarkFig3(b *testing.B) {
+	for _, setup := range experiment.Fig3Setups(benchScale()) {
+		b.Run(fmt.Sprintf("%s-%dthr", setup.Technique, setup.Threads), func(b *testing.B) {
+			runKVBench(b, setup)
+		})
+	}
+}
+
+// BenchmarkFig4 — performance of dependent commands (insert/delete
+// KV): every technique at 1 thread, BDB at 4.
+func BenchmarkFig4(b *testing.B) {
+	for _, setup := range experiment.Fig4Setups(benchScale()) {
+		b.Run(fmt.Sprintf("%s-%dthr", setup.Technique, setup.Threads), func(b *testing.B) {
+			runKVBench(b, setup)
+		})
+	}
+}
+
+// BenchmarkFig5 — scalability with the number of threads, independent
+// and dependent workloads.
+func BenchmarkFig5(b *testing.B) {
+	scale := benchScale()
+	for _, p := range experiment.Fig5Points() {
+		dep := "indep"
+		if p.Dependent {
+			dep = "dep"
+		}
+		b.Run(fmt.Sprintf("%s/%s-%dthr", dep, p.Technique, p.Threads), func(b *testing.B) {
+			var last *bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunFig5Point(scale, p)
+				if err != nil {
+					b.Fatalf("RunFig5Point: %v", err)
+				}
+				last = res
+			}
+			reportResult(b, last)
+			// The paper's bottom panels: per-thread normalised
+			// throughput.
+			b.ReportMetric(last.Kcps()/float64(p.Threads), "Kcps/thread")
+		})
+	}
+}
+
+// BenchmarkFig6 — mixed workloads: P-SMR(8) vs SMR as the percentage
+// of dependent commands grows (log-scale sweep; the paper's breakeven
+// is ~10%).
+func BenchmarkFig6(b *testing.B) {
+	scale := benchScale()
+	for _, tech := range []experiment.Technique{experiment.PSMR, experiment.SMR} {
+		for _, pct := range experiment.Fig6Percentages() {
+			b.Run(fmt.Sprintf("%s/dep%g%%", tech, pct), func(b *testing.B) {
+				var last *bench.Result
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunFig6Point(scale, tech, pct)
+					if err != nil {
+						b.Fatalf("RunFig6Point: %v", err)
+					}
+					last = res
+				}
+				reportResult(b, last)
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 — skewed workloads (50% reads / 50% updates): P-SMR vs
+// sP-SMR under uniform and Zipf(1) key selection across threads.
+func BenchmarkFig7(b *testing.B) {
+	scale := benchScale()
+	for _, zipfian := range []bool{false, true} {
+		dist := "uniform"
+		if zipfian {
+			dist = "zipf"
+		}
+		for _, tech := range []experiment.Technique{experiment.PSMR, experiment.SPSMR} {
+			for _, threads := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s-%dthr", dist, tech, threads), func(b *testing.B) {
+					var last *bench.Result
+					for i := 0; i < b.N; i++ {
+						res, err := experiment.RunFig7Point(scale, tech, threads, zipfian)
+						if err != nil {
+							b.Fatalf("RunFig7Point: %v", err)
+						}
+						last = res
+					}
+					reportResult(b, last)
+					b.ReportMetric(last.Kcps()/float64(threads), "Kcps/thread")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig8 — NetFS reads and writes: SMR, sP-SMR, P-SMR with 8
+// path ranges, 1024-byte I/O, lz4-compressed payloads.
+func BenchmarkFig8(b *testing.B) {
+	scale := benchScale()
+	for _, write := range []bool{false, true} {
+		op := "reads"
+		if write {
+			op = "writes"
+		}
+		for _, tech := range []experiment.Technique{experiment.SMR, experiment.SPSMR, experiment.PSMR} {
+			b.Run(fmt.Sprintf("%s/%s", op, tech), func(b *testing.B) {
+				var last *bench.Result
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunFig8Point(scale, tech, write)
+					if err != nil {
+						b.Fatalf("RunFig8Point: %v", err)
+					}
+					last = res
+				}
+				reportResult(b, last)
+			})
+		}
+	}
+}
+
+// --- Ablations (design choices DESIGN.md §7 calls out) ---
+
+// BenchmarkAblationMergeWeight varies the deterministic-merge weight
+// (and matching skip slot rate): small weights stall busy streams
+// behind idle ones, large weights add delivery burstiness.
+func BenchmarkAblationMergeWeight(b *testing.B) {
+	scale := benchScale()
+	for _, weight := range []int{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("w%d", weight), func(b *testing.B) {
+			setup := scale.KVAblationSetup(experiment.PSMR, 4)
+			setup.MergeWeight = weight
+			var last *bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunKVAblation(setup)
+				if err != nil {
+					b.Fatalf("RunKVAblation: %v", err)
+				}
+				last = res
+			}
+			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationBatchSize varies the consensus batch limit around
+// the paper's 8 KB.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	scale := benchScale()
+	for _, size := range []int{1024, 8192, 65536} {
+		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
+			setup := scale.KVAblationSetup(experiment.PSMR, 4)
+			setup.BatchMaxBytes = size
+			var last *bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunKVAblation(setup)
+				if err != nil {
+					b.Fatalf("RunKVAblation: %v", err)
+				}
+				last = res
+			}
+			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationCoarseCG compares the paper's two C-G variants
+// (§IV-C): the keyed C-G (updates spread across groups) against the
+// coarse one (every update synchronous).
+func BenchmarkAblationCoarseCG(b *testing.B) {
+	scale := benchScale()
+	for _, coarse := range []bool{false, true} {
+		name := "keyed-cg"
+		if coarse {
+			name = "coarse-cg"
+		}
+		b.Run(name, func(b *testing.B) {
+			setup := scale.KVAblationSetup(experiment.PSMR, 4)
+			setup.CoarseCG = coarse
+			setup.Gen = workload.KVReadUpdate
+			var last *bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunKVAblation(setup)
+				if err != nil {
+					b.Fatalf("RunKVAblation: %v", err)
+				}
+				last = res
+			}
+			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationBarrierFanout measures synchronous-mode cost as the
+// destination set grows: global commands with 1..8 workers.
+func BenchmarkAblationBarrierFanout(b *testing.B) {
+	scale := benchScale()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%dworkers", workers), func(b *testing.B) {
+			setup := scale.KVAblationSetup(experiment.PSMR, workers)
+			setup.Gen = workload.KVInsertsDeletes
+			var last *bench.Result
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunKVAblation(setup)
+				if err != nil {
+					b.Fatalf("RunKVAblation: %v", err)
+				}
+				last = res
+			}
+			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkBTree benchmarks the storage engine in isolation (context
+// for the absolute Kcps numbers of the system benchmarks).
+func BenchmarkBTree(b *testing.B) {
+	b.Run("get", func(b *testing.B) {
+		st := kvstore.New()
+		st.Preload(1_000_000)
+		input := kvstore.EncodeKey(12345)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Execute(kvstore.CmdRead, input)
+		}
+	})
+	b.Run("update", func(b *testing.B) {
+		st := kvstore.New()
+		st.Preload(1_000_000)
+		input := kvstore.EncodeKeyValue(54321, []byte("12345678"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st.Execute(kvstore.CmdUpdate, input)
+		}
+	})
+	b.Run("insert-delete", func(b *testing.B) {
+		st := kvstore.New()
+		st.Preload(1_000_000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := uint64(2_000_000 + i%100_000)
+			st.Execute(kvstore.CmdInsert, kvstore.EncodeKeyValue(key, []byte("12345678")))
+			st.Execute(kvstore.CmdDelete, kvstore.EncodeKey(key))
+		}
+	})
+}

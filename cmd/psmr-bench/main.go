@@ -1,0 +1,237 @@
+// Command psmr-bench regenerates the paper's evaluation (§VII): every
+// figure and table, at configurable scale. Each experiment prints the
+// same rows/series the paper reports: throughput in Kcps with
+// normalisation against the figure's baseline, mean latency, a latency
+// CDF summary, and server CPU usage.
+//
+// Usage:
+//
+//	psmr-bench -exp all
+//	psmr-bench -exp fig3 -keys 1000000 -duration 4s -clients 8
+//	psmr-bench -exp fig7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|all")
+		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
+		clients  = flag.Int("clients", 8, "closed-loop clients")
+		window   = flag.Int("window", 50, "outstanding commands per client (paper: 50)")
+		duration = flag.Duration("duration", 4*time.Second, "measured interval per point")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+	)
+	flag.Parse()
+
+	scale := experiment.Scale{
+		Keys:     *keys,
+		Clients:  *clients,
+		Window:   *window,
+		Duration: *duration,
+		Warmup:   *warmup,
+	}
+	if err := run(*exp, scale); err != nil {
+		fmt.Fprintln(os.Stderr, "psmr-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale Scale) error {
+	switch exp {
+	case "table1":
+		return runTable1()
+	case "fig3":
+		return runFig3(scale)
+	case "fig4":
+		return runFig4(scale)
+	case "fig5":
+		return runFig5(scale)
+	case "fig6":
+		return runFig6(scale)
+	case "fig7":
+		return runFig7(scale)
+	case "fig8":
+		return runFig8(scale)
+	case "all":
+		for _, fn := range []func() error{
+			runTable1,
+			func() error { return runFig3(scale) },
+			func() error { return runFig4(scale) },
+			func() error { return runFig5(scale) },
+			func() error { return runFig6(scale) },
+			func() error { return runFig7(scale) },
+			func() error { return runFig8(scale) },
+		} {
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}
+
+// Scale aliases the experiment scale for brevity.
+type Scale = experiment.Scale
+
+func runTable1() error {
+	fmt.Println("==============================================================")
+	experiment.PrintTable1(os.Stdout)
+	fmt.Println()
+	return nil
+}
+
+func printCDF(res *bench.Result) {
+	if res.Latency == nil || res.Latency.Count() == 0 {
+		return
+	}
+	fmt.Printf("  %-10s CDF: p50=%v p90=%v p99=%v p99.9=%v max=%v\n",
+		res.Technique,
+		res.Latency.Quantile(0.50).Round(10*time.Microsecond),
+		res.Latency.Quantile(0.90).Round(10*time.Microsecond),
+		res.Latency.Quantile(0.99).Round(10*time.Microsecond),
+		res.Latency.Quantile(0.999).Round(10*time.Microsecond),
+		res.Latency.Max().Round(10*time.Microsecond))
+}
+
+func runFig3(scale Scale) error {
+	fmt.Println("==============================================================")
+	fmt.Println("Figure 3 — performance of independent commands (reads only)")
+	fmt.Println("paper: no-rep 1.22X  SMR 1X  sP-SMR 1.14X  P-SMR 3.15X  BDB 0.2X")
+	var results []*bench.Result
+	for _, setup := range experiment.Fig3Setups(scale) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("fig3 %v: %w", setup.Technique, err)
+		}
+		results = append(results, res)
+		fmt.Println(" ", res)
+	}
+	fmt.Println()
+	fmt.Print(bench.Table(results, "SMR"))
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig4(scale Scale) error {
+	fmt.Println("==============================================================")
+	fmt.Println("Figure 4 — performance of dependent commands (inserts+deletes)")
+	fmt.Println("paper: no-rep 0.32X  SMR 1X  sP-SMR 0.28X  P-SMR 0.5X  BDB 0.12X")
+	var results []*bench.Result
+	for _, setup := range experiment.Fig4Setups(scale) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("fig4 %v: %w", setup.Technique, err)
+		}
+		results = append(results, res)
+		fmt.Println(" ", res)
+	}
+	fmt.Println()
+	fmt.Print(bench.Table(results, "SMR"))
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig5(scale Scale) error {
+	fmt.Println("==============================================================")
+	fmt.Println("Figure 5 — scalability with threads (top: Kcps, bottom: per-thread)")
+	fmt.Println("paper: only P-SMR gains from threads on independent commands;")
+	fmt.Println("       all techniques degrade on dependent commands (BDB peaks at 4)")
+	for _, p := range experiment.Fig5Points() {
+		res, err := experiment.RunFig5Point(scale, p)
+		if err != nil {
+			return fmt.Errorf("fig5 %+v: %w", p, err)
+		}
+		kind := "independent"
+		if p.Dependent {
+			kind = "dependent"
+		}
+		fmt.Printf("  %-11s %-8s thr=%d  %9.1f Kcps  %8.1f Kcps/thread  cpu=%5.1f%%\n",
+			kind, res.Technique, p.Threads, res.Kcps(), res.Kcps()/float64(p.Threads), res.CPUPercent)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig6(scale Scale) error {
+	fmt.Println("==============================================================")
+	fmt.Println("Figure 6 — mixed workloads: P-SMR(8) vs SMR by % dependent (log x)")
+	fmt.Println("paper: P-SMR above SMR up to ~10% dependent commands; SMR flat")
+	for _, tech := range []experiment.Technique{experiment.PSMR, experiment.SMR} {
+		for _, pct := range experiment.Fig6Percentages() {
+			res, err := experiment.RunFig6Point(scale, tech, pct)
+			if err != nil {
+				return fmt.Errorf("fig6 %v %.3f%%: %w", tech, pct, err)
+			}
+			fmt.Printf("  %-7s dep=%6.3f%%  %9.1f Kcps  mean=%v\n",
+				res.Technique, pct, res.Kcps(), res.Latency.Mean().Round(10*time.Microsecond))
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig7(scale Scale) error {
+	fmt.Println("==============================================================")
+	fmt.Println("Figure 7 — skewed workloads (50% reads / 50% updates)")
+	fmt.Println("paper: uniform P-SMR scales to core capacity; Zipf P-SMR bounded by")
+	fmt.Println("       the most-loaded group; sP-SMR bounded by the scheduler")
+	for _, zipfian := range []bool{false, true} {
+		for _, tech := range []experiment.Technique{experiment.PSMR, experiment.SPSMR} {
+			for _, threads := range []int{1, 2, 4, 6, 8} {
+				res, err := experiment.RunFig7Point(scale, tech, threads, zipfian)
+				if err != nil {
+					return fmt.Errorf("fig7: %w", err)
+				}
+				fmt.Printf("  %-16s thr=%d  %9.1f Kcps  %8.1f Kcps/thread\n",
+					res.Technique, threads, res.Kcps(), res.Kcps()/float64(threads))
+			}
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func runFig8(scale Scale) error {
+	fmt.Println("==============================================================")
+	fmt.Println("Figure 8 — NetFS 1 KB reads and writes (8 path ranges, lz4)")
+	fmt.Println("paper: reads  SMR 1X  sP-SMR 1.07X  P-SMR 3.13X")
+	fmt.Println("       writes SMR 1X  sP-SMR 1.04X  P-SMR 2.97X")
+	for _, write := range []bool{false, true} {
+		op := "reads"
+		if write {
+			op = "writes"
+		}
+		var results []*bench.Result
+		for _, tech := range []experiment.Technique{experiment.SMR, experiment.SPSMR, experiment.PSMR} {
+			res, err := experiment.RunFig8Point(scale, tech, write)
+			if err != nil {
+				return fmt.Errorf("fig8 %s %v: %w", op, tech, err)
+			}
+			results = append(results, res)
+		}
+		fmt.Printf("  -- %s --\n", op)
+		fmt.Print(bench.Table(results, "SMR"))
+		for _, res := range results {
+			printCDF(res)
+		}
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command psmr-kv is the remote CLI client for a psmr-kvd daemon.
+//
+// Usage:
+//
+//	psmr-kv -server 127.0.0.1:7400 -workers 8 get 42
+//	psmr-kv -server 127.0.0.1:7400 -workers 8 put 42 hello
+//	psmr-kv -server 127.0.0.1:7400 -workers 8 update 42 world
+//	psmr-kv -server 127.0.0.1:7400 -workers 8 del 42
+//
+// The -workers flag must match the daemon's multiprogramming level:
+// client and server proxies agree on it (paper §IV-D), since the
+// Command-to-Groups function is computed on the client.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/core"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:7400", "psmr-kvd host:port")
+		workers = flag.Int("workers", 8, "daemon's worker count (MPL)")
+		mode    = flag.String("mode", "psmr", "daemon's mode: psmr|spsmr|smr")
+		id      = flag.Uint64("id", uint64(os.Getpid()), "client id (unique per client)")
+	)
+	flag.Parse()
+	if err := run(*server, *workers, *mode, *id, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(server string, workers int, mode string, id uint64, args []string) error {
+	if len(args) < 2 {
+		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE]")
+	}
+	verb := args[0]
+	key, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("key %q: %w", args[1], err)
+	}
+
+	// The daemon's group layout follows from mode and worker count:
+	// k parallel groups + 1 serial for P-SMR (k > 1), one group
+	// otherwise. Coordinator endpoints use the fixed g<i>/coord0 names.
+	nGroups := 1
+	if mode == "psmr" && workers > 1 {
+		nGroups = workers + 1
+	}
+	if mode == "smr" {
+		workers = 1
+	}
+
+	node, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	groups := make([]multicast.GroupConfig, 0, nGroups)
+	for g := 0; g < nGroups; g++ {
+		groups = append(groups, multicast.GroupConfig{
+			ID: uint32(g),
+			Coordinators: []transport.Addr{
+				transport.Addr(fmt.Sprintf("%s/g%d/coord0", server, g)),
+			},
+		})
+	}
+	cg, err := cdep.Compile(kvstore.Spec(), workers)
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(core.ClientConfig{
+		ID:        id,
+		Sender:    multicast.NewSender(node, groups),
+		CG:        cg,
+		Transport: node,
+		ReplyAddr: node.Addr(fmt.Sprintf("client/%d", id)),
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch verb {
+	case "get":
+		out, err := client.Invoke(kvstore.CmdRead, kvstore.EncodeKey(key))
+		if err != nil {
+			return err
+		}
+		value, code := kvstore.DecodeReadOutput(out)
+		if code != kvstore.OK {
+			return fmt.Errorf("key %d not found", key)
+		}
+		fmt.Printf("%s\n", value)
+	case "put", "update":
+		if len(args) < 3 {
+			return fmt.Errorf("%s needs a value", verb)
+		}
+		cmd := kvstore.CmdInsert
+		if verb == "update" {
+			cmd = kvstore.CmdUpdate
+		}
+		out, err := client.Invoke(cmd, kvstore.EncodeKeyValue(key, []byte(args[2])))
+		if err != nil {
+			return err
+		}
+		if out[0] != kvstore.OK {
+			return fmt.Errorf("%s %d: error code %d", verb, key, out[0])
+		}
+		fmt.Println("OK")
+	case "del":
+		out, err := client.Invoke(kvstore.CmdDelete, kvstore.EncodeKey(key))
+		if err != nil {
+			return err
+		}
+		if out[0] != kvstore.OK {
+			return fmt.Errorf("key %d not found", key)
+		}
+		fmt.Println("OK")
+	default:
+		return fmt.Errorf("unknown verb %q (get|put|update|del)", verb)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+// Command psmr-kvd hosts a replicated key-value store over TCP: all
+// cluster roles (per-group Paxos coordinators and acceptors, the
+// replicas and their worker threads) run in this process, reachable by
+// remote psmr-kv clients.
+//
+// Usage:
+//
+//	psmr-kvd -listen 127.0.0.1:7400 -mode psmr -workers 8 -keys 100000
+//
+// Remote clients need only the listen address, the mode and the worker
+// count (client and server proxies must agree on the multiprogramming
+// level, paper §IV-D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7400", "TCP host:port to serve on")
+		mode    = flag.String("mode", "psmr", "replication mode: psmr|spsmr|smr")
+		workers = flag.Int("workers", 8, "worker threads per replica (MPL)")
+		keys    = flag.Int("keys", 100_000, "preloaded database keys")
+	)
+	flag.Parse()
+	if err := run(*listen, *mode, *workers, *keys); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(listen, modeName string, workers, keys int) error {
+	var mode psmr.Mode
+	switch modeName {
+	case "psmr":
+		mode = psmr.ModePSMR
+	case "spsmr":
+		mode = psmr.ModeSPSMR
+	case "smr":
+		mode = psmr.ModeSMR
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	node, err := transport.NewTCPNode(listen)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	cluster, err := psmr.StartCluster(psmr.Config{
+		Mode:     mode,
+		Workers:  workers,
+		Replicas: 2,
+		NewService: func() command.Service {
+			st := kvstore.New()
+			st.Preload(keys)
+			return st
+		},
+		Spec:      kvstore.Spec(),
+		Transport: node,
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+
+	fmt.Printf("psmr-kvd: %s cluster on %s — %d workers, %d groups, %d keys preloaded\n",
+		mode, node.HostPort(), workers, len(cluster.Groups()), keys)
+	fmt.Println("psmr-kvd: connect with: psmr-kv -server", node.HostPort(),
+		"-workers", workers, "get 42")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("psmr-kvd: shutting down")
+	return nil
+}

@@ -1,0 +1,137 @@
+// kvcluster: a replicated key-value store hosted over real TCP, with a
+// remote client and a small mixed workload.
+//
+// The cluster's roles (coordinators, acceptors, replicas) run inside a
+// server process bound to a TCP node; the client talks to it over the
+// network using the same wire protocol the in-process benchmarks use.
+// Here both ends live in one binary for convenience — the cmd/psmr-kvd
+// and cmd/psmr-kv tools split them into separate processes.
+//
+// Run: go run ./examples/kvcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/core"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+const workers = 4
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- Server process: host every cluster role on one TCP node. ---
+	serverNode, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("server node: %w", err)
+	}
+	defer serverNode.Close()
+
+	cluster, err := psmr.StartCluster(psmr.Config{
+		Mode:     psmr.ModePSMR,
+		Workers:  workers,
+		Replicas: 2,
+		NewService: func() command.Service {
+			st := kvstore.New()
+			st.Preload(10_000)
+			return st
+		},
+		Spec:      kvstore.Spec(),
+		Transport: serverNode,
+	})
+	if err != nil {
+		return fmt.Errorf("start cluster: %w", err)
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster hosted at %s (%d groups)\n", serverNode.HostPort(), len(cluster.Groups()))
+
+	// --- Client process: its own TCP node, reaching the cluster by
+	// address. Group coordinator endpoints follow the fixed naming
+	// scheme g<i>/coord<j> on the server's host:port. ---
+	clientNode, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("client node: %w", err)
+	}
+	defer clientNode.Close()
+
+	groups := make([]multicast.GroupConfig, 0, workers+1)
+	for g := 0; g <= workers; g++ {
+		groups = append(groups, multicast.GroupConfig{
+			ID: uint32(g),
+			Coordinators: []transport.Addr{
+				transport.Addr(fmt.Sprintf("%s/g%d/coord0", serverNode.HostPort(), g)),
+			},
+		})
+	}
+	cg, err := cdep.Compile(kvstore.Spec(), workers)
+	if err != nil {
+		return err
+	}
+	client, err := core.NewClient(core.ClientConfig{
+		ID:        1,
+		Sender:    multicast.NewSender(clientNode, groups),
+		CG:        cg,
+		Transport: clientNode,
+		ReplyAddr: clientNode.Addr("client/1"),
+	})
+	if err != nil {
+		return fmt.Errorf("new client: %w", err)
+	}
+	defer client.Close()
+
+	// --- A small mixed workload over TCP. ---
+	rng := rand.New(rand.NewSource(1))
+	start := time.Now()
+	var reads, updates, inserts int
+	var lastInserted uint64
+	for i := 0; i < 500; i++ {
+		key := uint64(rng.Intn(10_000))
+		switch rng.Intn(10) {
+		case 0: // occasional dependent command
+			lastInserted = 10_000 + uint64(i)
+			if _, err := client.Invoke(kvstore.CmdInsert,
+				kvstore.EncodeKeyValue(lastInserted, []byte("newvalue"))); err != nil {
+				return err
+			}
+			inserts++
+		case 1, 2, 3:
+			if _, err := client.Invoke(kvstore.CmdUpdate,
+				kvstore.EncodeKeyValue(key, []byte("fresh!!!"))); err != nil {
+				return err
+			}
+			updates++
+		default:
+			if _, err := client.Invoke(kvstore.CmdRead, kvstore.EncodeKey(key)); err != nil {
+				return err
+			}
+			reads++
+		}
+	}
+	elapsed := time.Since(start)
+	total := reads + updates + inserts
+	fmt.Printf("%d ops over TCP in %v (%.0f ops/s): %d reads, %d updates, %d inserts\n",
+		total, elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), reads, updates, inserts)
+
+	out, err := client.Invoke(kvstore.CmdRead, kvstore.EncodeKey(lastInserted))
+	if err != nil {
+		return err
+	}
+	value, code := kvstore.DecodeReadOutput(out)
+	fmt.Printf("read(%d) = %q (code %d)\n", lastInserted, value, code)
+	return nil
+}

@@ -1,0 +1,102 @@
+// NetFS example: a replicated networked file system on P-SMR.
+//
+// Eight worker threads serve eight path ranges in parallel; structural
+// operations (create, mkdir, unlink, ...) synchronize all workers.
+// Requests and responses travel lz4-compressed, like the paper's
+// prototype (§VI-C).
+//
+// Run: go run ./examples/netfs
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/netfs"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	cluster, err := psmr.StartCluster(psmr.Config{
+		Mode:     psmr.ModePSMR,
+		Workers:  8,
+		Replicas: 2,
+		NewService: func() command.Service {
+			return netfs.NewService()
+		},
+		Spec: netfs.Spec(),
+	})
+	if err != nil {
+		return fmt.Errorf("start cluster: %w", err)
+	}
+	defer cluster.Close()
+
+	inv, err := cluster.NewClient()
+	if err != nil {
+		return err
+	}
+	defer inv.Close()
+	fs := netfs.NewClient(inv)
+
+	now := time.Now().UnixNano() // timestamps come from the client: determinism
+
+	// Build a small tree.
+	if err := fs.Mkdir("/projects", 0o755, now); err != nil {
+		return err
+	}
+	if err := fs.Mkdir("/projects/psmr", 0o755, now); err != nil {
+		return err
+	}
+	fd, err := fs.Create("/projects/psmr/notes.txt", 0o644, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("created /projects/psmr/notes.txt (fd %d)\n", fd)
+
+	// Write and read back through the fd.
+	content := []byte("parallel state-machine replication: k worker threads,\n" +
+		"k+1 multicast groups, deterministic merge, no central scheduler.\n")
+	n, err := fs.Write(fd, 0, content, now)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d bytes\n", n)
+
+	data, err := fs.Read(fd, 0, 4096)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("read back %d bytes:\n%s", len(data), data)
+
+	// Metadata and listing.
+	st, err := fs.Lstat("/projects/psmr/notes.txt")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lstat: ino=%d size=%d\n", st.Ino, st.Size)
+
+	names, err := fs.Readdir("/projects/psmr")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("readdir /projects/psmr: %v\n", names)
+
+	// Error handling: NetFS errors carry POSIX-style codes.
+	if err := fs.Rmdir("/projects", now); err != nil {
+		fmt.Printf("rmdir /projects: %v (expected: directory not empty)\n", err)
+	}
+
+	if err := fs.Release(fd); err != nil {
+		return err
+	}
+	fmt.Println("released fd; done")
+	return nil
+}

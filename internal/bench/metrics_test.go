@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile not zero")
+	}
+	if h.CDF() != nil {
+		t.Fatal("empty CDF not nil")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	var h Histogram
+	for _, d := range []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		3 * time.Millisecond,
+	} {
+		h.Record(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// Uniform 1..1000 µs: quantiles should land within the bucket
+	// resolution (~6%).
+	for us := 1; us <= 1000; us++ {
+		h.Record(time.Duration(us) * time.Microsecond)
+	}
+	tests := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{q: 0.10, want: 100 * time.Microsecond},
+		{q: 0.50, want: 500 * time.Microsecond},
+		{q: 0.90, want: 900 * time.Microsecond},
+		{q: 0.99, want: 990 * time.Microsecond},
+	}
+	for _, tt := range tests {
+		got := h.Quantile(tt.q)
+		lo := time.Duration(float64(tt.want) * 0.85)
+		hi := time.Duration(float64(tt.want) * 1.10)
+		if got < lo || got > hi {
+			t.Errorf("Quantile(%.2f) = %v, want ≈ %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestHistogramCDFMonotonic(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		h.Record(time.Duration(rng.Intn(50_000_000)))
+	}
+	cdf := h.CDF()
+	if len(cdf) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prevLat, prevFrac := time.Duration(-1), 0.0
+	for _, p := range cdf {
+		if p.Latency <= prevLat {
+			t.Fatalf("CDF latencies not increasing: %v after %v", p.Latency, prevLat)
+		}
+		if p.Fraction < prevFrac {
+			t.Fatalf("CDF fractions not monotone: %v after %v", p.Fraction, prevFrac)
+		}
+		prevLat, prevFrac = p.Latency, p.Fraction
+	}
+	if last := cdf[len(cdf)-1].Fraction; last < 0.999 {
+		t.Fatalf("CDF does not reach 1: %v", last)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Millisecond)
+	b.Record(3 * time.Millisecond)
+	b.Record(5 * time.Millisecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Mean() != 3*time.Millisecond {
+		t.Fatalf("merged mean = %v", a.Mean())
+	}
+	if a.Max() != 5*time.Millisecond {
+		t.Fatalf("merged max = %v", a.Max())
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+}
+
+func TestBucketRoundTripMonotonic(t *testing.T) {
+	// bucketValue(bucketIndex(d)) must never exceed d, and indexes
+	// must be monotone in d.
+	prev := -1
+	for us := int64(0); us < 1_000_000; us += 37 {
+		d := time.Duration(us) * time.Microsecond
+		idx := bucketIndex(d)
+		if idx < prev {
+			t.Fatalf("bucket index decreased at %v", d)
+		}
+		prev = idx
+		if bv := bucketValue(idx); bv > d {
+			t.Fatalf("bucketValue(%d) = %v > %v", idx, bv, d)
+		}
+	}
+}
+
+func TestCPUMeterBusyFraction(t *testing.T) {
+	m := NewCPUMeter()
+	role := m.Role("worker")
+	stop := role.Busy()
+	time.Sleep(50 * time.Millisecond)
+	stop()
+	time.Sleep(50 * time.Millisecond)
+	byRole, total := m.Usage()
+	// ~50ms busy of ~100ms wall ≈ 50%; allow slack.
+	if byRole["worker"] < 25 || byRole["worker"] > 75 {
+		t.Fatalf("worker busy = %.1f%%, want ≈ 50%%", byRole["worker"])
+	}
+	if total != byRole["worker"] {
+		t.Fatalf("total %v != worker %v", total, byRole["worker"])
+	}
+}
+
+func TestCPUMeterReset(t *testing.T) {
+	m := NewCPUMeter()
+	role := m.Role("x")
+	role.Add(time.Second)
+	m.Reset()
+	time.Sleep(10 * time.Millisecond)
+	byRole, _ := m.Usage()
+	if byRole["x"] > 1 {
+		t.Fatalf("busy after reset = %.2f%%", byRole["x"])
+	}
+}
+
+func TestNilMeterSafe(t *testing.T) {
+	var m *CPUMeter
+	role := m.Role("anything")
+	role.Busy()()              // must not panic
+	role.Add(time.Millisecond) // must not panic
+}
+
+func TestResultKcpsAndString(t *testing.T) {
+	var h Histogram
+	h.Record(time.Millisecond)
+	r := &Result{Technique: "P-SMR", Threads: 8, Ops: 100_000, Elapsed: time.Second, Latency: &h}
+	if got := r.Kcps(); got != 100 {
+		t.Fatalf("Kcps = %v", got)
+	}
+	if s := r.String(); !strings.Contains(s, "P-SMR") {
+		t.Fatalf("String = %q", s)
+	}
+	zero := &Result{}
+	if zero.Kcps() != 0 {
+		t.Fatal("zero result Kcps != 0")
+	}
+}
+
+func TestTableNormalisation(t *testing.T) {
+	mk := func(name string, kcps float64) *Result {
+		return &Result{
+			Technique: name,
+			Threads:   1,
+			Ops:       int64(kcps * 1000),
+			Elapsed:   time.Second,
+		}
+	}
+	table := Table([]*Result{mk("SMR", 100), mk("P-SMR", 315)}, "SMR")
+	if !strings.Contains(table, "3.15X") {
+		t.Fatalf("normalisation missing:\n%s", table)
+	}
+	if !strings.Contains(table, "1.00X") {
+		t.Fatalf("baseline row missing:\n%s", table)
+	}
+}
+
+func TestSortedRoles(t *testing.T) {
+	roles := SortedRoles(map[string]float64{"worker": 1, "acceptor": 2, "scheduler": 3})
+	if len(roles) != 3 || roles[0] != "acceptor" || roles[1] != "scheduler" || roles[2] != "worker" {
+		t.Fatalf("SortedRoles = %v", roles)
+	}
+}

@@ -1,0 +1,351 @@
+// Package cdep implements the command-dependency machinery of P-SMR
+// (paper §IV-B/§IV-C): the C-Dep structure a service designer provides,
+// and the compiler that derives the Command-to-Groups (C-G) function
+// from C-Dep and the multiprogramming level.
+//
+// C-Dep encodes the paper's two levels of dependency information:
+// commands that depend on each other regardless of parameters
+// (Dep.SameKey == false, e.g. create/delete of objects) and commands
+// that depend on each other only when they touch the same object
+// (Dep.SameKey == true, e.g. two updates on the same key). If no entry
+// asserts a dependency between two commands, they are independent.
+//
+// Compiling C-Dep assigns every command a class:
+//
+//   - Global — the command conflicts with commands whose group cannot be
+//     predicted, so it must be multicast to all groups (synchronous
+//     mode). Example: kvstore insert/delete.
+//   - Keyed — the command conflicts only with same-key commands; it is
+//     multicast to the single group its key maps to. Example: kvstore
+//     read/update, NetFS read/write (keyed by path).
+//   - Independent — the command conflicts with nothing (or only with
+//     Global commands); it is multicast to one group chosen at random,
+//     like get_state in the paper's first C-G example.
+//
+// The same compiled specification also answers pairwise conflict
+// queries, which is what the sP-SMR scheduler uses.
+package cdep
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+// KeyFunc extracts the object key a command invocation touches. ok is
+// false when the invocation has no key (the command then conflicts as if
+// keys differed).
+type KeyFunc func(input []byte) (key uint64, ok bool)
+
+// Command declares one command of a service.
+type Command struct {
+	ID   command.ID
+	Name string
+	// Key extracts the accessed object; required for commands involved
+	// in SameKey dependencies.
+	Key KeyFunc
+}
+
+// Dep declares a dependency between command types A and B (order does
+// not matter; A may equal B). SameKey limits the dependency to
+// invocations touching the same key.
+type Dep struct {
+	A, B    command.ID
+	SameKey bool
+}
+
+// Spec is a service's command-dependency specification: the C-Dep of
+// paper §IV-B, provided by the service designer alongside the service
+// code.
+type Spec struct {
+	Commands []Command
+	Deps     []Dep
+}
+
+// Class is the compiled placement class of a command.
+type Class int
+
+// Command placement classes.
+const (
+	// Independent commands go to one random group (parallel mode).
+	Independent Class = iota + 1
+	// Keyed commands go to the single group their key maps to.
+	Keyed
+	// Global commands go to every group (synchronous mode).
+	Global
+)
+
+func (c Class) String() string {
+	switch c {
+	case Independent:
+		return "independent"
+	case Keyed:
+		return "keyed"
+	case Global:
+		return "global"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+type pairKey struct{ a, b command.ID }
+
+func orderedPair(a, b command.ID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a: a, b: b}
+}
+
+// Compiled is the result of compiling a Spec for a given
+// multiprogramming level: the C-G function plus pairwise conflict
+// queries.
+type Compiled struct {
+	k         int
+	classes   map[command.ID]Class
+	keys      map[command.ID]KeyFunc
+	deps      map[pairKey]bool // value: SameKey
+	placement map[uint64]int
+	all       command.Gamma
+}
+
+// Option configures compilation.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	placement map[uint64]int
+}
+
+type placementOption map[uint64]int
+
+func (p placementOption) apply(o *options) { o.placement = p }
+
+// WithPlacement pins specific keys to specific groups, overriding the
+// default key-to-group hash. This implements the paper's load-balancing
+// hint: "if heavily accessed objects are known in advance, this
+// information can be used when computing the C-G function so that such
+// objects are assigned to distinct groups" (§IV-D).
+func WithPlacement(keyToGroup map[uint64]int) Option {
+	return placementOption(keyToGroup)
+}
+
+// Compile derives the C-G function for a multiprogramming level of k
+// worker threads. It returns an error for inconsistent specifications
+// (unknown command in a dep, SameKey dep without a key extractor,
+// invalid k or placement).
+func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
+	if k < 1 || k > 64 {
+		return nil, fmt.Errorf("cdep: multiprogramming level %d outside [1,64]", k)
+	}
+	var o options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	for key, g := range o.placement {
+		if g < 0 || g >= k {
+			return nil, fmt.Errorf("cdep: placement of key %d to group %d outside [0,%d)", key, g, k)
+		}
+	}
+
+	known := make(map[command.ID]bool, len(spec.Commands))
+	keys := make(map[command.ID]KeyFunc, len(spec.Commands))
+	for _, c := range spec.Commands {
+		if known[c.ID] {
+			return nil, fmt.Errorf("cdep: duplicate command id %d (%s)", c.ID, c.Name)
+		}
+		known[c.ID] = true
+		if c.Key != nil {
+			keys[c.ID] = c.Key
+		}
+	}
+
+	deps := make(map[pairKey]bool, len(spec.Deps))
+	hasKeyDep := make(map[command.ID]bool)
+	for _, d := range spec.Deps {
+		if !known[d.A] || !known[d.B] {
+			return nil, fmt.Errorf("cdep: dep (%d,%d) references unknown command", d.A, d.B)
+		}
+		pk := orderedPair(d.A, d.B)
+		if prev, ok := deps[pk]; ok && prev != d.SameKey {
+			// A regardless-of-parameters dependency subsumes a same-key
+			// one: keep the stronger.
+			deps[pk] = false
+		} else if !ok {
+			deps[pk] = d.SameKey
+		}
+		if d.SameKey {
+			if keys[d.A] == nil {
+				return nil, fmt.Errorf("cdep: same-key dep (%d,%d) but command %d has no key extractor", d.A, d.B, d.A)
+			}
+			if keys[d.B] == nil {
+				return nil, fmt.Errorf("cdep: same-key dep (%d,%d) but command %d has no key extractor", d.A, d.B, d.B)
+			}
+			hasKeyDep[d.A] = true
+			hasKeyDep[d.B] = true
+		}
+	}
+
+	// Classification. A non-SameKey dependency (A,B) requires
+	// γ(A) ∩ γ(B) ≠ ∅ on every invocation pair, which we satisfy by
+	// promoting one side of every such pair to Global (multicast to all
+	// groups). Choosing which commands to promote is the paper's C-G
+	// "optimization problem" (§IV-C); we solve it greedily: repeatedly
+	// promote the command that participates in the most unsatisfied
+	// always-conflict pairs, preferring non-keyed commands (a keyed
+	// command's group follows from its key, so keeping it Keyed
+	// preserves more concurrency). This reproduces both of the paper's
+	// examples: set_state→all/get_state→random, and kvstore
+	// insert/delete→all with read/update keyed.
+	global := make(map[command.ID]bool)
+	pairs := make([]pairKey, 0, len(deps))
+	for pk, sameKey := range deps {
+		if !sameKey {
+			pairs = append(pairs, pk)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+	for {
+		counts := make(map[command.ID]int)
+		unsatisfied := 0
+		for _, pk := range pairs {
+			if global[pk.a] || global[pk.b] {
+				continue
+			}
+			unsatisfied++
+			counts[pk.a]++
+			if pk.b != pk.a {
+				counts[pk.b]++
+			}
+		}
+		if unsatisfied == 0 {
+			break
+		}
+		var (
+			best      command.ID
+			bestCount = -1
+		)
+		for _, c := range spec.Commands {
+			n, ok := counts[c.ID]
+			if !ok {
+				continue
+			}
+			// Prefer higher coverage, then non-keyed, then lower id
+			// (deterministic).
+			better := n > bestCount ||
+				(n == bestCount && hasKeyDep[best] && !hasKeyDep[c.ID])
+			if better {
+				best, bestCount = c.ID, n
+			}
+		}
+		global[best] = true
+	}
+
+	classes := make(map[command.ID]Class, len(spec.Commands))
+	for _, c := range spec.Commands {
+		switch {
+		case global[c.ID]:
+			classes[c.ID] = Global
+		case hasKeyDep[c.ID]:
+			classes[c.ID] = Keyed
+		default:
+			classes[c.ID] = Independent
+		}
+	}
+
+	return &Compiled{
+		k:         k,
+		classes:   classes,
+		keys:      keys,
+		deps:      deps,
+		placement: o.placement,
+		all:       command.AllWorkers(k),
+	}, nil
+}
+
+// K returns the multiprogramming level the spec was compiled for.
+func (c *Compiled) K() int { return c.k }
+
+// Class returns the placement class of a command (0 for unknown ids).
+func (c *Compiled) Class(cmd command.ID) Class { return c.classes[cmd] }
+
+// GroupOfKey returns the group a key maps to, honouring placements.
+func (c *Compiled) GroupOfKey(key uint64) int {
+	if g, ok := c.placement[key]; ok {
+		return g
+	}
+	return int(key % uint64(c.k))
+}
+
+// Groups is the C-G function (paper §IV-C): it maps a command invocation
+// to its destination group set. randN supplies randomness for
+// Independent commands (called as randN(k)); pass nil to pin them to
+// group 0 (useful for deterministic tests).
+func (c *Compiled) Groups(cmd command.ID, input []byte, randN func(n int) int) command.Gamma {
+	switch c.classes[cmd] {
+	case Global:
+		return c.all
+	case Keyed:
+		key, ok := c.keys[cmd](input)
+		if !ok {
+			// No key: the invocation potentially touches any object;
+			// fall back to synchronous mode.
+			return c.all
+		}
+		return command.GammaOf(c.GroupOfKey(key))
+	case Independent:
+		if randN == nil {
+			return command.GammaOf(0)
+		}
+		return command.GammaOf(randN(c.k))
+	default:
+		// Unknown command: be safe, serialize.
+		return c.all
+	}
+}
+
+// Conflicts reports whether two concrete invocations depend on each
+// other: they share a C-Dep entry, and — for same-key entries — touch
+// the same key. This is the query the sP-SMR scheduler runs for every
+// delivered command.
+func (c *Compiled) Conflicts(cmdA command.ID, inputA []byte, cmdB command.ID, inputB []byte) bool {
+	sameKey, ok := c.deps[orderedPair(cmdA, cmdB)]
+	if !ok {
+		return false
+	}
+	if !sameKey {
+		return true
+	}
+	keyA, okA := c.keys[cmdA](inputA)
+	keyB, okB := c.keys[cmdB](inputB)
+	if !okA || !okB {
+		// Keyless invocation of a keyed command: conservatively
+		// conflicting.
+		return true
+	}
+	return keyA == keyB
+}
+
+// GlobalConflict reports whether cmd conflicts with every command
+// regardless of parameters (compiled class Global).
+func (c *Compiled) GlobalConflict(cmd command.ID) bool {
+	return c.classes[cmd] == Global
+}
+
+// Key extracts the object key of an invocation using the command's key
+// extractor. ok is false when the command has no extractor or the
+// invocation carries no key.
+func (c *Compiled) Key(cmd command.ID, input []byte) (key uint64, ok bool) {
+	kf := c.keys[cmd]
+	if kf == nil {
+		return 0, false
+	}
+	return kf(input)
+}

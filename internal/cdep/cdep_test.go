@@ -1,0 +1,371 @@
+package cdep
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+// Test command ids mirroring the paper's key-value store (§V-A).
+const (
+	cmdInsert command.ID = iota + 1
+	cmdDelete
+	cmdRead
+	cmdUpdate
+)
+
+func keyFromInput(input []byte) (uint64, bool) {
+	if len(input) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(input), true
+}
+
+// kvSpec is the paper's §V-A dependency structure: inserts and deletes
+// depend on all commands; an update on key k depends on updates and
+// reads on k (and on inserts and deletes, already covered).
+func kvSpec() Spec {
+	return Spec{
+		Commands: []Command{
+			{ID: cmdInsert, Name: "insert", Key: keyFromInput},
+			{ID: cmdDelete, Name: "delete", Key: keyFromInput},
+			{ID: cmdRead, Name: "read", Key: keyFromInput},
+			{ID: cmdUpdate, Name: "update", Key: keyFromInput},
+		},
+		Deps: []Dep{
+			{A: cmdInsert, B: cmdInsert}, {A: cmdInsert, B: cmdDelete},
+			{A: cmdInsert, B: cmdRead}, {A: cmdInsert, B: cmdUpdate},
+			{A: cmdDelete, B: cmdDelete}, {A: cmdDelete, B: cmdRead},
+			{A: cmdDelete, B: cmdUpdate},
+			{A: cmdUpdate, B: cmdUpdate, SameKey: true},
+			{A: cmdUpdate, B: cmdRead, SameKey: true},
+		},
+	}
+}
+
+func keyInput(k uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, k)
+}
+
+func TestCompileKVClasses(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tests := []struct {
+		cmd  command.ID
+		want Class
+	}{
+		{cmd: cmdInsert, want: Global},
+		{cmd: cmdDelete, want: Global},
+		{cmd: cmdRead, want: Keyed},
+		{cmd: cmdUpdate, want: Keyed},
+	}
+	for _, tt := range tests {
+		if got := c.Class(tt.cmd); got != tt.want {
+			t.Errorf("Class(%d) = %v, want %v", tt.cmd, got, tt.want)
+		}
+	}
+}
+
+func TestKVGroups(t *testing.T) {
+	const k = 8
+	c, err := Compile(kvSpec(), k)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// Inserts go everywhere.
+	if got := c.Groups(cmdInsert, keyInput(5), nil); got != command.AllWorkers(k) {
+		t.Fatalf("insert γ = %v", got)
+	}
+	// Updates/reads on the same key share a singleton group.
+	for key := uint64(0); key < 100; key++ {
+		gu := c.Groups(cmdUpdate, keyInput(key), nil)
+		gr := c.Groups(cmdRead, keyInput(key), nil)
+		if gu != gr {
+			t.Fatalf("key %d: update γ=%v read γ=%v", key, gu, gr)
+		}
+		if gu.Count() != 1 {
+			t.Fatalf("key %d: γ=%v not singleton", key, gu)
+		}
+		if want := int(key % k); gu.Min() != want {
+			t.Fatalf("key %d: group %d, want %d", key, gu.Min(), want)
+		}
+	}
+}
+
+// The paper's first C-G example: a coarse C-Dep where set_state depends
+// on everything; get_state then goes to a random group, set_state to all
+// groups.
+func TestCoarseGetSetSpec(t *testing.T) {
+	const (
+		cmdGet command.ID = 1
+		cmdSet command.ID = 2
+	)
+	spec := Spec{
+		Commands: []Command{{ID: cmdGet, Name: "get_state"}, {ID: cmdSet, Name: "set_state"}},
+		Deps: []Dep{
+			{A: cmdSet, B: cmdSet},
+			{A: cmdSet, B: cmdGet},
+		},
+	}
+	const k = 4
+	c, err := Compile(spec, k)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := c.Class(cmdSet); got != Global {
+		t.Fatalf("set class = %v, want Global", got)
+	}
+	if got := c.Class(cmdGet); got != Independent {
+		t.Fatalf("get class = %v, want Independent", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		g := c.Groups(cmdGet, nil, rng.Intn)
+		if g.Count() != 1 {
+			t.Fatalf("get γ=%v not singleton", g)
+		}
+		seen[g.Min()] = true
+	}
+	if len(seen) != k {
+		t.Fatalf("random gets hit %d of %d groups", len(seen), k)
+	}
+}
+
+func TestPlacementOverride(t *testing.T) {
+	const k = 4
+	hot := map[uint64]int{100: 3, 101: 2}
+	c, err := Compile(kvSpec(), k, WithPlacement(hot))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if g := c.Groups(cmdUpdate, keyInput(100), nil); g.Min() != 3 {
+		t.Fatalf("key 100 → group %d, want 3", g.Min())
+	}
+	if g := c.Groups(cmdUpdate, keyInput(101), nil); g.Min() != 2 {
+		t.Fatalf("key 101 → group %d, want 2", g.Min())
+	}
+	// Unplaced keys keep the modulo mapping.
+	if g := c.Groups(cmdUpdate, keyInput(6), nil); g.Min() != 2 {
+		t.Fatalf("key 6 → group %d, want 2", g.Min())
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	if _, err := Compile(kvSpec(), 4, WithPlacement(map[uint64]int{1: 4})); err == nil {
+		t.Fatal("out-of-range placement accepted")
+	}
+	if _, err := Compile(kvSpec(), 4, WithPlacement(map[uint64]int{1: -1})); err == nil {
+		t.Fatal("negative placement accepted")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		k    int
+	}{
+		{
+			name: "bad k low",
+			spec: kvSpec(),
+			k:    0,
+		},
+		{
+			name: "bad k high",
+			spec: kvSpec(),
+			k:    65,
+		},
+		{
+			name: "unknown dep command",
+			spec: Spec{
+				Commands: []Command{{ID: 1, Name: "a"}},
+				Deps:     []Dep{{A: 1, B: 99}},
+			},
+			k: 2,
+		},
+		{
+			name: "samekey without extractor",
+			spec: Spec{
+				Commands: []Command{{ID: 1, Name: "a"}, {ID: 2, Name: "b"}},
+				Deps:     []Dep{{A: 1, B: 2, SameKey: true}},
+			},
+			k: 2,
+		},
+		{
+			name: "duplicate command id",
+			spec: Spec{
+				Commands: []Command{{ID: 1, Name: "a"}, {ID: 1, Name: "b"}},
+			},
+			k: 2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Compile(tt.spec, tt.k); err == nil {
+				t.Fatal("Compile succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tests := []struct {
+		name           string
+		cmdA           command.ID
+		keyA           uint64
+		cmdB           command.ID
+		keyB           uint64
+		wantConflict   bool
+		wantRegardless bool // conflict even with different keys
+	}{
+		{name: "insert vs read", cmdA: cmdInsert, keyA: 1, cmdB: cmdRead, keyB: 2, wantConflict: true, wantRegardless: true},
+		{name: "insert vs insert", cmdA: cmdInsert, keyA: 1, cmdB: cmdInsert, keyB: 9, wantConflict: true, wantRegardless: true},
+		{name: "update same key", cmdA: cmdUpdate, keyA: 7, cmdB: cmdUpdate, keyB: 7, wantConflict: true},
+		{name: "update diff key", cmdA: cmdUpdate, keyA: 7, cmdB: cmdUpdate, keyB: 8, wantConflict: false},
+		{name: "read vs update same key", cmdA: cmdRead, keyA: 3, cmdB: cmdUpdate, keyB: 3, wantConflict: true},
+		{name: "read vs update diff key", cmdA: cmdRead, keyA: 3, cmdB: cmdUpdate, keyB: 4, wantConflict: false},
+		{name: "read vs read same key", cmdA: cmdRead, keyA: 3, cmdB: cmdRead, keyB: 3, wantConflict: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := c.Conflicts(tt.cmdA, keyInput(tt.keyA), tt.cmdB, keyInput(tt.keyB))
+			if got != tt.wantConflict {
+				t.Fatalf("Conflicts = %v, want %v", got, tt.wantConflict)
+			}
+			// Symmetry.
+			if rev := c.Conflicts(tt.cmdB, keyInput(tt.keyB), tt.cmdA, keyInput(tt.keyA)); rev != got {
+				t.Fatalf("Conflicts not symmetric: %v vs %v", got, rev)
+			}
+		})
+	}
+}
+
+func TestGlobalConflict(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !c.GlobalConflict(cmdInsert) || !c.GlobalConflict(cmdDelete) {
+		t.Fatal("insert/delete should be global")
+	}
+	if c.GlobalConflict(cmdRead) || c.GlobalConflict(cmdUpdate) {
+		t.Fatal("read/update should not be global")
+	}
+}
+
+// Core safety property of the C-G function (paper §IV-C): any two
+// dependent invocations are assigned at least one common group. Checked
+// over random invocation pairs for several multiprogramming levels.
+func TestDependentCommandsShareGroup(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 8, 16} {
+		c, err := Compile(kvSpec(), k)
+		if err != nil {
+			t.Fatalf("Compile k=%d: %v", k, err)
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		cmds := []command.ID{cmdInsert, cmdDelete, cmdRead, cmdUpdate}
+		for i := 0; i < 2000; i++ {
+			ca := cmds[rng.Intn(len(cmds))]
+			cb := cmds[rng.Intn(len(cmds))]
+			ia := keyInput(uint64(rng.Intn(50)))
+			ib := keyInput(uint64(rng.Intn(50)))
+			if !c.Conflicts(ca, ia, cb, ib) {
+				continue
+			}
+			ga := c.Groups(ca, ia, rng.Intn)
+			gb := c.Groups(cb, ib, rng.Intn)
+			if ga&gb == 0 {
+				t.Fatalf("k=%d: dependent (%d,%x) γ=%v and (%d,%x) γ=%v share no group",
+					k, ca, ia, ga, cb, ib, gb)
+			}
+		}
+	}
+}
+
+func TestKeyedVsKeyedRegardlessDep(t *testing.T) {
+	// Two keyed commands that also conflict regardless of key must not
+	// both stay keyed (their groups would diverge); the compiler
+	// promotes them.
+	spec := Spec{
+		Commands: []Command{
+			{ID: 1, Name: "a", Key: keyFromInput},
+			{ID: 2, Name: "b", Key: keyFromInput},
+		},
+		Deps: []Dep{
+			{A: 1, B: 1, SameKey: true},
+			{A: 2, B: 2, SameKey: true},
+			{A: 1, B: 2}, // always conflict
+		},
+	}
+	c, err := Compile(spec, 4)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		ia := keyInput(uint64(rng.Intn(100)))
+		ib := keyInput(uint64(rng.Intn(100)))
+		ga := c.Groups(1, ia, rng.Intn)
+		gb := c.Groups(2, ib, rng.Intn)
+		if ga&gb == 0 {
+			t.Fatalf("always-conflicting pair got disjoint groups %v, %v", ga, gb)
+		}
+	}
+}
+
+func TestKeylessInvocationOfKeyedCommand(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	// A malformed (short) input has no key: the command must fall back
+	// to synchronous mode, and conflict conservatively.
+	if g := c.Groups(cmdUpdate, []byte{1}, nil); g != command.AllWorkers(8) {
+		t.Fatalf("keyless update γ = %v, want all", g)
+	}
+	if !c.Conflicts(cmdUpdate, []byte{1}, cmdUpdate, keyInput(9)) {
+		t.Fatal("keyless update should conflict conservatively")
+	}
+}
+
+func TestUnknownCommandIsSerialized(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if g := c.Groups(99, nil, nil); g != command.AllWorkers(8) {
+		t.Fatalf("unknown command γ = %v, want all", g)
+	}
+}
+
+func TestDepSubsumption(t *testing.T) {
+	// A regardless-of-parameters dep subsumes a same-key dep on the
+	// same pair.
+	spec := kvSpec()
+	spec.Deps = append(spec.Deps, Dep{A: cmdUpdate, B: cmdRead}) // now regardless
+	c, err := Compile(spec, 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !c.Conflicts(cmdUpdate, keyInput(1), cmdRead, keyInput(2)) {
+		t.Fatal("subsumed dep should conflict regardless of key")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Independent.String() != "independent" || Keyed.String() != "keyed" || Global.String() != "global" {
+		t.Fatal("Class.String mismatch")
+	}
+	if Class(0).String() != "Class(0)" {
+		t.Fatalf("zero class = %s", Class(0))
+	}
+}

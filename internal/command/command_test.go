@@ -1,0 +1,190 @@
+package command
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func TestGammaOf(t *testing.T) {
+	tests := []struct {
+		name    string
+		workers []int
+		want    Gamma
+	}{
+		{name: "empty", workers: nil, want: 0},
+		{name: "single", workers: []int{3}, want: 1 << 3},
+		{name: "pair", workers: []int{0, 5}, want: 1 | 1<<5},
+		{name: "dup", workers: []int{2, 2}, want: 1 << 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := GammaOf(tt.workers...); got != tt.want {
+				t.Fatalf("GammaOf(%v) = %b, want %b", tt.workers, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestAllWorkers(t *testing.T) {
+	if got := AllWorkers(3); got != 0b111 {
+		t.Fatalf("AllWorkers(3) = %b", got)
+	}
+	if got := AllWorkers(1); got != 0b1 {
+		t.Fatalf("AllWorkers(1) = %b", got)
+	}
+	if got := AllWorkers(64); got != ^Gamma(0) {
+		t.Fatalf("AllWorkers(64) = %b", got)
+	}
+}
+
+func TestGammaProperties(t *testing.T) {
+	g := GammaOf(1, 4, 7)
+	if g.Count() != 3 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+	if g.Min() != 1 {
+		t.Fatalf("Min = %d", g.Min())
+	}
+	if !g.Has(4) || g.Has(2) {
+		t.Fatalf("Has wrong: %v", g)
+	}
+	if got := g.Workers(); !reflect.DeepEqual(got, []int{1, 4, 7}) {
+		t.Fatalf("Workers = %v", got)
+	}
+	if Gamma(0).Min() != -1 {
+		t.Fatal("empty Min != -1")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	req := &Request{
+		Client: 42,
+		Seq:    7,
+		Cmd:    3,
+		Gamma:  GammaOf(0, 2),
+		Input:  []byte("payload bytes"),
+		Reply:  transport.Addr("client/42"),
+	}
+	buf := AppendRequest(nil, req)
+	if len(buf) != EncodedRequestSize(req) {
+		t.Fatalf("encoded size %d, EncodedRequestSize %d", len(buf), EncodedRequestSize(req))
+	}
+	got, rest, err := DecodeRequest(buf)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+	if got.Client != req.Client || got.Seq != req.Seq || got.Cmd != req.Cmd ||
+		got.Gamma != req.Gamma || !bytes.Equal(got.Input, req.Input) || got.Reply != req.Reply {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, req)
+	}
+}
+
+func TestRequestRoundTripQuick(t *testing.T) {
+	f := func(client, seq uint64, cmd uint16, gamma uint64, input []byte, reply string) bool {
+		if len(reply) > 1000 {
+			reply = reply[:1000]
+		}
+		req := &Request{
+			Client: client, Seq: seq, Cmd: ID(cmd), Gamma: Gamma(gamma),
+			Input: input, Reply: transport.Addr(reply),
+		}
+		buf := AppendRequest(nil, req)
+		got, rest, err := DecodeRequest(buf)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return got.Client == req.Client && got.Seq == req.Seq && got.Cmd == req.Cmd &&
+			got.Gamma == req.Gamma && bytes.Equal(got.Input, req.Input) && got.Reply == req.Reply
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequestsConcatenated(t *testing.T) {
+	// Batches concatenate encoded requests; decoding must walk them.
+	var buf []byte
+	var want []*Request
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		req := &Request{
+			Client: rng.Uint64(),
+			Seq:    uint64(i),
+			Cmd:    ID(rng.Intn(16)),
+			Gamma:  Gamma(rng.Uint64()),
+			Input:  make([]byte, rng.Intn(64)),
+			Reply:  transport.Addr("r"),
+		}
+		rng.Read(req.Input)
+		want = append(want, req)
+		buf = AppendRequest(buf, req)
+	}
+	rest := buf
+	for i := 0; i < 50; i++ {
+		var (
+			got *Request
+			err error
+		)
+		got, rest, err = DecodeRequest(rest)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got.Seq != want[i].Seq || !bytes.Equal(got.Input, want[i].Input) {
+			t.Fatalf("request %d mismatch", i)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("leftover %d bytes", len(rest))
+	}
+}
+
+func TestDecodeRequestShort(t *testing.T) {
+	req := &Request{Client: 1, Seq: 2, Cmd: 3, Input: []byte("abcdef"), Reply: "x"}
+	buf := AppendRequest(nil, req)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRequest(buf[:cut]); err == nil {
+			t.Fatalf("DecodeRequest on %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{Client: 9, Seq: 100, Output: []byte{1, 2, 3}}
+	buf := AppendResponse(nil, resp)
+	got, err := DecodeResponse(buf)
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if got.Client != resp.Client || got.Seq != resp.Seq || !bytes.Equal(got.Output, resp.Output) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, resp)
+	}
+}
+
+func TestDecodeResponseShort(t *testing.T) {
+	resp := &Response{Client: 9, Seq: 100, Output: []byte{1, 2, 3}}
+	buf := AppendResponse(nil, resp)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeResponse(buf[:cut]); err == nil {
+			t.Fatalf("DecodeResponse on %d-byte prefix succeeded", cut)
+		}
+	}
+}
+
+func TestEmptyResponseOutput(t *testing.T) {
+	resp := &Response{Client: 1, Seq: 1}
+	got, err := DecodeResponse(AppendResponse(nil, resp))
+	if err != nil {
+		t.Fatalf("DecodeResponse: %v", err)
+	}
+	if len(got.Output) != 0 {
+		t.Fatalf("Output = %v, want empty", got.Output)
+	}
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Client errors.
+var (
+	// ErrClientClosed is returned for calls issued against or pending
+	// on a closed client proxy.
+	ErrClientClosed = errors.New("core: client closed")
+)
+
+// ClientConfig configures a client proxy (paper §III/§IV-B: the proxy
+// intercepts invocations, marshals them, multicasts them to the groups
+// the C-G function selects, and returns the first replica response).
+type ClientConfig struct {
+	// ID must be unique among clients; it keys response matching and
+	// the replicas' at-most-once tables.
+	ID uint64
+	// Sender multicasts requests. Its group list must be the same one
+	// the replicas were wired with (k parallel groups [+ serial]).
+	Sender *multicast.Sender
+	// CG is the compiled Command-to-Groups function.
+	CG *cdep.Compiled
+	// Transport receives responses.
+	Transport transport.Transport
+	// ReplyAddr is the endpoint responses are sent to. Defaults to
+	// "client/<ID>".
+	ReplyAddr transport.Addr
+	// RetryInterval is how long to wait for a response before
+	// retransmitting (rotating the believed coordinator). Default 3s.
+	RetryInterval time.Duration
+	// Seed drives the random group choice for independent commands.
+	Seed int64
+}
+
+// Client is a P-SMR client proxy. It is safe for concurrent use; a
+// workload typically keeps a window of outstanding Submit calls.
+type Client struct {
+	cfg ClientConfig
+	ep  transport.Endpoint
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	seq     uint64
+	pending map[uint64]*Call
+	closed  bool
+
+	done chan struct{}
+}
+
+// Call is one in-flight command invocation.
+type Call struct {
+	c     *Client
+	seq   uint64
+	group int
+	frame []byte
+
+	respCh chan []byte
+}
+
+// NewClient starts a client proxy and its response demultiplexer.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Sender == nil || cfg.CG == nil || cfg.Transport == nil {
+		return nil, errors.New("core: client needs Sender, CG and Transport")
+	}
+	if cfg.ReplyAddr == "" {
+		cfg.ReplyAddr = transport.Addr(fmt.Sprintf("client/%d", cfg.ID))
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 3 * time.Second
+	}
+	ep, err := cfg.Transport.Listen(cfg.ReplyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("core: client listen: %w", err)
+	}
+	c := &Client{
+		cfg:     cfg,
+		ep:      ep,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(cfg.ID))),
+		pending: make(map[uint64]*Call),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Close stops the proxy and fails all pending calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	pending := c.pending
+	c.pending = make(map[uint64]*Call)
+	c.mu.Unlock()
+
+	err := c.ep.Close()
+	for _, call := range pending {
+		close(call.respCh)
+	}
+	<-c.done
+	return err
+}
+
+// Submit multicasts one command invocation and returns the in-flight
+// call. The destination set γ is computed once and pinned, so
+// retransmissions are idempotent even for randomly placed commands.
+func (c *Client) Submit(cmd command.ID, input []byte) (*Call, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	c.seq++
+	seq := c.seq
+	gamma := c.cfg.CG.Groups(cmd, input, c.rng.Intn)
+	call := &Call{
+		c:      c,
+		seq:    seq,
+		group:  c.physicalGroup(gamma),
+		respCh: make(chan []byte, 1),
+	}
+	call.frame = command.AppendRequest(nil, &command.Request{
+		Client: c.cfg.ID,
+		Seq:    seq,
+		Cmd:    cmd,
+		Gamma:  gamma,
+		Input:  input,
+		Reply:  c.cfg.ReplyAddr,
+	})
+	c.pending[seq] = call
+	c.mu.Unlock()
+
+	if err := c.cfg.Sender.Multicast(call.group, call.frame); err != nil {
+		// Keep the call pending; Wait will retransmit.
+		_ = err
+	}
+	return call, nil
+}
+
+// physicalGroup maps a destination set to the single multicast group
+// carrying it: the worker's own group for singletons, the shared serial
+// group otherwise (the paper's prototype restriction, §VI-A).
+func (c *Client) physicalGroup(gamma command.Gamma) int {
+	if gamma.Count() == 1 && gamma.Min() < c.cfg.Sender.Groups() {
+		return gamma.Min()
+	}
+	return c.cfg.Sender.Groups() - 1 // serial group is last
+}
+
+// Invoke submits a command and waits for its response.
+func (c *Client) Invoke(cmd command.ID, input []byte) ([]byte, error) {
+	call, err := c.Submit(cmd, input)
+	if err != nil {
+		return nil, err
+	}
+	return call.Wait()
+}
+
+// Done returns the channel carrying the call's response; it is closed
+// without a value if the client shuts down first. Prefer Wait unless
+// selecting over many calls.
+func (call *Call) Done() <-chan []byte { return call.respCh }
+
+// Wait blocks for the response, retransmitting (and rotating the
+// believed group coordinator) on every RetryInterval.
+func (call *Call) Wait() ([]byte, error) {
+	timer := time.NewTimer(call.c.cfg.RetryInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case output, ok := <-call.respCh:
+			if !ok {
+				return nil, ErrClientClosed
+			}
+			call.c.forget(call.seq)
+			return output, nil
+		case <-timer.C:
+			call.c.cfg.Sender.RotateLeader(call.group)
+			_ = call.c.cfg.Sender.Multicast(call.group, call.frame)
+			timer.Reset(call.c.cfg.RetryInterval)
+		}
+	}
+}
+
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+// demux routes response frames to pending calls. Only the first
+// response of a call is delivered (all replica responses are identical,
+// paper §III); later duplicates are dropped.
+func (c *Client) demux() {
+	defer close(c.done)
+	for frame := range c.ep.Recv() {
+		resp, err := command.DecodeResponse(frame)
+		if err != nil || resp.Client != c.cfg.ID {
+			continue
+		}
+		c.mu.Lock()
+		call, ok := c.pending[resp.Seq]
+		if ok {
+			// Leave the entry until Wait consumes it; extra responses
+			// fall into the full-channel default below.
+			select {
+			case call.respCh <- resp.Output:
+			default:
+			}
+		}
+		c.mu.Unlock()
+	}
+}

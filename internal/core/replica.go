@@ -1,0 +1,284 @@
+// Package core implements Parallel State-Machine Replication (P-SMR),
+// the paper's contribution (§IV): client proxies that multicast each
+// command to the groups computed by the C-G function, and server
+// replicas whose worker threads deliver commands from multiple parallel
+// streams and execute them in parallel mode (single destination) or
+// synchronous mode (barrier across the destination workers,
+// Algorithm 1).
+//
+// Classic SMR is the k=1 degeneration of this package: one worker, one
+// group, sequential delivery and execution.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/dedup"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// ReplicaConfig configures one P-SMR replica.
+type ReplicaConfig struct {
+	// ReplicaID distinguishes replicas (used in endpoint names).
+	ReplicaID int
+	// Workers is the multiprogramming level k: the number of worker
+	// threads (paper §IV-C).
+	Workers int
+	// Service is the deterministic state machine all workers execute
+	// against. With Workers > 1 the service must tolerate concurrent
+	// execution of commands its C-Dep declares independent.
+	Service command.Service
+	// Groups are the multicast groups: either k parallel groups plus
+	// one serial group (P-SMR), or exactly one group when Workers == 1
+	// (classic SMR).
+	Groups []multicast.GroupConfig
+	// Transport carries all replica traffic.
+	Transport transport.Transport
+	// MergeWeight is the deterministic-merge weight: slots per stream
+	// per round, one slot per command. It must match the coordinators'
+	// SkipSlots. Default 256.
+	MergeWeight int
+	// DedupWindow bounds the per-client at-most-once table. Default 512.
+	DedupWindow int
+	// CPU optionally meters worker and learner busy time.
+	CPU *bench.CPUMeter
+}
+
+// Replica is a P-SMR server replica: k worker goroutines, each
+// delivering from its own parallel group plus the shared serial group
+// through a deterministic merge, executing against the shared service.
+type Replica struct {
+	cfg      ReplicaConfig
+	learners []*paxos.Learner
+	workers  []*worker
+
+	// Barrier channels for synchronous mode: sig[j][e] carries worker
+	// j's "ready" signal to executor e; rel[e][j] carries the release
+	// back (Algorithm 1 lines 18-26, Figure 2 signals (a) and (b)).
+	sig [][]chan struct{}
+	rel [][]chan struct{}
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// serialGroup reports the index of the shared serial group, or -1 when
+// the deployment has no serial group (k parallel groups only).
+func serialGroupIndex(workers, groups int) int {
+	if groups == workers+1 {
+		return workers
+	}
+	return -1
+}
+
+// StartReplica wires learners and launches the worker goroutines.
+func StartReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Workers < 1 || cfg.Workers > 64 {
+		return nil, fmt.Errorf("core: %d workers outside [1,64]", cfg.Workers)
+	}
+	if len(cfg.Groups) != cfg.Workers && len(cfg.Groups) != cfg.Workers+1 {
+		return nil, fmt.Errorf("core: %d groups for %d workers (want k or k+1)",
+			len(cfg.Groups), cfg.Workers)
+	}
+	if cfg.MergeWeight <= 0 {
+		cfg.MergeWeight = 256
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 512
+	}
+
+	r := &Replica{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+	}
+	k := cfg.Workers
+	r.sig = makeBarrier(k)
+	r.rel = makeBarrier(k)
+
+	// One learner per group; the serial group's learner serves one
+	// cursor per worker.
+	for _, g := range cfg.Groups {
+		addr := transport.Addr(fmt.Sprintf("r%d/g%d", cfg.ReplicaID, g.ID))
+		l, err := paxos.StartLearner(paxos.LearnerConfig{
+			GroupID:      g.ID,
+			Addr:         addr,
+			Transport:    cfg.Transport,
+			Coordinators: g.Coordinators,
+			CPU:          cfg.CPU.Role("learner"),
+		})
+		if err != nil {
+			r.closeLearners()
+			return nil, fmt.Errorf("core: start learner for group %d: %w", g.ID, err)
+		}
+		r.learners = append(r.learners, l)
+	}
+
+	serialIdx := serialGroupIndex(k, len(cfg.Groups))
+	for i := 0; i < k; i++ {
+		cursors := []*paxos.Cursor{r.learners[i].NewCursor()}
+		if serialIdx >= 0 {
+			cursors = append(cursors, r.learners[serialIdx].NewCursor())
+		}
+		w := &worker{
+			r:      r,
+			idx:    i,
+			merger: multicast.NewMerger(cursors, cfg.MergeWeight),
+			dedup:  dedup.NewTable(cfg.DedupWindow),
+			cpu:    cfg.CPU.Role("worker"),
+		}
+		r.workers = append(r.workers, w)
+	}
+	for _, w := range r.workers {
+		r.wg.Add(1)
+		go w.run()
+	}
+	return r, nil
+}
+
+// LearnerAddr returns the address decisions must be pushed to for a
+// group of this replica; the cluster wiring adds these to the group's
+// coordinator learner list.
+func LearnerAddr(replicaID int, groupID uint32) transport.Addr {
+	return transport.Addr(fmt.Sprintf("r%d/g%d", replicaID, groupID))
+}
+
+// Close stops the replica: workers drain out and learners shut down.
+// Close is idempotent.
+func (r *Replica) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.stop)
+		r.closeLearners()
+	})
+	r.wg.Wait()
+	return nil
+}
+
+func (r *Replica) closeLearners() {
+	for _, l := range r.learners {
+		_ = l.Close()
+	}
+}
+
+func makeBarrier(k int) [][]chan struct{} {
+	chs := make([][]chan struct{}, k)
+	for i := range chs {
+		chs[i] = make([]chan struct{}, k)
+		for j := range chs[i] {
+			chs[i][j] = make(chan struct{}, 1)
+		}
+	}
+	return chs
+}
+
+// worker is one replica thread t_i (Algorithm 1, lines 7-26).
+type worker struct {
+	r      *Replica
+	idx    int
+	merger *multicast.Merger
+	dedup  *dedup.Table
+	cpu    *bench.RoleMeter
+}
+
+func (w *worker) run() {
+	defer w.r.wg.Done()
+	for {
+		item, ok := w.merger.Next()
+		if !ok {
+			return
+		}
+		stop := w.cpu.Busy()
+		req, _, err := command.DecodeRequest(item.Payload)
+		if err != nil {
+			stop()
+			continue
+		}
+		if req.Gamma.Count() <= 1 {
+			// Parallel mode: the command was multicast to this worker's
+			// own group only (lines 10-13).
+			w.executeAndReply(req)
+			stop()
+			continue
+		}
+		if !req.Gamma.Has(w.idx) {
+			// Serial-group traffic destined to other workers.
+			stop()
+			continue
+		}
+		stop()
+		if !w.synchronousMode(req) {
+			return
+		}
+	}
+}
+
+// synchronousMode runs Algorithm 1 lines 14-26 for one multi-
+// destination command. It reports false when the replica is stopping.
+func (w *worker) synchronousMode(req *command.Request) bool {
+	e := req.Gamma.Min()
+	if w.idx != e {
+		// Signal the executor and pause until it has executed C
+		// (lines 24-26).
+		select {
+		case w.r.sig[w.idx][e] <- struct{}{}:
+		case <-w.r.stop:
+			return false
+		}
+		select {
+		case <-w.r.rel[e][w.idx]:
+		case <-w.r.stop:
+			return false
+		}
+		return true
+	}
+	// Executor: wait for every other destination worker (lines 18-19).
+	for _, j := range req.Gamma.Workers() {
+		if j == w.idx {
+			continue
+		}
+		select {
+		case <-w.r.sig[j][w.idx]:
+		case <-w.r.stop:
+			return false
+		}
+	}
+	stop := w.cpu.Busy()
+	w.executeAndReply(req) // lines 20-21
+	stop()
+	// Release the paused workers (lines 22-23).
+	for _, j := range req.Gamma.Workers() {
+		if j == w.idx {
+			continue
+		}
+		select {
+		case w.r.rel[w.idx][j] <- struct{}{}:
+		case <-w.r.stop:
+			return false
+		}
+	}
+	return true
+}
+
+// executeAndReply applies the command (with at-most-once protection)
+// and sends the response to the client proxy.
+func (w *worker) executeAndReply(req *command.Request) {
+	output, duplicate := w.dedup.Lookup(req.Client, req.Seq)
+	if !duplicate {
+		output = w.r.cfg.Service.Execute(req.Cmd, req.Input)
+		w.dedup.Record(req.Client, req.Seq, output)
+	}
+	if req.Reply == "" {
+		return
+	}
+	resp := command.AppendResponse(nil, &command.Response{
+		Client: req.Client,
+		Seq:    req.Seq,
+		Output: output,
+	})
+	_ = w.r.cfg.Transport.Send(req.Reply, resp)
+}

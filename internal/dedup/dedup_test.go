@@ -1,0 +1,84 @@
+package dedup
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestLookupMiss(t *testing.T) {
+	tbl := NewTable(8)
+	if _, dup := tbl.Lookup(1, 1); dup {
+		t.Fatal("empty table reported duplicate")
+	}
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	tbl := NewTable(8)
+	tbl.Record(1, 5, []byte("out5"))
+	out, dup := tbl.Lookup(1, 5)
+	if !dup || !bytes.Equal(out, []byte("out5")) {
+		t.Fatalf("Lookup = %q, %v", out, dup)
+	}
+	// Other client, same seq: miss.
+	if _, dup := tbl.Lookup(2, 5); dup {
+		t.Fatal("cross-client hit")
+	}
+	// Same client, other seq: miss.
+	if _, dup := tbl.Lookup(1, 6); dup {
+		t.Fatal("wrong-seq hit")
+	}
+}
+
+func TestEvictionKeepsRecent(t *testing.T) {
+	const window = 16
+	tbl := NewTable(window)
+	const n = 200
+	for seq := uint64(1); seq <= n; seq++ {
+		tbl.Record(7, seq, []byte(fmt.Sprintf("v%d", seq)))
+	}
+	// The most recent half-window must always be retained.
+	for seq := uint64(n - window/2 + 1); seq <= n; seq++ {
+		if _, dup := tbl.Lookup(7, seq); !dup {
+			t.Fatalf("recent seq %d evicted", seq)
+		}
+	}
+	// Ancient entries must be gone (bounded memory).
+	if _, dup := tbl.Lookup(7, 1); dup {
+		t.Fatal("ancient entry retained")
+	}
+}
+
+func TestSparseSequences(t *testing.T) {
+	tbl := NewTable(8)
+	// A client that jumps its sequence space must not pin memory or
+	// break retention of the newest entries.
+	for i := uint64(0); i < 50; i++ {
+		tbl.Record(3, i*1_000_000, []byte("x"))
+	}
+	if _, dup := tbl.Lookup(3, 49*1_000_000); !dup {
+		t.Fatal("most recent sparse entry evicted")
+	}
+}
+
+func TestTinyWindowNormalised(t *testing.T) {
+	tbl := NewTable(0)
+	tbl.Record(1, 1, []byte("a"))
+	tbl.Record(1, 2, []byte("b"))
+	if _, dup := tbl.Lookup(1, 2); !dup {
+		t.Fatal("latest entry must be retained even with tiny window")
+	}
+}
+
+func TestManyClients(t *testing.T) {
+	tbl := NewTable(4)
+	for c := uint64(0); c < 100; c++ {
+		tbl.Record(c, 1, []byte{byte(c)})
+	}
+	for c := uint64(0); c < 100; c++ {
+		out, dup := tbl.Lookup(c, 1)
+		if !dup || out[0] != byte(c) {
+			t.Fatalf("client %d: %v %v", c, out, dup)
+		}
+	}
+}

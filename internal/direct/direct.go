@@ -1,0 +1,180 @@
+// Package direct implements the client side of the non-replicated
+// baselines (no-rep and the lock-based store): requests go straight to
+// a single server endpoint, with the same request/response wire format
+// and retransmission discipline as the replicated client proxies.
+package direct
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// ErrClosed is returned for calls issued against or pending on a
+// closed client.
+var ErrClosed = errors.New("direct: client closed")
+
+// ClientConfig configures a direct client.
+type ClientConfig struct {
+	// ID must be unique among clients of the same server.
+	ID uint64
+	// Target is the server endpoint requests are sent to (for the
+	// lock-based store, the per-thread endpoint this client sticks to).
+	Target transport.Addr
+	// Transport carries traffic.
+	Transport transport.Transport
+	// ReplyAddr is the response endpoint. Defaults to "direct/<ID>".
+	ReplyAddr transport.Addr
+	// RetryInterval is the retransmission period. Default 3s.
+	RetryInterval time.Duration
+}
+
+// Client is a direct (unreplicated) client.
+type Client struct {
+	cfg ClientConfig
+	ep  transport.Endpoint
+
+	mu      sync.Mutex
+	seq     uint64
+	pending map[uint64]*Call
+	closed  bool
+
+	done chan struct{}
+}
+
+// Call is one in-flight invocation.
+type Call struct {
+	c      *Client
+	seq    uint64
+	frame  []byte
+	respCh chan []byte
+}
+
+// NewClient starts a direct client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Target == "" || cfg.Transport == nil {
+		return nil, errors.New("direct: client needs Target and Transport")
+	}
+	if cfg.ReplyAddr == "" {
+		cfg.ReplyAddr = transport.Addr(fmt.Sprintf("direct/%d", cfg.ID))
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 3 * time.Second
+	}
+	ep, err := cfg.Transport.Listen(cfg.ReplyAddr)
+	if err != nil {
+		return nil, fmt.Errorf("direct: listen: %w", err)
+	}
+	c := &Client{
+		cfg:     cfg,
+		ep:      ep,
+		pending: make(map[uint64]*Call),
+		done:    make(chan struct{}),
+	}
+	go c.demux()
+	return c, nil
+}
+
+// Close stops the client and fails pending calls.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	pending := c.pending
+	c.pending = make(map[uint64]*Call)
+	c.mu.Unlock()
+
+	err := c.ep.Close()
+	for _, call := range pending {
+		close(call.respCh)
+	}
+	<-c.done
+	return err
+}
+
+// Submit sends one request.
+func (c *Client) Submit(cmd command.ID, input []byte) (*Call, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.seq++
+	seq := c.seq
+	call := &Call{
+		c:      c,
+		seq:    seq,
+		respCh: make(chan []byte, 1),
+	}
+	call.frame = command.AppendRequest(nil, &command.Request{
+		Client: c.cfg.ID,
+		Seq:    seq,
+		Cmd:    cmd,
+		Input:  input,
+		Reply:  c.cfg.ReplyAddr,
+	})
+	c.pending[seq] = call
+	c.mu.Unlock()
+
+	_ = c.cfg.Transport.Send(c.cfg.Target, call.frame)
+	return call, nil
+}
+
+// Invoke sends a request and waits for the response.
+func (c *Client) Invoke(cmd command.ID, input []byte) ([]byte, error) {
+	call, err := c.Submit(cmd, input)
+	if err != nil {
+		return nil, err
+	}
+	return call.Wait()
+}
+
+// Wait blocks for the response, retransmitting periodically.
+func (call *Call) Wait() ([]byte, error) {
+	timer := time.NewTimer(call.c.cfg.RetryInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case output, ok := <-call.respCh:
+			if !ok {
+				return nil, ErrClosed
+			}
+			call.c.forget(call.seq)
+			return output, nil
+		case <-timer.C:
+			_ = call.c.cfg.Transport.Send(call.c.cfg.Target, call.frame)
+			timer.Reset(call.c.cfg.RetryInterval)
+		}
+	}
+}
+
+func (c *Client) forget(seq uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.mu.Unlock()
+}
+
+func (c *Client) demux() {
+	defer close(c.done)
+	for frame := range c.ep.Recv() {
+		resp, err := command.DecodeResponse(frame)
+		if err != nil || resp.Client != c.cfg.ID {
+			continue
+		}
+		c.mu.Lock()
+		if call, ok := c.pending[resp.Seq]; ok {
+			select {
+			case call.respCh <- resp.Output:
+			default:
+			}
+		}
+		c.mu.Unlock()
+	}
+}

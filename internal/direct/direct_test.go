@@ -1,0 +1,118 @@
+package direct
+
+import (
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// echoServer answers every request with its input.
+func echoServer(t *testing.T, net *transport.MemNetwork, addr transport.Addr) {
+	t.Helper()
+	ep, err := net.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for frame := range ep.Recv() {
+			req, _, err := command.DecodeRequest(frame)
+			if err != nil {
+				continue
+			}
+			resp := command.AppendResponse(nil, &command.Response{
+				Client: req.Client, Seq: req.Seq, Output: req.Input,
+			})
+			_ = net.Send(req.Reply, resp)
+		}
+	}()
+	t.Cleanup(func() { _ = ep.Close(); <-done })
+}
+
+func TestInvokeEcho(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	echoServer(t, net, "srv")
+	c, err := NewClient(ClientConfig{ID: 1, Target: "srv", Transport: net})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	out, err := c.Invoke(9, []byte("ping"))
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if string(out) != "ping" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRetransmissionRecoversLoss(t *testing.T) {
+	net := transport.NewMemNetwork(5)
+	defer net.Close()
+	echoServer(t, net, "srv")
+	c, err := NewClient(ClientConfig{
+		ID: 2, Target: "srv", Transport: net,
+		RetryInterval: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	defer c.Close()
+	// Drop the first transmissions, then heal.
+	net.SetFault("", "srv", transport.Fault{Partitioned: true})
+	call, err := c.Submit(1, []byte("retry me"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	net.SetFault("", "srv", transport.Fault{})
+	out, err := call.Wait()
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if string(out) != "retry me" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCloseFailsPending(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	// No server: the call can never complete.
+	c, err := NewClient(ClientConfig{ID: 3, Target: "void", Transport: net})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	call, err := c.Submit(1, []byte("x"))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := call.Wait()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = c.Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Fatalf("Wait err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Wait not unblocked by Close")
+	}
+	if _, err := c.Submit(2, nil); err != ErrClosed {
+		t.Fatalf("Submit after close err = %v", err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

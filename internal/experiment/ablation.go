@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/workload"
+)
+
+// AblationSetup extends KVSetup with the protocol knobs the ablation
+// benchmarks sweep (DESIGN.md §7).
+type AblationSetup struct {
+	KVSetup
+	// MergeWeight overrides the deterministic merge weight / skip slot
+	// rate.
+	MergeWeight int
+	// SkipInterval overrides the skip padding period.
+	SkipInterval time.Duration
+	// BatchMaxBytes overrides the consensus batch limit.
+	BatchMaxBytes int
+	// CoarseCG swaps the keyed kvstore C-Dep for the paper's coarse
+	// variant (§IV-C): every state-modifying command goes to all
+	// groups, reads to a random group.
+	CoarseCG bool
+}
+
+// KVAblationSetup builds a default ablation setup at this scale.
+func (s Scale) KVAblationSetup(t Technique, threads int) AblationSetup {
+	setup := s.kvSetup(t, threads)
+	setup.Gen = workload.KVReadUpdate
+	return AblationSetup{KVSetup: setup}
+}
+
+// coarseKVSpec is the paper's first C-G example transplanted to the
+// key-value store: inserts, deletes and updates depend on everything
+// regardless of keys; reads are independent (random group).
+func coarseKVSpec() cdep.Spec {
+	spec := cdep.Spec{
+		Commands: []cdep.Command{
+			{ID: kvstore.CmdInsert, Name: "insert", Key: kvstore.KeyOf},
+			{ID: kvstore.CmdDelete, Name: "delete", Key: kvstore.KeyOf},
+			{ID: kvstore.CmdRead, Name: "read", Key: kvstore.KeyOf},
+			{ID: kvstore.CmdUpdate, Name: "update", Key: kvstore.KeyOf},
+		},
+	}
+	writers := []command.ID{kvstore.CmdInsert, kvstore.CmdDelete, kvstore.CmdUpdate}
+	all := append(append([]command.ID{}, writers...), kvstore.CmdRead)
+	for _, w := range writers {
+		for _, other := range all {
+			spec.Deps = append(spec.Deps, cdep.Dep{A: w, B: other})
+		}
+	}
+	return spec
+}
+
+// RunKVAblation measures one ablation point (replicated modes only).
+func RunKVAblation(setup AblationSetup) (*bench.Result, error) {
+	setup.fillDefaults()
+	mode := psmr.ModePSMR
+	switch setup.Technique {
+	case PSMR:
+	case SPSMR:
+		mode = psmr.ModeSPSMR
+	case SMR:
+		mode = psmr.ModeSMR
+	default:
+		return nil, fmt.Errorf("ablation supports replicated modes, got %v", setup.Technique)
+	}
+	spec := kvstore.Spec()
+	if setup.CoarseCG {
+		spec = coarseKVSpec()
+	}
+	cpu := bench.NewCPUMeter()
+	cluster, err := psmr.StartCluster(psmr.Config{
+		Mode:     mode,
+		Workers:  setup.Threads,
+		Replicas: 2,
+		NewService: func() command.Service {
+			st := kvstore.New()
+			st.Preload(setup.Keys)
+			return st
+		},
+		Spec:          spec,
+		MergeWeight:   setup.MergeWeight,
+		SkipInterval:  setup.SkipInterval,
+		BatchMaxBytes: setup.BatchMaxBytes,
+		CPU:           cpu,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("start ablation cluster: %w", err)
+	}
+	defer cluster.Close()
+
+	invokers := make([]workload.Invoker, 0, setup.Clients)
+	for i := 0; i < setup.Clients; i++ {
+		c, err := cluster.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		invokers = append(invokers, c)
+	}
+	ops, elapsed, hist := workload.Run(workload.RunnerConfig{
+		Clients:        invokers,
+		Window:         setup.Window,
+		Gen:            setup.Gen(setup.KeyGen),
+		Duration:       setup.Duration,
+		Warmup:         setup.Warmup,
+		Seed:           3,
+		OnMeasureStart: cpu.Reset,
+	})
+	byRole, _ := cpu.Usage()
+	return &bench.Result{
+		Technique:  setup.Technique.String(),
+		Threads:    setup.Threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Latency:    hist,
+		CPUPercent: serverCPU(byRole, 2),
+		CPUByRole:  byRole,
+	}, nil
+}

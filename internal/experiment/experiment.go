@@ -1,0 +1,438 @@
+// Package experiment assembles the deployments and workloads of the
+// paper's evaluation (§VII): one function per figure, shared between
+// the testing.B benchmarks (bench_test.go) and the full-scale harness
+// (cmd/psmr-bench). Every technique runs on its own in-process network
+// with its own CPU meter; the harness reports throughput in Kcps, mean
+// latency, a latency CDF and per-role CPU usage — the four panels the
+// paper plots.
+package experiment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/direct"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/lockstore"
+	"github.com/psmr/psmr/internal/netfs"
+	"github.com/psmr/psmr/internal/norep"
+	"github.com/psmr/psmr/internal/transport"
+	"github.com/psmr/psmr/internal/workload"
+)
+
+// Technique identifies one of the compared systems (paper §VI-B).
+type Technique int
+
+// The five techniques of the key-value store comparison.
+const (
+	PSMR Technique = iota + 1
+	SPSMR
+	SMR
+	NoRep
+	BDB // the lock-based store baseline
+)
+
+func (t Technique) String() string {
+	switch t {
+	case PSMR:
+		return "P-SMR"
+	case SPSMR:
+		return "sP-SMR"
+	case SMR:
+		return "SMR"
+	case NoRep:
+		return "no-rep"
+	case BDB:
+		return "BDB"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// KVSetup parameterises one key-value store measurement.
+type KVSetup struct {
+	Technique Technique
+	// Threads is the worker/thread count (the paper's x-axis in
+	// Figures 5 and 7; scheduler excluded for sP-SMR/no-rep).
+	Threads int
+	// Keys preloads the database (the paper uses 10M).
+	Keys int
+	// Clients and Window form the closed loop (the paper's window is 50).
+	Clients int
+	Window  int
+	// Gen builds the per-setup operation generator from the preloaded
+	// key space.
+	Gen func(keys workload.KeyGen) workload.Generator
+	// KeyGen overrides the default uniform key selection.
+	KeyGen workload.KeyGen
+	// Duration/Warmup control the measurement interval.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Placement optionally pins hot keys to groups (P-SMR C-G hint).
+	Placement map[uint64]int
+}
+
+func (s *KVSetup) fillDefaults() {
+	if s.Threads <= 0 {
+		s.Threads = 1
+	}
+	if s.Keys <= 0 {
+		s.Keys = 100_000
+	}
+	if s.Clients <= 0 {
+		s.Clients = 6
+	}
+	if s.Window <= 0 {
+		s.Window = 50
+	}
+	if s.Duration <= 0 {
+		s.Duration = 2 * time.Second
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 300 * time.Millisecond
+	}
+	if s.KeyGen == nil {
+		s.KeyGen = workload.Uniform{N: uint64(s.Keys)}
+	}
+	if s.Gen == nil {
+		s.Gen = workload.KVReads
+	}
+}
+
+// RunKV measures one technique under one key-value workload.
+func RunKV(setup KVSetup) (*bench.Result, error) {
+	setup.fillDefaults()
+	cpu := bench.NewCPUMeter()
+	newStore := func() command.Service {
+		st := kvstore.New()
+		st.Preload(setup.Keys)
+		return st
+	}
+
+	var (
+		invokers []workload.Invoker
+		servers  int
+		cleanup  func()
+	)
+	switch setup.Technique {
+	case PSMR, SPSMR, SMR:
+		mode := psmr.ModePSMR
+		switch setup.Technique {
+		case SPSMR:
+			mode = psmr.ModeSPSMR
+		case SMR:
+			mode = psmr.ModeSMR
+		}
+		cluster, err := psmr.StartCluster(psmr.Config{
+			Mode:       mode,
+			Workers:    setup.Threads,
+			Replicas:   2,
+			NewService: newStore,
+			Spec:       kvstore.Spec(),
+			Placement:  setup.Placement,
+			CPU:        cpu,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("start %v cluster: %w", setup.Technique, err)
+		}
+		cleanup = func() { _ = cluster.Close() }
+		servers = 2
+		for i := 0; i < setup.Clients; i++ {
+			c, err := cluster.NewClient()
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			invokers = append(invokers, c)
+		}
+	case NoRep:
+		net := transport.NewMemNetwork(1)
+		server, err := norep.StartServer(norep.ServerConfig{
+			Addr:      "norep/server",
+			Workers:   setup.Threads,
+			Service:   newStore(),
+			Spec:      kvstore.Spec(),
+			Transport: net,
+			CPU:       cpu,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("start no-rep: %w", err)
+		}
+		cleanup = func() { _ = server.Close(); _ = net.Close() }
+		servers = 1
+		for i := 0; i < setup.Clients; i++ {
+			c, err := direct.NewClient(direct.ClientConfig{
+				ID:        uint64(i + 1),
+				Target:    "norep/server",
+				Transport: net,
+			})
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			invokers = append(invokers, c)
+		}
+	case BDB:
+		net := transport.NewMemNetwork(1)
+		server, err := lockstore.StartServer(lockstore.ServerConfig{
+			Threads:   setup.Threads,
+			Service:   newStore(),
+			Spec:      kvstore.Spec(),
+			Transport: net,
+			CPU:       cpu,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("start lockstore: %w", err)
+		}
+		cleanup = func() { _ = server.Close(); _ = net.Close() }
+		servers = 1
+		for i := 0; i < setup.Clients; i++ {
+			// Clients stick to one server thread, round-robin.
+			c, err := direct.NewClient(direct.ClientConfig{
+				ID:        uint64(i + 1),
+				Target:    lockstore.ThreadAddr("lockstore", i%setup.Threads),
+				Transport: net,
+			})
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			invokers = append(invokers, c)
+		}
+	default:
+		return nil, fmt.Errorf("unknown technique %v", setup.Technique)
+	}
+	defer cleanup()
+
+	ops, elapsed, hist := workload.Run(workload.RunnerConfig{
+		Clients:        invokers,
+		Window:         setup.Window,
+		Gen:            setup.Gen(setup.KeyGen),
+		Duration:       setup.Duration,
+		Warmup:         setup.Warmup,
+		Seed:           7,
+		OnMeasureStart: cpu.Reset,
+	})
+	byRole, _ := cpu.Usage()
+	return &bench.Result{
+		Technique:  setup.Technique.String(),
+		Threads:    setup.Threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Latency:    hist,
+		CPUPercent: serverCPU(byRole, servers),
+		CPUByRole:  byRole,
+	}, nil
+}
+
+// serverCPU aggregates the roles running on a server node (the paper's
+// CPU panels measure the servers): execution threads, scheduler, and
+// delivery, averaged per server.
+func serverCPU(byRole map[string]float64, servers int) float64 {
+	if servers <= 0 {
+		servers = 1
+	}
+	total := byRole["worker"] + byRole["scheduler"] + byRole["learner"]
+	return total / float64(servers)
+}
+
+// NetFSSetup parameterises one NetFS measurement (paper §VII-H).
+type NetFSSetup struct {
+	Technique Technique // PSMR, SPSMR or SMR
+	// Threads is the worker count; the paper uses 8 path ranges.
+	Threads int
+	// Files is the number of preloaded files, spread over directories.
+	Files int
+	// FileSize is each file's initial size in bytes.
+	FileSize int
+	// Write selects the write-only experiment (reads otherwise).
+	Write bool
+	// IOSize is the bytes per read/write (paper: 1024).
+	IOSize int
+	// Clients and Window form the closed loop.
+	Clients  int
+	Window   int
+	Duration time.Duration
+	Warmup   time.Duration
+}
+
+func (s *NetFSSetup) fillDefaults() {
+	if s.Threads <= 0 {
+		s.Threads = 8
+	}
+	if s.Files <= 0 {
+		s.Files = 512
+	}
+	if s.FileSize <= 0 {
+		s.FileSize = 64 * 1024
+	}
+	if s.IOSize <= 0 {
+		s.IOSize = 1024
+	}
+	if s.Clients <= 0 {
+		s.Clients = 6
+	}
+	if s.Window <= 0 {
+		s.Window = 50
+	}
+	if s.Duration <= 0 {
+		s.Duration = 2 * time.Second
+	}
+	if s.Warmup <= 0 {
+		s.Warmup = 300 * time.Millisecond
+	}
+}
+
+// netfsPath returns the canonical path of preloaded file i.
+func netfsPath(i int) string {
+	return fmt.Sprintf("/data%d/file%d", i%8, i)
+}
+
+// RunNetFS measures one technique under the NetFS read or write
+// workload.
+func RunNetFS(setup NetFSSetup) (*bench.Result, error) {
+	setup.fillDefaults()
+	cpu := bench.NewCPUMeter()
+
+	const t0 = int64(1_700_000_000_000_000_000)
+	newService := func() command.Service {
+		svc := netfs.NewService()
+		fs := svc.FS()
+		for d := 0; d < 8; d++ {
+			fs.Mkdir(fmt.Sprintf("/data%d", d), 0o755, t0)
+		}
+		content := make([]byte, setup.FileSize)
+		for i := range content {
+			content[i] = byte(i * 31)
+		}
+		for i := 0; i < setup.Files; i++ {
+			path := netfsPath(i)
+			fd, _ := fs.Create(path, 0o644, t0)
+			fs.Write(fd, 0, content, t0)
+			fs.Release(fd)
+		}
+		return svc
+	}
+
+	mode := psmr.ModePSMR
+	switch setup.Technique {
+	case SPSMR:
+		mode = psmr.ModeSPSMR
+	case SMR:
+		mode = psmr.ModeSMR
+	case PSMR:
+	default:
+		return nil, fmt.Errorf("netfs experiment supports P-SMR/sP-SMR/SMR, got %v", setup.Technique)
+	}
+	threads := setup.Threads
+	if mode == psmr.ModeSMR {
+		threads = 1
+	}
+	cluster, err := psmr.StartCluster(psmr.Config{
+		Mode:       mode,
+		Workers:    threads,
+		Replicas:   2,
+		NewService: newService,
+		Spec:       netfs.Spec(),
+		CPU:        cpu,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("start %v netfs cluster: %w", setup.Technique, err)
+	}
+	defer cluster.Close()
+
+	// Each client opens every 16th file through the replicated path so
+	// all replicas agree on the fd table, then reads/writes at random
+	// offsets through those fds.
+	var clients []*clientFilesAlias
+	for i := 0; i < setup.Clients; i++ {
+		inv, err := cluster.NewClient()
+		if err != nil {
+			return nil, err
+		}
+		cf := &clientFilesAlias{fs: netfs.NewClient(inv)}
+		for f := i; f < setup.Files; f += 16 {
+			fd, err := cf.fs.Open(netfsPath(f))
+			if err != nil {
+				return nil, fmt.Errorf("open %s: %w", netfsPath(f), err)
+			}
+			cf.fds = append(cf.fds, fd)
+		}
+		clients = append(clients, cf)
+	}
+
+	invokers := make([]workload.Invoker, len(clients))
+	for i, cf := range clients {
+		invokers[i] = &netfsInvoker{setup: &setup, files: cf}
+	}
+	ops, elapsed, hist := workload.Run(workload.RunnerConfig{
+		Clients:        invokers,
+		Window:         setup.Window,
+		Gen:            netfsOpGen{},
+		Duration:       setup.Duration,
+		Warmup:         setup.Warmup,
+		Seed:           13,
+		OnMeasureStart: cpu.Reset,
+	})
+	byRole, _ := cpu.Usage()
+	return &bench.Result{
+		Technique:  setup.Technique.String(),
+		Threads:    threads,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Latency:    hist,
+		CPUPercent: serverCPU(byRole, 2),
+		CPUByRole:  byRole,
+	}, nil
+}
+
+// netfsOpGen produces an 8-byte random selector per op; the invoker
+// turns it into one read or write call (the runner's Generator/Invoker
+// split is keyed to the KV wire, while NetFS calls go through the
+// typed client).
+type netfsOpGen struct{}
+
+func (netfsOpGen) Next(rng *rand.Rand) workload.Op {
+	sel := make([]byte, 8)
+	binary.LittleEndian.PutUint64(sel, rng.Uint64())
+	return workload.Op{Input: sel}
+}
+
+// netfsInvoker adapts one NetFS client to the workload runner: each
+// Invoke performs one IOSize-byte read or write on a random open fd at
+// a random offset. The fd set is frozen before the workload starts, so
+// the concurrent Read/Write calls only ever read the client's fd→path
+// map — safe without locking.
+type netfsInvoker struct {
+	setup *NetFSSetup
+	files *clientFilesAlias
+}
+
+type clientFilesAlias = struct {
+	fs  *netfs.Client
+	fds []uint64
+}
+
+func (n *netfsInvoker) Invoke(_ command.ID, input []byte) ([]byte, error) {
+	sel := uint64(0)
+	if len(input) >= 8 {
+		sel = binary.LittleEndian.Uint64(input)
+	}
+	fd := n.files.fds[sel%uint64(len(n.files.fds))]
+	offset := sel % uint64(n.setup.FileSize-n.setup.IOSize)
+	if n.setup.Write {
+		buf := make([]byte, n.setup.IOSize)
+		for i := range buf {
+			buf[i] = byte(int(sel) + i)
+		}
+		_, err := n.files.fs.Write(fd, offset, buf, 1_700_000_000_000_000_001)
+		return nil, err
+	}
+	_, err := n.files.fs.Read(fd, offset, uint32(n.setup.IOSize))
+	return nil, err
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/workload"
+)
+
+// tinyScale keeps smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Keys:     2_000,
+		Clients:  2,
+		Window:   8,
+		Duration: 250 * time.Millisecond,
+		Warmup:   100 * time.Millisecond,
+	}
+}
+
+func TestRunKVAllTechniques(t *testing.T) {
+	for _, tech := range []Technique{PSMR, SPSMR, SMR, NoRep, BDB} {
+		t.Run(tech.String(), func(t *testing.T) {
+			setup := tinyScale().kvSetup(tech, 2)
+			res, err := RunKV(setup)
+			if err != nil {
+				t.Fatalf("RunKV: %v", err)
+			}
+			if res.Ops <= 0 {
+				t.Fatal("no operations measured")
+			}
+			if res.Latency.Count() != res.Ops {
+				t.Fatalf("latency count %d != ops %d", res.Latency.Count(), res.Ops)
+			}
+			if res.Technique != tech.String() {
+				t.Fatalf("technique = %q", res.Technique)
+			}
+		})
+	}
+}
+
+func TestRunKVDependentWorkload(t *testing.T) {
+	setup := tinyScale().kvSetup(PSMR, 2)
+	setup.Gen = workload.KVInsertsDeletes
+	res, err := RunKV(setup)
+	if err != nil {
+		t.Fatalf("RunKV: %v", err)
+	}
+	if res.Ops <= 0 {
+		t.Fatal("no operations measured")
+	}
+}
+
+func TestRunNetFSReadAndWrite(t *testing.T) {
+	for _, write := range []bool{false, true} {
+		setup := NetFSSetup{
+			Technique: PSMR,
+			Threads:   4,
+			Files:     32,
+			FileSize:  8 * 1024,
+			Write:     write,
+			IOSize:    1024,
+			Clients:   2,
+			Window:    8,
+			Duration:  250 * time.Millisecond,
+			Warmup:    100 * time.Millisecond,
+		}
+		res, err := RunNetFS(setup)
+		if err != nil {
+			t.Fatalf("RunNetFS(write=%v): %v", write, err)
+		}
+		if res.Ops <= 0 {
+			t.Fatalf("no operations measured (write=%v)", write)
+		}
+	}
+}
+
+func TestRunKVAblationCoarse(t *testing.T) {
+	setup := tinyScale().KVAblationSetup(PSMR, 2)
+	setup.CoarseCG = true
+	res, err := RunKVAblation(setup)
+	if err != nil {
+		t.Fatalf("RunKVAblation: %v", err)
+	}
+	if res.Ops <= 0 {
+		t.Fatal("no operations measured")
+	}
+}
+
+func TestUnknownTechniqueRejected(t *testing.T) {
+	setup := tinyScale().kvSetup(Technique(99), 1)
+	if _, err := RunKV(setup); err == nil {
+		t.Fatal("unknown technique accepted")
+	}
+	nf := NetFSSetup{Technique: BDB}
+	if _, err := RunNetFS(nf); err == nil {
+		t.Fatal("netfs with BDB accepted")
+	}
+}
+
+func TestPrintTable1(t *testing.T) {
+	var sb strings.Builder
+	PrintTable1(&sb)
+	out := sb.String()
+	for _, want := range []string{"SMR", "sP-SMR", "P-SMR", "sequential", "parallel"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigSetupsWellFormed(t *testing.T) {
+	scale := tinyScale()
+	if got := len(Fig3Setups(scale)); got != 5 {
+		t.Fatalf("Fig3Setups = %d entries", got)
+	}
+	if got := len(Fig4Setups(scale)); got != 5 {
+		t.Fatalf("Fig4Setups = %d entries", got)
+	}
+	if got := len(Fig5Points()); got != 40 {
+		t.Fatalf("Fig5Points = %d", got)
+	}
+	if got := len(Fig6Percentages()); got != 5 {
+		t.Fatalf("Fig6Percentages = %d", got)
+	}
+}

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/workload"
+)
+
+// Scale globally sizes the experiments: database keys, client count,
+// and measurement duration. The benchmarks use a small scale; the
+// cmd/psmr-bench harness defaults to a larger one.
+type Scale struct {
+	Keys     int
+	Clients  int
+	Window   int
+	Duration time.Duration
+	Warmup   time.Duration
+}
+
+// DefaultScale is the harness's full-scale configuration.
+func DefaultScale() Scale {
+	return Scale{
+		Keys:     1_000_000,
+		Clients:  8,
+		Window:   50,
+		Duration: 4 * time.Second,
+		Warmup:   500 * time.Millisecond,
+	}
+}
+
+// QuickScale keeps runs short (benchmarks, smoke tests) while still
+// offering enough outstanding requests (clients × window) to reach
+// each technique's peak throughput, which is what the paper reports.
+func QuickScale() Scale {
+	return Scale{
+		Keys:     50_000,
+		Clients:  12,
+		Window:   50,
+		Duration: 1500 * time.Millisecond,
+		Warmup:   300 * time.Millisecond,
+	}
+}
+
+func (s Scale) kvSetup(t Technique, threads int) KVSetup {
+	return KVSetup{
+		Technique: t,
+		Threads:   threads,
+		Keys:      s.Keys,
+		Clients:   s.Clients,
+		Window:    s.Window,
+		Duration:  s.Duration,
+		Warmup:    s.Warmup,
+	}
+}
+
+// Fig3Setups returns the independent-command comparison (paper
+// Figure 3): read-only workload at each technique's peak thread count
+// (§VII-C: 8 for P-SMR, 2 for sP-SMR and no-rep, 1 for SMR, 6 for BDB).
+func Fig3Setups(scale Scale) []KVSetup {
+	mk := func(t Technique, threads int) KVSetup {
+		setup := scale.kvSetup(t, threads)
+		setup.Gen = workload.KVReads
+		return setup
+	}
+	return []KVSetup{
+		mk(NoRep, 2),
+		mk(SMR, 1),
+		mk(SPSMR, 2),
+		mk(PSMR, 8),
+		mk(BDB, 6),
+	}
+}
+
+// Fig4Setups returns the dependent-command comparison (paper
+// Figure 4): insert/delete-only workload, 1 thread everywhere except
+// BDB's 4 (§VII-D).
+func Fig4Setups(scale Scale) []KVSetup {
+	mk := func(t Technique, threads int) KVSetup {
+		setup := scale.kvSetup(t, threads)
+		setup.Gen = workload.KVInsertsDeletes
+		return setup
+	}
+	return []KVSetup{
+		mk(NoRep, 1),
+		mk(SMR, 1),
+		mk(SPSMR, 1),
+		mk(PSMR, 1),
+		mk(BDB, 4),
+	}
+}
+
+// Fig5Point is one point of the scalability sweep.
+type Fig5Point struct {
+	Technique Technique
+	Threads   int
+	Dependent bool
+}
+
+// Fig5Points returns the scalability sweep (paper Figure 5): threads
+// 1..8 for each multithreaded technique, independent and dependent
+// workloads.
+func Fig5Points() []Fig5Point {
+	threads := []int{1, 2, 4, 6, 8}
+	techniques := []Technique{NoRep, SPSMR, PSMR, BDB}
+	var points []Fig5Point
+	for _, dep := range []bool{false, true} {
+		for _, tech := range techniques {
+			for _, th := range threads {
+				points = append(points, Fig5Point{Technique: tech, Threads: th, Dependent: dep})
+			}
+		}
+	}
+	return points
+}
+
+// RunFig5Point measures one scalability point.
+func RunFig5Point(scale Scale, p Fig5Point) (*bench.Result, error) {
+	setup := scale.kvSetup(p.Technique, p.Threads)
+	if p.Dependent {
+		setup.Gen = workload.KVInsertsDeletes
+	} else {
+		setup.Gen = workload.KVReads
+	}
+	return RunKV(setup)
+}
+
+// Fig6Percentages is the paper's dependent-command mix sweep (log
+// scale x-axis of Figure 6).
+func Fig6Percentages() []float64 {
+	return []float64{0.001, 0.01, 0.1, 1, 10}
+}
+
+// RunFig6Point measures P-SMR (8 workers) or SMR under a mixed
+// workload with the given percentage of dependent commands.
+func RunFig6Point(scale Scale, t Technique, dependentPct float64) (*bench.Result, error) {
+	threads := 1
+	if t == PSMR {
+		threads = 8
+	}
+	setup := scale.kvSetup(t, threads)
+	setup.Gen = func(keys workload.KeyGen) workload.Generator {
+		return workload.KVMixed(keys, dependentPct)
+	}
+	res, err := RunKV(setup)
+	if err != nil {
+		return nil, err
+	}
+	res.Extra = map[string]float64{"dependent_pct": dependentPct}
+	return res, nil
+}
+
+// RunFig7Point measures the skewed workload (paper Figure 7): 50%
+// reads / 50% updates with uniform or Zipf(1) key selection, P-SMR vs
+// sP-SMR across thread counts.
+func RunFig7Point(scale Scale, t Technique, threads int, zipfian bool) (*bench.Result, error) {
+	setup := scale.kvSetup(t, threads)
+	if zipfian {
+		setup.KeyGen = workload.NewZipf(1.0, uint64(setup.Keys))
+	}
+	setup.Gen = workload.KVReadUpdate
+	res, err := RunKV(setup)
+	if err != nil {
+		return nil, err
+	}
+	dist := "uniform"
+	if zipfian {
+		dist = "zipf"
+	}
+	if res.Extra == nil {
+		res.Extra = map[string]float64{}
+	}
+	res.Technique = fmt.Sprintf("%s/%s", t, dist)
+	return res, nil
+}
+
+// RunFig8Point measures NetFS reads or writes for one technique
+// (paper Figure 8; SMR, sP-SMR and P-SMR with 8 path ranges).
+func RunFig8Point(scale Scale, t Technique, write bool) (*bench.Result, error) {
+	setup := NetFSSetup{
+		Technique: t,
+		Threads:   8,
+		Files:     256,
+		FileSize:  64 * 1024,
+		Write:     write,
+		IOSize:    1024,
+		Clients:   scale.Clients,
+		Window:    scale.Window,
+		Duration:  scale.Duration,
+		Warmup:    scale.Warmup,
+	}
+	return RunNetFS(setup)
+}
+
+// PrintTable1 prints the paper's Table I (delivery/execution
+// parallelism matrix), the structural summary of the three SMR
+// variants.
+func PrintTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table I — degrees of parallelism in state-machine replication")
+	fmt.Fprintf(w, "%-12s %-12s %-12s\n", "command...", "delivery", "execution")
+	fmt.Fprintf(w, "%-12s %-12s %-12s\n", "SMR", "sequential", "sequential")
+	fmt.Fprintf(w, "%-12s %-12s %-12s\n", "sP-SMR", "sequential", "parallel")
+	fmt.Fprintf(w, "%-12s %-12s %-12s\n", "P-SMR", "parallel", "parallel")
+	fmt.Fprintln(w, "SMR runs 1 delivery stream / 1 executor; sP-SMR 1 stream + scheduler")
+	fmt.Fprintln(w, "+ worker pool; P-SMR k+1 streams merged pairwise into k executors.")
+}

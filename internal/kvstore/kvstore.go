@@ -1,0 +1,189 @@
+// Package kvstore implements the paper's key-value store service
+// (§V-A/§VI-B): an in-memory B+-tree of 8-byte integer keys and 8-byte
+// values with insert, delete, read and update commands.
+//
+// The dependency structure follows the paper exactly: inserts and
+// deletes may restructure the tree (splitting and joining cells), so
+// they depend on all commands; an update on key k depends on updates
+// and reads on k (and on inserts and deletes). Reads never conflict
+// with reads.
+package kvstore
+
+import (
+	"encoding/binary"
+
+	"github.com/psmr/psmr/internal/btree"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+)
+
+// Command identifiers of the key-value store service.
+const (
+	CmdInsert command.ID = iota + 1
+	CmdDelete
+	CmdRead
+	CmdUpdate
+)
+
+// Error codes returned in the first output byte.
+const (
+	OK byte = iota
+	ErrNotFound
+)
+
+// Store is the replicated key-value store state machine. It must be
+// driven under the concurrency contract of its Spec: reads/updates on
+// distinct keys may run concurrently, inserts/deletes run exclusively
+// (P-SMR, sP-SMR and the lock-based baseline all guarantee this in
+// their own way).
+type Store struct {
+	tree *btree.Tree
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tree: btree.New(btree.DefaultOrder)}
+}
+
+// Preload fills the store with n sequential keys (0..n-1), each mapped
+// to an 8-byte value, reproducing the paper's initial database of 10
+// million keys (§VI-B).
+func (s *Store) Preload(n int) {
+	for i := 0; i < n; i++ {
+		s.tree.Insert(uint64(i), encodeValue(uint64(i)))
+	}
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return s.tree.Len() }
+
+// Fingerprint folds the whole database into one value (for replica
+// convergence checks in tests). Only call on a quiescent store.
+func (s *Store) Fingerprint() uint64 {
+	var h uint64 = 14695981039346656037 // FNV-64 offset basis
+	s.tree.Ascend(func(k uint64, v []byte) bool {
+		h = fnvMix(h, k)
+		for _, b := range v {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		return true
+	})
+	return h
+}
+
+func fnvMix(h, k uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (k & 0xff)) * 1099511628211
+		k >>= 8
+	}
+	return h
+}
+
+// Execute implements command.Service.
+func (s *Store) Execute(cmd command.ID, input []byte) []byte {
+	switch cmd {
+	case CmdInsert:
+		key, value, ok := decodeKeyValue(input)
+		if !ok {
+			return []byte{ErrNotFound}
+		}
+		s.tree.Insert(key, value)
+		return []byte{OK}
+	case CmdDelete:
+		key, ok := decodeKey(input)
+		if !ok || !s.tree.Delete(key) {
+			return []byte{ErrNotFound}
+		}
+		return []byte{OK}
+	case CmdRead:
+		key, ok := decodeKey(input)
+		if !ok {
+			return []byte{ErrNotFound}
+		}
+		value, found := s.tree.Get(key)
+		if !found {
+			return []byte{ErrNotFound}
+		}
+		out := make([]byte, 1+len(value))
+		out[0] = OK
+		copy(out[1:], value)
+		return out
+	case CmdUpdate:
+		key, value, ok := decodeKeyValue(input)
+		if !ok || !s.tree.Update(key, value) {
+			return []byte{ErrNotFound}
+		}
+		return []byte{OK}
+	default:
+		return []byte{ErrNotFound}
+	}
+}
+
+var _ command.Service = (*Store)(nil)
+
+// Spec returns the service's C-Dep (paper §V-A): "inserts and deletes
+// depend on all commands; an update on key k depends on other updates
+// on k, on reads on k, and on inserts and deletes."
+func Spec() cdep.Spec {
+	return cdep.Spec{
+		Commands: []cdep.Command{
+			{ID: CmdInsert, Name: "insert", Key: KeyOf},
+			{ID: CmdDelete, Name: "delete", Key: KeyOf},
+			{ID: CmdRead, Name: "read", Key: KeyOf},
+			{ID: CmdUpdate, Name: "update", Key: KeyOf},
+		},
+		Deps: []cdep.Dep{
+			{A: CmdInsert, B: CmdInsert}, {A: CmdInsert, B: CmdDelete},
+			{A: CmdInsert, B: CmdRead}, {A: CmdInsert, B: CmdUpdate},
+			{A: CmdDelete, B: CmdDelete}, {A: CmdDelete, B: CmdRead},
+			{A: CmdDelete, B: CmdUpdate},
+			{A: CmdUpdate, B: CmdUpdate, SameKey: true},
+			{A: CmdUpdate, B: CmdRead, SameKey: true},
+		},
+	}
+}
+
+// KeyOf extracts the key from a command input (the cdep.KeyFunc of
+// every kvstore command).
+func KeyOf(input []byte) (uint64, bool) {
+	return decodeKey(input)
+}
+
+// EncodeKey builds the input of a read or delete.
+func EncodeKey(key uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, key)
+}
+
+// EncodeKeyValue builds the input of an insert or update.
+func EncodeKeyValue(key uint64, value []byte) []byte {
+	buf := make([]byte, 8, 8+len(value))
+	binary.LittleEndian.PutUint64(buf, key)
+	return append(buf, value...)
+}
+
+// DecodeReadOutput splits a read response into its error code and
+// value.
+func DecodeReadOutput(out []byte) (value []byte, code byte) {
+	if len(out) == 0 {
+		return nil, ErrNotFound
+	}
+	return out[1:], out[0]
+}
+
+func decodeKey(input []byte) (uint64, bool) {
+	if len(input) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(input[:8]), true
+}
+
+func decodeKeyValue(input []byte) (uint64, []byte, bool) {
+	if len(input) < 8 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint64(input[:8]), input[8:], true
+}
+
+func encodeValue(v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, v)
+}

@@ -1,0 +1,169 @@
+package kvstore
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+)
+
+func TestInsertReadUpdateDelete(t *testing.T) {
+	s := New()
+
+	// Read of a missing key errs.
+	out := s.Execute(CmdRead, EncodeKey(5))
+	if out[0] != ErrNotFound {
+		t.Fatalf("read missing: %v", out)
+	}
+	// Insert then read.
+	out = s.Execute(CmdInsert, EncodeKeyValue(5, []byte("12345678")))
+	if out[0] != OK {
+		t.Fatalf("insert: %v", out)
+	}
+	out = s.Execute(CmdRead, EncodeKey(5))
+	value, code := DecodeReadOutput(out)
+	if code != OK || !bytes.Equal(value, []byte("12345678")) {
+		t.Fatalf("read: %v %q", code, value)
+	}
+	// Update then read.
+	if out := s.Execute(CmdUpdate, EncodeKeyValue(5, []byte("abcdefgh"))); out[0] != OK {
+		t.Fatalf("update: %v", out)
+	}
+	value, _ = DecodeReadOutput(s.Execute(CmdRead, EncodeKey(5)))
+	if !bytes.Equal(value, []byte("abcdefgh")) {
+		t.Fatalf("read after update: %q", value)
+	}
+	// Delete then read.
+	if out := s.Execute(CmdDelete, EncodeKey(5)); out[0] != OK {
+		t.Fatalf("delete: %v", out)
+	}
+	if out := s.Execute(CmdRead, EncodeKey(5)); out[0] != ErrNotFound {
+		t.Fatalf("read after delete: %v", out)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := New()
+	if out := s.Execute(CmdUpdate, EncodeKeyValue(9, []byte("x"))); out[0] != ErrNotFound {
+		t.Fatalf("update missing: %v", out)
+	}
+	if out := s.Execute(CmdDelete, EncodeKey(9)); out[0] != ErrNotFound {
+		t.Fatalf("delete missing: %v", out)
+	}
+	// Truncated inputs.
+	for _, cmd := range []command.ID{CmdInsert, CmdDelete, CmdRead, CmdUpdate} {
+		if out := s.Execute(cmd, []byte{1, 2}); out[0] != ErrNotFound {
+			t.Fatalf("cmd %d short input: %v", cmd, out)
+		}
+	}
+	// Unknown command.
+	if out := s.Execute(99, EncodeKey(1)); out[0] != ErrNotFound {
+		t.Fatalf("unknown cmd: %v", out)
+	}
+}
+
+func TestPreload(t *testing.T) {
+	s := New()
+	s.Preload(1000)
+	if s.Len() != 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	value, code := DecodeReadOutput(s.Execute(CmdRead, EncodeKey(999)))
+	if code != OK || len(value) != 8 {
+		t.Fatalf("preloaded read: %v %v", code, value)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a, b := New(), New()
+	a.Preload(100)
+	b.Preload(100)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical stores differ")
+	}
+	b.Execute(CmdUpdate, EncodeKeyValue(7, []byte("differen")))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("diverged stores match")
+	}
+}
+
+func TestSpecCompiles(t *testing.T) {
+	for _, k := range []int{1, 2, 8} {
+		c, err := cdep.Compile(Spec(), k)
+		if err != nil {
+			t.Fatalf("Compile k=%d: %v", k, err)
+		}
+		if c.Class(CmdInsert) != cdep.Global || c.Class(CmdDelete) != cdep.Global {
+			t.Fatal("insert/delete must be global")
+		}
+		if c.Class(CmdRead) != cdep.Keyed || c.Class(CmdUpdate) != cdep.Keyed {
+			t.Fatal("read/update must be keyed")
+		}
+	}
+}
+
+func TestSpecConflictSemantics(t *testing.T) {
+	c, err := cdep.Compile(Spec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	in5 := EncodeKeyValue(5, []byte("v"))
+	in6 := EncodeKeyValue(6, []byte("v"))
+	if !c.Conflicts(CmdUpdate, in5, CmdUpdate, in5) {
+		t.Fatal("update/update same key must conflict")
+	}
+	if c.Conflicts(CmdUpdate, in5, CmdUpdate, in6) {
+		t.Fatal("update/update different keys must not conflict")
+	}
+	if c.Conflicts(CmdRead, EncodeKey(5), CmdRead, EncodeKey(5)) {
+		t.Fatal("read/read must not conflict")
+	}
+	if !c.Conflicts(CmdInsert, in5, CmdRead, EncodeKey(6)) {
+		t.Fatal("insert must conflict with everything")
+	}
+}
+
+// Sequential random workload against a model map.
+func TestRandomAgainstModel(t *testing.T) {
+	s := New()
+	model := make(map[uint64][]byte)
+	rng := rand.New(rand.NewSource(8))
+	const ops = 30000
+	for i := 0; i < ops; i++ {
+		k := uint64(rng.Intn(500))
+		v := make([]byte, 8)
+		rng.Read(v)
+		switch rng.Intn(4) {
+		case 0:
+			s.Execute(CmdInsert, EncodeKeyValue(k, v))
+			model[k] = v
+		case 1:
+			out := s.Execute(CmdDelete, EncodeKey(k))
+			_, existed := model[k]
+			if (out[0] == OK) != existed {
+				t.Fatalf("op %d: delete(%d) = %v, existed %v", i, k, out[0], existed)
+			}
+			delete(model, k)
+		case 2:
+			out := s.Execute(CmdUpdate, EncodeKeyValue(k, v))
+			_, existed := model[k]
+			if (out[0] == OK) != existed {
+				t.Fatalf("op %d: update(%d) = %v, existed %v", i, k, out[0], existed)
+			}
+			if existed {
+				model[k] = v
+			}
+		case 3:
+			value, code := DecodeReadOutput(s.Execute(CmdRead, EncodeKey(k)))
+			want, existed := model[k]
+			if (code == OK) != existed || (existed && !bytes.Equal(value, want)) {
+				t.Fatalf("op %d: read(%d) = %v/%q, want %v/%q", i, k, code, value, existed, want)
+			}
+		}
+	}
+	if s.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", s.Len(), len(model))
+	}
+}

@@ -1,0 +1,203 @@
+package lockstore
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/direct"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func startStore(t *testing.T, threads int) (*Server, *transport.MemNetwork) {
+	t.Helper()
+	net := transport.NewMemNetwork(1)
+	st := kvstore.New()
+	st.Preload(1000)
+	s, err := StartServer(ServerConfig{
+		Threads:   threads,
+		Service:   st,
+		Spec:      kvstore.Spec(),
+		Transport: net,
+	})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close(); _ = net.Close() })
+	return s, net
+}
+
+func newDirect(t *testing.T, net *transport.MemNetwork, id uint64, thread int) *direct.Client {
+	t.Helper()
+	c, err := direct.NewClient(direct.ClientConfig{
+		ID:        id,
+		Target:    ThreadAddr("lockstore", thread),
+		Transport: net,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestBasicOps(t *testing.T) {
+	_, net := startStore(t, 2)
+	c := newDirect(t, net, 1, 0)
+
+	out, err := c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(5))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, code := kvstore.DecodeReadOutput(out); code != kvstore.OK {
+		t.Fatalf("preloaded read code %d", code)
+	}
+	if out, err = c.Invoke(kvstore.CmdUpdate, kvstore.EncodeKeyValue(5, []byte("newvalue"))); err != nil || out[0] != kvstore.OK {
+		t.Fatalf("update: %v %v", err, out)
+	}
+	out, _ = c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(5))
+	value, _ := kvstore.DecodeReadOutput(out)
+	if string(value) != "newvalue" {
+		t.Fatalf("read after update: %q", value)
+	}
+	if out, err = c.Invoke(kvstore.CmdInsert, kvstore.EncodeKeyValue(5000, []byte("inserted"))); err != nil || out[0] != kvstore.OK {
+		t.Fatalf("insert: %v %v", err, out)
+	}
+	if out, err = c.Invoke(kvstore.CmdDelete, kvstore.EncodeKey(5000)); err != nil || out[0] != kvstore.OK {
+		t.Fatalf("delete: %v %v", err, out)
+	}
+}
+
+// Concurrent mixed workload across all threads: the lock discipline
+// must keep the tree consistent (this is the data-race test; run with
+// -race).
+func TestConcurrentMixedWorkload(t *testing.T) {
+	const threads = 4
+	_, net := startStore(t, threads)
+
+	var wg sync.WaitGroup
+	for th := 0; th < threads; th++ {
+		c := newDirect(t, net, uint64(th+1), th)
+		wg.Add(1)
+		go func(c *direct.Client, th int) {
+			defer wg.Done()
+			const ops = 300
+			for i := 0; i < ops; i++ {
+				key := uint64((th*1000 + i) % 2000)
+				switch i % 5 {
+				case 0:
+					if _, err := c.Invoke(kvstore.CmdInsert, kvstore.EncodeKeyValue(key+10000, []byte("xxxxxxxx"))); err != nil {
+						t.Errorf("insert: %v", err)
+						return
+					}
+				case 1:
+					if _, err := c.Invoke(kvstore.CmdUpdate, kvstore.EncodeKeyValue(key%1000, []byte("yyyyyyyy"))); err != nil {
+						t.Errorf("update: %v", err)
+						return
+					}
+				default:
+					if _, err := c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(key%1000)); err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+				}
+			}
+		}(c, th)
+	}
+	wg.Wait()
+}
+
+func TestDedupPerThread(t *testing.T) {
+	_, net := startStore(t, 2)
+	c := newDirect(t, net, 7, 1)
+	// Updates through the same thread with duplicated submissions: the
+	// direct client retransmits on timeout; here just check a basic
+	// invoke works through thread 1 (dedup behaviour is covered by the
+	// dedup package tests).
+	if _, err := c.Invoke(kvstore.CmdUpdate, kvstore.EncodeKeyValue(1, []byte("zzzzzzzz"))); err != nil {
+		t.Fatalf("update via thread 1: %v", err)
+	}
+}
+
+func TestLockTableSharedAndExclusive(t *testing.T) {
+	lt := newLockTable()
+	lt.acquire(1, lockShared)
+	lt.acquire(1, lockShared) // second shared holder fine
+
+	done := make(chan struct{})
+	go func() {
+		lt.acquire(1, lockExclusive) // blocks until both released
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("exclusive granted while shared held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lt.release(1, lockShared)
+	lt.release(1, lockShared)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("exclusive never granted")
+	}
+	lt.release(1, lockExclusive)
+}
+
+func TestLockTableFIFOFairness(t *testing.T) {
+	lt := newLockTable()
+	lt.acquire(9, lockExclusive)
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lt.acquire(9, lockExclusive)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			lt.release(9, lockExclusive)
+		}(i)
+		time.Sleep(10 * time.Millisecond) // enqueue in index order
+	}
+	lt.release(9, lockExclusive)
+	wg.Wait()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("grant order %v, want FIFO [0 1 2]", order)
+	}
+}
+
+func TestLockTableSharedRunGranted(t *testing.T) {
+	lt := newLockTable()
+	lt.acquire(5, lockExclusive)
+	var granted sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		granted.Add(1)
+		go func() {
+			lt.acquire(5, lockShared)
+			granted.Done()
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	lt.release(5, lockExclusive)
+	done := make(chan struct{})
+	go func() { granted.Wait(); close(done) }()
+	select {
+	case <-done: // all four shared waiters granted together
+	case <-time.After(2 * time.Second):
+		t.Fatal("shared run not granted after exclusive release")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	if _, err := StartServer(ServerConfig{Threads: 0, Service: kvstore.New(), Spec: kvstore.Spec(), Transport: net}); err == nil {
+		t.Fatal("zero threads accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package lockstore
+
+import "sync"
+
+// lockMode is a shared or exclusive request.
+type lockMode int
+
+const (
+	lockShared lockMode = iota + 1
+	lockExclusive
+)
+
+// lockTable models Berkeley DB's lock region: every lock and unlock in
+// the system passes through one shared structure guarded by a single
+// region mutex, with per-lock waiter queues. This central pass — twice
+// per object per operation (acquire and release), for multiple objects
+// per operation (tree, page, record) — is the locking overhead the
+// paper's BDB measurements show.
+type lockTable struct {
+	mu    sync.Mutex
+	locks map[uint64]*lockEntry
+}
+
+type lockEntry struct {
+	sharedHolders int
+	exclusive     bool
+	waiters       []*waiter
+}
+
+type waiter struct {
+	mode  lockMode
+	ready chan struct{}
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{locks: make(map[uint64]*lockEntry)}
+}
+
+// acquire blocks until the lock on id is granted in the given mode.
+// Grants are FIFO with respect to conflicting waiters, like BDB's
+// default conflict resolution.
+func (t *lockTable) acquire(id uint64, mode lockMode) {
+	t.mu.Lock()
+	e := t.locks[id]
+	if e == nil {
+		e = &lockEntry{}
+		t.locks[id] = e
+	}
+	if e.grantable(mode) && len(e.waiters) == 0 {
+		e.grant(mode)
+		t.mu.Unlock()
+		return
+	}
+	w := &waiter{mode: mode, ready: make(chan struct{})}
+	e.waiters = append(e.waiters, w)
+	t.mu.Unlock()
+	<-w.ready
+}
+
+// release drops one holder of id and grants whatever now fits.
+func (t *lockTable) release(id uint64, mode lockMode) {
+	t.mu.Lock()
+	e := t.locks[id]
+	if e == nil {
+		t.mu.Unlock()
+		return
+	}
+	if mode == lockExclusive {
+		e.exclusive = false
+	} else if e.sharedHolders > 0 {
+		e.sharedHolders--
+	}
+	// Grant from the head of the queue: one exclusive waiter, or a run
+	// of shared waiters.
+	for len(e.waiters) > 0 {
+		head := e.waiters[0]
+		if !e.grantable(head.mode) {
+			break
+		}
+		e.grant(head.mode)
+		close(head.ready)
+		e.waiters[0] = nil
+		e.waiters = e.waiters[1:]
+		if head.mode == lockExclusive {
+			break
+		}
+	}
+	if e.sharedHolders == 0 && !e.exclusive && len(e.waiters) == 0 {
+		delete(t.locks, id)
+	}
+	t.mu.Unlock()
+}
+
+func (e *lockEntry) grantable(mode lockMode) bool {
+	if mode == lockShared {
+		return !e.exclusive
+	}
+	return !e.exclusive && e.sharedHolders == 0
+}
+
+func (e *lockEntry) grant(mode lockMode) {
+	if mode == lockShared {
+		e.sharedHolders++
+	} else {
+		e.exclusive = true
+	}
+}

@@ -1,0 +1,283 @@
+// Package lz4 implements the LZ4 block format (compression and
+// decompression) from scratch. The paper's NetFS compresses every
+// request and response with lz4 (§VI-C); reproducing the codec rather
+// than substituting a stdlib format keeps the cost model — fast
+// decompression, slower compression — that the paper uses to explain
+// the latency difference between NetFS reads and writes (§VII-H).
+//
+// Format reference: the LZ4 block specification. Each sequence is a
+// token (literal-length nibble, match-length nibble), extended lengths
+// as 255-runs, literals, a 2-byte little-endian match offset, and the
+// extended match length. Matches are at least 4 bytes; the final
+// sequence is literals only.
+package lz4
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Compression/decompression errors.
+var (
+	// ErrCorrupt reports an invalid compressed block.
+	ErrCorrupt = errors.New("lz4: corrupt block")
+	// ErrTooLarge reports a block whose decompressed size exceeds the
+	// caller's limit.
+	ErrTooLarge = errors.New("lz4: decompressed size exceeds limit")
+)
+
+const (
+	minMatch        = 4
+	maxOffset       = 65535
+	hashLog         = 16
+	hashShift       = 64 - hashLog
+	lastLiterals    = 5  // spec: last 5 bytes are always literals
+	mfLimit         = 12 // spec: no match may start within 12 bytes of the end
+	skipStrengthLog = 6  // acceleration for incompressible data
+)
+
+// CompressBound returns the maximum compressed size of an n-byte input
+// (the spec's worst-case expansion).
+func CompressBound(n int) int {
+	return n + n/255 + 16
+}
+
+// hash4 hashes a 4-byte sequence (read as a little-endian u64 prefix)
+// into the match table.
+func hash4(u uint64) uint32 {
+	return uint32((u * 2654435761) >> hashShift & (1<<hashLog - 1))
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// CompressBlock compresses src into the LZ4 block format, appending to
+// dst (which may be nil). Incompressible input expands by at most
+// CompressBound; callers that need a raw fallback use Pack.
+func CompressBlock(dst, src []byte) []byte {
+	var table [1 << hashLog]int32 // position+1 of last occurrence
+	n := len(src)
+	if n == 0 {
+		return append(dst, 0)
+	}
+	anchor := 0
+	pos := 0
+	searchTries := 1 << skipStrengthLog
+
+	if n >= mfLimit {
+		limit := n - mfLimit
+		for pos <= limit {
+			u := load32(src, pos)
+			h := hash4(uint64(u))
+			cand := int(table[h]) - 1
+			table[h] = int32(pos + 1)
+			if cand < 0 || pos-cand > maxOffset || load32(src, cand) != u {
+				step := searchTries >> skipStrengthLog
+				searchTries++
+				pos += step
+				continue
+			}
+			searchTries = 1 << skipStrengthLog
+			// Extend the match backward over pending literals.
+			for pos > anchor && cand > 0 && src[pos-1] == src[cand-1] {
+				pos--
+				cand--
+			}
+			// Extend forward; the match may run at most to n-lastLiterals.
+			matchLen := minMatch
+			maxLen := n - lastLiterals - pos
+			for matchLen < maxLen && src[pos+matchLen] == src[cand+matchLen] {
+				matchLen++
+			}
+			if matchLen < minMatch {
+				// Cannot happen (u32 equality gives 4), defensive only.
+				pos++
+				continue
+			}
+			dst = emitSequence(dst, src[anchor:pos], pos-cand, matchLen)
+			pos += matchLen
+			anchor = pos
+			if pos <= limit {
+				table[hash4(uint64(load32(src, pos-2)))] = int32(pos - 1)
+			}
+		}
+	}
+	// Final literals.
+	return emitLastLiterals(dst, src[anchor:])
+}
+
+// emitSequence writes one token + literals + offset + extended match
+// length.
+func emitSequence(dst, literals []byte, offset, matchLen int) []byte {
+	litLen := len(literals)
+	mlCode := matchLen - minMatch
+	token := byte(0)
+	if litLen >= 15 {
+		token = 15 << 4
+	} else {
+		token = byte(litLen) << 4
+	}
+	if mlCode >= 15 {
+		token |= 15
+	} else {
+		token |= byte(mlCode)
+	}
+	dst = append(dst, token)
+	if litLen >= 15 {
+		dst = appendLength(dst, litLen-15)
+	}
+	dst = append(dst, literals...)
+	dst = append(dst, byte(offset), byte(offset>>8))
+	if mlCode >= 15 {
+		dst = appendLength(dst, mlCode-15)
+	}
+	return dst
+}
+
+func emitLastLiterals(dst, literals []byte) []byte {
+	litLen := len(literals)
+	if litLen >= 15 {
+		dst = append(dst, 15<<4)
+		dst = appendLength(dst, litLen-15)
+	} else {
+		dst = append(dst, byte(litLen)<<4)
+	}
+	return append(dst, literals...)
+}
+
+// appendLength writes the 255-run length extension.
+func appendLength(dst []byte, v int) []byte {
+	for v >= 255 {
+		dst = append(dst, 255)
+		v -= 255
+	}
+	return append(dst, byte(v))
+}
+
+// DecompressBlock decompresses an LZ4 block, appending to dst. maxSize
+// bounds the decompressed size (protection against decompression
+// bombs); pass <= 0 for 64 MiB.
+func DecompressBlock(dst, src []byte, maxSize int) ([]byte, error) {
+	if maxSize <= 0 {
+		maxSize = 64 << 20
+	}
+	base := len(dst)
+	i := 0
+	for {
+		if i >= len(src) {
+			return nil, ErrCorrupt
+		}
+		token := src[i]
+		i++
+		// Literals.
+		litLen := int(token >> 4)
+		if litLen == 15 {
+			var err error
+			litLen, i, err = readLength(src, i, litLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if litLen > 0 {
+			if i+litLen > len(src) {
+				return nil, ErrCorrupt
+			}
+			if len(dst)-base+litLen > maxSize {
+				return nil, ErrTooLarge
+			}
+			dst = append(dst, src[i:i+litLen]...)
+			i += litLen
+		}
+		if i == len(src) {
+			// Final sequence: literals only.
+			return dst, nil
+		}
+		// Match.
+		if i+2 > len(src) {
+			return nil, ErrCorrupt
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(dst)-base {
+			return nil, ErrCorrupt
+		}
+		matchLen := int(token & 15)
+		if matchLen == 15 {
+			var err error
+			matchLen, i, err = readLength(src, i, matchLen)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matchLen += minMatch
+		if len(dst)-base+matchLen > maxSize {
+			return nil, ErrTooLarge
+		}
+		// Overlap-safe copy (offset may be smaller than matchLen).
+		start := len(dst) - offset
+		for j := 0; j < matchLen; j++ {
+			dst = append(dst, dst[start+j])
+		}
+	}
+}
+
+func readLength(src []byte, i, base int) (length, next int, err error) {
+	length = base
+	for {
+		if i >= len(src) {
+			return 0, 0, ErrCorrupt
+		}
+		b := src[i]
+		i++
+		length += int(b)
+		if b != 255 {
+			return length, i, nil
+		}
+	}
+}
+
+// Pack frames src for transmission: a 1-byte flag (0 raw, 1 lz4), the
+// 4-byte little-endian original length, then the payload — compressed
+// only when that actually saves space. This is the framing NetFS puts
+// around every request and response.
+func Pack(src []byte) []byte {
+	compressed := CompressBlock(make([]byte, 0, CompressBound(len(src))), src)
+	if len(compressed) < len(src) {
+		out := make([]byte, 0, 5+len(compressed))
+		out = append(out, 1)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
+		return append(out, compressed...)
+	}
+	out := make([]byte, 0, 5+len(src))
+	out = append(out, 0)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
+	return append(out, src...)
+}
+
+// Unpack reverses Pack.
+func Unpack(frame []byte) ([]byte, error) {
+	if len(frame) < 5 {
+		return nil, ErrCorrupt
+	}
+	size := int(binary.LittleEndian.Uint32(frame[1:5]))
+	payload := frame[5:]
+	switch frame[0] {
+	case 0:
+		if len(payload) != size {
+			return nil, ErrCorrupt
+		}
+		return payload, nil
+	case 1:
+		out, err := DecompressBlock(make([]byte, 0, size), payload, size)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != size {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}

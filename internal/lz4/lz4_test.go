@@ -1,0 +1,248 @@
+package lz4
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	compressed := CompressBlock(nil, src)
+	got, err := DecompressBlock(nil, compressed, len(src)+1)
+	if err != nil {
+		t.Fatalf("DecompressBlock: %v (src %d bytes, compressed %d)", err, len(src), len(compressed))
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(got))
+	}
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		src  []byte
+	}{
+		{name: "empty", src: nil},
+		{name: "one byte", src: []byte("x")},
+		{name: "short", src: []byte("hello world")},
+		{name: "repetitive", src: bytes.Repeat([]byte("abcd"), 1000)},
+		{name: "single run", src: bytes.Repeat([]byte{7}, 5000)},
+		{name: "text", src: []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 100))},
+		{name: "boundary 12", src: []byte("0123456789ab")},
+		{name: "boundary 13", src: []byte("0123456789abc")},
+		{name: "boundary 15 literals", src: []byte("abcdefghijklmno")},
+		{name: "boundary 16 literals", src: []byte("abcdefghijklmnop")},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			roundTrip(t, tt.src)
+		})
+	}
+}
+
+func TestCompressesRepetitiveData(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 4096)
+	compressed := CompressBlock(nil, src)
+	if len(compressed) >= len(src)/10 {
+		t.Fatalf("repetitive data compressed to %d of %d bytes", len(compressed), len(src))
+	}
+}
+
+func TestIncompressibleWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 100000)
+	rng.Read(src)
+	compressed := CompressBlock(nil, src)
+	if len(compressed) > CompressBound(len(src)) {
+		t.Fatalf("compressed %d exceeds bound %d", len(compressed), CompressBound(len(src)))
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripRandomStructured(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	words := [][]byte{
+		[]byte("alpha"), []byte("beta"), []byte("gamma"), []byte("delta"),
+		[]byte("/usr/share/data/"), []byte("0000000000000000"),
+	}
+	for trial := 0; trial < 50; trial++ {
+		var src []byte
+		n := rng.Intn(20000)
+		for len(src) < n {
+			src = append(src, words[rng.Intn(len(words))]...)
+			if rng.Intn(4) == 0 {
+				src = append(src, byte(rng.Intn(256)))
+			}
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(src []byte) bool {
+		compressed := CompressBlock(nil, src)
+		got, err := DecompressBlock(nil, compressed, len(src)+1)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripLongMatches(t *testing.T) {
+	// Match lengths crossing the 15 (token nibble) and 255 (length
+	// byte) extension boundaries.
+	for _, matchLen := range []int{4, 14, 15, 16, 18, 19, 20, 254, 255, 256, 270, 527, 1000} {
+		src := append([]byte("0123456789abcdef"), bytes.Repeat([]byte("Z"), matchLen)...)
+		src = append(src, []byte("0123456789abcdef")...)
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripLongLiterals(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, litLen := range []int{14, 15, 16, 254, 255, 256, 270, 1000} {
+		src := make([]byte, litLen)
+		rng.Read(src)
+		roundTrip(t, src)
+	}
+}
+
+func TestOverlappingMatch(t *testing.T) {
+	// Offset 1 with long match: the classic RLE-via-overlap encoding.
+	src := append([]byte("start"), bytes.Repeat([]byte{'r'}, 300)...)
+	src = append(src, []byte("end..")...)
+	roundTrip(t, src)
+}
+
+func TestDecompressCorruptInputs(t *testing.T) {
+	valid := CompressBlock(nil, bytes.Repeat([]byte("abcd"), 100))
+	// Every truncation must fail cleanly, never panic.
+	for cut := 0; cut < len(valid); cut++ {
+		if out, err := DecompressBlock(nil, valid[:cut], 1<<20); err == nil && len(out) == 400 {
+			t.Fatalf("truncated block at %d decompressed fully", cut)
+		}
+	}
+	// Random corruption must not panic (errors are acceptable and
+	// expected; some corruptions still decode, which is fine).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 2000; trial++ {
+		corrupt := append([]byte(nil), valid...)
+		corrupt[rng.Intn(len(corrupt))] ^= byte(1 + rng.Intn(255))
+		_, _ = DecompressBlock(nil, corrupt, 1<<20)
+	}
+}
+
+func TestDecompressSizeLimit(t *testing.T) {
+	src := bytes.Repeat([]byte("abcd"), 10000)
+	compressed := CompressBlock(nil, src)
+	if _, err := DecompressBlock(nil, compressed, 100); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecompressBadOffset(t *testing.T) {
+	// token: 1 literal, match len 4; literal 'A'; offset 9 with only 1
+	// byte of history.
+	bad := []byte{0x10, 'A', 9, 0}
+	if _, err := DecompressBlock(nil, bad, 1<<20); err != ErrCorrupt {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	// Zero offset is invalid.
+	bad = []byte{0x10, 'A', 0, 0}
+	if _, err := DecompressBlock(nil, bad, 1<<20); err != ErrCorrupt {
+		t.Fatalf("zero offset err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	tests := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte("compress me "), 500),
+		randomBytes(10000, 3),
+	}
+	for _, src := range tests {
+		frame := Pack(src)
+		got, err := Unpack(frame)
+		if err != nil {
+			t.Fatalf("Unpack: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("pack round trip mismatch (%d bytes)", len(src))
+		}
+	}
+}
+
+func TestPackChoosesRawForIncompressible(t *testing.T) {
+	src := randomBytes(5000, 7)
+	frame := Pack(src)
+	if frame[0] != 0 {
+		t.Fatal("incompressible data not stored raw")
+	}
+	if len(frame) != 5+len(src) {
+		t.Fatalf("raw frame size %d", len(frame))
+	}
+}
+
+func TestPackChoosesCompressedForRedundant(t *testing.T) {
+	src := bytes.Repeat([]byte("redundant!"), 1000)
+	frame := Pack(src)
+	if frame[0] != 1 {
+		t.Fatal("redundant data not compressed")
+	}
+	if len(frame) >= len(src) {
+		t.Fatalf("compressed frame size %d >= source %d", len(frame), len(src))
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	if _, err := Unpack([]byte{1, 2}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	if _, err := Unpack([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	// Raw frame with wrong length.
+	if _, err := Unpack([]byte{0, 5, 0, 0, 0, 'x'}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCompressionAsymmetry(t *testing.T) {
+	// The paper explains NetFS read-vs-write latency by compression
+	// being slower than decompression; verify the codec preserves that
+	// property on a representative payload.
+	src := bytes.Repeat([]byte("file content block 0123456789. "), 2048)
+	compressed := CompressBlock(nil, src)
+
+	const iters = 200
+	tCompress := benchmarkNs(iters, func() {
+		CompressBlock(make([]byte, 0, CompressBound(len(src))), src)
+	})
+	tDecompress := benchmarkNs(iters, func() {
+		_, _ = DecompressBlock(make([]byte, 0, len(src)), compressed, len(src))
+	})
+	if tDecompress >= tCompress {
+		t.Logf("warning: decompression (%d ns) not faster than compression (%d ns)", tDecompress, tCompress)
+	}
+}
+
+func benchmarkNs(iters int, fn func()) int64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+func randomBytes(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

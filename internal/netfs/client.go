@@ -1,0 +1,258 @@
+package netfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/lz4"
+)
+
+// Invoker abstracts the replicated client proxy NetFS calls go
+// through.
+type Invoker interface {
+	Invoke(cmd command.ID, input []byte) ([]byte, error)
+}
+
+// Client is the NetFS file-system proxy (paper §VI-C): it turns typed
+// file-system calls into compressed NetFS commands and tracks the
+// fd→path mapping so fd-based calls (read/write/release) can still be
+// routed by path.
+type Client struct {
+	inv     Invoker
+	fdPaths map[uint64]string
+}
+
+// FsError is a non-OK NetFS status returned by a call.
+type FsError struct {
+	Op     string
+	Path   string
+	Status Errno
+}
+
+func (e *FsError) Error() string {
+	return fmt.Sprintf("netfs %s %s: %s", e.Op, e.Path, e.Status)
+}
+
+// errShortResponse reports a malformed response payload.
+var errShortResponse = errors.New("netfs: short response")
+
+// NewClient wraps a replicated invoker into a NetFS client. The client
+// is not safe for concurrent use (each client goroutine owns one, like
+// a process owns its fd table view).
+func NewClient(inv Invoker) *Client {
+	return &Client{
+		inv:     inv,
+		fdPaths: make(map[uint64]string),
+	}
+}
+
+// call invokes one command and unpacks the compressed response.
+func (c *Client) call(op string, cmd command.ID, path string, args []byte) ([]byte, error) {
+	out, err := c.inv.Invoke(cmd, EncodeInput(path, args))
+	if err != nil {
+		return nil, fmt.Errorf("netfs %s %s: %w", op, path, err)
+	}
+	raw, err := lz4.Unpack(out)
+	if err != nil {
+		return nil, fmt.Errorf("netfs %s %s: %w", op, path, err)
+	}
+	if len(raw) == 0 {
+		return nil, errShortResponse
+	}
+	if Errno(raw[0]) != OK {
+		return nil, &FsError{Op: op, Path: path, Status: Errno(raw[0])}
+	}
+	return raw[1:], nil
+}
+
+func encodeModeTime(mode uint32, mtime int64) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, mode)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(mtime))
+	return buf
+}
+
+func encodeTime(t int64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, uint64(t))
+}
+
+func encodeFD(fd uint64) []byte {
+	return binary.LittleEndian.AppendUint64(nil, fd)
+}
+
+// Create makes a new file and opens it.
+func (c *Client) Create(path string, mode uint32, mtime int64) (fd uint64, err error) {
+	out, err := c.call("create", CmdCreate, path, encodeModeTime(mode, mtime))
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 8 {
+		return 0, errShortResponse
+	}
+	fd = binary.LittleEndian.Uint64(out)
+	c.fdPaths[fd] = path
+	return fd, nil
+}
+
+// Mknod makes a new empty file.
+func (c *Client) Mknod(path string, mode uint32, mtime int64) error {
+	_, err := c.call("mknod", CmdMknod, path, encodeModeTime(mode, mtime))
+	return err
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(path string, mode uint32, mtime int64) error {
+	_, err := c.call("mkdir", CmdMkdir, path, encodeModeTime(mode, mtime))
+	return err
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string, mtime int64) error {
+	_, err := c.call("unlink", CmdUnlink, path, encodeTime(mtime))
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(path string, mtime int64) error {
+	_, err := c.call("rmdir", CmdRmdir, path, encodeTime(mtime))
+	return err
+}
+
+// Open opens an existing file.
+func (c *Client) Open(path string) (fd uint64, err error) {
+	out, err := c.call("open", CmdOpen, path, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 8 {
+		return 0, errShortResponse
+	}
+	fd = binary.LittleEndian.Uint64(out)
+	c.fdPaths[fd] = path
+	return fd, nil
+}
+
+// Utimens sets a path's timestamps.
+func (c *Client) Utimens(path string, atime, mtime int64) error {
+	args := make([]byte, 16)
+	binary.LittleEndian.PutUint64(args, uint64(atime))
+	binary.LittleEndian.PutUint64(args[8:], uint64(mtime))
+	_, err := c.call("utimens", CmdUtimens, path, args)
+	return err
+}
+
+// Release closes a file descriptor.
+func (c *Client) Release(fd uint64) error {
+	path := c.fdPaths[fd]
+	_, err := c.call("release", CmdRelease, path, encodeFD(fd))
+	if err == nil {
+		delete(c.fdPaths, fd)
+	}
+	return err
+}
+
+// Opendir opens a directory.
+func (c *Client) Opendir(path string) (fd uint64, err error) {
+	out, err := c.call("opendir", CmdOpendir, path, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 8 {
+		return 0, errShortResponse
+	}
+	fd = binary.LittleEndian.Uint64(out)
+	c.fdPaths[fd] = path
+	return fd, nil
+}
+
+// Releasedir closes a directory descriptor.
+func (c *Client) Releasedir(fd uint64) error {
+	path := c.fdPaths[fd]
+	_, err := c.call("releasedir", CmdReleasedir, path, encodeFD(fd))
+	if err == nil {
+		delete(c.fdPaths, fd)
+	}
+	return err
+}
+
+// Access checks that a path exists.
+func (c *Client) Access(path string) error {
+	_, err := c.call("access", CmdAccess, path, nil)
+	return err
+}
+
+// Lstat returns a path's metadata.
+func (c *Client) Lstat(path string) (Stat, error) {
+	out, err := c.call("lstat", CmdLstat, path, nil)
+	if err != nil {
+		return Stat{}, err
+	}
+	if len(out) < 36 {
+		return Stat{}, errShortResponse
+	}
+	return Stat{
+		Ino:   binary.LittleEndian.Uint64(out),
+		Mode:  binary.LittleEndian.Uint32(out[8:]),
+		Size:  binary.LittleEndian.Uint64(out[12:]),
+		Mtime: int64(binary.LittleEndian.Uint64(out[20:])),
+		Atime: int64(binary.LittleEndian.Uint64(out[28:])),
+	}, nil
+}
+
+// Read reads size bytes at offset from an open fd. The fd's path is
+// attached for routing (same path → same destination group).
+func (c *Client) Read(fd uint64, offset uint64, size uint32) ([]byte, error) {
+	path := c.fdPaths[fd]
+	args := make([]byte, 20)
+	binary.LittleEndian.PutUint64(args, fd)
+	binary.LittleEndian.PutUint64(args[8:], offset)
+	binary.LittleEndian.PutUint32(args[16:], size)
+	return c.call("read", CmdRead, path, args)
+}
+
+// Write writes data at offset through an open fd.
+func (c *Client) Write(fd uint64, offset uint64, data []byte, mtime int64) (uint32, error) {
+	path := c.fdPaths[fd]
+	args := make([]byte, 24, 24+len(data))
+	binary.LittleEndian.PutUint64(args, fd)
+	binary.LittleEndian.PutUint64(args[8:], offset)
+	binary.LittleEndian.PutUint64(args[16:], uint64(mtime))
+	args = append(args, data...)
+	out, err := c.call("write", CmdWrite, path, args)
+	if err != nil {
+		return 0, err
+	}
+	if len(out) < 4 {
+		return 0, errShortResponse
+	}
+	return binary.LittleEndian.Uint32(out), nil
+}
+
+// Readdir lists a directory.
+func (c *Client) Readdir(path string) ([]string, error) {
+	out, err := c.call("readdir", CmdReaddir, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) < 4 {
+		return nil, errShortResponse
+	}
+	count := int(binary.LittleEndian.Uint32(out))
+	out = out[4:]
+	names := make([]string, 0, count)
+	for i := 0; i < count; i++ {
+		if len(out) < 2 {
+			return nil, errShortResponse
+		}
+		nl := int(binary.LittleEndian.Uint16(out))
+		out = out[2:]
+		if len(out) < nl {
+			return nil, errShortResponse
+		}
+		names = append(names, string(out[:nl]))
+		out = out[nl:]
+	}
+	return names, nil
+}

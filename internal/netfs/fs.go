@@ -1,0 +1,427 @@
+// Package netfs implements NetFS, the paper's replicated networked
+// file system (§V-B, §VI-C): an in-memory inode file system driven by
+// a FUSE-like command set, with lz4-compressed request/response
+// payloads and per-path parallelism.
+//
+// Dependency structure (paper §V-B): calls that change the file-system
+// tree or the shared file-descriptor table — create, mknod, mkdir,
+// unlink, rmdir, open, utimens, release, opendir, releasedir — depend
+// on all calls. access, lstat, read, write and readdir depend on those
+// and on each other when they name the same path; on different paths
+// they run in parallel.
+package netfs
+
+import (
+	"sort"
+	"strings"
+)
+
+// Errno is a NetFS error code (a small subset of POSIX).
+type Errno byte
+
+// NetFS error codes.
+const (
+	OK Errno = iota
+	ErrNoEnt
+	ErrExist
+	ErrNotDir
+	ErrIsDir
+	ErrNotEmpty
+	ErrBadFd
+	ErrInval
+)
+
+func (e Errno) String() string {
+	switch e {
+	case OK:
+		return "OK"
+	case ErrNoEnt:
+		return "ENOENT"
+	case ErrExist:
+		return "EEXIST"
+	case ErrNotDir:
+		return "ENOTDIR"
+	case ErrIsDir:
+		return "EISDIR"
+	case ErrNotEmpty:
+		return "ENOTEMPTY"
+	case ErrBadFd:
+		return "EBADF"
+	case ErrInval:
+		return "EINVAL"
+	default:
+		return "E?"
+	}
+}
+
+// Mode bits (simplified).
+const (
+	// ModeDir marks directories.
+	ModeDir uint32 = 1 << 31
+)
+
+// Stat describes an inode (the lstat response).
+type Stat struct {
+	Ino   uint64
+	Mode  uint32
+	Size  uint64
+	Mtime int64 // unix nanoseconds, always client-supplied (determinism)
+	Atime int64
+}
+
+// inode is one file or directory.
+type inode struct {
+	ino   uint64
+	mode  uint32
+	mtime int64
+	atime int64
+	data  []byte            // files
+	kids  map[string]uint64 // directories: name → ino
+	nlink int
+}
+
+func (n *inode) isDir() bool { return n.mode&ModeDir != 0 }
+
+// fdEntry is one entry of the shared file-descriptor table. The table
+// is read concurrently by per-path commands and mutated only by
+// globally serialized commands (open/release and friends), matching
+// the paper's synchronization argument for making those calls depend
+// on everything.
+type fdEntry struct {
+	ino  uint64
+	path string
+	dir  bool
+}
+
+// FS is the in-memory file system state. Its methods implement the
+// deterministic core of every NetFS command; all inputs (including
+// timestamps) come from the client so replicas stay identical.
+type FS struct {
+	inodes  map[uint64]*inode
+	nextIno uint64
+	fds     map[uint64]*fdEntry
+	nextFD  uint64
+}
+
+// NewFS creates a file system holding only the root directory.
+func NewFS() *FS {
+	fs := &FS{
+		inodes:  make(map[uint64]*inode),
+		fds:     make(map[uint64]*fdEntry),
+		nextIno: 1,
+		nextFD:  1,
+	}
+	fs.inodes[1] = &inode{
+		ino:   1,
+		mode:  ModeDir | 0o755,
+		kids:  make(map[string]uint64),
+		nlink: 2,
+	}
+	fs.nextIno = 2
+	return fs
+}
+
+// splitPath normalises "/a/b/c" into its components.
+func splitPath(path string) ([]string, bool) {
+	if path == "" || path[0] != '/' {
+		return nil, false
+	}
+	if path == "/" {
+		return nil, true
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, false
+		}
+	}
+	return parts, true
+}
+
+// resolve walks to the inode at path.
+func (fs *FS) resolve(path string) (*inode, Errno) {
+	parts, ok := splitPath(path)
+	if !ok {
+		return nil, ErrInval
+	}
+	cur := fs.inodes[1]
+	for _, part := range parts {
+		if !cur.isDir() {
+			return nil, ErrNotDir
+		}
+		ino, ok := cur.kids[part]
+		if !ok {
+			return nil, ErrNoEnt
+		}
+		cur = fs.inodes[ino]
+	}
+	return cur, OK
+}
+
+// resolveParent walks to the parent directory of path and returns the
+// final name component.
+func (fs *FS) resolveParent(path string) (*inode, string, Errno) {
+	parts, ok := splitPath(path)
+	if !ok || len(parts) == 0 {
+		return nil, "", ErrInval
+	}
+	cur := fs.inodes[1]
+	for _, part := range parts[:len(parts)-1] {
+		if !cur.isDir() {
+			return nil, "", ErrNotDir
+		}
+		ino, ok := cur.kids[part]
+		if !ok {
+			return nil, "", ErrNoEnt
+		}
+		cur = fs.inodes[ino]
+	}
+	if !cur.isDir() {
+		return nil, "", ErrNotDir
+	}
+	return cur, parts[len(parts)-1], OK
+}
+
+// createNode allocates an inode under the parent of path.
+func (fs *FS) createNode(path string, mode uint32, mtime int64) (*inode, Errno) {
+	parent, name, errno := fs.resolveParent(path)
+	if errno != OK {
+		return nil, errno
+	}
+	if _, exists := parent.kids[name]; exists {
+		return nil, ErrExist
+	}
+	n := &inode{
+		ino:   fs.nextIno,
+		mode:  mode,
+		mtime: mtime,
+		atime: mtime,
+		nlink: 1,
+	}
+	if n.isDir() {
+		n.kids = make(map[string]uint64)
+		n.nlink = 2
+		parent.nlink++
+	}
+	fs.nextIno++
+	fs.inodes[n.ino] = n
+	parent.kids[name] = n.ino
+	parent.mtime = mtime
+	return n, OK
+}
+
+// Mknod creates an empty file.
+func (fs *FS) Mknod(path string, mode uint32, mtime int64) Errno {
+	_, errno := fs.createNode(path, mode&^ModeDir, mtime)
+	return errno
+}
+
+// Mkdir creates a directory.
+func (fs *FS) Mkdir(path string, mode uint32, mtime int64) Errno {
+	_, errno := fs.createNode(path, mode|ModeDir, mtime)
+	return errno
+}
+
+// Create makes a file and opens it, returning the new fd.
+func (fs *FS) Create(path string, mode uint32, mtime int64) (uint64, Errno) {
+	n, errno := fs.createNode(path, mode&^ModeDir, mtime)
+	if errno != OK {
+		return 0, errno
+	}
+	return fs.allocFD(n, path, false), OK
+}
+
+// Open opens an existing file and returns an fd.
+func (fs *FS) Open(path string) (uint64, Errno) {
+	n, errno := fs.resolve(path)
+	if errno != OK {
+		return 0, errno
+	}
+	if n.isDir() {
+		return 0, ErrIsDir
+	}
+	return fs.allocFD(n, path, false), OK
+}
+
+// Opendir opens a directory and returns an fd.
+func (fs *FS) Opendir(path string) (uint64, Errno) {
+	n, errno := fs.resolve(path)
+	if errno != OK {
+		return 0, errno
+	}
+	if !n.isDir() {
+		return 0, ErrNotDir
+	}
+	return fs.allocFD(n, path, true), OK
+}
+
+func (fs *FS) allocFD(n *inode, path string, dir bool) uint64 {
+	fd := fs.nextFD
+	fs.nextFD++
+	fs.fds[fd] = &fdEntry{ino: n.ino, path: path, dir: dir}
+	return fd
+}
+
+// Release closes a file descriptor.
+func (fs *FS) Release(fd uint64) Errno {
+	if _, ok := fs.fds[fd]; !ok {
+		return ErrBadFd
+	}
+	delete(fs.fds, fd)
+	return OK
+}
+
+// Releasedir closes a directory descriptor.
+func (fs *FS) Releasedir(fd uint64) Errno {
+	e, ok := fs.fds[fd]
+	if !ok || !e.dir {
+		return ErrBadFd
+	}
+	delete(fs.fds, fd)
+	return OK
+}
+
+// Unlink removes a file.
+func (fs *FS) Unlink(path string, mtime int64) Errno {
+	parent, name, errno := fs.resolveParent(path)
+	if errno != OK {
+		return errno
+	}
+	ino, ok := parent.kids[name]
+	if !ok {
+		return ErrNoEnt
+	}
+	n := fs.inodes[ino]
+	if n.isDir() {
+		return ErrIsDir
+	}
+	delete(parent.kids, name)
+	parent.mtime = mtime
+	n.nlink--
+	if n.nlink <= 0 {
+		delete(fs.inodes, ino)
+	}
+	return OK
+}
+
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string, mtime int64) Errno {
+	parent, name, errno := fs.resolveParent(path)
+	if errno != OK {
+		return errno
+	}
+	ino, ok := parent.kids[name]
+	if !ok {
+		return ErrNoEnt
+	}
+	n := fs.inodes[ino]
+	if !n.isDir() {
+		return ErrNotDir
+	}
+	if len(n.kids) != 0 {
+		return ErrNotEmpty
+	}
+	delete(parent.kids, name)
+	parent.nlink--
+	parent.mtime = mtime
+	delete(fs.inodes, ino)
+	return OK
+}
+
+// Utimens sets an inode's timestamps.
+func (fs *FS) Utimens(path string, atime, mtime int64) Errno {
+	n, errno := fs.resolve(path)
+	if errno != OK {
+		return errno
+	}
+	n.atime = atime
+	n.mtime = mtime
+	return OK
+}
+
+// Access checks that a path exists (permission checking is trivial in
+// a single-user in-memory fs).
+func (fs *FS) Access(path string) Errno {
+	_, errno := fs.resolve(path)
+	return errno
+}
+
+// Lstat returns an inode's metadata.
+func (fs *FS) Lstat(path string) (Stat, Errno) {
+	n, errno := fs.resolve(path)
+	if errno != OK {
+		return Stat{}, errno
+	}
+	return Stat{
+		Ino:   n.ino,
+		Mode:  n.mode,
+		Size:  uint64(len(n.data)),
+		Mtime: n.mtime,
+		Atime: n.atime,
+	}, OK
+}
+
+// Read reads up to size bytes at offset through an open fd.
+func (fs *FS) Read(fd uint64, offset uint64, size uint32) ([]byte, Errno) {
+	e, ok := fs.fds[fd]
+	if !ok || e.dir {
+		return nil, ErrBadFd
+	}
+	n, ok := fs.inodes[e.ino]
+	if !ok {
+		return nil, ErrBadFd
+	}
+	if offset >= uint64(len(n.data)) {
+		return nil, OK
+	}
+	end := offset + uint64(size)
+	if end > uint64(len(n.data)) {
+		end = uint64(len(n.data))
+	}
+	return n.data[offset:end], OK
+}
+
+// Write writes data at offset through an open fd, growing the file
+// (zero-filled) as needed.
+func (fs *FS) Write(fd uint64, offset uint64, data []byte, mtime int64) (uint32, Errno) {
+	e, ok := fs.fds[fd]
+	if !ok || e.dir {
+		return 0, ErrBadFd
+	}
+	n, ok := fs.inodes[e.ino]
+	if !ok {
+		return 0, ErrBadFd
+	}
+	end := offset + uint64(len(data))
+	if end > uint64(len(n.data)) {
+		grown := make([]byte, end)
+		copy(grown, n.data)
+		n.data = grown
+	}
+	copy(n.data[offset:end], data)
+	n.mtime = mtime
+	return uint32(len(data)), OK
+}
+
+// Readdir lists a directory's entries in sorted order.
+func (fs *FS) Readdir(path string) ([]string, Errno) {
+	n, errno := fs.resolve(path)
+	if errno != OK {
+		return nil, errno
+	}
+	if !n.isDir() {
+		return nil, ErrNotDir
+	}
+	names := make([]string, 0, len(n.kids))
+	for name := range n.kids {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, OK
+}
+
+// OpenFDs returns the number of open descriptors (for tests).
+func (fs *FS) OpenFDs() int { return len(fs.fds) }
+
+// Inodes returns the number of live inodes (for tests).
+func (fs *FS) Inodes() int { return len(fs.inodes) }

@@ -1,0 +1,304 @@
+package netfs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/lz4"
+)
+
+const t0 = int64(1_700_000_000_000_000_000)
+
+func TestFSMkdirCreateWriteRead(t *testing.T) {
+	fs := NewFS()
+	if errno := fs.Mkdir("/docs", 0o755, t0); errno != OK {
+		t.Fatalf("mkdir: %v", errno)
+	}
+	fd, errno := fs.Create("/docs/a.txt", 0o644, t0)
+	if errno != OK {
+		t.Fatalf("create: %v", errno)
+	}
+	n, errno := fs.Write(fd, 0, []byte("hello"), t0)
+	if errno != OK || n != 5 {
+		t.Fatalf("write: %v %d", errno, n)
+	}
+	data, errno := fs.Read(fd, 0, 100)
+	if errno != OK || string(data) != "hello" {
+		t.Fatalf("read: %v %q", errno, data)
+	}
+	// Partial read at offset.
+	data, _ = fs.Read(fd, 1, 3)
+	if string(data) != "ell" {
+		t.Fatalf("offset read: %q", data)
+	}
+	// Read past EOF is empty.
+	data, errno = fs.Read(fd, 100, 10)
+	if errno != OK || len(data) != 0 {
+		t.Fatalf("past-eof read: %v %q", errno, data)
+	}
+	if errno := fs.Release(fd); errno != OK {
+		t.Fatalf("release: %v", errno)
+	}
+	if fs.OpenFDs() != 0 {
+		t.Fatalf("open fds = %d", fs.OpenFDs())
+	}
+}
+
+func TestFSWriteGrowsWithZeroFill(t *testing.T) {
+	fs := NewFS()
+	fd, _ := fs.Create("/f", 0o644, t0)
+	if _, errno := fs.Write(fd, 4, []byte("tail"), t0); errno != OK {
+		t.Fatalf("write: %v", errno)
+	}
+	data, _ := fs.Read(fd, 0, 100)
+	want := append([]byte{0, 0, 0, 0}, []byte("tail")...)
+	if !bytes.Equal(data, want) {
+		t.Fatalf("data = %q", data)
+	}
+	st, _ := fs.Lstat("/f")
+	if st.Size != 8 {
+		t.Fatalf("size = %d", st.Size)
+	}
+}
+
+func TestFSErrors(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, t0)
+	fs.Mknod("/f", 0o644, t0)
+
+	tests := []struct {
+		name string
+		got  Errno
+		want Errno
+	}{
+		{name: "mkdir exists", got: fs.Mkdir("/d", 0o755, t0), want: ErrExist},
+		{name: "mknod exists", got: fs.Mknod("/f", 0o644, t0), want: ErrExist},
+		{name: "mkdir under file", got: fs.Mkdir("/f/x", 0o755, t0), want: ErrNotDir},
+		{name: "unlink missing", got: fs.Unlink("/nope", t0), want: ErrNoEnt},
+		{name: "unlink dir", got: fs.Unlink("/d", t0), want: ErrIsDir},
+		{name: "rmdir file", got: fs.Rmdir("/f", t0), want: ErrNotDir},
+		{name: "rmdir missing", got: fs.Rmdir("/nope", t0), want: ErrNoEnt},
+		{name: "access missing", got: fs.Access("/nope"), want: ErrNoEnt},
+		{name: "utimens missing", got: fs.Utimens("/nope", t0, t0), want: ErrNoEnt},
+		{name: "release bad fd", got: fs.Release(99), want: ErrBadFd},
+		{name: "releasedir bad fd", got: fs.Releasedir(99), want: ErrBadFd},
+		{name: "bad path", got: fs.Access("relative"), want: ErrInval},
+		{name: "dotdot path", got: fs.Access("/a/../b"), want: ErrInval},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("%s: got %v, want %v", tt.name, tt.got, tt.want)
+		}
+	}
+}
+
+func TestFSRmdirNotEmpty(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, t0)
+	fs.Mknod("/d/f", 0o644, t0)
+	if errno := fs.Rmdir("/d", t0); errno != ErrNotEmpty {
+		t.Fatalf("rmdir: %v", errno)
+	}
+	fs.Unlink("/d/f", t0)
+	if errno := fs.Rmdir("/d", t0); errno != OK {
+		t.Fatalf("rmdir after empty: %v", errno)
+	}
+}
+
+func TestFSOpenDirAndFile(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, t0)
+	fs.Mknod("/f", 0o644, t0)
+	if _, errno := fs.Open("/d"); errno != ErrIsDir {
+		t.Fatalf("open dir: %v", errno)
+	}
+	if _, errno := fs.Opendir("/f"); errno != ErrNotDir {
+		t.Fatalf("opendir file: %v", errno)
+	}
+	fd, errno := fs.Opendir("/d")
+	if errno != OK {
+		t.Fatalf("opendir: %v", errno)
+	}
+	if errno := fs.Release(fd); errno != OK { // release works on any fd
+		t.Fatalf("release dir fd: %v", errno)
+	}
+}
+
+func TestFSReaddirSorted(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, t0)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		fs.Mknod("/d/"+name, 0o644, t0)
+	}
+	names, errno := fs.Readdir("/d")
+	if errno != OK {
+		t.Fatalf("readdir: %v", errno)
+	}
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestFSUnlinkReclaimsInode(t *testing.T) {
+	fs := NewFS()
+	before := fs.Inodes()
+	fs.Mknod("/f", 0o644, t0)
+	if fs.Inodes() != before+1 {
+		t.Fatalf("inodes = %d", fs.Inodes())
+	}
+	fs.Unlink("/f", t0)
+	if fs.Inodes() != before {
+		t.Fatalf("inodes after unlink = %d", fs.Inodes())
+	}
+}
+
+func TestFSLstat(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, t0)
+	st, errno := fs.Lstat("/d")
+	if errno != OK || st.Mode&ModeDir == 0 {
+		t.Fatalf("lstat dir: %v %+v", errno, st)
+	}
+	if st.Mtime != t0 {
+		t.Fatalf("mtime = %d", st.Mtime)
+	}
+	fs.Utimens("/d", t0+1, t0+2)
+	st, _ = fs.Lstat("/d")
+	if st.Atime != t0+1 || st.Mtime != t0+2 {
+		t.Fatalf("times = %d %d", st.Atime, st.Mtime)
+	}
+}
+
+// Two FS instances fed the same operation sequence converge to the
+// same state — the determinism replicas rely on, fd numbering
+// included.
+func TestFSDeterminism(t *testing.T) {
+	run := func() (*FS, []uint64) {
+		fs := NewFS()
+		var fds []uint64
+		fs.Mkdir("/a", 0o755, t0)
+		fs.Mkdir("/b", 0o755, t0)
+		for i := 0; i < 10; i++ {
+			fd, _ := fs.Create(fmt.Sprintf("/a/f%d", i), 0o644, t0+int64(i))
+			fds = append(fds, fd)
+			fs.Write(fd, 0, []byte(fmt.Sprintf("content %d", i)), t0)
+		}
+		fs.Unlink("/a/f3", t0)
+		fs.Rmdir("/b", t0)
+		return fs, fds
+	}
+	fs1, fds1 := run()
+	fs2, fds2 := run()
+	if fs1.Inodes() != fs2.Inodes() || fs1.OpenFDs() != fs2.OpenFDs() {
+		t.Fatal("fs state diverged")
+	}
+	for i := range fds1 {
+		if fds1[i] != fds2[i] {
+			t.Fatalf("fd allocation diverged: %v vs %v", fds1, fds2)
+		}
+	}
+}
+
+func TestServiceWireRoundTrip(t *testing.T) {
+	svc := NewService()
+	mk := svc.Execute(CmdMkdir, EncodeInput("/dir", encodeModeTime(0o755, t0)))
+	raw, err := lz4.Unpack(mk)
+	if err != nil || Errno(raw[0]) != OK {
+		t.Fatalf("mkdir via wire: %v %v", err, raw)
+	}
+	// Malformed input yields EINVAL, packed.
+	out := svc.Execute(CmdMkdir, []byte{1})
+	raw, err = lz4.Unpack(out)
+	if err != nil || Errno(raw[0]) != ErrInval {
+		t.Fatalf("malformed: %v %v", err, raw)
+	}
+	// Unknown command.
+	out = svc.Execute(200, EncodeInput("/x", nil))
+	raw, _ = lz4.Unpack(out)
+	if Errno(raw[0]) != ErrInval {
+		t.Fatalf("unknown cmd: %v", raw)
+	}
+}
+
+func TestKeyOfSamePathSameKey(t *testing.T) {
+	a := EncodeInput("/same/path", []byte("args-a"))
+	b := EncodeInput("/same/path", bytes.Repeat([]byte("other"), 100))
+	ka, oka := KeyOf(a)
+	kb, okb := KeyOf(b)
+	if !oka || !okb || ka != kb {
+		t.Fatalf("keys differ: %v/%v %v/%v", ka, oka, kb, okb)
+	}
+	kc, _ := KeyOf(EncodeInput("/other/path", nil))
+	if kc == ka {
+		t.Fatal("different paths hash equal (unlucky collision?)")
+	}
+	if _, ok := KeyOf([]byte{9}); ok {
+		t.Fatal("short input produced a key")
+	}
+}
+
+func TestSpecClasses(t *testing.T) {
+	compiled, err := cdep.Compile(Spec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	structural := []command.ID{
+		CmdCreate, CmdMknod, CmdMkdir, CmdUnlink, CmdRmdir,
+		CmdOpen, CmdUtimens, CmdRelease, CmdOpendir, CmdReleasedir,
+	}
+	for _, id := range structural {
+		if compiled.Class(id) != cdep.Global {
+			t.Errorf("cmd %d class = %v, want Global", id, compiled.Class(id))
+		}
+	}
+	for _, id := range []command.ID{CmdAccess, CmdLstat, CmdRead, CmdWrite, CmdReaddir} {
+		if compiled.Class(id) != cdep.Keyed {
+			t.Errorf("cmd %d class = %v, want Keyed", id, compiled.Class(id))
+		}
+	}
+	// Same path → same singleton group; different paths usually differ.
+	ga := compiled.Groups(CmdRead, EncodeInput("/p1", nil), nil)
+	gb := compiled.Groups(CmdWrite, EncodeInput("/p1", nil), nil)
+	if ga != gb || ga.Count() != 1 {
+		t.Fatalf("same-path groups: %v vs %v", ga, gb)
+	}
+}
+
+// Random workload through the Service wire and a direct FS must agree.
+func TestServiceMatchesDirectFS(t *testing.T) {
+	svc := NewService()
+	ref := NewFS()
+	rng := rand.New(rand.NewSource(11))
+
+	dirs := []string{"/d0", "/d1", "/d2"}
+	for _, d := range dirs {
+		svc.Execute(CmdMkdir, EncodeInput(d, encodeModeTime(0o755, t0)))
+		ref.Mkdir(d, 0o755, t0)
+	}
+	var paths []string
+	for i := 0; i < 40; i++ {
+		paths = append(paths, fmt.Sprintf("%s/f%d", dirs[rng.Intn(len(dirs))], i))
+	}
+	for _, p := range paths {
+		svc.Execute(CmdMknod, EncodeInput(p, encodeModeTime(0o644, t0)))
+		ref.Mknod(p, 0o644, t0)
+	}
+	// Spot-check stats through the wire.
+	for _, p := range paths[:10] {
+		out := svc.Execute(CmdLstat, EncodeInput(p, nil))
+		raw, err := lz4.Unpack(out)
+		if err != nil || Errno(raw[0]) != OK {
+			t.Fatalf("lstat %s: %v %v", p, err, raw)
+		}
+		if _, errno := ref.Lstat(p); errno != OK {
+			t.Fatalf("ref lstat %s: %v", p, errno)
+		}
+	}
+	if svc.FS().Inodes() != ref.Inodes() {
+		t.Fatalf("inode count %d vs %d", svc.FS().Inodes(), ref.Inodes())
+	}
+}

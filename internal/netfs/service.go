@@ -1,0 +1,300 @@
+package netfs
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/lz4"
+)
+
+// Command identifiers of the NetFS service (the paper's FUSE subset,
+// §V-B).
+const (
+	CmdCreate command.ID = iota + 1
+	CmdMknod
+	CmdMkdir
+	CmdUnlink
+	CmdRmdir
+	CmdOpen
+	CmdUtimens
+	CmdRelease
+	CmdOpendir
+	CmdReleasedir
+	CmdAccess
+	CmdLstat
+	CmdRead
+	CmdWrite
+	CmdReaddir
+)
+
+// Input wire format: [2B path length][path][lz4-packed args]. The path
+// prefix stays uncompressed so destination groups and scheduler
+// conflicts can be derived without decompressing; the argument payload
+// is compressed by the client proxy and decompressed by the executing
+// worker thread, and responses travel compressed the other way —
+// exactly the paper's compression path (§VI-C).
+
+// EncodeInput builds a command input from a path and raw arguments.
+func EncodeInput(path string, args []byte) []byte {
+	buf := make([]byte, 0, 2+len(path)+5+lz4.CompressBound(len(args)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(path)))
+	buf = append(buf, path...)
+	return append(buf, lz4.Pack(args)...)
+}
+
+// DecodeInput splits a command input into its path and decompressed
+// arguments.
+func DecodeInput(input []byte) (path string, args []byte, ok bool) {
+	if len(input) < 2 {
+		return "", nil, false
+	}
+	pl := int(binary.LittleEndian.Uint16(input[:2]))
+	if len(input) < 2+pl {
+		return "", nil, false
+	}
+	path = string(input[2 : 2+pl])
+	args, err := lz4.Unpack(input[2+pl:])
+	if err != nil {
+		return "", nil, false
+	}
+	return path, args, true
+}
+
+// KeyOf hashes the path prefix of a command input (the cdep.KeyFunc of
+// every NetFS command). Same path → same key → same group.
+func KeyOf(input []byte) (uint64, bool) {
+	if len(input) < 2 {
+		return 0, false
+	}
+	pl := int(binary.LittleEndian.Uint16(input[:2]))
+	if len(input) < 2+pl {
+		return 0, false
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(input[2 : 2+pl])
+	return h.Sum64(), true
+}
+
+// Service adapts FS to command.Service, handling the compressed wire
+// format. Compression work happens inside Execute, i.e. on the worker
+// threads, matching where the paper accounts it.
+type Service struct {
+	fs *FS
+}
+
+// NewService creates a NetFS state machine.
+func NewService() *Service {
+	return &Service{fs: NewFS()}
+}
+
+// FS exposes the underlying file system (tests, direct inspection).
+func (s *Service) FS() *FS { return s.fs }
+
+var _ command.Service = (*Service)(nil)
+
+// Execute implements command.Service.
+func (s *Service) Execute(cmd command.ID, input []byte) []byte {
+	path, args, ok := DecodeInput(input)
+	if !ok {
+		return lz4.Pack([]byte{byte(ErrInval)})
+	}
+	return lz4.Pack(s.apply(cmd, path, args))
+}
+
+// apply runs one decompressed command and builds the raw response.
+func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
+	switch cmd {
+	case CmdCreate:
+		mode, mtime, ok := decodeModeTime(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		fd, errno := s.fs.Create(path, mode, mtime)
+		return appendFD(errno, fd)
+	case CmdMknod:
+		mode, mtime, ok := decodeModeTime(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		return []byte{byte(s.fs.Mknod(path, mode, mtime))}
+	case CmdMkdir:
+		mode, mtime, ok := decodeModeTime(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		return []byte{byte(s.fs.Mkdir(path, mode, mtime))}
+	case CmdUnlink:
+		mtime, ok := decodeTime(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		return []byte{byte(s.fs.Unlink(path, mtime))}
+	case CmdRmdir:
+		mtime, ok := decodeTime(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		return []byte{byte(s.fs.Rmdir(path, mtime))}
+	case CmdOpen:
+		fd, errno := s.fs.Open(path)
+		return appendFD(errno, fd)
+	case CmdUtimens:
+		if len(args) < 16 {
+			return []byte{byte(ErrInval)}
+		}
+		atime := int64(binary.LittleEndian.Uint64(args[:8]))
+		mtime := int64(binary.LittleEndian.Uint64(args[8:16]))
+		return []byte{byte(s.fs.Utimens(path, atime, mtime))}
+	case CmdRelease:
+		fd, ok := decodeFD(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		return []byte{byte(s.fs.Release(fd))}
+	case CmdOpendir:
+		fd, errno := s.fs.Opendir(path)
+		return appendFD(errno, fd)
+	case CmdReleasedir:
+		fd, ok := decodeFD(args)
+		if !ok {
+			return []byte{byte(ErrInval)}
+		}
+		return []byte{byte(s.fs.Releasedir(fd))}
+	case CmdAccess:
+		return []byte{byte(s.fs.Access(path))}
+	case CmdLstat:
+		st, errno := s.fs.Lstat(path)
+		if errno != OK {
+			return []byte{byte(errno)}
+		}
+		out := make([]byte, 1, 1+8+4+8+8+8)
+		out[0] = byte(OK)
+		out = binary.LittleEndian.AppendUint64(out, st.Ino)
+		out = binary.LittleEndian.AppendUint32(out, st.Mode)
+		out = binary.LittleEndian.AppendUint64(out, st.Size)
+		out = binary.LittleEndian.AppendUint64(out, uint64(st.Mtime))
+		out = binary.LittleEndian.AppendUint64(out, uint64(st.Atime))
+		return out
+	case CmdRead:
+		if len(args) < 20 {
+			return []byte{byte(ErrInval)}
+		}
+		fd := binary.LittleEndian.Uint64(args[:8])
+		offset := binary.LittleEndian.Uint64(args[8:16])
+		size := binary.LittleEndian.Uint32(args[16:20])
+		data, errno := s.fs.Read(fd, offset, size)
+		if errno != OK {
+			return []byte{byte(errno)}
+		}
+		out := make([]byte, 1+len(data))
+		out[0] = byte(OK)
+		copy(out[1:], data)
+		return out
+	case CmdWrite:
+		if len(args) < 24 {
+			return []byte{byte(ErrInval)}
+		}
+		fd := binary.LittleEndian.Uint64(args[:8])
+		offset := binary.LittleEndian.Uint64(args[8:16])
+		mtime := int64(binary.LittleEndian.Uint64(args[16:24]))
+		n, errno := s.fs.Write(fd, offset, args[24:], mtime)
+		if errno != OK {
+			return []byte{byte(errno)}
+		}
+		out := make([]byte, 1, 5)
+		out[0] = byte(OK)
+		return binary.LittleEndian.AppendUint32(out, n)
+	case CmdReaddir:
+		names, errno := s.fs.Readdir(path)
+		if errno != OK {
+			return []byte{byte(errno)}
+		}
+		out := make([]byte, 1, 16)
+		out[0] = byte(OK)
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(names)))
+		for _, name := range names {
+			out = binary.LittleEndian.AppendUint16(out, uint16(len(name)))
+			out = append(out, name...)
+		}
+		return out
+	default:
+		return []byte{byte(ErrInval)}
+	}
+}
+
+func appendFD(errno Errno, fd uint64) []byte {
+	if errno != OK {
+		return []byte{byte(errno)}
+	}
+	out := make([]byte, 1, 9)
+	out[0] = byte(OK)
+	return binary.LittleEndian.AppendUint64(out, fd)
+}
+
+func decodeModeTime(args []byte) (mode uint32, mtime int64, ok bool) {
+	if len(args) < 12 {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint32(args[:4]), int64(binary.LittleEndian.Uint64(args[4:12])), true
+}
+
+func decodeTime(args []byte) (int64, bool) {
+	if len(args) < 8 {
+		return 0, false
+	}
+	return int64(binary.LittleEndian.Uint64(args[:8])), true
+}
+
+func decodeFD(args []byte) (uint64, bool) {
+	if len(args) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(args[:8]), true
+}
+
+// Spec returns NetFS's C-Dep (paper §V-B).
+func Spec() cdep.Spec {
+	structural := []command.ID{
+		CmdCreate, CmdMknod, CmdMkdir, CmdUnlink, CmdRmdir,
+		CmdOpen, CmdUtimens, CmdRelease, CmdOpendir, CmdReleasedir,
+	}
+	perPath := []command.ID{CmdAccess, CmdLstat, CmdRead, CmdWrite, CmdReaddir}
+
+	// Command order is fixed: the compiled classification must be
+	// identical in every process of a deployment.
+	ordered := []cdep.Command{
+		{ID: CmdCreate, Name: "create", Key: KeyOf},
+		{ID: CmdMknod, Name: "mknod", Key: KeyOf},
+		{ID: CmdMkdir, Name: "mkdir", Key: KeyOf},
+		{ID: CmdUnlink, Name: "unlink", Key: KeyOf},
+		{ID: CmdRmdir, Name: "rmdir", Key: KeyOf},
+		{ID: CmdOpen, Name: "open", Key: KeyOf},
+		{ID: CmdUtimens, Name: "utimens", Key: KeyOf},
+		{ID: CmdRelease, Name: "release", Key: KeyOf},
+		{ID: CmdOpendir, Name: "opendir", Key: KeyOf},
+		{ID: CmdReleasedir, Name: "releasedir", Key: KeyOf},
+		{ID: CmdAccess, Name: "access", Key: KeyOf},
+		{ID: CmdLstat, Name: "lstat", Key: KeyOf},
+		{ID: CmdRead, Name: "read", Key: KeyOf},
+		{ID: CmdWrite, Name: "write", Key: KeyOf},
+		{ID: CmdReaddir, Name: "readdir", Key: KeyOf},
+	}
+	var spec cdep.Spec
+	spec.Commands = ordered
+	// Structural calls depend on all calls.
+	all := append(append([]command.ID{}, structural...), perPath...)
+	for _, s := range structural {
+		for _, other := range all {
+			spec.Deps = append(spec.Deps, cdep.Dep{A: s, B: other})
+		}
+	}
+	// Per-path calls depend on each other when they use the same path.
+	for i, a := range perPath {
+		for _, b := range perPath[i:] {
+			spec.Deps = append(spec.Deps, cdep.Dep{A: a, B: b, SameKey: true})
+		}
+	}
+	return spec
+}

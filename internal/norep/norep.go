@@ -1,0 +1,101 @@
+// Package norep implements the paper's non-replicated baseline
+// (§VI-B): a single multi-threaded server directly connected to
+// clients, with the same scheduler-worker architecture as sP-SMR but
+// no ordering protocol underneath. It isolates the cost of the
+// scheduler from the cost of atomic multicast — the paper observes
+// no-rep's throughput slightly above sP-SMR's for exactly this reason.
+package norep
+
+import (
+	"fmt"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/sched"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// ServerConfig configures the non-replicated server.
+type ServerConfig struct {
+	// Addr is the endpoint clients send requests to.
+	Addr transport.Addr
+	// Workers is the execution pool size (scheduler thread excluded).
+	Workers int
+	// Service is the state machine.
+	Service command.Service
+	// Spec is the service's C-Dep for conflict queries.
+	Spec cdep.Spec
+	// Transport carries all traffic.
+	Transport transport.Transport
+	// QueueBound sizes the scheduler hand-off channel.
+	QueueBound int
+	// DedupWindow bounds the at-most-once table.
+	DedupWindow int
+	// CPU optionally meters scheduler and worker busy time.
+	CPU *bench.CPUMeter
+}
+
+// Server is a running no-rep server.
+type Server struct {
+	ep        transport.Endpoint
+	scheduler *sched.Scheduler
+	done      chan struct{}
+}
+
+// StartServer launches the server.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "norep/server"
+	}
+	compiled, err := cdep.Compile(cfg.Spec, max(cfg.Workers, 1))
+	if err != nil {
+		return nil, fmt.Errorf("norep: compile C-Dep: %w", err)
+	}
+	scheduler, err := sched.Start(sched.Config{
+		Workers:     cfg.Workers,
+		Service:     cfg.Service,
+		Compiled:    compiled,
+		Transport:   cfg.Transport,
+		QueueBound:  cfg.QueueBound,
+		DedupWindow: cfg.DedupWindow,
+		CPU:         cfg.CPU,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("norep: start scheduler: %w", err)
+	}
+	ep, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		_ = scheduler.Close()
+		return nil, fmt.Errorf("norep: listen: %w", err)
+	}
+	s := &Server{
+		ep:        ep,
+		scheduler: scheduler,
+		done:      make(chan struct{}),
+	}
+	go s.serve()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.ep.Close()
+	<-s.done
+	_ = s.scheduler.Close()
+	return err
+}
+
+// serve feeds inbound requests to the scheduler in arrival order.
+func (s *Server) serve() {
+	defer close(s.done)
+	for frame := range s.ep.Recv() {
+		req, _, err := command.DecodeRequest(frame)
+		if err != nil {
+			continue
+		}
+		if !s.scheduler.Submit(req) {
+			return
+		}
+	}
+}

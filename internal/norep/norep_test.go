@@ -1,0 +1,99 @@
+package norep
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/psmr/psmr/internal/direct"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func startNoRep(t *testing.T, workers int) *transport.MemNetwork {
+	t.Helper()
+	net := transport.NewMemNetwork(1)
+	st := kvstore.New()
+	st.Preload(1000)
+	s, err := StartServer(ServerConfig{
+		Workers:   workers,
+		Service:   st,
+		Spec:      kvstore.Spec(),
+		Transport: net,
+	})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close(); _ = net.Close() })
+	return net
+}
+
+func newClient(t *testing.T, net *transport.MemNetwork, id uint64) *direct.Client {
+	t.Helper()
+	c, err := direct.NewClient(direct.ClientConfig{
+		ID:        id,
+		Target:    "norep/server",
+		Transport: net,
+	})
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestBasicOps(t *testing.T) {
+	net := startNoRep(t, 2)
+	c := newClient(t, net, 1)
+
+	out, err := c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(7))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if _, code := kvstore.DecodeReadOutput(out); code != kvstore.OK {
+		t.Fatalf("read code %d", code)
+	}
+	if out, err = c.Invoke(kvstore.CmdUpdate, kvstore.EncodeKeyValue(7, []byte("abcdefgh"))); err != nil || out[0] != kvstore.OK {
+		t.Fatalf("update: %v %v", err, out)
+	}
+	out, _ = c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(7))
+	value, _ := kvstore.DecodeReadOutput(out)
+	if string(value) != "abcdefgh" {
+		t.Fatalf("read back %q", value)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	net := startNoRep(t, 4)
+	var wg sync.WaitGroup
+	for id := uint64(1); id <= 6; id++ {
+		c := newClient(t, net, id)
+		wg.Add(1)
+		go func(c *direct.Client, id uint64) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := (id*100 + uint64(i)) % 1000
+				var err error
+				if i%4 == 0 {
+					_, err = c.Invoke(kvstore.CmdUpdate, kvstore.EncodeKeyValue(key, []byte("vvvvvvvv")))
+				} else if i%31 == 0 {
+					_, err = c.Invoke(kvstore.CmdInsert, kvstore.EncodeKeyValue(2000+key, []byte("iiiiiiii")))
+				} else {
+					_, err = c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(key))
+				}
+				if err != nil {
+					t.Errorf("client %d op %d: %v", id, i, err)
+					return
+				}
+			}
+		}(c, id)
+	}
+	wg.Wait()
+}
+
+func TestServerValidation(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	if _, err := StartServer(ServerConfig{Workers: 0, Service: kvstore.New(), Spec: kvstore.Spec(), Transport: net}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}

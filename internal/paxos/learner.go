@@ -1,0 +1,267 @@
+package paxos
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// LearnerConfig configures a group learner.
+type LearnerConfig struct {
+	GroupID uint32
+	// Addr is the endpoint decisions are pushed to.
+	Addr transport.Addr
+	// Transport carries the learner's traffic.
+	Transport transport.Transport
+	// Coordinators are the group's coordinator candidates, asked to
+	// retransmit missing decisions when a gap stalls delivery.
+	Coordinators []transport.Addr
+	// GapTimeout is how long the frontier may stall (with later
+	// decisions present) before requesting retransmission. Default
+	// 50ms.
+	GapTimeout time.Duration
+	// TrimThreshold controls how much delivered log is retained before
+	// compaction. Default 4096 batches.
+	TrimThreshold int
+	// CPU optionally meters the learner's busy time.
+	CPU *bench.RoleMeter
+}
+
+// Learner receives a group's decisions and exposes them as an ordered
+// log of batches. Multiple Cursors can read the log independently; this
+// is how every worker thread of a replica consumes the shared g_all
+// group without a central dispatcher.
+type Learner struct {
+	cfg LearnerConfig
+	ep  transport.Endpoint
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	log      []*Batch // decided batches [base, base+len)
+	base     uint64   // instance id of log[0]
+	frontier uint64   // next instance to extend the log with
+	ooo      map[uint64][]byte
+	cursors  []*Cursor
+	closed   bool
+
+	lastFrontier uint64
+	done         chan struct{}
+	stopGap      chan struct{}
+}
+
+// StartLearner launches a learner; it runs until Close.
+func StartLearner(cfg LearnerConfig) (*Learner, error) {
+	if cfg.GapTimeout <= 0 {
+		cfg.GapTimeout = 50 * time.Millisecond
+	}
+	if cfg.TrimThreshold <= 0 {
+		cfg.TrimThreshold = 4096
+	}
+	ep, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("learner %d listen: %w", cfg.GroupID, err)
+	}
+	l := &Learner{
+		cfg:     cfg,
+		ep:      ep,
+		ooo:     make(map[uint64][]byte),
+		done:    make(chan struct{}),
+		stopGap: make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	go l.run()
+	go l.gapLoop()
+	return l, nil
+}
+
+// Close stops the learner, unblocks all cursors, and waits for its
+// goroutines.
+func (l *Learner) Close() error {
+	err := l.ep.Close()
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.stopGap)
+		l.cond.Broadcast()
+	}
+	l.mu.Unlock()
+	<-l.done
+	return err
+}
+
+// Frontier returns the next undecided instance (for tests).
+func (l *Learner) Frontier() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.frontier
+}
+
+// NewCursor returns an independent reader positioned at the oldest
+// retained batch.
+func (l *Learner) NewCursor() *Cursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := &Cursor{l: l, pos: l.base}
+	l.cursors = append(l.cursors, c)
+	return c
+}
+
+func (l *Learner) run() {
+	defer close(l.done)
+	for frame := range l.ep.Recv() {
+		stop := l.cfg.CPU.Busy()
+		l.handle(frame)
+		stop()
+	}
+}
+
+func (l *Learner) handle(frame []byte) {
+	m, err := decodeMessage(frame)
+	if err != nil || m.Group != l.cfg.GroupID || m.Type != msgDecision {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m.Instance < l.frontier {
+		return // duplicate
+	}
+	if m.Instance > l.frontier {
+		if _, ok := l.ooo[m.Instance]; !ok {
+			l.ooo[m.Instance] = m.Value
+		}
+		return
+	}
+	l.appendLocked(m.Value)
+	for {
+		v, ok := l.ooo[l.frontier]
+		if !ok {
+			break
+		}
+		delete(l.ooo, l.frontier)
+		l.appendLocked(v)
+	}
+	l.cond.Broadcast()
+}
+
+// appendLocked decodes and appends the decision at the frontier.
+func (l *Learner) appendLocked(value []byte) {
+	b, err := DecodeBatch(value)
+	if err != nil {
+		// A corrupt decided value cannot be skipped (every learner
+		// must deliver the same sequence), but it also cannot occur
+		// without memory corruption: deliver an empty batch to keep
+		// the stream moving and the replicas aligned.
+		b = &Batch{}
+	}
+	l.log = append(l.log, b)
+	l.frontier++
+}
+
+// gapLoop requests retransmission when the frontier stalls while later
+// decisions are already present (a lost Decision frame).
+func (l *Learner) gapLoop() {
+	ticker := time.NewTicker(l.cfg.GapTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-l.stopGap:
+			return
+		case <-ticker.C:
+		}
+		l.mu.Lock()
+		stalled := l.frontier == l.lastFrontier && len(l.ooo) > 0
+		l.lastFrontier = l.frontier
+		var from, to uint64
+		if stalled {
+			from = l.frontier
+			to = from
+			for inst := range l.ooo {
+				if inst > to {
+					to = inst
+				}
+			}
+		}
+		l.mu.Unlock()
+		if !stalled {
+			continue
+		}
+		m := &message{
+			Type:     msgLearnReq,
+			Group:    l.cfg.GroupID,
+			Instance: from,
+			Instance2: Instance2{
+				To: to,
+			},
+			Addr: l.cfg.Addr,
+		}
+		frame := encodeMessage(m)
+		for _, coord := range l.cfg.Coordinators {
+			_ = l.cfg.Transport.Send(coord, frame)
+		}
+	}
+}
+
+// trimLocked drops delivered log entries once every cursor has passed
+// them.
+func (l *Learner) trimLocked() {
+	min := l.frontier
+	for _, c := range l.cursors {
+		if c.pos < min {
+			min = c.pos
+		}
+	}
+	if min-l.base < uint64(l.cfg.TrimThreshold) {
+		return
+	}
+	drop := min - l.base
+	// Copy the tail so the dropped prefix becomes collectable.
+	rest := make([]*Batch, len(l.log)-int(drop))
+	copy(rest, l.log[drop:])
+	l.log = rest
+	l.base = min
+}
+
+// Cursor is an independent ordered reader over a learner's log.
+type Cursor struct {
+	l   *Learner
+	pos uint64
+}
+
+// Next blocks until the next batch is decided and returns it along with
+// its instance id. ok is false after the learner closes and the cursor
+// has drained every retained batch.
+func (c *Cursor) Next() (b *Batch, instance uint64, ok bool) {
+	l := c.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for c.pos >= l.frontier && !l.closed {
+		l.cond.Wait()
+	}
+	if c.pos >= l.frontier {
+		return nil, 0, false
+	}
+	b = l.log[c.pos-l.base]
+	instance = c.pos
+	c.pos++
+	l.trimLocked()
+	return b, instance, true
+}
+
+// TryNext is the non-blocking variant of Next; ready reports whether a
+// batch was available.
+func (c *Cursor) TryNext() (b *Batch, instance uint64, ready bool) {
+	l := c.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c.pos >= l.frontier {
+		return nil, 0, false
+	}
+	b = l.log[c.pos-l.base]
+	instance = c.pos
+	c.pos++
+	l.trimLocked()
+	return b, instance, true
+}

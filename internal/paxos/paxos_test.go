@@ -1,0 +1,600 @@
+package paxos
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func transportAddr(s string) transport.Addr { return transport.Addr(s) }
+
+// testGroup wires one Paxos group on an in-process network.
+type testGroup struct {
+	t         *testing.T
+	net       *transport.MemNetwork
+	group     uint32
+	acceptors []*Acceptor
+	coords    []*Coordinator
+	learners  []*Learner
+	candAddrs []transport.Addr
+}
+
+type groupOptions struct {
+	candidates int
+	learners   int
+	acceptors  int
+	skip       time.Duration
+	takeover   time.Duration
+	heartbeat  time.Duration
+}
+
+func startGroup(t *testing.T, net *transport.MemNetwork, opts groupOptions) *testGroup {
+	t.Helper()
+	if opts.candidates == 0 {
+		opts.candidates = 1
+	}
+	if opts.learners == 0 {
+		opts.learners = 1
+	}
+	if opts.acceptors == 0 {
+		opts.acceptors = 3
+	}
+	g := &testGroup{t: t, net: net, group: 1}
+
+	accAddrs := make([]transport.Addr, opts.acceptors)
+	for i := range accAddrs {
+		accAddrs[i] = transport.Addr(fmt.Sprintf("acc%d", i))
+	}
+	candAddrs := make([]transport.Addr, opts.candidates)
+	for i := range candAddrs {
+		candAddrs[i] = transport.Addr(fmt.Sprintf("coord%d", i))
+	}
+	g.candAddrs = candAddrs
+	learnerAddrs := make([]transport.Addr, opts.learners)
+	for i := range learnerAddrs {
+		learnerAddrs[i] = transport.Addr(fmt.Sprintf("learner%d", i))
+	}
+	// Standby coordinators learn decisions too (for retransmission and
+	// frontier tracking after fail-over).
+	pushTargets := append(append([]transport.Addr{}, learnerAddrs...), candAddrs...)
+
+	for i := range accAddrs {
+		a, err := StartAcceptor(AcceptorConfig{
+			GroupID: g.group, ID: uint32(i), Addr: accAddrs[i], Transport: net,
+		})
+		if err != nil {
+			t.Fatalf("StartAcceptor: %v", err)
+		}
+		g.acceptors = append(g.acceptors, a)
+	}
+	for i := range candAddrs {
+		c, err := StartCoordinator(CoordinatorConfig{
+			GroupID:           g.group,
+			CandidateIdx:      i,
+			Candidates:        candAddrs,
+			Acceptors:         accAddrs,
+			Learners:          pushTargets,
+			Transport:         net,
+			SkipInterval:      opts.skip,
+			TakeoverTimeout:   opts.takeover,
+			HeartbeatInterval: opts.heartbeat,
+		})
+		if err != nil {
+			t.Fatalf("StartCoordinator: %v", err)
+		}
+		g.coords = append(g.coords, c)
+	}
+	for i := range learnerAddrs {
+		l, err := StartLearner(LearnerConfig{
+			GroupID:      g.group,
+			Addr:         learnerAddrs[i],
+			Transport:    net,
+			Coordinators: candAddrs,
+			GapTimeout:   20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("StartLearner: %v", err)
+		}
+		g.learners = append(g.learners, l)
+	}
+	t.Cleanup(g.close)
+	return g
+}
+
+func (g *testGroup) close() {
+	for _, l := range g.learners {
+		_ = l.Close()
+	}
+	for _, c := range g.coords {
+		_ = c.Close()
+	}
+	for _, a := range g.acceptors {
+		_ = a.Close()
+	}
+}
+
+func (g *testGroup) propose(value []byte) {
+	g.proposeTo(0, value)
+}
+
+func (g *testGroup) proposeTo(candidate int, value []byte) {
+	if err := g.net.Send(g.candAddrs[candidate], NewProposeFrame(g.group, value)); err != nil {
+		g.t.Fatalf("propose: %v", err)
+	}
+}
+
+// collectItems reads batches from a cursor until n items arrive.
+func collectItems(t *testing.T, cur *Cursor, n int) [][]byte {
+	t.Helper()
+	var items [][]byte
+	deadline := time.After(10 * time.Second)
+	got := make(chan struct{})
+	go func() {
+		for len(items) < n {
+			b, _, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if b.Skip {
+				continue
+			}
+			items = append(items, b.Items...)
+		}
+		close(got)
+	}()
+	select {
+	case <-got:
+		return items
+	case <-deadline:
+		t.Fatalf("timed out: collected %d of %d items", len(items), n)
+		return nil
+	}
+}
+
+func TestSingleValueDecided(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	g.propose([]byte("hello"))
+	items := collectItems(t, cur, 1)
+	if string(items[0]) != "hello" {
+		t.Fatalf("decided %q", items[0])
+	}
+}
+
+func TestManyValuesOrderedAndComplete(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	const n = 5000
+	go func() {
+		for i := 0; i < n; i++ {
+			g.propose([]byte(fmt.Sprintf("v%05d", i)))
+		}
+	}()
+	items := collectItems(t, cur, n)
+	if len(items) != n {
+		t.Fatalf("got %d items, want %d", len(items), n)
+	}
+	// Proposals from a single proposer over an ordered link must be
+	// decided in proposal order.
+	for i, item := range items {
+		if want := fmt.Sprintf("v%05d", i); string(item) != want {
+			t.Fatalf("item %d = %q, want %q", i, item, want)
+		}
+	}
+}
+
+func TestTwoLearnersSameSequence(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{learners: 2})
+
+	cur0 := g.learners[0].NewCursor()
+	cur1 := g.learners[1].NewCursor()
+	const n = 1000
+	go func() {
+		for i := 0; i < n; i++ {
+			g.propose([]byte(fmt.Sprintf("v%04d", i)))
+		}
+	}()
+	items0 := collectItems(t, cur0, n)
+	items1 := collectItems(t, cur1, n)
+	if len(items0) != len(items1) {
+		t.Fatalf("learner item counts differ: %d vs %d", len(items0), len(items1))
+	}
+	for i := range items0 {
+		if string(items0[i]) != string(items1[i]) {
+			t.Fatalf("learners diverge at %d: %q vs %q", i, items0[i], items1[i])
+		}
+	}
+}
+
+func TestToleratesOneAcceptorFailure(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	g.propose([]byte("before"))
+	collectItems(t, cur, 1)
+
+	// Crash one of three acceptors: quorum 2 still reachable.
+	net.Drop("acc2")
+	const n = 200
+	for i := 0; i < n; i++ {
+		g.propose([]byte(fmt.Sprintf("after%03d", i)))
+	}
+	items := collectItems(t, cur, n)
+	if len(items) != n {
+		t.Fatalf("got %d items after acceptor crash, want %d", len(items), n)
+	}
+}
+
+func TestLostDecisionRecoveredByLearnReq(t *testing.T) {
+	net := transport.NewMemNetwork(3)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	// Drop decision pushes from the coordinator to the learner for a
+	// while: the learner must catch up via LearnReq once traffic
+	// resumes.
+	net.SetFault("", "learner0", transport.Fault{DropProb: 0.7})
+	const n = 500
+	for i := 0; i < n; i++ {
+		g.propose([]byte(fmt.Sprintf("v%04d", i)))
+	}
+	time.Sleep(50 * time.Millisecond)
+	net.SetFault("", "learner0", transport.Fault{})
+	// One more proposal creates an out-of-order decision beyond any
+	// hole, triggering gap recovery.
+	g.propose([]byte("tail"))
+	items := collectItems(t, cur, n+1)
+	if string(items[n]) != "tail" {
+		t.Fatalf("last item %q, want tail", items[n])
+	}
+}
+
+func TestCoordinatorFailover(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{
+		candidates: 2,
+		takeover:   100 * time.Millisecond,
+		heartbeat:  10 * time.Millisecond,
+	})
+
+	cur := g.learners[0].NewCursor()
+	g.propose([]byte("pre"))
+	collectItems(t, cur, 1)
+
+	// Kill the leader.
+	_ = g.coords[0].Close()
+	net.Drop(g.candAddrs[0])
+
+	// Wait for the standby to take over.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g.coords[1].Status().Leader {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never became leader")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Propose through the new leader.
+	const n = 100
+	for i := 0; i < n; i++ {
+		g.proposeTo(1, []byte(fmt.Sprintf("post%03d", i)))
+	}
+	items := collectItems(t, cur, n)
+	if len(items) != n {
+		t.Fatalf("got %d items after failover, want %d", len(items), n)
+	}
+}
+
+func TestProposalForwardedToLeader(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{
+		candidates: 2,
+		heartbeat:  10 * time.Millisecond,
+	})
+
+	// Give the standby time to learn the leader via heartbeats.
+	time.Sleep(50 * time.Millisecond)
+	cur := g.learners[0].NewCursor()
+	// Propose to the standby: it must forward to candidate 0.
+	g.proposeTo(1, []byte("forwarded"))
+	items := collectItems(t, cur, 1)
+	if string(items[0]) != "forwarded" {
+		t.Fatalf("got %q", items[0])
+	}
+}
+
+func TestSkipBatchesEmittedWhenIdle(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{skip: 5 * time.Millisecond})
+
+	cur := g.learners[0].NewCursor()
+	deadline := time.After(5 * time.Second)
+	type result struct {
+		b  *Batch
+		ok bool
+	}
+	ch := make(chan result, 1)
+	go func() {
+		b, _, ok := cur.Next()
+		ch <- result{b: b, ok: ok}
+	}()
+	select {
+	case r := <-ch:
+		if !r.ok || !r.b.Skip {
+			t.Fatalf("first idle batch = %+v", r.b)
+		}
+		if r.b.SkipSlots == 0 {
+			t.Fatal("skip slots must be >= 1")
+		}
+	case <-deadline:
+		t.Fatal("no skip batch emitted while idle")
+	}
+}
+
+func TestSkipSuppressedUnderLoad(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{skip: time.Millisecond})
+
+	cur := g.learners[0].NewCursor()
+	// Keep the group busy; count skips among the first batches.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				g.propose([]byte("x"))
+			}
+		}
+	}()
+	var batches, skips int
+	deadline := time.Now().Add(3 * time.Second)
+	for batches < 500 && time.Now().Before(deadline) {
+		b, _, ok := cur.Next()
+		if !ok {
+			break
+		}
+		batches++
+		if b.Skip {
+			skips++
+		}
+	}
+	if batches < 500 {
+		t.Fatalf("only %d batches", batches)
+	}
+	// Padding emits at most one skip per tick, so under sustained load
+	// real batches must dominate the sequence.
+	if skips > batches/2 {
+		t.Fatalf("%d skips among %d batches under load", skips, batches)
+	}
+}
+
+func TestLearnerCursorsIndependent(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur1 := g.learners[0].NewCursor()
+	cur2 := g.learners[0].NewCursor()
+	const n = 100
+	for i := 0; i < n; i++ {
+		g.propose([]byte(fmt.Sprintf("v%03d", i)))
+	}
+	a := collectItems(t, cur1, n)
+	b := collectItems(t, cur2, n)
+	for i := range a {
+		if string(a[i]) != string(b[i]) {
+			t.Fatalf("cursors diverge at %d", i)
+		}
+	}
+}
+
+func TestLearnerCloseUnblocksCursor(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			if _, _, ok := cur.Next(); !ok {
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	_ = g.learners[0].Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cursor not unblocked by learner close")
+	}
+}
+
+func TestTryNext(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	if _, _, ready := cur.TryNext(); ready {
+		t.Fatal("TryNext ready on empty log")
+	}
+	g.propose([]byte("x"))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, _, ready := cur.TryNext(); ready {
+			if b.Skip || len(b.Items) != 1 {
+				t.Fatalf("unexpected batch %+v", b)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TryNext never became ready")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestBatchingUnderBurst(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	g := startGroup(t, net, groupOptions{})
+
+	cur := g.learners[0].NewCursor()
+	// A burst of small proposals should be coalesced into far fewer
+	// batches than proposals.
+	const n = 2000
+	for i := 0; i < n; i++ {
+		g.propose([]byte("abcdefgh"))
+	}
+	var batches, items int
+	for items < n {
+		b, _, ok := cur.Next()
+		if !ok {
+			t.Fatal("cursor closed early")
+		}
+		if b.Skip {
+			continue
+		}
+		batches++
+		items += len(b.Items)
+	}
+	if items != n {
+		t.Fatalf("items = %d, want %d", items, n)
+	}
+	if batches >= n/2 {
+		t.Fatalf("batching ineffective: %d batches for %d proposals", batches, n)
+	}
+}
+
+func TestAcceptorNackOnLowerBallot(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+
+	a, err := StartAcceptor(AcceptorConfig{GroupID: 1, ID: 0, Addr: "acc", Transport: net})
+	if err != nil {
+		t.Fatalf("StartAcceptor: %v", err)
+	}
+	defer a.Close()
+
+	reply, err := net.Listen("probe")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+
+	// Promise a high ballot.
+	high := MakeBallot(10, 0)
+	_ = net.Send("acc", encodeMessage(&message{
+		Type: msgPhase1a, Group: 1, Ballot: high, Addr: "probe",
+	}))
+	m := recvMsg(t, reply)
+	if m.Type != msgPhase1b || m.Ballot != high {
+		t.Fatalf("got %v %v", m.Type, m.Ballot)
+	}
+
+	// A lower phase2a must be nacked with the promised ballot.
+	_ = net.Send("acc", encodeMessage(&message{
+		Type: msgPhase2a, Group: 1, Ballot: MakeBallot(5, 0), Instance: 0,
+		Addr: "probe", Value: []byte("v"),
+	}))
+	m = recvMsg(t, reply)
+	if m.Type != msgNack || m.Ballot != high {
+		t.Fatalf("got %v %v, want nack %v", m.Type, m.Ballot, high)
+	}
+
+	// A lower phase1a must also be nacked.
+	_ = net.Send("acc", encodeMessage(&message{
+		Type: msgPhase1a, Group: 1, Ballot: MakeBallot(7, 0), Addr: "probe",
+	}))
+	m = recvMsg(t, reply)
+	if m.Type != msgNack {
+		t.Fatalf("got %v, want nack", m.Type)
+	}
+}
+
+func TestAcceptorReportsAcceptedOnPhase1(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+
+	a, err := StartAcceptor(AcceptorConfig{GroupID: 1, ID: 0, Addr: "acc", Transport: net})
+	if err != nil {
+		t.Fatalf("StartAcceptor: %v", err)
+	}
+	defer a.Close()
+
+	reply, err := net.Listen("probe")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	b1 := MakeBallot(1, 0)
+	for inst := uint64(0); inst < 3; inst++ {
+		_ = net.Send("acc", encodeMessage(&message{
+			Type: msgPhase2a, Group: 1, Ballot: b1, Instance: inst,
+			Addr: "probe", Value: []byte(fmt.Sprintf("v%d", inst)),
+		}))
+		recvMsg(t, reply)
+	}
+	// New ballot's phase 1 must report instances >= 1.
+	b2 := MakeBallot(2, 1)
+	_ = net.Send("acc", encodeMessage(&message{
+		Type: msgPhase1a, Group: 1, Ballot: b2, Instance: 1, Addr: "probe",
+	}))
+	m := recvMsg(t, reply)
+	if m.Type != msgPhase1b {
+		t.Fatalf("got %v", m.Type)
+	}
+	if len(m.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (instances 1,2)", len(m.Entries))
+	}
+	for _, e := range m.Entries {
+		if e.Instance < 1 || e.Instance > 2 {
+			t.Fatalf("unexpected instance %d", e.Instance)
+		}
+		if want := fmt.Sprintf("v%d", e.Instance); string(e.Value) != want {
+			t.Fatalf("entry %d value %q", e.Instance, e.Value)
+		}
+	}
+}
+
+func recvMsg(t *testing.T, ep transport.Endpoint) *message {
+	t.Helper()
+	select {
+	case frame, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed")
+		}
+		m, err := decodeMessage(frame)
+		if err != nil {
+			t.Fatalf("decodeMessage: %v", err)
+		}
+		return m
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return nil
+	}
+}

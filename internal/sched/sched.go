@@ -1,0 +1,370 @@
+// Package sched implements the dependency-aware scheduler shared by
+// the sP-SMR replica and the no-rep server (paper §VI-B): a single
+// scheduler thread admits a sequential stream of commands, tracks
+// conflicts against the live (executing or parked) commands using the
+// service's C-Dep, dispatches independent commands to a pool of worker
+// threads, and serializes dependent ones in admission order.
+//
+// The scheduler is deterministic with respect to its input stream:
+// a command waits for exactly the earlier-admitted live commands that
+// conflict with it, so every pair of dependent commands executes in
+// admission order, while independent commands fan out to whichever
+// workers are free. Being a single thread, the scheduler is also the
+// architectural bottleneck the paper measures: it saturates one core
+// while workers idle (Figures 3, 5 and 7).
+package sched
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/dedup"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Config configures a scheduler and its worker pool.
+type Config struct {
+	// Workers is the execution pool size (the scheduler thread is
+	// extra, matching how the paper counts threads).
+	Workers int
+	// Service is the deterministic state machine.
+	Service command.Service
+	// Compiled answers conflict queries (from the service's C-Dep).
+	Compiled *cdep.Compiled
+	// Transport sends responses.
+	Transport transport.Transport
+	// QueueBound sizes the hand-off channel to the worker pool.
+	// Default 1024 (the scheduler's own ready list is unbounded).
+	QueueBound int
+	// DedupWindow bounds the per-client at-most-once table. Default 512.
+	DedupWindow int
+	// CPU optionally meters scheduler and worker busy time.
+	CPU *bench.CPUMeter
+}
+
+// Scheduler is a running scheduler-worker engine. Feed it with Submit
+// (single producer or externally serialized producers) and stop it
+// with Close.
+type Scheduler struct {
+	cfg Config
+
+	reqCh   chan *command.Request
+	readyCh chan *node
+	doneCh  chan *node
+	stop    chan struct{}
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// node is one admitted command in the dependency graph.
+type node struct {
+	req        *command.Request
+	waitCount  int
+	dependents []*node
+	output     []byte
+
+	keyed  bool
+	writer bool
+	key    uint64
+}
+
+// requestID keys the in-flight duplicate filter.
+type requestID struct {
+	client, seq uint64
+}
+
+// keyState tracks the live commands touching one key: the latest
+// writer plus the readers admitted since. Readers depend on the last
+// writer; a new writer depends on the last writer and all readers.
+type keyState struct {
+	lastWriter *node
+	readers    []*node
+}
+
+// Start launches the scheduler thread and the worker pool.
+func Start(cfg Config) (*Scheduler, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("sched: %d workers", cfg.Workers)
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 1024
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 512
+	}
+	if cfg.Compiled == nil {
+		return nil, fmt.Errorf("sched: Compiled is required")
+	}
+	s := &Scheduler{
+		cfg:     cfg,
+		reqCh:   make(chan *command.Request, 4096),
+		readyCh: make(chan *node, cfg.QueueBound),
+		doneCh:  make(chan *node, cfg.QueueBound),
+		stop:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.schedule()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.work()
+	}
+	return s, nil
+}
+
+// Submit admits one command. It reports false once the scheduler is
+// stopping. Commands are scheduled in Submit order.
+func (s *Scheduler) Submit(req *command.Request) bool {
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	select {
+	case s.reqCh <- req:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// Close drains nothing: it stops the engine and waits for the
+// goroutines to exit.
+func (s *Scheduler) Close() error {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return nil
+}
+
+// schedule is the single scheduler thread: conflict tracking,
+// dependency bookkeeping, dispatch, and response dedup.
+func (s *Scheduler) schedule() {
+	defer s.wg.Done()
+	defer close(s.readyCh)
+
+	cpu := s.cfg.CPU.Role("scheduler")
+	var (
+		live        = make(map[*node]struct{})
+		inflight    = make(map[requestID]struct{})
+		keys        = make(map[uint64]*keyState)
+		lastBarrier *node
+		table       = dedup.NewTable(s.cfg.DedupWindow)
+		ready       []*node
+	)
+
+	release := func(n *node) {
+		delete(live, n)
+		delete(inflight, requestID{client: n.req.Client, seq: n.req.Seq})
+		table.Record(n.req.Client, n.req.Seq, n.output)
+		if lastBarrier == n {
+			lastBarrier = nil
+		}
+		if n.keyed {
+			if ks, ok := keys[n.key]; ok {
+				if n.writer {
+					if ks.lastWriter == n {
+						ks.lastWriter = nil
+					}
+				} else {
+					for i, rd := range ks.readers {
+						if rd == n {
+							ks.readers = append(ks.readers[:i], ks.readers[i+1:]...)
+							break
+						}
+					}
+				}
+				if ks.lastWriter == nil && len(ks.readers) == 0 {
+					delete(keys, n.key)
+				}
+			}
+		}
+		for _, d := range n.dependents {
+			d.waitCount--
+			if d.waitCount == 0 {
+				ready = append(ready, d)
+			}
+		}
+		n.dependents = nil
+	}
+
+	admit := func(req *command.Request) {
+		if out, dup := table.Lookup(req.Client, req.Seq); dup {
+			s.respond(req, out)
+			return
+		}
+		// Drop retransmissions whose original is still live: without
+		// this, a latency spike past the client retry interval admits
+		// duplicate nodes, which lengthens the queue, which raises
+		// latency, which triggers more retransmissions — a metastable
+		// collapse the system never exits. The client is answered when
+		// the original completes (or by the dedup table on its next
+		// retry after that).
+		id := requestID{client: req.Client, seq: req.Seq}
+		if _, dup := inflight[id]; dup {
+			return
+		}
+		inflight[id] = struct{}{}
+		n := &node{req: req}
+		addDep := func(dep *node) {
+			if dep == nil {
+				return
+			}
+			if _, ok := live[dep]; !ok {
+				return
+			}
+			dep.dependents = append(dep.dependents, n)
+			n.waitCount++
+		}
+
+		if s.cfg.Compiled.GlobalConflict(req.Cmd) {
+			// Sequential command: wait for every live command, then
+			// run alone (the paper's scheduler "waits for the worker
+			// threads to finish their ongoing work").
+			for m := range live {
+				addDep(m)
+			}
+			lastBarrier = n
+		} else {
+			addDep(lastBarrier)
+			if key, ok := s.cfg.Compiled.Key(req.Cmd, req.Input); ok &&
+				s.cfg.Compiled.Class(req.Cmd) == cdep.Keyed {
+				n.keyed = true
+				n.key = key
+				// A command conflicting with its own kind on the same
+				// key is a writer; otherwise it only conflicts with
+				// writers.
+				n.writer = s.cfg.Compiled.Conflicts(req.Cmd, req.Input, req.Cmd, req.Input)
+				ks := keys[key]
+				if ks == nil {
+					ks = &keyState{}
+					keys[key] = ks
+				}
+				if n.writer {
+					addDep(ks.lastWriter)
+					for _, rd := range ks.readers {
+						addDep(rd)
+					}
+					ks.lastWriter = n
+					ks.readers = nil
+				} else {
+					addDep(ks.lastWriter)
+					ks.readers = append(ks.readers, n)
+				}
+			}
+		}
+		live[n] = struct{}{}
+		if n.waitCount == 0 {
+			ready = append(ready, n)
+		}
+	}
+
+	// popReady removes the head of the ready list.
+	popReady := func() {
+		ready[0] = nil
+		ready = ready[1:]
+		if len(ready) == 0 {
+			ready = nil
+		}
+	}
+
+	for {
+		// Block for one event; the hand-off arm is enabled only when
+		// the ready list is non-empty (a nil channel disables it).
+		var (
+			handoff chan *node
+			head    *node
+		)
+		if len(ready) > 0 {
+			handoff = s.readyCh
+			head = ready[0]
+		}
+		select {
+		case req := <-s.reqCh:
+			stop := cpu.Busy()
+			admit(req)
+			stop()
+		case n := <-s.doneCh:
+			stop := cpu.Busy()
+			release(n)
+			stop()
+		case handoff <- head:
+			stop := cpu.Busy()
+			popReady()
+			stop()
+		case <-s.stop:
+			return
+		}
+		// Opportunistic drain: handle everything already queued
+		// without further blocking. This amortises scheduler wake-ups
+		// across bursts — a single-thread scheduler lives or dies by
+		// its per-command constant.
+		stop := cpu.Busy()
+		for {
+			progress := false
+			select {
+			case req := <-s.reqCh:
+				if req != nil {
+					admit(req)
+					progress = true
+				}
+			default:
+			}
+			select {
+			case n := <-s.doneCh:
+				release(n)
+				progress = true
+			default:
+			}
+			for len(ready) > 0 {
+				pushed := false
+				select {
+				case s.readyCh <- ready[0]:
+					popReady()
+					progress = true
+					pushed = true
+				default:
+				}
+				if !pushed {
+					break
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		stop()
+	}
+}
+
+// work is one pool worker: execute ready commands, respond, report
+// completion.
+func (s *Scheduler) work() {
+	defer s.wg.Done()
+	cpu := s.cfg.CPU.Role("worker")
+	for n := range s.readyCh {
+		stop := cpu.Busy()
+		n.output = s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+		s.respond(n.req, n.output)
+		stop()
+		select {
+		case s.doneCh <- n:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) respond(req *command.Request, output []byte) {
+	if req.Reply == "" {
+		return
+	}
+	frame := command.AppendResponse(nil, &command.Response{
+		Client: req.Client,
+		Seq:    req.Seq,
+		Output: output,
+	})
+	_ = s.cfg.Transport.Send(req.Reply, frame)
+}

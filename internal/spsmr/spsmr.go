@@ -1,0 +1,139 @@
+// Package spsmr implements semi-parallel state-machine replication
+// (sP-SMR, paper §III and §VI): commands are totally ordered in a
+// single multicast group and delivered as one sequential stream to a
+// scheduler thread, which dispatches independent commands to a pool of
+// worker threads and serializes dependent ones. This is the
+// CBASE-style architecture [Kotla & Dahlin, DSN'04] that the paper
+// positions P-SMR against: execution is parallel, but delivery and
+// scheduling run through a single, bottleneck-prone component.
+//
+// The scheduling engine itself lives in internal/sched and is shared
+// with the no-rep baseline; this package adds the ordered delivery
+// path (learner + delivery pump).
+package spsmr
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/sched"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// ReplicaConfig configures one sP-SMR replica.
+type ReplicaConfig struct {
+	// ReplicaID distinguishes replicas (used in endpoint names).
+	ReplicaID int
+	// Workers is the size of the execution pool (the scheduler thread
+	// is extra, matching how the paper counts threads).
+	Workers int
+	// Service is the deterministic state machine.
+	Service command.Service
+	// Spec is the service's C-Dep, used for conflict queries.
+	Spec cdep.Spec
+	// Group is the single multicast group ordering all commands.
+	Group multicast.GroupConfig
+	// Transport carries replica traffic.
+	Transport transport.Transport
+	// QueueBound sizes the scheduler-to-workers hand-off channel.
+	QueueBound int
+	// DedupWindow bounds the per-client at-most-once table.
+	DedupWindow int
+	// CPU optionally meters scheduler and worker busy time.
+	CPU *bench.CPUMeter
+}
+
+// Replica is an sP-SMR replica: one learner, one delivery pump feeding
+// the single scheduler, and a pool of worker goroutines.
+type Replica struct {
+	learner   *paxos.Learner
+	scheduler *sched.Scheduler
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// LearnerAddr names the replica's learner endpoint for cluster wiring.
+func LearnerAddr(replicaID int, groupID uint32) transport.Addr {
+	return transport.Addr(fmt.Sprintf("r%d/g%d", replicaID, groupID))
+}
+
+// StartReplica wires the learner and launches the scheduling engine.
+func StartReplica(cfg ReplicaConfig) (*Replica, error) {
+	compiled, err := cdep.Compile(cfg.Spec, max(cfg.Workers, 1))
+	if err != nil {
+		return nil, fmt.Errorf("spsmr: compile C-Dep: %w", err)
+	}
+	scheduler, err := sched.Start(sched.Config{
+		Workers:     cfg.Workers,
+		Service:     cfg.Service,
+		Compiled:    compiled,
+		Transport:   cfg.Transport,
+		QueueBound:  cfg.QueueBound,
+		DedupWindow: cfg.DedupWindow,
+		CPU:         cfg.CPU,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("spsmr: start scheduler: %w", err)
+	}
+	learner, err := paxos.StartLearner(paxos.LearnerConfig{
+		GroupID:      cfg.Group.ID,
+		Addr:         LearnerAddr(cfg.ReplicaID, cfg.Group.ID),
+		Transport:    cfg.Transport,
+		Coordinators: cfg.Group.Coordinators,
+		CPU:          cfg.CPU.Role("learner"),
+	})
+	if err != nil {
+		_ = scheduler.Close()
+		return nil, fmt.Errorf("spsmr: start learner: %w", err)
+	}
+	r := &Replica{
+		learner:   learner,
+		scheduler: scheduler,
+		done:      make(chan struct{}),
+	}
+	go r.deliver()
+	return r, nil
+}
+
+// Close stops the replica and waits for all goroutines. Close is
+// idempotent.
+func (r *Replica) Close() error {
+	var err error
+	r.closeOnce.Do(func() {
+		err = r.learner.Close()
+		<-r.done
+		_ = r.scheduler.Close()
+	})
+	return err
+}
+
+// deliver is the delivery pump: it turns the ordered batch stream into
+// the scheduler's sequential admission stream (the defining property
+// of sP-SMR).
+func (r *Replica) deliver() {
+	defer close(r.done)
+	cursor := r.learner.NewCursor()
+	for {
+		batch, _, ok := cursor.Next()
+		if !ok {
+			return
+		}
+		if batch.Skip {
+			continue
+		}
+		for _, item := range batch.Items {
+			req, _, err := command.DecodeRequest(item)
+			if err != nil {
+				continue
+			}
+			if !r.scheduler.Submit(req) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Fault describes the failure behaviour of a directed link in the
+// in-process network. The zero value is a perfect link.
+type Fault struct {
+	// DropProb is the probability in [0,1] that a frame is silently
+	// dropped.
+	DropProb float64
+	// DupProb is the probability in [0,1] that a frame is delivered
+	// twice.
+	DupProb float64
+	// Delay delays every frame on the link by a fixed duration.
+	// Delayed frames may be reordered relative to undelayed traffic on
+	// other links but stay ordered within the link.
+	Delay time.Duration
+	// Partitioned drops every frame on the link.
+	Partitioned bool
+}
+
+// MemNetwork is an in-process simulated network. Endpoints are goroutine
+// mailboxes; Send never blocks (each endpoint has an unbounded inbound
+// queue). Per-link faults can be injected for tests.
+//
+// The send path takes the network lock in read mode (routing tables
+// change rarely, traffic is constant), so concurrent senders do not
+// serialize on the network itself.
+//
+// The zero value is not usable; create networks with NewMemNetwork.
+type MemNetwork struct {
+	mu        sync.RWMutex
+	rngMu     sync.Mutex // guards rng (only taken on faulty links)
+	endpoints map[Addr]*memEndpoint
+	faults    map[linkKey]Fault
+	defFault  Fault
+	rng       *rand.Rand
+	closed    bool
+	delayWG   sync.WaitGroup
+}
+
+type linkKey struct {
+	from, to Addr
+}
+
+// NewMemNetwork creates an empty in-process network. The seed drives the
+// fault-injection randomness so failure tests are reproducible.
+func NewMemNetwork(seed int64) *MemNetwork {
+	return &MemNetwork{
+		endpoints: make(map[Addr]*memEndpoint),
+		faults:    make(map[linkKey]Fault),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Listen implements Transport.
+func (n *MemNetwork) Listen(addr Addr) (Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, ErrDuplicateAddr
+	}
+	ep := &memEndpoint{net: n, addr: addr, queue: newFrameQueue()}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Send implements Transport. Frames to unknown addresses are dropped
+// (returning ErrNoRoute) because a crashed process's mailbox disappears;
+// protocols must treat this like loss.
+func (n *MemNetwork) Send(to Addr, frame []byte) error {
+	return n.send("", to, frame)
+}
+
+// SendFrom is like Send but attributes the frame to a source address so
+// that per-link faults apply. Endpoints returned by Listen use it
+// implicitly through their Sender view.
+func (n *MemNetwork) SendFrom(from, to Addr, frame []byte) error {
+	return n.send(from, to, frame)
+}
+
+func (n *MemNetwork) send(from, to Addr, frame []byte) error {
+	n.mu.RLock()
+	if n.closed {
+		n.mu.RUnlock()
+		return ErrClosed
+	}
+	ep, ok := n.endpoints[to]
+	if !ok {
+		n.mu.RUnlock()
+		return ErrNoRoute
+	}
+	fault, hasLink := n.faults[linkKey{from: from, to: to}]
+	if !hasLink {
+		fault = n.defFault
+	}
+	drop := fault.Partitioned
+	dup := false
+	if !drop && (fault.DropProb > 0 || fault.DupProb > 0) {
+		n.rngMu.Lock()
+		if fault.DropProb > 0 {
+			drop = n.rng.Float64() < fault.DropProb
+		}
+		if !drop && fault.DupProb > 0 {
+			dup = n.rng.Float64() < fault.DupProb
+		}
+		n.rngMu.Unlock()
+	}
+	delay := fault.Delay
+	if !drop && delay > 0 {
+		n.delayWG.Add(1)
+	}
+	n.mu.RUnlock()
+
+	if drop {
+		return nil
+	}
+	if delay > 0 {
+		go func() {
+			defer n.delayWG.Done()
+			time.Sleep(delay)
+			ep.queue.push(frame)
+			if dup {
+				ep.queue.push(frame)
+			}
+		}()
+		return nil
+	}
+	ep.queue.push(frame)
+	if dup {
+		ep.queue.push(frame)
+	}
+	return nil
+}
+
+// SetFault installs a fault on the directed link from -> to. Faults only
+// apply to frames sent with a known source (SendFrom or endpoint
+// senders). Passing the zero Fault restores a perfect link.
+func (n *MemNetwork) SetFault(from, to Addr, f Fault) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if f == (Fault{}) {
+		delete(n.faults, linkKey{from: from, to: to})
+		return
+	}
+	n.faults[linkKey{from: from, to: to}] = f
+}
+
+// SetDefaultFault installs a fault applied to every link without an
+// explicit per-link fault, including frames sent without a source.
+func (n *MemNetwork) SetDefaultFault(f Fault) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.defFault = f
+}
+
+// Drop unregisters the endpoint at addr, simulating a process crash: its
+// mailbox vanishes and in-flight frames to it are lost.
+func (n *MemNetwork) Drop(addr Addr) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	if ok {
+		delete(n.endpoints, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		ep.queue.close()
+	}
+}
+
+// Close implements Transport.
+func (n *MemNetwork) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*memEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.endpoints = make(map[Addr]*memEndpoint)
+	n.mu.Unlock()
+
+	n.delayWG.Wait()
+	for _, ep := range eps {
+		ep.queue.close()
+	}
+	return nil
+}
+
+var _ Transport = (*MemNetwork)(nil)
+
+type memEndpoint struct {
+	net   *MemNetwork
+	addr  Addr
+	queue *frameQueue
+
+	closeOnce sync.Once
+}
+
+func (e *memEndpoint) Addr() Addr          { return e.addr }
+func (e *memEndpoint) Recv() <-chan []byte { return e.queue.out }
+
+func (e *memEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.net.mu.Lock()
+		if e.net.endpoints[e.addr] == e {
+			delete(e.net.endpoints, e.addr)
+		}
+		e.net.mu.Unlock()
+		e.queue.close()
+	})
+	return nil
+}
+
+var _ Endpoint = (*memEndpoint)(nil)

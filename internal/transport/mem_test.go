@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func recvOne(t *testing.T, ep Endpoint) []byte {
+	t.Helper()
+	select {
+	case frame, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed while waiting for frame")
+		}
+		return frame
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for frame")
+		return nil
+	}
+}
+
+func expectNone(t *testing.T, ep Endpoint, wait time.Duration) {
+	t.Helper()
+	select {
+	case frame, ok := <-ep.Recv():
+		if ok {
+			t.Fatalf("unexpected frame %q", frame)
+		}
+	case <-time.After(wait):
+	}
+}
+
+func TestMemSendRecv(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	ep, err := n.Listen("a")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if got := ep.Addr(); got != "a" {
+		t.Fatalf("Addr = %q, want %q", got, "a")
+	}
+	if err := n.Send("a", []byte("hello")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := string(recvOne(t, ep)); got != "hello" {
+		t.Fatalf("recv = %q, want %q", got, "hello")
+	}
+}
+
+func TestMemOrderingPerLink(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	ep, err := n.Listen("dst")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	const count = 1000
+	for i := 0; i < count; i++ {
+		if err := n.SendFrom("src", "dst", []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		frame := recvOne(t, ep)
+		got := int(frame[0]) | int(frame[1])<<8
+		if got != i {
+			t.Fatalf("frame %d out of order: got %d", i, got)
+		}
+	}
+}
+
+func TestMemDuplicateListen(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := n.Listen("a"); err != ErrDuplicateAddr {
+		t.Fatalf("second Listen err = %v, want ErrDuplicateAddr", err)
+	}
+}
+
+func TestMemNoRoute(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	if err := n.Send("missing", []byte("x")); err != ErrNoRoute {
+		t.Fatalf("Send err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestMemPartition(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	ep, err := n.Listen("b")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	n.SetFault("a", "b", Fault{Partitioned: true})
+	if err := n.SendFrom("a", "b", []byte("dropped")); err != nil {
+		t.Fatalf("SendFrom: %v", err)
+	}
+	expectNone(t, ep, 50*time.Millisecond)
+
+	// Healing the partition restores delivery.
+	n.SetFault("a", "b", Fault{})
+	if err := n.SendFrom("a", "b", []byte("ok")); err != nil {
+		t.Fatalf("SendFrom after heal: %v", err)
+	}
+	if got := string(recvOne(t, ep)); got != "ok" {
+		t.Fatalf("recv = %q, want %q", got, "ok")
+	}
+}
+
+func TestMemDropProbability(t *testing.T) {
+	n := NewMemNetwork(42)
+	defer n.Close()
+
+	ep, err := n.Listen("b")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	n.SetFault("a", "b", Fault{DropProb: 0.5})
+	const sent = 2000
+	for i := 0; i < sent; i++ {
+		if err := n.SendFrom("a", "b", []byte{1}); err != nil {
+			t.Fatalf("SendFrom: %v", err)
+		}
+	}
+	n.SetFault("a", "b", Fault{})
+	if err := n.SendFrom("a", "b", []byte("end")); err != nil {
+		t.Fatalf("SendFrom end: %v", err)
+	}
+	received := 0
+	for {
+		frame := recvOne(t, ep)
+		if string(frame) == "end" {
+			break
+		}
+		received++
+	}
+	if received < sent/3 || received > 2*sent/3 {
+		t.Fatalf("received %d of %d with 50%% drop, outside [1/3, 2/3]", received, sent)
+	}
+}
+
+func TestMemDuplication(t *testing.T) {
+	n := NewMemNetwork(7)
+	defer n.Close()
+
+	ep, err := n.Listen("b")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	n.SetFault("a", "b", Fault{DupProb: 1.0})
+	if err := n.SendFrom("a", "b", []byte("x")); err != nil {
+		t.Fatalf("SendFrom: %v", err)
+	}
+	if got := string(recvOne(t, ep)); got != "x" {
+		t.Fatalf("first copy = %q", got)
+	}
+	if got := string(recvOne(t, ep)); got != "x" {
+		t.Fatalf("second copy = %q", got)
+	}
+}
+
+func TestMemDelay(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	ep, err := n.Listen("b")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	n.SetFault("a", "b", Fault{Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := n.SendFrom("a", "b", []byte("late")); err != nil {
+		t.Fatalf("SendFrom: %v", err)
+	}
+	recvOne(t, ep)
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("frame arrived after %v, want >= 25ms", elapsed)
+	}
+}
+
+func TestMemDropEndpointSimulatesCrash(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	if _, err := n.Listen("victim"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	n.Drop("victim")
+	if err := n.Send("victim", []byte("x")); err != ErrNoRoute {
+		t.Fatalf("Send to crashed err = %v, want ErrNoRoute", err)
+	}
+	// The address can be reused (process restart).
+	if _, err := n.Listen("victim"); err != nil {
+		t.Fatalf("re-Listen: %v", err)
+	}
+}
+
+func TestMemEndpointClose(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	ep, err := n.Listen("a")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := ep.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, ok := <-ep.Recv(); ok {
+		t.Fatal("Recv channel open after Close")
+	}
+	// Double close is safe.
+	if err := ep.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestMemCloseUnblocksReceivers(t *testing.T) {
+	n := NewMemNetwork(1)
+	ep, err := n.Listen("a")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ep.Recv()
+	}()
+	if err := n.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver not unblocked by Close")
+	}
+	if err := n.Send("a", []byte("x")); err != ErrClosed {
+		t.Fatalf("Send after Close err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMemConcurrentSenders(t *testing.T) {
+	n := NewMemNetwork(1)
+	defer n.Close()
+
+	ep, err := n.Listen("sink")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	const (
+		senders = 16
+		perSend = 500
+	)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			from := Addr(fmt.Sprintf("src%d", id))
+			for i := 0; i < perSend; i++ {
+				if err := n.SendFrom(from, "sink", []byte{byte(id)}); err != nil {
+					t.Errorf("SendFrom: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	counts := make(map[byte]int)
+	for i := 0; i < senders*perSend; i++ {
+		counts[recvOne(t, ep)[0]]++
+	}
+	wg.Wait()
+	for id, c := range counts {
+		if c != perSend {
+			t.Fatalf("sender %d delivered %d frames, want %d", id, c, perSend)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package transport
+
+import "sync"
+
+// frameQueue is an unbounded MPSC queue of frames. Senders never block,
+// which prevents protocol deadlocks where two components send to each
+// other through bounded channels. The consumer side is exposed as a
+// channel fed by a pump goroutine so that receivers can select over it.
+type frameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames [][]byte
+	closed bool
+
+	out  chan []byte
+	stop chan struct{} // closed by close(), unblocks the pump
+	done chan struct{} // closed by the pump on exit
+}
+
+func newFrameQueue() *frameQueue {
+	q := &frameQueue{
+		// A buffered output channel amortises scheduler wake-ups under
+		// load; the queue behind it is still unbounded.
+		out:  make(chan []byte, 512),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	go q.pump()
+	return q
+}
+
+// push enqueues one frame. It reports false if the queue is closed.
+func (q *frameQueue) push(frame []byte) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.frames = append(q.frames, frame)
+	q.cond.Signal()
+	return true
+}
+
+// close stops the queue, discards pending frames, closes the output
+// channel, and waits for the pump goroutine to exit.
+func (q *frameQueue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.stop)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+	<-q.done
+}
+
+// pump moves frames from the internal slice to the output channel.
+func (q *frameQueue) pump() {
+	defer close(q.done)
+	defer close(q.out)
+	for {
+		q.mu.Lock()
+		for len(q.frames) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		frame := q.frames[0]
+		q.frames[0] = nil
+		q.frames = q.frames[1:]
+		// Release the backing array once drained so a burst does not
+		// pin memory forever.
+		if len(q.frames) == 0 && cap(q.frames) > 1024 {
+			q.frames = nil
+		}
+		q.mu.Unlock()
+
+		select {
+		case q.out <- frame:
+		case <-q.stop:
+			return
+		}
+	}
+}

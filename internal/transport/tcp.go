@@ -1,0 +1,317 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+)
+
+// maxFrameSize bounds a single frame on the wire (16 MiB). Larger frames
+// indicate a corrupt stream and kill the connection.
+const maxFrameSize = 16 << 20
+
+// TCPNode is the Transport of one process in a TCP deployment. A node
+// listens on a single host:port and multiplexes any number of logical
+// endpoints over it. Addresses have the form "host:port/logical".
+//
+// Frames are length-prefixed: 4-byte big-endian total length, 2-byte
+// logical-name length, logical name, payload. Outbound connections are
+// cached per remote host:port and re-dialled on demand after failures.
+type TCPNode struct {
+	listener net.Listener
+	hostPort string
+
+	mu        sync.Mutex
+	endpoints map[string]*tcpEndpoint // keyed by logical name
+	conns     map[string]*tcpConn     // keyed by remote host:port
+	inbound   map[net.Conn]struct{}   // accepted connections
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCPNode starts a node listening on the given host:port. Use ":0" to
+// pick a free port; the effective address is available via HostPort.
+func NewTCPNode(listen string) (*TCPNode, error) {
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("tcp listen: %w", err)
+	}
+	n := &TCPNode{
+		listener:  ln,
+		hostPort:  ln.Addr().String(),
+		endpoints: make(map[string]*tcpEndpoint),
+		conns:     make(map[string]*tcpConn),
+		inbound:   make(map[net.Conn]struct{}),
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// HostPort returns the host:port this node listens on.
+func (n *TCPNode) HostPort() string { return n.hostPort }
+
+// Addr builds a full address for a logical endpoint on this node.
+func (n *TCPNode) Addr(logical string) Addr {
+	return Addr(n.hostPort + "/" + logical)
+}
+
+// Listen implements Transport. The address must name this node
+// ("host:port/logical" with a matching host:port) or be a bare logical
+// name, in which case it is resolved against this node.
+func (n *TCPNode) Listen(addr Addr) (Endpoint, error) {
+	hostPort, logical, err := splitTCPAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	if hostPort == "" {
+		hostPort = n.hostPort
+	}
+	if hostPort != n.hostPort {
+		return nil, fmt.Errorf("listen on %q: node is %q: %w", addr, n.hostPort, ErrNoRoute)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[logical]; ok {
+		return nil, ErrDuplicateAddr
+	}
+	ep := &tcpEndpoint{
+		node:    n,
+		addr:    Addr(hostPort + "/" + logical),
+		logical: logical,
+		queue:   newFrameQueue(),
+	}
+	n.endpoints[logical] = ep
+	return ep, nil
+}
+
+// Send implements Transport.
+func (n *TCPNode) Send(to Addr, frame []byte) error {
+	hostPort, logical, err := splitTCPAddr(to)
+	if err != nil {
+		return err
+	}
+	if hostPort == "" || hostPort == n.hostPort {
+		return n.deliverLocal(logical, frame)
+	}
+	return n.sendRemote(hostPort, logical, frame)
+}
+
+func (n *TCPNode) deliverLocal(logical string, frame []byte) error {
+	n.mu.Lock()
+	ep, ok := n.endpoints[logical]
+	n.mu.Unlock()
+	if !ok {
+		return ErrNoRoute
+	}
+	if !ep.queue.push(frame) {
+		return ErrClosed
+	}
+	return nil
+}
+
+func (n *TCPNode) sendRemote(hostPort, logical string, frame []byte) error {
+	tc, err := n.getConn(hostPort)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 6+len(logical)+len(frame))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(2+len(logical)+len(frame)))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(logical)))
+	buf = append(buf, logical...)
+	buf = append(buf, frame...)
+
+	tc.mu.Lock()
+	_, werr := tc.conn.Write(buf)
+	tc.mu.Unlock()
+	if werr != nil {
+		n.dropConn(hostPort, tc)
+		return fmt.Errorf("tcp send to %s: %w", hostPort, werr)
+	}
+	return nil
+}
+
+func (n *TCPNode) getConn(hostPort string) (*tcpConn, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if tc, ok := n.conns[hostPort]; ok {
+		n.mu.Unlock()
+		return tc, nil
+	}
+	n.mu.Unlock()
+
+	conn, err := net.Dial("tcp", hostPort)
+	if err != nil {
+		return nil, fmt.Errorf("tcp dial %s: %w", hostPort, err)
+	}
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if tc, ok := n.conns[hostPort]; ok {
+		// Lost the race; keep the existing connection.
+		_ = conn.Close()
+		return tc, nil
+	}
+	tc := &tcpConn{conn: conn}
+	n.conns[hostPort] = tc
+	return tc, nil
+}
+
+func (n *TCPNode) dropConn(hostPort string, tc *tcpConn) {
+	n.mu.Lock()
+	if n.conns[hostPort] == tc {
+		delete(n.conns, hostPort)
+	}
+	n.mu.Unlock()
+	_ = tc.conn.Close()
+}
+
+// Close implements Transport.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	eps := make([]*tcpEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.endpoints = make(map[string]*tcpEndpoint)
+	conns := n.conns
+	n.conns = make(map[string]*tcpConn)
+	inbound := n.inbound
+	n.inbound = make(map[net.Conn]struct{})
+	n.mu.Unlock()
+
+	_ = n.listener.Close()
+	for _, tc := range conns {
+		_ = tc.conn.Close()
+	}
+	for conn := range inbound {
+		_ = conn.Close()
+	}
+	n.wg.Wait()
+	for _, ep := range eps {
+		ep.queue.close()
+	}
+	return nil
+}
+
+func (n *TCPNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.listener.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *TCPNode) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+		_ = conn.Close()
+	}()
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		size := binary.BigEndian.Uint32(header[:])
+		if size < 2 || size > maxFrameSize {
+			return
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		nameLen := int(binary.BigEndian.Uint16(body[:2]))
+		if 2+nameLen > len(body) {
+			return
+		}
+		logical := string(body[2 : 2+nameLen])
+		frame := body[2+nameLen:]
+		// Frames for unknown endpoints are dropped, like loss.
+		_ = n.deliverLocal(logical, frame)
+	}
+}
+
+var _ Transport = (*TCPNode)(nil)
+
+type tcpEndpoint struct {
+	node    *TCPNode
+	addr    Addr
+	logical string
+	queue   *frameQueue
+
+	closeOnce sync.Once
+}
+
+func (e *tcpEndpoint) Addr() Addr          { return e.addr }
+func (e *tcpEndpoint) Recv() <-chan []byte { return e.queue.out }
+
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.node.mu.Lock()
+		if e.node.endpoints[e.logical] == e {
+			delete(e.node.endpoints, e.logical)
+		}
+		e.node.mu.Unlock()
+		e.queue.close()
+	})
+	return nil
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+// splitTCPAddr splits "host:port/logical" into its parts. Logical
+// names may themselves contain slashes ("g0/coord0"), so the host:port
+// prefix is recognised by its colon: an address whose first segment
+// has no colon is a bare logical name on this node.
+func splitTCPAddr(addr Addr) (hostPort, logical string, err error) {
+	s := string(addr)
+	i := strings.IndexByte(s, '/')
+	if i < 0 || !strings.Contains(s[:i], ":") {
+		return "", s, nil
+	}
+	hostPort, logical = s[:i], s[i+1:]
+	if logical == "" {
+		return "", "", errors.New("transport: empty logical name in " + s)
+	}
+	return hostPort, logical, nil
+}

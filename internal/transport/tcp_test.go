@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func newTestNode(t *testing.T) *TCPNode {
+	t.Helper()
+	n, err := NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPNode: %v", err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	return n
+}
+
+func TestTCPLocalDelivery(t *testing.T) {
+	n := newTestNode(t)
+	ep, err := n.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := n.Send(n.Addr("svc"), []byte("local")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := string(recvOne(t, ep)); got != "local" {
+		t.Fatalf("recv = %q", got)
+	}
+}
+
+func TestTCPRemoteDelivery(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+
+	ep, err := b.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	payload := bytes.Repeat([]byte("x"), 100_000)
+	if err := a.Send(b.Addr("svc"), payload); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := recvOne(t, ep)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %d bytes, want %d", len(got), len(payload))
+	}
+}
+
+func TestTCPManyFramesOrdered(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+
+	ep, err := b.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	const count = 2000
+	for i := 0; i < count; i++ {
+		frame := []byte{byte(i), byte(i >> 8)}
+		if err := a.Send(b.Addr("svc"), frame); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	for i := 0; i < count; i++ {
+		frame := recvOne(t, ep)
+		if got := int(frame[0]) | int(frame[1])<<8; got != i {
+			t.Fatalf("frame %d out of order: got %d", i, got)
+		}
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+
+	epA, err := a.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen a: %v", err)
+	}
+	epB, err := b.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen b: %v", err)
+	}
+	if err := a.Send(b.Addr("svc"), []byte("ping")); err != nil {
+		t.Fatalf("Send ping: %v", err)
+	}
+	if got := string(recvOne(t, epB)); got != "ping" {
+		t.Fatalf("b recv = %q", got)
+	}
+	if err := b.Send(a.Addr("svc"), []byte("pong")); err != nil {
+		t.Fatalf("Send pong: %v", err)
+	}
+	if got := string(recvOne(t, epA)); got != "pong" {
+		t.Fatalf("a recv = %q", got)
+	}
+}
+
+func TestTCPUnknownLogicalDropped(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+
+	// Nothing listening on "ghost": the frame must be silently dropped
+	// without killing the connection.
+	if err := a.Send(b.Addr("ghost"), []byte("lost")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	ep, err := b.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if err := a.Send(b.Addr("svc"), []byte("ok")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got := string(recvOne(t, ep)); got != "ok" {
+		t.Fatalf("recv = %q", got)
+	}
+}
+
+func TestTCPSendToDeadNode(t *testing.T) {
+	a := newTestNode(t)
+	b := newTestNode(t)
+	addr := b.Addr("svc")
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close b: %v", err)
+	}
+	// Dial fails or the write eventually errors; either way Send must
+	// not hang and should eventually report a problem.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(addr, []byte("x")); err != nil {
+			return
+		}
+	}
+	t.Fatal("Send to dead node never returned an error")
+}
+
+func TestTCPListenWrongHost(t *testing.T) {
+	a := newTestNode(t)
+	if _, err := a.Listen("1.2.3.4:9/svc"); err == nil {
+		t.Fatal("Listen on foreign host:port succeeded, want error")
+	}
+}
+
+func TestSplitTCPAddr(t *testing.T) {
+	tests := []struct {
+		give         Addr
+		wantHostPort string
+		wantLogical  string
+		wantErr      bool
+	}{
+		{give: "127.0.0.1:80/a", wantHostPort: "127.0.0.1:80", wantLogical: "a"},
+		{give: "bare", wantHostPort: "", wantLogical: "bare"},
+		{give: "g0/coord0", wantHostPort: "", wantLogical: "g0/coord0"},
+		{give: "h:1/a/b", wantHostPort: "h:1", wantLogical: "a/b"},
+		{give: "h:1/", wantErr: true},
+	}
+	for _, tt := range tests {
+		hostPort, logical, err := splitTCPAddr(tt.give)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("splitTCPAddr(%q): no error", tt.give)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("splitTCPAddr(%q): %v", tt.give, err)
+			continue
+		}
+		if hostPort != tt.wantHostPort || logical != tt.wantLogical {
+			t.Errorf("splitTCPAddr(%q) = (%q, %q), want (%q, %q)",
+				tt.give, hostPort, logical, tt.wantHostPort, tt.wantLogical)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package psmr_test
+
+// raceEnabled scales down workload sizes when the race detector
+// multiplies the cost of every synchronization operation.
+const raceEnabled = false

@@ -1,0 +1,416 @@
+// Package psmr is a production-quality Go implementation of Parallel
+// State-Machine Replication (P-SMR) from "Rethinking State-Machine
+// Replication for Parallelism" (Marandi, Bezerra, Pedone — ICDCS 2014),
+// together with the replication baselines the paper evaluates.
+//
+// The package wires complete replicated deployments: per-group Paxos
+// (coordinator candidates, acceptors, learners), the atomic-multicast
+// layer with deterministic merge, and the replica execution engines:
+//
+//   - ModePSMR  — parallel delivery and parallel execution (the paper's
+//     contribution): k worker threads, k parallel groups plus one
+//     serial group, Algorithm 1's parallel/synchronous execution modes.
+//   - ModeSMR   — classic state-machine replication: sequential
+//     delivery, sequential execution (k = 1, one group).
+//   - ModeSPSMR — semi-parallel SMR: sequential delivery into a single
+//     scheduler that dispatches independent commands onto a worker
+//     pool (the CBASE/Eve family the paper compares against).
+//
+// A Cluster runs all roles in one process over an in-process message
+// network, which is how the test-suite and the benchmark harness
+// reproduce the paper's evaluation; the cmd/ directory wires the same
+// components over TCP for multi-process deployments.
+package psmr
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/core"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/spsmr"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Mode selects the replication technique (Table I of the paper).
+type Mode int
+
+// Replication modes.
+const (
+	// ModePSMR is Parallel State-Machine Replication: parallel
+	// delivery, parallel execution.
+	ModePSMR Mode = iota + 1
+	// ModeSMR is classic state-machine replication: sequential
+	// delivery, sequential execution.
+	ModeSMR
+	// ModeSPSMR is semi-parallel state-machine replication: sequential
+	// delivery through a scheduler, parallel execution.
+	ModeSPSMR
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModePSMR:
+		return "P-SMR"
+	case ModeSMR:
+		return "SMR"
+	case ModeSPSMR:
+		return "sP-SMR"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config describes a replicated deployment.
+type Config struct {
+	// Mode selects the replication technique.
+	Mode Mode
+	// Workers is the multiprogramming level (worker threads per
+	// replica). ModeSMR forces 1.
+	Workers int
+	// Replicas is the number of server replicas (the paper uses
+	// n = f+1 = 2). Default 2.
+	Replicas int
+	// Acceptors per Paxos group. Default 3 (tolerates one failure).
+	Acceptors int
+	// CoordinatorCandidates per group (>=2 enables fail-over). Default 1.
+	CoordinatorCandidates int
+	// NewService builds one deterministic service instance per replica.
+	NewService func() command.Service
+	// Spec is the service's command-dependency specification (C-Dep).
+	Spec cdep.Spec
+	// Placement optionally pins hot keys to groups (see cdep.WithPlacement).
+	Placement map[uint64]int
+	// Transport defaults to a fresh in-process network. Provide a
+	// MemNetwork to inject faults in tests, or a TCPNode to host the
+	// cluster's roles in a process reachable over the network.
+	Transport transport.Transport
+
+	// MergeWeight is the deterministic merge weight (= coordinator skip
+	// slots, one slot per command). Default 256.
+	MergeWeight int
+	// SkipInterval is the coordinators' skip padding period. Default
+	// 1ms. Only groups that feed multi-stream merges pad (the serial
+	// group and parallel groups in ModePSMR with k >= 1).
+	SkipInterval time.Duration
+	// BatchMaxBytes is the consensus batch size limit. Default 8192
+	// (the paper's 8 KB).
+	BatchMaxBytes int
+	// FlushInterval bounds batch formation latency. Default 200µs.
+	FlushInterval time.Duration
+	// RetryInterval is the client retransmission interval. Default 3s.
+	RetryInterval time.Duration
+	// SchedulerQueue bounds the sP-SMR ready queue. Default 4096.
+	SchedulerQueue int
+
+	// CPU, when set, meters every role's busy time.
+	CPU *bench.CPUMeter
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Mode == ModeSMR {
+		c.Workers = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Workers > 64 {
+		return fmt.Errorf("psmr: %d workers exceed the 64-worker bitset", c.Workers)
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Acceptors <= 0 {
+		c.Acceptors = 3
+	}
+	if c.CoordinatorCandidates <= 0 {
+		c.CoordinatorCandidates = 1
+	}
+	if c.NewService == nil {
+		return errors.New("psmr: Config.NewService is required")
+	}
+	if c.MergeWeight <= 0 {
+		c.MergeWeight = 256
+	}
+	if c.SkipInterval <= 0 {
+		c.SkipInterval = time.Millisecond
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 3 * time.Second
+	}
+	if c.Transport == nil {
+		c.Transport = transport.NewMemNetwork(1)
+	}
+	return nil
+}
+
+// groupCount returns how many multicast groups the mode needs.
+func (c *Config) groupCount() int {
+	switch c.Mode {
+	case ModePSMR:
+		if c.Workers == 1 {
+			// Degenerate P-SMR: a single worker needs no serial group.
+			return 1
+		}
+		return c.Workers + 1
+	default:
+		// SMR and sP-SMR order everything through one group.
+		return 1
+	}
+}
+
+// Cluster is a running deployment: Paxos roles plus replicas, all over
+// one transport.
+type Cluster struct {
+	cfg    Config
+	cg     *cdep.Compiled // client-side C-G (γ over workers)
+	groups []multicast.GroupConfig
+
+	acceptors []*paxos.Acceptor
+	coords    []*paxos.Coordinator
+	replicas  []*core.Replica
+	schedRepl []*spsmr.Replica
+
+	clientSeq uint64
+	closed    bool
+}
+
+// StartCluster launches every role of a deployment and returns once
+// all components are running.
+func StartCluster(cfg Config) (*Cluster, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	switch cfg.Mode {
+	case ModePSMR, ModeSMR, ModeSPSMR:
+	default:
+		return nil, fmt.Errorf("psmr: unknown mode %d", int(cfg.Mode))
+	}
+
+	// The client-side C-G is always compiled against the
+	// multiprogramming level; sP-SMR and SMR route every request
+	// through their single group regardless, and sP-SMR's scheduler
+	// re-derives conflicts from the same spec.
+	var placementOpts []cdep.Option
+	if cfg.Placement != nil {
+		placementOpts = append(placementOpts, cdep.WithPlacement(cfg.Placement))
+	}
+	cg, err := cdep.Compile(cfg.Spec, cfg.Workers, placementOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("psmr: compile C-Dep: %w", err)
+	}
+
+	cl := &Cluster{cfg: cfg, cg: cg}
+	if err := cl.startOrdering(); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if err := cl.startReplicas(); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	return cl, nil
+}
+
+// startOrdering launches acceptors and coordinators for every group.
+func (cl *Cluster) startOrdering() error {
+	cfg := &cl.cfg
+	nGroups := cfg.groupCount()
+
+	// Learner push targets per group: one learner endpoint per
+	// (replica, group), named by core.LearnerAddr.
+	for g := 0; g < nGroups; g++ {
+		gid := uint32(g)
+		accAddrs := make([]transport.Addr, cfg.Acceptors)
+		for i := range accAddrs {
+			accAddrs[i] = transport.Addr(fmt.Sprintf("g%d/acc%d", g, i))
+		}
+		candAddrs := make([]transport.Addr, cfg.CoordinatorCandidates)
+		for i := range candAddrs {
+			candAddrs[i] = transport.Addr(fmt.Sprintf("g%d/coord%d", g, i))
+		}
+		var pushAddrs []transport.Addr
+		for r := 0; r < cfg.Replicas; r++ {
+			pushAddrs = append(pushAddrs, core.LearnerAddr(r, gid))
+		}
+		// Standby candidates track decisions for retransmission.
+		pushAddrs = append(pushAddrs, candAddrs[1:]...)
+
+		for i := range accAddrs {
+			a, err := paxos.StartAcceptor(paxos.AcceptorConfig{
+				GroupID:   gid,
+				ID:        uint32(i),
+				Addr:      accAddrs[i],
+				Transport: cfg.Transport,
+				CPU:       cfg.CPU.Role("acceptor"),
+			})
+			if err != nil {
+				return fmt.Errorf("psmr: start acceptor g%d/%d: %w", g, i, err)
+			}
+			cl.acceptors = append(cl.acceptors, a)
+		}
+		// Multi-stream merges need every merged group to pad its slot
+		// rate; single-group modes never merge, so padding is waste.
+		skip := cfg.SkipInterval
+		if nGroups == 1 {
+			skip = 0
+		}
+		for i := range candAddrs {
+			co, err := paxos.StartCoordinator(paxos.CoordinatorConfig{
+				GroupID:       gid,
+				CandidateIdx:  i,
+				Candidates:    candAddrs,
+				Acceptors:     accAddrs,
+				Learners:      pushAddrs,
+				Transport:     cfg.Transport,
+				BatchMaxBytes: cfg.BatchMaxBytes,
+				FlushInterval: cfg.FlushInterval,
+				SkipInterval:  skip,
+				SkipSlots:     uint32(cfg.MergeWeight),
+				CPU:           cfg.CPU.Role("coordinator"),
+			})
+			if err != nil {
+				return fmt.Errorf("psmr: start coordinator g%d/%d: %w", g, i, err)
+			}
+			cl.coords = append(cl.coords, co)
+		}
+		cl.groups = append(cl.groups, multicast.GroupConfig{
+			ID:           gid,
+			Coordinators: candAddrs,
+			Acceptors:    accAddrs,
+		})
+	}
+	return nil
+}
+
+// startReplicas launches the mode-specific execution engines.
+func (cl *Cluster) startReplicas() error {
+	cfg := &cl.cfg
+	for r := 0; r < cfg.Replicas; r++ {
+		switch cfg.Mode {
+		case ModePSMR, ModeSMR:
+			rep, err := core.StartReplica(core.ReplicaConfig{
+				ReplicaID:   r,
+				Workers:     cfg.Workers,
+				Service:     cfg.NewService(),
+				Groups:      cl.groups,
+				Transport:   cfg.Transport,
+				MergeWeight: cfg.MergeWeight,
+				CPU:         cfg.CPU,
+			})
+			if err != nil {
+				return fmt.Errorf("psmr: start replica %d: %w", r, err)
+			}
+			cl.replicas = append(cl.replicas, rep)
+		case ModeSPSMR:
+			rep, err := spsmr.StartReplica(spsmr.ReplicaConfig{
+				ReplicaID:  r,
+				Workers:    cfg.Workers,
+				Service:    cfg.NewService(),
+				Spec:       cfg.Spec,
+				Group:      cl.groups[0],
+				Transport:  cfg.Transport,
+				QueueBound: cfg.SchedulerQueue,
+				CPU:        cfg.CPU,
+			})
+			if err != nil {
+				return fmt.Errorf("psmr: start sp-smr replica %d: %w", r, err)
+			}
+			cl.schedRepl = append(cl.schedRepl, rep)
+		}
+	}
+	return nil
+}
+
+// NewClient creates a client proxy bound to this cluster. Client ids
+// are allocated sequentially; pass NewClientID for explicit control.
+func (cl *Cluster) NewClient() (*core.Client, error) {
+	cl.clientSeq++
+	return cl.NewClientID(cl.clientSeq)
+}
+
+// NewClientID creates a client proxy with an explicit unique id.
+// Single-group modes (SMR, sP-SMR) route every request to group 0
+// through the proxy's physical-group mapping; the γ the proxy computes
+// still rides along in the request for the schedulers' benefit.
+func (cl *Cluster) NewClientID(id uint64) (*core.Client, error) {
+	return core.NewClient(core.ClientConfig{
+		ID:            id,
+		Sender:        multicast.NewSender(cl.cfg.Transport, cl.groups),
+		CG:            cl.cg,
+		Transport:     cl.cfg.Transport,
+		RetryInterval: cl.cfg.RetryInterval,
+		Seed:          int64(id),
+	})
+}
+
+// Transport exposes the cluster's network (fault injection in tests
+// when the transport is a MemNetwork).
+func (cl *Cluster) Transport() *transport.MemNetwork {
+	mem, _ := cl.cfg.Transport.(*transport.MemNetwork)
+	return mem
+}
+
+// Groups exposes the group wiring (diagnostics, tools).
+func (cl *Cluster) Groups() []multicast.GroupConfig { return cl.groups }
+
+// CoordinatorStatus returns the status of group g's candidate i.
+func (cl *Cluster) CoordinatorStatus(g, i int) paxos.Status {
+	return cl.coords[g*cl.cfg.CoordinatorCandidates+i].Status()
+}
+
+// CrashCoordinator kills group g's candidate i (fail-over tests).
+func (cl *Cluster) CrashCoordinator(g, i int) {
+	co := cl.coords[g*cl.cfg.CoordinatorCandidates+i]
+	_ = co.Close()
+	if mem := cl.Transport(); mem != nil {
+		mem.Drop(cl.groups[g].Coordinators[i])
+		mem.Drop(paxos.ProtoAddr(cl.groups[g].Coordinators[i]))
+	}
+}
+
+// CrashAcceptor kills acceptor i of group g.
+func (cl *Cluster) CrashAcceptor(g, i int) {
+	a := cl.acceptors[g*cl.cfg.Acceptors+i]
+	_ = a.Close()
+	if mem := cl.Transport(); mem != nil {
+		mem.Drop(cl.groups[g].Acceptors[i])
+	}
+}
+
+// CrashReplica kills replica r (clients keep being served by the
+// others).
+func (cl *Cluster) CrashReplica(r int) {
+	switch cl.cfg.Mode {
+	case ModeSPSMR:
+		_ = cl.schedRepl[r].Close()
+	default:
+		_ = cl.replicas[r].Close()
+	}
+}
+
+// Close shuts the whole deployment down.
+func (cl *Cluster) Close() error {
+	if cl.closed {
+		return nil
+	}
+	cl.closed = true
+	for _, rep := range cl.replicas {
+		_ = rep.Close()
+	}
+	for _, rep := range cl.schedRepl {
+		_ = rep.Close()
+	}
+	for _, co := range cl.coords {
+		_ = co.Close()
+	}
+	for _, a := range cl.acceptors {
+		_ = a.Close()
+	}
+	return cl.cfg.Transport.Close()
+}

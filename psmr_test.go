@@ -1,0 +1,493 @@
+package psmr_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// regSvc is a deterministic register-array service used by the
+// integration tests: keyed writes/reads plus two global commands. The
+// backing array is safe for the concurrency P-SMR promises (commands on
+// distinct slots touch distinct memory; conflicting commands are
+// serialized by the replication protocol, not by the service).
+type regSvc struct {
+	vals  []uint64
+	execs atomic.Int64
+}
+
+const (
+	cmdWrite command.ID = iota + 1
+	cmdRead
+	cmdWriteAll
+	cmdSum
+)
+
+const regSlots = 64
+
+func newRegSvc() *regSvc { return &regSvc{vals: make([]uint64, regSlots)} }
+
+func regKey(input []byte) (uint64, bool) {
+	if len(input) < 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(input[:8]), true
+}
+
+func regSpec() cdep.Spec {
+	return cdep.Spec{
+		Commands: []cdep.Command{
+			{ID: cmdWrite, Name: "write", Key: regKey},
+			{ID: cmdRead, Name: "read", Key: regKey},
+			{ID: cmdWriteAll, Name: "writeall"},
+			{ID: cmdSum, Name: "sum"},
+		},
+		Deps: []cdep.Dep{
+			{A: cmdWrite, B: cmdWrite, SameKey: true},
+			{A: cmdWrite, B: cmdRead, SameKey: true},
+			{A: cmdWriteAll, B: cmdWrite}, {A: cmdWriteAll, B: cmdRead},
+			{A: cmdWriteAll, B: cmdWriteAll}, {A: cmdWriteAll, B: cmdSum},
+			{A: cmdSum, B: cmdWrite},
+		},
+	}
+}
+
+func writeInput(key, val uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, key)
+	binary.LittleEndian.PutUint64(buf[8:], val)
+	return buf
+}
+
+func keyInput(key uint64) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, key)
+	return buf
+}
+
+func (s *regSvc) Execute(cmd command.ID, input []byte) []byte {
+	s.execs.Add(1)
+	switch cmd {
+	case cmdWrite:
+		if len(input) < 16 {
+			return []byte{1}
+		}
+		k := binary.LittleEndian.Uint64(input[:8]) % regSlots
+		v := binary.LittleEndian.Uint64(input[8:16])
+		s.vals[k] = v
+		return []byte{0}
+	case cmdRead:
+		if len(input) < 8 {
+			return []byte{1}
+		}
+		k := binary.LittleEndian.Uint64(input[:8]) % regSlots
+		return binary.LittleEndian.AppendUint64(nil, s.vals[k])
+	case cmdWriteAll:
+		if len(input) < 8 {
+			return []byte{1}
+		}
+		v := binary.LittleEndian.Uint64(input[:8])
+		for i := range s.vals {
+			s.vals[i] = v
+		}
+		return []byte{0}
+	case cmdSum:
+		var sum uint64
+		for _, v := range s.vals {
+			sum += v
+		}
+		return binary.LittleEndian.AppendUint64(nil, sum)
+	default:
+		return []byte{0xff}
+	}
+}
+
+// fingerprint hashes the service state; only call when the replica is
+// quiescent.
+func (s *regSvc) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range s.vals {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, _ = h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// startCluster boots a cluster whose per-replica services are captured
+// for state inspection.
+func startCluster(t *testing.T, cfg psmr.Config) (*psmr.Cluster, []*regSvc) {
+	t.Helper()
+	var (
+		mu   sync.Mutex
+		svcs []*regSvc
+	)
+	cfg.Spec = regSpec()
+	cfg.NewService = func() command.Service {
+		mu.Lock()
+		defer mu.Unlock()
+		s := newRegSvc()
+		svcs = append(svcs, s)
+		return s
+	}
+	cl, err := psmr.StartCluster(cfg)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+	return cl, svcs
+}
+
+func mustClient(t *testing.T, cl *psmr.Cluster) *clientHandle {
+	t.Helper()
+	c, err := cl.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return &clientHandle{t: t, c: c}
+}
+
+type clientHandle struct {
+	t *testing.T
+	c interface {
+		Invoke(cmd command.ID, input []byte) ([]byte, error)
+	}
+}
+
+func (h *clientHandle) invoke(cmd command.ID, input []byte) []byte {
+	h.t.Helper()
+	out, err := h.c.Invoke(cmd, input)
+	if err != nil {
+		h.t.Fatalf("Invoke(%d): %v", cmd, err)
+	}
+	return out
+}
+
+func allModes() []psmr.Mode {
+	return []psmr.Mode{psmr.ModePSMR, psmr.ModeSMR, psmr.ModeSPSMR}
+}
+
+func TestWriteReadAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cl, _ := startCluster(t, psmr.Config{
+				Mode:    mode,
+				Workers: 4,
+			})
+			h := mustClient(t, cl)
+			h.invoke(cmdWrite, writeInput(7, 1234))
+			out := h.invoke(cmdRead, keyInput(7))
+			if got := binary.LittleEndian.Uint64(out); got != 1234 {
+				t.Fatalf("read = %d, want 1234", got)
+			}
+		})
+	}
+}
+
+func TestGlobalCommandAllModes(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cl, _ := startCluster(t, psmr.Config{
+				Mode:    mode,
+				Workers: 4,
+			})
+			h := mustClient(t, cl)
+			h.invoke(cmdWriteAll, keyInput(5))
+			out := h.invoke(cmdSum, nil)
+			if got := binary.LittleEndian.Uint64(out); got != 5*regSlots {
+				t.Fatalf("sum = %d, want %d", got, 5*regSlots)
+			}
+			// Keyed write then global read observes the write.
+			h.invoke(cmdWrite, writeInput(3, 100))
+			out = h.invoke(cmdSum, nil)
+			if got := binary.LittleEndian.Uint64(out); got != 5*(regSlots-1)+100 {
+				t.Fatalf("sum = %d, want %d", got, 5*(regSlots-1)+100)
+			}
+		})
+	}
+}
+
+// Synchronous-mode commands must execute exactly once per replica
+// despite being delivered by every worker (Algorithm 1: only t_e
+// executes).
+func TestSynchronousModeExecutesOnce(t *testing.T) {
+	cl, svcs := startCluster(t, psmr.Config{
+		Mode:    psmr.ModePSMR,
+		Workers: 8,
+	})
+	h := mustClient(t, cl)
+	const n = 20
+	for i := 0; i < n; i++ {
+		h.invoke(cmdWriteAll, keyInput(uint64(i)))
+	}
+	// Every replica executed exactly n commands (once the laggard
+	// catches up).
+	waitForCondition(t, 5*time.Second, func() bool {
+		for _, s := range svcs {
+			if s.execs.Load() != n {
+				return false
+			}
+		}
+		return true
+	}, func() string {
+		return fmt.Sprintf("exec counts: %d and %d, want %d each",
+			svcs[0].execs.Load(), svcs[1].execs.Load(), n)
+	})
+}
+
+func waitForCondition(t *testing.T, timeout time.Duration, cond func() bool, desc func() string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("condition not met: %s", desc())
+}
+
+// Replicas converge to identical state under a concurrent mixed
+// workload, in every mode.
+func TestReplicaConvergence(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cl, svcs := startCluster(t, psmr.Config{
+				Mode:    mode,
+				Workers: 4,
+			})
+			clients, ops := 4, 150
+			if raceEnabled {
+				// The race detector slows this sync-heavy stack by two
+				// orders of magnitude; keep the shape, shrink the size.
+				clients, ops = 2, 30
+			}
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				h := mustClient(t, cl)
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed))
+					for i := 0; i < ops; i++ {
+						switch rng.Intn(10) {
+						case 0:
+							h.invoke(cmdWriteAll, keyInput(uint64(rng.Intn(100))))
+						case 1, 2, 3:
+							h.invoke(cmdRead, keyInput(uint64(rng.Intn(regSlots))))
+						default:
+							h.invoke(cmdWrite, writeInput(uint64(rng.Intn(regSlots)), rng.Uint64()))
+						}
+					}
+				}(int64(c))
+			}
+			wg.Wait()
+			total := int64(clients * ops)
+			waitForCondition(t, 10*time.Second, func() bool {
+				for _, s := range svcs {
+					if s.execs.Load() < total {
+						return false
+					}
+				}
+				return svcs[0].fingerprint() == svcs[1].fingerprint()
+			}, func() string {
+				return fmt.Sprintf("execs %d/%d, fingerprints %x vs %x",
+					svcs[0].execs.Load(), svcs[1].execs.Load(),
+					svcs[0].fingerprint(), svcs[1].fingerprint())
+			})
+		})
+	}
+}
+
+// A retransmitted request must not be executed twice (at-most-once).
+func TestDedupOnRetransmission(t *testing.T) {
+	cl, svcs := startCluster(t, psmr.Config{
+		Mode:          psmr.ModePSMR,
+		Workers:       2,
+		RetryInterval: 50 * time.Millisecond,
+	})
+	// Drop all responses to the client for a while so it retransmits.
+	clientAddr := transport.Addr("client/1")
+	cl.Transport().SetFault("", clientAddr, transport.Fault{Partitioned: true})
+
+	c, err := cl.NewClientID(1)
+	if err != nil {
+		t.Fatalf("NewClientID: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	call, err := c.Submit(cmdWrite, writeInput(1, 42))
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Let several retransmissions happen, then heal.
+	time.Sleep(250 * time.Millisecond)
+	cl.Transport().SetFault("", clientAddr, transport.Fault{})
+	if _, err := call.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// Each replica must have executed the command exactly once even
+	// though it appeared several times in the ordered stream.
+	waitForCondition(t, 5*time.Second, func() bool {
+		return svcs[0].execs.Load() == 1 && svcs[1].execs.Load() == 1
+	}, func() string {
+		return fmt.Sprintf("execs %d and %d, want 1 and 1",
+			svcs[0].execs.Load(), svcs[1].execs.Load())
+	})
+	if svcs[0].vals[1] != 42 {
+		t.Fatalf("value = %d, want 42", svcs[0].vals[1])
+	}
+}
+
+func TestCoordinatorFailoverServiceContinues(t *testing.T) {
+	cl, _ := startCluster(t, psmr.Config{
+		Mode:                  psmr.ModePSMR,
+		Workers:               2,
+		CoordinatorCandidates: 2,
+		RetryInterval:         100 * time.Millisecond,
+	})
+	h := mustClient(t, cl)
+	h.invoke(cmdWrite, writeInput(4, 7))
+
+	// Kill every group's primary coordinator.
+	for g := range cl.Groups() {
+		cl.CrashCoordinator(g, 0)
+	}
+	// Clients keep working: retransmission rotates to the standby,
+	// which takes over leadership.
+	for i := 0; i < 10; i++ {
+		h.invoke(cmdWrite, writeInput(uint64(i), uint64(i)))
+	}
+	out := h.invoke(cmdRead, keyInput(4))
+	if got := binary.LittleEndian.Uint64(out); got != 4 {
+		t.Fatalf("read = %d, want 4", got)
+	}
+}
+
+func TestAcceptorFailureTolerated(t *testing.T) {
+	cl, _ := startCluster(t, psmr.Config{
+		Mode:    psmr.ModePSMR,
+		Workers: 2,
+	})
+	h := mustClient(t, cl)
+	h.invoke(cmdWrite, writeInput(1, 1))
+	// f = 1 of 3 acceptors may fail in every group.
+	for g := range cl.Groups() {
+		cl.CrashAcceptor(g, 2)
+	}
+	for i := 0; i < 20; i++ {
+		h.invoke(cmdWrite, writeInput(uint64(i), uint64(i*10)))
+	}
+	out := h.invoke(cmdRead, keyInput(19))
+	if got := binary.LittleEndian.Uint64(out); got != 190 {
+		t.Fatalf("read = %d, want 190", got)
+	}
+}
+
+func TestReplicaCrashTolerated(t *testing.T) {
+	for _, mode := range allModes() {
+		t.Run(mode.String(), func(t *testing.T) {
+			cl, _ := startCluster(t, psmr.Config{
+				Mode:    mode,
+				Workers: 2,
+			})
+			h := mustClient(t, cl)
+			h.invoke(cmdWrite, writeInput(2, 22))
+			// n = f+1 = 2: one replica may crash.
+			cl.CrashReplica(1)
+			for i := 10; i < 20; i++ {
+				h.invoke(cmdWrite, writeInput(uint64(i), uint64(i)))
+			}
+			out := h.invoke(cmdRead, keyInput(2))
+			if got := binary.LittleEndian.Uint64(out); got != 22 {
+				t.Fatalf("read = %d, want 22", got)
+			}
+		})
+	}
+}
+
+// Algorithm 1 supports arbitrary destination subsets, not only
+// singleton/all: inject requests with γ = {0,2} directly and check
+// execution-once plus liveness of uninvolved workers.
+func TestPartialBarrierGamma(t *testing.T) {
+	cl, svcs := startCluster(t, psmr.Config{
+		Mode:    psmr.ModePSMR,
+		Workers: 4,
+	})
+	tr := cl.Transport()
+	replyEP, err := tr.Listen("probe")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	// Send a γ={0,2} command through the serial group (the last one).
+	serial := cl.Groups()[len(cl.Groups())-1]
+	req := &command.Request{
+		Client: 999,
+		Seq:    1,
+		Cmd:    cmdWriteAll,
+		Gamma:  command.GammaOf(0, 2),
+		Input:  keyInput(9),
+		Reply:  "probe",
+	}
+	frame := command.AppendRequest(nil, req)
+	if err := tr.Send(serial.Coordinators[0], paxos.NewProposeFrame(serial.ID, frame)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	select {
+	case respFrame := <-replyEP.Recv():
+		resp, err := command.DecodeResponse(respFrame)
+		if err != nil || resp.Seq != 1 {
+			t.Fatalf("bad response: %v %+v", err, resp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no response for partial-γ command")
+	}
+	waitForCondition(t, 5*time.Second, func() bool {
+		return svcs[0].execs.Load() == 1 && svcs[1].execs.Load() == 1
+	}, func() string {
+		return fmt.Sprintf("execs %d and %d", svcs[0].execs.Load(), svcs[1].execs.Load())
+	})
+	// Workers 1 and 3 were not involved; keyed commands on their
+	// groups still flow.
+	h := mustClient(t, cl)
+	h.invoke(cmdWrite, writeInput(1, 11)) // key 1 → group 1
+	h.invoke(cmdWrite, writeInput(3, 33)) // key 3 → group 3
+}
+
+func TestModeString(t *testing.T) {
+	if psmr.ModePSMR.String() != "P-SMR" || psmr.ModeSMR.String() != "SMR" ||
+		psmr.ModeSPSMR.String() != "sP-SMR" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := psmr.StartCluster(psmr.Config{Mode: psmr.ModePSMR}); err == nil {
+		t.Fatal("missing NewService accepted")
+	}
+	if _, err := psmr.StartCluster(psmr.Config{
+		Mode:       psmr.Mode(99),
+		NewService: func() command.Service { return newRegSvc() },
+	}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if _, err := psmr.StartCluster(psmr.Config{
+		Mode:       psmr.ModePSMR,
+		Workers:    65,
+		NewService: func() command.Service { return newRegSvc() },
+	}); err == nil {
+		t.Fatal("worker overflow accepted")
+	}
+}

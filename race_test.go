@@ -1,0 +1,9 @@
+//go:build race
+
+package psmr_test
+
+// raceEnabled scales down workload sizes when the race detector
+// multiplies the cost of every synchronization operation; the protocol
+// stack is synchronization-heavy by design (Paxos rounds plus skip
+// padding on every group).
+const raceEnabled = true
