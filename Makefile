@@ -1,0 +1,32 @@
+# Tier-1 gate and developer shortcuts. `make verify` is the one
+# command CI and sessions run before shipping.
+
+GO ?= go
+
+.PHONY: verify vet build test race paxos-stress bench sched-ablation
+
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent internals.
+race:
+	$(GO) test -race ./internal/...
+
+# The paxos suite had a teardown flake once; keep it honest.
+paxos-stress:
+	$(GO) test -count=5 ./internal/paxos/
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Scan vs index-based scheduler ablation (update-heavy kvstore).
+sched-ablation:
+	$(GO) run ./cmd/psmr-bench -exp sched

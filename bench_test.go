@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/experiment"
 	"github.com/psmr/psmr/internal/kvstore"
@@ -269,6 +270,22 @@ func BenchmarkAblationBarrierFanout(b *testing.B) {
 				last = res
 			}
 			reportResult(b, last)
+		})
+	}
+}
+
+// BenchmarkAblationScheduler — the scan scheduler (the paper's sP-SMR
+// bottleneck) against the index-based early scheduler, on sP-SMR and
+// no-rep, update-heavy kvstore workload at 8 workers.
+func BenchmarkAblationScheduler(b *testing.B) {
+	scale := benchScale()
+	for _, setup := range experiment.SchedAblationSetups(scale, 8) {
+		name := fmt.Sprintf("%s-scan", setup.Technique)
+		if setup.Scheduler == psmr.SchedIndex {
+			name = fmt.Sprintf("%s-index", setup.Technique)
+		}
+		b.Run(name, func(b *testing.B) {
+			runKVBench(b, setup)
 		})
 	}
 }

@@ -23,7 +23,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|all")
+		threads  = flag.Int("threads", 8, "worker threads for the sched ablation")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
 		window   = flag.Int("window", 50, "outstanding commands per client (paper: 50)")
@@ -39,13 +40,13 @@ func main() {
 		Duration: *duration,
 		Warmup:   *warmup,
 	}
-	if err := run(*exp, scale); err != nil {
+	if err := run(*exp, scale, *threads); err != nil {
 		fmt.Fprintln(os.Stderr, "psmr-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, scale Scale) error {
+func run(exp string, scale Scale, threads int) error {
 	switch exp {
 	case "table1":
 		return runTable1()
@@ -61,6 +62,8 @@ func run(exp string, scale Scale) error {
 		return runFig7(scale)
 	case "fig8":
 		return runFig8(scale)
+	case "sched":
+		return runSched(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -70,6 +73,7 @@ func run(exp string, scale Scale) error {
 			func() error { return runFig6(scale) },
 			func() error { return runFig7(scale) },
 			func() error { return runFig8(scale) },
+			func() error { return runSched(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -79,6 +83,46 @@ func run(exp string, scale Scale) error {
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
+}
+
+// runSched runs the scan-vs-index scheduler ablation: sP-SMR and
+// no-rep under the update-heavy kvstore workload, the paper's measured
+// scheduler bottleneck against the index-based early scheduler.
+func runSched(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Scheduler ablation — scan vs index-based early scheduling\n")
+	fmt.Printf("(update-heavy kvstore, %d workers; paper §VI-B: the scan\n", threads)
+	fmt.Println(" scheduler saturates one core while workers idle)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.SchedAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("sched %v: %w", setup.Technique, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		// The paper's bottleneck claim is about where cycles go: under
+		// scan the scheduler thread burns a core's worth of admission
+		// work, under index the scheduler role should shrink to noise.
+		fmt.Printf("    roles: scheduler=%.1f%% worker=%.1f%% learner=%.1f%%\n",
+			res.CPUByRole["scheduler"], res.CPUByRole["worker"], res.CPUByRole["learner"])
+	}
+	fmt.Println()
+	for _, pair := range [][2]string{
+		{"sP-SMR", "sP-SMR/index"},
+		{"no-rep", "no-rep/index"},
+	} {
+		if kcps[pair[0]] > 0 && kcps[pair[1]] > 0 {
+			fmt.Printf("  %-12s index/scan speedup: %.2fx\n", pair[0], kcps[pair[1]]/kcps[pair[0]])
+		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
 }
 
 // Scale aliases the experiment scale for brevity.

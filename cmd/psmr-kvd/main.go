@@ -30,16 +30,17 @@ func main() {
 	var (
 		listen  = flag.String("listen", "127.0.0.1:7400", "TCP host:port to serve on")
 		mode    = flag.String("mode", "psmr", "replication mode: psmr|spsmr|smr")
+		sched   = flag.String("sched", "scan", "spsmr scheduling engine: scan|index")
 		workers = flag.Int("workers", 8, "worker threads per replica (MPL)")
 		keys    = flag.Int("keys", 100_000, "preloaded database keys")
 	)
 	flag.Parse()
-	if err := run(*listen, *mode, *workers, *keys); err != nil {
+	if err := run(*listen, *mode, *sched, *workers, *keys); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, modeName string, workers, keys int) error {
+func run(listen, modeName, schedName string, workers, keys int) error {
 	var mode psmr.Mode
 	switch modeName {
 	case "psmr":
@@ -50,6 +51,15 @@ func run(listen, modeName string, workers, keys int) error {
 		mode = psmr.ModeSMR
 	default:
 		return fmt.Errorf("unknown mode %q", modeName)
+	}
+	var schedKind psmr.SchedulerKind
+	switch schedName {
+	case "scan":
+		schedKind = psmr.SchedScan
+	case "index":
+		schedKind = psmr.SchedIndex
+	default:
+		return fmt.Errorf("unknown scheduler %q", schedName)
 	}
 
 	node, err := transport.NewTCPNode(listen)
@@ -68,6 +78,7 @@ func run(listen, modeName string, workers, keys int) error {
 			return st
 		},
 		Spec:      kvstore.Spec(),
+		Scheduler: schedKind,
 		Transport: node,
 	})
 	if err != nil {

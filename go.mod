@@ -1,0 +1,3 @@
+module github.com/psmr/psmr
+
+go 1.24

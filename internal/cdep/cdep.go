@@ -107,6 +107,7 @@ type Compiled struct {
 	keys      map[command.ID]KeyFunc
 	deps      map[pairKey]bool // value: SameKey
 	placement map[uint64]int
+	routes    map[command.ID]Route
 	all       command.Gamma
 }
 
@@ -260,13 +261,15 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 		}
 	}
 
+	all := command.AllWorkers(k)
 	return &Compiled{
 		k:         k,
 		classes:   classes,
 		keys:      keys,
 		deps:      deps,
 		placement: o.placement,
-		all:       command.AllWorkers(k),
+		routes:    compileRoutes(classes, all),
+		all:       all,
 	}, nil
 }
 

@@ -1,0 +1,94 @@
+package cdep
+
+import (
+	"fmt"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+// RouteKind is the compiled admission decision the index-based early
+// scheduler applies to a command, following "Early Scheduling in
+// Parallel State Machine Replication" (Alchieri et al.): the mapping
+// from command classes to worker sets is computed once at compile time,
+// so delivering a command costs O(1) instead of a scan over the live
+// command set.
+type RouteKind int
+
+// Route kinds.
+const (
+	// RouteKeyed commands serialize only against same-key commands:
+	// they are appended to the queue of the worker currently owning
+	// their key (per-key conflict index), or of any worker when the key
+	// has no live commands.
+	RouteKeyed RouteKind = iota + 1
+	// RouteFree commands conflict with nothing that is not itself a
+	// barrier: they may be appended to any worker's queue.
+	RouteFree
+	// RouteBarrier commands conflict with commands whose placement
+	// cannot be predicted: every worker must rendezvous before they
+	// execute, and no later command may start before they finish.
+	RouteBarrier
+)
+
+func (k RouteKind) String() string {
+	switch k {
+	case RouteKeyed:
+		return "keyed"
+	case RouteFree:
+		return "free"
+	case RouteBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("RouteKind(%d)", int(k))
+	}
+}
+
+// Route is the compiled class-to-worker-set assignment of one command
+// type: how the early scheduler routes it and the set of workers an
+// invocation may land on.
+type Route struct {
+	Kind RouteKind
+	// Workers is the worker set invocations of the command may be
+	// dispatched to. RouteKeyed commands go to the worker owning their
+	// key's live conflict chain, else to a placement pin
+	// (PlacedWorker), else to the least-loaded member of this set;
+	// RouteFree commands go to the least-loaded member; RouteBarrier
+	// commands rendezvous every worker and the set's minimum index
+	// executes.
+	Workers command.Gamma
+}
+
+// Route returns the early-scheduling assignment of cmd. Unknown
+// commands conservatively route as barriers.
+func (c *Compiled) Route(cmd command.ID) Route {
+	if r, ok := c.routes[cmd]; ok {
+		return r
+	}
+	return Route{Kind: RouteBarrier, Workers: c.all}
+}
+
+// PlacedWorker reports the worker a key was explicitly pinned to with
+// WithPlacement, if any — the paper's §IV-D load-balancing hint,
+// honoured by the early scheduler when the key has no live commands.
+func (c *Compiled) PlacedWorker(key uint64) (worker int, ok bool) {
+	g, ok := c.placement[key]
+	return g, ok
+}
+
+// compileRoutes derives the class-to-worker-set table from the
+// classification. It runs at Compile time (early scheduling): admission
+// never consults the dependency specification again.
+func compileRoutes(classes map[command.ID]Class, all command.Gamma) map[command.ID]Route {
+	routes := make(map[command.ID]Route, len(classes))
+	for id, class := range classes {
+		switch class {
+		case Global:
+			routes[id] = Route{Kind: RouteBarrier, Workers: all}
+		case Keyed:
+			routes[id] = Route{Kind: RouteKeyed, Workers: all}
+		default:
+			routes[id] = Route{Kind: RouteFree, Workers: all}
+		}
+	}
+	return routes
+}

@@ -1,0 +1,93 @@
+package cdep
+
+import (
+	"testing"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+func TestCompiledRoutes(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	all := command.AllWorkers(8)
+	tests := []struct {
+		cmd  command.ID
+		want RouteKind
+	}{
+		{cmdInsert, RouteBarrier},
+		{cmdDelete, RouteBarrier},
+		{cmdRead, RouteKeyed},
+		{cmdUpdate, RouteKeyed},
+	}
+	for _, tt := range tests {
+		r := c.Route(tt.cmd)
+		if r.Kind != tt.want {
+			t.Errorf("Route(%d).Kind = %v, want %v", tt.cmd, r.Kind, tt.want)
+		}
+		if r.Workers != all {
+			t.Errorf("Route(%d).Workers = %v, want %v", tt.cmd, r.Workers, all)
+		}
+	}
+}
+
+func TestRouteUnknownCommandIsBarrier(t *testing.T) {
+	c, err := Compile(kvSpec(), 4)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	r := c.Route(command.ID(999))
+	if r.Kind != RouteBarrier {
+		t.Fatalf("unknown command routes as %v, want barrier", r.Kind)
+	}
+}
+
+func TestRouteIndependentCommandIsFree(t *testing.T) {
+	spec := Spec{
+		Commands: []Command{
+			{ID: cmdRead, Name: "get_state"},
+			{ID: cmdUpdate, Name: "set_state"},
+		},
+		Deps: []Dep{
+			{A: cmdUpdate, B: cmdUpdate},
+			{A: cmdUpdate, B: cmdRead},
+		},
+	}
+	c, err := Compile(spec, 4)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := c.Route(cmdRead).Kind; got != RouteFree {
+		t.Fatalf("independent command routes as %v, want free", got)
+	}
+	if got := c.Route(cmdUpdate).Kind; got != RouteBarrier {
+		t.Fatalf("global command routes as %v, want barrier", got)
+	}
+}
+
+func TestPlacedWorker(t *testing.T) {
+	c, err := Compile(kvSpec(), 8, WithPlacement(map[uint64]int{42: 3}))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if w, ok := c.PlacedWorker(42); !ok || w != 3 {
+		t.Fatalf("PlacedWorker(42) = %d,%v, want 3,true", w, ok)
+	}
+	if _, ok := c.PlacedWorker(7); ok {
+		t.Fatal("PlacedWorker(7) reported a pin for an unpinned key")
+	}
+}
+
+func TestRouteKindString(t *testing.T) {
+	for kind, want := range map[RouteKind]string{
+		RouteKeyed:    "keyed",
+		RouteFree:     "free",
+		RouteBarrier:  "barrier",
+		RouteKind(42): "RouteKind(42)",
+	} {
+		if got := kind.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(kind), got, want)
+		}
+	}
+}

@@ -70,6 +70,9 @@ type KVSetup struct {
 	Gen func(keys workload.KeyGen) workload.Generator
 	// KeyGen overrides the default uniform key selection.
 	KeyGen workload.KeyGen
+	// Scheduler selects the scheduling engine on the sP-SMR and no-rep
+	// paths (scan reproduces the paper's bottleneck; index removes it).
+	Scheduler psmr.SchedulerKind
 	// Duration/Warmup control the measurement interval.
 	Duration time.Duration
 	Warmup   time.Duration
@@ -135,6 +138,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			NewService: newStore,
 			Spec:       kvstore.Spec(),
 			Placement:  setup.Placement,
+			Scheduler:  setup.Scheduler,
 			CPU:        cpu,
 		})
 		if err != nil {
@@ -158,6 +162,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			Service:   newStore(),
 			Spec:      kvstore.Spec(),
 			Transport: net,
+			Scheduler: setup.Scheduler,
 			CPU:       cpu,
 		})
 		if err != nil {
@@ -219,8 +224,12 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		OnMeasureStart: cpu.Reset,
 	})
 	byRole, _ := cpu.Usage()
+	tech := setup.Technique.String()
+	if setup.Scheduler == psmr.SchedIndex {
+		tech += "/index"
+	}
 	return &bench.Result{
-		Technique:  setup.Technique.String(),
+		Technique:  tech,
 		Threads:    setup.Threads,
 		Ops:        ops,
 		Elapsed:    elapsed,

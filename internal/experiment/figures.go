@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/workload"
 )
@@ -192,6 +193,27 @@ func RunFig8Point(scale Scale, t Technique, write bool) (*bench.Result, error) {
 		Warmup:    scale.Warmup,
 	}
 	return RunNetFS(setup)
+}
+
+// SchedAblationSetups returns the scan-vs-index scheduler ablation:
+// sP-SMR and no-rep at the given worker count under the update-heavy
+// kvstore workload (every command keyed, none independent — the
+// workload that keeps the scan scheduler's conflict bookkeeping
+// busiest). The scan rows reproduce the paper's scheduler bottleneck;
+// the index rows measure the early scheduler that removes it.
+func SchedAblationSetups(scale Scale, threads int) []KVSetup {
+	mk := func(t Technique, kind psmr.SchedulerKind) KVSetup {
+		setup := scale.kvSetup(t, threads)
+		setup.Gen = workload.KVUpdates
+		setup.Scheduler = kind
+		return setup
+	}
+	return []KVSetup{
+		mk(SPSMR, psmr.SchedScan),
+		mk(SPSMR, psmr.SchedIndex),
+		mk(NoRep, psmr.SchedScan),
+		mk(NoRep, psmr.SchedIndex),
+	}
 }
 
 // PrintTable1 prints the paper's Table I (delivery/execution

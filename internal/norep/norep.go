@@ -28,6 +28,8 @@ type ServerConfig struct {
 	Spec cdep.Spec
 	// Transport carries all traffic.
 	Transport transport.Transport
+	// Scheduler selects the scheduling engine (scan or index-based).
+	Scheduler sched.SchedulerKind
 	// QueueBound sizes the scheduler hand-off channel.
 	QueueBound int
 	// DedupWindow bounds the at-most-once table.
@@ -39,7 +41,7 @@ type ServerConfig struct {
 // Server is a running no-rep server.
 type Server struct {
 	ep        transport.Endpoint
-	scheduler *sched.Scheduler
+	scheduler sched.Engine
 	done      chan struct{}
 }
 
@@ -52,7 +54,8 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("norep: compile C-Dep: %w", err)
 	}
-	scheduler, err := sched.Start(sched.Config{
+	scheduler, err := sched.StartEngine(sched.Config{
+		Kind:        cfg.Scheduler,
 		Workers:     cfg.Workers,
 		Service:     cfg.Service,
 		Compiled:    compiled,

@@ -2,6 +2,7 @@ package paxos
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -9,6 +10,18 @@ import (
 )
 
 func transportAddr(s string) transport.Addr { return transport.Addr(s) }
+
+// newTestNet creates the in-process network and registers its shutdown
+// via t.Cleanup BEFORE startGroup registers the group's. Cleanups run
+// LIFO, so the group's components close first and the network last —
+// sends issued by lingering goroutines after that point get an error
+// (ErrClosed/ErrNoRoute) instead of racing a half-torn-down harness.
+func newTestNet(t *testing.T, seed int64) *transport.MemNetwork {
+	t.Helper()
+	net := transport.NewMemNetwork(seed)
+	t.Cleanup(func() { _ = net.Close() })
+	return net
+}
 
 // testGroup wires one Paxos group on an in-process network.
 type testGroup struct {
@@ -19,6 +32,7 @@ type testGroup struct {
 	coords    []*Coordinator
 	learners  []*Learner
 	candAddrs []transport.Addr
+	closeOnce sync.Once
 }
 
 type groupOptions struct {
@@ -104,15 +118,17 @@ func startGroup(t *testing.T, net *transport.MemNetwork, opts groupOptions) *tes
 }
 
 func (g *testGroup) close() {
-	for _, l := range g.learners {
-		_ = l.Close()
-	}
-	for _, c := range g.coords {
-		_ = c.Close()
-	}
-	for _, a := range g.acceptors {
-		_ = a.Close()
-	}
+	g.closeOnce.Do(func() {
+		for _, l := range g.learners {
+			_ = l.Close()
+		}
+		for _, c := range g.coords {
+			_ = c.Close()
+		}
+		for _, a := range g.acceptors {
+			_ = a.Close()
+		}
+	})
 }
 
 func (g *testGroup) propose(value []byte) {
@@ -120,42 +136,68 @@ func (g *testGroup) propose(value []byte) {
 }
 
 func (g *testGroup) proposeTo(candidate int, value []byte) {
-	if err := g.net.Send(g.candAddrs[candidate], NewProposeFrame(g.group, value)); err != nil {
+	if err := g.tryPropose(candidate, value); err != nil {
 		g.t.Fatalf("propose: %v", err)
 	}
 }
 
-// collectItems reads batches from a cursor until n items arrive.
+// tryPropose is the send path for goroutines that may outlive the test
+// body (load generators): it reports the send error instead of calling
+// t.Fatalf, which would panic the whole package run if it fired after
+// the test completed ("Fail in goroutine after Test... has completed").
+func (g *testGroup) tryPropose(candidate int, value []byte) error {
+	return g.net.Send(g.candAddrs[candidate], NewProposeFrame(g.group, value))
+}
+
+// collectItems reads batches from a cursor until n items arrive. The
+// collector goroutine never fails the test itself; on timeout it is
+// left blocked in cur.Next and unblocks when the cleanup closes the
+// learner. The mutex keeps the timeout path's progress report from
+// racing the collector's appends.
 func collectItems(t *testing.T, cur *Cursor, n int) [][]byte {
 	t.Helper()
-	var items [][]byte
-	deadline := time.After(10 * time.Second)
+	var (
+		mu    sync.Mutex
+		items [][]byte
+	)
 	got := make(chan struct{})
 	go func() {
-		for len(items) < n {
+		defer close(got)
+		for {
+			mu.Lock()
+			have := len(items)
+			mu.Unlock()
+			if have >= n {
+				return
+			}
 			b, _, ok := cur.Next()
 			if !ok {
-				break
+				return
 			}
 			if b.Skip {
 				continue
 			}
+			mu.Lock()
 			items = append(items, b.Items...)
+			mu.Unlock()
 		}
-		close(got)
 	}()
 	select {
 	case <-got:
+		mu.Lock()
+		defer mu.Unlock()
 		return items
-	case <-deadline:
-		t.Fatalf("timed out: collected %d of %d items", len(items), n)
+	case <-time.After(10 * time.Second):
+		mu.Lock()
+		have := len(items)
+		mu.Unlock()
+		t.Fatalf("timed out: collected %d of %d items", have, n)
 		return nil
 	}
 }
 
 func TestSingleValueDecided(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()
@@ -167,15 +209,16 @@ func TestSingleValueDecided(t *testing.T) {
 }
 
 func TestManyValuesOrderedAndComplete(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()
 	const n = 5000
 	go func() {
 		for i := 0; i < n; i++ {
-			g.propose([]byte(fmt.Sprintf("v%05d", i)))
+			if g.tryPropose(0, []byte(fmt.Sprintf("v%05d", i))) != nil {
+				return // network gone: the test is tearing down
+			}
 		}
 	}()
 	items := collectItems(t, cur, n)
@@ -192,8 +235,7 @@ func TestManyValuesOrderedAndComplete(t *testing.T) {
 }
 
 func TestTwoLearnersSameSequence(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{learners: 2})
 
 	cur0 := g.learners[0].NewCursor()
@@ -201,7 +243,9 @@ func TestTwoLearnersSameSequence(t *testing.T) {
 	const n = 1000
 	go func() {
 		for i := 0; i < n; i++ {
-			g.propose([]byte(fmt.Sprintf("v%04d", i)))
+			if g.tryPropose(0, []byte(fmt.Sprintf("v%04d", i))) != nil {
+				return // network gone: the test is tearing down
+			}
 		}
 	}()
 	items0 := collectItems(t, cur0, n)
@@ -217,8 +261,7 @@ func TestTwoLearnersSameSequence(t *testing.T) {
 }
 
 func TestToleratesOneAcceptorFailure(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()
@@ -238,8 +281,7 @@ func TestToleratesOneAcceptorFailure(t *testing.T) {
 }
 
 func TestLostDecisionRecoveredByLearnReq(t *testing.T) {
-	net := transport.NewMemNetwork(3)
-	defer net.Close()
+	net := newTestNet(t, 3)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()
@@ -263,8 +305,7 @@ func TestLostDecisionRecoveredByLearnReq(t *testing.T) {
 }
 
 func TestCoordinatorFailover(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{
 		candidates: 2,
 		takeover:   100 * time.Millisecond,
@@ -303,8 +344,7 @@ func TestCoordinatorFailover(t *testing.T) {
 }
 
 func TestProposalForwardedToLeader(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{
 		candidates: 2,
 		heartbeat:  10 * time.Millisecond,
@@ -322,8 +362,7 @@ func TestProposalForwardedToLeader(t *testing.T) {
 }
 
 func TestSkipBatchesEmittedWhenIdle(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{skip: 5 * time.Millisecond})
 
 	cur := g.learners[0].NewCursor()
@@ -351,8 +390,7 @@ func TestSkipBatchesEmittedWhenIdle(t *testing.T) {
 }
 
 func TestSkipSuppressedUnderLoad(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{skip: time.Millisecond})
 
 	cur := g.learners[0].NewCursor()
@@ -360,12 +398,16 @@ func TestSkipSuppressedUnderLoad(t *testing.T) {
 	stop := make(chan struct{})
 	defer close(stop)
 	go func() {
-		for i := 0; ; i++ {
+		for {
 			select {
 			case <-stop:
 				return
 			default:
-				g.propose([]byte("x"))
+				// Exit on send error instead of t.Fatalf: this goroutine
+				// races test teardown by design.
+				if g.tryPropose(0, []byte("x")) != nil {
+					return
+				}
 			}
 		}
 	}()
@@ -392,8 +434,7 @@ func TestSkipSuppressedUnderLoad(t *testing.T) {
 }
 
 func TestLearnerCursorsIndependent(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur1 := g.learners[0].NewCursor()
@@ -412,8 +453,7 @@ func TestLearnerCursorsIndependent(t *testing.T) {
 }
 
 func TestLearnerCloseUnblocksCursor(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()
@@ -436,8 +476,7 @@ func TestLearnerCloseUnblocksCursor(t *testing.T) {
 }
 
 func TestTryNext(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()
@@ -461,8 +500,7 @@ func TestTryNext(t *testing.T) {
 }
 
 func TestBatchingUnderBurst(t *testing.T) {
-	net := transport.NewMemNetwork(1)
-	defer net.Close()
+	net := newTestNet(t, 1)
 	g := startGroup(t, net, groupOptions{})
 
 	cur := g.learners[0].NewCursor()

@@ -1,0 +1,67 @@
+package sched
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// doneService counts executions so the benchmark can wait for the
+// engine to drain without a response round-trip.
+type doneService struct{ n atomic.Int64 }
+
+func (d *doneService) Execute(command.ID, []byte) []byte {
+	d.n.Add(1)
+	return nil
+}
+
+// benchEngine measures the end-to-end engine constant — admission,
+// conflict resolution, hand-off, completion — with a free service, so
+// the scheduling machinery itself is the measured cost. This is the
+// per-command overhead that saturates the scan scheduler's core in the
+// paper's Figures 3/5/7 and that the index engine's O(1) routing
+// attacks.
+func benchEngine(b *testing.B, kind SchedulerKind, workers int) {
+	b.Helper()
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	compiled, err := cdep.Compile(spec(), workers)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	svc := &doneService{}
+	e, err := StartEngine(Config{
+		Kind:      kind,
+		Workers:   workers,
+		Service:   svc,
+		Compiled:  compiled,
+		Transport: net,
+	})
+	if err != nil {
+		b.Fatalf("StartEngine: %v", err)
+	}
+	defer e.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i + 1)
+		// Distinct clients sidestep the per-client dedup window; keys
+		// cycle over a working set larger than the worker count.
+		if !e.Submit(&command.Request{
+			Client: seq % 256, Seq: seq, Cmd: cmdWrite, Input: input(seq%1024, seq),
+		}) {
+			b.Fatal("Submit failed")
+		}
+	}
+	for svc.n.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
+func BenchmarkEngineKeyedScan(b *testing.B)  { benchEngine(b, KindScan, 8) }
+func BenchmarkEngineKeyedIndex(b *testing.B) { benchEngine(b, KindIndex, 8) }

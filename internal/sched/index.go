@@ -1,0 +1,402 @@
+package sched
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/dedup"
+)
+
+// IndexScheduler is the index-based early scheduling engine, combining
+// two techniques from the literature on parallel state-machine
+// replication schedulers:
+//
+//   - Early scheduling (Alchieri, Dotti, Pedone): the mapping from
+//     command classes to worker sets is compiled once from the C-Dep
+//     (cdep.Compiled.Route), so admission performs no conflict
+//     reasoning — it just routes.
+//   - Index-based scheduling (Wu et al.): a hash-sharded per-key
+//     conflict index maps each key with live commands to the worker
+//     currently serving it, so a keyed command enqueues in O(1) behind
+//     exactly the commands it conflicts with — never a scan over the
+//     live set.
+//
+// Commands flow straight from the delivery thread into per-worker
+// ingress queues; there is no scheduler thread to saturate a core (the
+// bottleneck the paper measures for sP-SMR in Figures 3, 5 and 7).
+// Conflict correctness falls out of queue discipline:
+//
+//   - Same-key commands land on one worker's FIFO while any of them is
+//     live, so they execute in admission order. This serializes
+//     same-key READS too — the scan engine lets readers of a key run
+//     concurrently behind its last writer, but expressing that here
+//     would need cross-queue dependency tracking, the very bookkeeping
+//     this engine removes. Hot-key read-heavy workloads therefore
+//     favor the scan engine (or a reader-count extension, see ROADMAP);
+//     keyed-write and mixed workloads favor this one.
+//   - Keys with no live commands are (re)assigned to the least-loaded
+//     worker, which is what balances skewed workloads.
+//   - Global (barrier) commands are enqueued on every worker's queue;
+//     workers rendezvous at the token, worker 0 executes alone, then
+//     releases the rest — exactly the paper's "wait for the worker
+//     threads to finish their ongoing work" semantics.
+//
+// Submit keeps the scan engine's contract: one producer, or producers
+// that are externally serialized.
+type IndexScheduler struct {
+	cfg      Config
+	queues   []chan *inode
+	queueLen []atomic.Int64
+	keyIdx   []keyShard
+	clients  []clientShard
+
+	admitCPU *bench.RoleMeter
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// inode is one admitted command (or one worker's view of a barrier).
+type inode struct {
+	req   *command.Request
+	bar   *indexBarrier // non-nil for barrier tokens
+	keyed bool
+	key   uint64
+}
+
+// indexBarrier coordinates one global command across the workers.
+type indexBarrier struct {
+	executor int           // worker that runs the command (min of the route's set)
+	arrive   chan struct{} // workers signal "drained up to the token"
+	release  chan struct{} // closed by the executor after running
+}
+
+// keyShard is one shard of the per-key conflict index: for every key
+// with live (queued or executing) commands, the worker serving it and
+// the live count. Keyed by cdep.KeyFunc output, hash-sharded so the
+// admission thread and the workers' completions rarely contend.
+type keyShard struct {
+	mu   sync.Mutex
+	live map[uint64]*keyEntry
+}
+
+type keyEntry struct {
+	worker int
+	live   int
+}
+
+// clientShard is one shard of the at-most-once state: the response
+// cache plus the in-flight duplicate filter (shared across workers, so
+// a retransmission routed anywhere is answered or suppressed).
+type clientShard struct {
+	mu       sync.Mutex
+	table    *dedup.Table
+	inflight map[requestID]struct{}
+}
+
+const (
+	keyShardCount    = 128
+	clientShardCount = 64
+)
+
+// StartIndex launches the index engine: the per-worker queues and the
+// worker pool, but no scheduler thread.
+func StartIndex(cfg Config) (*IndexScheduler, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("sched: %d workers", cfg.Workers)
+	}
+	if cfg.QueueBound <= 0 {
+		cfg.QueueBound = 1024
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 512
+	}
+	if cfg.Compiled == nil {
+		return nil, fmt.Errorf("sched: Compiled is required")
+	}
+	s := &IndexScheduler{
+		cfg:      cfg,
+		queues:   make([]chan *inode, cfg.Workers),
+		queueLen: make([]atomic.Int64, cfg.Workers),
+		keyIdx:   make([]keyShard, keyShardCount),
+		clients:  make([]clientShard, clientShardCount),
+		stop:     make(chan struct{}),
+	}
+	for i := range s.queues {
+		s.queues[i] = make(chan *inode, cfg.QueueBound)
+	}
+	for i := range s.keyIdx {
+		s.keyIdx[i].live = make(map[uint64]*keyEntry)
+	}
+	for i := range s.clients {
+		s.clients[i].table = dedup.NewTable(cfg.DedupWindow)
+		s.clients[i].inflight = make(map[requestID]struct{})
+	}
+	// Admission runs on the caller (the delivery pump); metering it as
+	// "scheduler" keeps the CPU panels comparable with the scan engine —
+	// and shows how little of a core O(1) routing needs.
+	s.admitCPU = cfg.CPU.Role("scheduler")
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.work(w)
+	}
+	return s, nil
+}
+
+// Submit routes one command to its worker queue in O(1). It reports
+// false once the engine is stopping. Commands are ordered per conflict
+// chain in Submit order.
+//
+// The busy meter stops before the queue send: a blocked wait on a full
+// worker queue is backpressure, not scheduling work, and counting it
+// would inflate the scheduler-CPU comparison against the scan engine
+// (whose hand-off arm is likewise unmetered).
+func (s *IndexScheduler) Submit(req *command.Request) bool {
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	stopBusy := s.admitCPU.Busy()
+
+	// At-most-once: answer completed retransmissions from the cache,
+	// drop duplicates whose original is still live (the same metastable
+	// retransmission collapse the scan engine defends against).
+	cs := s.clientShard(req.Client)
+	id := requestID{client: req.Client, seq: req.Seq}
+	cs.mu.Lock()
+	if out, dup := cs.table.Lookup(req.Client, req.Seq); dup {
+		cs.mu.Unlock()
+		s.respond(req, out)
+		stopBusy()
+		return true
+	}
+	if _, live := cs.inflight[id]; live {
+		cs.mu.Unlock()
+		stopBusy()
+		return true
+	}
+	cs.inflight[id] = struct{}{}
+	cs.mu.Unlock()
+
+	route := s.cfg.Compiled.Route(req.Cmd)
+	kind := route.Kind
+	var key uint64
+	if kind == cdep.RouteKeyed {
+		k, ok := s.cfg.Compiled.Key(req.Cmd, req.Input)
+		if !ok {
+			// Keyless invocation of a keyed command may touch any
+			// object: serialize it like a global command.
+			kind = cdep.RouteBarrier
+		} else {
+			key = k
+		}
+	}
+
+	var (
+		w int
+		n *inode
+	)
+	switch kind {
+	case cdep.RouteBarrier:
+		stopBusy()
+		return s.admitBarrier(req, route)
+	case cdep.RouteKeyed:
+		ks := s.keyShard(key)
+		ks.mu.Lock()
+		if e := ks.live[key]; e != nil {
+			// Live conflict chain: append behind it (same worker FIFO
+			// preserves admission order for the key).
+			w = e.worker
+			e.live++
+		} else {
+			// Idle key: a placement pin wins (§IV-D load-balancing
+			// hint), else the least-loaded member of the compiled
+			// worker set.
+			if pw, ok := s.cfg.Compiled.PlacedWorker(key); ok && pw < len(s.queues) {
+				w = pw
+			} else {
+				w = s.leastLoaded(route.Workers)
+			}
+			ks.live[key] = &keyEntry{worker: w, live: 1}
+		}
+		ks.mu.Unlock()
+		n = &inode{req: req, keyed: true, key: key}
+	default:
+		w = s.leastLoaded(route.Workers)
+		n = &inode{req: req}
+	}
+	stopBusy()
+	return s.enqueue(w, n)
+}
+
+// Close stops the engine and waits for the workers to exit.
+func (s *IndexScheduler) Close() error {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	return nil
+}
+
+// admitBarrier enqueues one barrier token on every worker's queue. The
+// token is fully enqueued before Submit returns, so every command
+// admitted earlier precedes it on its queue and every later command
+// follows it — the rendezvous cannot deadlock. The compiled worker
+// set's minimum member executes.
+func (s *IndexScheduler) admitBarrier(req *command.Request, route cdep.Route) bool {
+	executor := route.Workers.Min()
+	if executor < 0 || executor >= len(s.queues) {
+		executor = 0
+	}
+	n := &inode{
+		req: req,
+		bar: &indexBarrier{
+			executor: executor,
+			arrive:   make(chan struct{}, len(s.queues)),
+			release:  make(chan struct{}),
+		},
+	}
+	for w := range s.queues {
+		if !s.enqueue(w, n) {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *IndexScheduler) enqueue(w int, n *inode) bool {
+	s.queueLen[w].Add(1)
+	select {
+	case s.queues[w] <- n:
+		return true
+	case <-s.stop:
+		s.queueLen[w].Add(-1)
+		return false
+	}
+}
+
+// leastLoaded returns the member of the compiled worker set with the
+// shortest ingress backlog (queued + executing). O(k) with k <= 64; an
+// empty or out-of-range set falls back to all workers.
+func (s *IndexScheduler) leastLoaded(set command.Gamma) int {
+	best, bestLen := 0, int64(1<<62)
+	for w := range s.queueLen {
+		if set != 0 && !set.Has(w) {
+			continue
+		}
+		if l := s.queueLen[w].Load(); l < bestLen {
+			best, bestLen = w, l
+		}
+	}
+	return best
+}
+
+// work is one pool worker draining its own ingress queue.
+func (s *IndexScheduler) work(w int) {
+	defer s.wg.Done()
+	cpu := s.cfg.CPU.Role("worker")
+	for {
+		var n *inode
+		select {
+		case n = <-s.queues[w]:
+		case <-s.stop:
+			return
+		}
+		if n.bar != nil {
+			if !s.rendezvous(w, n, cpu.Busy) {
+				return
+			}
+		} else {
+			stopBusy := cpu.Busy()
+			output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+			s.respond(n.req, output)
+			stopBusy()
+			s.complete(n, output)
+		}
+		s.queueLen[w].Add(-1)
+	}
+}
+
+// rendezvous runs one barrier token: the executor (the minimum of the
+// compiled worker set) waits for every other worker to drain up to its
+// token, executes the command alone, then releases them. It reports
+// false when the engine is stopping.
+func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
+	if w != n.bar.executor {
+		select {
+		case n.bar.arrive <- struct{}{}:
+		case <-s.stop:
+			return false
+		}
+		select {
+		case <-n.bar.release:
+			return true
+		case <-s.stop:
+			return false
+		}
+	}
+	for i := 1; i < len(s.queues); i++ {
+		select {
+		case <-n.bar.arrive:
+		case <-s.stop:
+			return false
+		}
+	}
+	stopBusy := busy()
+	output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+	s.respond(n.req, output)
+	stopBusy()
+	s.complete(n, output)
+	close(n.bar.release)
+	return true
+}
+
+// complete records the response for at-most-once and releases the
+// command's key in the conflict index.
+func (s *IndexScheduler) complete(n *inode, output []byte) {
+	cs := s.clientShard(n.req.Client)
+	cs.mu.Lock()
+	cs.table.Record(n.req.Client, n.req.Seq, output)
+	delete(cs.inflight, requestID{client: n.req.Client, seq: n.req.Seq})
+	cs.mu.Unlock()
+	if n.keyed {
+		ks := s.keyShard(n.key)
+		ks.mu.Lock()
+		if e := ks.live[n.key]; e != nil {
+			if e.live--; e.live <= 0 {
+				delete(ks.live, n.key)
+			}
+		}
+		ks.mu.Unlock()
+	}
+}
+
+func (s *IndexScheduler) respond(req *command.Request, output []byte) {
+	respond(s.cfg.Transport, req, output)
+}
+
+func (s *IndexScheduler) keyShard(key uint64) *keyShard {
+	return &s.keyIdx[mix64(key)%keyShardCount]
+}
+
+func (s *IndexScheduler) clientShard(client uint64) *clientShard {
+	return &s.clients[mix64(client)%clientShardCount]
+}
+
+// mix64 is a splitmix64-style finalizer spreading low-entropy ids
+// across shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+var _ Engine = (*IndexScheduler)(nil)
+var _ Engine = (*Scheduler)(nil)

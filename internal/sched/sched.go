@@ -25,8 +25,60 @@ import (
 	"github.com/psmr/psmr/internal/transport"
 )
 
+// SchedulerKind selects the scheduling engine.
+type SchedulerKind int
+
+// Scheduling engines.
+const (
+	// KindScan is the paper's sP-SMR scheduler: a dedicated scheduler
+	// thread tracks conflicts against the live command set at admission
+	// time and hands ready commands to a shared worker pool. It is the
+	// architectural bottleneck the paper measures (Figures 3, 5, 7).
+	KindScan SchedulerKind = iota
+	// KindIndex is the index-based early scheduler: conflict resolution
+	// is precomputed at cdep.Compile time (class-to-worker-set routes)
+	// plus a hash-sharded per-key conflict index, so admission is O(1)
+	// and commands flow straight into per-worker ingress queues — no
+	// scheduler thread sits between delivery and execution.
+	KindIndex
+)
+
+func (k SchedulerKind) String() string {
+	switch k {
+	case KindScan:
+		return "scan"
+	case KindIndex:
+		return "index"
+	default:
+		return fmt.Sprintf("SchedulerKind(%d)", int(k))
+	}
+}
+
+// Engine is a running scheduling engine: the scan scheduler or the
+// index-based early scheduler. Submit admits commands in order (single
+// producer or externally serialized producers); Close stops the engine
+// and waits for its goroutines.
+type Engine interface {
+	Submit(req *command.Request) bool
+	Close() error
+}
+
+// StartEngine launches the engine selected by cfg.Kind.
+func StartEngine(cfg Config) (Engine, error) {
+	switch cfg.Kind {
+	case KindIndex:
+		return StartIndex(cfg)
+	case KindScan:
+		return Start(cfg)
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler kind %d", int(cfg.Kind))
+	}
+}
+
 // Config configures a scheduler and its worker pool.
 type Config struct {
+	// Kind selects the engine; the zero value is the scan scheduler.
+	Kind SchedulerKind
 	// Workers is the execution pool size (the scheduler thread is
 	// extra, matching how the paper counts threads).
 	Workers int
@@ -358,6 +410,12 @@ func (s *Scheduler) work() {
 }
 
 func (s *Scheduler) respond(req *command.Request, output []byte) {
+	respond(s.cfg.Transport, req, output)
+}
+
+// respond sends a command's response frame to the client proxy; both
+// engines share it so their wire behavior cannot drift apart.
+func respond(tr transport.Transport, req *command.Request, output []byte) {
 	if req.Reply == "" {
 		return
 	}
@@ -366,5 +424,5 @@ func (s *Scheduler) respond(req *command.Request, output []byte) {
 		Seq:    req.Seq,
 		Output: output,
 	})
-	_ = s.cfg.Transport.Send(req.Reply, frame)
+	_ = tr.Send(req.Reply, frame)
 }

@@ -40,6 +40,10 @@ type ReplicaConfig struct {
 	Group multicast.GroupConfig
 	// Transport carries replica traffic.
 	Transport transport.Transport
+	// Scheduler selects the scheduling engine: the scan scheduler
+	// (default, the paper's bottleneck) or the index-based early
+	// scheduler.
+	Scheduler sched.SchedulerKind
 	// QueueBound sizes the scheduler-to-workers hand-off channel.
 	QueueBound int
 	// DedupWindow bounds the per-client at-most-once table.
@@ -52,7 +56,7 @@ type ReplicaConfig struct {
 // the single scheduler, and a pool of worker goroutines.
 type Replica struct {
 	learner   *paxos.Learner
-	scheduler *sched.Scheduler
+	scheduler sched.Engine
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -68,7 +72,8 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spsmr: compile C-Dep: %w", err)
 	}
-	scheduler, err := sched.Start(sched.Config{
+	scheduler, err := sched.StartEngine(sched.Config{
+		Kind:        cfg.Scheduler,
 		Workers:     cfg.Workers,
 		Service:     cfg.Service,
 		Compiled:    compiled,

@@ -33,8 +33,23 @@ import (
 	"github.com/psmr/psmr/internal/core"
 	"github.com/psmr/psmr/internal/multicast"
 	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/spsmr"
 	"github.com/psmr/psmr/internal/transport"
+)
+
+// SchedulerKind selects the sP-SMR scheduling engine (ModeSPSMR only).
+type SchedulerKind = sched.SchedulerKind
+
+// sP-SMR scheduling engines.
+const (
+	// SchedScan is the paper's scheduler: one thread scans conflicts at
+	// admission and feeds a worker pool (the measured bottleneck).
+	SchedScan = sched.KindScan
+	// SchedIndex is the index-based early scheduler: compiled
+	// class-to-worker routes plus a per-key conflict index; commands
+	// flow straight into per-worker queues with no scheduler thread.
+	SchedIndex = sched.KindIndex
 )
 
 // Mode selects the replication technique (Table I of the paper).
@@ -105,6 +120,10 @@ type Config struct {
 	FlushInterval time.Duration
 	// RetryInterval is the client retransmission interval. Default 3s.
 	RetryInterval time.Duration
+	// Scheduler selects the sP-SMR scheduling engine (ModeSPSMR only):
+	// SchedScan reproduces the paper's single-scheduler bottleneck,
+	// SchedIndex is the index-based early scheduler that removes it.
+	Scheduler SchedulerKind
 	// SchedulerQueue bounds the sP-SMR ready queue. Default 4096.
 	SchedulerQueue int
 
@@ -315,6 +334,7 @@ func (cl *Cluster) startReplicas() error {
 				Spec:       cfg.Spec,
 				Group:      cl.groups[0],
 				Transport:  cfg.Transport,
+				Scheduler:  cfg.Scheduler,
 				QueueBound: cfg.SchedulerQueue,
 				CPU:        cfg.CPU,
 			})
