@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race paxos-stress bench sched-ablation
+.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation
 
 verify: vet build test
 
@@ -30,3 +30,8 @@ bench:
 # Scan vs index-based scheduler ablation (update-heavy kvstore).
 sched-ablation:
 	$(GO) run ./cmd/psmr-bench -exp sched
+
+# Batch-first admission ablation on the index engine: single-vs-batch
+# admission x reader sets x work stealing (50/50 read/update kvstore).
+admit-ablation:
+	$(GO) run ./cmd/psmr-bench -exp admit

@@ -23,8 +23,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|all")
-		threads  = flag.Int("threads", 8, "worker threads for the sched ablation")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|all")
+		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
 		window   = flag.Int("window", 50, "outstanding commands per client (paper: 50)")
@@ -64,6 +64,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runFig8(scale)
 	case "sched":
 		return runSched(scale, threads)
+	case "admit":
+		return runAdmit(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -74,6 +76,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runFig7(scale) },
 			func() error { return runFig8(scale) },
 			func() error { return runSched(scale, threads) },
+			func() error { return runAdmit(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -117,6 +120,40 @@ func runSched(scale Scale, threads int) error {
 		if kcps[pair[0]] > 0 && kcps[pair[1]] > 0 {
 			fmt.Printf("  %-12s index/scan speedup: %.2fx\n", pair[0], kcps[pair[1]]/kcps[pair[0]])
 		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runAdmit runs the batch-first admission ablation on the index
+// engine: single-vs-batch admission × reader sets on/off × work
+// stealing on/off under the 50/50 read/update kvstore workload.
+func runAdmit(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Admission ablation — batch-first pipeline knobs (sP-SMR/index,\n")
+	fmt.Printf("50%%/50%% read/update kvstore, %d workers; single-vs-batch\n", threads)
+	fmt.Println(" admission x reader sets x work stealing)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.AdmitAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("admit %v: %w", setup.Tuning.Label(), err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		fmt.Printf("    roles: scheduler=%.1f%% worker=%.1f%% learner=%.1f%%\n",
+			res.CPUByRole["scheduler"], res.CPUByRole["worker"], res.CPUByRole["learner"])
+	}
+	fmt.Println()
+	base := kcps["sP-SMR/index single+nors+nosteal"]
+	tuned := kcps["sP-SMR/index batch+rs+steal"]
+	if base > 0 && tuned > 0 {
+		fmt.Printf("  batch+rs+steal / single+nors+nosteal speedup: %.2fx\n", tuned/base)
 	}
 	for _, res := range results {
 		printCDF(res)

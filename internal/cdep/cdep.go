@@ -117,12 +117,37 @@ type Option interface {
 }
 
 type options struct {
-	placement map[uint64]int
+	placement  map[uint64]int
+	workerSets map[command.ID]command.Gamma
 }
 
 type placementOption map[uint64]int
 
 func (p placementOption) apply(o *options) { o.placement = p }
+
+type workerSetOption struct {
+	cmd command.ID
+	set command.Gamma
+}
+
+func (w workerSetOption) apply(o *options) {
+	if o.workerSets == nil {
+		o.workerSets = make(map[command.ID]command.Gamma)
+	}
+	o.workerSets[w.cmd] = w.set
+}
+
+// WithWorkerSet restricts the workers (equivalently, groups) that
+// invocations of cmd may be routed to. The restriction lands in the
+// compiled route table (Route.Workers), where both the index engine's
+// placement and the client-side C-G function (Groups) honour it: a
+// keyed command hashes its key over the restricted set, an independent
+// command draws a random member. Commands linked by a same-key
+// dependency must share a worker set, otherwise Compile fails (their
+// invocations would be routed to disjoint destinations).
+func WithWorkerSet(cmd command.ID, workers ...int) Option {
+	return workerSetOption{cmd: cmd, set: command.GammaOf(workers...)}
+}
 
 // WithPlacement pins specific keys to specific groups, overriding the
 // default key-to-group hash. This implements the paper's load-balancing
@@ -150,6 +175,14 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 			return nil, fmt.Errorf("cdep: placement of key %d to group %d outside [0,%d)", key, g, k)
 		}
 	}
+	for cmd, set := range o.workerSets {
+		if set == 0 {
+			return nil, fmt.Errorf("cdep: empty worker set for command %d", cmd)
+		}
+		if ws := set.Workers(); ws[len(ws)-1] >= k {
+			return nil, fmt.Errorf("cdep: worker set %v of command %d outside [0,%d)", set, cmd, k)
+		}
+	}
 
 	known := make(map[command.ID]bool, len(spec.Commands))
 	keys := make(map[command.ID]KeyFunc, len(spec.Commands))
@@ -163,11 +196,31 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 		}
 	}
 
+	for cmd := range o.workerSets {
+		if !known[cmd] {
+			return nil, fmt.Errorf("cdep: worker set for unknown command %d", cmd)
+		}
+	}
+
+	setOf := func(cmd command.ID) command.Gamma {
+		if ws, ok := o.workerSets[cmd]; ok {
+			return ws
+		}
+		return command.AllWorkers(k)
+	}
+
 	deps := make(map[pairKey]bool, len(spec.Deps))
 	hasKeyDep := make(map[command.ID]bool)
 	for _, d := range spec.Deps {
 		if !known[d.A] || !known[d.B] {
 			return nil, fmt.Errorf("cdep: dep (%d,%d) references unknown command", d.A, d.B)
+		}
+		if d.SameKey && setOf(d.A) != setOf(d.B) {
+			// Same-key invocations of A and B must hash their shared
+			// key to a common destination; divergent sets would break
+			// the C-G safety property.
+			return nil, fmt.Errorf("cdep: same-key dep (%d,%d) with different worker sets %v and %v",
+				d.A, d.B, setOf(d.A), setOf(d.B))
 		}
 		pk := orderedPair(d.A, d.B)
 		if prev, ok := deps[pk]; ok && prev != d.SameKey {
@@ -261,6 +314,22 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 		}
 	}
 
+	// A placement pin routes every keyed invocation of its key to the
+	// pinned group, so it must stay inside every keyed command's
+	// worker set — otherwise the pin would silently defeat the
+	// WithWorkerSet restriction.
+	for cmd, set := range o.workerSets {
+		if classes[cmd] != Keyed {
+			continue
+		}
+		for key, g := range o.placement {
+			if !set.Has(g) {
+				return nil, fmt.Errorf("cdep: placement of key %d to group %d outside command %d's worker set %v",
+					key, g, cmd, set)
+			}
+		}
+	}
+
 	all := command.AllWorkers(k)
 	return &Compiled{
 		k:         k,
@@ -268,7 +337,7 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 		keys:      keys,
 		deps:      deps,
 		placement: o.placement,
-		routes:    compileRoutes(classes, all),
+		routes:    compileRoutes(classes, deps, o.workerSets, all),
 		all:       all,
 	}, nil
 }
@@ -288,28 +357,39 @@ func (c *Compiled) GroupOfKey(key uint64) int {
 }
 
 // Groups is the C-G function (paper §IV-C): it maps a command invocation
-// to its destination group set. randN supplies randomness for
-// Independent commands (called as randN(k)); pass nil to pin them to
-// group 0 (useful for deterministic tests).
+// to its destination group set. It is driven by the compiled route
+// table, so a WithWorkerSet restriction steers the client-side group
+// choice exactly like it steers the index engine's placement: keyed
+// commands hash their key over the route's worker set (a placement pin
+// still wins), independent commands draw a random member of it. randN
+// supplies randomness for Independent commands (called as randN(n)
+// with n the size of the command's worker set); pass nil to pin them
+// to the set's lowest member (useful for deterministic tests).
 func (c *Compiled) Groups(cmd command.ID, input []byte, randN func(n int) int) command.Gamma {
-	switch c.classes[cmd] {
-	case Global:
+	r, ok := c.routes[cmd]
+	if !ok {
+		// Unknown command: be safe, serialize.
 		return c.all
-	case Keyed:
+	}
+	switch r.Kind {
+	case RouteKeyed:
 		key, ok := c.keys[cmd](input)
 		if !ok {
 			// No key: the invocation potentially touches any object;
 			// fall back to synchronous mode.
 			return c.all
 		}
-		return command.GammaOf(c.GroupOfKey(key))
-	case Independent:
-		if randN == nil {
-			return command.GammaOf(0)
+		if g, ok := c.placement[key]; ok {
+			return command.GammaOf(g)
 		}
-		return command.GammaOf(randN(c.k))
+		return command.GammaOf(r.Workers.Member(key))
+	case RouteFree:
+		if randN == nil {
+			return command.GammaOf(r.Workers.Min())
+		}
+		return command.GammaOf(r.Workers.Member(uint64(randN(r.Workers.Count()))))
 	default:
-		// Unknown command: be safe, serialize.
+		// Barrier: synchronous mode, every group.
 		return c.all
 	}
 }

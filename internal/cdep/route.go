@@ -54,8 +54,21 @@ type Route struct {
 	// (PlacedWorker), else to the least-loaded member of this set;
 	// RouteFree commands go to the least-loaded member; RouteBarrier
 	// commands rendezvous every worker and the set's minimum index
-	// executes.
+	// executes. The set defaults to all workers; WithWorkerSet
+	// restricts it per command, and the client-side C-G (Groups)
+	// honours the restriction too.
 	Workers command.Gamma
+	// ReadOnly marks a RouteKeyed command class whose invocations may
+	// execute concurrently with each other: the command has no
+	// self-dependency in C-Dep AND every same-key conflict partner
+	// self-conflicts (is a writer class). The second condition demotes
+	// mutually-conflicting "reader" pairs — two commands with a
+	// same-key dep but no self-deps — to writers, so the declared
+	// conflict still serializes them. Both engines consume this bit:
+	// the index engine's per-key reader sets and the scan engine's
+	// reader tracking let ReadOnly invocations run concurrently behind
+	// the key's last writer.
+	ReadOnly bool
 }
 
 // Route returns the early-scheduling assignment of cmd. Unknown
@@ -78,16 +91,54 @@ func (c *Compiled) PlacedWorker(key uint64) (worker int, ok bool) {
 // compileRoutes derives the class-to-worker-set table from the
 // classification. It runs at Compile time (early scheduling): admission
 // never consults the dependency specification again.
-func compileRoutes(classes map[command.ID]Class, all command.Gamma) map[command.ID]Route {
+func compileRoutes(classes map[command.ID]Class, deps map[pairKey]bool,
+	workerSets map[command.ID]command.Gamma, all command.Gamma) map[command.ID]Route {
+	selfDep := func(id command.ID) bool {
+		_, ok := deps[orderedPair(id, id)]
+		return ok
+	}
+	// A keyed command is read-only when its invocations never conflict
+	// with each other (no self-dep) and every same-key partner is a
+	// writer (has a self-dep). Without the second condition, two
+	// commands declared mutually conflicting but individually
+	// non-self-conflicting would land in one reader set and overlap
+	// despite the declared dependency.
+	readOnly := func(id command.ID) bool {
+		if selfDep(id) {
+			return false
+		}
+		for pk, sameKey := range deps {
+			if !sameKey {
+				continue
+			}
+			var other command.ID
+			switch id {
+			case pk.a:
+				other = pk.b
+			case pk.b:
+				other = pk.a
+			default:
+				continue
+			}
+			if !selfDep(other) {
+				return false
+			}
+		}
+		return true
+	}
 	routes := make(map[command.ID]Route, len(classes))
 	for id, class := range classes {
+		set := all
+		if ws, ok := workerSets[id]; ok {
+			set = ws
+		}
 		switch class {
 		case Global:
-			routes[id] = Route{Kind: RouteBarrier, Workers: all}
+			routes[id] = Route{Kind: RouteBarrier, Workers: set}
 		case Keyed:
-			routes[id] = Route{Kind: RouteKeyed, Workers: all}
+			routes[id] = Route{Kind: RouteKeyed, Workers: set, ReadOnly: readOnly(id)}
 		default:
-			routes[id] = Route{Kind: RouteFree, Workers: all}
+			routes[id] = Route{Kind: RouteFree, Workers: set}
 		}
 	}
 	return routes

@@ -1,6 +1,7 @@
 package cdep
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/psmr/psmr/internal/command"
@@ -76,6 +77,187 @@ func TestPlacedWorker(t *testing.T) {
 	}
 	if _, ok := c.PlacedWorker(7); ok {
 		t.Fatal("PlacedWorker(7) reported a pin for an unpinned key")
+	}
+}
+
+// Keyed commands without a self-dependency are read-only (reads never
+// conflict with reads); self-conflicting keyed commands are not.
+func TestRouteReadOnlyBit(t *testing.T) {
+	c, err := Compile(kvSpec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !c.Route(cmdRead).ReadOnly {
+		t.Fatal("read route not marked read-only")
+	}
+	if c.Route(cmdUpdate).ReadOnly {
+		t.Fatal("update route marked read-only")
+	}
+	if c.Route(cmdInsert).ReadOnly {
+		t.Fatal("barrier route marked read-only")
+	}
+}
+
+// Two keyed commands that conflict with each other but not with
+// themselves must NOT both be read-only: in one reader set they would
+// overlap despite the declared same-key dependency. The compiler
+// demotes both to writers.
+func TestRouteMutualReadersDemotedToWriters(t *testing.T) {
+	spec := Spec{
+		Commands: []Command{
+			{ID: 1, Name: "a", Key: keyFromInput},
+			{ID: 2, Name: "b", Key: keyFromInput},
+			{ID: 3, Name: "w", Key: keyFromInput},
+			{ID: 4, Name: "r", Key: keyFromInput},
+		},
+		Deps: []Dep{
+			{A: 1, B: 2, SameKey: true}, // mutual, neither self-conflicts
+			{A: 3, B: 3, SameKey: true}, // plain writer...
+			{A: 3, B: 4, SameKey: true}, // ...with a plain reader
+		},
+	}
+	c, err := Compile(spec, 4)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if c.Route(1).ReadOnly || c.Route(2).ReadOnly {
+		t.Fatal("mutually-conflicting keyed commands marked read-only")
+	}
+	if c.Route(3).ReadOnly {
+		t.Fatal("self-conflicting command marked read-only")
+	}
+	if !c.Route(4).ReadOnly {
+		t.Fatal("plain reader (writer-only partners) not marked read-only")
+	}
+}
+
+// WithWorkerSet must restrict the compiled route table AND drive the
+// client-side C-G: keyed commands hash their key over the restricted
+// set, independent commands draw a random member of it. This is the
+// P-SMR-side adoption of the route table (ROADMAP): the same compiled
+// worker-set assignment that routes commands inside the index engine
+// now steers the client's group choice for keyed commands.
+func TestWorkerSetDrivesClientCG(t *testing.T) {
+	const k = 8
+	set := command.GammaOf(1, 3, 5)
+	c, err := Compile(kvSpec(), k,
+		WithWorkerSet(cmdRead, 1, 3, 5), WithWorkerSet(cmdUpdate, 1, 3, 5))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := c.Route(cmdRead).Workers; got != set {
+		t.Fatalf("Route(read).Workers = %v, want %v", got, set)
+	}
+	for key := uint64(0); key < 100; key++ {
+		gu := c.Groups(cmdUpdate, keyInput(key), nil)
+		gr := c.Groups(cmdRead, keyInput(key), nil)
+		if gu != gr {
+			t.Fatalf("key %d: update γ=%v read γ=%v", key, gu, gr)
+		}
+		if gu.Count() != 1 || !set.Has(gu.Min()) {
+			t.Fatalf("key %d: γ=%v outside worker set %v", key, gu, set)
+		}
+		// Deterministic: same key, same destination.
+		if again := c.Groups(cmdUpdate, keyInput(key), nil); again != gu {
+			t.Fatalf("key %d: γ changed between calls (%v then %v)", key, gu, again)
+		}
+	}
+	// The three members must all be used (key mod 3 over the set).
+	seen := map[int]bool{}
+	for key := uint64(0); key < 30; key++ {
+		seen[c.Groups(cmdRead, keyInput(key), nil).Min()] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("restricted keyed C-G used %d of 3 members", len(seen))
+	}
+}
+
+func TestWorkerSetIndependentCommand(t *testing.T) {
+	const (
+		cmdGet command.ID = 1
+		cmdSet command.ID = 2
+	)
+	spec := Spec{
+		Commands: []Command{{ID: cmdGet, Name: "get_state"}, {ID: cmdSet, Name: "set_state"}},
+		Deps:     []Dep{{A: cmdSet, B: cmdSet}, {A: cmdSet, B: cmdGet}},
+	}
+	c, err := Compile(spec, 8, WithWorkerSet(cmdGet, 2, 6))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if g := c.Groups(cmdGet, nil, nil); g.Min() != 2 {
+		t.Fatalf("nil randN γ=%v, want lowest member 2", g)
+	}
+	seen := map[int]bool{}
+	draw := 0
+	randN := func(n int) int {
+		if n != 2 {
+			t.Fatalf("randN called with %d, want worker-set size 2", n)
+		}
+		draw++
+		return draw % 2
+	}
+	for i := 0; i < 10; i++ {
+		g := c.Groups(cmdGet, nil, randN)
+		if g.Count() != 1 || (g.Min() != 2 && g.Min() != 6) {
+			t.Fatalf("independent γ=%v outside {2,6}", g)
+		}
+		seen[g.Min()] = true
+	}
+	if len(seen) != 2 {
+		t.Fatal("independent draws did not cover the worker set")
+	}
+}
+
+func TestWorkerSetValidation(t *testing.T) {
+	if _, err := Compile(kvSpec(), 4, WithWorkerSet(cmdRead, 4)); err == nil {
+		t.Fatal("worker set outside [0,k) accepted")
+	}
+	if _, err := Compile(kvSpec(), 4, WithWorkerSet(command.ID(99), 0)); err == nil {
+		t.Fatal("worker set for unknown command accepted")
+	}
+	if _, err := Compile(kvSpec(), 4, WithWorkerSet(cmdRead)); err == nil {
+		t.Fatal("empty worker set accepted")
+	}
+	// Same-key-dependent commands with divergent sets would break the
+	// shared-group safety property.
+	if _, err := Compile(kvSpec(), 4, WithWorkerSet(cmdRead, 0, 1), WithWorkerSet(cmdUpdate, 2, 3)); err == nil {
+		t.Fatal("divergent worker sets on a same-key dep accepted")
+	}
+	// A placement pin outside a keyed command's worker set would
+	// silently defeat the restriction.
+	if _, err := Compile(kvSpec(), 4,
+		WithWorkerSet(cmdRead, 1, 3), WithWorkerSet(cmdUpdate, 1, 3),
+		WithPlacement(map[uint64]int{42: 0})); err == nil {
+		t.Fatal("placement pin outside the worker set accepted")
+	}
+	if _, err := Compile(kvSpec(), 4,
+		WithWorkerSet(cmdRead, 1, 3), WithWorkerSet(cmdUpdate, 1, 3),
+		WithPlacement(map[uint64]int{42: 3})); err != nil {
+		t.Fatalf("placement pin inside the worker set rejected: %v", err)
+	}
+}
+
+// Restricted sets must preserve the C-G safety property: dependent
+// invocations share at least one group.
+func TestWorkerSetKeepsDependentsShared(t *testing.T) {
+	c, err := Compile(kvSpec(), 8,
+		WithWorkerSet(cmdRead, 1, 3, 5), WithWorkerSet(cmdUpdate, 1, 3, 5))
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	cmds := []command.ID{cmdInsert, cmdDelete, cmdRead, cmdUpdate}
+	for i := 0; i < 2000; i++ {
+		ca, cb := cmds[rng.Intn(len(cmds))], cmds[rng.Intn(len(cmds))]
+		ia, ib := keyInput(uint64(rng.Intn(40))), keyInput(uint64(rng.Intn(40)))
+		if !c.Conflicts(ca, ia, cb, ib) {
+			continue
+		}
+		ga, gb := c.Groups(ca, ia, rng.Intn), c.Groups(cb, ib, rng.Intn)
+		if ga&gb == 0 {
+			t.Fatalf("dependent (%d,%x) γ=%v and (%d,%x) γ=%v share no group", ca, ia, ga, cb, ib, gb)
+		}
 	}
 }
 

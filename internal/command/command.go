@@ -67,6 +67,22 @@ func (g Gamma) Min() int {
 	return bits.TrailingZeros64(uint64(g))
 }
 
+// Member returns the (idx mod Count)-th destination in ascending
+// order, or -1 on the empty set. It maps key hashes and random draws
+// onto arbitrary worker sets, which is how the compiled route table
+// drives the client-side C-G function for restricted sets.
+func (g Gamma) Member(idx uint64) int {
+	c := g.Count()
+	if c == 0 {
+		return -1
+	}
+	v := uint64(g)
+	for idx %= uint64(c); idx > 0; idx-- {
+		v &= v - 1
+	}
+	return bits.TrailingZeros64(v)
+}
+
 // Workers returns the destination indices in ascending order.
 func (g Gamma) Workers() []int {
 	ws := make([]int, 0, g.Count())

@@ -61,6 +61,25 @@ func TestGammaProperties(t *testing.T) {
 	}
 }
 
+func TestGammaMember(t *testing.T) {
+	g := GammaOf(1, 4, 7)
+	for idx, want := range map[uint64]int{0: 1, 1: 4, 2: 7, 3: 1, 4: 4, 100: 4} {
+		if got := g.Member(idx); got != want {
+			t.Fatalf("Member(%d) = %d, want %d", idx, got, want)
+		}
+	}
+	if Gamma(0).Member(5) != -1 {
+		t.Fatal("empty Member != -1")
+	}
+	// Full sets degenerate to idx mod k, matching the legacy C-G hash.
+	full := AllWorkers(8)
+	for idx := uint64(0); idx < 32; idx++ {
+		if got, want := full.Member(idx), int(idx%8); got != want {
+			t.Fatalf("full.Member(%d) = %d, want %d", idx, got, want)
+		}
+	}
+}
+
 func TestRequestRoundTrip(t *testing.T) {
 	req := &Request{
 		Client: 42,

@@ -73,6 +73,12 @@ type KVSetup struct {
 	// Scheduler selects the scheduling engine on the sP-SMR and no-rep
 	// paths (scan reproduces the paper's bottleneck; index removes it).
 	Scheduler psmr.SchedulerKind
+	// Tuning switches the batch-first pipeline optimisations off for
+	// ablation (batched admission, reader sets, work stealing).
+	Tuning psmr.SchedTuning
+	// TagTuning appends the tuning label to the reported technique
+	// name (used by the admission ablation).
+	TagTuning bool
 	// Duration/Warmup control the measurement interval.
 	Duration time.Duration
 	Warmup   time.Duration
@@ -132,14 +138,15 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			mode = psmr.ModeSMR
 		}
 		cluster, err := psmr.StartCluster(psmr.Config{
-			Mode:       mode,
-			Workers:    setup.Threads,
-			Replicas:   2,
-			NewService: newStore,
-			Spec:       kvstore.Spec(),
-			Placement:  setup.Placement,
-			Scheduler:  setup.Scheduler,
-			CPU:        cpu,
+			Mode:        mode,
+			Workers:     setup.Threads,
+			Replicas:    2,
+			NewService:  newStore,
+			Spec:        kvstore.Spec(),
+			Placement:   setup.Placement,
+			Scheduler:   setup.Scheduler,
+			SchedTuning: setup.Tuning,
+			CPU:         cpu,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("start %v cluster: %w", setup.Technique, err)
@@ -163,6 +170,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			Spec:      kvstore.Spec(),
 			Transport: net,
 			Scheduler: setup.Scheduler,
+			Tuning:    setup.Tuning,
 			CPU:       cpu,
 		})
 		if err != nil {
@@ -227,6 +235,9 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	tech := setup.Technique.String()
 	if setup.Scheduler == psmr.SchedIndex {
 		tech += "/index"
+	}
+	if setup.TagTuning {
+		tech += " " + setup.Tuning.Label()
 	}
 	return &bench.Result{
 		Technique:  tech,

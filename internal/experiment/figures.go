@@ -216,6 +216,34 @@ func SchedAblationSetups(scale Scale, threads int) []KVSetup {
 	}
 }
 
+// AdmitAblationSetups returns the batch-first admission ablation:
+// sP-SMR on the index engine under the 50/50 read/update kvstore
+// workload, sweeping single-vs-batch admission × reader sets on/off ×
+// work stealing on/off. Reads exercise the reader sets (the workload
+// has no independent commands, so stealing only matters when the other
+// knobs skew queues); the all-on row is the production pipeline, the
+// all-off row is the pre-batch engine.
+func AdmitAblationSetups(scale Scale, threads int) []KVSetup {
+	var setups []KVSetup
+	for _, single := range []bool{true, false} {
+		for _, nors := range []bool{true, false} {
+			for _, nosteal := range []bool{true, false} {
+				setup := scale.kvSetup(SPSMR, threads)
+				setup.Gen = workload.KVReadUpdate
+				setup.Scheduler = psmr.SchedIndex
+				setup.Tuning = psmr.SchedTuning{
+					NoBatchAdmit: single,
+					NoReaderSets: nors,
+					NoSteal:      nosteal,
+				}
+				setup.TagTuning = true
+				setups = append(setups, setup)
+			}
+		}
+	}
+	return setups
+}
+
 // PrintTable1 prints the paper's Table I (delivery/execution
 // parallelism matrix), the structural summary of the three SMR
 // variants.

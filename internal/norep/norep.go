@@ -34,15 +34,26 @@ type ServerConfig struct {
 	QueueBound int
 	// DedupWindow bounds the at-most-once table.
 	DedupWindow int
+	// AdmitBatch caps how many already-arrived requests the server
+	// drains into one SubmitBatch. Default 64. There is no ordered
+	// batch stream here, so the server forms admission bursts
+	// opportunistically: whatever is queued on the endpoint goes down
+	// in one engine call.
+	AdmitBatch int
+	// Tuning carries the batch-first pipeline knobs; the zero value
+	// enables batched admission, reader sets and work stealing.
+	Tuning sched.Tuning
 	// CPU optionally meters scheduler and worker busy time.
 	CPU *bench.CPUMeter
 }
 
 // Server is a running no-rep server.
 type Server struct {
-	ep        transport.Endpoint
-	scheduler sched.Engine
-	done      chan struct{}
+	ep         transport.Endpoint
+	scheduler  sched.Engine
+	admitBatch int
+	perCmd     bool
+	done       chan struct{}
 }
 
 // StartServer launches the server.
@@ -54,6 +65,9 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("norep: compile C-Dep: %w", err)
 	}
+	if cfg.AdmitBatch <= 0 {
+		cfg.AdmitBatch = 64
+	}
 	scheduler, err := sched.StartEngine(sched.Config{
 		Kind:        cfg.Scheduler,
 		Workers:     cfg.Workers,
@@ -63,6 +77,7 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		QueueBound:  cfg.QueueBound,
 		DedupWindow: cfg.DedupWindow,
 		CPU:         cfg.CPU,
+		Tuning:      cfg.Tuning,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("norep: start scheduler: %w", err)
@@ -73,9 +88,11 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		return nil, fmt.Errorf("norep: listen: %w", err)
 	}
 	s := &Server{
-		ep:        ep,
-		scheduler: scheduler,
-		done:      make(chan struct{}),
+		ep:         ep,
+		scheduler:  scheduler,
+		admitBatch: cfg.AdmitBatch,
+		perCmd:     cfg.Tuning.NoBatchAdmit,
+		done:       make(chan struct{}),
 	}
 	go s.serve()
 	return s, nil
@@ -89,15 +106,48 @@ func (s *Server) Close() error {
 	return err
 }
 
-// serve feeds inbound requests to the scheduler in arrival order.
+// serve feeds inbound requests to the scheduler in arrival order. It
+// blocks for the first frame of a burst, then drains whatever else has
+// already arrived (up to AdmitBatch) into one SubmitBatch, so the
+// engine pays its admission synchronization once per burst. Under low
+// load every burst is a single command; under high load the bursts
+// grow toward AdmitBatch by themselves.
 func (s *Server) serve() {
 	defer close(s.done)
-	for frame := range s.ep.Recv() {
-		req, _, err := command.DecodeRequest(frame)
-		if err != nil {
+	recv := s.ep.Recv()
+	for frame := range recv {
+		if s.perCmd {
+			req, _, err := command.DecodeRequest(frame)
+			if err != nil {
+				continue
+			}
+			if !s.scheduler.Submit(req) {
+				return
+			}
 			continue
 		}
-		if !s.scheduler.Submit(req) {
+		reqs := make([]*command.Request, 0, s.admitBatch)
+		if req, _, err := command.DecodeRequest(frame); err == nil {
+			reqs = append(reqs, req)
+		}
+	drain:
+		for len(reqs) < s.admitBatch {
+			select {
+			case more, ok := <-recv:
+				if !ok {
+					break drain
+				}
+				if req, _, err := command.DecodeRequest(more); err == nil {
+					reqs = append(reqs, req)
+				}
+			default:
+				break drain
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		if !s.scheduler.SubmitBatch(reqs) {
 			return
 		}
 	}

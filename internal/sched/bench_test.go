@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
@@ -65,3 +66,175 @@ func benchEngine(b *testing.B, kind SchedulerKind, workers int) {
 
 func BenchmarkEngineKeyedScan(b *testing.B)  { benchEngine(b, KindScan, 8) }
 func BenchmarkEngineKeyedIndex(b *testing.B) { benchEngine(b, KindIndex, 8) }
+
+// benchEngineBatch is benchEngine with batched admission: the same
+// keyed workload handed down in SubmitBatch bursts, measuring how much
+// of the per-command engine constant the shard-lock and ingress-lock
+// amortisation removes.
+func benchEngineBatch(b *testing.B, kind SchedulerKind, workers, batch int) {
+	b.Helper()
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	compiled, err := cdep.Compile(spec(), workers)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	svc := &doneService{}
+	e, err := StartEngine(Config{
+		Kind:      kind,
+		Workers:   workers,
+		Service:   svc,
+		Compiled:  compiled,
+		Transport: net,
+	})
+	if err != nil {
+		b.Fatalf("StartEngine: %v", err)
+	}
+	defer e.Close()
+
+	b.ResetTimer()
+	for submitted := 0; submitted < b.N; {
+		// Build each burst inside the timed loop, mirroring the
+		// per-command benchmark's request-construction cost.
+		chunk := min(batch, b.N-submitted)
+		reqs := make([]*command.Request, chunk)
+		for j := range reqs {
+			seq := uint64(submitted + j + 1)
+			reqs[j] = &command.Request{
+				Client: seq % 256, Seq: seq, Cmd: cmdWrite, Input: input(seq%1024, seq),
+			}
+		}
+		if !e.SubmitBatch(reqs) {
+			b.Fatal("SubmitBatch failed")
+		}
+		submitted += chunk
+	}
+	for svc.n.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
+func BenchmarkEngineKeyedScanBatch(b *testing.B)  { benchEngineBatch(b, KindScan, 8, 64) }
+func BenchmarkEngineKeyedIndexBatch(b *testing.B) { benchEngineBatch(b, KindIndex, 8, 64) }
+
+// benchAdmitKeyed times the admission path alone: the workers park on
+// a gated service, so the timed region is exactly what batched
+// admission amortises — dedup, routing, shard locks, ingress hand-off —
+// with no execution time interleaved (on a single-core host the
+// workers would otherwise preempt the submitter). The drain after the
+// gate opens is untimed.
+func benchAdmitKeyed(b *testing.B, kind SchedulerKind, workers, batch int) {
+	b.Helper()
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	compiled, err := cdep.Compile(spec(), workers)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	var count atomic.Int64
+	gate := make(chan struct{})
+	svc := gatedService{n: &count, gate: gate}
+	e, err := StartEngine(Config{
+		Kind:      kind,
+		Workers:   workers,
+		Service:   svc,
+		Compiled:  compiled,
+		Transport: net,
+	})
+	if err != nil {
+		b.Fatalf("StartEngine: %v", err)
+	}
+	defer e.Close()
+
+	b.ResetTimer()
+	for submitted := 0; submitted < b.N; {
+		chunk := min(batch, b.N-submitted)
+		reqs := make([]*command.Request, chunk)
+		for j := range reqs {
+			seq := uint64(submitted + j + 1)
+			reqs[j] = &command.Request{
+				Client: seq % 256, Seq: seq, Cmd: cmdWrite, Input: input(seq%1024, seq),
+			}
+		}
+		if batch == 1 {
+			if !e.Submit(reqs[0]) {
+				b.Fatal("Submit failed")
+			}
+		} else if !e.SubmitBatch(reqs) {
+			b.Fatal("SubmitBatch failed")
+		}
+		submitted += chunk
+	}
+	b.StopTimer()
+	close(gate)
+	for count.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+}
+
+func BenchmarkAdmitKeyedScan(b *testing.B)       { benchAdmitKeyed(b, KindScan, 8, 1) }
+func BenchmarkAdmitKeyedScanBatch(b *testing.B)  { benchAdmitKeyed(b, KindScan, 8, 64) }
+func BenchmarkAdmitKeyedIndex(b *testing.B)      { benchAdmitKeyed(b, KindIndex, 8, 1) }
+func BenchmarkAdmitKeyedIndexBatch(b *testing.B) { benchAdmitKeyed(b, KindIndex, 8, 64) }
+
+// sleepService parks for a fixed duration per command, so hot-key
+// benchmarks measure scheduling concurrency (parked sleeps overlap
+// even on one core) rather than raw CPU.
+type sleepService struct {
+	n atomic.Int64
+	d time.Duration
+}
+
+func (s *sleepService) Execute(command.ID, []byte) []byte {
+	time.Sleep(s.d)
+	s.n.Add(1)
+	return nil
+}
+
+// benchHotKeyRead hammers one key with read-only commands from
+// distinct clients. The scan engine and the index engine with reader
+// sets run them concurrently (ns/op ~ sleep/workers); the index engine
+// without reader sets serializes them on one FIFO (ns/op ~ sleep).
+func benchHotKeyRead(b *testing.B, kind SchedulerKind, workers int, tuning Tuning) {
+	b.Helper()
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	compiled, err := cdep.Compile(spec(), workers)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	svc := &sleepService{d: 20 * time.Microsecond}
+	e, err := StartEngine(Config{
+		Kind:      kind,
+		Workers:   workers,
+		Service:   svc,
+		Compiled:  compiled,
+		Transport: net,
+		Tuning:    tuning,
+	})
+	if err != nil {
+		b.Fatalf("StartEngine: %v", err)
+	}
+	defer e.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i + 1)
+		if !e.Submit(&command.Request{
+			Client: seq % 256, Seq: seq, Cmd: cmdRead, Input: input(5, seq),
+		}) {
+			b.Fatal("Submit failed")
+		}
+	}
+	for svc.n.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
+func BenchmarkHotKeyReadScan(b *testing.B)  { benchHotKeyRead(b, KindScan, 8, Tuning{}) }
+func BenchmarkHotKeyReadIndex(b *testing.B) { benchHotKeyRead(b, KindIndex, 8, Tuning{}) }
+func BenchmarkHotKeyReadIndexNoRS(b *testing.B) {
+	benchHotKeyRead(b, KindIndex, 8, Tuning{NoReaderSets: true})
+}

@@ -28,45 +28,157 @@ import (
 // Commands flow straight from the delivery thread into per-worker
 // ingress queues; there is no scheduler thread to saturate a core (the
 // bottleneck the paper measures for sP-SMR in Figures 3, 5 and 7).
-// Conflict correctness falls out of queue discipline:
+// The execution pipeline is batch-first:
 //
-//   - Same-key commands land on one worker's FIFO while any of them is
-//     live, so they execute in admission order. This serializes
-//     same-key READS too — the scan engine lets readers of a key run
-//     concurrently behind its last writer, but expressing that here
-//     would need cross-queue dependency tracking, the very bookkeeping
-//     this engine removes. Hot-key read-heavy workloads therefore
-//     favor the scan engine (or a reader-count extension, see ROADMAP);
-//     keyed-write and mixed workloads favor this one.
+//   - SubmitBatch admits one decided batch at a time: every touched
+//     key shard is locked once per burst and every target worker's
+//     ingress deque is pushed once per burst, instead of once per
+//     command.
+//   - Same-key write chains land on one worker's FIFO while any of
+//     them is live, so they execute in admission order. Same-key
+//     READ-ONLY commands (cdep.Route.ReadOnly) instead join a per-key
+//     reader set: each reader is routed independently (least-loaded)
+//     and waits only for the completion gate of the last admitted
+//     writer, while the next writer waits for the reader set admitted
+//     since the previous writer to drain — the same reader concurrency
+//     the scan engine's live-set tracking provides, without a
+//     scheduler thread.
 //   - Keys with no live commands are (re)assigned to the least-loaded
-//     worker, which is what balances skewed workloads.
+//     worker (ties break to the lowest worker id), which is what
+//     balances skewed workloads.
+//   - An idle worker steals a bounded batch of non-keyed work from the
+//     longest ingress queue. Keyed chains never migrate (the per-key
+//     FIFO is the conflict order) and nothing is taken at or past a
+//     pending barrier token, so stealing cannot reorder dependent
+//     commands.
 //   - Global (barrier) commands are enqueued on every worker's queue;
-//     workers rendezvous at the token, worker 0 executes alone, then
-//     releases the rest — exactly the paper's "wait for the worker
-//     threads to finish their ongoing work" semantics.
+//     workers rendezvous at the token, the compiled set's minimum
+//     member executes alone, then releases the rest — exactly the
+//     paper's "wait for the worker threads to finish their ongoing
+//     work" semantics.
 //
-// Submit keeps the scan engine's contract: one producer, or producers
-// that are externally serialized.
+// The ingress deques are unbounded, like the scan engine's ready list:
+// backpressure comes from the closed-loop clients and the ordering
+// layer, and bounded hand-off channels would deadlock batched
+// admission against reader-set gates (a blocked producer could hold
+// back the very writer a queue head is waiting on). Submit and
+// SubmitBatch keep the scan engine's contract: one producer, or
+// producers that are externally serialized.
 type IndexScheduler struct {
-	cfg      Config
-	queues   []chan *inode
-	queueLen []atomic.Int64
-	keyIdx   []keyShard
-	clients  []clientShard
+	cfg     Config
+	queues  []*ingress
+	keyIdx  []keyShard
+	clients []clientShard
+
+	stealBatch int
+	stealSig   chan struct{}
 
 	admitCPU *bench.RoleMeter
+
+	// Admission scratch, reused across calls (producers are externally
+	// serialized, so no locking). buckets groups one burst's keyed
+	// commands by key shard; touched lists the non-empty buckets;
+	// perWorker/workersHit bucket the placed burst by target queue.
+	single     [1]*command.Request
+	buckets    [][]*inode // len keyShardCount
+	touched    []int
+	free       []*inode
+	perWorker  [][]*inode
+	workersHit []int
+	pendingLen []int
 
 	stop      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 }
 
+// ingress is one worker's unbounded admission deque. A mutex-guarded
+// slice replaces a bounded channel so that (a) a whole burst enqueues
+// under one lock acquisition and (b) an idle worker can steal from the
+// middle of another worker's backlog — neither is expressible over a
+// channel.
+type ingress struct {
+	mu    sync.Mutex
+	items []*inode
+	// load counts queued + executing commands; admission's least-loaded
+	// placement reads it without the lock.
+	load atomic.Int64
+	// freeLoad counts the queued non-keyed, non-barrier commands — the
+	// stealable ones. Thieves pick their victim by it, so an all-keyed
+	// backlog costs them one atomic load, never a scan under the
+	// victim's lock.
+	freeLoad atomic.Int64
+	// wake is a 1-buffered doorbell: pushed-to while the owner may be
+	// parked.
+	wake chan struct{}
+}
+
+func (q *ingress) pushBatch(ns []*inode) {
+	free := 0
+	for _, n := range ns {
+		if !n.keyed && n.bar == nil {
+			free++
+		}
+	}
+	if free > 0 {
+		q.freeLoad.Add(int64(free))
+	}
+	q.load.Add(int64(len(ns)))
+	q.mu.Lock()
+	q.items = append(q.items, ns...)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop removes the queue head, or returns nil when the queue is empty.
+func (q *ingress) pop() *inode {
+	q.mu.Lock()
+	if len(q.items) == 0 {
+		q.mu.Unlock()
+		return nil
+	}
+	n := q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	if len(q.items) == 0 {
+		q.items = nil // release the drained backing array
+	}
+	q.mu.Unlock()
+	return n
+}
+
 // inode is one admitted command (or one worker's view of a barrier).
 type inode struct {
-	req   *command.Request
-	bar   *indexBarrier // non-nil for barrier tokens
-	keyed bool
-	key   uint64
+	req    *command.Request
+	bar    *indexBarrier // non-nil for barrier tokens
+	keyed  bool
+	reader bool
+	key    uint64
+
+	set    command.Gamma // compiled worker set (admission scratch)
+	worker int           // target queue (admission scratch)
+
+	waitW *gate        // readers: completion gate of the last admitted writer
+	waitR *readerGroup // writers: reader set admitted since the previous writer
+	gate  *gate        // writers: closed on completion
+	grp   *readerGroup // readers: group to leave on completion
+}
+
+// gate is a writer's completion latch; readers admitted while the
+// writer is live wait on it before executing. It is allocated lazily —
+// only when a reader actually arrives behind a live writer — so
+// write-only chains pay nothing for it.
+type gate struct{ ch chan struct{} }
+
+// readerGroup counts the live readers admitted between two writers of
+// one key. The next writer seals the group at admission (allocating
+// done); the last member to complete after sealing closes done.
+type readerGroup struct {
+	n    int
+	done chan struct{} // non-nil once sealed by a writer
 }
 
 // indexBarrier coordinates one global command across the workers.
@@ -76,18 +188,24 @@ type indexBarrier struct {
 	release  chan struct{} // closed by the executor after running
 }
 
-// keyShard is one shard of the per-key conflict index: for every key
-// with live (queued or executing) commands, the worker serving it and
-// the live count. Keyed by cdep.KeyFunc output, hash-sharded so the
-// admission thread and the workers' completions rarely contend.
+// keyShard is one shard of the per-key conflict index. Keyed by
+// cdep.KeyFunc output, hash-sharded so the admission thread and the
+// workers' completions rarely contend; batched admission locks each
+// touched shard once per burst.
 type keyShard struct {
 	mu   sync.Mutex
 	live map[uint64]*keyEntry
 }
 
+// keyEntry tracks one key with live (queued or executing) commands:
+// the worker owning the write chain, live counts, the last admitted
+// writer, and the reader set admitted since.
 type keyEntry struct {
-	worker int
-	live   int
+	worker     int // FIFO owning the write chain (valid while writers > 0)
+	writers    int // live writers
+	total      int // live writers + readers (entry is deleted at zero)
+	lastWriter *inode
+	readers    *readerGroup
 }
 
 // clientShard is one shard of the at-most-once state: the response
@@ -102,6 +220,10 @@ type clientShard struct {
 const (
 	keyShardCount    = 128
 	clientShardCount = 64
+	// defaultStealBatch caps the commands an idle worker takes per
+	// steal; small enough that a mistaken steal cannot unbalance the
+	// victim, large enough to amortise the victim-lock acquisition.
+	defaultStealBatch = 8
 )
 
 // StartIndex launches the index engine: the per-worker queues and the
@@ -110,25 +232,29 @@ func StartIndex(cfg Config) (*IndexScheduler, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("sched: %d workers", cfg.Workers)
 	}
-	if cfg.QueueBound <= 0 {
-		cfg.QueueBound = 1024
-	}
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 512
+	}
+	if cfg.StealBatch <= 0 {
+		cfg.StealBatch = defaultStealBatch
 	}
 	if cfg.Compiled == nil {
 		return nil, fmt.Errorf("sched: Compiled is required")
 	}
 	s := &IndexScheduler{
-		cfg:      cfg,
-		queues:   make([]chan *inode, cfg.Workers),
-		queueLen: make([]atomic.Int64, cfg.Workers),
-		keyIdx:   make([]keyShard, keyShardCount),
-		clients:  make([]clientShard, clientShardCount),
-		stop:     make(chan struct{}),
+		cfg:        cfg,
+		queues:     make([]*ingress, cfg.Workers),
+		keyIdx:     make([]keyShard, keyShardCount),
+		clients:    make([]clientShard, clientShardCount),
+		stealBatch: cfg.StealBatch,
+		stealSig:   make(chan struct{}, 1),
+		buckets:    make([][]*inode, keyShardCount),
+		perWorker:  make([][]*inode, cfg.Workers),
+		pendingLen: make([]int, cfg.Workers),
+		stop:       make(chan struct{}),
 	}
 	for i := range s.queues {
-		s.queues[i] = make(chan *inode, cfg.QueueBound)
+		s.queues[i] = &ingress{wake: make(chan struct{}, 1)}
 	}
 	for i := range s.keyIdx {
 		s.keyIdx[i].live = make(map[uint64]*keyEntry)
@@ -151,88 +277,208 @@ func StartIndex(cfg Config) (*IndexScheduler, error) {
 // Submit routes one command to its worker queue in O(1). It reports
 // false once the engine is stopping. Commands are ordered per conflict
 // chain in Submit order.
-//
-// The busy meter stops before the queue send: a blocked wait on a full
-// worker queue is backpressure, not scheduling work, and counting it
-// would inflate the scheduler-CPU comparison against the scan engine
-// (whose hand-off arm is likewise unmetered).
 func (s *IndexScheduler) Submit(req *command.Request) bool {
+	s.single[0] = req
+	return s.SubmitBatch(s.single[:])
+}
+
+// SubmitBatch admits one decided batch. The at-most-once filter runs
+// per command, but each key shard is locked once per burst and each
+// target worker's ingress deque is pushed once per burst — the lock
+// amortisation that makes the pipeline batch-first. A barrier command
+// flushes the work buffered before it, so barrier tokens partition
+// every queue in admission order. The engine does not retain the
+// slice. It reports false once the engine is stopping.
+func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 	select {
 	case <-s.stop:
 		return false
 	default:
 	}
 	stopBusy := s.admitCPU.Busy()
+	defer stopBusy()
+	for _, req := range reqs {
+		if s.dropDuplicate(req) {
+			continue
+		}
+		route := s.cfg.Compiled.Route(req.Cmd)
+		kind := route.Kind
+		var key uint64
+		if kind == cdep.RouteKeyed {
+			if k, ok := s.cfg.Compiled.Key(req.Cmd, req.Input); ok {
+				key = k
+			} else {
+				// Keyless invocation of a keyed command may touch any
+				// object: serialize it like a global command.
+				kind = cdep.RouteBarrier
+			}
+		}
+		switch kind {
+		case cdep.RouteBarrier:
+			s.flush()
+			s.admitBarrier(req, route)
+		case cdep.RouteKeyed:
+			s.bufferKeyed(&inode{
+				req: req, keyed: true, key: key, set: route.Workers,
+				reader: route.ReadOnly && !s.cfg.NoReaderSets,
+			})
+		default:
+			s.free = append(s.free, &inode{req: req, set: route.Workers})
+		}
+	}
+	s.flush()
+	return true
+}
 
-	// At-most-once: answer completed retransmissions from the cache,
-	// drop duplicates whose original is still live (the same metastable
-	// retransmission collapse the scan engine defends against).
+// dropDuplicate applies the at-most-once filter: completed
+// retransmissions are answered from the cache, duplicates whose
+// original is still live are dropped (the same metastable
+// retransmission collapse the scan engine defends against).
+func (s *IndexScheduler) dropDuplicate(req *command.Request) bool {
 	cs := s.clientShard(req.Client)
 	id := requestID{client: req.Client, seq: req.Seq}
 	cs.mu.Lock()
 	if out, dup := cs.table.Lookup(req.Client, req.Seq); dup {
 		cs.mu.Unlock()
 		s.respond(req, out)
-		stopBusy()
 		return true
 	}
 	if _, live := cs.inflight[id]; live {
 		cs.mu.Unlock()
-		stopBusy()
 		return true
 	}
 	cs.inflight[id] = struct{}{}
 	cs.mu.Unlock()
+	return false
+}
 
-	route := s.cfg.Compiled.Route(req.Cmd)
-	kind := route.Kind
-	var key uint64
-	if kind == cdep.RouteKeyed {
-		k, ok := s.cfg.Compiled.Key(req.Cmd, req.Input)
-		if !ok {
-			// Keyless invocation of a keyed command may touch any
-			// object: serialize it like a global command.
-			kind = cdep.RouteBarrier
-		} else {
-			key = k
-		}
+// bufferKeyed groups this burst's keyed commands by key shard so flush
+// can lock each shard once. Same-key commands share a shard, so their
+// admission order is preserved within the shard's bucket.
+func (s *IndexScheduler) bufferKeyed(n *inode) {
+	si := s.keyShardIndex(n.key)
+	if len(s.buckets[si]) == 0 {
+		s.touched = append(s.touched, int(si))
 	}
+	s.buckets[si] = append(s.buckets[si], n)
+}
 
-	var (
-		w int
-		n *inode
-	)
-	switch kind {
-	case cdep.RouteBarrier:
-		stopBusy()
-		return s.admitBarrier(req, route)
-	case cdep.RouteKeyed:
-		ks := s.keyShard(key)
+// flush places the buffered burst: every touched key shard is locked
+// once, free commands are spread least-loaded, and every target
+// worker's ingress is pushed once.
+func (s *IndexScheduler) flush() {
+	if len(s.touched) == 0 && len(s.free) == 0 {
+		return
+	}
+	for _, si := range s.touched {
+		ks := &s.keyIdx[si]
 		ks.mu.Lock()
-		if e := ks.live[key]; e != nil {
-			// Live conflict chain: append behind it (same worker FIFO
-			// preserves admission order for the key).
-			w = e.worker
-			e.live++
-		} else {
-			// Idle key: a placement pin wins (§IV-D load-balancing
-			// hint), else the least-loaded member of the compiled
-			// worker set.
-			if pw, ok := s.cfg.Compiled.PlacedWorker(key); ok && pw < len(s.queues) {
-				w = pw
-			} else {
-				w = s.leastLoaded(route.Workers)
-			}
-			ks.live[key] = &keyEntry{worker: w, live: 1}
+		for _, n := range s.buckets[si] {
+			s.placeKeyedLocked(ks, n)
+			s.pendingLen[n.worker]++
 		}
 		ks.mu.Unlock()
-		n = &inode{req: req, keyed: true, key: key}
-	default:
-		w = s.leastLoaded(route.Workers)
-		n = &inode{req: req}
 	}
-	stopBusy()
-	return s.enqueue(w, n)
+	for _, n := range s.free {
+		n.worker = s.leastLoaded(n.set)
+		s.pendingLen[n.worker]++
+	}
+	for _, si := range s.touched {
+		for _, n := range s.buckets[si] {
+			s.addToWorker(n)
+		}
+		s.buckets[si] = s.buckets[si][:0]
+	}
+	s.touched = s.touched[:0]
+	for _, n := range s.free {
+		s.addToWorker(n)
+	}
+	s.free = s.free[:0]
+	for _, w := range s.workersHit {
+		ns := s.perWorker[w]
+		s.pendingLen[w] = 0
+		s.queues[w].pushBatch(ns)
+		s.perWorker[w] = ns[:0]
+		if !s.cfg.NoSteal && s.queues[w].freeLoad.Load() >= int64(s.stealBatch) {
+			// A stealable backlog built up: ring the doorbell so a
+			// parked worker rechecks the victim scan.
+			select {
+			case s.stealSig <- struct{}{}:
+			default:
+			}
+		}
+	}
+	s.workersHit = s.workersHit[:0]
+}
+
+// addToWorker appends a placed command to its target queue's burst
+// bucket, tracking which queues this burst touches.
+func (s *IndexScheduler) addToWorker(n *inode) {
+	if len(s.perWorker[n.worker]) == 0 {
+		s.workersHit = append(s.workersHit, n.worker)
+	}
+	s.perWorker[n.worker] = append(s.perWorker[n.worker], n)
+}
+
+// placeKeyedLocked assigns one keyed command its target worker and its
+// dependency gates. The caller holds the key's shard lock.
+//
+// Writers chain on one worker's FIFO (admission order = execution
+// order) and wait for the reader set admitted since the previous
+// writer. Readers are routed independently and wait only for the last
+// admitted writer's completion gate. Every wait edge points to an
+// earlier-admitted command and every queue is FIFO in admission order,
+// so the wait graph is acyclic — no deadlock.
+func (s *IndexScheduler) placeKeyedLocked(ks *keyShard, n *inode) {
+	e := ks.live[n.key]
+	if e == nil {
+		e = &keyEntry{}
+		ks.live[n.key] = e
+	}
+	e.total++
+	if n.reader {
+		if w := e.lastWriter; w != nil {
+			// Rendezvous with the live write chain: latch onto the last
+			// writer's completion gate, allocating it on first use.
+			if w.gate == nil {
+				w.gate = &gate{ch: make(chan struct{})}
+			}
+			n.waitW = w.gate
+		}
+		if e.readers == nil {
+			e.readers = &readerGroup{}
+		}
+		e.readers.n++
+		n.grp = e.readers
+		// Readers fan out to their own routed workers instead of the
+		// write chain's FIFO — this is what recovers hot-key read
+		// concurrency.
+		n.worker = s.leastLoaded(n.set)
+		return
+	}
+	switch {
+	case e.writers > 0:
+		// Live write chain: append behind it (same worker FIFO
+		// preserves admission order for the key).
+		n.worker = e.worker
+	default:
+		// Idle write chain: a placement pin wins (§IV-D load-balancing
+		// hint), else the least-loaded member of the compiled worker
+		// set.
+		if pw, ok := s.cfg.Compiled.PlacedWorker(n.key); ok && pw < len(s.queues) {
+			n.worker = pw
+		} else {
+			n.worker = s.leastLoaded(n.set)
+		}
+	}
+	e.worker = n.worker
+	e.writers++
+	if g := e.readers; g != nil && g.n > 0 {
+		g.done = make(chan struct{}) // seal: the writer waits for the drain
+		n.waitR = g
+	}
+	e.readers = nil
+	e.lastWriter = n
 }
 
 // Close stops the engine and waits for the workers to exit.
@@ -243,11 +489,11 @@ func (s *IndexScheduler) Close() error {
 }
 
 // admitBarrier enqueues one barrier token on every worker's queue. The
-// token is fully enqueued before Submit returns, so every command
+// token is fully enqueued before admission continues, so every command
 // admitted earlier precedes it on its queue and every later command
 // follows it — the rendezvous cannot deadlock. The compiled worker
 // set's minimum member executes.
-func (s *IndexScheduler) admitBarrier(req *command.Request, route cdep.Route) bool {
+func (s *IndexScheduler) admitBarrier(req *command.Request, route cdep.Route) {
 	executor := route.Workers.Min()
 	if executor < 0 || executor >= len(s.queues) {
 		executor = 0
@@ -260,65 +506,172 @@ func (s *IndexScheduler) admitBarrier(req *command.Request, route cdep.Route) bo
 			release:  make(chan struct{}),
 		},
 	}
-	for w := range s.queues {
-		if !s.enqueue(w, n) {
-			return false
-		}
-	}
-	return true
-}
-
-func (s *IndexScheduler) enqueue(w int, n *inode) bool {
-	s.queueLen[w].Add(1)
-	select {
-	case s.queues[w] <- n:
-		return true
-	case <-s.stop:
-		s.queueLen[w].Add(-1)
-		return false
+	token := []*inode{n}
+	for _, q := range s.queues {
+		q.pushBatch(token)
 	}
 }
 
 // leastLoaded returns the member of the compiled worker set with the
-// shortest ingress backlog (queued + executing). O(k) with k <= 64; an
-// empty or out-of-range set falls back to all workers.
+// shortest ingress backlog (queued + executing, plus this burst's
+// not-yet-pushed placements). Ties break deterministically to the
+// lowest worker id (the scan is ascending and strictly improving). A
+// set with no member in this engine's worker range falls back to all
+// workers.
 func (s *IndexScheduler) leastLoaded(set command.Gamma) int {
-	best, bestLen := 0, int64(1<<62)
-	for w := range s.queueLen {
+	best, bestLen := -1, int64(1<<62)
+	for w := range s.queues {
 		if set != 0 && !set.Has(w) {
 			continue
 		}
-		if l := s.queueLen[w].Load(); l < bestLen {
+		if l := s.queues[w].load.Load() + int64(s.pendingLen[w]); l < bestLen {
 			best, bestLen = w, l
 		}
+	}
+	if best < 0 {
+		return s.leastLoaded(0)
 	}
 	return best
 }
 
-// work is one pool worker draining its own ingress queue.
+// work is one pool worker draining its own ingress queue, stealing
+// from the longest queue when its own runs dry.
 func (s *IndexScheduler) work(w int) {
 	defer s.wg.Done()
+	q := s.queues[w]
 	cpu := s.cfg.CPU.Role("worker")
+	stealSig := s.stealSig
+	if s.cfg.NoSteal {
+		stealSig = nil
+	}
 	for {
-		var n *inode
-		select {
-		case n = <-s.queues[w]:
-		case <-s.stop:
-			return
+		n := q.pop()
+		if n == nil {
+			if batch := s.steal(w); len(batch) > 0 {
+				for _, m := range batch {
+					if !s.execute(m, cpu) {
+						return
+					}
+					q.load.Add(-1)
+				}
+				continue
+			}
+			select {
+			case <-q.wake:
+				continue
+			case <-stealSig:
+				continue
+			case <-s.stop:
+				return
+			}
 		}
 		if n.bar != nil {
 			if !s.rendezvous(w, n, cpu.Busy) {
 				return
 			}
 		} else {
-			stopBusy := cpu.Busy()
-			output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
-			s.respond(n.req, output)
-			stopBusy()
-			s.complete(n, output)
+			if !n.keyed {
+				q.freeLoad.Add(-1)
+			}
+			if !s.execute(n, cpu) {
+				return
+			}
 		}
-		s.queueLen[w].Add(-1)
+		q.load.Add(-1)
 	}
+}
+
+// steal takes up to stealBatch non-keyed commands from the front of
+// the ingress queue with the most stealable work. Keyed chains never
+// migrate (their FIFO is the conflict order) and the scan stops at the
+// first barrier token, so a stolen command was admitted after every
+// executed barrier and before every pending one — executing it on the
+// thief is indistinguishable from the victim executing it. The scan is
+// bounded, and queues with no stealable work are skipped on an atomic
+// read alone.
+func (s *IndexScheduler) steal(w int) []*inode {
+	if s.cfg.NoSteal {
+		return nil
+	}
+	victim, most := -1, int64(0)
+	for i := range s.queues {
+		if i == w {
+			continue
+		}
+		if l := s.queues[i].freeLoad.Load(); l > most {
+			victim, most = i, l
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	q := s.queues[victim]
+	limit := 8 * s.stealBatch // bound the time under the victim's lock
+	var batch []*inode
+	q.mu.Lock()
+	if len(q.items) < limit {
+		limit = len(q.items)
+	}
+	orig := len(q.items)
+	kept := q.items[:0]
+	for i, n := range q.items[:limit] {
+		if n.bar != nil {
+			limit = i // copy the rest wholesale below
+			break
+		}
+		if !n.keyed && len(batch) < s.stealBatch {
+			batch = append(batch, n)
+			continue
+		}
+		kept = append(kept, n)
+	}
+	kept = append(kept, q.items[limit:]...)
+	for i := len(kept); i < orig; i++ {
+		q.items[i] = nil
+	}
+	q.items = kept
+	q.mu.Unlock()
+	if len(batch) > 0 {
+		q.load.Add(-int64(len(batch)))
+		left := q.freeLoad.Add(-int64(len(batch)))
+		s.queues[w].load.Add(int64(len(batch)))
+		if left > 0 {
+			// More stealable backlog remains: cascade the doorbell so
+			// another parked worker joins in.
+			select {
+			case s.stealSig <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return batch
+}
+
+// execute runs one non-barrier command after waiting out its gates:
+// the last writer's completion for readers, the sealed reader set for
+// writers. Gate owners are always earlier-admitted commands, so the
+// waits terminate. It reports false when the engine is stopping.
+func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
+	if n.waitW != nil {
+		select {
+		case <-n.waitW.ch:
+		case <-s.stop:
+			return false
+		}
+	}
+	if n.waitR != nil {
+		select {
+		case <-n.waitR.done:
+		case <-s.stop:
+			return false
+		}
+	}
+	stopBusy := cpu.Busy()
+	output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+	s.respond(n.req, output)
+	stopBusy()
+	s.complete(n, output)
+	return true
 }
 
 // rendezvous runs one barrier token: the executor (the minimum of the
@@ -355,23 +708,48 @@ func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
 	return true
 }
 
-// complete records the response for at-most-once and releases the
-// command's key in the conflict index.
+// complete records the response for at-most-once, closes the command's
+// writer gate (if a reader latched one on), and releases it from the
+// conflict index.
 func (s *IndexScheduler) complete(n *inode, output []byte) {
 	cs := s.clientShard(n.req.Client)
 	cs.mu.Lock()
 	cs.table.Record(n.req.Client, n.req.Seq, output)
 	delete(cs.inflight, requestID{client: n.req.Client, seq: n.req.Seq})
 	cs.mu.Unlock()
-	if n.keyed {
-		ks := s.keyShard(n.key)
-		ks.mu.Lock()
-		if e := ks.live[n.key]; e != nil {
-			if e.live--; e.live <= 0 {
-				delete(ks.live, n.key)
+	if !n.keyed {
+		return
+	}
+	ks := s.keyShard(n.key)
+	ks.mu.Lock()
+	if e := ks.live[n.key]; e != nil {
+		e.total--
+		if n.reader {
+			if g := n.grp; g != nil {
+				g.n--
+				if g.done != nil && g.n == 0 {
+					close(g.done)
+				}
+			}
+		} else {
+			e.writers--
+			if e.lastWriter == n {
+				e.lastWriter = nil
 			}
 		}
-		ks.mu.Unlock()
+		if e.total <= 0 {
+			delete(ks.live, n.key)
+		}
+	}
+	// n.gate is written by reader admissions under this shard's lock;
+	// read it under the same lock, close it after.
+	var g *gate
+	if !n.reader {
+		g = n.gate
+	}
+	ks.mu.Unlock()
+	if g != nil {
+		close(g.ch)
 	}
 }
 
@@ -380,7 +758,11 @@ func (s *IndexScheduler) respond(req *command.Request, output []byte) {
 }
 
 func (s *IndexScheduler) keyShard(key uint64) *keyShard {
-	return &s.keyIdx[mix64(key)%keyShardCount]
+	return &s.keyIdx[s.keyShardIndex(key)]
+}
+
+func (s *IndexScheduler) keyShardIndex(key uint64) uint64 {
+	return mix64(key) % keyShardCount
 }
 
 func (s *IndexScheduler) clientShard(client uint64) *clientShard {

@@ -1,21 +1,36 @@
-// Package sched implements the dependency-aware scheduler shared by
-// the sP-SMR replica and the no-rep server (paper §VI-B): a single
-// scheduler thread admits a sequential stream of commands, tracks
-// conflicts against the live (executing or parked) commands using the
-// service's C-Dep, dispatches independent commands to a pool of worker
-// threads, and serializes dependent ones in admission order.
+// Package sched implements the scheduling engines shared by the
+// sP-SMR replica and the no-rep server (paper §VI-B). Both engines
+// admit the same ordered command stream — one command at a time
+// (Submit) or one decided batch at a time (SubmitBatch) — and dispatch
+// independent commands onto a pool of worker threads while dependent
+// commands execute in admission order:
 //
-// The scheduler is deterministic with respect to its input stream:
-// a command waits for exactly the earlier-admitted live commands that
+//   - The scan engine (KindScan) is the paper's sP-SMR scheduler: a
+//     single scheduler thread tracks conflicts against the live
+//     (executing or parked) command set using the service's C-Dep and
+//     hands ready commands to a shared worker pool. Being one thread,
+//     it is the architectural bottleneck the paper measures — it
+//     saturates a core while workers idle (Figures 3, 5 and 7).
+//   - The index engine (KindIndex) removes that thread: conflict
+//     resolution is precompiled into class-to-worker routes
+//     (cdep.Compiled.Route, "early scheduling") plus a hash-sharded
+//     per-key conflict index, so admission is O(1) routing straight
+//     into per-worker ingress queues. Per-key reader sets let same-key
+//     read-only commands run concurrently behind the key's last
+//     writer, batched admission amortises shard and ingress locks over
+//     a decided batch, and idle workers steal non-keyed work from the
+//     longest queue (keyed chains never migrate). See index.go.
+//
+// Both engines are deterministic with respect to their input stream: a
+// command waits for exactly the earlier-admitted live commands that
 // conflict with it, so every pair of dependent commands executes in
-// admission order, while independent commands fan out to whichever
-// workers are free. Being a single thread, the scheduler is also the
-// architectural bottleneck the paper measures: it saturates one core
-// while workers idle (Figures 3, 5 and 7).
+// admission order and both engines produce identical outputs for the
+// same ordered stream.
 package sched
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"github.com/psmr/psmr/internal/bench"
@@ -56,10 +71,19 @@ func (k SchedulerKind) String() string {
 
 // Engine is a running scheduling engine: the scan scheduler or the
 // index-based early scheduler. Submit admits commands in order (single
-// producer or externally serialized producers); Close stops the engine
-// and waits for its goroutines.
+// producer or externally serialized producers); SubmitBatch admits one
+// decided batch in order, equivalent to Submit per element but letting
+// the engine amortise per-burst costs (the caller must not reuse the
+// slice afterwards); Close stops the engine and waits for its
+// goroutines. A producer must pick ONE of the two admission paths and
+// stick to it: the index engine preserves order across them, but the
+// scan engine hands each path to its scheduler over a separate
+// channel, so interleaving Submit and SubmitBatch calls would lose the
+// cross-path admission order (the delivery pumps always use exactly
+// one path, selected by Tuning.NoBatchAdmit).
 type Engine interface {
 	Submit(req *command.Request) bool
+	SubmitBatch(reqs []*command.Request) bool
 	Close() error
 }
 
@@ -88,13 +112,53 @@ type Config struct {
 	Compiled *cdep.Compiled
 	// Transport sends responses.
 	Transport transport.Transport
-	// QueueBound sizes the hand-off channel to the worker pool.
-	// Default 1024 (the scheduler's own ready list is unbounded).
+	// QueueBound sizes the scan engine's hand-off channel to the
+	// worker pool. Default 1024 (the scheduler's own ready list is
+	// unbounded). The index engine's ingress deques are unbounded and
+	// ignore it (see index.go).
 	QueueBound int
 	// DedupWindow bounds the per-client at-most-once table. Default 512.
 	DedupWindow int
 	// CPU optionally meters scheduler and worker busy time.
 	CPU *bench.CPUMeter
+	// Tuning carries the batch-admission pipeline knobs (all default
+	// on); the engines read the reader-set and stealing switches, the
+	// delivery paths read NoBatchAdmit.
+	Tuning
+}
+
+// Tuning switches the batch-first pipeline optimisations off for
+// ablation. The zero value is the production configuration: batched
+// admission, reader sets, and work stealing all enabled.
+type Tuning struct {
+	// NoBatchAdmit makes the delivery paths (sP-SMR pump, no-rep
+	// server) hand commands to the engine one Submit at a time instead
+	// of one SubmitBatch per decided batch.
+	NoBatchAdmit bool
+	// NoReaderSets makes the index engine serialize same-key read-only
+	// commands on the key's FIFO like writers (the pre-reader-set
+	// behavior); the scan engine ignores it.
+	NoReaderSets bool
+	// NoSteal disables work stealing between the index engine's
+	// per-worker ingress queues.
+	NoSteal bool
+	// StealBatch caps the commands moved per steal. Default 8.
+	StealBatch int
+}
+
+// Label renders the tuning as "batch+rs+steal"-style ablation tags.
+func (t Tuning) Label() string {
+	parts := []string{"batch", "rs", "steal"}
+	if t.NoBatchAdmit {
+		parts[0] = "single"
+	}
+	if t.NoReaderSets {
+		parts[1] = "nors"
+	}
+	if t.NoSteal {
+		parts[2] = "nosteal"
+	}
+	return strings.Join(parts, "+")
 }
 
 // Scheduler is a running scheduler-worker engine. Feed it with Submit
@@ -104,6 +168,7 @@ type Scheduler struct {
 	cfg Config
 
 	reqCh   chan *command.Request
+	batchCh chan []*command.Request
 	readyCh chan *node
 	doneCh  chan *node
 	stop    chan struct{}
@@ -154,6 +219,7 @@ func Start(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:     cfg,
 		reqCh:   make(chan *command.Request, 4096),
+		batchCh: make(chan []*command.Request, 256),
 		readyCh: make(chan *node, cfg.QueueBound),
 		doneCh:  make(chan *node, cfg.QueueBound),
 		stop:    make(chan struct{}),
@@ -177,6 +243,28 @@ func (s *Scheduler) Submit(req *command.Request) bool {
 	}
 	select {
 	case s.reqCh <- req:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// SubmitBatch admits one decided batch: a single channel hand-off to
+// the scheduler thread instead of one per command, which amortises the
+// producer/scheduler synchronization over a burst. The scheduler takes
+// ownership of the slice. It reports false once the scheduler is
+// stopping.
+func (s *Scheduler) SubmitBatch(reqs []*command.Request) bool {
+	if len(reqs) == 0 {
+		return true
+	}
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	select {
+	case s.batchCh <- reqs:
 		return true
 	case <-s.stop:
 		return false
@@ -285,10 +373,11 @@ func (s *Scheduler) schedule() {
 				s.cfg.Compiled.Class(req.Cmd) == cdep.Keyed {
 				n.keyed = true
 				n.key = key
-				// A command conflicting with its own kind on the same
-				// key is a writer; otherwise it only conflicts with
-				// writers.
-				n.writer = s.cfg.Compiled.Conflicts(req.Cmd, req.Input, req.Cmd, req.Input)
+				// The compiled route's read-only bit decides reader vs
+				// writer (shared with the index engine's reader sets,
+				// so the two engines cannot drift): a writer either
+				// self-conflicts or conflicts with another non-writer.
+				n.writer = !s.cfg.Compiled.Route(req.Cmd).ReadOnly
 				ks := keys[key]
 				if ks == nil {
 					ks = &keyState{}
@@ -338,6 +427,12 @@ func (s *Scheduler) schedule() {
 			stop := cpu.Busy()
 			admit(req)
 			stop()
+		case reqs := <-s.batchCh:
+			stop := cpu.Busy()
+			for _, req := range reqs {
+				admit(req)
+			}
+			stop()
 		case n := <-s.doneCh:
 			stop := cpu.Busy()
 			release(n)
@@ -362,6 +457,14 @@ func (s *Scheduler) schedule() {
 					admit(req)
 					progress = true
 				}
+			default:
+			}
+			select {
+			case reqs := <-s.batchCh:
+				for _, req := range reqs {
+					admit(req)
+				}
+				progress = true
 			default:
 			}
 			select {

@@ -13,11 +13,13 @@ import (
 	"github.com/psmr/psmr/internal/transport"
 )
 
-// Test command set: keyed writes/reads plus a global command.
+// Test command set: keyed writes/reads, a global command, and an
+// independent (free-routed) ping.
 const (
 	cmdWrite command.ID = iota + 1
 	cmdRead
 	cmdGlobal
+	cmdPing
 )
 
 func key(input []byte) (uint64, bool) {
@@ -33,12 +35,13 @@ func spec() cdep.Spec {
 			{ID: cmdWrite, Name: "write", Key: key},
 			{ID: cmdRead, Name: "read", Key: key},
 			{ID: cmdGlobal, Name: "global"},
+			{ID: cmdPing, Name: "ping"},
 		},
 		Deps: []cdep.Dep{
 			{A: cmdWrite, B: cmdWrite, SameKey: true},
 			{A: cmdWrite, B: cmdRead, SameKey: true},
 			{A: cmdGlobal, B: cmdGlobal}, {A: cmdGlobal, B: cmdWrite},
-			{A: cmdGlobal, B: cmdRead},
+			{A: cmdGlobal, B: cmdRead}, {A: cmdGlobal, B: cmdPing},
 		},
 	}
 }

@@ -44,6 +44,9 @@ type ReplicaConfig struct {
 	// (default, the paper's bottleneck) or the index-based early
 	// scheduler.
 	Scheduler sched.SchedulerKind
+	// Tuning carries the batch-first pipeline knobs (batched admission,
+	// reader sets, work stealing); the zero value enables everything.
+	Tuning sched.Tuning
 	// QueueBound sizes the scheduler-to-workers hand-off channel.
 	QueueBound int
 	// DedupWindow bounds the per-client at-most-once table.
@@ -57,6 +60,7 @@ type ReplicaConfig struct {
 type Replica struct {
 	learner   *paxos.Learner
 	scheduler sched.Engine
+	perCmd    bool // deliver one Submit per command (ablation)
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -81,6 +85,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		QueueBound:  cfg.QueueBound,
 		DedupWindow: cfg.DedupWindow,
 		CPU:         cfg.CPU,
+		Tuning:      cfg.Tuning,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("spsmr: start scheduler: %w", err)
@@ -99,6 +104,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	r := &Replica{
 		learner:   learner,
 		scheduler: scheduler,
+		perCmd:    cfg.Tuning.NoBatchAdmit,
 		done:      make(chan struct{}),
 	}
 	go r.deliver()
@@ -119,7 +125,10 @@ func (r *Replica) Close() error {
 
 // deliver is the delivery pump: it turns the ordered batch stream into
 // the scheduler's sequential admission stream (the defining property
-// of sP-SMR).
+// of sP-SMR). Whole decided batches are handed to the engine so it
+// acquires its shard and ingress locks once per burst instead of once
+// per command; NoBatchAdmit falls back to one Submit per command (the
+// ablation baseline).
 func (r *Replica) deliver() {
 	defer close(r.done)
 	cursor := r.learner.NewCursor()
@@ -131,14 +140,31 @@ func (r *Replica) deliver() {
 		if batch.Skip {
 			continue
 		}
+		if r.perCmd {
+			for _, item := range batch.Items {
+				req, _, err := command.DecodeRequest(item)
+				if err != nil {
+					continue
+				}
+				if !r.scheduler.Submit(req) {
+					return
+				}
+			}
+			continue
+		}
+		reqs := make([]*command.Request, 0, len(batch.Items))
 		for _, item := range batch.Items {
 			req, _, err := command.DecodeRequest(item)
 			if err != nil {
 				continue
 			}
-			if !r.scheduler.Submit(req) {
-				return
-			}
+			reqs = append(reqs, req)
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		if !r.scheduler.SubmitBatch(reqs) {
+			return
 		}
 	}
 }

@@ -41,6 +41,11 @@ import (
 // SchedulerKind selects the sP-SMR scheduling engine (ModeSPSMR only).
 type SchedulerKind = sched.SchedulerKind
 
+// SchedTuning carries the batch-first execution pipeline knobs
+// (batched admission on/off, reader sets on/off, work stealing on/off
+// and its batch size); the zero value enables everything.
+type SchedTuning = sched.Tuning
+
 // sP-SMR scheduling engines.
 const (
 	// SchedScan is the paper's scheduler: one thread scans conflicts at
@@ -126,6 +131,10 @@ type Config struct {
 	Scheduler SchedulerKind
 	// SchedulerQueue bounds the sP-SMR ready queue. Default 4096.
 	SchedulerQueue int
+	// SchedTuning switches the batch-first pipeline optimisations
+	// (batched admission, reader sets, work stealing, steal batch
+	// size) off for ablations; the zero value is the tuned pipeline.
+	SchedTuning SchedTuning
 
 	// CPU, when set, meters every role's busy time.
 	CPU *bench.CPUMeter
@@ -336,6 +345,7 @@ func (cl *Cluster) startReplicas() error {
 				Transport:  cfg.Transport,
 				Scheduler:  cfg.Scheduler,
 				QueueBound: cfg.SchedulerQueue,
+				Tuning:     cfg.SchedTuning,
 				CPU:        cfg.CPU,
 			})
 			if err != nil {
