@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation
+.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation multikey-ablation
 
 verify: vet build test
 
@@ -35,3 +35,9 @@ sched-ablation:
 # admission x reader sets x work stealing (50/50 read/update kvstore).
 admit-ablation:
 	$(GO) run ./cmd/psmr-bench -exp admit
+
+# Barrier-vs-multikey ablation: the two-key kvstore transfer under a
+# single-key C-G (all-worker barrier) vs the key-set C-Dep (owner
+# rendezvous), on both scheduling engines.
+multikey-ablation:
+	$(GO) run ./cmd/psmr-bench -exp multikey

@@ -290,6 +290,22 @@ func BenchmarkAblationScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationMultiKey sweeps the barrier-vs-multikey C-G
+// treatment of the two-key transfer across both scheduling engines
+// (the `-exp multikey` rows at benchmark scale).
+func BenchmarkAblationMultiKey(b *testing.B) {
+	scale := benchScale()
+	for _, setup := range experiment.MultiKeyAblationSetups(scale, 8) {
+		engine := "scan"
+		if setup.Scheduler == psmr.SchedIndex {
+			engine = "index"
+		}
+		b.Run(fmt.Sprintf("%s-%s", setup.Tag, engine), func(b *testing.B) {
+			runKVBench(b, setup)
+		})
+	}
+}
+
 // BenchmarkBTree benchmarks the storage engine in isolation (context
 // for the absolute Kcps numbers of the system benchmarks).
 func BenchmarkBTree(b *testing.B) {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -66,6 +66,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runSched(scale, threads)
 	case "admit":
 		return runAdmit(scale, threads)
+	case "multikey":
+		return runMultiKey(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -77,6 +79,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runFig8(scale) },
 			func() error { return runSched(scale, threads) },
 			func() error { return runAdmit(scale, threads) },
+			func() error { return runMultiKey(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -154,6 +157,44 @@ func runAdmit(scale Scale, threads int) error {
 	tuned := kcps["sP-SMR/index batch+rs+steal"]
 	if base > 0 && tuned > 0 {
 		fmt.Printf("  batch+rs+steal / single+nors+nosteal speedup: %.2fx\n", tuned/base)
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runMultiKey runs the barrier-vs-multikey ablation: the two-key
+// kvstore transfer under a single-key C-G (every transfer an
+// all-worker barrier) against the key-set C-Dep (owner rendezvous over
+// the two touched keys), on both scheduling engines.
+func runMultiKey(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Multi-key ablation — barrier C-G vs key-set C-Dep (sP-SMR,\n")
+	fmt.Printf("50%%/50%% transfer/read kvstore, %d workers; scan and index\n", threads)
+	fmt.Println(" engines; transfers hold only their two keys' owners)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.MultiKeyAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("multikey %v %s: %w", setup.Scheduler, setup.Tag, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		fmt.Printf("    roles: scheduler=%.1f%% worker=%.1f%% learner=%.1f%%\n",
+			res.CPUByRole["scheduler"], res.CPUByRole["worker"], res.CPUByRole["learner"])
+	}
+	fmt.Println()
+	for _, pair := range [][2]string{
+		{"sP-SMR barrier-cg", "sP-SMR multikey-cg"},
+		{"sP-SMR/index barrier-cg", "sP-SMR/index multikey-cg"},
+	} {
+		if kcps[pair[0]] > 0 && kcps[pair[1]] > 0 {
+			fmt.Printf("  %-24s multikey/barrier speedup: %.2fx\n", pair[0], kcps[pair[1]]/kcps[pair[0]])
+		}
 	}
 	for _, res := range results {
 		printCDF(res)

@@ -6,6 +6,7 @@
 //	psmr-kv -server 127.0.0.1:7400 -workers 8 put 42 hello
 //	psmr-kv -server 127.0.0.1:7400 -workers 8 update 42 world
 //	psmr-kv -server 127.0.0.1:7400 -workers 8 del 42
+//	psmr-kv -server 127.0.0.1:7400 -workers 8 transfer 42 43 5
 //
 // The -workers flag must match the daemon's multiprogramming level:
 // client and server proxies agree on it (paper §IV-D), since the
@@ -42,7 +43,7 @@ func main() {
 
 func run(server string, workers int, mode string, id uint64, args []string) error {
 	if len(args) < 2 {
-		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE]")
+		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE] | transfer FROM TO AMOUNT")
 	}
 	verb := args[0]
 	key, err := strconv.ParseUint(args[1], 10, 64)
@@ -128,8 +129,31 @@ func run(server string, workers int, mode string, id uint64, args []string) erro
 			return fmt.Errorf("key %d not found", key)
 		}
 		fmt.Println("OK")
+	case "transfer":
+		// Two-key transaction: multicast to the union of both keys'
+		// groups (multi-key C-G), executed once after the owners
+		// rendezvous.
+		if len(args) < 4 {
+			return errors.New("transfer needs FROM TO AMOUNT")
+		}
+		to, err := strconv.ParseUint(args[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("to %q: %w", args[2], err)
+		}
+		amount, err := strconv.ParseUint(args[3], 10, 64)
+		if err != nil {
+			return fmt.Errorf("amount %q: %w", args[3], err)
+		}
+		out, err := client.Invoke(kvstore.CmdTransfer, kvstore.EncodeTransfer(key, to, amount))
+		if err != nil {
+			return err
+		}
+		if out[0] != kvstore.OK {
+			return fmt.Errorf("transfer %d→%d: error code %d", key, to, out[0])
+		}
+		fmt.Println("OK")
 	default:
-		return fmt.Errorf("unknown verb %q (get|put|update|del)", verb)
+		return fmt.Errorf("unknown verb %q (get|put|update|del|transfer)", verb)
 	}
 	return nil
 }

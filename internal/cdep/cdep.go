@@ -10,6 +10,17 @@
 // (Dep.SameKey == true, e.g. two updates on the same key). If no entry
 // asserts a dependency between two commands, they are independent.
 //
+// An invocation's accessed objects are declared through extractors.
+// The paper's C-G keys each command by a single object (Command.Key);
+// this package generalises that to key SETS (Command.KeySet), following
+// the class-to-worker-set compilation of "Early Scheduling in Parallel
+// State Machine Replication" (Alchieri, Dotti, Pedone) and the
+// read/write-set conflict detection of CBASE (Kotla & Dahlin, DSN'04).
+// Two same-key-dependent invocations conflict iff their key sets
+// intersect, so a command touching {a, b} serializes against commands
+// on a and commands on b but runs in parallel with everything else —
+// without falling back to synchronous mode.
+//
 // Compiling C-Dep assigns every command a class:
 //
 //   - Global — the command conflicts with commands whose group cannot be
@@ -18,6 +29,10 @@
 //   - Keyed — the command conflicts only with same-key commands; it is
 //     multicast to the single group its key maps to. Example: kvstore
 //     read/update, NetFS read/write (keyed by path).
+//   - MultiKeyed — the command conflicts with same-key commands over a
+//     key set; it is multicast to the union of its keys' groups and
+//     executes after a rendezvous across the owners of those keys.
+//     Example: kvstore transfer {from, to}, NetFS create {path, parent}.
 //   - Independent — the command conflicts with nothing (or only with
 //     Global commands); it is multicast to one group chosen at random,
 //     like get_state in the paper's first C-G example.
@@ -38,13 +53,27 @@ import (
 // keys differed).
 type KeyFunc func(input []byte) (key uint64, ok bool)
 
-// Command declares one command of a service.
+// KeySetFunc extracts the set of object keys a command invocation
+// touches (a multi-key command's read/write set, à la CBASE). The
+// returned slice may be unsorted and contain duplicates; the compiled
+// spec canonicalises it. ok is false (or the set empty) when the
+// invocation's key set cannot be determined — such invocations fall
+// back to synchronous mode, like keyless invocations of keyed commands.
+type KeySetFunc func(input []byte) (keys []uint64, ok bool)
+
+// Command declares one command of a service. At most one of Key and
+// KeySet may be set; the single-key Key is the adapter for commands
+// touching exactly one object (the paper's original C-G keying), KeySet
+// declares a multi-key command.
 type Command struct {
 	ID   command.ID
 	Name string
-	// Key extracts the accessed object; required for commands involved
-	// in SameKey dependencies.
+	// Key extracts the accessed object; required for single-key
+	// commands involved in SameKey dependencies.
 	Key KeyFunc
+	// KeySet extracts the accessed object set; declares the command
+	// multi-key. Mutually exclusive with Key.
+	KeySet KeySetFunc
 }
 
 // Dep declares a dependency between command types A and B (order does
@@ -74,6 +103,9 @@ const (
 	Keyed
 	// Global commands go to every group (synchronous mode).
 	Global
+	// MultiKeyed commands go to the union of their keys' groups and
+	// rendezvous across the owners of those keys.
+	MultiKeyed
 )
 
 func (c Class) String() string {
@@ -84,6 +116,8 @@ func (c Class) String() string {
 		return "keyed"
 	case Global:
 		return "global"
+	case MultiKeyed:
+		return "multikey"
 	default:
 		return fmt.Sprintf("Class(%d)", int(c))
 	}
@@ -105,6 +139,7 @@ type Compiled struct {
 	k         int
 	classes   map[command.ID]Class
 	keys      map[command.ID]KeyFunc
+	keySets   map[command.ID]KeySetFunc
 	deps      map[pairKey]bool // value: SameKey
 	placement map[uint64]int
 	routes    map[command.ID]Route
@@ -186,13 +221,20 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 
 	known := make(map[command.ID]bool, len(spec.Commands))
 	keys := make(map[command.ID]KeyFunc, len(spec.Commands))
+	keySets := make(map[command.ID]KeySetFunc)
 	for _, c := range spec.Commands {
 		if known[c.ID] {
 			return nil, fmt.Errorf("cdep: duplicate command id %d (%s)", c.ID, c.Name)
 		}
 		known[c.ID] = true
+		if c.Key != nil && c.KeySet != nil {
+			return nil, fmt.Errorf("cdep: command %d (%s) declares both Key and KeySet", c.ID, c.Name)
+		}
 		if c.Key != nil {
 			keys[c.ID] = c.Key
+		}
+		if c.KeySet != nil {
+			keySets[c.ID] = c.KeySet
 		}
 	}
 
@@ -231,10 +273,10 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 			deps[pk] = d.SameKey
 		}
 		if d.SameKey {
-			if keys[d.A] == nil {
+			if keys[d.A] == nil && keySets[d.A] == nil {
 				return nil, fmt.Errorf("cdep: same-key dep (%d,%d) but command %d has no key extractor", d.A, d.B, d.A)
 			}
-			if keys[d.B] == nil {
+			if keys[d.B] == nil && keySets[d.B] == nil {
 				return nil, fmt.Errorf("cdep: same-key dep (%d,%d) but command %d has no key extractor", d.A, d.B, d.B)
 			}
 			hasKeyDep[d.A] = true
@@ -307,6 +349,8 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 		switch {
 		case global[c.ID]:
 			classes[c.ID] = Global
+		case hasKeyDep[c.ID] && keySets[c.ID] != nil:
+			classes[c.ID] = MultiKeyed
 		case hasKeyDep[c.ID]:
 			classes[c.ID] = Keyed
 		default:
@@ -315,11 +359,11 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 	}
 
 	// A placement pin routes every keyed invocation of its key to the
-	// pinned group, so it must stay inside every keyed command's
-	// worker set — otherwise the pin would silently defeat the
+	// pinned group, so it must stay inside every keyed (and multi-key)
+	// command's worker set — otherwise the pin would silently defeat the
 	// WithWorkerSet restriction.
 	for cmd, set := range o.workerSets {
-		if classes[cmd] != Keyed {
+		if classes[cmd] != Keyed && classes[cmd] != MultiKeyed {
 			continue
 		}
 		for key, g := range o.placement {
@@ -335,6 +379,7 @@ func Compile(spec Spec, k int, opts ...Option) (*Compiled, error) {
 		k:         k,
 		classes:   classes,
 		keys:      keys,
+		keySets:   keySets,
 		deps:      deps,
 		placement: o.placement,
 		routes:    compileRoutes(classes, deps, o.workerSets, all),
@@ -383,6 +428,25 @@ func (c *Compiled) Groups(cmd command.ID, input []byte, randN func(n int) int) c
 			return command.GammaOf(g)
 		}
 		return command.GammaOf(r.Workers.Member(key))
+	case RouteMultiKey:
+		keys, ok := c.KeySet(cmd, input)
+		if !ok {
+			// Undeterminable key set: synchronous mode.
+			return c.all
+		}
+		// Union of the keys' groups: the multi-key γ. Each key maps
+		// exactly where its single-key conflicts map (placement pin or
+		// hash over the shared worker set), so every same-key dependent
+		// invocation shares a group with this one.
+		var gamma command.Gamma
+		for _, key := range keys {
+			if g, ok := c.placement[key]; ok {
+				gamma |= command.GammaOf(g)
+				continue
+			}
+			gamma |= command.GammaOf(r.Workers.Member(key))
+		}
+		return gamma
 	case RouteFree:
 		if randN == nil {
 			return command.GammaOf(r.Workers.Min())
@@ -395,9 +459,10 @@ func (c *Compiled) Groups(cmd command.ID, input []byte, randN func(n int) int) c
 }
 
 // Conflicts reports whether two concrete invocations depend on each
-// other: they share a C-Dep entry, and — for same-key entries — touch
-// the same key. This is the query the sP-SMR scheduler runs for every
-// delivered command.
+// other: they share a C-Dep entry, and — for same-key entries — their
+// key sets intersect (single-key commands contribute singleton sets).
+// This is the query the sP-SMR scheduler runs for every delivered
+// command.
 func (c *Compiled) Conflicts(cmdA command.ID, inputA []byte, cmdB command.ID, inputB []byte) bool {
 	sameKey, ok := c.deps[orderedPair(cmdA, cmdB)]
 	if !ok {
@@ -406,14 +471,36 @@ func (c *Compiled) Conflicts(cmdA command.ID, inputA []byte, cmdB command.ID, in
 	if !sameKey {
 		return true
 	}
-	keyA, okA := c.keys[cmdA](inputA)
-	keyB, okB := c.keys[cmdB](inputB)
+	if c.keySets[cmdA] == nil && c.keySets[cmdB] == nil {
+		// Single-key fast path: no set allocation on the per-command
+		// hot paths (e.g. the lockstore's per-request conflict scan).
+		keyA, okA := c.keys[cmdA](inputA)
+		keyB, okB := c.keys[cmdB](inputB)
+		if !okA || !okB {
+			return true // keyless: conservatively conflicting
+		}
+		return keyA == keyB
+	}
+	keysA, okA := c.KeySet(cmdA, inputA)
+	keysB, okB := c.KeySet(cmdB, inputB)
 	if !okA || !okB {
 		// Keyless invocation of a keyed command: conservatively
 		// conflicting.
 		return true
 	}
-	return keyA == keyB
+	// Both sets are sorted: linear intersection.
+	i, j := 0, 0
+	for i < len(keysA) && j < len(keysB) {
+		switch {
+		case keysA[i] == keysB[j]:
+			return true
+		case keysA[i] < keysB[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
 }
 
 // GlobalConflict reports whether cmd conflicts with every command
@@ -431,4 +518,41 @@ func (c *Compiled) Key(cmd command.ID, input []byte) (key uint64, ok bool) {
 		return 0, false
 	}
 	return kf(input)
+}
+
+// KeySet extracts the canonical (sorted, deduplicated) key set of an
+// invocation: the multi-key extractor's output for MultiKeyed commands,
+// a singleton for single-key commands. ok is false when the command has
+// no extractor of either kind or the invocation's keys cannot be
+// determined — callers must then serialize the invocation (synchronous
+// mode). The schedulers rely on the canonical order: the index engine
+// enqueues a multi-key command on its owners in sorted-key order, so
+// every replica visits shards identically.
+func (c *Compiled) KeySet(cmd command.ID, input []byte) ([]uint64, bool) {
+	if ksf := c.keySets[cmd]; ksf != nil {
+		keys, ok := ksf(input)
+		if !ok || len(keys) == 0 {
+			return nil, false
+		}
+		out := make([]uint64, len(keys))
+		copy(out, keys)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		// Deduplicate in place (sorted).
+		w := 1
+		for i := 1; i < len(out); i++ {
+			if out[i] != out[w-1] {
+				out[w] = out[i]
+				w++
+			}
+		}
+		return out[:w], true
+	}
+	if kf := c.keys[cmd]; kf != nil {
+		key, ok := kf(input)
+		if !ok {
+			return nil, false
+		}
+		return []uint64{key}, true
+	}
+	return nil, false
 }

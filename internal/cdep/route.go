@@ -28,6 +28,13 @@ const (
 	// cannot be predicted: every worker must rendezvous before they
 	// execute, and no later command may start before they finish.
 	RouteBarrier
+	// RouteMultiKey commands serialize against same-key commands over a
+	// key SET: they are enqueued on every worker owning one of their
+	// keys' conflict chains (in sorted-key order) with a 2PL-style
+	// rendezvous token — the lowest-id owner executes once every owner
+	// reaches the token. Unlike RouteBarrier, only the owners of the
+	// touched keys stall, so disjoint-key traffic keeps flowing.
+	RouteMultiKey
 )
 
 func (k RouteKind) String() string {
@@ -38,6 +45,8 @@ func (k RouteKind) String() string {
 		return "free"
 	case RouteBarrier:
 		return "barrier"
+	case RouteMultiKey:
+		return "multikey"
 	default:
 		return fmt.Sprintf("RouteKind(%d)", int(k))
 	}
@@ -137,6 +146,11 @@ func compileRoutes(classes map[command.ID]Class, deps map[pairKey]bool,
 			routes[id] = Route{Kind: RouteBarrier, Workers: set}
 		case Keyed:
 			routes[id] = Route{Kind: RouteKeyed, Workers: set, ReadOnly: readOnly(id)}
+		case MultiKeyed:
+			// Multi-key commands are always writers: the rendezvous
+			// token pins every touched key's chain, which only makes
+			// sense for an exclusive hold.
+			routes[id] = Route{Kind: RouteMultiKey, Workers: set}
 		default:
 			routes[id] = Route{Kind: RouteFree, Workers: set}
 		}

@@ -15,6 +15,7 @@ import (
 
 	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/direct"
 	"github.com/psmr/psmr/internal/kvstore"
@@ -70,6 +71,11 @@ type KVSetup struct {
 	Gen func(keys workload.KeyGen) workload.Generator
 	// KeyGen overrides the default uniform key selection.
 	KeyGen workload.KeyGen
+	// Spec overrides the kvstore C-Dep (nil keeps kvstore.Spec()); the
+	// multi-key ablation swaps in its barrier-C-G baseline here.
+	Spec *cdep.Spec
+	// Tag is appended to the reported technique name.
+	Tag string
 	// Scheduler selects the scheduling engine on the sP-SMR and no-rep
 	// paths (scan reproduces the paper's bottleneck; index removes it).
 	Scheduler psmr.SchedulerKind
@@ -122,6 +128,10 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		st.Preload(setup.Keys)
 		return st
 	}
+	spec := kvstore.Spec()
+	if setup.Spec != nil {
+		spec = *setup.Spec
+	}
 
 	var (
 		invokers []workload.Invoker
@@ -142,7 +152,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			Workers:     setup.Threads,
 			Replicas:    2,
 			NewService:  newStore,
-			Spec:        kvstore.Spec(),
+			Spec:        spec,
 			Placement:   setup.Placement,
 			Scheduler:   setup.Scheduler,
 			SchedTuning: setup.Tuning,
@@ -167,7 +177,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			Addr:      "norep/server",
 			Workers:   setup.Threads,
 			Service:   newStore(),
-			Spec:      kvstore.Spec(),
+			Spec:      spec,
 			Transport: net,
 			Scheduler: setup.Scheduler,
 			Tuning:    setup.Tuning,
@@ -238,6 +248,9 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	}
 	if setup.TagTuning {
 		tech += " " + setup.Tuning.Label()
+	}
+	if setup.Tag != "" {
+		tech += " " + setup.Tag
 	}
 	return &bench.Result{
 		Technique:  tech,

@@ -7,6 +7,8 @@ import (
 
 	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/kvstore"
 	"github.com/psmr/psmr/internal/workload"
 )
 
@@ -239,6 +241,44 @@ func AdmitAblationSetups(scale Scale, threads int) []KVSetup {
 				setup.TagTuning = true
 				setups = append(setups, setup)
 			}
+		}
+	}
+	return setups
+}
+
+// BarrierTransferSpec returns the multi-key ablation's baseline C-Dep:
+// the kvstore spec with the transfer declared always-conflicting with
+// itself, which is what a single-object C-G forces on a multi-object
+// command — the compiler promotes it to Global and every transfer
+// becomes an all-worker barrier.
+func BarrierTransferSpec() cdep.Spec {
+	spec := kvstore.Spec()
+	spec.Deps = append(spec.Deps, cdep.Dep{A: kvstore.CmdTransfer, B: kvstore.CmdTransfer})
+	return spec
+}
+
+// MultiKeyAblationSetups returns the barrier-vs-multikey ablation:
+// sP-SMR under the 50/50 transfer/read kvstore workload, sweeping the
+// C-G treatment of the two-key transfer (barrier baseline vs key-set
+// routing) across both scheduling engines. The barrier rows reproduce
+// the synchronous-mode serialization a single-key C-G forces on
+// multi-object commands; the multikey rows measure the owner-
+// rendezvous fast path that replaces it.
+func MultiKeyAblationSetups(scale Scale, threads int) []KVSetup {
+	barrierSpec := BarrierTransferSpec()
+	var setups []KVSetup
+	for _, barrier := range []bool{true, false} {
+		for _, kind := range []psmr.SchedulerKind{psmr.SchedScan, psmr.SchedIndex} {
+			setup := scale.kvSetup(SPSMR, threads)
+			setup.Gen = workload.KVTransferMix
+			setup.Scheduler = kind
+			if barrier {
+				setup.Spec = &barrierSpec
+				setup.Tag = "barrier-cg"
+			} else {
+				setup.Tag = "multikey-cg"
+			}
+			setups = append(setups, setup)
 		}
 	}
 	return setups

@@ -1,12 +1,15 @@
 // Package kvstore implements the paper's key-value store service
 // (§V-A/§VI-B): an in-memory B+-tree of 8-byte integer keys and 8-byte
-// values with insert, delete, read and update commands.
+// values with insert, delete, read, update and two-key transfer
+// commands.
 //
 // The dependency structure follows the paper exactly: inserts and
 // deletes may restructure the tree (splitting and joining cells), so
 // they depend on all commands; an update on key k depends on updates
 // and reads on k (and on inserts and deletes). Reads never conflict
-// with reads.
+// with reads. The transfer extension is a same-key dependency over the
+// key SET {from, to} (cdep.KeySetFunc), so two-key transactions ride
+// the keyed path instead of serializing globally.
 package kvstore
 
 import (
@@ -23,6 +26,12 @@ const (
 	CmdDelete
 	CmdRead
 	CmdUpdate
+	// CmdTransfer is the two-key transaction: it moves an amount from
+	// one key's 8-byte counter value to another's. Its C-Dep entry is a
+	// same-key dependency over the key SET {from, to}, so it rides the
+	// keyed path (class MultiKeyed) instead of falling back to a global
+	// barrier.
+	CmdTransfer
 )
 
 // Error codes returned in the first output byte.
@@ -114,6 +123,25 @@ func (s *Store) Execute(cmd command.ID, input []byte) []byte {
 			return []byte{ErrNotFound}
 		}
 		return []byte{OK}
+	case CmdTransfer:
+		from, to, amount, ok := decodeTransfer(input)
+		if !ok {
+			return []byte{ErrNotFound}
+		}
+		// The scheduler serializes this invocation against every
+		// command touching from or to, so the two-step read-modify-
+		// write is atomic under the service's concurrency contract.
+		vf, okF := s.tree.Get(from)
+		vt, okT := s.tree.Get(to)
+		if !okF || !okT || len(vf) < 8 || len(vt) < 8 {
+			return []byte{ErrNotFound}
+		}
+		if from == to {
+			return []byte{OK} // self-transfer: balance unchanged
+		}
+		s.tree.Update(from, encodeValue(binary.LittleEndian.Uint64(vf)-amount))
+		s.tree.Update(to, encodeValue(binary.LittleEndian.Uint64(vt)+amount))
+		return []byte{OK}
 	default:
 		return []byte{ErrNotFound}
 	}
@@ -121,9 +149,11 @@ func (s *Store) Execute(cmd command.ID, input []byte) []byte {
 
 var _ command.Service = (*Store)(nil)
 
-// Spec returns the service's C-Dep (paper §V-A): "inserts and deletes
-// depend on all commands; an update on key k depends on other updates
-// on k, on reads on k, and on inserts and deletes."
+// Spec returns the service's C-Dep (paper §V-A, extended): "inserts and
+// deletes depend on all commands; an update on key k depends on other
+// updates on k, on reads on k, and on inserts and deletes." A transfer
+// over {from, to} depends on updates, reads and transfers touching
+// either key (same-key over the key set) and on inserts and deletes.
 func Spec() cdep.Spec {
 	return cdep.Spec{
 		Commands: []cdep.Command{
@@ -131,22 +161,39 @@ func Spec() cdep.Spec {
 			{ID: CmdDelete, Name: "delete", Key: KeyOf},
 			{ID: CmdRead, Name: "read", Key: KeyOf},
 			{ID: CmdUpdate, Name: "update", Key: KeyOf},
+			{ID: CmdTransfer, Name: "transfer", KeySet: TransferKeysOf},
 		},
 		Deps: []cdep.Dep{
 			{A: CmdInsert, B: CmdInsert}, {A: CmdInsert, B: CmdDelete},
 			{A: CmdInsert, B: CmdRead}, {A: CmdInsert, B: CmdUpdate},
 			{A: CmdDelete, B: CmdDelete}, {A: CmdDelete, B: CmdRead},
 			{A: CmdDelete, B: CmdUpdate},
+			{A: CmdInsert, B: CmdTransfer}, {A: CmdDelete, B: CmdTransfer},
 			{A: CmdUpdate, B: CmdUpdate, SameKey: true},
 			{A: CmdUpdate, B: CmdRead, SameKey: true},
+			{A: CmdTransfer, B: CmdTransfer, SameKey: true},
+			{A: CmdTransfer, B: CmdRead, SameKey: true},
+			{A: CmdTransfer, B: CmdUpdate, SameKey: true},
 		},
 	}
 }
 
 // KeyOf extracts the key from a command input (the cdep.KeyFunc of
-// every kvstore command).
+// every single-key kvstore command).
 func KeyOf(input []byte) (uint64, bool) {
 	return decodeKey(input)
+}
+
+// TransferKeysOf extracts the {from, to} key set of a transfer (the
+// cdep.KeySetFunc of CmdTransfer).
+func TransferKeysOf(input []byte) ([]uint64, bool) {
+	if len(input) < 16 {
+		return nil, false
+	}
+	return []uint64{
+		binary.LittleEndian.Uint64(input[:8]),
+		binary.LittleEndian.Uint64(input[8:16]),
+	}, true
 }
 
 // EncodeKey builds the input of a read or delete.
@@ -159,6 +206,16 @@ func EncodeKeyValue(key uint64, value []byte) []byte {
 	buf := make([]byte, 8, 8+len(value))
 	binary.LittleEndian.PutUint64(buf, key)
 	return append(buf, value...)
+}
+
+// EncodeTransfer builds the input of a transfer: move amount from one
+// key's counter to another's.
+func EncodeTransfer(from, to, amount uint64) []byte {
+	buf := make([]byte, 24)
+	binary.LittleEndian.PutUint64(buf, from)
+	binary.LittleEndian.PutUint64(buf[8:], to)
+	binary.LittleEndian.PutUint64(buf[16:], amount)
+	return buf
 }
 
 // DecodeReadOutput splits a read response into its error code and
@@ -182,6 +239,15 @@ func decodeKeyValue(input []byte) (uint64, []byte, bool) {
 		return 0, nil, false
 	}
 	return binary.LittleEndian.Uint64(input[:8]), input[8:], true
+}
+
+func decodeTransfer(input []byte) (from, to, amount uint64, ok bool) {
+	if len(input) < 24 {
+		return 0, 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(input[:8]),
+		binary.LittleEndian.Uint64(input[8:16]),
+		binary.LittleEndian.Uint64(input[16:24]), true
 }
 
 func encodeValue(v uint64) []byte {

@@ -3,17 +3,44 @@
 // a FUSE-like command set, with lz4-compressed request/response
 // payloads and per-path parallelism.
 //
-// Dependency structure (paper §V-B): calls that change the file-system
-// tree or the shared file-descriptor table — create, mknod, mkdir,
-// unlink, rmdir, open, utimens, release, opendir, releasedir — depend
-// on all calls. access, lstat, read, write and readdir depend on those
-// and on each other when they name the same path; on different paths
-// they run in parallel.
+// Dependency structure (rewritten for key-set scheduling): structural
+// calls — create, mknod, mkdir, unlink, rmdir — access exactly the
+// named path and its parent directory, so they carry the key set
+// {path, parent} (cdep.KeySetFunc) and serialize only against calls
+// touching one of those two paths. Descriptor-table calls — open,
+// opendir, release, releasedir — and utimens/write access a single
+// path; access, lstat, read and readdir are per-path read-only. No
+// NetFS call depends on all commands anymore: the paper's ten
+// synchronous-mode barriers are demoted to (multi-)keyed routes.
+//
+// What makes the demotion sound:
+//
+//   - Flat-path resolution: an operation resolves its target by full
+//     path, never by walking ancestor components, so its footprint is
+//     exactly the declared key set. (Only empty directories and leaf
+//     files can be removed, so a concurrent operation under a distinct
+//     {path, parent} pair can never observe a half-removed subtree.)
+//   - Deterministic allocation: inode and descriptor numbers derive
+//     from (path, per-path sequence) instead of global counters, so
+//     replicas executing independent calls in different interleavings
+//     still allocate identical numbers. The per-path sequence is
+//     bumped only by same-path calls, which every scheduler
+//     serializes.
+//   - Structure locking: the path/fd tables are guarded by one RWMutex
+//     for map-structure safety; per-inode field access needs no lock
+//     because the schedulers serialize same-key commands.
+//   - Declared-path verification: fd-based calls (read, write,
+//     release*) verify that the fd actually belongs to the path the
+//     client declared for routing; a mismatch is EBADF. Without this a
+//     misrouted fd operation could race another path's serialized
+//     history and diverge replicas.
 package netfs
 
 import (
+	"hash/fnv"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Errno is a NetFS error code (a small subset of POSIX).
@@ -69,7 +96,9 @@ type Stat struct {
 	Atime int64
 }
 
-// inode is one file or directory.
+// inode is one file or directory. Field access is serialized by the
+// scheduler's key conflicts (same path, or parent for structural
+// calls); only the FS-level maps need their own lock.
 type inode struct {
 	ino   uint64
 	mode  uint32
@@ -82,13 +111,11 @@ type inode struct {
 
 func (n *inode) isDir() bool { return n.mode&ModeDir != 0 }
 
-// fdEntry is one entry of the shared file-descriptor table. The table
-// is read concurrently by per-path commands and mutated only by
-// globally serialized commands (open/release and friends), matching
-// the paper's synchronization argument for making those calls depend
-// on everything.
+// fdEntry is one entry of the shared file-descriptor table. The table's
+// map structure is guarded by FS.mu; an entry's inode is only touched
+// by calls keyed on the entry's path.
 type fdEntry struct {
-	ino  uint64
+	n    *inode
 	path string
 	dir  bool
 }
@@ -97,31 +124,40 @@ type fdEntry struct {
 // deterministic core of every NetFS command; all inputs (including
 // timestamps) come from the client so replicas stay identical.
 type FS struct {
-	inodes  map[uint64]*inode
-	nextIno uint64
-	fds     map[uint64]*fdEntry
-	nextFD  uint64
+	mu sync.RWMutex
+	// paths maps full canonical paths to live inodes (flat resolution).
+	paths map[string]*inode
+	// fds is the shared descriptor table.
+	fds map[uint64]*fdEntry
+	// pathSeq is the per-path allocation sequence feeding deterministic
+	// ino/fd numbers. Entries are never removed: a recreated path keeps
+	// counting up, so numbers are never reused while an old descriptor
+	// could still be live.
+	pathSeq map[string]uint64
 }
 
 // NewFS creates a file system holding only the root directory.
 func NewFS() *FS {
 	fs := &FS{
-		inodes:  make(map[uint64]*inode),
+		paths:   make(map[string]*inode),
 		fds:     make(map[uint64]*fdEntry),
-		nextIno: 1,
-		nextFD:  1,
+		pathSeq: make(map[string]uint64),
 	}
-	fs.inodes[1] = &inode{
+	fs.paths["/"] = &inode{
 		ino:   1,
 		mode:  ModeDir | 0o755,
 		kids:  make(map[string]uint64),
 		nlink: 2,
 	}
-	fs.nextIno = 2
 	return fs
 }
 
-// splitPath normalises "/a/b/c" into its components.
+// splitPath validates a CANONICAL path ("/a/b/c") and returns its
+// components. Non-canonical spellings — trailing or doubled slashes,
+// "." or ".." components — are rejected rather than normalised: the
+// flat paths map and the scheduler's key extraction (KeyOf hashes the
+// raw wire path) must agree on one spelling per object, and rejecting
+// the rest keeps them trivially consistent.
 func splitPath(path string) ([]string, bool) {
 	if path == "" || path[0] != '/' {
 		return nil, false
@@ -129,7 +165,7 @@ func splitPath(path string) ([]string, bool) {
 	if path == "/" {
 		return nil, true
 	}
-	parts := strings.Split(strings.Trim(path, "/"), "/")
+	parts := strings.Split(path[1:], "/")
 	for _, p := range parts {
 		if p == "" || p == "." || p == ".." {
 			return nil, false
@@ -138,61 +174,106 @@ func splitPath(path string) ([]string, bool) {
 	return parts, true
 }
 
-// resolve walks to the inode at path.
+// ParentPath returns the parent directory of a canonical path ("" for
+// the root, which has none, and for non-canonical paths, which every
+// call rejects as EINVAL). It is string surgery only — no state
+// access — so the key-set extractor shares it.
+func ParentPath(path string) string {
+	if path == "" || path == "/" || path[0] != '/' {
+		return ""
+	}
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// pathHash hashes a canonical path (the object key of NetFS keys).
+func pathHash(path string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(path))
+	return h.Sum64()
+}
+
+// allocSeq bumps path's allocation sequence. Callers hold the path's
+// scheduler key, so the sequence each invocation observes is
+// deterministic across replicas.
+func (fs *FS) allocSeq(path string) uint64 {
+	fs.mu.Lock()
+	seq := fs.pathSeq[path] + 1
+	fs.pathSeq[path] = seq
+	fs.mu.Unlock()
+	return seq
+}
+
+// inoFor derives a deterministic inode number from (path, sequence).
+// The high bit is set so derived numbers never collide with the root's
+// ino 1.
+func inoFor(path string, seq uint64) uint64 {
+	return mixAlloc(pathHash(path)^(seq*0x9E3779B97F4A7C15)) | 1<<63
+}
+
+// fdFor derives a deterministic descriptor from (path, sequence); the
+// distinct salt keeps fd and ino spaces independent.
+func fdFor(path string, seq uint64) uint64 {
+	return mixAlloc(pathHash(path)^(seq*0xC2B2AE3D27D4EB4F)) | 1<<62
+}
+
+// mixAlloc is a splitmix64-style finalizer.
+func mixAlloc(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// lookup resolves a canonical path to its live inode by flat map
+// lookup (never an ancestor walk — see the package doc).
+func (fs *FS) lookup(path string) *inode {
+	fs.mu.RLock()
+	n := fs.paths[path]
+	fs.mu.RUnlock()
+	return n
+}
+
+// resolve validates a path and resolves it.
 func (fs *FS) resolve(path string) (*inode, Errno) {
-	parts, ok := splitPath(path)
-	if !ok {
+	if _, ok := splitPath(path); !ok {
 		return nil, ErrInval
 	}
-	cur := fs.inodes[1]
-	for _, part := range parts {
-		if !cur.isDir() {
-			return nil, ErrNotDir
-		}
-		ino, ok := cur.kids[part]
-		if !ok {
-			return nil, ErrNoEnt
-		}
-		cur = fs.inodes[ino]
+	n := fs.lookup(path)
+	if n == nil {
+		return nil, ErrNoEnt
 	}
-	return cur, OK
+	return n, OK
 }
 
-// resolveParent walks to the parent directory of path and returns the
-// final name component.
-func (fs *FS) resolveParent(path string) (*inode, string, Errno) {
+// createNode allocates an inode under the parent of path. The caller
+// holds the scheduler keys {path, parent}.
+func (fs *FS) createNode(path string, mode uint32, mtime int64) (*inode, Errno) {
 	parts, ok := splitPath(path)
 	if !ok || len(parts) == 0 {
-		return nil, "", ErrInval
+		return nil, ErrInval
 	}
-	cur := fs.inodes[1]
-	for _, part := range parts[:len(parts)-1] {
-		if !cur.isDir() {
-			return nil, "", ErrNotDir
-		}
-		ino, ok := cur.kids[part]
-		if !ok {
-			return nil, "", ErrNoEnt
-		}
-		cur = fs.inodes[ino]
+	name := parts[len(parts)-1]
+	fs.mu.RLock()
+	parent := fs.paths[ParentPath(path)]
+	exists := fs.paths[path]
+	fs.mu.RUnlock()
+	if parent == nil {
+		return nil, ErrNoEnt
 	}
-	if !cur.isDir() {
-		return nil, "", ErrNotDir
+	if !parent.isDir() {
+		return nil, ErrNotDir
 	}
-	return cur, parts[len(parts)-1], OK
-}
-
-// createNode allocates an inode under the parent of path.
-func (fs *FS) createNode(path string, mode uint32, mtime int64) (*inode, Errno) {
-	parent, name, errno := fs.resolveParent(path)
-	if errno != OK {
-		return nil, errno
-	}
-	if _, exists := parent.kids[name]; exists {
+	if exists != nil {
 		return nil, ErrExist
 	}
 	n := &inode{
-		ino:   fs.nextIno,
+		ino:   inoFor(path, fs.allocSeq(path)),
 		mode:  mode,
 		mtime: mtime,
 		atime: mtime,
@@ -203,8 +284,9 @@ func (fs *FS) createNode(path string, mode uint32, mtime int64) (*inode, Errno) 
 		n.nlink = 2
 		parent.nlink++
 	}
-	fs.nextIno++
-	fs.inodes[n.ino] = n
+	fs.mu.Lock()
+	fs.paths[path] = n
+	fs.mu.Unlock()
 	parent.kids[name] = n.ino
 	parent.mtime = mtime
 	return n, OK
@@ -256,15 +338,36 @@ func (fs *FS) Opendir(path string) (uint64, Errno) {
 }
 
 func (fs *FS) allocFD(n *inode, path string, dir bool) uint64 {
-	fd := fs.nextFD
-	fs.nextFD++
-	fs.fds[fd] = &fdEntry{ino: n.ino, path: path, dir: dir}
+	fd := fdFor(path, fs.allocSeq(path))
+	fs.mu.Lock()
+	fs.fds[fd] = &fdEntry{n: n, path: path, dir: dir}
+	fs.mu.Unlock()
 	return fd
 }
 
+// fdEntryFor reads the descriptor table. wantPath, when non-empty, must
+// match the path the descriptor was opened under — the declared-path
+// verification that keeps fd-based commands inside their scheduler key.
+func (fs *FS) fdEntryFor(fd uint64, wantPath string) (*fdEntry, Errno) {
+	fs.mu.RLock()
+	e := fs.fds[fd]
+	fs.mu.RUnlock()
+	if e == nil || (wantPath != "" && e.path != wantPath) {
+		return nil, ErrBadFd
+	}
+	return e, OK
+}
+
 // Release closes a file descriptor.
-func (fs *FS) Release(fd uint64) Errno {
-	if _, ok := fs.fds[fd]; !ok {
+func (fs *FS) Release(fd uint64) Errno { return fs.ReleasePath("", fd) }
+
+// ReleasePath closes a descriptor, verifying the declared path when
+// non-empty.
+func (fs *FS) ReleasePath(path string, fd uint64) Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e := fs.fds[fd]
+	if e == nil || (path != "" && e.path != path) {
 		return ErrBadFd
 	}
 	delete(fs.fds, fd)
@@ -272,26 +375,38 @@ func (fs *FS) Release(fd uint64) Errno {
 }
 
 // Releasedir closes a directory descriptor.
-func (fs *FS) Releasedir(fd uint64) Errno {
-	e, ok := fs.fds[fd]
-	if !ok || !e.dir {
+func (fs *FS) Releasedir(fd uint64) Errno { return fs.ReleasedirPath("", fd) }
+
+// ReleasedirPath closes a directory descriptor, verifying the declared
+// path when non-empty.
+func (fs *FS) ReleasedirPath(path string, fd uint64) Errno {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	e := fs.fds[fd]
+	if e == nil || !e.dir || (path != "" && e.path != path) {
 		return ErrBadFd
 	}
 	delete(fs.fds, fd)
 	return OK
 }
 
-// Unlink removes a file.
+// Unlink removes a file. The caller holds {path, parent}.
 func (fs *FS) Unlink(path string, mtime int64) Errno {
-	parent, name, errno := fs.resolveParent(path)
-	if errno != OK {
-		return errno
+	parts, ok := splitPath(path)
+	if !ok || len(parts) == 0 {
+		return ErrInval
 	}
-	ino, ok := parent.kids[name]
-	if !ok {
+	name := parts[len(parts)-1]
+	fs.mu.RLock()
+	parent := fs.paths[ParentPath(path)]
+	n := fs.paths[path]
+	fs.mu.RUnlock()
+	if parent == nil || (parent.isDir() && n == nil) {
 		return ErrNoEnt
 	}
-	n := fs.inodes[ino]
+	if !parent.isDir() {
+		return ErrNotDir
+	}
 	if n.isDir() {
 		return ErrIsDir
 	}
@@ -299,22 +414,30 @@ func (fs *FS) Unlink(path string, mtime int64) Errno {
 	parent.mtime = mtime
 	n.nlink--
 	if n.nlink <= 0 {
-		delete(fs.inodes, ino)
+		fs.mu.Lock()
+		delete(fs.paths, path)
+		fs.mu.Unlock()
 	}
 	return OK
 }
 
-// Rmdir removes an empty directory.
+// Rmdir removes an empty directory. The caller holds {path, parent}.
 func (fs *FS) Rmdir(path string, mtime int64) Errno {
-	parent, name, errno := fs.resolveParent(path)
-	if errno != OK {
-		return errno
+	parts, ok := splitPath(path)
+	if !ok || len(parts) == 0 {
+		return ErrInval
 	}
-	ino, ok := parent.kids[name]
-	if !ok {
+	name := parts[len(parts)-1]
+	fs.mu.RLock()
+	parent := fs.paths[ParentPath(path)]
+	n := fs.paths[path]
+	fs.mu.RUnlock()
+	if parent == nil || (parent.isDir() && n == nil) {
 		return ErrNoEnt
 	}
-	n := fs.inodes[ino]
+	if !parent.isDir() {
+		return ErrNotDir
+	}
 	if !n.isDir() {
 		return ErrNotDir
 	}
@@ -324,7 +447,9 @@ func (fs *FS) Rmdir(path string, mtime int64) Errno {
 	delete(parent.kids, name)
 	parent.nlink--
 	parent.mtime = mtime
-	delete(fs.inodes, ino)
+	fs.mu.Lock()
+	delete(fs.paths, path)
+	fs.mu.Unlock()
 	return OK
 }
 
@@ -363,13 +488,18 @@ func (fs *FS) Lstat(path string) (Stat, Errno) {
 
 // Read reads up to size bytes at offset through an open fd.
 func (fs *FS) Read(fd uint64, offset uint64, size uint32) ([]byte, Errno) {
-	e, ok := fs.fds[fd]
-	if !ok || e.dir {
+	return fs.ReadPath("", fd, offset, size)
+}
+
+// ReadPath is Read with declared-path verification (the wire path).
+func (fs *FS) ReadPath(path string, fd uint64, offset uint64, size uint32) ([]byte, Errno) {
+	e, errno := fs.fdEntryFor(fd, path)
+	if errno != OK || e.dir {
 		return nil, ErrBadFd
 	}
-	n, ok := fs.inodes[e.ino]
-	if !ok {
-		return nil, ErrBadFd
+	n := e.n
+	if n.nlink <= 0 {
+		return nil, ErrBadFd // unlinked while open
 	}
 	if offset >= uint64(len(n.data)) {
 		return nil, OK
@@ -384,15 +514,23 @@ func (fs *FS) Read(fd uint64, offset uint64, size uint32) ([]byte, Errno) {
 // Write writes data at offset through an open fd, growing the file
 // (zero-filled) as needed.
 func (fs *FS) Write(fd uint64, offset uint64, data []byte, mtime int64) (uint32, Errno) {
-	e, ok := fs.fds[fd]
-	if !ok || e.dir {
+	return fs.WritePath("", fd, offset, data, mtime)
+}
+
+// WritePath is Write with declared-path verification (the wire path).
+func (fs *FS) WritePath(path string, fd uint64, offset uint64, data []byte, mtime int64) (uint32, Errno) {
+	e, errno := fs.fdEntryFor(fd, path)
+	if errno != OK || e.dir {
 		return 0, ErrBadFd
 	}
-	n, ok := fs.inodes[e.ino]
-	if !ok {
+	n := e.n
+	if n.nlink <= 0 {
 		return 0, ErrBadFd
 	}
 	end := offset + uint64(len(data))
+	if end < offset {
+		return 0, ErrInval // offset+len overflow: no representable extent
+	}
 	if end > uint64(len(n.data)) {
 		grown := make([]byte, end)
 		copy(grown, n.data)
@@ -421,7 +559,16 @@ func (fs *FS) Readdir(path string) ([]string, Errno) {
 }
 
 // OpenFDs returns the number of open descriptors (for tests).
-func (fs *FS) OpenFDs() int { return len(fs.fds) }
+func (fs *FS) OpenFDs() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.fds)
+}
 
-// Inodes returns the number of live inodes (for tests).
-func (fs *FS) Inodes() int { return len(fs.inodes) }
+// Inodes returns the number of live inodes (for tests): every live
+// inode has exactly one paths entry.
+func (fs *FS) Inodes() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return len(fs.paths)
+}

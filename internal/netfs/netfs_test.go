@@ -2,6 +2,7 @@ package netfs
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -241,23 +242,47 @@ func TestKeyOfSamePathSameKey(t *testing.T) {
 	}
 }
 
+// The key-set rewrite's acceptance bar: structural ops compile to
+// RouteMultiKey over {path, parent}, fd-table and content writers stay
+// single-keyed, reads are keyed read-only — and NOTHING routes as a
+// barrier anymore (the paper's spec made ten of fifteen commands
+// all-worker barriers).
 func TestSpecClasses(t *testing.T) {
 	compiled, err := cdep.Compile(Spec(), 8)
 	if err != nil {
 		t.Fatalf("Compile: %v", err)
 	}
-	structural := []command.ID{
-		CmdCreate, CmdMknod, CmdMkdir, CmdUnlink, CmdRmdir,
-		CmdOpen, CmdUtimens, CmdRelease, CmdOpendir, CmdReleasedir,
-	}
+	structural := []command.ID{CmdCreate, CmdMknod, CmdMkdir, CmdUnlink, CmdRmdir}
 	for _, id := range structural {
-		if compiled.Class(id) != cdep.Global {
-			t.Errorf("cmd %d class = %v, want Global", id, compiled.Class(id))
+		if compiled.Class(id) != cdep.MultiKeyed {
+			t.Errorf("cmd %d class = %v, want MultiKeyed", id, compiled.Class(id))
+		}
+		if r := compiled.Route(id); r.Kind != cdep.RouteMultiKey {
+			t.Errorf("cmd %d route = %v, want multikey", id, r.Kind)
 		}
 	}
-	for _, id := range []command.ID{CmdAccess, CmdLstat, CmdRead, CmdWrite, CmdReaddir} {
+	for _, id := range []command.ID{
+		CmdOpen, CmdUtimens, CmdRelease, CmdOpendir, CmdReleasedir, CmdWrite,
+	} {
 		if compiled.Class(id) != cdep.Keyed {
 			t.Errorf("cmd %d class = %v, want Keyed", id, compiled.Class(id))
+		}
+		if compiled.Route(id).ReadOnly {
+			t.Errorf("cmd %d marked read-only", id)
+		}
+	}
+	for _, id := range []command.ID{CmdAccess, CmdLstat, CmdRead, CmdReaddir} {
+		if compiled.Class(id) != cdep.Keyed {
+			t.Errorf("cmd %d class = %v, want Keyed", id, compiled.Class(id))
+		}
+		if !compiled.Route(id).ReadOnly {
+			t.Errorf("reader cmd %d not marked read-only", id)
+		}
+	}
+	// No NetFS command may compile to a barrier route.
+	for id := CmdCreate; id <= CmdReaddir; id++ {
+		if r := compiled.Route(id); r.Kind == cdep.RouteBarrier {
+			t.Errorf("cmd %d still routes as a barrier", id)
 		}
 	}
 	// Same path → same singleton group; different paths usually differ.
@@ -265,6 +290,139 @@ func TestSpecClasses(t *testing.T) {
 	gb := compiled.Groups(CmdWrite, EncodeInput("/p1", nil), nil)
 	if ga != gb || ga.Count() != 1 {
 		t.Fatalf("same-path groups: %v vs %v", ga, gb)
+	}
+}
+
+// Structural commands carry the key set {path, parent} and multicast to
+// the union of both keys' groups; the file's per-path commands share a
+// group with them through the path key.
+func TestSpecStructuralKeySet(t *testing.T) {
+	compiled, err := cdep.Compile(Spec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	in := EncodeInput("/dir/file", nil)
+	keys, ok := compiled.KeySet(CmdCreate, in)
+	if !ok || len(keys) != 2 {
+		t.Fatalf("KeySet(create /dir/file) = %v, %v", keys, ok)
+	}
+	kPath, _ := KeyOf(in)
+	kParent, _ := KeyOf(EncodeInput("/dir", nil))
+	if !((keys[0] == kPath && keys[1] == kParent) || (keys[0] == kParent && keys[1] == kPath)) {
+		t.Fatalf("KeySet = %v, want {path %d, parent %d}", keys, kPath, kParent)
+	}
+	// The multi-key γ covers the path's group AND the parent's group.
+	gamma := compiled.Groups(CmdCreate, in, nil)
+	gPath := compiled.Groups(CmdRead, in, nil)
+	gParent := compiled.Groups(CmdReaddir, EncodeInput("/dir", nil), nil)
+	if gamma&gPath == 0 || gamma&gParent == 0 {
+		t.Fatalf("create γ=%v misses path γ=%v or parent γ=%v", gamma, gPath, gParent)
+	}
+	// Root-level paths have a root parent; the root itself is single-key.
+	if keys, ok := compiled.KeySet(CmdMkdir, EncodeInput("/top", nil)); !ok || len(keys) != 2 {
+		t.Fatalf("KeySet(mkdir /top) = %v, %v", keys, ok)
+	}
+	if keys, ok := compiled.KeySet(CmdMkdir, EncodeInput("/", nil)); !ok || len(keys) != 1 {
+		t.Fatalf("KeySet(mkdir /) = %v, %v (root has no parent)", keys, ok)
+	}
+	// Conflict queries intersect key sets: create conflicts with reads
+	// of the file AND of the parent dir, not with unrelated paths.
+	if !compiled.Conflicts(CmdCreate, in, CmdReaddir, EncodeInput("/dir", nil)) {
+		t.Fatal("create /dir/file does not conflict with readdir /dir")
+	}
+	if !compiled.Conflicts(CmdCreate, in, CmdLstat, in) {
+		t.Fatal("create does not conflict with lstat of the same path")
+	}
+	if compiled.Conflicts(CmdCreate, in, CmdLstat, EncodeInput("/other/file", nil)) {
+		t.Fatal("create conflicts with an unrelated path")
+	}
+	// Two structural ops under the same parent conflict through it.
+	if !compiled.Conflicts(CmdCreate, in, CmdUnlink, EncodeInput("/dir/other", nil)) {
+		t.Fatal("same-dir structural ops do not conflict")
+	}
+}
+
+// Non-canonical spellings must be rejected, not aliased: the flat
+// paths map and the scheduler's key extraction agree on one spelling
+// per object, so "/a/" or "//b" creating ghost entries would desync
+// them.
+func TestFSRejectsNonCanonicalPaths(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/a", 0o755, t0)
+	for _, path := range []string{"/a/", "//b", "/a//c", "/a/./c", "/a/../c"} {
+		if errno := fs.Mknod(path, 0o644, t0); errno != ErrInval {
+			t.Errorf("mknod %q = %v, want EINVAL", path, errno)
+		}
+		if errno := fs.Access(path); errno != ErrInval {
+			t.Errorf("access %q = %v, want EINVAL", path, errno)
+		}
+	}
+	if names, _ := fs.Readdir("/"); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("root entries = %v, want [a]", names)
+	}
+}
+
+// A wire-supplied write offset near 2^64 must fail cleanly instead of
+// wrapping the extent computation and panicking the replica.
+func TestFSWriteOffsetOverflow(t *testing.T) {
+	fs := NewFS()
+	fd, _ := fs.Create("/f", 0o644, t0)
+	if _, errno := fs.Write(fd, ^uint64(0), []byte("x"), t0); errno != ErrInval {
+		t.Fatalf("overflowing write = %v, want EINVAL", errno)
+	}
+}
+
+// ParentPath is pure string surgery shared by the extractor and the FS.
+func TestParentPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"/":        "",
+		"":         "",
+		"/a":       "/",
+		"/a/b":     "/a",
+		"/a/b/c":   "/a/b",
+		"relative": "",
+	} {
+		if got := ParentPath(path); got != want {
+			t.Errorf("ParentPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// A write routed with a path that does not match the fd's real file
+// must fail instead of racing another path's serialized history.
+func TestServiceRejectsMismatchedFDPath(t *testing.T) {
+	svc := NewService()
+	svc.Execute(CmdMknod, EncodeInput("/a", encodeModeTime(0o644, t0)))
+	svc.Execute(CmdMknod, EncodeInput("/b", encodeModeTime(0o644, t0)))
+	out := svc.Execute(CmdOpen, EncodeInput("/a", nil))
+	raw, err := lz4.Unpack(out)
+	if err != nil || Errno(raw[0]) != OK {
+		t.Fatalf("open: %v %v", err, raw)
+	}
+	fd := binary.LittleEndian.Uint64(raw[1:])
+
+	args := make([]byte, 24)
+	binary.LittleEndian.PutUint64(args, fd)
+	binary.LittleEndian.PutUint64(args[16:], uint64(t0))
+	args = append(args, 'x')
+	// Declared path /b, fd belongs to /a: EBADF.
+	raw, _ = lz4.Unpack(svc.Execute(CmdWrite, EncodeInput("/b", args)))
+	if Errno(raw[0]) != ErrBadFd {
+		t.Fatalf("mismatched write: %v, want EBADF", Errno(raw[0]))
+	}
+	// Declared path matches: OK.
+	raw, _ = lz4.Unpack(svc.Execute(CmdWrite, EncodeInput("/a", args)))
+	if Errno(raw[0]) != OK {
+		t.Fatalf("matched write: %v", Errno(raw[0]))
+	}
+	// Release with an empty path cannot verify: EBADF.
+	raw, _ = lz4.Unpack(svc.Execute(CmdRelease, EncodeInput("", encodeFD(fd))))
+	if Errno(raw[0]) != ErrBadFd {
+		t.Fatalf("empty-path release: %v, want EBADF", Errno(raw[0]))
+	}
+	raw, _ = lz4.Unpack(svc.Execute(CmdRelease, EncodeInput("/a", encodeFD(fd))))
+	if Errno(raw[0]) != OK {
+		t.Fatalf("release: %v", Errno(raw[0]))
 	}
 }
 

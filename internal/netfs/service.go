@@ -63,7 +63,7 @@ func DecodeInput(input []byte) (path string, args []byte, ok bool) {
 }
 
 // KeyOf hashes the path prefix of a command input (the cdep.KeyFunc of
-// every NetFS command). Same path → same key → same group.
+// every single-key NetFS command). Same path → same key → same group.
 func KeyOf(input []byte) (uint64, bool) {
 	if len(input) < 2 {
 		return 0, false
@@ -75,6 +75,28 @@ func KeyOf(input []byte) (uint64, bool) {
 	h := fnv.New64a()
 	_, _ = h.Write(input[2 : 2+pl])
 	return h.Sum64(), true
+}
+
+// KeySetOf extracts the {path, parent-directory} key set of a
+// structural command input (the cdep.KeySetFunc of create, mknod,
+// mkdir, unlink and rmdir): those calls mutate the named inode AND the
+// parent's entry list, and nothing else. The root has no parent, so
+// operations naming "/" carry a singleton set. Like KeyOf, it reads
+// only the uncompressed path prefix.
+func KeySetOf(input []byte) ([]uint64, bool) {
+	if len(input) < 2 {
+		return nil, false
+	}
+	pl := int(binary.LittleEndian.Uint16(input[:2]))
+	if len(input) < 2+pl {
+		return nil, false
+	}
+	path := string(input[2 : 2+pl])
+	keys := []uint64{pathHash(path)}
+	if parent := ParentPath(path); parent != "" {
+		keys = append(keys, pathHash(parent))
+	}
+	return keys, true
 }
 
 // Service adapts FS to command.Service, handling the compressed wire
@@ -152,7 +174,13 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		return []byte{byte(s.fs.Release(fd))}
+		if path == "" {
+			// An empty declared path would bypass the fd-to-path
+			// verification that keeps this call inside its scheduler
+			// key; the descriptor cannot be valid.
+			return []byte{byte(ErrBadFd)}
+		}
+		return []byte{byte(s.fs.ReleasePath(path, fd))}
 	case CmdOpendir:
 		fd, errno := s.fs.Opendir(path)
 		return appendFD(errno, fd)
@@ -161,7 +189,10 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		return []byte{byte(s.fs.Releasedir(fd))}
+		if path == "" {
+			return []byte{byte(ErrBadFd)}
+		}
+		return []byte{byte(s.fs.ReleasedirPath(path, fd))}
 	case CmdAccess:
 		return []byte{byte(s.fs.Access(path))}
 	case CmdLstat:
@@ -181,10 +212,13 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		if len(args) < 20 {
 			return []byte{byte(ErrInval)}
 		}
+		if path == "" {
+			return []byte{byte(ErrBadFd)}
+		}
 		fd := binary.LittleEndian.Uint64(args[:8])
 		offset := binary.LittleEndian.Uint64(args[8:16])
 		size := binary.LittleEndian.Uint32(args[16:20])
-		data, errno := s.fs.Read(fd, offset, size)
+		data, errno := s.fs.ReadPath(path, fd, offset, size)
 		if errno != OK {
 			return []byte{byte(errno)}
 		}
@@ -196,10 +230,13 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		if len(args) < 24 {
 			return []byte{byte(ErrInval)}
 		}
+		if path == "" {
+			return []byte{byte(ErrBadFd)}
+		}
 		fd := binary.LittleEndian.Uint64(args[:8])
 		offset := binary.LittleEndian.Uint64(args[8:16])
 		mtime := int64(binary.LittleEndian.Uint64(args[16:24]))
-		n, errno := s.fs.Write(fd, offset, args[24:], mtime)
+		n, errno := s.fs.WritePath(path, fd, offset, args[24:], mtime)
 		if errno != OK {
 			return []byte{byte(errno)}
 		}
@@ -254,22 +291,39 @@ func decodeFD(args []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(args[:8]), true
 }
 
-// Spec returns NetFS's C-Dep (paper §V-B).
+// Spec returns NetFS's C-Dep, rewritten from the paper's §V-B original
+// around key-set scheduling: NO NetFS command depends on all commands
+// anymore.
+//
+//   - Structural calls (create, mknod, mkdir, unlink, rmdir) key on the
+//     SET {path, parent-dir} (KeySetOf): they mutate the named inode
+//     and the parent's entry list, nothing else. They compile to
+//     RouteMultiKey instead of the paper's synchronous mode.
+//   - open, utimens, release, opendir, releasedir and write are
+//     single-path writers (the descriptor table and inode content are
+//     per-path deterministic, see fs.go).
+//   - access, lstat, read and readdir are per-path read-only: they
+//     conflict with same-path writers but not with each other, so the
+//     engines' reader sets let them overlap.
+//
+// The only invocations left in synchronous mode are the truly
+// unpredictable ones: inputs whose path cannot be parsed (the keyless
+// fallback both engines and the client C-G already apply).
 func Spec() cdep.Spec {
-	structural := []command.ID{
-		CmdCreate, CmdMknod, CmdMkdir, CmdUnlink, CmdRmdir,
-		CmdOpen, CmdUtimens, CmdRelease, CmdOpendir, CmdReleasedir,
+	structural := []command.ID{CmdCreate, CmdMknod, CmdMkdir, CmdUnlink, CmdRmdir}
+	pathWriters := []command.ID{
+		CmdOpen, CmdUtimens, CmdRelease, CmdOpendir, CmdReleasedir, CmdWrite,
 	}
-	perPath := []command.ID{CmdAccess, CmdLstat, CmdRead, CmdWrite, CmdReaddir}
+	readers := []command.ID{CmdAccess, CmdLstat, CmdRead, CmdReaddir}
 
 	// Command order is fixed: the compiled classification must be
 	// identical in every process of a deployment.
 	ordered := []cdep.Command{
-		{ID: CmdCreate, Name: "create", Key: KeyOf},
-		{ID: CmdMknod, Name: "mknod", Key: KeyOf},
-		{ID: CmdMkdir, Name: "mkdir", Key: KeyOf},
-		{ID: CmdUnlink, Name: "unlink", Key: KeyOf},
-		{ID: CmdRmdir, Name: "rmdir", Key: KeyOf},
+		{ID: CmdCreate, Name: "create", KeySet: KeySetOf},
+		{ID: CmdMknod, Name: "mknod", KeySet: KeySetOf},
+		{ID: CmdMkdir, Name: "mkdir", KeySet: KeySetOf},
+		{ID: CmdUnlink, Name: "unlink", KeySet: KeySetOf},
+		{ID: CmdRmdir, Name: "rmdir", KeySet: KeySetOf},
 		{ID: CmdOpen, Name: "open", Key: KeyOf},
 		{ID: CmdUtimens, Name: "utimens", Key: KeyOf},
 		{ID: CmdRelease, Name: "release", Key: KeyOf},
@@ -283,17 +337,13 @@ func Spec() cdep.Spec {
 	}
 	var spec cdep.Spec
 	spec.Commands = ordered
-	// Structural calls depend on all calls.
-	all := append(append([]command.ID{}, structural...), perPath...)
-	for _, s := range structural {
-		for _, other := range all {
-			spec.Deps = append(spec.Deps, cdep.Dep{A: s, B: other})
-		}
-	}
-	// Per-path calls depend on each other when they use the same path.
-	for i, a := range perPath {
-		for _, b := range perPath[i:] {
-			spec.Deps = append(spec.Deps, cdep.Dep{A: a, B: b, SameKey: true})
+	// Every writer conflicts with every command touching an overlapping
+	// key set (itself included); readers conflict only with writers.
+	writers := append(append([]command.ID{}, structural...), pathWriters...)
+	all := append(append([]command.ID{}, writers...), readers...)
+	for i, w := range writers {
+		for _, other := range all[i:] {
+			spec.Deps = append(spec.Deps, cdep.Dep{A: w, B: other, SameKey: true})
 		}
 	}
 	return spec

@@ -8,6 +8,7 @@ package norep
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
@@ -53,6 +54,7 @@ type Server struct {
 	scheduler  sched.Engine
 	admitBatch int
 	perCmd     bool
+	yieldEvery int // admission yield period; 0 disables
 	done       chan struct{}
 }
 
@@ -87,11 +89,19 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		_ = scheduler.Close()
 		return nil, fmt.Errorf("norep: listen: %w", err)
 	}
+	yieldEvery := cfg.Tuning.AdmitYieldEvery
+	if yieldEvery <= 0 {
+		yieldEvery = 64
+	}
+	if cfg.Tuning.NoAdmitYield {
+		yieldEvery = 0
+	}
 	s := &Server{
 		ep:         ep,
 		scheduler:  scheduler,
 		admitBatch: cfg.AdmitBatch,
 		perCmd:     cfg.Tuning.NoBatchAdmit,
+		yieldEvery: yieldEvery,
 		done:       make(chan struct{}),
 	}
 	go s.serve()
@@ -112,9 +122,27 @@ func (s *Server) Close() error {
 // engine pays its admission synchronization once per burst. Under low
 // load every burst is a single command; under high load the bursts
 // grow toward AdmitBatch by themselves.
+//
+// Unlike the sP-SMR pump, nothing paces this loop: with fewer cores
+// than runnable goroutines the admission loop can stay hot while the
+// workers starve behind it, convoying completions into rare long
+// stalls (the 1-core p50≈0 / 50-300ms-tail artifact). Yielding every
+// Tuning.AdmitYieldEvery admitted commands hands the core to the
+// workers at a bounded cadence.
 func (s *Server) serve() {
 	defer close(s.done)
 	recv := s.ep.Recv()
+	admitted := 0
+	maybeYield := func(n int) {
+		if s.yieldEvery == 0 {
+			return
+		}
+		admitted += n
+		if admitted >= s.yieldEvery {
+			admitted = 0
+			runtime.Gosched()
+		}
+	}
 	for frame := range recv {
 		if s.perCmd {
 			req, _, err := command.DecodeRequest(frame)
@@ -124,6 +152,7 @@ func (s *Server) serve() {
 			if !s.scheduler.Submit(req) {
 				return
 			}
+			maybeYield(1)
 			continue
 		}
 		reqs := make([]*command.Request, 0, s.admitBatch)
@@ -150,5 +179,6 @@ func (s *Server) serve() {
 		if !s.scheduler.SubmitBatch(reqs) {
 			return
 		}
+		maybeYield(len(reqs))
 	}
 }

@@ -1,0 +1,94 @@
+//go:build !race
+
+package norep
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/direct"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/sched"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Regression test for the 1-core no-rep/index convoy artifact (p50≈0
+// with rare 50-300ms tail stalls): with the default admission yield,
+// a starved-core direct path must keep worst-case latency bounded.
+// The file is excluded from race builds — the race detector's
+// scheduling perturbation makes wall-clock bounds meaningless there.
+func TestDirectPathYieldBoundsTailLatency(t *testing.T) {
+	prev := runtime.GOMAXPROCS(1) // reproduce the 1-core convoy setup
+	defer runtime.GOMAXPROCS(prev)
+
+	net := transport.NewMemNetwork(1)
+	t.Cleanup(func() { _ = net.Close() })
+	st := kvstore.New()
+	st.Preload(4096)
+	s, err := StartServer(ServerConfig{
+		Workers:   4,
+		Service:   st,
+		Spec:      kvstore.Spec(),
+		Transport: net,
+		Scheduler: sched.KindIndex,
+	})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+
+	const (
+		clients   = 4
+		opsPerCli = 1500
+	)
+	var (
+		mu    sync.Mutex
+		worst time.Duration
+		wg    sync.WaitGroup
+	)
+	for id := uint64(1); id <= clients; id++ {
+		c, err := direct.NewClient(direct.ClientConfig{
+			ID: id, Target: "norep/server", Transport: net,
+		})
+		if err != nil {
+			t.Fatalf("NewClient: %v", err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		wg.Add(1)
+		go func(c *direct.Client, id uint64) {
+			defer wg.Done()
+			var localWorst time.Duration
+			for i := 0; i < opsPerCli; i++ {
+				key := (id*7919 + uint64(i)) % 4096
+				start := time.Now()
+				var err error
+				if i%2 == 0 {
+					_, err = c.Invoke(kvstore.CmdRead, kvstore.EncodeKey(key))
+				} else {
+					_, err = c.Invoke(kvstore.CmdUpdate, kvstore.EncodeKeyValue(key, []byte("yyyyyyyy")))
+				}
+				if err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+				if d := time.Since(start); d > localWorst {
+					localWorst = d
+				}
+			}
+			mu.Lock()
+			if localWorst > worst {
+				worst = localWorst
+			}
+			mu.Unlock()
+		}(c, id)
+	}
+	wg.Wait()
+	// The artifact's stalls reach 50-300ms; the paced path should stay
+	// in the low-millisecond range, so 250ms separates the two regimes
+	// with plenty of margin over CI noise.
+	if worst > 250*time.Millisecond {
+		t.Fatalf("worst direct-path latency %v exceeds the 250ms convoy bound", worst)
+	}
+}

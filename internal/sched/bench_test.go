@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"encoding/binary"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -237,4 +238,68 @@ func BenchmarkHotKeyReadScan(b *testing.B)  { benchHotKeyRead(b, KindScan, 8, Tu
 func BenchmarkHotKeyReadIndex(b *testing.B) { benchHotKeyRead(b, KindIndex, 8, Tuning{}) }
 func BenchmarkHotKeyReadIndexNoRS(b *testing.B) {
 	benchHotKeyRead(b, KindIndex, 8, Tuning{NoReaderSets: true})
+}
+
+// barrierXferSpec is the multi-key ablation baseline: the same command
+// set, but the transfer declared always-conflicting, so it compiles to
+// a Global class and routes as a full barrier — exactly what a C-G
+// keyed by single objects forces on every multi-object command.
+func barrierXferSpec() cdep.Spec {
+	s := spec()
+	s.Deps = append(s.Deps, cdep.Dep{A: cmdXfer, B: cmdXfer})
+	return s
+}
+
+// benchMultiKey measures the end-to-end engine constant of two-key
+// transfer commands: under spec() they route as RouteMultiKey (owner
+// rendezvous over ≤2 workers), under barrierXferSpec() each one is an
+// all-worker barrier. The gap is what key-set C-Dep buys multi-object
+// commands on the keyed admission path.
+func benchMultiKey(b *testing.B, kind SchedulerKind, workers int, sp cdep.Spec) {
+	b.Helper()
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	compiled, err := cdep.Compile(sp, workers)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	svc := &doneService{}
+	e, err := StartEngine(Config{
+		Kind:      kind,
+		Workers:   workers,
+		Service:   svc,
+		Compiled:  compiled,
+		Transport: net,
+	})
+	if err != nil {
+		b.Fatalf("StartEngine: %v", err)
+	}
+	defer e.Close()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seq := uint64(i + 1)
+		in := make([]byte, 24)
+		binary.LittleEndian.PutUint64(in, seq%1024)
+		binary.LittleEndian.PutUint64(in[8:], (seq*7+3)%1024)
+		binary.LittleEndian.PutUint64(in[16:], seq)
+		if !e.Submit(&command.Request{
+			Client: seq % 256, Seq: seq, Cmd: cmdXfer, Input: in,
+		}) {
+			b.Fatal("Submit failed")
+		}
+	}
+	for svc.n.Load() < int64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+}
+
+func BenchmarkMultiKeyScan(b *testing.B)  { benchMultiKey(b, KindScan, 8, spec()) }
+func BenchmarkMultiKeyIndex(b *testing.B) { benchMultiKey(b, KindIndex, 8, spec()) }
+func BenchmarkMultiKeyBarrierScan(b *testing.B) {
+	benchMultiKey(b, KindScan, 8, barrierXferSpec())
+}
+func BenchmarkMultiKeyBarrierIndex(b *testing.B) {
+	benchMultiKey(b, KindIndex, 8, barrierXferSpec())
 }

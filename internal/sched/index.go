@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -56,6 +57,20 @@ import (
 //     member executes alone, then releases the rest — exactly the
 //     paper's "wait for the worker threads to finish their ongoing
 //     work" semantics.
+//   - MULTI-KEY commands (cdep.RouteMultiKey) are a partial barrier
+//     over exactly the workers owning the command's keys: admission
+//     places the command as the new last writer of every key (in
+//     sorted-key order) and enqueues ONE rendezvous token on every
+//     distinct owner queue — a 2PL-style lock acquisition where the
+//     per-key FIFOs are the lock queues. The lowest-id owner executes
+//     once every owner reaches its token and every sealed reader set
+//     of the touched keys has drained; the other owners park until
+//     released. Deadlock-freedom: admission is serialized and a token
+//     is fully enqueued (after flushing the buffered burst) before
+//     admission continues, so tokens appear on ALL queues in one
+//     global admission order, every wait edge (FIFO predecessor,
+//     writer gate, sealed reader group, rendezvous arrival) points to
+//     an earlier-admitted command, and the wait graph stays acyclic.
 //
 // The ingress deques are unbounded, like the scan engine's ready list:
 // backpressure comes from the closed-loop clients and the ordering
@@ -108,6 +123,15 @@ type ingress struct {
 	// backlog costs them one atomic load, never a scan under the
 	// victim's lock.
 	freeLoad atomic.Int64
+	// raided counts commands recently stolen FROM this queue — the
+	// steal-aware placement feedback. A queue that keeps getting raided
+	// is draining slower than its peers, so leastLoaded treats the
+	// counter as extra load and stops preferring the queue as the owner
+	// of idle keys; imbalance is then fixed at admission instead of
+	// being re-stolen every burst. The counter halves each time the
+	// owner finds its queue empty, so the penalty fades once the
+	// backlog clears.
+	raided atomic.Int64
 	// wake is a 1-buffered doorbell: pushed-to while the owner may be
 	// parked.
 	wake chan struct{}
@@ -150,10 +174,12 @@ func (q *ingress) pop() *inode {
 	return n
 }
 
-// inode is one admitted command (or one worker's view of a barrier).
+// inode is one admitted command (or one worker's view of a barrier or
+// multi-key rendezvous token).
 type inode struct {
 	req    *command.Request
 	bar    *indexBarrier // non-nil for barrier tokens
+	mk     *mkToken      // non-nil for multi-key rendezvous tokens
 	keyed  bool
 	reader bool
 	key    uint64
@@ -165,6 +191,19 @@ type inode struct {
 	waitR *readerGroup // writers: reader set admitted since the previous writer
 	gate  *gate        // writers: closed on completion
 	grp   *readerGroup // readers: group to leave on completion
+}
+
+// mkToken coordinates one multi-key command across the workers owning
+// its keys. The SAME inode is enqueued on every owner queue; gate is
+// pre-allocated (readers of any touched key may latch onto it from
+// under different key shards, so lazy allocation would race).
+type mkToken struct {
+	keys     []uint64       // canonical (sorted, deduped) key set
+	owners   []int          // distinct owner workers, ascending
+	executor int            // owners[0]: the lowest-id owner executes
+	arrive   chan struct{}  // owners signal "drained up to the token"
+	release  chan struct{}  // closed by the executor after running
+	waitRs   []*readerGroup // sealed reader sets of the touched keys
 }
 
 // gate is a writer's completion latch; readers admitted while the
@@ -304,7 +343,9 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 		route := s.cfg.Compiled.Route(req.Cmd)
 		kind := route.Kind
 		var key uint64
-		if kind == cdep.RouteKeyed {
+		var mkeys []uint64
+		switch kind {
+		case cdep.RouteKeyed:
 			if k, ok := s.cfg.Compiled.Key(req.Cmd, req.Input); ok {
 				key = k
 			} else {
@@ -312,11 +353,24 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 				// object: serialize it like a global command.
 				kind = cdep.RouteBarrier
 			}
+		case cdep.RouteMultiKey:
+			if ks, ok := s.cfg.Compiled.KeySet(req.Cmd, req.Input); ok {
+				mkeys = ks
+			} else {
+				// Undeterminable key set: synchronous mode.
+				kind = cdep.RouteBarrier
+			}
 		}
 		switch kind {
 		case cdep.RouteBarrier:
 			s.flush()
 			s.admitBarrier(req, route)
+		case cdep.RouteMultiKey:
+			// Flush first so every earlier command of this burst is
+			// already on its queue: the token then lands behind all of
+			// them, keeping one global token order across all queues.
+			s.flush()
+			s.admitMultiKey(req, route, mkeys)
 		case cdep.RouteKeyed:
 			s.bufferKeyed(&inode{
 				req: req, keyed: true, key: key, set: route.Workers,
@@ -512,19 +566,93 @@ func (s *IndexScheduler) admitBarrier(req *command.Request, route cdep.Route) {
 	}
 }
 
+// admitMultiKey admits one multi-key command: a 2PL-style acquisition
+// of every touched key, in the canonical sorted-key order, followed by
+// one rendezvous token on every distinct owner queue. The caller has
+// flushed the buffered burst, so everything admitted earlier is already
+// enqueued and the token partitions each owner queue in admission
+// order. keys is sorted and deduplicated (cdep.Compiled.KeySet).
+func (s *IndexScheduler) admitMultiKey(req *command.Request, route cdep.Route, keys []uint64) {
+	n := &inode{
+		req:   req,
+		keyed: true, // never stealable, never counted as free
+		mk: &mkToken{
+			keys:    keys,
+			release: make(chan struct{}),
+		},
+		// Readers of any touched key latch onto this gate from under
+		// their own key's shard lock; pre-allocating it keeps that
+		// race-free (two shards cannot both lazily allocate).
+		gate: &gate{ch: make(chan struct{})},
+	}
+	mk := n.mk
+	for _, key := range keys {
+		ks := s.keyShard(key)
+		ks.mu.Lock()
+		e := ks.live[key]
+		if e == nil {
+			e = &keyEntry{}
+			ks.live[key] = e
+		}
+		e.total++
+		if e.writers > 0 {
+			// Live write chain: the token joins it on its worker, so
+			// the chain's FIFO order is preserved for this key.
+			// (worker already set in e.worker)
+		} else if pw, ok := s.cfg.Compiled.PlacedWorker(key); ok && pw < len(s.queues) {
+			e.worker = pw
+		} else {
+			e.worker = s.leastLoaded(route.Workers)
+		}
+		e.writers++
+		if g := e.readers; g != nil && g.n > 0 {
+			g.done = make(chan struct{}) // seal: the executor waits for the drain
+			mk.waitRs = append(mk.waitRs, g)
+		}
+		e.readers = nil
+		e.lastWriter = n
+		owner := e.worker
+		ks.mu.Unlock()
+
+		found := false
+		for _, w := range mk.owners {
+			if w == owner {
+				found = true
+				break
+			}
+		}
+		if !found {
+			mk.owners = append(mk.owners, owner)
+			s.pendingLen[owner]++ // later keys' leastLoaded sees this token
+		}
+	}
+	sort.Ints(mk.owners)
+	mk.executor = mk.owners[0]
+	mk.arrive = make(chan struct{}, len(mk.owners))
+	token := []*inode{n}
+	for _, w := range mk.owners {
+		s.pendingLen[w] = 0
+		s.queues[w].pushBatch(token)
+	}
+}
+
 // leastLoaded returns the member of the compiled worker set with the
 // shortest ingress backlog (queued + executing, plus this burst's
-// not-yet-pushed placements). Ties break deterministically to the
-// lowest worker id (the scan is ascending and strictly improving). A
-// set with no member in this engine's worker range falls back to all
-// workers.
+// not-yet-pushed placements, plus the decaying stolen-from penalty —
+// a chronically raided queue is draining slower than its load suggests,
+// so it should not be preferred as the owner of idle keys). Ties break
+// deterministically to the lowest worker id (the scan is ascending and
+// strictly improving). A set with no member in this engine's worker
+// range falls back to all workers.
 func (s *IndexScheduler) leastLoaded(set command.Gamma) int {
 	best, bestLen := -1, int64(1<<62)
 	for w := range s.queues {
 		if set != 0 && !set.Has(w) {
 			continue
 		}
-		if l := s.queues[w].load.Load() + int64(s.pendingLen[w]); l < bestLen {
+		q := s.queues[w]
+		l := q.load.Load() + int64(s.pendingLen[w]) + q.raided.Load()
+		if l < bestLen {
 			best, bestLen = w, l
 		}
 	}
@@ -547,6 +675,11 @@ func (s *IndexScheduler) work(w int) {
 	for {
 		n := q.pop()
 		if n == nil {
+			// The backlog cleared: decay the steal-aware placement
+			// penalty so a once-raided queue becomes attractive again.
+			if r := q.raided.Load(); r > 0 {
+				q.raided.Store(r / 2)
+			}
 			if batch := s.steal(w); len(batch) > 0 {
 				for _, m := range batch {
 					if !s.execute(m, cpu) {
@@ -565,11 +698,16 @@ func (s *IndexScheduler) work(w int) {
 				return
 			}
 		}
-		if n.bar != nil {
+		switch {
+		case n.bar != nil:
 			if !s.rendezvous(w, n, cpu.Busy) {
 				return
 			}
-		} else {
+		case n.mk != nil:
+			if !s.rendezvousMulti(w, n, cpu.Busy) {
+				return
+			}
+		default:
 			if !n.keyed {
 				q.freeLoad.Add(-1)
 			}
@@ -615,7 +753,9 @@ func (s *IndexScheduler) steal(w int) []*inode {
 	orig := len(q.items)
 	kept := q.items[:0]
 	for i, n := range q.items[:limit] {
-		if n.bar != nil {
+		if n.bar != nil || n.mk != nil {
+			// Stop at rendezvous tokens (full or multi-key barriers):
+			// nothing at or past one may jump it.
 			limit = i // copy the rest wholesale below
 			break
 		}
@@ -634,6 +774,9 @@ func (s *IndexScheduler) steal(w int) []*inode {
 	if len(batch) > 0 {
 		q.load.Add(-int64(len(batch)))
 		left := q.freeLoad.Add(-int64(len(batch)))
+		// Steal-aware placement feedback: record that this queue needed
+		// raiding, so admission stops preferring it for idle keys.
+		q.raided.Add(int64(len(batch)))
 		s.queues[w].load.Add(int64(len(batch)))
 		if left > 0 {
 			// More stealable backlog remains: cascade the doorbell so
@@ -706,6 +849,82 @@ func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
 	s.complete(n, output)
 	close(n.bar.release)
 	return true
+}
+
+// rendezvousMulti runs one multi-key token: the executor (the lowest-id
+// owner) waits for the other owners to drain up to their tokens and for
+// the sealed reader sets of the touched keys, executes the command
+// once, then releases the parked owners. Per-key FIFO order guarantees
+// every earlier writer of every touched key completed before its owner
+// reached the token, so the rendezvous is exactly a 2PL lock point over
+// the key set. It reports false when the engine is stopping.
+func (s *IndexScheduler) rendezvousMulti(w int, n *inode, busy func() func()) bool {
+	mk := n.mk
+	if w != mk.executor {
+		select {
+		case mk.arrive <- struct{}{}:
+		case <-s.stop:
+			return false
+		}
+		select {
+		case <-mk.release:
+			return true
+		case <-s.stop:
+			return false
+		}
+	}
+	for i := 1; i < len(mk.owners); i++ {
+		select {
+		case <-mk.arrive:
+		case <-s.stop:
+			return false
+		}
+	}
+	for _, g := range mk.waitRs {
+		select {
+		case <-g.done:
+		case <-s.stop:
+			return false
+		}
+	}
+	stopBusy := busy()
+	output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+	s.respond(n.req, output)
+	stopBusy()
+	s.completeMulti(n, output)
+	close(mk.release)
+	return true
+}
+
+// completeMulti releases a multi-key command: at-most-once recording,
+// per-key conflict-index cleanup (in the same sorted-key order as
+// admission), and the writer-gate close readers of any touched key may
+// be parked on.
+func (s *IndexScheduler) completeMulti(n *inode, output []byte) {
+	cs := s.clientShard(n.req.Client)
+	cs.mu.Lock()
+	cs.table.Record(n.req.Client, n.req.Seq, output)
+	delete(cs.inflight, requestID{client: n.req.Client, seq: n.req.Seq})
+	cs.mu.Unlock()
+	for _, key := range n.mk.keys {
+		ks := s.keyShard(key)
+		ks.mu.Lock()
+		if e := ks.live[key]; e != nil {
+			e.total--
+			e.writers--
+			if e.lastWriter == n {
+				e.lastWriter = nil
+			}
+			if e.total <= 0 {
+				delete(ks.live, key)
+			}
+		}
+		ks.mu.Unlock()
+	}
+	// The gate was pre-allocated at admission; any reader that latched
+	// on did so under its key's shard lock, before the lastWriter
+	// clearing above.
+	close(n.gate.ch)
 }
 
 // complete records the response for at-most-once, closes the command's

@@ -21,6 +21,13 @@
 //     a decided batch, and idle workers steal non-keyed work from the
 //     longest queue (keyed chains never migrate). See index.go.
 //
+// Both engines route MULTI-KEY commands (cdep.RouteMultiKey, key sets
+// instead of a single key) without a global barrier: the scan engine
+// chains the command as a writer of every key it touches; the index
+// engine enqueues one rendezvous token on every owner worker in
+// sorted-key order and lets the lowest-id owner execute once all owners
+// reach it (see index.go for the deadlock-freedom argument).
+//
 // Both engines are deterministic with respect to their input stream: a
 // command waits for exactly the earlier-admitted live commands that
 // conflict with it, so every pair of dependent commands executes in
@@ -144,6 +151,16 @@ type Tuning struct {
 	NoSteal bool
 	// StealBatch caps the commands moved per steal. Default 8.
 	StealBatch int
+	// AdmitYieldEvery paces the UNPACED direct delivery path (the
+	// no-rep server): its admission loop yields the processor after
+	// this many admitted commands, so on starved-core hosts the worker
+	// goroutines are not convoyed behind a hot admission loop (the
+	// p50≈0 / 50-300ms-tail bimodality seen on 1-core runs). Default
+	// 64. The sP-SMR path is already paced by consensus batching and
+	// ignores it.
+	AdmitYieldEvery int
+	// NoAdmitYield disables the direct-path admission yield.
+	NoAdmitYield bool
 }
 
 // Label renders the tuning as "batch+rs+steal"-style ablation tags.
@@ -187,6 +204,7 @@ type node struct {
 	keyed  bool
 	writer bool
 	key    uint64
+	mkeys  []uint64 // multi-key commands: sorted key set (keyed false)
 }
 
 // requestID keys the in-flight duplicate filter.
@@ -295,6 +313,28 @@ func (s *Scheduler) schedule() {
 		ready       []*node
 	)
 
+	releaseKey := func(n *node, key uint64) {
+		ks, ok := keys[key]
+		if !ok {
+			return
+		}
+		if n.writer {
+			if ks.lastWriter == n {
+				ks.lastWriter = nil
+			}
+		} else {
+			for i, rd := range ks.readers {
+				if rd == n {
+					ks.readers = append(ks.readers[:i], ks.readers[i+1:]...)
+					break
+				}
+			}
+		}
+		if ks.lastWriter == nil && len(ks.readers) == 0 {
+			delete(keys, key)
+		}
+	}
+
 	release := func(n *node) {
 		delete(live, n)
 		delete(inflight, requestID{client: n.req.Client, seq: n.req.Seq})
@@ -303,23 +343,10 @@ func (s *Scheduler) schedule() {
 			lastBarrier = nil
 		}
 		if n.keyed {
-			if ks, ok := keys[n.key]; ok {
-				if n.writer {
-					if ks.lastWriter == n {
-						ks.lastWriter = nil
-					}
-				} else {
-					for i, rd := range ks.readers {
-						if rd == n {
-							ks.readers = append(ks.readers[:i], ks.readers[i+1:]...)
-							break
-						}
-					}
-				}
-				if ks.lastWriter == nil && len(ks.readers) == 0 {
-					delete(keys, n.key)
-				}
-			}
+			releaseKey(n, n.key)
+		}
+		for _, key := range n.mkeys {
+			releaseKey(n, key)
 		}
 		for _, d := range n.dependents {
 			d.waitCount--
@@ -359,42 +386,78 @@ func (s *Scheduler) schedule() {
 			n.waitCount++
 		}
 
-		if s.cfg.Compiled.GlobalConflict(req.Cmd) {
-			// Sequential command: wait for every live command, then
-			// run alone (the paper's scheduler "waits for the worker
-			// threads to finish their ongoing work").
+		// barrier makes n wait for every live command and run alone
+		// (the paper's scheduler "waits for the worker threads to
+		// finish their ongoing work").
+		barrier := func() {
 			for m := range live {
 				addDep(m)
 			}
 			lastBarrier = n
-		} else {
+		}
+		// writerOn chains n as a writer of one key: behind the key's
+		// last writer and the readers admitted since.
+		writerOn := func(key uint64) {
+			ks := keys[key]
+			if ks == nil {
+				ks = &keyState{}
+				keys[key] = ks
+			}
+			addDep(ks.lastWriter)
+			for _, rd := range ks.readers {
+				addDep(rd)
+			}
+			ks.lastWriter = n
+			ks.readers = nil
+		}
+
+		switch class := s.cfg.Compiled.Class(req.Cmd); {
+		case s.cfg.Compiled.GlobalConflict(req.Cmd):
+			barrier()
+		case class == cdep.MultiKeyed:
+			mkeys, ok := s.cfg.Compiled.KeySet(req.Cmd, req.Input)
+			if !ok {
+				// Undeterminable key set may touch any object:
+				// serialize like a global command (matching the index
+				// engine's keyless fallback).
+				barrier()
+				break
+			}
 			addDep(lastBarrier)
-			if key, ok := s.cfg.Compiled.Key(req.Cmd, req.Input); ok &&
-				s.cfg.Compiled.Class(req.Cmd) == cdep.Keyed {
-				n.keyed = true
-				n.key = key
-				// The compiled route's read-only bit decides reader vs
-				// writer (shared with the index engine's reader sets,
-				// so the two engines cannot drift): a writer either
-				// self-conflicts or conflicts with another non-writer.
-				n.writer = !s.cfg.Compiled.Route(req.Cmd).ReadOnly
+			n.mkeys = mkeys
+			n.writer = true
+			for _, key := range mkeys {
+				writerOn(key)
+			}
+		case class == cdep.Keyed:
+			key, ok := s.cfg.Compiled.Key(req.Cmd, req.Input)
+			if !ok {
+				// Keyless invocation of a keyed command: synchronous
+				// mode, like the index engine.
+				barrier()
+				break
+			}
+			addDep(lastBarrier)
+			n.keyed = true
+			n.key = key
+			// The compiled route's read-only bit decides reader vs
+			// writer (shared with the index engine's reader sets,
+			// so the two engines cannot drift): a writer either
+			// self-conflicts or conflicts with another non-writer.
+			n.writer = !s.cfg.Compiled.Route(req.Cmd).ReadOnly
+			if n.writer {
+				writerOn(key)
+			} else {
 				ks := keys[key]
 				if ks == nil {
 					ks = &keyState{}
 					keys[key] = ks
 				}
-				if n.writer {
-					addDep(ks.lastWriter)
-					for _, rd := range ks.readers {
-						addDep(rd)
-					}
-					ks.lastWriter = n
-					ks.readers = nil
-				} else {
-					addDep(ks.lastWriter)
-					ks.readers = append(ks.readers, n)
-				}
+				addDep(ks.lastWriter)
+				ks.readers = append(ks.readers, n)
 			}
+		default:
+			addDep(lastBarrier)
 		}
 		live[n] = struct{}{}
 		if n.waitCount == 0 {

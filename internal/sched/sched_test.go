@@ -13,13 +13,14 @@ import (
 	"github.com/psmr/psmr/internal/transport"
 )
 
-// Test command set: keyed writes/reads, a global command, and an
-// independent (free-routed) ping.
+// Test command set: keyed writes/reads, a global command, an
+// independent (free-routed) ping, and a two-key transfer.
 const (
 	cmdWrite command.ID = iota + 1
 	cmdRead
 	cmdGlobal
 	cmdPing
+	cmdXfer
 )
 
 func key(input []byte) (uint64, bool) {
@@ -29,6 +30,17 @@ func key(input []byte) (uint64, bool) {
 	return binary.LittleEndian.Uint64(input), true
 }
 
+// xferKeys reads the two keys of a transfer input ([k1][k2][seq]).
+func xferKeys(input []byte) ([]uint64, bool) {
+	if len(input) < 16 {
+		return nil, false
+	}
+	return []uint64{
+		binary.LittleEndian.Uint64(input),
+		binary.LittleEndian.Uint64(input[8:16]),
+	}, true
+}
+
 func spec() cdep.Spec {
 	return cdep.Spec{
 		Commands: []cdep.Command{
@@ -36,12 +48,17 @@ func spec() cdep.Spec {
 			{ID: cmdRead, Name: "read", Key: key},
 			{ID: cmdGlobal, Name: "global"},
 			{ID: cmdPing, Name: "ping"},
+			{ID: cmdXfer, Name: "xfer", KeySet: xferKeys},
 		},
 		Deps: []cdep.Dep{
 			{A: cmdWrite, B: cmdWrite, SameKey: true},
 			{A: cmdWrite, B: cmdRead, SameKey: true},
+			{A: cmdXfer, B: cmdXfer, SameKey: true},
+			{A: cmdXfer, B: cmdWrite, SameKey: true},
+			{A: cmdXfer, B: cmdRead, SameKey: true},
 			{A: cmdGlobal, B: cmdGlobal}, {A: cmdGlobal, B: cmdWrite},
 			{A: cmdGlobal, B: cmdRead}, {A: cmdGlobal, B: cmdPing},
+			{A: cmdGlobal, B: cmdXfer},
 		},
 	}
 }

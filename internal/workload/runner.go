@@ -116,6 +116,33 @@ func KVReadUpdate(keys KeyGen) Generator {
 	})
 }
 
+// KVTransfers generates two-key transfer commands between distinct
+// keys (the multi-key workload).
+func KVTransfers(keys KeyGen) Generator {
+	return genFunc(func(rng *rand.Rand) Op {
+		from := keys.Key(rng)
+		to := keys.Key(rng)
+		if to == from {
+			to = keys.Key(rng) // one redraw keeps self-transfers rare
+		}
+		return Op{Cmd: kvstore.CmdTransfer, Input: kvstore.EncodeTransfer(from, to, uint64(rng.Intn(100)))}
+	})
+}
+
+// KVTransferMix generates the multi-key ablation workload: 50% two-key
+// transfers, 50% reads. Under the barrier C-G every transfer is an
+// all-worker barrier; under key-set C-Dep it holds only its two keys'
+// owners.
+func KVTransferMix(keys KeyGen) Generator {
+	transfers, reads := KVTransfers(keys), KVReads(keys)
+	return genFunc(func(rng *rand.Rand) Op {
+		if rng.Intn(2) == 0 {
+			return transfers.Next(rng)
+		}
+		return reads.Next(rng)
+	})
+}
+
 type genFunc func(rng *rand.Rand) Op
 
 func (f genFunc) Next(rng *rand.Rand) Op { return f(rng) }

@@ -1,0 +1,145 @@
+package psmr_test
+
+// End-to-end multi-key routing: the kvstore's two-key transfer rides
+// the keyed path through full replicated clusters. In P-SMR mode the
+// client-side C-G multicasts each transfer to the UNION of its two
+// keys' groups (delivered via the serial group, executed in
+// synchronous mode across exactly those workers); in sP-SMR mode both
+// scheduling engines order it against every command touching either
+// key. Money conservation plus replica convergence catch any lost
+// serialization.
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/kvstore"
+)
+
+func TestKVTransferAllModes(t *testing.T) {
+	const (
+		keys    = 64
+		workers = 4
+	)
+	type variant struct {
+		name      string
+		mode      psmr.Mode
+		scheduler psmr.SchedulerKind
+	}
+	variants := []variant{
+		{name: "P-SMR", mode: psmr.ModePSMR},
+		{name: "SMR", mode: psmr.ModeSMR},
+		{name: "sP-SMR-scan", mode: psmr.ModeSPSMR, scheduler: psmr.SchedScan},
+		{name: "sP-SMR-index", mode: psmr.ModeSPSMR, scheduler: psmr.SchedIndex},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			var (
+				mu     sync.Mutex
+				stores []*kvstore.Store
+			)
+			cl, err := psmr.StartCluster(psmr.Config{
+				Mode:      v.mode,
+				Workers:   workers,
+				Scheduler: v.scheduler,
+				Spec:      kvstore.Spec(),
+				NewService: func() command.Service {
+					mu.Lock()
+					defer mu.Unlock()
+					st := kvstore.New()
+					st.Preload(keys) // key i → value i
+					stores = append(stores, st)
+					return st
+				},
+			})
+			if err != nil {
+				t.Fatalf("StartCluster: %v", err)
+			}
+			t.Cleanup(func() { _ = cl.Close() })
+
+			clients, ops := 3, 40
+			if raceEnabled {
+				clients, ops = 2, 15
+			}
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				inv, err := cl.NewClient()
+				if err != nil {
+					t.Fatalf("NewClient: %v", err)
+				}
+				t.Cleanup(func() { _ = inv.Close() })
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(c + 1)))
+					for i := 0; i < ops; i++ {
+						from := rng.Uint64() % keys
+						to := rng.Uint64() % keys
+						amount := rng.Uint64() % 10
+						out, err := inv.Invoke(kvstore.CmdTransfer, kvstore.EncodeTransfer(from, to, amount))
+						if err != nil {
+							t.Errorf("transfer: %v", err)
+							return
+						}
+						if out[0] != kvstore.OK {
+							t.Errorf("transfer(%d→%d) code %d", from, to, out[0])
+							return
+						}
+						if i%4 == 0 {
+							if _, err := inv.Invoke(kvstore.CmdRead, kvstore.EncodeKey(from)); err != nil {
+								t.Errorf("read: %v", err)
+								return
+							}
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			// Conservation: the transfers only move value around, so the
+			// sum over all keys (mod 2^64) is the preloaded sum.
+			inv, err := cl.NewClient()
+			if err != nil {
+				t.Fatalf("NewClient: %v", err)
+			}
+			t.Cleanup(func() { _ = inv.Close() })
+			var sum, want uint64
+			for k := uint64(0); k < keys; k++ {
+				out, err := inv.Invoke(kvstore.CmdRead, kvstore.EncodeKey(k))
+				if err != nil {
+					t.Fatalf("read %d: %v", k, err)
+				}
+				value, code := kvstore.DecodeReadOutput(out)
+				if code != kvstore.OK || len(value) < 8 {
+					t.Fatalf("read %d: code %d", k, code)
+				}
+				sum += binary.LittleEndian.Uint64(value)
+				want += k
+			}
+			if sum != want {
+				t.Fatalf("balance sum = %d, want %d (transfer lost or duplicated value)", sum, want)
+			}
+
+			// Both replicas converge to identical databases.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if stores[0].Fingerprint() == stores[1].Fingerprint() {
+					return
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("replicas did not converge: %x vs %x",
+						stores[0].Fingerprint(), stores[1].Fingerprint())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
