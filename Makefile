@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation multikey-ablation
+.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation
 
 verify: vet build test
 
@@ -16,9 +16,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent internals.
+# Race-detector pass over the whole module (the root e2e suite scales
+# its workloads down under -race; see raceEnabled in race_test.go).
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race ./...
 
 # The paxos suite had a teardown flake once; keep it honest.
 paxos-stress:
@@ -41,3 +42,10 @@ admit-ablation:
 # rendezvous), on both scheduling engines.
 multikey-ablation:
 	$(GO) run ./cmd/psmr-bench -exp multikey
+
+# Optimistic-execution ablation: speculate on the coordinators'
+# pre-consensus stream and reconcile on the decided order, off/on x
+# scan/index engines x workload collision rate; reports speculation
+# hit-rate and rollback counters.
+optimistic-ablation:
+	$(GO) run ./cmd/psmr-bench -exp optimistic

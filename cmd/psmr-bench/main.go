@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -68,6 +68,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runAdmit(scale, threads)
 	case "multikey":
 		return runMultiKey(scale, threads)
+	case "optimistic":
+		return runOptimistic(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -80,6 +82,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runSched(scale, threads) },
 			func() error { return runAdmit(scale, threads) },
 			func() error { return runMultiKey(scale, threads) },
+			func() error { return runOptimistic(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -194,6 +197,48 @@ func runMultiKey(scale Scale, threads int) error {
 	} {
 		if kcps[pair[0]] > 0 && kcps[pair[1]] > 0 {
 			fmt.Printf("  %-24s multikey/barrier speedup: %.2fx\n", pair[0], kcps[pair[1]]/kcps[pair[0]])
+		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runOptimistic runs the optimistic-execution ablation: speculation
+// off/on × scan/index engines × workload collision rate, reporting
+// throughput plus the speculation hit-rate and rollback counters.
+func runOptimistic(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Optimistic ablation — speculate on the unordered stream,\n")
+	fmt.Printf("reconcile on consensus (sP-SMR, %d workers; reads + hot-set\n", threads)
+	fmt.Println(" transfers at 0/10/50% collision; scan and index engines)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.OptimisticAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("optimistic %v %s: %w", setup.Scheduler, setup.Tag, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		if res.Extra != nil {
+			fmt.Printf("    speculation: hit-rate=%.1f%% (%.0f/%.0f) rollbacks=%.0f depth-sum=%.0f max-depth=%.0f\n",
+				100*res.Extra["opt_hit_rate"], res.Extra["opt_hits"],
+				res.Extra["opt_hits"]+res.Extra["opt_misses"],
+				res.Extra["opt_rollbacks"], res.Extra["opt_rolled_back"], res.Extra["opt_max_rb_depth"])
+		}
+	}
+	fmt.Println()
+	for _, base := range []string{"sP-SMR", "sP-SMR/index"} {
+		for _, col := range []string{"col=0%", "col=10%", "col=50%"} {
+			off := kcps[base+" "+col]
+			on := kcps[base+"+opt "+col]
+			if off > 0 && on > 0 {
+				fmt.Printf("  %-14s %-8s optimistic/decided throughput: %.2fx\n", base, col, on/off)
+			}
 		}
 	}
 	for _, res := range results {

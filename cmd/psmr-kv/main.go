@@ -7,6 +7,7 @@
 //	psmr-kv -server 127.0.0.1:7400 -workers 8 update 42 world
 //	psmr-kv -server 127.0.0.1:7400 -workers 8 del 42
 //	psmr-kv -server 127.0.0.1:7400 -workers 8 transfer 42 43 5
+//	psmr-kv -server 127.0.0.1:7400 -workers 8 mread 42 43 44
 //
 // The -workers flag must match the daemon's multiprogramming level:
 // client and server proxies agree on it (paper §IV-D), since the
@@ -43,7 +44,7 @@ func main() {
 
 func run(server string, workers int, mode string, id uint64, args []string) error {
 	if len(args) < 2 {
-		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE] | transfer FROM TO AMOUNT")
+		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE] | transfer FROM TO AMOUNT | mread KEY...")
 	}
 	verb := args[0]
 	key, err := strconv.ParseUint(args[1], 10, 64)
@@ -152,8 +153,35 @@ func run(server string, workers int, mode string, id uint64, args []string) erro
 			return fmt.Errorf("transfer %d→%d: error code %d", key, to, out[0])
 		}
 		fmt.Println("OK")
+	case "mread":
+		// Snapshot read over a key set: read-only multi-key routing —
+		// the schedulers latch every key's reader set, so the values
+		// form one atomic observation without parking any owner.
+		keys := []uint64{key}
+		for _, a := range args[2:] {
+			k, err := strconv.ParseUint(a, 10, 64)
+			if err != nil {
+				return fmt.Errorf("key %q: %w", a, err)
+			}
+			keys = append(keys, k)
+		}
+		out, err := client.Invoke(kvstore.CmdMultiRead, kvstore.EncodeMultiRead(keys...))
+		if err != nil {
+			return err
+		}
+		values, codes, ok := kvstore.DecodeMultiReadOutput(out)
+		if !ok {
+			return fmt.Errorf("mread: malformed response (input error code %d)", out[0])
+		}
+		for i, k := range keys {
+			if codes[i] != kvstore.OK {
+				fmt.Printf("%d: not found\n", k)
+				continue
+			}
+			fmt.Printf("%d: %s\n", k, values[i])
+		}
 	default:
-		return fmt.Errorf("unknown verb %q (get|put|update|del|transfer)", verb)
+		return fmt.Errorf("unknown verb %q (get|put|update|del|transfer|mread)", verb)
 	}
 	return nil
 }

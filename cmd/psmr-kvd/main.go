@@ -33,14 +33,15 @@ func main() {
 		sched   = flag.String("sched", "scan", "spsmr scheduling engine: scan|index")
 		workers = flag.Int("workers", 8, "worker threads per replica (MPL)")
 		keys    = flag.Int("keys", 100_000, "preloaded database keys")
+		opt     = flag.Bool("optimistic", false, "spsmr only: speculate on the optimistic stream, reconcile on consensus")
 	)
 	flag.Parse()
-	if err := run(*listen, *mode, *sched, *workers, *keys); err != nil {
+	if err := run(*listen, *mode, *sched, *workers, *keys, *opt); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, modeName, schedName string, workers, keys int) error {
+func run(listen, modeName, schedName string, workers, keys int, optimistic bool) error {
 	var mode psmr.Mode
 	switch modeName {
 	case "psmr":
@@ -77,9 +78,10 @@ func run(listen, modeName, schedName string, workers, keys int) error {
 			st.Preload(keys)
 			return st
 		},
-		Spec:      kvstore.Spec(),
-		Scheduler: schedKind,
-		Transport: node,
+		Spec:       kvstore.Spec(),
+		Scheduler:  schedKind,
+		Optimistic: optimistic,
+		Transport:  node,
 	})
 	if err != nil {
 		return err

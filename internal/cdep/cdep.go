@@ -509,6 +509,16 @@ func (c *Compiled) GlobalConflict(cmd command.ID) bool {
 	return c.classes[cmd] == Global
 }
 
+// Dep reports whether command types a and b carry a C-Dep entry, and
+// whether that entry is same-key. Callers that cache canonical key
+// sets (the optimistic reconciler checks one command against a whole
+// speculation window) combine it with their cached sets instead of
+// paying Conflicts' per-call key extraction.
+func (c *Compiled) Dep(a, b command.ID) (dep, sameKey bool) {
+	sameKey, dep = c.deps[orderedPair(a, b)]
+	return dep, sameKey
+}
+
 // Key extracts the object key of an invocation using the command's key
 // extractor. ok is false when the command has no extractor or the
 // invocation carries no key.

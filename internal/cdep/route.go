@@ -67,16 +67,18 @@ type Route struct {
 	// restricts it per command, and the client-side C-G (Groups)
 	// honours the restriction too.
 	Workers command.Gamma
-	// ReadOnly marks a RouteKeyed command class whose invocations may
-	// execute concurrently with each other: the command has no
-	// self-dependency in C-Dep AND every same-key conflict partner
-	// self-conflicts (is a writer class). The second condition demotes
-	// mutually-conflicting "reader" pairs — two commands with a
+	// ReadOnly marks a RouteKeyed or RouteMultiKey command class whose
+	// invocations may execute concurrently with each other: the command
+	// has no self-dependency in C-Dep AND every same-key conflict
+	// partner self-conflicts (is a writer class). The second condition
+	// demotes mutually-conflicting "reader" pairs — two commands with a
 	// same-key dep but no self-deps — to writers, so the declared
 	// conflict still serializes them. Both engines consume this bit:
 	// the index engine's per-key reader sets and the scan engine's
 	// reader tracking let ReadOnly invocations run concurrently behind
-	// the key's last writer.
+	// the keys' last writers. A read-only RouteMultiKey command latches
+	// EVERY key in its set's reader group instead of rendezvousing the
+	// owners, so a snapshot read never parks a worker.
 	ReadOnly bool
 }
 
@@ -147,10 +149,11 @@ func compileRoutes(classes map[command.ID]Class, deps map[pairKey]bool,
 		case Keyed:
 			routes[id] = Route{Kind: RouteKeyed, Workers: set, ReadOnly: readOnly(id)}
 		case MultiKeyed:
-			// Multi-key commands are always writers: the rendezvous
-			// token pins every touched key's chain, which only makes
-			// sense for an exclusive hold.
-			routes[id] = Route{Kind: RouteMultiKey, Workers: set}
+			// Read-only multi-key commands (snapshot reads over a key
+			// set) carry the ReadOnly bit: the engines latch each key's
+			// reader set instead of pinning every owner with a rendezvous
+			// token. Writers keep the exclusive 2PL-style hold.
+			routes[id] = Route{Kind: RouteMultiKey, Workers: set, ReadOnly: readOnly(id)}
 		default:
 			routes[id] = Route{Kind: RouteFree, Workers: set}
 		}

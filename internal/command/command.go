@@ -28,6 +28,35 @@ type Service interface {
 	Execute(cmd ID, input []byte) []byte
 }
 
+// Undoable is a state machine that can reverse individual commands:
+// ExecuteUndo applies a command like Execute but additionally returns
+// an undo closure that restores the state the command observed.
+// Optimistic execution uses it to speculate on the unordered stream
+// and roll back the minimal conflicting suffix when the decided order
+// disagrees. Undo closures are applied in reverse execution order and
+// only ever interleave with undos of NON-conflicting commands, so an
+// implementation needs to capture exactly the state its command
+// overwrote (per-command undo records), nothing more. A nil undo means
+// the command changed no state (a read).
+type Undoable interface {
+	Service
+	// ExecuteUndo applies cmd and returns its output plus the undo
+	// record reversing its mutation (nil for read-only commands).
+	ExecuteUndo(cmd ID, input []byte) (output []byte, undo func())
+}
+
+// Cloneable is a state machine that can deep-copy itself. Optimistic
+// execution falls back to it when a service is not Undoable: commands
+// speculate on a clone and rollback re-derives the clone from the
+// committed copy (re-execution-from-last-commit), so the service never
+// needs per-command undo records. The clone must share no mutable
+// state with the original.
+type Cloneable interface {
+	Service
+	// Clone returns a deep copy of the current state.
+	Clone() Service
+}
+
 // Gamma is a destination set of worker threads encoded as a bitset:
 // bit i set means worker/group i is a destination. The paper caps the
 // multiprogramming level well below 64 (experiments use 8), so a single

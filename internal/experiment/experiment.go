@@ -82,6 +82,13 @@ type KVSetup struct {
 	// Tuning switches the batch-first pipeline optimisations off for
 	// ablation (batched admission, reader sets, work stealing).
 	Tuning psmr.SchedTuning
+	// Optimistic enables optimistic (speculative) execution on the
+	// sP-SMR path; the result's Extra map then carries the measured
+	// hit rate and rollback counters.
+	Optimistic bool
+	// OptimisticReorder is the optimistic-stream perturbation knob
+	// (swap every Nth optimistic batch), for rollback-path ablations.
+	OptimisticReorder int
 	// TagTuning appends the tuning label to the reported technique
 	// name (used by the admission ablation).
 	TagTuning bool
@@ -134,9 +141,10 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	}
 
 	var (
-		invokers []workload.Invoker
-		servers  int
-		cleanup  func()
+		invokers    []workload.Invoker
+		servers     int
+		cleanup     func()
+		optCounters func() []psmr.OptimisticCounters
 	)
 	switch setup.Technique {
 	case PSMR, SPSMR, SMR:
@@ -148,21 +156,24 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			mode = psmr.ModeSMR
 		}
 		cluster, err := psmr.StartCluster(psmr.Config{
-			Mode:        mode,
-			Workers:     setup.Threads,
-			Replicas:    2,
-			NewService:  newStore,
-			Spec:        spec,
-			Placement:   setup.Placement,
-			Scheduler:   setup.Scheduler,
-			SchedTuning: setup.Tuning,
-			CPU:         cpu,
+			Mode:              mode,
+			Workers:           setup.Threads,
+			Replicas:          2,
+			NewService:        newStore,
+			Spec:              spec,
+			Placement:         setup.Placement,
+			Scheduler:         setup.Scheduler,
+			SchedTuning:       setup.Tuning,
+			Optimistic:        setup.Optimistic,
+			OptimisticReorder: setup.OptimisticReorder,
+			CPU:               cpu,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("start %v cluster: %w", setup.Technique, err)
 		}
 		cleanup = func() { _ = cluster.Close() }
 		servers = 2
+		optCounters = cluster.OptimisticCounters
 		for i := 0; i < setup.Clients; i++ {
 			c, err := cluster.NewClient()
 			if err != nil {
@@ -246,13 +257,16 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	if setup.Scheduler == psmr.SchedIndex {
 		tech += "/index"
 	}
+	if setup.Optimistic {
+		tech += "+opt"
+	}
 	if setup.TagTuning {
 		tech += " " + setup.Tuning.Label()
 	}
 	if setup.Tag != "" {
 		tech += " " + setup.Tag
 	}
-	return &bench.Result{
+	res := &bench.Result{
 		Technique:  tech,
 		Threads:    setup.Threads,
 		Ops:        ops,
@@ -260,7 +274,25 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		Latency:    hist,
 		CPUPercent: serverCPU(byRole, servers),
 		CPUByRole:  byRole,
-	}, nil
+	}
+	if setup.Optimistic && optCounters != nil {
+		// Aggregate speculation statistics across replicas into the
+		// figure output.
+		var agg psmr.OptimisticCounters
+		for _, c := range optCounters() {
+			agg.Add(c)
+		}
+		res.Extra = map[string]float64{
+			"opt_hit_rate":     agg.HitRate(),
+			"opt_hits":         float64(agg.Hits),
+			"opt_misses":       float64(agg.Misses),
+			"opt_rollbacks":    float64(agg.Rollbacks),
+			"opt_rolled_back":  float64(agg.RolledBack),
+			"opt_max_rb_depth": float64(agg.MaxRollbackDepth),
+			"opt_ghosts":       float64(agg.GhostEvictions),
+		}
+	}
+	return res, nil
 }
 
 // serverCPU aggregates the roles running on a server node (the paper's

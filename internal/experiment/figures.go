@@ -284,6 +284,36 @@ func MultiKeyAblationSetups(scale Scale, threads int) []KVSetup {
 	return setups
 }
 
+// OptimisticAblationSetups returns the optimistic-execution ablation:
+// sP-SMR with speculation off/on × scan/index engines × collision
+// rates (percentage of hot-set two-key transfers in the workload; the
+// rest are conflict-free reads). The off rows are the decided-path
+// baseline; the on rows additionally report hit-rate and rollback
+// counters in Result.Extra. Under a stable leader the optimistic and
+// decided orders agree, so rollbacks stay near zero even at high
+// collision rates — the collision sweep measures what the speculation
+// machinery COSTS when conflicts are dense, while OptimisticReorder
+// (tests) exercises what rollback costs when orders diverge.
+func OptimisticAblationSetups(scale Scale, threads int) []KVSetup {
+	var setups []KVSetup
+	for _, collision := range []float64{0, 10, 50} {
+		for _, kind := range []psmr.SchedulerKind{psmr.SchedScan, psmr.SchedIndex} {
+			for _, opt := range []bool{false, true} {
+				pct := collision
+				setup := scale.kvSetup(SPSMR, threads)
+				setup.Gen = func(keys workload.KeyGen) workload.Generator {
+					return workload.KVCollisionMix(keys, pct)
+				}
+				setup.Scheduler = kind
+				setup.Optimistic = opt
+				setup.Tag = fmt.Sprintf("col=%g%%", pct)
+				setups = append(setups, setup)
+			}
+		}
+	}
+	return setups
+}
+
 // PrintTable1 prints the paper's Table I (delivery/execution
 // parallelism matrix), the structural summary of the three SMR
 // variants.

@@ -32,7 +32,17 @@ const (
 	// keyed path (class MultiKeyed) instead of falling back to a global
 	// barrier.
 	CmdTransfer
+	// CmdMultiRead is the snapshot read over a key set: it returns the
+	// values of up to MaxMultiReadKeys keys as one atomic observation.
+	// It is MultiKeyed like the transfer but READ-ONLY (no self-dep,
+	// every same-key partner is a writer), so the schedulers latch each
+	// key's reader set instead of rendezvousing the keys' owner workers
+	// — concurrent snapshots over overlapping sets never serialize.
+	CmdMultiRead
 )
+
+// MaxMultiReadKeys bounds one snapshot read's key set.
+const MaxMultiReadKeys = 32
 
 // Error codes returned in the first output byte.
 const (
@@ -123,6 +133,26 @@ func (s *Store) Execute(cmd command.ID, input []byte) []byte {
 			return []byte{ErrNotFound}
 		}
 		return []byte{OK}
+	case CmdMultiRead:
+		keys, ok := decodeMultiRead(input)
+		if !ok {
+			return []byte{ErrNotFound}
+		}
+		// The scheduler holds every key's reader latch for the whole
+		// invocation, so the values form one consistent snapshot.
+		out := []byte{OK}
+		for _, key := range keys {
+			value, found := s.tree.Get(key)
+			if !found {
+				out = append(out, ErrNotFound)
+				out = binary.LittleEndian.AppendUint32(out, 0)
+				continue
+			}
+			out = append(out, OK)
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(value)))
+			out = append(out, value...)
+		}
+		return out
 	case CmdTransfer:
 		from, to, amount, ok := decodeTransfer(input)
 		if !ok {
@@ -148,6 +178,72 @@ func (s *Store) Execute(cmd command.ID, input []byte) []byte {
 }
 
 var _ command.Service = (*Store)(nil)
+var _ command.Undoable = (*Store)(nil)
+
+// ExecuteUndo implements command.Undoable: it applies cmd exactly like
+// Execute and returns a per-command undo record restoring the values
+// the command overwrote. Undo records run under the same concurrency
+// contract as execution (the optimistic executor drains the engine
+// before rolling back, so an undo never races a conflicting command)
+// and are applied in reverse execution order, so capturing the
+// overwritten leaf values is sufficient — tree restructuring by
+// insert/delete is reversed by the mirror operation.
+func (s *Store) ExecuteUndo(cmd command.ID, input []byte) ([]byte, func()) {
+	switch cmd {
+	case CmdInsert:
+		key, _, ok := decodeKeyValue(input)
+		if !ok {
+			return s.Execute(cmd, input), nil
+		}
+		old, existed := s.tree.Get(key)
+		out := s.Execute(cmd, input)
+		if existed {
+			return out, func() { s.tree.Update(key, old) }
+		}
+		return out, func() { s.tree.Delete(key) }
+	case CmdDelete:
+		key, ok := decodeKey(input)
+		if !ok {
+			return s.Execute(cmd, input), nil
+		}
+		old, existed := s.tree.Get(key)
+		out := s.Execute(cmd, input)
+		if !existed || out[0] != OK {
+			return out, nil
+		}
+		return out, func() { s.tree.Insert(key, old) }
+	case CmdUpdate:
+		key, _, ok := decodeKeyValue(input)
+		if !ok {
+			return s.Execute(cmd, input), nil
+		}
+		old, existed := s.tree.Get(key)
+		out := s.Execute(cmd, input)
+		if !existed || out[0] != OK {
+			return out, nil
+		}
+		return out, func() { s.tree.Update(key, old) }
+	case CmdTransfer:
+		from, to, _, ok := decodeTransfer(input)
+		if !ok {
+			return s.Execute(cmd, input), nil
+		}
+		oldFrom, okF := s.tree.Get(from)
+		oldTo, okT := s.tree.Get(to)
+		out := s.Execute(cmd, input)
+		if !okF || !okT || out[0] != OK || from == to {
+			return out, nil
+		}
+		return out, func() {
+			s.tree.Update(from, oldFrom)
+			s.tree.Update(to, oldTo)
+		}
+	default:
+		// Reads (single and snapshot) and unknown commands mutate
+		// nothing.
+		return s.Execute(cmd, input), nil
+	}
+}
 
 // Spec returns the service's C-Dep (paper §V-A, extended): "inserts and
 // deletes depend on all commands; an update on key k depends on other
@@ -162,6 +258,7 @@ func Spec() cdep.Spec {
 			{ID: CmdRead, Name: "read", Key: KeyOf},
 			{ID: CmdUpdate, Name: "update", Key: KeyOf},
 			{ID: CmdTransfer, Name: "transfer", KeySet: TransferKeysOf},
+			{ID: CmdMultiRead, Name: "mread", KeySet: MultiReadKeysOf},
 		},
 		Deps: []cdep.Dep{
 			{A: CmdInsert, B: CmdInsert}, {A: CmdInsert, B: CmdDelete},
@@ -169,11 +266,17 @@ func Spec() cdep.Spec {
 			{A: CmdDelete, B: CmdDelete}, {A: CmdDelete, B: CmdRead},
 			{A: CmdDelete, B: CmdUpdate},
 			{A: CmdInsert, B: CmdTransfer}, {A: CmdDelete, B: CmdTransfer},
+			{A: CmdInsert, B: CmdMultiRead}, {A: CmdDelete, B: CmdMultiRead},
 			{A: CmdUpdate, B: CmdUpdate, SameKey: true},
 			{A: CmdUpdate, B: CmdRead, SameKey: true},
 			{A: CmdTransfer, B: CmdTransfer, SameKey: true},
 			{A: CmdTransfer, B: CmdRead, SameKey: true},
 			{A: CmdTransfer, B: CmdUpdate, SameKey: true},
+			// The snapshot read conflicts with same-key writers only:
+			// no self-dep and no dep on CmdRead, so it compiles to a
+			// READ-ONLY multi-key route.
+			{A: CmdMultiRead, B: CmdUpdate, SameKey: true},
+			{A: CmdMultiRead, B: CmdTransfer, SameKey: true},
 		},
 	}
 }
@@ -194,6 +297,46 @@ func TransferKeysOf(input []byte) ([]uint64, bool) {
 		binary.LittleEndian.Uint64(input[:8]),
 		binary.LittleEndian.Uint64(input[8:16]),
 	}, true
+}
+
+// MultiReadKeysOf extracts the key set of a snapshot read (the
+// cdep.KeySetFunc of CmdMultiRead).
+func MultiReadKeysOf(input []byte) ([]uint64, bool) {
+	return decodeMultiRead(input)
+}
+
+// EncodeMultiRead builds the input of a snapshot read over a key set.
+func EncodeMultiRead(keys ...uint64) []byte {
+	buf := make([]byte, 0, 2+8*len(keys))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(keys)))
+	for _, key := range keys {
+		buf = binary.LittleEndian.AppendUint64(buf, key)
+	}
+	return buf
+}
+
+// DecodeMultiReadOutput splits a snapshot-read response into per-key
+// (value, code) pairs, in the key order of the request input.
+func DecodeMultiReadOutput(out []byte) (values [][]byte, codes []byte, ok bool) {
+	if len(out) == 0 || out[0] != OK {
+		return nil, nil, false
+	}
+	rest := out[1:]
+	for len(rest) > 0 {
+		if len(rest) < 5 {
+			return nil, nil, false
+		}
+		code := rest[0]
+		vl := int(binary.LittleEndian.Uint32(rest[1:5]))
+		rest = rest[5:]
+		if len(rest) < vl {
+			return nil, nil, false
+		}
+		codes = append(codes, code)
+		values = append(values, rest[:vl:vl])
+		rest = rest[vl:]
+	}
+	return values, codes, true
 }
 
 // EncodeKey builds the input of a read or delete.
@@ -239,6 +382,21 @@ func decodeKeyValue(input []byte) (uint64, []byte, bool) {
 		return 0, nil, false
 	}
 	return binary.LittleEndian.Uint64(input[:8]), input[8:], true
+}
+
+func decodeMultiRead(input []byte) ([]uint64, bool) {
+	if len(input) < 2 {
+		return nil, false
+	}
+	count := int(binary.LittleEndian.Uint16(input[:2]))
+	if count == 0 || count > MaxMultiReadKeys || len(input) < 2+8*count {
+		return nil, false
+	}
+	keys := make([]uint64, count)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint64(input[2+8*i:])
+	}
+	return keys, true
 }
 
 func decodeTransfer(input []byte) (from, to, amount uint64, ok bool) {

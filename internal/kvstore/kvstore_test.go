@@ -242,3 +242,66 @@ func TestTransferSpec(t *testing.T) {
 		t.Fatalf("transfer γ = %v, want %v", g, command.GammaOf(5, 3))
 	}
 }
+
+func TestMultiRead(t *testing.T) {
+	s := New()
+	s.Preload(10) // key i → value i
+	out := s.Execute(CmdMultiRead, EncodeMultiRead(3, 7, 99))
+	values, codes, ok := DecodeMultiReadOutput(out)
+	if !ok || len(values) != 3 {
+		t.Fatalf("multi-read output: %v %v %v", values, codes, ok)
+	}
+	for i, want := range []uint64{3, 7} {
+		if codes[i] != OK || binary.LittleEndian.Uint64(values[i]) != want {
+			t.Fatalf("key %d: code %d value %v", want, codes[i], values[i])
+		}
+	}
+	if codes[2] != ErrNotFound || len(values[2]) != 0 {
+		t.Fatalf("missing key 99: code %d value %v", codes[2], values[2])
+	}
+	// Malformed inputs fail deterministically.
+	if out := s.Execute(CmdMultiRead, []byte{1}); out[0] != ErrNotFound {
+		t.Fatalf("short input: %v", out)
+	}
+	if out := s.Execute(CmdMultiRead, EncodeMultiRead()); out[0] != ErrNotFound {
+		t.Fatalf("empty key set: %v", out)
+	}
+	tooMany := make([]uint64, MaxMultiReadKeys+1)
+	if out := s.Execute(CmdMultiRead, EncodeMultiRead(tooMany...)); out[0] != ErrNotFound {
+		t.Fatalf("oversized key set: %v", out)
+	}
+}
+
+func TestMultiReadSpec(t *testing.T) {
+	c, err := cdep.Compile(Spec(), 8)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if got := c.Class(CmdMultiRead); got != cdep.MultiKeyed {
+		t.Fatalf("multi-read class = %v, want MultiKeyed", got)
+	}
+	r := c.Route(CmdMultiRead)
+	if r.Kind != cdep.RouteMultiKey || !r.ReadOnly {
+		t.Fatalf("multi-read route = %v readonly=%v, want read-only multikey", r.Kind, r.ReadOnly)
+	}
+	// The snapshot must still interlock with same-key writers but not
+	// with plain reads or disjoint keys.
+	in := EncodeMultiRead(4, 9)
+	if !c.Conflicts(CmdMultiRead, in, CmdUpdate, EncodeKeyValue(9, []byte("v"))) {
+		t.Fatal("multi-read must conflict with update of a member key")
+	}
+	if !c.Conflicts(CmdMultiRead, in, CmdTransfer, EncodeTransfer(1, 4, 1)) {
+		t.Fatal("multi-read must conflict with transfer touching a member key")
+	}
+	if c.Conflicts(CmdMultiRead, in, CmdRead, EncodeKey(4)) {
+		t.Fatal("multi-read must not conflict with a same-key read")
+	}
+	if c.Conflicts(CmdMultiRead, in, CmdMultiRead, EncodeMultiRead(4, 9)) {
+		t.Fatal("two snapshots must not conflict")
+	}
+	// Existing classes unchanged by the extension.
+	if c.Class(CmdInsert) != cdep.Global || c.Class(CmdUpdate) != cdep.Keyed ||
+		c.Route(CmdTransfer).ReadOnly {
+		t.Fatal("multi-read extension shifted existing classes")
+	}
+}

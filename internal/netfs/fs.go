@@ -558,6 +558,128 @@ func (fs *FS) Readdir(path string) ([]string, Errno) {
 	return names, OK
 }
 
+// Clone returns a deep copy of the file system: inodes (including
+// unlinked-but-open ones reachable only through the descriptor table),
+// file contents, directory entries, the descriptor table and the
+// allocation sequences. The copy shares no mutable state with the
+// original. Call it only when the FS is quiescent under its service's
+// concurrency contract (the optimistic executor drains the engine
+// before cloning).
+func (fs *FS) Clone() *FS {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	clone := &FS{
+		paths:   make(map[string]*inode, len(fs.paths)),
+		fds:     make(map[uint64]*fdEntry, len(fs.fds)),
+		pathSeq: make(map[string]uint64, len(fs.pathSeq)),
+	}
+	copied := make(map[*inode]*inode, len(fs.paths))
+	copyInode := func(n *inode) *inode {
+		if c, ok := copied[n]; ok {
+			return c
+		}
+		c := &inode{
+			ino:   n.ino,
+			mode:  n.mode,
+			mtime: n.mtime,
+			atime: n.atime,
+			nlink: n.nlink,
+		}
+		if n.data != nil {
+			c.data = append([]byte(nil), n.data...)
+		}
+		if n.kids != nil {
+			c.kids = make(map[string]uint64, len(n.kids))
+			for name, ino := range n.kids {
+				c.kids[name] = ino
+			}
+		}
+		copied[n] = c
+		return c
+	}
+	for path, n := range fs.paths {
+		clone.paths[path] = copyInode(n)
+	}
+	for fd, e := range fs.fds {
+		// The entry's inode may be unlinked (reachable only here).
+		clone.fds[fd] = &fdEntry{n: copyInode(e.n), path: e.path, dir: e.dir}
+	}
+	for path, seq := range fs.pathSeq {
+		clone.pathSeq[path] = seq
+	}
+	return clone
+}
+
+// Fingerprint folds the whole file system — paths, inode metadata,
+// file contents, directory entries, descriptor table, allocation
+// sequences — into one value, for state-convergence checks in tests.
+// Only call on a quiescent FS.
+func (fs *FS) Fingerprint() uint64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	h := uint64(14695981039346656037) // FNV-64 offset basis
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * 1099511628211
+		}
+		h = (h ^ 0xff) * 1099511628211
+	}
+	mixU := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * 1099511628211
+			v >>= 8
+		}
+	}
+	paths := make([]string, 0, len(fs.paths))
+	for p := range fs.paths {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		n := fs.paths[p]
+		mix(p)
+		mixU(n.ino)
+		mixU(uint64(n.mode))
+		mixU(uint64(n.mtime))
+		mixU(uint64(n.atime))
+		mixU(uint64(n.nlink))
+		mixU(uint64(len(n.data)))
+		for _, b := range n.data {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		kids := make([]string, 0, len(n.kids))
+		for k := range n.kids {
+			kids = append(kids, k)
+		}
+		sort.Strings(kids)
+		for _, k := range kids {
+			mix(k)
+			mixU(n.kids[k])
+		}
+	}
+	fds := make([]uint64, 0, len(fs.fds))
+	for fd := range fs.fds {
+		fds = append(fds, fd)
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
+	for _, fd := range fds {
+		e := fs.fds[fd]
+		mixU(fd)
+		mix(e.path)
+		mixU(e.n.ino)
+	}
+	seqPaths := make([]string, 0, len(fs.pathSeq))
+	for p := range fs.pathSeq {
+		seqPaths = append(seqPaths, p)
+	}
+	sort.Strings(seqPaths)
+	for _, p := range seqPaths {
+		mix(p)
+		mixU(fs.pathSeq[p])
+	}
+	return h
+}
+
 // OpenFDs returns the number of open descriptors (for tests).
 func (fs *FS) OpenFDs() int {
 	fs.mu.RLock()

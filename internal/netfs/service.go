@@ -114,7 +114,16 @@ func NewService() *Service {
 // FS exposes the underlying file system (tests, direct inspection).
 func (s *Service) FS() *FS { return s.fs }
 
+// Clone implements command.Cloneable: optimistic execution speculates
+// NetFS commands on a deep copy and re-derives it from the committed
+// copy on rollback (re-execution-from-last-commit), since the FS keeps
+// no per-command undo records.
+func (s *Service) Clone() command.Service {
+	return &Service{fs: s.fs.Clone()}
+}
+
 var _ command.Service = (*Service)(nil)
+var _ command.Cloneable = (*Service)(nil)
 
 // Execute implements command.Service.
 func (s *Service) Execute(cmd command.ID, input []byte) []byte {

@@ -1,0 +1,161 @@
+package optimistic
+
+// BenchmarkOptimistic* measure the REPLY latency at decision time — the
+// quantity optimistic execution improves: when the decided order
+// arrives, a hit releases a stored output (the execution already
+// happened while consensus was in flight), while the decided path
+// still has to schedule and execute the command. Run at 0% collision
+// (distinct-key updates), so speculation is never contradicted and the
+// hit rate is the stream-fidelity ceiling.
+
+import (
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/sched"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+const benchBatch = 64
+
+func startKVBench(b testing.TB, kind sched.SchedulerKind) *Executor {
+	b.Helper()
+	st := kvstore.New()
+	st.Preload(benchBatch)
+	compiled, err := cdep.Compile(kvstore.Spec(), 4)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	net := transport.NewMemNetwork(1)
+	b.Cleanup(func() { _ = net.Close() })
+	x, err := StartExecutor(ExecutorConfig{
+		Workers:   4,
+		Service:   st,
+		Compiled:  compiled,
+		Transport: net,
+		Scheduler: kind,
+	})
+	if err != nil {
+		b.Fatalf("StartExecutor: %v", err)
+	}
+	b.Cleanup(func() { _ = x.Close() })
+	return x
+}
+
+// benchBatchReqs builds one decided batch of distinct-key updates
+// (zero conflicting pairs → 0% collision).
+func benchBatchReqs(iter int) []*command.Request {
+	reqs := make([]*command.Request, benchBatch)
+	for j := range reqs {
+		seq := uint64(iter)*benchBatch + uint64(j) + 1
+		reqs[j] = &command.Request{
+			Client: 1,
+			Seq:    seq,
+			Cmd:    kvstore.CmdUpdate,
+			Input:  kvstore.EncodeKeyValue(uint64(j), kvstore.EncodeKey(seq)),
+		}
+	}
+	return reqs
+}
+
+// timeCommit measures one Commit call.
+func timeCommit(x *Executor, batch []*command.Request) int64 {
+	start := time.Now()
+	x.Commit(batch)
+	return time.Since(start).Nanoseconds()
+}
+
+// waitDrained parks until every admitted command has executed
+// (benchmark-only helper: the real reconciler never needs a drain on
+// the hit path).
+func (x *Executor) waitDrained() {
+	x.mu.Lock()
+	for x.executed < x.admitted {
+		x.cond.Wait()
+	}
+	x.mu.Unlock()
+}
+
+// BenchmarkOptimisticHitReplyLatency times Commit over batches whose
+// commands were already speculated and executed — the optimistic hit
+// path a replica takes when the decision confirms its speculation.
+func BenchmarkOptimisticHitReplyLatency(b *testing.B) {
+	for _, kind := range []sched.SchedulerKind{sched.KindScan, sched.KindIndex} {
+		b.Run(kind.String(), func(b *testing.B) {
+			x := startKVBench(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				batch := benchBatchReqs(i)
+				x.Speculate(batch)
+				x.waitDrained() // speculation finished while "consensus ran"
+				b.StartTimer()
+				x.Commit(batch)
+			}
+			b.StopTimer()
+			c := x.Counters()
+			if hr := c.HitRate(); hr < 0.9 {
+				b.Fatalf("hit rate %.3f < 0.90 (%v)", hr, c)
+			}
+			b.ReportMetric(100*c.HitRate(), "hit%")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*benchBatch), "ns/cmd")
+		})
+	}
+}
+
+// BenchmarkOptimisticDecidedReplyLatency times Commit over batches
+// that were never speculated — the decided path a plain replica (or a
+// complete optimistic miss) takes: schedule, execute, then reply.
+func BenchmarkOptimisticDecidedReplyLatency(b *testing.B) {
+	for _, kind := range []sched.SchedulerKind{sched.KindScan, sched.KindIndex} {
+		b.Run(kind.String(), func(b *testing.B) {
+			x := startKVBench(b, kind)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Commit(benchBatchReqs(i))
+			}
+			b.StopTimer()
+			c := x.Counters()
+			if c.Hits != 0 {
+				b.Fatalf("decided-path benchmark recorded hits: %v", c)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*benchBatch), "ns/cmd")
+		})
+	}
+}
+
+// The acceptance guard behind the two benchmarks: at 0% collision the
+// optimistic hit path must answer a decided command strictly faster
+// than the decided path executes it, with a hit rate >= 90%.
+func TestOptimisticHitLatencyBelowDecided(t *testing.T) {
+	for _, kind := range []sched.SchedulerKind{sched.KindScan, sched.KindIndex} {
+		t.Run(kind.String(), func(t *testing.T) {
+			const rounds = 50
+			hit := startKVBench(t, kind)
+			var hitElapsed, decElapsed int64
+			for i := 0; i < rounds; i++ {
+				batch := benchBatchReqs(i)
+				hit.Speculate(batch)
+				hit.waitDrained()
+				hitElapsed += timeCommit(hit, batch)
+			}
+			dec := startKVBench(t, kind)
+			for i := 0; i < rounds; i++ {
+				decElapsed += timeCommit(dec, benchBatchReqs(i))
+			}
+			c := hit.Counters()
+			if hr := c.HitRate(); hr < 0.9 {
+				t.Fatalf("hit rate %.3f < 0.90 (%v)", hr, c)
+			}
+			if hitElapsed >= decElapsed {
+				t.Fatalf("hit path %dns not below decided path %dns", hitElapsed, decElapsed)
+			}
+			t.Logf("%s: hit %dns vs decided %dns per %d commands (%.1fx), hit rate %.1f%%",
+				kind, hitElapsed, decElapsed, rounds*benchBatch,
+				float64(decElapsed)/float64(hitElapsed), 100*c.HitRate())
+		})
+	}
+}

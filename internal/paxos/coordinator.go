@@ -49,6 +49,14 @@ type CoordinatorConfig struct {
 	// before attempting to lead; it is scaled by the candidate's
 	// distance from the believed leader to avoid duels. Default 250ms.
 	TakeoverTimeout time.Duration
+	// Optimistic makes the leader push every flushed batch to the
+	// learners BEFORE running phase 2 on it (optimistic atomic
+	// broadcast): learners gain an unordered best-effort stream that
+	// usually predicts the decided order, letting replicas execute
+	// speculatively while consensus is still in flight. Decisions are
+	// pushed exactly as without it; the optimistic stream is purely
+	// additive.
+	Optimistic bool
 	// Window bounds the number of in-flight (proposed, undecided)
 	// instances. Default 64.
 	Window int
@@ -139,6 +147,9 @@ type Coordinator struct {
 	// slotsSinceTick counts merge slots produced by real batches since
 	// the last skip tick; the tick pads the difference to SkipSlots.
 	slotsSinceTick uint32
+	// optSeq numbers this leader's optimistic deliveries within its
+	// current ballot (Optimistic only).
+	optSeq uint64
 
 	flushTimer *time.Timer
 	stop       chan struct{}
@@ -370,6 +381,26 @@ func (c *Coordinator) proposeValue(value []byte) {
 	inst := c.nextInstance
 	c.nextInstance++
 	c.pending[inst] = &pendingInstance{value: value, acks: make(map[uint32]bool, len(c.cfg.Acceptors))}
+	// Optimistic delivery: push the value to the learners BEFORE phase 2
+	// runs on it. Emitting at instance-assignment time means the
+	// optimistic sequence is exactly the leader's proposal order
+	// (backlogged values included), so under a stable leader the
+	// optimistic stream predicts the decided order. Skip batches carry
+	// no commands and are not announced.
+	if c.cfg.Optimistic && len(value) > 0 && value[0] == batchKindNormal {
+		m := &message{
+			Type:     msgOptimistic,
+			Group:    c.cfg.GroupID,
+			Ballot:   c.ballot,
+			Instance: c.optSeq,
+			Value:    value,
+		}
+		c.optSeq++
+		frame := encodeMessage(m)
+		for _, l := range c.cfg.Learners {
+			_ = c.cfg.Transport.Send(l, frame)
+		}
+	}
 	c.sendPhase2a(inst, value)
 }
 

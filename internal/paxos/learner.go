@@ -26,6 +26,14 @@ type LearnerConfig struct {
 	// TrimThreshold controls how much delivered log is retained before
 	// compaction. Default 4096 batches.
 	TrimThreshold int
+	// Optimistic retains the coordinators' optimistic (pre-consensus)
+	// stream alongside the decided log, readable through OptCursor.
+	// The stream is best-effort: values are delivered in arrival order,
+	// duplicates (per leader ballot and optimistic sequence) are
+	// dropped, and nothing in it ever affects the decided log — a
+	// reordered, duplicated or never-decided optimistic value is the
+	// speculation layer's problem, not consensus's.
+	Optimistic bool
 	// CPU optionally meters the learner's busy time.
 	CPU *bench.RoleMeter
 }
@@ -47,9 +55,25 @@ type Learner struct {
 	cursors  []*Cursor
 	closed   bool
 
+	// Optimistic stream (cfg.Optimistic only): batches in arrival
+	// order, trimmed as optimistic cursors pass. optSeen drops
+	// duplicate (ballot, optSeq) frames.
+	optLog     []*Batch
+	optBase    uint64 // arrival id of optLog[0]
+	optNext    uint64 // next arrival id to append
+	optSeen    map[optID]struct{}
+	optCursors []*OptCursor
+
 	lastFrontier uint64
 	done         chan struct{}
 	stopGap      chan struct{}
+}
+
+// optID identifies one optimistic delivery: a leader term plus the
+// term's optimistic sequence number.
+type optID struct {
+	ballot Ballot
+	seq    uint64
 }
 
 // StartLearner launches a learner; it runs until Close.
@@ -70,6 +94,9 @@ func StartLearner(cfg LearnerConfig) (*Learner, error) {
 		ooo:     make(map[uint64][]byte),
 		done:    make(chan struct{}),
 		stopGap: make(chan struct{}),
+	}
+	if cfg.Optimistic {
+		l.optSeen = make(map[optID]struct{})
 	}
 	l.cond = sync.NewCond(&l.mu)
 	go l.run()
@@ -120,7 +147,14 @@ func (l *Learner) run() {
 
 func (l *Learner) handle(frame []byte) {
 	m, err := decodeMessage(frame)
-	if err != nil || m.Group != l.cfg.GroupID || m.Type != msgDecision {
+	if err != nil || m.Group != l.cfg.GroupID {
+		return
+	}
+	if m.Type == msgOptimistic {
+		l.handleOptimistic(m)
+		return
+	}
+	if m.Type != msgDecision {
 		return
 	}
 	l.mu.Lock()
@@ -158,6 +192,56 @@ func (l *Learner) appendLocked(value []byte) {
 	}
 	l.log = append(l.log, b)
 	l.frontier++
+}
+
+// handleOptimistic appends one optimistic (pre-consensus) value to the
+// optimistic stream. The decided log is never touched: a duplicated,
+// reordered or never-decided optimistic value can at worst mislead the
+// speculation layer, which reconciles against the decided stream
+// anyway.
+func (l *Learner) handleOptimistic(m *message) {
+	if !l.cfg.Optimistic {
+		return
+	}
+	b, err := DecodeBatch(m.Value)
+	if err != nil || b.Skip || len(b.Items) == 0 {
+		return
+	}
+	id := optID{ballot: m.Ballot, seq: m.Instance}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.optSeen[id]; dup {
+		return
+	}
+	if len(l.optSeen) >= 8192 {
+		// The dedup window is best-effort (duplicates only arise from
+		// network-level replays, and the speculation layer dedups by
+		// request id anyway): reset rather than grow without bound.
+		l.optSeen = make(map[optID]struct{})
+	}
+	l.optSeen[id] = struct{}{}
+	l.optLog = append(l.optLog, b)
+	l.optNext++
+	l.cond.Broadcast()
+}
+
+// trimOptLocked drops optimistic batches every optimistic cursor has
+// passed.
+func (l *Learner) trimOptLocked() {
+	min := l.optNext
+	for _, c := range l.optCursors {
+		if c.pos < min {
+			min = c.pos
+		}
+	}
+	if min-l.optBase < uint64(l.cfg.TrimThreshold) {
+		return
+	}
+	drop := min - l.optBase
+	rest := make([]*Batch, len(l.optLog)-int(drop))
+	copy(rest, l.optLog[drop:])
+	l.optLog = rest
+	l.optBase = min
 }
 
 // gapLoop requests retransmission when the frontier stalls while later
@@ -264,4 +348,85 @@ func (c *Cursor) TryNext() (b *Batch, instance uint64, ready bool) {
 	c.pos++
 	l.trimLocked()
 	return b, instance, true
+}
+
+// NewOptCursor returns an independent reader over the optimistic
+// stream, positioned at the oldest retained optimistic batch. Requires
+// LearnerConfig.Optimistic.
+func (l *Learner) NewOptCursor() *OptCursor {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c := &OptCursor{l: l, pos: l.optBase}
+	l.optCursors = append(l.optCursors, c)
+	return c
+}
+
+// OptCursor is an independent reader over a learner's optimistic
+// (pre-consensus) stream, in arrival order.
+type OptCursor struct {
+	l   *Learner
+	pos uint64
+}
+
+// Next blocks until the next optimistic batch arrives; ok is false
+// once the learner closes and the cursor has drained the stream.
+func (c *OptCursor) Next() (b *Batch, ok bool) {
+	l := c.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for c.pos >= l.optNext && !l.closed {
+		l.cond.Wait()
+	}
+	if c.pos >= l.optNext {
+		return nil, false
+	}
+	b = l.optLog[c.pos-l.optBase]
+	c.pos++
+	l.trimOptLocked()
+	return b, true
+}
+
+// TryNext is the non-blocking variant of Next.
+func (c *OptCursor) TryNext() (b *Batch, ready bool) {
+	l := c.l
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c.pos >= l.optNext {
+		return nil, false
+	}
+	b = l.optLog[c.pos-l.optBase]
+	c.pos++
+	l.trimOptLocked()
+	return b, true
+}
+
+// NextEither blocks until the decided cursor or the optimistic cursor
+// has a batch and returns one, preferring the decided stream (the
+// speculation layer reconciles before it speculates further, keeping
+// its speculation window short). ok is false once the learner closes
+// and BOTH cursors have drained their retained batches. This is the
+// single-consumer hand-off the optimistic replica's driver loop runs
+// on: one goroutine owns both cursors, so admission and reconciliation
+// interleave in one well-defined order.
+func (l *Learner) NextEither(dc *Cursor, oc *OptCursor) (b *Batch, decided bool, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if dc.pos < l.frontier {
+			b = l.log[dc.pos-l.base]
+			dc.pos++
+			l.trimLocked()
+			return b, true, true
+		}
+		if oc.pos < l.optNext {
+			b = l.optLog[oc.pos-l.optBase]
+			oc.pos++
+			l.trimOptLocked()
+			return b, false, true
+		}
+		if l.closed {
+			return nil, false, false
+		}
+		l.cond.Wait()
+	}
 }

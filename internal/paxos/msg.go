@@ -53,6 +53,15 @@ const (
 	msgDecision
 	msgLearnReq
 	msgHeartbeat
+	// msgOptimistic carries a leader's proposal to the learners BEFORE
+	// phase 2 completes (optimistic atomic broadcast à la "Optimistic
+	// Parallel State-Machine Replication", Marandi & Pedone): Instance
+	// is the leader's optimistic sequence number (NOT a consensus
+	// instance), Ballot scopes the sequence to one leadership term.
+	// The stream is best-effort — duplicated, reordered or never-decided
+	// optimistic values are permitted and must never affect the decided
+	// log.
+	msgOptimistic
 )
 
 func (t msgType) String() string {
@@ -75,6 +84,8 @@ func (t msgType) String() string {
 		return "learnreq"
 	case msgHeartbeat:
 		return "heartbeat"
+	case msgOptimistic:
+		return "optimistic"
 	default:
 		return fmt.Sprintf("msgType(%d)", uint8(t))
 	}
@@ -121,6 +132,21 @@ func NewDecisionFrame(group uint32, instance uint64, value []byte) []byte {
 		Type:     msgDecision,
 		Group:    group,
 		Instance: instance,
+		Value:    value,
+	})
+}
+
+// NewOptimisticFrame builds an Optimistic frame for a learner: the
+// value a leader holding ballot proposes as its optSeq-th optimistic
+// delivery. It exists for tests that exercise the optimistic stream
+// (duplication, reordering, never-decided values) without a
+// coordinator.
+func NewOptimisticFrame(group uint32, ballot Ballot, optSeq uint64, value []byte) []byte {
+	return encodeMessage(&message{
+		Type:     msgOptimistic,
+		Group:    group,
+		Ballot:   ballot,
+		Instance: optSeq,
 		Value:    value,
 	})
 }

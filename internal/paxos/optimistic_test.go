@@ -1,0 +1,216 @@
+package paxos
+
+// Tests for optimistic delivery: the leader pushes proposals to the
+// learners before phase 2 completes, the learner retains them as a
+// best-effort stream next to the decided log, and NOTHING in that
+// stream — duplicates, reorderings, values that are never decided —
+// may affect the decided sequence.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// startBareLearner starts a learner with no coordinators behind it, so
+// tests can inject decision and optimistic frames directly.
+func startBareLearner(t *testing.T, optimistic bool) (*Learner, *transport.MemNetwork) {
+	t.Helper()
+	net := newTestNet(t, 1)
+	l, err := StartLearner(LearnerConfig{
+		GroupID:    1,
+		Addr:       "lone-learner",
+		Transport:  net,
+		GapTimeout: time.Hour, // no coordinators to ask
+		Optimistic: optimistic,
+	})
+	if err != nil {
+		t.Fatalf("StartLearner: %v", err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	return l, net
+}
+
+func batchValue(items ...string) []byte {
+	b := &Batch{}
+	for _, it := range items {
+		b.Items = append(b.Items, []byte(it))
+	}
+	return EncodeBatch(b)
+}
+
+func collectOptItems(t *testing.T, cur *OptCursor, n int) []string {
+	t.Helper()
+	var items []string
+	deadline := time.Now().Add(5 * time.Second)
+	for len(items) < n {
+		if b, ready := cur.TryNext(); ready {
+			for _, it := range b.Items {
+				items = append(items, string(it))
+			}
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: %d of %d optimistic items (%v)", len(items), n, items)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return items
+}
+
+// Under a stable leader the optimistic stream delivers every proposed
+// value, in proposal order, without waiting for consensus — and the
+// decided stream stays byte-identical to it.
+func TestOptimisticStreamMatchesDecided(t *testing.T) {
+	net := newTestNet(t, 1)
+	g := startGroup(t, net, groupOptions{optimistic: true})
+
+	dec := g.learners[0].NewCursor()
+	opt := g.learners[0].NewOptCursor()
+	const n = 50
+	for i := 0; i < n; i++ {
+		g.propose([]byte(fmt.Sprintf("v%03d", i)))
+	}
+	optItems := collectOptItems(t, opt, n)
+	decItems := collectItems(t, dec, n)
+	for i := range optItems {
+		if optItems[i] != string(decItems[i]) {
+			t.Fatalf("optimistic[%d] = %q, decided %q", i, optItems[i], decItems[i])
+		}
+	}
+}
+
+// Duplicate optimistic frames (same ballot and optimistic sequence)
+// are dropped; distinct sequences with equal payloads are kept. The
+// decided log never changes.
+func TestOptimisticDuplicatesDropped(t *testing.T) {
+	l, net := startBareLearner(t, true)
+	cur := l.NewOptCursor()
+
+	ballot := MakeBallot(1, 0)
+	send := func(frame []byte) {
+		if err := net.Send("lone-learner", frame); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	send(NewOptimisticFrame(1, ballot, 0, batchValue("a")))
+	send(NewOptimisticFrame(1, ballot, 0, batchValue("a"))) // replayed frame
+	send(NewOptimisticFrame(1, ballot, 1, batchValue("b")))
+	send(NewOptimisticFrame(1, ballot, 2, batchValue("a"))) // same payload, new seq
+
+	items := collectOptItems(t, cur, 3)
+	if items[0] != "a" || items[1] != "b" || items[2] != "a" {
+		t.Fatalf("optimistic items = %v", items)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, ready := cur.TryNext(); ready {
+		t.Fatal("duplicate optimistic frame delivered")
+	}
+	if got := l.Frontier(); got != 0 {
+		t.Fatalf("optimistic frames advanced the decided frontier to %d", got)
+	}
+}
+
+// Reordered and never-decided optimistic values leave the decided
+// stream exactly equal to the decisions: the optimistic stream is
+// delivered in arrival order, the decided one in instance order.
+func TestOptimisticReorderAndNeverDecidedDoNotCorruptDecided(t *testing.T) {
+	l, net := startBareLearner(t, true)
+	dec := l.NewCursor()
+	opt := l.NewOptCursor()
+
+	ballot := MakeBallot(1, 0)
+	send := func(frame []byte) {
+		if err := net.Send("lone-learner", frame); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	// Optimistic arrivals out of proposal order, including one value
+	// ("ghost") that will never be decided (a preempted leader's
+	// proposal).
+	send(NewOptimisticFrame(1, ballot, 1, batchValue("second")))
+	send(NewOptimisticFrame(1, ballot, 0, batchValue("first")))
+	send(NewOptimisticFrame(1, ballot, 2, batchValue("ghost")))
+	// Decisions in instance order, without the ghost.
+	send(NewDecisionFrame(1, 0, batchValue("first")))
+	send(NewDecisionFrame(1, 1, batchValue("second")))
+
+	optItems := collectOptItems(t, opt, 3)
+	if optItems[0] != "second" || optItems[1] != "first" || optItems[2] != "ghost" {
+		t.Fatalf("optimistic arrival order = %v", optItems)
+	}
+	decItems := collectItems(t, dec, 2)
+	if string(decItems[0]) != "first" || string(decItems[1]) != "second" {
+		t.Fatalf("decided order = %q", decItems)
+	}
+	if got := l.Frontier(); got != 2 {
+		t.Fatalf("frontier = %d, want 2 (ghost decided?)", got)
+	}
+}
+
+// A learner without Optimistic ignores optimistic frames entirely.
+func TestOptimisticDisabledIgnoresFrames(t *testing.T) {
+	l, net := startBareLearner(t, false)
+	if err := net.Send("lone-learner", NewOptimisticFrame(1, MakeBallot(1, 0), 0, batchValue("x"))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// A decision still lands; the optimistic frame went nowhere.
+	if err := net.Send("lone-learner", NewDecisionFrame(1, 0, batchValue("y"))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	dec := l.NewCursor()
+	items := collectItems(t, dec, 1)
+	if string(items[0]) != "y" {
+		t.Fatalf("decided = %q", items[0])
+	}
+	l.mu.Lock()
+	optNext := l.optNext
+	l.mu.Unlock()
+	if optNext != 0 {
+		t.Fatalf("disabled learner stored %d optimistic batches", optNext)
+	}
+}
+
+// NextEither prefers the decided stream and drains both before
+// reporting closure.
+func TestNextEitherPrefersDecided(t *testing.T) {
+	l, net := startBareLearner(t, true)
+	dec := l.NewCursor()
+	opt := l.NewOptCursor()
+
+	ballot := MakeBallot(1, 0)
+	if err := net.Send("lone-learner", NewOptimisticFrame(1, ballot, 0, batchValue("opt"))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := net.Send("lone-learner", NewDecisionFrame(1, 0, batchValue("dec"))); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// Wait until both streams hold their batch.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		l.mu.Lock()
+		ready := l.frontier == 1 && l.optNext == 1
+		l.mu.Unlock()
+		if ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("streams never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b, decided, ok := l.NextEither(dec, opt)
+	if !ok || !decided || string(b.Items[0]) != "dec" {
+		t.Fatalf("first NextEither = %v decided=%v ok=%v", b, decided, ok)
+	}
+	b, decided, ok = l.NextEither(dec, opt)
+	if !ok || decided || string(b.Items[0]) != "opt" {
+		t.Fatalf("second NextEither = %v decided=%v ok=%v", b, decided, ok)
+	}
+	_ = l.Close()
+	if _, _, ok := l.NextEither(dec, opt); ok {
+		t.Fatal("NextEither after close and drain reported ok")
+	}
+}

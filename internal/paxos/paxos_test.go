@@ -42,6 +42,7 @@ type groupOptions struct {
 	skip       time.Duration
 	takeover   time.Duration
 	heartbeat  time.Duration
+	optimistic bool
 }
 
 func startGroup(t *testing.T, net *transport.MemNetwork, opts groupOptions) *testGroup {
@@ -94,6 +95,7 @@ func startGroup(t *testing.T, net *transport.MemNetwork, opts groupOptions) *tes
 			SkipInterval:      opts.skip,
 			TakeoverTimeout:   opts.takeover,
 			HeartbeatInterval: opts.heartbeat,
+			Optimistic:        opts.optimistic,
 		})
 		if err != nil {
 			t.Fatalf("StartCoordinator: %v", err)
@@ -107,6 +109,7 @@ func startGroup(t *testing.T, net *transport.MemNetwork, opts groupOptions) *tes
 			Transport:    net,
 			Coordinators: candAddrs,
 			GapTimeout:   20 * time.Millisecond,
+			Optimistic:   opts.optimistic,
 		})
 		if err != nil {
 			t.Fatalf("StartLearner: %v", err)

@@ -183,14 +183,17 @@ type inode struct {
 	keyed  bool
 	reader bool
 	key    uint64
+	mkeys  []uint64 // multi-key readers: canonical key set
 
 	set    command.Gamma // compiled worker set (admission scratch)
 	worker int           // target queue (admission scratch)
 
-	waitW *gate        // readers: completion gate of the last admitted writer
-	waitR *readerGroup // writers: reader set admitted since the previous writer
-	gate  *gate        // writers: closed on completion
-	grp   *readerGroup // readers: group to leave on completion
+	waitW  *gate          // readers: completion gate of the last admitted writer
+	waitWs []*gate        // multi-key readers: one writer gate per live key
+	waitR  *readerGroup   // writers: reader set admitted since the previous writer
+	gate   *gate          // writers: closed on completion
+	grp    *readerGroup   // readers: group to leave on completion
+	grps   []*readerGroup // multi-key readers: group per key, parallel to mkeys
 }
 
 // mkToken coordinates one multi-key command across the workers owning
@@ -280,6 +283,9 @@ func StartIndex(cfg Config) (*IndexScheduler, error) {
 	if cfg.Compiled == nil {
 		return nil, fmt.Errorf("sched: Compiled is required")
 	}
+	if cfg.Service == nil && cfg.Exec == nil {
+		return nil, fmt.Errorf("sched: Service or Exec is required")
+	}
 	s := &IndexScheduler{
 		cfg:        cfg,
 		queues:     make([]*ingress, cfg.Workers),
@@ -367,10 +373,15 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 			s.admitBarrier(req, route)
 		case cdep.RouteMultiKey:
 			// Flush first so every earlier command of this burst is
-			// already on its queue: the token then lands behind all of
-			// them, keeping one global token order across all queues.
+			// already on its queue: the token (or reader) then lands
+			// behind all of them, keeping one global admission order
+			// across all queues.
 			s.flush()
-			s.admitMultiKey(req, route, mkeys)
+			if route.ReadOnly && !s.cfg.NoReaderSets {
+				s.admitMultiKeyRead(req, route, mkeys)
+			} else {
+				s.admitMultiKey(req, route, mkeys)
+			}
 		case cdep.RouteKeyed:
 			s.bufferKeyed(&inode{
 				req: req, keyed: true, key: key, set: route.Workers,
@@ -389,6 +400,11 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 // original is still live are dropped (the same metastable
 // retransmission collapse the scan engine defends against).
 func (s *IndexScheduler) dropDuplicate(req *command.Request) bool {
+	if s.cfg.Exec != nil {
+		// External execution hook: the at-most-once layer moves to the
+		// hook's owner (see Config.Exec).
+		return false
+	}
 	cs := s.clientShard(req.Client)
 	id := requestID{client: req.Client, seq: req.Seq}
 	cs.mu.Lock()
@@ -636,6 +652,53 @@ func (s *IndexScheduler) admitMultiKey(req *command.Request, route cdep.Route, k
 	}
 }
 
+// admitMultiKeyRead admits one read-only multi-key command (a snapshot
+// read over a key set): instead of the owner rendezvous it behaves like
+// a reader of EVERY touched key — it latches onto each key's last
+// writer's completion gate and joins each key's reader group, then runs
+// on its own least-loaded worker. No owner parks: the next writer of
+// any touched key waits for the sealed reader groups exactly as it
+// waits for single-key readers. Every wait edge (the keys' last
+// writers) points to an earlier-admitted command, so the wait graph
+// stays acyclic. The caller has flushed the buffered burst; keys is
+// sorted and deduplicated (cdep.Compiled.KeySet).
+func (s *IndexScheduler) admitMultiKeyRead(req *command.Request, route cdep.Route, keys []uint64) {
+	n := &inode{
+		req:    req,
+		keyed:  true, // never stealable, never counted as free
+		reader: true,
+		mkeys:  keys,
+		grps:   make([]*readerGroup, len(keys)),
+	}
+	for i, key := range keys {
+		ks := s.keyShard(key)
+		ks.mu.Lock()
+		e := ks.live[key]
+		if e == nil {
+			e = &keyEntry{}
+			ks.live[key] = e
+		}
+		e.total++
+		if w := e.lastWriter; w != nil {
+			// Latch onto the live write chain's completion, allocating
+			// the gate on first use (multi-key writer tokens pre-allocate
+			// theirs; see admitMultiKey).
+			if w.gate == nil {
+				w.gate = &gate{ch: make(chan struct{})}
+			}
+			n.waitWs = append(n.waitWs, w.gate)
+		}
+		if e.readers == nil {
+			e.readers = &readerGroup{}
+		}
+		e.readers.n++
+		n.grps[i] = e.readers
+		ks.mu.Unlock()
+	}
+	n.worker = s.leastLoaded(route.Workers)
+	s.queues[n.worker].pushBatch([]*inode{n})
+}
+
 // leastLoaded returns the member of the compiled worker set with the
 // shortest ingress backlog (queued + executing, plus this burst's
 // not-yet-pushed placements, plus the decaying stolen-from penalty —
@@ -802,6 +865,13 @@ func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
 			return false
 		}
 	}
+	for _, g := range n.waitWs {
+		select {
+		case <-g.ch:
+		case <-s.stop:
+			return false
+		}
+	}
 	if n.waitR != nil {
 		select {
 		case <-n.waitR.done:
@@ -810,7 +880,7 @@ func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
 		}
 	}
 	stopBusy := cpu.Busy()
-	output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+	output := s.exec(n.req)
 	s.respond(n.req, output)
 	stopBusy()
 	s.complete(n, output)
@@ -843,7 +913,7 @@ func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
 		}
 	}
 	stopBusy := busy()
-	output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+	output := s.exec(n.req)
 	s.respond(n.req, output)
 	stopBusy()
 	s.complete(n, output)
@@ -888,7 +958,7 @@ func (s *IndexScheduler) rendezvousMulti(w int, n *inode, busy func() func()) bo
 		}
 	}
 	stopBusy := busy()
-	output := s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+	output := s.exec(n.req)
 	s.respond(n.req, output)
 	stopBusy()
 	s.completeMulti(n, output)
@@ -896,16 +966,25 @@ func (s *IndexScheduler) rendezvousMulti(w int, n *inode, busy func() func()) bo
 	return true
 }
 
+// recordDone records a completed request in the at-most-once layer
+// (skipped entirely under an external execution hook).
+func (s *IndexScheduler) recordDone(req *command.Request, output []byte) {
+	if s.cfg.Exec != nil {
+		return
+	}
+	cs := s.clientShard(req.Client)
+	cs.mu.Lock()
+	cs.table.Record(req.Client, req.Seq, output)
+	delete(cs.inflight, requestID{client: req.Client, seq: req.Seq})
+	cs.mu.Unlock()
+}
+
 // completeMulti releases a multi-key command: at-most-once recording,
 // per-key conflict-index cleanup (in the same sorted-key order as
 // admission), and the writer-gate close readers of any touched key may
 // be parked on.
 func (s *IndexScheduler) completeMulti(n *inode, output []byte) {
-	cs := s.clientShard(n.req.Client)
-	cs.mu.Lock()
-	cs.table.Record(n.req.Client, n.req.Seq, output)
-	delete(cs.inflight, requestID{client: n.req.Client, seq: n.req.Seq})
-	cs.mu.Unlock()
+	s.recordDone(n.req, output)
 	for _, key := range n.mk.keys {
 		ks := s.keyShard(key)
 		ks.mu.Lock()
@@ -931,12 +1010,30 @@ func (s *IndexScheduler) completeMulti(n *inode, output []byte) {
 // writer gate (if a reader latched one on), and releases it from the
 // conflict index.
 func (s *IndexScheduler) complete(n *inode, output []byte) {
-	cs := s.clientShard(n.req.Client)
-	cs.mu.Lock()
-	cs.table.Record(n.req.Client, n.req.Seq, output)
-	delete(cs.inflight, requestID{client: n.req.Client, seq: n.req.Seq})
-	cs.mu.Unlock()
+	s.recordDone(n.req, output)
 	if !n.keyed {
+		return
+	}
+	if n.mkeys != nil {
+		// Multi-key reader: leave every touched key's reader group, in
+		// the same sorted-key order as admission.
+		for i, key := range n.mkeys {
+			ks := s.keyShard(key)
+			ks.mu.Lock()
+			if e := ks.live[key]; e != nil {
+				e.total--
+				if g := n.grps[i]; g != nil {
+					g.n--
+					if g.done != nil && g.n == 0 {
+						close(g.done)
+					}
+				}
+				if e.total <= 0 {
+					delete(ks.live, key)
+				}
+			}
+			ks.mu.Unlock()
+		}
 		return
 	}
 	ks := s.keyShard(n.key)
@@ -973,7 +1070,15 @@ func (s *IndexScheduler) complete(n *inode, output []byte) {
 }
 
 func (s *IndexScheduler) respond(req *command.Request, output []byte) {
-	respond(s.cfg.Transport, req, output)
+	Respond(s.cfg.Transport, req, output)
+}
+
+// exec runs one request through the configured execution hook.
+func (s *IndexScheduler) exec(req *command.Request) []byte {
+	if s.cfg.Exec != nil {
+		return s.cfg.Exec(req)
+	}
+	return s.cfg.Service.Execute(req.Cmd, req.Input)
 }
 
 func (s *IndexScheduler) keyShard(key uint64) *keyShard {

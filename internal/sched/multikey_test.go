@@ -23,9 +23,10 @@ func input3(k1, k2, seq uint64) []byte {
 }
 
 // seqOf reads a request's sequence tag regardless of command shape
-// (writes/reads/pings carry it at [8:16], transfers at [16:24]).
+// (writes/reads/pings carry it at [8:16], transfers and snapshot reads
+// at [16:24]).
 func seqOf(cmd command.ID, input []byte) uint64 {
-	if cmd == cmdXfer {
+	if cmd == cmdXfer || cmd == cmdMRead {
 		return binary.LittleEndian.Uint64(input[16:24])
 	}
 	return binary.LittleEndian.Uint64(input[8:16])

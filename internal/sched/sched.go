@@ -115,6 +115,17 @@ type Config struct {
 	Workers int
 	// Service is the deterministic state machine.
 	Service command.Service
+	// Exec optionally replaces Service.Execute as the execution hook:
+	// it receives the full request, so a layer above the engine (the
+	// optimistic speculation executor) can thread per-request
+	// bookkeeping — undo records, completion signalling — through the
+	// engine's conflict-respecting scheduling. When Exec is set the
+	// engines also SKIP their internal at-most-once layer (response
+	// cache and in-flight duplicate filter): the hook's owner does its
+	// own deduplication and may legitimately re-admit a request id it
+	// rolled back, which the engine-level filter would silently swallow
+	// (deadlocking a reconciler that waits for the re-execution).
+	Exec func(req *command.Request) []byte
 	// Compiled answers conflict queries (from the service's C-Dep).
 	Compiled *cdep.Compiled
 	// Transport sends responses.
@@ -234,6 +245,9 @@ func Start(cfg Config) (*Scheduler, error) {
 	if cfg.Compiled == nil {
 		return nil, fmt.Errorf("sched: Compiled is required")
 	}
+	if cfg.Service == nil && cfg.Exec == nil {
+		return nil, fmt.Errorf("sched: Service or Exec is required")
+	}
 	s := &Scheduler{
 		cfg:     cfg,
 		reqCh:   make(chan *command.Request, 4096),
@@ -337,8 +351,10 @@ func (s *Scheduler) schedule() {
 
 	release := func(n *node) {
 		delete(live, n)
-		delete(inflight, requestID{client: n.req.Client, seq: n.req.Seq})
-		table.Record(n.req.Client, n.req.Seq, n.output)
+		if s.cfg.Exec == nil {
+			delete(inflight, requestID{client: n.req.Client, seq: n.req.Seq})
+			table.Record(n.req.Client, n.req.Seq, n.output)
+		}
 		if lastBarrier == n {
 			lastBarrier = nil
 		}
@@ -358,22 +374,26 @@ func (s *Scheduler) schedule() {
 	}
 
 	admit := func(req *command.Request) {
-		if out, dup := table.Lookup(req.Client, req.Seq); dup {
-			s.respond(req, out)
-			return
+		// With an external execution hook the at-most-once layer moves
+		// to the hook's owner (see Config.Exec).
+		if s.cfg.Exec == nil {
+			if out, dup := table.Lookup(req.Client, req.Seq); dup {
+				s.respond(req, out)
+				return
+			}
+			// Drop retransmissions whose original is still live: without
+			// this, a latency spike past the client retry interval admits
+			// duplicate nodes, which lengthens the queue, which raises
+			// latency, which triggers more retransmissions — a metastable
+			// collapse the system never exits. The client is answered
+			// when the original completes (or by the dedup table on its
+			// next retry after that).
+			id := requestID{client: req.Client, seq: req.Seq}
+			if _, dup := inflight[id]; dup {
+				return
+			}
+			inflight[id] = struct{}{}
 		}
-		// Drop retransmissions whose original is still live: without
-		// this, a latency spike past the client retry interval admits
-		// duplicate nodes, which lengthens the queue, which raises
-		// latency, which triggers more retransmissions — a metastable
-		// collapse the system never exits. The client is answered when
-		// the original completes (or by the dedup table on its next
-		// retry after that).
-		id := requestID{client: req.Client, seq: req.Seq}
-		if _, dup := inflight[id]; dup {
-			return
-		}
-		inflight[id] = struct{}{}
 		n := &node{req: req}
 		addDep := func(dep *node) {
 			if dep == nil {
@@ -410,6 +430,17 @@ func (s *Scheduler) schedule() {
 			ks.lastWriter = n
 			ks.readers = nil
 		}
+		// readerOn joins n to one key's reader list: behind the key's
+		// last writer only, concurrent with the other readers.
+		readerOn := func(key uint64) {
+			ks := keys[key]
+			if ks == nil {
+				ks = &keyState{}
+				keys[key] = ks
+			}
+			addDep(ks.lastWriter)
+			ks.readers = append(ks.readers, n)
+		}
 
 		switch class := s.cfg.Compiled.Class(req.Cmd); {
 		case s.cfg.Compiled.GlobalConflict(req.Cmd):
@@ -425,9 +456,17 @@ func (s *Scheduler) schedule() {
 			}
 			addDep(lastBarrier)
 			n.mkeys = mkeys
-			n.writer = true
+			// Read-only multi-key commands (snapshot reads) join every
+			// touched key's reader list: they wait only for the keys'
+			// last writers and run concurrently with each other, while
+			// the next writer of any touched key waits for them.
+			n.writer = !s.cfg.Compiled.Route(req.Cmd).ReadOnly
 			for _, key := range mkeys {
-				writerOn(key)
+				if n.writer {
+					writerOn(key)
+				} else {
+					readerOn(key)
+				}
 			}
 		case class == cdep.Keyed:
 			key, ok := s.cfg.Compiled.Key(req.Cmd, req.Input)
@@ -448,13 +487,7 @@ func (s *Scheduler) schedule() {
 			if n.writer {
 				writerOn(key)
 			} else {
-				ks := keys[key]
-				if ks == nil {
-					ks = &keyState{}
-					keys[key] = ks
-				}
-				addDep(ks.lastWriter)
-				ks.readers = append(ks.readers, n)
+				readerOn(key)
 			}
 		default:
 			addDep(lastBarrier)
@@ -564,7 +597,7 @@ func (s *Scheduler) work() {
 	cpu := s.cfg.CPU.Role("worker")
 	for n := range s.readyCh {
 		stop := cpu.Busy()
-		n.output = s.cfg.Service.Execute(n.req.Cmd, n.req.Input)
+		n.output = s.exec(n.req)
 		s.respond(n.req, n.output)
 		stop()
 		select {
@@ -576,12 +609,22 @@ func (s *Scheduler) work() {
 }
 
 func (s *Scheduler) respond(req *command.Request, output []byte) {
-	respond(s.cfg.Transport, req, output)
+	Respond(s.cfg.Transport, req, output)
 }
 
-// respond sends a command's response frame to the client proxy; both
-// engines share it so their wire behavior cannot drift apart.
-func respond(tr transport.Transport, req *command.Request, output []byte) {
+// exec runs one request through the configured execution hook.
+func (s *Scheduler) exec(req *command.Request) []byte {
+	if s.cfg.Exec != nil {
+		return s.cfg.Exec(req)
+	}
+	return s.cfg.Service.Execute(req.Cmd, req.Input)
+}
+
+// Respond sends a command's response frame to the client proxy. Both
+// engines and the optimistic executor (which answers at
+// order-confirmation time instead of execution time) share it so their
+// wire behavior cannot drift apart.
+func Respond(tr transport.Transport, req *command.Request, output []byte) {
 	if req.Reply == "" {
 		return
 	}

@@ -14,13 +14,15 @@ import (
 )
 
 // Test command set: keyed writes/reads, a global command, an
-// independent (free-routed) ping, and a two-key transfer.
+// independent (free-routed) ping, a two-key transfer, and a read-only
+// two-key snapshot read.
 const (
 	cmdWrite command.ID = iota + 1
 	cmdRead
 	cmdGlobal
 	cmdPing
 	cmdXfer
+	cmdMRead
 )
 
 func key(input []byte) (uint64, bool) {
@@ -49,6 +51,7 @@ func spec() cdep.Spec {
 			{ID: cmdGlobal, Name: "global"},
 			{ID: cmdPing, Name: "ping"},
 			{ID: cmdXfer, Name: "xfer", KeySet: xferKeys},
+			{ID: cmdMRead, Name: "mread", KeySet: xferKeys},
 		},
 		Deps: []cdep.Dep{
 			{A: cmdWrite, B: cmdWrite, SameKey: true},
@@ -56,9 +59,13 @@ func spec() cdep.Spec {
 			{A: cmdXfer, B: cmdXfer, SameKey: true},
 			{A: cmdXfer, B: cmdWrite, SameKey: true},
 			{A: cmdXfer, B: cmdRead, SameKey: true},
+			// The snapshot read conflicts with same-key writers only (no
+			// self-dep, no dep on cmdRead): compiled READ-ONLY multikey.
+			{A: cmdMRead, B: cmdWrite, SameKey: true},
+			{A: cmdMRead, B: cmdXfer, SameKey: true},
 			{A: cmdGlobal, B: cmdGlobal}, {A: cmdGlobal, B: cmdWrite},
 			{A: cmdGlobal, B: cmdRead}, {A: cmdGlobal, B: cmdPing},
-			{A: cmdGlobal, B: cmdXfer},
+			{A: cmdGlobal, B: cmdXfer}, {A: cmdGlobal, B: cmdMRead},
 		},
 	}
 }

@@ -143,6 +143,28 @@ func KVTransferMix(keys KeyGen) Generator {
 	})
 }
 
+// KVCollisionMix generates the optimistic-execution ablation workload:
+// collisionPct percent of operations are two-key transfers over a
+// small hot key set (heavily conflicting — exactly the commands whose
+// speculative order matters), the rest are reads over the full key
+// space (conflict-free). At 0% the workload carries no conflicting
+// pairs at all, so a speculation can never be contradicted and the
+// optimistic hit rate measures pure stream fidelity.
+func KVCollisionMix(keys KeyGen, collisionPct float64) Generator {
+	return genFunc(func(rng *rand.Rand) Op {
+		if rng.Float64()*100 < collisionPct {
+			const hot = 16
+			from := rng.Uint64() % hot
+			to := rng.Uint64() % hot
+			if to == from {
+				to = (to + 1) % hot
+			}
+			return Op{Cmd: kvstore.CmdTransfer, Input: kvstore.EncodeTransfer(from, to, uint64(rng.Intn(3)))}
+		}
+		return Op{Cmd: kvstore.CmdRead, Input: kvstore.EncodeKey(keys.Key(rng))}
+	})
+}
+
 type genFunc func(rng *rand.Rand) Op
 
 func (f genFunc) Next(rng *rand.Rand) Op { return f(rng) }

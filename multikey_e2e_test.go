@@ -11,8 +11,10 @@ package psmr_test
 
 import (
 	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -20,6 +22,32 @@ import (
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/kvstore"
 )
+
+// markedStore wraps a kvstore.Store with an atomic count of executed
+// inserts, letting tests quiesce a replica through a global barrier
+// command before touching its state directly.
+type markedStore struct {
+	*kvstore.Store
+	inserts atomic.Int64
+}
+
+func (m *markedStore) Execute(cmd command.ID, input []byte) []byte {
+	out := m.Store.Execute(cmd, input)
+	if cmd == kvstore.CmdInsert {
+		m.inserts.Add(1)
+	}
+	return out
+}
+
+// ExecuteUndo keeps the marker count on the speculative path too (the
+// optimistic executor drives Undoable services through it).
+func (m *markedStore) ExecuteUndo(cmd command.ID, input []byte) ([]byte, func()) {
+	out, undo := m.Store.ExecuteUndo(cmd, input)
+	if cmd == kvstore.CmdInsert {
+		m.inserts.Add(1)
+	}
+	return out, undo
+}
 
 func TestKVTransferAllModes(t *testing.T) {
 	const (
@@ -41,7 +69,7 @@ func TestKVTransferAllModes(t *testing.T) {
 		t.Run(v.name, func(t *testing.T) {
 			var (
 				mu     sync.Mutex
-				stores []*kvstore.Store
+				stores []*markedStore
 			)
 			cl, err := psmr.StartCluster(psmr.Config{
 				Mode:      v.mode,
@@ -53,8 +81,9 @@ func TestKVTransferAllModes(t *testing.T) {
 					defer mu.Unlock()
 					st := kvstore.New()
 					st.Preload(keys) // key i → value i
-					stores = append(stores, st)
-					return st
+					ms := &markedStore{Store: st}
+					stores = append(stores, ms)
+					return ms
 				},
 			})
 			if err != nil {
@@ -128,17 +157,23 @@ func TestKVTransferAllModes(t *testing.T) {
 				t.Fatalf("balance sum = %d, want %d (transfer lost or duplicated value)", sum, want)
 			}
 
-			// Both replicas converge to identical databases.
-			deadline := time.Now().Add(10 * time.Second)
-			for {
-				if stores[0].Fingerprint() == stores[1].Fingerprint() {
-					return
-				}
-				if time.Now().After(deadline) {
-					t.Fatalf("replicas did not converge: %x vs %x",
-						stores[0].Fingerprint(), stores[1].Fingerprint())
-				}
-				time.Sleep(10 * time.Millisecond)
+			// Both replicas converge to identical databases. An insert is
+			// a global (barrier) command, so once each replica has
+			// executed it, everything ordered before it has finished and
+			// the stores are quiescent — fingerprinting cannot race the
+			// worker threads.
+			if out, err := inv.Invoke(kvstore.CmdInsert,
+				kvstore.EncodeKeyValue(keys, kvstore.EncodeKey(keys))); err != nil || out[0] != kvstore.OK {
+				t.Fatalf("marker insert: %v code=%v", err, out)
+			}
+			waitForCondition(t, 10*time.Second, func() bool {
+				return stores[0].inserts.Load() >= 1 && stores[1].inserts.Load() >= 1
+			}, func() string {
+				return fmt.Sprintf("marker inserts executed: %d and %d",
+					stores[0].inserts.Load(), stores[1].inserts.Load())
+			})
+			if f0, f1 := stores[0].Fingerprint(), stores[1].Fingerprint(); f0 != f1 {
+				t.Fatalf("replicas did not converge: %x vs %x", f0, f1)
 			}
 		})
 	}

@@ -32,11 +32,16 @@ import (
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/core"
 	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/optimistic"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/spsmr"
 	"github.com/psmr/psmr/internal/transport"
 )
+
+// OptimisticCounters is a snapshot of one optimistic replica's
+// speculation statistics (hit rate, rollbacks, rollback depth).
+type OptimisticCounters = optimistic.Counters
 
 // SchedulerKind selects the sP-SMR scheduling engine (ModeSPSMR only).
 type SchedulerKind = sched.SchedulerKind
@@ -135,6 +140,19 @@ type Config struct {
 	// (batched admission, reader sets, work stealing, steal batch
 	// size) off for ablations; the zero value is the tuned pipeline.
 	SchedTuning SchedTuning
+	// Optimistic enables optimistic execution on the sP-SMR path
+	// (ModeSPSMR only): coordinators push proposals to the learners
+	// before phase 2 completes, replicas execute them speculatively
+	// through the selected scheduling engine, and replies are released
+	// when the decided order confirms the speculation (see
+	// internal/optimistic). The service must implement
+	// command.Undoable or command.Cloneable.
+	Optimistic bool
+	// OptimisticReorder, when positive, makes each replica swap every
+	// Nth optimistic batch with its successor before speculating — a
+	// test/ablation knob forcing optimistic/decided divergence (a
+	// stable single leader never reorders on its own).
+	OptimisticReorder int
 
 	// CPU, when set, meters every role's busy time.
 	CPU *bench.CPUMeter
@@ -203,6 +221,7 @@ type Cluster struct {
 	coords    []*paxos.Coordinator
 	replicas  []*core.Replica
 	schedRepl []*spsmr.Replica
+	optRepl   []*optimistic.Replica
 
 	clientSeq uint64
 	closed    bool
@@ -218,6 +237,9 @@ func StartCluster(cfg Config) (*Cluster, error) {
 	case ModePSMR, ModeSMR, ModeSPSMR:
 	default:
 		return nil, fmt.Errorf("psmr: unknown mode %d", int(cfg.Mode))
+	}
+	if cfg.Optimistic && cfg.Mode != ModeSPSMR {
+		return nil, fmt.Errorf("psmr: Optimistic requires ModeSPSMR, got %v", cfg.Mode)
 	}
 
 	// The client-side C-G is always compiled against the
@@ -300,6 +322,7 @@ func (cl *Cluster) startOrdering() error {
 				FlushInterval: cfg.FlushInterval,
 				SkipInterval:  skip,
 				SkipSlots:     uint32(cfg.MergeWeight),
+				Optimistic:    cfg.Optimistic,
 				CPU:           cfg.CPU.Role("coordinator"),
 			})
 			if err != nil {
@@ -336,6 +359,26 @@ func (cl *Cluster) startReplicas() error {
 			}
 			cl.replicas = append(cl.replicas, rep)
 		case ModeSPSMR:
+			if cfg.Optimistic {
+				rep, err := optimistic.StartReplica(optimistic.ReplicaConfig{
+					ReplicaID:    r,
+					Workers:      cfg.Workers,
+					Service:      cfg.NewService(),
+					Spec:         cfg.Spec,
+					Group:        cl.groups[0],
+					Transport:    cfg.Transport,
+					Scheduler:    cfg.Scheduler,
+					Tuning:       cfg.SchedTuning,
+					QueueBound:   cfg.SchedulerQueue,
+					ReorderEvery: cfg.OptimisticReorder,
+					CPU:          cfg.CPU,
+				})
+				if err != nil {
+					return fmt.Errorf("psmr: start optimistic replica %d: %w", r, err)
+				}
+				cl.optRepl = append(cl.optRepl, rep)
+				continue
+			}
 			rep, err := spsmr.StartReplica(spsmr.ReplicaConfig{
 				ReplicaID:  r,
 				Workers:    cfg.Workers,
@@ -416,12 +459,24 @@ func (cl *Cluster) CrashAcceptor(g, i int) {
 // CrashReplica kills replica r (clients keep being served by the
 // others).
 func (cl *Cluster) CrashReplica(r int) {
-	switch cl.cfg.Mode {
-	case ModeSPSMR:
+	switch {
+	case cl.cfg.Mode == ModeSPSMR && cl.cfg.Optimistic:
+		_ = cl.optRepl[r].Close()
+	case cl.cfg.Mode == ModeSPSMR:
 		_ = cl.schedRepl[r].Close()
 	default:
 		_ = cl.replicas[r].Close()
 	}
+}
+
+// OptimisticCounters returns each optimistic replica's speculation
+// counters (empty unless Config.Optimistic).
+func (cl *Cluster) OptimisticCounters() []OptimisticCounters {
+	counters := make([]OptimisticCounters, 0, len(cl.optRepl))
+	for _, rep := range cl.optRepl {
+		counters = append(counters, rep.Counters())
+	}
+	return counters
 }
 
 // Close shuts the whole deployment down.
@@ -434,6 +489,9 @@ func (cl *Cluster) Close() error {
 		_ = rep.Close()
 	}
 	for _, rep := range cl.schedRepl {
+		_ = rep.Close()
+	}
+	for _, rep := range cl.optRepl {
 		_ = rep.Close()
 	}
 	for _, co := range cl.coords {

@@ -21,9 +21,12 @@ import (
 // integration tests: keyed writes/reads plus two global commands. The
 // backing array is safe for the concurrency P-SMR promises (commands on
 // distinct slots touch distinct memory; conflicting commands are
-// serialized by the replication protocol, not by the service).
+// serialized by the replication protocol, not by the service). Slots
+// are read and written atomically so the tests may fingerprint a
+// replica that is still executing (convergence polling) without racing
+// the worker threads.
 type regSvc struct {
-	vals  []uint64
+	vals  []atomic.Uint64
 	execs atomic.Int64
 }
 
@@ -36,7 +39,7 @@ const (
 
 const regSlots = 64
 
-func newRegSvc() *regSvc { return &regSvc{vals: make([]uint64, regSlots)} }
+func newRegSvc() *regSvc { return &regSvc{vals: make([]atomic.Uint64, regSlots)} }
 
 func regKey(input []byte) (uint64, bool) {
 	if len(input) < 8 {
@@ -85,27 +88,27 @@ func (s *regSvc) Execute(cmd command.ID, input []byte) []byte {
 		}
 		k := binary.LittleEndian.Uint64(input[:8]) % regSlots
 		v := binary.LittleEndian.Uint64(input[8:16])
-		s.vals[k] = v
+		s.vals[k].Store(v)
 		return []byte{0}
 	case cmdRead:
 		if len(input) < 8 {
 			return []byte{1}
 		}
 		k := binary.LittleEndian.Uint64(input[:8]) % regSlots
-		return binary.LittleEndian.AppendUint64(nil, s.vals[k])
+		return binary.LittleEndian.AppendUint64(nil, s.vals[k].Load())
 	case cmdWriteAll:
 		if len(input) < 8 {
 			return []byte{1}
 		}
 		v := binary.LittleEndian.Uint64(input[:8])
 		for i := range s.vals {
-			s.vals[i] = v
+			s.vals[i].Store(v)
 		}
 		return []byte{0}
 	case cmdSum:
 		var sum uint64
-		for _, v := range s.vals {
-			sum += v
+		for i := range s.vals {
+			sum += s.vals[i].Load()
 		}
 		return binary.LittleEndian.AppendUint64(nil, sum)
 	default:
@@ -118,8 +121,8 @@ func (s *regSvc) Execute(cmd command.ID, input []byte) []byte {
 func (s *regSvc) fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	for _, v := range s.vals {
-		binary.LittleEndian.PutUint64(buf[:], v)
+	for i := range s.vals {
+		binary.LittleEndian.PutUint64(buf[:], s.vals[i].Load())
 		_, _ = h.Write(buf[:])
 	}
 	return h.Sum64()
@@ -346,8 +349,8 @@ func TestDedupOnRetransmission(t *testing.T) {
 		return fmt.Sprintf("execs %d and %d, want 1 and 1",
 			svcs[0].execs.Load(), svcs[1].execs.Load())
 	})
-	if svcs[0].vals[1] != 42 {
-		t.Fatalf("value = %d, want 42", svcs[0].vals[1])
+	if got := svcs[0].vals[1].Load(); got != 42 {
+		t.Fatalf("value = %d, want 42", got)
 	}
 }
 
