@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation
+.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation recovery-ablation
 
 verify: vet build test
 
@@ -49,3 +49,11 @@ multikey-ablation:
 # hit-rate and rollback counters.
 optimistic-ablation:
 	$(GO) run ./cmd/psmr-bench -exp optimistic
+
+# Checkpoint/recovery ablation: coordinated on-barrier snapshots at
+# interval off/1k/8k/64k decided commands x scan/index engines;
+# reports throughput plus the quiesce pause and snapshot size. The
+# crash-recovery e2e itself runs in the `race` gate
+# (recovery_e2e_test.go).
+recovery-ablation:
+	$(GO) run ./cmd/psmr-bench -exp checkpoint

@@ -306,6 +306,22 @@ func BenchmarkAblationMultiKey(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationCheckpoint sweeps the coordinated-checkpoint
+// interval across both scheduling engines (the `-exp checkpoint` rows
+// at benchmark scale): what crash-recoverability costs in throughput.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	scale := benchScale()
+	for _, setup := range experiment.CheckpointAblationSetups(scale, 8) {
+		engine := "scan"
+		if setup.Scheduler == psmr.SchedIndex {
+			engine = "index"
+		}
+		b.Run(fmt.Sprintf("%s-%s", setup.Tag, engine), func(b *testing.B) {
+			runKVBench(b, setup)
+		})
+	}
+}
+
 // BenchmarkBTree benchmarks the storage engine in isolation (context
 // for the absolute Kcps numbers of the system benchmarks).
 func BenchmarkBTree(b *testing.B) {

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|checkpoint|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -70,6 +70,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runMultiKey(scale, threads)
 	case "optimistic":
 		return runOptimistic(scale, threads)
+	case "checkpoint":
+		return runCheckpoint(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -83,6 +85,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runAdmit(scale, threads) },
 			func() error { return runMultiKey(scale, threads) },
 			func() error { return runOptimistic(scale, threads) },
+			func() error { return runCheckpoint(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -238,6 +241,49 @@ func runOptimistic(scale Scale, threads int) error {
 			on := kcps[base+"+opt "+col]
 			if off > 0 && on > 0 {
 				fmt.Printf("  %-14s %-8s optimistic/decided throughput: %.2fx\n", base, col, on/off)
+			}
+		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	fmt.Println()
+	return nil
+}
+
+// runCheckpoint runs the checkpoint-interval sweep: coordinated
+// on-barrier snapshots off / every 1k / 8k / 64k decided commands,
+// reporting throughput plus the quiesce pause (the time the worker
+// pool stands still per snapshot) and the snapshot size.
+func runCheckpoint(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Checkpoint ablation — coordinated on-barrier snapshots\n")
+	fmt.Printf("(sP-SMR, 50%%/50%% read/update kvstore, %d workers; interval\n", threads)
+	fmt.Println(" off/1k/8k/64k decided commands x scan/index engines; learner")
+	fmt.Println(" retention is bounded by the interval, the quiesce pause is")
+	fmt.Println(" what the snapshot costs)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.CheckpointAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("checkpoint %v %s: %w", setup.Scheduler, setup.Tag, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		if res.Extra != nil && res.Extra["ckpt_count"] > 0 {
+			fmt.Printf("    checkpoints: count=%.0f pause-mean=%.0fµs pause-max=%.0fµs snapshot=%.0fB\n",
+				res.Extra["ckpt_count"], res.Extra["ckpt_pause_mean_us"],
+				res.Extra["ckpt_pause_max_us"], res.Extra["ckpt_bytes"])
+		}
+	}
+	fmt.Println()
+	for _, base := range []string{"sP-SMR", "sP-SMR/index"} {
+		off := kcps[base+" ckpt=off"]
+		for _, iv := range []string{"ckpt=1k", "ckpt=8k", "ckpt=64k"} {
+			if on := kcps[base+" "+iv]; off > 0 && on > 0 {
+				fmt.Printf("  %-14s %-9s checkpointed/off throughput: %.2fx\n", base, iv, on/off)
 			}
 		}
 	}

@@ -34,14 +34,15 @@ func main() {
 		workers = flag.Int("workers", 8, "worker threads per replica (MPL)")
 		keys    = flag.Int("keys", 100_000, "preloaded database keys")
 		opt     = flag.Bool("optimistic", false, "spsmr only: speculate on the optimistic stream, reconcile on consensus")
+		ckpt    = flag.Int("checkpoint", 0, "coordinated checkpoint interval in decided commands (0 = off; single-ordered-stream modes only); SIGHUP then crash-restarts replica 1 from its peer's snapshot")
 	)
 	flag.Parse()
-	if err := run(*listen, *mode, *sched, *workers, *keys, *opt); err != nil {
+	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, modeName, schedName string, workers, keys int, optimistic bool) error {
+func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval int) error {
 	var mode psmr.Mode
 	switch modeName {
 	case "psmr":
@@ -81,6 +82,7 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool)
 		Spec:       kvstore.Spec(),
 		Scheduler:  schedKind,
 		Optimistic: optimistic,
+		Checkpoint: psmr.CheckpointConfig{Interval: ckptInterval},
 		Transport:  node,
 	})
 	if err != nil {
@@ -92,10 +94,32 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool)
 		mode, node.HostPort(), workers, len(cluster.Groups()), keys)
 	fmt.Println("psmr-kvd: connect with: psmr-kv -server", node.HostPort(),
 		"-workers", workers, "get 42")
+	if ckptInterval > 0 {
+		fmt.Printf("psmr-kvd: checkpointing every %d decided commands; SIGHUP crash-restarts replica 1 from its peer\n", ckptInterval)
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	for s := range sig {
+		if s != syscall.SIGHUP {
+			break
+		}
+		// Restart-from-peer demo: kill replica 1, then rebuild it from
+		// replica 0's newest snapshot plus the retained decided suffix.
+		if ckptInterval <= 0 {
+			fmt.Println("psmr-kvd: SIGHUP ignored (run with -checkpoint N to enable restart-from-peer)")
+			continue
+		}
+		fmt.Println("psmr-kvd: SIGHUP — crashing replica 1 and restarting it from its peer")
+		cluster.CrashReplica(1)
+		if err := cluster.RestartReplica(1); err != nil {
+			fmt.Println("psmr-kvd: restart failed:", err)
+			continue
+		}
+		for i, c := range cluster.CheckpointCounters() {
+			fmt.Printf("psmr-kvd: replica %d checkpoints: %v\n", i, c)
+		}
+	}
 	fmt.Println("psmr-kvd: shutting down")
 	return nil
 }

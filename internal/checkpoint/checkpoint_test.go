@@ -1,0 +1,200 @@
+package checkpoint
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func TestStoreRetainsNewest(t *testing.T) {
+	s := NewStore(2)
+	if _, ok := s.Latest(); ok || s.Stable() != 0 {
+		t.Fatal("empty store claims a checkpoint")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		state := []byte{byte(i)}
+		s.Put(Checkpoint{Instance: i * 10, Commands: i * 100, Fingerprint: Fingerprint(state), State: state})
+	}
+	if s.Len() != 2 {
+		t.Fatalf("retained %d checkpoints, want 2", s.Len())
+	}
+	cp, ok := s.Latest()
+	if !ok || cp.Instance != 50 || cp.Commands != 500 {
+		t.Fatalf("latest = %+v ok=%v, want instance 50", cp, ok)
+	}
+	if s.Stable() != 50 {
+		t.Fatalf("stable = %d, want 50", s.Stable())
+	}
+	// Stale positions (a recovery seed racing a fresh marker) are
+	// ignored.
+	s.Put(Checkpoint{Instance: 40})
+	if cp, _ := s.Latest(); cp.Instance != 50 {
+		t.Fatalf("stale Put replaced the newest checkpoint: %d", cp.Instance)
+	}
+}
+
+func TestDriverIntervalAndCounters(t *testing.T) {
+	store := NewStore(2)
+	var stable []uint64
+	snapCount := 0
+	d := NewDriver(Config{Interval: 100}, store,
+		func() ([]byte, bool) { snapCount++; return []byte{byte(snapCount)}, true },
+		func(inst uint64) { stable = append(stable, inst) })
+
+	d.Tick(99)
+	if d.Due() {
+		t.Fatal("due before the interval boundary")
+	}
+	d.Tick(1)
+	if !d.Due() {
+		t.Fatal("not due at the interval boundary")
+	}
+	d.Marker(7)()
+	if d.Due() {
+		t.Fatal("still due after taking the marker")
+	}
+	// A burst crossing several boundaries yields ONE checkpoint and
+	// re-arms past the burst.
+	d.Tick(350)
+	if !d.Due() {
+		t.Fatal("not due after a multi-interval burst")
+	}
+	d.Marker(42)()
+	if d.Due() {
+		t.Fatal("due immediately after a burst marker")
+	}
+	d.Tick(99)
+	if d.Due() {
+		t.Fatal("burst re-arm boundary too low")
+	}
+	d.Tick(1)
+	if !d.Due() {
+		t.Fatal("burst re-arm boundary too high")
+	}
+
+	if snapCount != 2 {
+		t.Fatalf("%d snapshots, want 2", snapCount)
+	}
+	cp, _ := store.Latest()
+	if cp.Instance != 42 || cp.Commands != 450 || cp.Fingerprint != Fingerprint(cp.State) {
+		t.Fatalf("latest checkpoint %+v inconsistent", cp)
+	}
+	if len(stable) != 2 || stable[0] != 7 || stable[1] != 42 {
+		t.Fatalf("stable notifications %v, want [7 42]", stable)
+	}
+	c := d.Counters()
+	if c.Checkpoints != 2 || c.LastBytes != 1 || c.TotalPauseNs == 0 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestDriverRecordRestore(t *testing.T) {
+	d := NewDriver(Config{Interval: 100}, NewStore(1),
+		func() ([]byte, bool) { return nil, true }, nil)
+	d.RecordRestore(&Checkpoint{Instance: 9, Commands: 250})
+	// Intervals keep their global-stream positions: the next boundary
+	// after 250 is 350.
+	d.Tick(99)
+	if d.Due() {
+		t.Fatal("due before the re-seeded boundary")
+	}
+	d.Tick(1)
+	if !d.Due() {
+		t.Fatal("not due at the re-seeded boundary")
+	}
+	c := d.Counters()
+	if c.Restores != 1 || c.RestoredCommands != 250 {
+		t.Fatalf("restore counters %+v", c)
+	}
+}
+
+// fakeLog serves a synthetic retained suffix.
+type fakeLog struct {
+	base   uint64
+	values [][]byte
+}
+
+func (f *fakeLog) RetainedValues(from uint64) ([][]byte, uint64) {
+	start := from
+	if start < f.base {
+		start = f.base
+	}
+	end := f.base + uint64(len(f.values))
+	if start >= end {
+		return nil, start
+	}
+	return f.values[start-f.base:], start
+}
+
+func TestFetchServeRoundTrip(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+
+	store := NewStore(2)
+	state := []byte("state-at-30")
+	store.Put(Checkpoint{Instance: 30, Commands: 123, Fingerprint: Fingerprint(state), State: state})
+	log := &fakeLog{base: 28}
+	for i := 0; i < 7; i++ {
+		log.values = append(log.values, []byte(fmt.Sprintf("batch%02d", 28+i)))
+	}
+	srv, err := StartServer(ServerConfig{
+		Addr: ServerAddr(0), Transport: net, Store: store, Log: log,
+	})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer srv.Close()
+
+	// A dead peer first: Fetch must fall through to the live one.
+	res, err := Fetch(net, []transport.Addr{ServerAddr(9), ServerAddr(0)}, 1, 100*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if res.Checkpoint == nil || res.Checkpoint.Instance != 30 || string(res.Checkpoint.State) != "state-at-30" {
+		t.Fatalf("fetched checkpoint %+v", res.Checkpoint)
+	}
+	if res.Checkpoint.Commands != 123 {
+		t.Fatalf("fetched commands %d, want 123", res.Checkpoint.Commands)
+	}
+	// The suffix starts at the checkpoint instance (not the log base).
+	if res.SuffixStart != 30 || len(res.Suffix) != 5 || string(res.Suffix[0]) != "batch30" {
+		t.Fatalf("suffix %d values from %d (first %q), want 5 from 30",
+			len(res.Suffix), res.SuffixStart, res.Suffix[0])
+	}
+}
+
+func TestFetchWithoutCheckpoint(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	log := &fakeLog{values: [][]byte{[]byte("b0"), []byte("b1")}}
+	srv, err := StartServer(ServerConfig{
+		Addr: ServerAddr(0), Transport: net, Store: NewStore(1), Log: log,
+	})
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer srv.Close()
+	res, err := Fetch(net, []transport.Addr{ServerAddr(0)}, 1, time.Second)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if res.Checkpoint != nil {
+		t.Fatalf("peer without checkpoints returned one: %+v", res.Checkpoint)
+	}
+	if res.SuffixStart != 0 || len(res.Suffix) != 2 {
+		t.Fatalf("suffix %d from %d, want 2 from 0", len(res.Suffix), res.SuffixStart)
+	}
+}
+
+func TestFetchNoPeers(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	if _, err := Fetch(net, nil, 1, 50*time.Millisecond); err == nil {
+		t.Fatal("Fetch with no peers succeeded")
+	}
+	if _, err := Fetch(net, []transport.Addr{"nowhere"}, 1, 50*time.Millisecond); err == nil {
+		t.Fatal("Fetch from a dead peer succeeded")
+	}
+}

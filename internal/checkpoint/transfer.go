@@ -1,0 +1,259 @@
+package checkpoint
+
+// Replica state transfer: one request/response pair over the ordinary
+// transport. A recovering replica asks any live peer for its newest
+// checkpoint plus the decided suffix the peer's learner retains above
+// it; the stable-checkpoint retain floor guarantees the suffix starts
+// at (or below) the checkpoint instance, so snapshot + suffix is a
+// complete replica state. Holes between the fetched suffix and the
+// live stream are healed by the learner's gap-retransmission
+// machinery, so the transfer itself can stay a single round trip.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Wire message kinds.
+const (
+	msgFetchReq  byte = 1
+	msgFetchResp byte = 2
+)
+
+// ServerAddr names replica r's state-transfer endpoint.
+func ServerAddr(replicaID int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("r%d/ckpt", replicaID))
+}
+
+// fetchAddr names the transient endpoint a recovering replica fetches
+// through.
+func fetchAddr(replicaID int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("r%d/ckpt-fetch", replicaID))
+}
+
+// LogSource serves the retained decided suffix (implemented by
+// *paxos.Learner; the indirection keeps this package consensus-
+// agnostic).
+type LogSource interface {
+	// RetainedValues returns the re-encoded decided batches from
+	// instance `from` on; start is the first returned instance.
+	RetainedValues(from uint64) (values [][]byte, start uint64)
+}
+
+// ServerConfig configures a replica's state-transfer endpoint.
+type ServerConfig struct {
+	// Addr is the endpoint peers fetch from (ServerAddr).
+	Addr transport.Addr
+	// Transport carries the catch-up messages.
+	Transport transport.Transport
+	// Store holds the replica's checkpoints.
+	Store *Store
+	// Log serves the decided suffix above the stable checkpoint.
+	Log LogSource
+}
+
+// Server answers peer catch-up requests with the newest checkpoint and
+// the retained decided suffix.
+type Server struct {
+	cfg  ServerConfig
+	ep   transport.Endpoint
+	done chan struct{}
+}
+
+// StartServer launches the state-transfer endpoint.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	ep, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{cfg: cfg, ep: ep, done: make(chan struct{})}
+	go s.serve()
+	return s, nil
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	err := s.ep.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) serve() {
+	defer close(s.done)
+	for frame := range s.ep.Recv() {
+		reply, ok := decodeFetchReq(frame)
+		if !ok {
+			continue
+		}
+		_ = s.cfg.Transport.Send(reply, s.buildResponse())
+	}
+}
+
+// buildResponse assembles checkpoint + suffix. Without a checkpoint
+// yet, the suffix alone (from the learner's base, which the enabled
+// retain floor pins at the start instance) is the complete answer.
+// The two reads are not atomic — a checkpoint landing in between can
+// advance the retain floor and trim the log past the checkpoint just
+// read, leaving a hole the recovering peer could never heal (the gap
+// machinery only covers what coordinators still retain) — so a torn
+// pair is re-read against the newer checkpoint.
+func (s *Server) buildResponse() []byte {
+	var (
+		cp     Checkpoint
+		has    bool
+		values [][]byte
+		start  uint64
+	)
+	for attempt := 0; ; attempt++ {
+		cp, has = s.cfg.Store.Latest()
+		values, start = nil, cp.Instance
+		if s.cfg.Log != nil {
+			values, start = s.cfg.Log.RetainedValues(cp.Instance)
+		}
+		if start <= cp.Instance || attempt >= 3 {
+			break
+		}
+		// start > cp.Instance means the log was trimmed past the
+		// checkpoint we read, which only the floor of a NEWER stable
+		// checkpoint can cause: retry and serve that one.
+	}
+	buf := []byte{msgFetchResp}
+	if has {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, cp.Instance)
+	buf = binary.LittleEndian.AppendUint64(buf, cp.Commands)
+	buf = binary.LittleEndian.AppendUint64(buf, cp.Fingerprint)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cp.State)))
+	buf = append(buf, cp.State...)
+	buf = binary.LittleEndian.AppendUint64(buf, start)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(values)))
+	for _, v := range values {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	return buf
+}
+
+func encodeFetchReq(reply transport.Addr) []byte {
+	buf := []byte{msgFetchReq}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(reply)))
+	return append(buf, reply...)
+}
+
+func decodeFetchReq(frame []byte) (reply transport.Addr, ok bool) {
+	if len(frame) < 3 || frame[0] != msgFetchReq {
+		return "", false
+	}
+	n := int(binary.LittleEndian.Uint16(frame[1:3]))
+	if len(frame) < 3+n {
+		return "", false
+	}
+	return transport.Addr(frame[3 : 3+n]), true
+}
+
+// FetchResult is one peer's catch-up answer.
+type FetchResult struct {
+	// Checkpoint is the peer's newest checkpoint; nil when the peer has
+	// not checkpointed yet (recovery then replays the suffix from its
+	// start).
+	Checkpoint *Checkpoint
+	// Suffix holds the decided batch values from SuffixStart on.
+	Suffix      [][]byte
+	SuffixStart uint64
+}
+
+func decodeFetchResp(frame []byte) (*FetchResult, bool) {
+	if len(frame) < 2+8+8+8+4 || frame[0] != msgFetchResp {
+		return nil, false
+	}
+	has := frame[1] == 1
+	cp := Checkpoint{
+		Instance:    binary.LittleEndian.Uint64(frame[2:10]),
+		Commands:    binary.LittleEndian.Uint64(frame[10:18]),
+		Fingerprint: binary.LittleEndian.Uint64(frame[18:26]),
+	}
+	stateLen := int(binary.LittleEndian.Uint32(frame[26:30]))
+	rest := frame[30:]
+	if len(rest) < stateLen+12 {
+		return nil, false
+	}
+	cp.State = append([]byte(nil), rest[:stateLen]...)
+	rest = rest[stateLen:]
+	res := &FetchResult{SuffixStart: binary.LittleEndian.Uint64(rest[:8])}
+	count := int(binary.LittleEndian.Uint32(rest[8:12]))
+	rest = rest[12:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return nil, false
+		}
+		l := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < l {
+			return nil, false
+		}
+		res.Suffix = append(res.Suffix, append([]byte(nil), rest[:l]...))
+		rest = rest[l:]
+	}
+	if len(rest) != 0 {
+		return nil, false
+	}
+	if has {
+		if cp.Fingerprint != Fingerprint(cp.State) {
+			return nil, false // corrupt transfer
+		}
+		if res.SuffixStart > cp.Instance {
+			// Torn snapshot/suffix pair (see buildResponse): restoring
+			// it would leave an unhealable hole — reject, so Fetch
+			// falls through to the next peer.
+			return nil, false
+		}
+		res.Checkpoint = &cp
+	}
+	return res, true
+}
+
+// Fetch asks the peers, in order, for their newest checkpoint and
+// decided suffix, returning the first answer within timeout per peer.
+// replicaID names the transient reply endpoint.
+func Fetch(tr transport.Transport, peers []transport.Addr, replicaID int, timeout time.Duration) (*FetchResult, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ep, err := tr.Listen(fetchAddr(replicaID))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: listen fetch endpoint: %w", err)
+	}
+	defer ep.Close()
+	req := encodeFetchReq(ep.Addr())
+	var lastErr error
+	for _, peer := range peers {
+		if err := tr.Send(peer, req); err != nil {
+			lastErr = fmt.Errorf("checkpoint: fetch from %s: %w", peer, err)
+			continue
+		}
+		timer := time.NewTimer(timeout)
+		select {
+		case frame, ok := <-ep.Recv():
+			timer.Stop()
+			if !ok {
+				return nil, transport.ErrClosed
+			}
+			if res, ok := decodeFetchResp(frame); ok {
+				return res, nil
+			}
+			lastErr = fmt.Errorf("checkpoint: corrupt fetch response from %s", peer)
+		case <-timer.C:
+			lastErr = fmt.Errorf("checkpoint: fetch from %s timed out", peer)
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("checkpoint: no peers to fetch from")
+	}
+	return nil, lastErr
+}

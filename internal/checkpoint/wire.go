@@ -1,0 +1,125 @@
+package checkpoint
+
+// Replica-side assembly shared by every replica kind (sP-SMR,
+// optimistic, single-group core): the recovery fetch that must happen
+// BEFORE the learner starts, and the plumbing — store, driver, retain
+// floor, state-transfer server, decided-suffix replay — wired up once
+// the learner is listening. Keeping it here means a transfer-protocol
+// fix lands in one place instead of three StartReplica functions.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Bootstrap is the outcome of a recovery fetch: everything a
+// restarting replica needs before and after starting its learner.
+type Bootstrap struct {
+	// Restored is the peer checkpoint the service was restored from
+	// (nil when the peer had none — suffix-only recovery).
+	Restored *Checkpoint
+	// Suffix holds the peer's retained decided batch values from
+	// SuffixStart on, to replay through the local learner.
+	Suffix      [][]byte
+	SuffixStart uint64
+}
+
+// Start returns the learner start instance: the restored checkpoint's
+// position, or 0. Nil-safe (fresh start).
+func (b *Bootstrap) Start() uint64 {
+	if b == nil || b.Restored == nil {
+		return 0
+	}
+	return b.Restored.Instance
+}
+
+// Recover bootstraps a restarting replica's service from live peers:
+// fetch the newest checkpoint plus decided suffix, restore the
+// service. Call it BEFORE starting the learner (and, for Cloneable
+// optimistic services, before the executor clones its committed copy).
+func Recover(cfg Config, tr transport.Transport, peers []transport.Addr, replicaID int,
+	timeout time.Duration, svc command.Service) (*Bootstrap, error) {
+	if !cfg.Enabled() {
+		return nil, fmt.Errorf("checkpoint: recovery requires checkpointing enabled")
+	}
+	res, err := Fetch(tr, peers, replicaID, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: recover replica %d: %w", replicaID, err)
+	}
+	boot := &Bootstrap{Suffix: res.Suffix, SuffixStart: res.SuffixStart}
+	if res.Checkpoint != nil {
+		snap, ok := svc.(command.Snapshotter)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: service %T cannot restore a snapshot", svc)
+		}
+		if err := snap.Restore(res.Checkpoint.State); err != nil {
+			return nil, fmt.Errorf("checkpoint: restore snapshot at %d: %w", res.Checkpoint.Instance, err)
+		}
+		boot.Restored = res.Checkpoint
+	}
+	return boot, nil
+}
+
+// WireConfig assembles one replica's checkpoint plumbing (Wire).
+type WireConfig struct {
+	Config    Config
+	ReplicaID int
+	Transport transport.Transport
+	// Snapshot serializes the service at the quiesce point (false =
+	// shutting down).
+	Snapshot func() ([]byte, bool)
+	// Floor is the learner's retain-floor setter.
+	Floor func(uint64)
+	// Log serves the retained decided suffix to fetching peers.
+	Log LogSource
+	// Replay injects one fetched decided value into the local learner
+	// (a paxos decision frame to our own endpoint).
+	Replay func(instance uint64, value []byte)
+	// Boot is the recovery outcome; nil on a fresh start.
+	Boot *Bootstrap
+}
+
+// Plumbing is a replica's running checkpoint machinery.
+type Plumbing struct {
+	Driver *Driver
+	Server *Server
+}
+
+// Wire builds the store (seeded from the bootstrap), the driver, the
+// retain floor, the state-transfer server, and replays the fetched
+// suffix. Call it after the learner is listening.
+func Wire(cfg WireConfig) (*Plumbing, error) {
+	store := NewStore(cfg.Config.Retain)
+	driver := NewDriver(cfg.Config, store, cfg.Snapshot, cfg.Floor)
+	// Retain everything from our start until the first checkpoint
+	// makes an earlier prefix reconstructible.
+	cfg.Floor(cfg.Boot.Start())
+	if cfg.Boot != nil && cfg.Boot.Restored != nil {
+		// Seed the store so this replica can serve peers in turn.
+		store.Put(*cfg.Boot.Restored)
+		driver.RecordRestore(cfg.Boot.Restored)
+		cfg.Floor(cfg.Boot.Restored.Instance)
+	}
+	srv, err := StartServer(ServerConfig{
+		Addr:      ServerAddr(cfg.ReplicaID),
+		Transport: cfg.Transport,
+		Store:     store,
+		Log:       cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: start server: %w", err)
+	}
+	if cfg.Boot != nil {
+		// Replay the fetched decided suffix through the normal delivery
+		// path: frames land on our own learner in instance order;
+		// anything beyond the live frontier is deduplicated and holes
+		// to the live stream heal via gap retransmission.
+		for i, value := range cfg.Boot.Suffix {
+			cfg.Replay(cfg.Boot.SuffixStart+uint64(i), value)
+		}
+	}
+	return &Plumbing{Driver: driver, Server: srv}, nil
+}

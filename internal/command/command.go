@@ -45,6 +45,28 @@ type Undoable interface {
 	ExecuteUndo(cmd ID, input []byte) (output []byte, undo func())
 }
 
+// Snapshotter is a state machine whose whole state can be serialized
+// and restored. The checkpoint subsystem uses it for coordinated
+// checkpoints (a snapshot taken while every worker thread is quiesced
+// at one deterministic log position) and for replica recovery (a
+// restarted or freshly added replica restores a peer's snapshot and
+// replays the decided suffix).
+//
+// Snapshot is only called on a quiescent state machine and its
+// encoding must be DETERMINISTIC: two replicas that applied the same
+// command prefix must produce byte-identical snapshots, so a
+// snapshot's hash doubles as a state fingerprint. Restore replaces the
+// entire state with the snapshot's; a restored machine followed by the
+// decided suffix must be indistinguishable from one that executed the
+// whole log.
+type Snapshotter interface {
+	Service
+	// Snapshot serializes the complete current state.
+	Snapshot() []byte
+	// Restore replaces the state with a previously taken snapshot.
+	Restore(snap []byte) error
+}
+
 // Cloneable is a state machine that can deep-copy itself. Optimistic
 // execution falls back to it when a service is not Undoable: commands
 // speculate on a clone and rollback re-derives the clone from the

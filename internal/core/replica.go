@@ -13,8 +13,10 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
 	"github.com/psmr/psmr/internal/multicast"
@@ -45,6 +47,18 @@ type ReplicaConfig struct {
 	MergeWeight int
 	// DedupWindow bounds the per-client at-most-once table. Default 512.
 	DedupWindow int
+	// Checkpoint enables coordinated checkpoints. Supported for
+	// SINGLE-GROUP deployments only (classic SMR and the degenerate
+	// one-worker P-SMR): the lone worker snapshots inline at decided
+	// batch boundaries, which is trivially a quiesce point. Multi-group
+	// P-SMR would need vectored checkpoint positions plus merge-state
+	// capture — an open item (see ROADMAP).
+	Checkpoint checkpoint.Config
+	// RecoverPeers bootstraps the replica from a live peer's checkpoint
+	// plus decided suffix (requires Checkpoint enabled).
+	RecoverPeers []transport.Addr
+	// FetchTimeout bounds each peer fetch during recovery. Default 2s.
+	FetchTimeout time.Duration
 	// CPU optionally meters worker and learner busy time.
 	CPU *bench.CPUMeter
 }
@@ -56,6 +70,8 @@ type Replica struct {
 	cfg      ReplicaConfig
 	learners []*paxos.Learner
 	workers  []*worker
+	ckpt     *checkpoint.Driver
+	ckptSrv  *checkpoint.Server
 
 	// Barrier channels for synchronous mode: sig[j][e] carries worker
 	// j's "ready" signal to executor e; rel[e][j] carries the release
@@ -92,6 +108,25 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 512
 	}
+	var snapper command.Snapshotter
+	if cfg.Checkpoint.Enabled() {
+		if len(cfg.Groups) != 1 {
+			return nil, fmt.Errorf("core: checkpointing requires a single group (got %d); multi-group P-SMR checkpoint positions are an open item", len(cfg.Groups))
+		}
+		var ok bool
+		if snapper, ok = cfg.Service.(command.Snapshotter); !ok {
+			return nil, fmt.Errorf("core: checkpointing requires the service to implement command.Snapshotter, got %T", cfg.Service)
+		}
+	}
+	var boot *checkpoint.Bootstrap
+	if len(cfg.RecoverPeers) > 0 {
+		var err error
+		boot, err = checkpoint.Recover(cfg.Checkpoint, cfg.Transport, cfg.RecoverPeers,
+			cfg.ReplicaID, cfg.FetchTimeout, cfg.Service)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 
 	r := &Replica{
 		cfg:  cfg,
@@ -106,17 +141,39 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	for _, g := range cfg.Groups {
 		addr := transport.Addr(fmt.Sprintf("r%d/g%d", cfg.ReplicaID, g.ID))
 		l, err := paxos.StartLearner(paxos.LearnerConfig{
-			GroupID:      g.ID,
-			Addr:         addr,
-			Transport:    cfg.Transport,
-			Coordinators: g.Coordinators,
-			CPU:          cfg.CPU.Role("learner"),
+			GroupID:       g.ID,
+			Addr:          addr,
+			Transport:     cfg.Transport,
+			Coordinators:  g.Coordinators,
+			StartInstance: boot.Start(),
+			CPU:           cfg.CPU.Role("learner"),
 		})
 		if err != nil {
 			r.closeLearners()
 			return nil, fmt.Errorf("core: start learner for group %d: %w", g.ID, err)
 		}
 		r.learners = append(r.learners, l)
+	}
+	if cfg.Checkpoint.Enabled() {
+		learner := r.learners[0]
+		gid := cfg.Groups[0].ID
+		p, err := checkpoint.Wire(checkpoint.WireConfig{
+			Config:    cfg.Checkpoint,
+			ReplicaID: cfg.ReplicaID,
+			Transport: cfg.Transport,
+			Snapshot:  func() ([]byte, bool) { return snapper.Snapshot(), true },
+			Floor:     learner.SetRetainFloor,
+			Log:       learner,
+			Replay: func(instance uint64, value []byte) {
+				_ = cfg.Transport.Send(LearnerAddr(cfg.ReplicaID, gid), paxos.NewDecisionFrame(gid, instance, value))
+			},
+			Boot: boot,
+		})
+		if err != nil {
+			r.closeLearners()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		r.ckpt, r.ckptSrv = p.Driver, p.Server
 	}
 
 	serialIdx := serialGroupIndex(k, len(cfg.Groups))
@@ -152,11 +209,23 @@ func LearnerAddr(replicaID int, groupID uint32) transport.Addr {
 // Close is idempotent.
 func (r *Replica) Close() error {
 	r.closeOnce.Do(func() {
+		if r.ckptSrv != nil {
+			_ = r.ckptSrv.Close()
+		}
 		close(r.stop)
 		r.closeLearners()
 	})
 	r.wg.Wait()
 	return nil
+}
+
+// CheckpointCounters returns the replica's checkpoint statistics
+// (zero-valued when checkpointing is disabled).
+func (r *Replica) CheckpointCounters() checkpoint.Counters {
+	if r.ckpt == nil {
+		return checkpoint.Counters{}
+	}
+	return r.ckpt.Counters()
 }
 
 func (r *Replica) closeLearners() {
@@ -192,29 +261,46 @@ func (w *worker) run() {
 		if !ok {
 			return
 		}
-		stop := w.cpu.Busy()
-		req, _, err := command.DecodeRequest(item.Payload)
-		if err != nil {
-			stop()
-			continue
-		}
-		if req.Gamma.Count() <= 1 {
-			// Parallel mode: the command was multicast to this worker's
-			// own group only (lines 10-13).
-			w.executeAndReply(req)
-			stop()
-			continue
-		}
-		if !req.Gamma.Has(w.idx) {
-			// Serial-group traffic destined to other workers.
-			stop()
-			continue
-		}
-		stop()
-		if !w.synchronousMode(req) {
+		if !w.step(item) {
 			return
 		}
+		if w.r.ckpt != nil {
+			// Single-group checkpointing: the lone worker IS the whole
+			// execution engine, so the gap between two commands is a
+			// quiesce point — snapshot inline at the decided batch
+			// boundary. Every delivered item is counted (deterministic
+			// across replicas: same stream, same count).
+			w.r.ckpt.Tick(1)
+			if item.Last && w.r.ckpt.Due() {
+				w.r.ckpt.Marker(item.Instance + 1)()
+			}
+		}
 	}
+}
+
+// step handles one merged delivery; it reports false when the replica
+// is stopping.
+func (w *worker) step(item multicast.Item) bool {
+	stop := w.cpu.Busy()
+	req, _, err := command.DecodeRequest(item.Payload)
+	if err != nil {
+		stop()
+		return true
+	}
+	if req.Gamma.Count() <= 1 {
+		// Parallel mode: the command was multicast to this worker's
+		// own group only (lines 10-13).
+		w.executeAndReply(req)
+		stop()
+		return true
+	}
+	if !req.Gamma.Has(w.idx) {
+		// Serial-group traffic destined to other workers.
+		stop()
+		return true
+	}
+	stop()
+	return w.synchronousMode(req)
 }
 
 // synchronousMode runs Algorithm 1 lines 14-26 for one multi-

@@ -89,6 +89,10 @@ type KVSetup struct {
 	// OptimisticReorder is the optimistic-stream perturbation knob
 	// (swap every Nth optimistic batch), for rollback-path ablations.
 	OptimisticReorder int
+	// CheckpointInterval enables coordinated checkpoints every N
+	// decided commands (0 = off); the result's Extra map then carries
+	// checkpoint count, quiesce-pause and snapshot-size columns.
+	CheckpointInterval int
 	// TagTuning appends the tuning label to the reported technique
 	// name (used by the admission ablation).
 	TagTuning bool
@@ -141,10 +145,11 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	}
 
 	var (
-		invokers    []workload.Invoker
-		servers     int
-		cleanup     func()
-		optCounters func() []psmr.OptimisticCounters
+		invokers     []workload.Invoker
+		servers      int
+		cleanup      func()
+		optCounters  func() []psmr.OptimisticCounters
+		ckptCounters func() []psmr.CheckpointCounters
 	)
 	switch setup.Technique {
 	case PSMR, SPSMR, SMR:
@@ -166,6 +171,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			SchedTuning:       setup.Tuning,
 			Optimistic:        setup.Optimistic,
 			OptimisticReorder: setup.OptimisticReorder,
+			Checkpoint:        psmr.CheckpointConfig{Interval: setup.CheckpointInterval},
 			CPU:               cpu,
 		})
 		if err != nil {
@@ -174,6 +180,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		cleanup = func() { _ = cluster.Close() }
 		servers = 2
 		optCounters = cluster.OptimisticCounters
+		ckptCounters = cluster.CheckpointCounters
 		for i := 0; i < setup.Clients; i++ {
 			c, err := cluster.NewClient()
 			if err != nil {
@@ -275,6 +282,20 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		CPUPercent: serverCPU(byRole, servers),
 		CPUByRole:  byRole,
 	}
+	if setup.CheckpointInterval > 0 && ckptCounters != nil {
+		// Checkpoint pause and snapshot-size columns: counts sum across
+		// replicas, pauses and sizes report the worst replica.
+		var agg psmr.CheckpointCounters
+		for _, c := range ckptCounters() {
+			agg.Add(c)
+		}
+		res.Extra = map[string]float64{
+			"ckpt_count":         float64(agg.Checkpoints),
+			"ckpt_pause_mean_us": float64(agg.MeanPause().Microseconds()),
+			"ckpt_pause_max_us":  float64(agg.MaxPause().Microseconds()),
+			"ckpt_bytes":         float64(agg.LastBytes),
+		}
+	}
 	if setup.Optimistic && optCounters != nil {
 		// Aggregate speculation statistics across replicas into the
 		// figure output.
@@ -282,7 +303,10 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		for _, c := range optCounters() {
 			agg.Add(c)
 		}
-		res.Extra = map[string]float64{
+		if res.Extra == nil {
+			res.Extra = map[string]float64{}
+		}
+		for k, v := range map[string]float64{
 			"opt_hit_rate":     agg.HitRate(),
 			"opt_hits":         float64(agg.Hits),
 			"opt_misses":       float64(agg.Misses),
@@ -290,6 +314,8 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			"opt_rolled_back":  float64(agg.RolledBack),
 			"opt_max_rb_depth": float64(agg.MaxRollbackDepth),
 			"opt_ghosts":       float64(agg.GhostEvictions),
+		} {
+			res.Extra[k] = v
 		}
 	}
 	return res, nil

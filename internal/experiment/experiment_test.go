@@ -125,3 +125,45 @@ func TestFigSetupsWellFormed(t *testing.T) {
 		t.Fatalf("Fig6Percentages = %d", got)
 	}
 }
+
+func TestRunKVWithCheckpoints(t *testing.T) {
+	setup := tinyScale().kvSetup(SPSMR, 2)
+	setup.Gen = workload.KVReadUpdate
+	setup.CheckpointInterval = 200
+	setup.Tag = "ckpt=200"
+	res, err := RunKV(setup)
+	if err != nil {
+		t.Fatalf("RunKV: %v", err)
+	}
+	if res.Ops <= 0 {
+		t.Fatal("no operations measured")
+	}
+	if res.Extra == nil || res.Extra["ckpt_count"] < 1 {
+		t.Fatalf("checkpoint columns missing: %+v", res.Extra)
+	}
+	if res.Extra["ckpt_bytes"] <= 0 {
+		t.Fatalf("snapshot size column missing: %+v", res.Extra)
+	}
+}
+
+func TestCheckpointAblationSetupsWellFormed(t *testing.T) {
+	setups := CheckpointAblationSetups(tinyScale(), 2)
+	if len(setups) != 8 {
+		t.Fatalf("%d setups, want 8 (2 engines x 4 intervals)", len(setups))
+	}
+	seenOff := 0
+	for _, s := range setups {
+		if s.Technique != SPSMR {
+			t.Fatalf("unexpected technique %v", s.Technique)
+		}
+		if s.CheckpointInterval == 0 {
+			seenOff++
+			if !strings.Contains(s.Tag, "off") {
+				t.Fatalf("off row mis-tagged: %q", s.Tag)
+			}
+		}
+	}
+	if seenOff != 2 {
+		t.Fatalf("%d off rows, want 2", seenOff)
+	}
+}

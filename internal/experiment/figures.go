@@ -314,6 +314,33 @@ func OptimisticAblationSetups(scale Scale, threads int) []KVSetup {
 	return setups
 }
 
+// CheckpointAblationSetups returns the checkpoint-interval sweep:
+// sP-SMR under the 50/50 read/update kvstore workload with coordinated
+// checkpoints off / every 1k / 8k / 64k decided commands, on both
+// scheduling engines. The interval trades learner memory (retention is
+// bounded by the interval) against the quiesce pause the global-
+// barrier snapshot imposes — the rows report throughput plus the
+// measured pause and snapshot size so the cost of crash-recoverability
+// is quantified rather than guessed.
+func CheckpointAblationSetups(scale Scale, threads int) []KVSetup {
+	var setups []KVSetup
+	for _, kind := range []psmr.SchedulerKind{psmr.SchedScan, psmr.SchedIndex} {
+		for _, interval := range []int{0, 1_000, 8_000, 64_000} {
+			setup := scale.kvSetup(SPSMR, threads)
+			setup.Gen = workload.KVReadUpdate
+			setup.Scheduler = kind
+			setup.CheckpointInterval = interval
+			if interval == 0 {
+				setup.Tag = "ckpt=off"
+			} else {
+				setup.Tag = fmt.Sprintf("ckpt=%dk", interval/1000)
+			}
+			setups = append(setups, setup)
+		}
+	}
+	return setups
+}
+
 // PrintTable1 prints the paper's Table I (delivery/execution
 // parallelism matrix), the structural summary of the three SMR
 // variants.

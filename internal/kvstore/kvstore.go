@@ -14,6 +14,7 @@ package kvstore
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"github.com/psmr/psmr/internal/btree"
 	"github.com/psmr/psmr/internal/cdep"
@@ -179,6 +180,56 @@ func (s *Store) Execute(cmd command.ID, input []byte) []byte {
 
 var _ command.Service = (*Store)(nil)
 var _ command.Undoable = (*Store)(nil)
+var _ command.Snapshotter = (*Store)(nil)
+
+// snapshotVersion tags the store's snapshot encoding.
+const snapshotVersion = 1
+
+// Snapshot implements command.Snapshotter: the whole tree in ascending
+// key order, which is deterministic — replicas holding the same state
+// produce byte-identical snapshots. Only call on a quiescent store.
+func (s *Store) Snapshot() []byte {
+	buf := make([]byte, 0, 1+8+16*s.tree.Len())
+	buf = append(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.tree.Len()))
+	s.tree.Ascend(func(k uint64, v []byte) bool {
+		buf = binary.LittleEndian.AppendUint64(buf, k)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+		return true
+	})
+	return buf
+}
+
+// Restore implements command.Snapshotter: it replaces the store's
+// contents with the snapshot's. The ascending insert order rebuilds
+// the B+-tree deterministically.
+func (s *Store) Restore(snap []byte) error {
+	if len(snap) < 9 || snap[0] != snapshotVersion {
+		return fmt.Errorf("kvstore: bad snapshot header")
+	}
+	count := binary.LittleEndian.Uint64(snap[1:9])
+	rest := snap[9:]
+	tree := btree.New(btree.DefaultOrder)
+	for i := uint64(0); i < count; i++ {
+		if len(rest) < 12 {
+			return fmt.Errorf("kvstore: truncated snapshot entry %d/%d", i, count)
+		}
+		key := binary.LittleEndian.Uint64(rest[:8])
+		vl := int(binary.LittleEndian.Uint32(rest[8:12]))
+		rest = rest[12:]
+		if len(rest) < vl {
+			return fmt.Errorf("kvstore: truncated snapshot value %d/%d", i, count)
+		}
+		tree.Insert(key, append([]byte(nil), rest[:vl]...))
+		rest = rest[vl:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("kvstore: %d trailing snapshot bytes", len(rest))
+	}
+	s.tree = tree
+	return nil
+}
 
 // ExecuteUndo implements command.Undoable: it applies cmd exactly like
 // Execute and returns a per-command undo record restoring the values

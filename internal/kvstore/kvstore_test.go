@@ -305,3 +305,52 @@ func TestMultiReadSpec(t *testing.T) {
 		t.Fatal("multi-read extension shifted existing classes")
 	}
 }
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := New()
+	src.Preload(500)
+	src.Execute(CmdUpdate, EncodeKeyValue(42, []byte("hello")))
+	src.Execute(CmdDelete, EncodeKey(7))
+	src.Execute(CmdInsert, EncodeKeyValue(9999, []byte("new")))
+	src.Execute(CmdTransfer, EncodeTransfer(1, 2, 1))
+
+	snap := src.Snapshot()
+	dst := New()
+	dst.Preload(3) // restore must discard pre-existing state
+	if err := dst.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if dst.Len() != src.Len() {
+		t.Fatalf("restored %d keys, want %d", dst.Len(), src.Len())
+	}
+	if dst.Fingerprint() != src.Fingerprint() {
+		t.Fatalf("restored fingerprint %x != source %x", dst.Fingerprint(), src.Fingerprint())
+	}
+	// Determinism: same state, byte-identical snapshot (the checkpoint
+	// key derives a fingerprint from these bytes).
+	if !bytes.Equal(dst.Snapshot(), snap) {
+		t.Fatal("snapshot of restored store differs from original snapshot")
+	}
+	// A restored store keeps executing.
+	if out := dst.Execute(CmdRead, EncodeKey(42)); out[0] != OK || string(out[1:]) != "hello" {
+		t.Fatalf("read after restore = %v", out)
+	}
+}
+
+func TestSnapshotRestoreRejectsCorrupt(t *testing.T) {
+	src := New()
+	src.Preload(10)
+	snap := src.Snapshot()
+	dst := New()
+	for _, bad := range [][]byte{nil, {0xff}, snap[:len(snap)-3], append(append([]byte(nil), snap...), 1)} {
+		if err := dst.Restore(bad); err == nil {
+			t.Fatalf("Restore accepted corrupt snapshot of %d bytes", len(bad))
+		}
+	}
+	if err := dst.Restore(snap); err != nil {
+		t.Fatalf("Restore after rejections: %v", err)
+	}
+	if dst.Fingerprint() != src.Fingerprint() {
+		t.Fatal("fingerprint mismatch after corrupt-then-good restore")
+	}
+}

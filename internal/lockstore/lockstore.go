@@ -150,6 +150,36 @@ func (s *Server) serve(ep transport.Endpoint) {
 	}
 }
 
+// errNoSnapshot reports a service without checkpoint support.
+var errNoSnapshot = fmt.Errorf("lockstore: service does not implement command.Snapshotter")
+
+// Snapshot serializes the underlying service state under the exclusive
+// structure lock — the same lock every command passes through, so the
+// snapshot observes a quiescent state machine even while server
+// threads keep serving. It fails when the service is not a
+// command.Snapshotter.
+func (s *Server) Snapshot() ([]byte, error) {
+	snap, ok := s.cfg.Service.(command.Snapshotter)
+	if !ok {
+		return nil, errNoSnapshot
+	}
+	s.locks.acquire(lockIDTree, lockExclusive)
+	defer s.locks.release(lockIDTree, lockExclusive)
+	return snap.Snapshot(), nil
+}
+
+// Restore replaces the service state with a snapshot's, under the
+// exclusive structure lock.
+func (s *Server) Restore(state []byte) error {
+	snap, ok := s.cfg.Service.(command.Snapshotter)
+	if !ok {
+		return errNoSnapshot
+	}
+	s.locks.acquire(lockIDTree, lockExclusive)
+	defer s.locks.release(lockIDTree, lockExclusive)
+	return snap.Restore(state)
+}
+
 // execute applies one command under the locking discipline derived
 // from its C-Dep class: structure → page → record, all through the
 // central lock table.

@@ -88,6 +88,9 @@ type Item struct {
 	Stream int
 	// Instance is the Paxos instance of the batch that carried it.
 	Instance uint64
+	// Last marks the final payload of its batch — the consensus-log
+	// position boundary coordinated checkpoints snapshot at.
+	Last bool
 }
 
 // Merger deterministically interleaves the decision streams of several
@@ -178,6 +181,7 @@ func (m *Merger) Next() (Item, bool) {
 		for i, payload := range b.Items {
 			items[i] = Item{Payload: payload, Stream: m.cur, Instance: instance}
 		}
+		items[len(items)-1].Last = true
 		m.pending[m.cur] = items
 	}
 }

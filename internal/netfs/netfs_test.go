@@ -460,3 +460,85 @@ func TestServiceMatchesDirectFS(t *testing.T) {
 		t.Fatalf("inode count %d vs %d", svc.FS().Inodes(), ref.Inodes())
 	}
 }
+
+func TestFSSnapshotRestoreRoundTrip(t *testing.T) {
+	const t0 = int64(1_700_000_000_000_000_000)
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, t0)
+	fs.Mkdir("/d/sub", 0o700, t0+1)
+	fd1, _ := fs.Create("/d/a", 0o644, t0+2)
+	fs.Write(fd1, 0, []byte("hello world"), t0+3)
+	fd2, _ := fs.Open("/d/a") // second descriptor on the same file
+	fs.Utimens("/d/a", t0+4, t0+5)
+	dirFd, _ := fs.Opendir("/d")
+	// Orphan: open twice, unlink — both descriptors must share one
+	// inode after restore.
+	ofd1, _ := fs.Create("/d/gone", 0o644, t0+6)
+	ofd2, _ := fs.Open("/d/gone")
+	fs.Write(ofd1, 0, []byte("orphaned"), t0+7)
+	if errno := fs.Unlink("/d/gone", t0+8); errno != OK {
+		t.Fatalf("unlink: %v", errno)
+	}
+	// Recreate the path so orphan detection must distinguish inodes.
+	fs.Mknod("/d/gone", 0o600, t0+9)
+
+	snap := fs.Snapshot()
+	restored := NewFS()
+	restored.Mkdir("/junk", 0o755, t0) // must be discarded
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got, want := restored.Fingerprint(), fs.Fingerprint(); got != want {
+		t.Fatalf("restored fingerprint %x != source %x", got, want)
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Fatal("snapshot of restored FS differs from original snapshot")
+	}
+	// Live descriptors still work.
+	if data, errno := restored.Read(fd2, 0, 5); errno != OK || string(data) != "hello" {
+		t.Fatalf("read via restored fd: %q %v", data, errno)
+	}
+	if errno := restored.ReleasedirPath("/d", dirFd); errno != OK {
+		t.Fatalf("releasedir via restored fd: %v", errno)
+	}
+	// The orphan's two descriptors must reference ONE restored inode
+	// (not two copies), and releasing both must work.
+	if restored.fds[ofd1].n != restored.fds[ofd2].n {
+		t.Fatal("orphan descriptors no longer share an inode after restore")
+	}
+	if restored.fds[ofd1].n == restored.paths["/d/gone"] {
+		t.Fatal("orphan descriptor aliases the recreated path's inode")
+	}
+	if errno := restored.ReleasePath("/d/gone", ofd1); errno != OK {
+		t.Fatalf("release orphan fd1: %v", errno)
+	}
+	if errno := restored.ReleasePath("/d/gone", ofd2); errno != OK {
+		t.Fatalf("release orphan fd2: %v", errno)
+	}
+	// Deterministic allocation survives: creating the same next path on
+	// source and restored FS yields identical fds/inos.
+	sfd, _ := fs.Create("/d/next", 0o644, t0+11)
+	rfd, _ := restored.Create("/d/next", 0o644, t0+11)
+	if sfd != rfd {
+		t.Fatalf("post-restore allocation diverged: %x vs %x", sfd, rfd)
+	}
+}
+
+func TestFSRestoreRejectsCorrupt(t *testing.T) {
+	fs := NewFS()
+	fs.Mkdir("/d", 0o755, 1)
+	fs.Create("/d/f", 0o644, 2)
+	snap := fs.Snapshot()
+	dst := NewFS()
+	for _, bad := range [][]byte{nil, {0x7f}, snap[:len(snap)-2], append(append([]byte(nil), snap...), 0)} {
+		if err := dst.Restore(bad); err == nil {
+			t.Fatalf("Restore accepted corrupt snapshot of %d bytes", len(bad))
+		}
+	}
+	if err := dst.Restore(snap); err != nil {
+		t.Fatalf("Restore after rejections: %v", err)
+	}
+	if dst.Fingerprint() != fs.Fingerprint() {
+		t.Fatal("fingerprint mismatch after corrupt-then-good restore")
+	}
+}

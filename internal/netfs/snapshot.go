@@ -1,0 +1,291 @@
+package netfs
+
+// Checkpoint support: the whole FS — live inodes, unlinked-but-open
+// inodes reachable only through the descriptor table, file contents,
+// directory entries, the descriptor table itself and the per-path
+// allocation sequences — serializes to one deterministic byte string.
+// Everything the Fingerprint folds is covered, so a restored FS is
+// fingerprint-identical to the snapshotted one, and replicas holding
+// the same state produce byte-identical snapshots (paths, kids, fds
+// and sequences are emitted in sorted order).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+// fsSnapshotVersion tags the FS snapshot encoding.
+const fsSnapshotVersion = 1
+
+// Snapshot implements the state half of command.Snapshotter for the
+// service. Only call on a quiescent FS.
+func (fs *FS) Snapshot() []byte {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+
+	buf := []byte{fsSnapshotVersion}
+	putStr := func(s string) {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+		buf = append(buf, s...)
+	}
+	putInode := func(n *inode) {
+		buf = binary.LittleEndian.AppendUint64(buf, n.ino)
+		buf = binary.LittleEndian.AppendUint32(buf, n.mode)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(n.mtime))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(n.atime))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(n.nlink))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(n.data)))
+		buf = append(buf, n.data...)
+		kids := make([]string, 0, len(n.kids))
+		for name := range n.kids {
+			kids = append(kids, name)
+		}
+		sort.Strings(kids)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(kids)))
+		for _, name := range kids {
+			putStr(name)
+			buf = binary.LittleEndian.AppendUint64(buf, n.kids[name])
+		}
+	}
+
+	// Live inodes, by path.
+	paths := make([]string, 0, len(fs.paths))
+	for p := range fs.paths {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(paths)))
+	for _, p := range paths {
+		putStr(p)
+		putInode(fs.paths[p])
+	}
+
+	// Orphan inodes: unlinked but still open, reachable only through
+	// the descriptor table. Two descriptors may share one orphan, so
+	// orphans are emitted once and referenced by index (sorted by ino;
+	// inos derive from (path, sequence) hashes, so ties are vanishingly
+	// unlikely and broken by size/mtime for determinism hygiene).
+	orphanIdx := make(map[*inode]uint32)
+	var orphans []*inode
+	fdList := make([]uint64, 0, len(fs.fds))
+	for fd, e := range fs.fds {
+		fdList = append(fdList, fd)
+		if fs.paths[e.path] != e.n {
+			if _, seen := orphanIdx[e.n]; !seen {
+				orphanIdx[e.n] = 0 // placeholder; assigned after sorting
+				orphans = append(orphans, e.n)
+			}
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		a, b := orphans[i], orphans[j]
+		if a.ino != b.ino {
+			return a.ino < b.ino
+		}
+		if len(a.data) != len(b.data) {
+			return len(a.data) < len(b.data)
+		}
+		return a.mtime < b.mtime
+	})
+	for i, n := range orphans {
+		orphanIdx[n] = uint32(i)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(orphans)))
+	for _, n := range orphans {
+		putInode(n)
+	}
+
+	// Descriptor table, by fd.
+	sort.Slice(fdList, func(i, j int) bool { return fdList[i] < fdList[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fdList)))
+	for _, fd := range fdList {
+		e := fs.fds[fd]
+		buf = binary.LittleEndian.AppendUint64(buf, fd)
+		putStr(e.path)
+		var flags byte
+		if e.dir {
+			flags |= 1
+		}
+		ref := uint32(0)
+		if fs.paths[e.path] != e.n {
+			flags |= 2 // orphan reference
+			ref = orphanIdx[e.n]
+		}
+		buf = append(buf, flags)
+		buf = binary.LittleEndian.AppendUint32(buf, ref)
+	}
+
+	// Allocation sequences, by path.
+	seqPaths := make([]string, 0, len(fs.pathSeq))
+	for p := range fs.pathSeq {
+		seqPaths = append(seqPaths, p)
+	}
+	sort.Strings(seqPaths)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(seqPaths)))
+	for _, p := range seqPaths {
+		putStr(p)
+		buf = binary.LittleEndian.AppendUint64(buf, fs.pathSeq[p])
+	}
+	return buf
+}
+
+// fsSnapshotReader decodes the snapshot stream.
+type fsSnapshotReader struct {
+	rest []byte
+	err  error
+}
+
+func (r *fsSnapshotReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("netfs: truncated snapshot")
+	}
+	r.rest = nil
+}
+
+func (r *fsSnapshotReader) u16() uint16 {
+	if len(r.rest) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.rest)
+	r.rest = r.rest[2:]
+	return v
+}
+
+func (r *fsSnapshotReader) u32() uint32 {
+	if len(r.rest) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.rest)
+	r.rest = r.rest[4:]
+	return v
+}
+
+func (r *fsSnapshotReader) u64() uint64 {
+	if len(r.rest) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.rest)
+	r.rest = r.rest[8:]
+	return v
+}
+
+func (r *fsSnapshotReader) str() string {
+	n := int(r.u16())
+	if len(r.rest) < n {
+		r.fail()
+		return ""
+	}
+	s := string(r.rest[:n])
+	r.rest = r.rest[n:]
+	return s
+}
+
+func (r *fsSnapshotReader) bytes(n int) []byte {
+	if len(r.rest) < n {
+		r.fail()
+		return nil
+	}
+	b := append([]byte(nil), r.rest[:n]...)
+	r.rest = r.rest[n:]
+	return b
+}
+
+func (r *fsSnapshotReader) inode() *inode {
+	n := &inode{
+		ino:  r.u64(),
+		mode: r.u32(),
+	}
+	n.mtime = int64(r.u64())
+	n.atime = int64(r.u64())
+	n.nlink = int(int32(r.u32()))
+	n.data = r.bytes(int(r.u32()))
+	kidCount := int(r.u32())
+	if kidCount > 0 {
+		n.kids = make(map[string]uint64, kidCount)
+		for i := 0; i < kidCount; i++ {
+			name := r.str()
+			n.kids[name] = r.u64()
+		}
+	} else if n.isDir() {
+		n.kids = make(map[string]uint64)
+	}
+	if len(n.data) == 0 {
+		n.data = nil
+	}
+	return n
+}
+
+// Restore replaces the entire FS state with a snapshot's.
+func (fs *FS) Restore(snap []byte) error {
+	if len(snap) < 1 || snap[0] != fsSnapshotVersion {
+		return fmt.Errorf("netfs: bad snapshot header")
+	}
+	r := &fsSnapshotReader{rest: snap[1:]}
+
+	paths := make(map[string]*inode)
+	for i, count := 0, int(r.u32()); i < count && r.err == nil; i++ {
+		p := r.str()
+		paths[p] = r.inode()
+	}
+	orphanCount := int(r.u32())
+	orphans := make([]*inode, 0, orphanCount)
+	for i := 0; i < orphanCount && r.err == nil; i++ {
+		orphans = append(orphans, r.inode())
+	}
+	fds := make(map[uint64]*fdEntry)
+	for i, count := 0, int(r.u32()); i < count && r.err == nil; i++ {
+		fd := r.u64()
+		path := r.str()
+		if len(r.rest) < 1 {
+			r.fail()
+			break
+		}
+		flags := r.rest[0]
+		r.rest = r.rest[1:]
+		ref := r.u32()
+		e := &fdEntry{path: path, dir: flags&1 != 0}
+		if flags&2 != 0 {
+			if int(ref) >= len(orphans) {
+				return fmt.Errorf("netfs: snapshot fd %d references orphan %d/%d", fd, ref, len(orphans))
+			}
+			e.n = orphans[ref]
+		} else {
+			e.n = paths[path]
+			if e.n == nil {
+				return fmt.Errorf("netfs: snapshot fd %d references missing path %q", fd, path)
+			}
+		}
+		fds[fd] = e
+	}
+	pathSeq := make(map[string]uint64)
+	for i, count := 0, int(r.u32()); i < count && r.err == nil; i++ {
+		p := r.str()
+		pathSeq[p] = r.u64()
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.rest) != 0 {
+		return fmt.Errorf("netfs: %d trailing snapshot bytes", len(r.rest))
+	}
+	fs.mu.Lock()
+	fs.paths = paths
+	fs.fds = fds
+	fs.pathSeq = pathSeq
+	fs.mu.Unlock()
+	return nil
+}
+
+// Snapshot implements command.Snapshotter.
+func (s *Service) Snapshot() []byte { return s.fs.Snapshot() }
+
+// Restore implements command.Snapshotter.
+func (s *Service) Restore(snap []byte) error { return s.fs.Restore(snap) }
+
+var _ command.Snapshotter = (*Service)(nil)

@@ -76,6 +76,14 @@ type entry struct {
 	keys   []uint64 // canonical key set (nil when keysOK is false)
 	keysOK bool     // key set determinable (false → conservative)
 
+	// logPos is the entry's position in execution-completion order
+	// (assigned when the entry is appended to the log); withdrawn marks
+	// entries a rollback or ghost eviction removed from the window.
+	// Together they let the key index answer "does an unconfirmed
+	// conflicting entry precede e?" without scanning the log.
+	logPos    uint64
+	withdrawn bool
+
 	// admittedAt is the reconciled-decided-command count at admission;
 	// an unconfirmed entry left behind by more than GhostEvictAfter
 	// decided commands is a ghost and gets withdrawn.
@@ -99,8 +107,21 @@ type Executor struct {
 	admitted     int64      // engine admissions
 	executed     int64      // hook completions (drain: executed == admitted)
 	log          []*entry   // execution-completion order
+	logSeq       uint64     // next logPos to assign
 	doneInLog    int        // confirmed entries still in log (compaction)
 	byID         map[requestID]*entry
+
+	// Key-indexed speculation window: executed-but-unconfirmed entries
+	// bucketed by canonical key, plus the "wild" list of entries that
+	// conflict regardless of keys (Global class or undeterminable key
+	// set). The reconciler's per-decided-command mismatch check scans
+	// only the decided command's own key buckets (plus wild) instead of
+	// the whole window — O(conflicting entries) instead of O(window),
+	// which is what keeps reconciliation linear during recovery from a
+	// large ghost backlog. Buckets are pruned lazily (confirmed and
+	// withdrawn entries drop out as they are encountered).
+	byKey map[uint64][]*entry
+	wild  []*entry
 	confirmed    *dedup.Table // confirmed outputs (decided retransmissions)
 	decidedCount uint64       // reconciled decided commands (ghost aging)
 	lastEvictChk uint64       // decidedCount at the last ghost scan
@@ -194,6 +215,7 @@ func StartExecutor(cfg ExecutorConfig) (*Executor, error) {
 	x := &Executor{
 		cfg:       cfg,
 		byID:      make(map[requestID]*entry),
+		byKey:     make(map[uint64][]*entry),
 		confirmed: dedup.NewTable(cfg.DedupWindow),
 		reconCPU:  cfg.CPU.Role("scheduler"),
 	}
@@ -356,12 +378,98 @@ func (x *Executor) execute(req *command.Request) []byte {
 	e.output = out
 	e.undo = undo
 	e.executed = true
+	e.logPos = x.logSeq
+	x.logSeq++
 	x.log = append(x.log, e)
+	// Key index: wild entries (Global class or undeterminable key set)
+	// conflict with everything; the rest bucket under each touched key.
+	if e.global || !e.keysOK {
+		x.wild = append(x.wild, e)
+	} else {
+		for _, k := range e.keys {
+			x.byKey[k] = append(x.byKey[k], e)
+		}
+	}
 	x.executed++
 	x.cond.Broadcast()
 	x.mu.Unlock()
 	close(e.done)
 	return out
+}
+
+// pruneScan drops dead (confirmed or withdrawn) entries from a bucket
+// in place and reports whether a live entry precedes e in execution
+// order and passes match (nil = always conflicts).
+func pruneScan(bucket *[]*entry, e *entry, match func(*entry) bool) bool {
+	kept := (*bucket)[:0]
+	found := false
+	for _, o := range *bucket {
+		if o.confirmed || o.withdrawn {
+			continue
+		}
+		kept = append(kept, o)
+		if !found && e != nil && o != e && o.logPos < e.logPos && (match == nil || match(o)) {
+			found = true
+		}
+	}
+	for i := len(kept); i < len(*bucket); i++ {
+		(*bucket)[i] = nil
+	}
+	*bucket = kept
+	return found
+}
+
+// conflictingPredecessorLocked is the reconciler's mismatch check:
+// does an UNCONFIRMED entry precede e in the speculation log and
+// conflict with it? It reads the key index — e's own key buckets plus
+// the wild list — so the cost is O(entries actually conflicting with
+// e), not O(unconfirmed window); a large ghost backlog (recovery, a
+// preempted leader's stream) no longer makes every decided command pay
+// a full-window scan. Called with x.mu held.
+func (x *Executor) conflictingPredecessorLocked(e *entry) bool {
+	// Wild entries conflict with everything, e included.
+	if pruneScan(&x.wild, e, nil) {
+		return true
+	}
+	if e.global || !e.keysOK {
+		// e conflicts with everything: any unconfirmed predecessor
+		// counts. The log front scan is bounded by the compaction
+		// window (confirmed entries are dropped every 256 confirms).
+		for _, o := range x.log {
+			if o.logPos >= e.logPos {
+				break
+			}
+			if !o.confirmed {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	for _, k := range e.keys {
+		bucket := x.byKey[k]
+		if len(bucket) == 0 {
+			continue
+		}
+		// Every bucket member shares key k with e, so a declared
+		// dependency between the command types is a conflict (same-key
+		// or not).
+		if pruneScan(&bucket, e, func(o *entry) bool {
+			dep, _ := x.cfg.Compiled.Dep(o.req.Cmd, e.req.Cmd)
+			return dep
+		}) {
+			found = true
+		}
+		if len(bucket) == 0 {
+			delete(x.byKey, k)
+		} else {
+			x.byKey[k] = bucket
+		}
+		if found {
+			return true
+		}
+	}
+	return false
 }
 
 // commitOne reconciles one decided command (see the package doc's
@@ -405,20 +513,10 @@ func (x *Executor) commitOne(req *command.Request) {
 	// The log is complete for this check without draining: the engine
 	// executes conflicting commands in admission order, so every
 	// conflicting command admitted before e has already executed (and
-	// been logged) by the time e's execution completed.
-	mismatch := false
-	for _, o := range x.log {
-		if o == e {
-			break
-		}
-		if o.confirmed {
-			continue
-		}
-		if x.conflicts(o, e) {
-			mismatch = true
-			break
-		}
-	}
+	// been logged) by the time e's execution completed. The check runs
+	// off the key index (e's buckets + the wild list), so its cost
+	// scales with e's actual conflicts, not the window size.
+	mismatch := x.conflictingPredecessorLocked(e)
 	if !mismatch {
 		x.confirmLocked(e)
 		x.mu.Unlock()
@@ -552,6 +650,10 @@ func (x *Executor) withdrawLocked(tainted []*entry, taintedSet map[*entry]bool) 
 	kept := x.log[:0]
 	for _, o := range x.log {
 		if taintedSet[o] {
+			// withdrawn flags the entry dead for the key index's lazy
+			// pruning (a re-decided withdrawal re-executes as a NEW
+			// entry with its own log position).
+			o.withdrawn = true
 			delete(x.byID, requestID{client: o.req.Client, seq: o.req.Seq})
 			continue
 		}
@@ -632,6 +734,65 @@ func (x *Executor) evictGhostsLocked() {
 	x.ghostEvicted.Add(uint64(len(tainted)))
 }
 
+// ConfirmedSnapshot serializes the ORDER-CONFIRMED service state — the
+// exact state a non-speculative replica would hold after the decided
+// prefix reconciled so far — so that a ghost (an optimistically
+// delivered, never-decided value) can never leak into a checkpoint.
+// The caller must be the replica's driver goroutine, between decided
+// batches (every miss-path admission is then confirmed).
+//
+//   - Cloneable services: the committed copy IS the confirmed state
+//     (only the driver advances it, in decided order), so it is
+//     snapshotted directly — no quiesce needed.
+//   - Undoable services: the engine is drained, every unconfirmed
+//     speculation's undo record is applied in reverse execution order,
+//     the in-place state is snapshotted, and the speculations are then
+//     re-executed in their original order (re-capturing outputs and
+//     undo records) — the speculation window survives the checkpoint
+//     intact, and determinism makes the redo byte-identical.
+//
+// ok is false when the service is no command.Snapshotter or the
+// executor is shutting down.
+func (x *Executor) ConfirmedSnapshot() ([]byte, bool) {
+	if x.base != nil {
+		snap, isSnap := x.base.(command.Snapshotter)
+		if !isSnap {
+			return nil, false
+		}
+		return snap.Snapshot(), true
+	}
+	snap, isSnap := x.und.(command.Snapshotter)
+	if !isSnap {
+		return nil, false
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	// Drain: no in-flight speculative execution may race the undos (no
+	// new admissions can arrive — the driver goroutine is right here).
+	for x.executed < x.admitted && !x.closed {
+		x.cond.Wait()
+	}
+	if x.closed {
+		return nil, false
+	}
+	var unconfirmed []*entry
+	for _, o := range x.log {
+		if !o.confirmed {
+			unconfirmed = append(unconfirmed, o)
+		}
+	}
+	for i := len(unconfirmed) - 1; i >= 0; i-- {
+		if unconfirmed[i].undo != nil {
+			unconfirmed[i].undo()
+		}
+	}
+	state := snap.Snapshot()
+	for _, o := range unconfirmed {
+		o.output, o.undo = x.und.ExecuteUndo(o.req.Cmd, o.req.Input)
+	}
+	return state, true
+}
+
 // confirmLocked marks an executed entry order-confirmed: it leaves the
 // speculation window and its output becomes the at-most-once record.
 func (x *Executor) confirmLocked(e *entry) {
@@ -656,6 +817,18 @@ func (x *Executor) confirmLocked(e *entry) {
 		}
 		x.log = kept
 		x.doneInLog = 0
+		// Sweep the key index too: lazy pruning only reaps buckets the
+		// reconciler touches, so cold keys would otherwise pin their
+		// dead entries forever.
+		for k, bucket := range x.byKey {
+			pruneScan(&bucket, nil, nil)
+			if len(bucket) == 0 {
+				delete(x.byKey, k)
+			} else {
+				x.byKey[k] = bucket
+			}
+		}
+		pruneScan(&x.wild, nil, nil)
 	}
 }
 

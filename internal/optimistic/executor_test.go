@@ -405,3 +405,138 @@ func TestGhostEvictedByAge(t *testing.T) {
 		t.Fatalf("key 5 = %d, want 777 after late decide", got)
 	}
 }
+
+// ConfirmedSnapshot must capture ONLY order-confirmed state: an
+// unconfirmed speculation's effects are withdrawn for the snapshot and
+// restored afterwards — the speculation window survives intact and
+// still confirms as hits.
+func TestConfirmedSnapshotExcludesSpeculation(t *testing.T) {
+	x, st, _ := startKV(t, sched.KindIndex, 2, 16)
+
+	confirmed := []*command.Request{req(1, 1, kvstore.CmdUpdate, kvstore.EncodeKeyValue(1, val(100)))}
+	x.Speculate(confirmed)
+	x.Commit(confirmed)
+	want := st.Fingerprint()
+
+	// Unconfirmed speculation mutates the in-place state...
+	spec := []*command.Request{
+		req(1, 2, kvstore.CmdUpdate, kvstore.EncodeKeyValue(2, val(222))),
+		req(1, 3, kvstore.CmdTransfer, kvstore.EncodeTransfer(3, 4, 1)),
+	}
+	x.Speculate(spec)
+	x.waitDrained()
+
+	// ...but the snapshot must equal the confirmed-only state.
+	snap, ok := x.ConfirmedSnapshot()
+	if !ok {
+		t.Fatal("ConfirmedSnapshot unavailable")
+	}
+	probe := kvstore.New()
+	if err := probe.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := probe.Fingerprint(); got != want {
+		t.Fatalf("snapshot fingerprint %x != confirmed state %x (speculation leaked into the checkpoint)", got, want)
+	}
+
+	// The window survived: the speculations confirm as hits.
+	x.Commit(spec)
+	c := x.Counters()
+	if c.Hits != 3 || c.Rollbacks != 0 {
+		t.Fatalf("counters = %+v, want 3 hits after a mid-window snapshot", c)
+	}
+	if got := readKey(t, st, 2); got != 222 {
+		t.Fatalf("key 2 = %d, want 222 (speculative effects lost by the snapshot quiesce)", got)
+	}
+}
+
+// The Cloneable strategy snapshots the committed copy directly.
+func TestConfirmedSnapshotCloneable(t *testing.T) {
+	svc := netfs.NewService()
+	compiled, err := cdep.Compile(netfs.Spec(), 2)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	net := transport.NewMemNetwork(1)
+	t.Cleanup(func() { _ = net.Close() })
+	x, err := StartExecutor(ExecutorConfig{
+		Workers: 2, Service: svc, Compiled: compiled, Transport: net,
+		Scheduler: sched.KindIndex,
+	})
+	if err != nil {
+		t.Fatalf("StartExecutor: %v", err)
+	}
+	t.Cleanup(func() { _ = x.Close() })
+
+	mk := req(1, 1, netfs.CmdMkdir, netfs.EncodeInput("/d", binary.LittleEndian.AppendUint64(binary.LittleEndian.AppendUint32(nil, 0o755), 42)))
+	x.Speculate([]*command.Request{mk})
+	x.waitDrained()
+	// Unconfirmed: the committed copy (and thus the snapshot) must not
+	// hold /d yet.
+	snap, ok := x.ConfirmedSnapshot()
+	if !ok {
+		t.Fatal("ConfirmedSnapshot unavailable")
+	}
+	probe := netfs.NewFS()
+	if err := probe.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if probe.Access("/d") == netfs.OK {
+		t.Fatal("unconfirmed speculative mkdir leaked into the snapshot")
+	}
+	x.Commit([]*command.Request{mk})
+	snap, _ = x.ConfirmedSnapshot()
+	if err := probe.Restore(snap); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if probe.Access("/d") != netfs.OK {
+		t.Fatal("confirmed mkdir missing from the snapshot")
+	}
+}
+
+// The key-indexed window keeps reconciliation cost proportional to a
+// decided command's OWN conflicts: with a large unconfirmed ghost
+// backlog on disjoint keys, confirming unrelated commands must not
+// scan the backlog (the old check was O(window) per decided command).
+func TestKeyIndexSkipsUnrelatedBacklog(t *testing.T) {
+	x, st, _ := startKV(t, sched.KindIndex, 2, 4096)
+	// 1000 unconfirmed ghosts on keys 1000..1999.
+	var ghosts []*command.Request
+	for i := uint64(0); i < 1000; i++ {
+		ghosts = append(ghosts, req(9, i+1, kvstore.CmdUpdate, kvstore.EncodeKeyValue(1000+i, val(i))))
+	}
+	x.Speculate(ghosts)
+	x.waitDrained()
+
+	// Confirm 500 commands on disjoint keys; each mismatch check must
+	// touch only its own (empty) bucket.
+	var live []*command.Request
+	for i := uint64(0); i < 500; i++ {
+		live = append(live, req(1, i+1, kvstore.CmdUpdate, kvstore.EncodeKeyValue(i%100, val(i))))
+	}
+	x.Speculate(live)
+	start := time.Now()
+	x.Commit(live)
+	elapsed := time.Since(start)
+	c := x.Counters()
+	if c.Hits != 500 || c.Rollbacks != 0 {
+		t.Fatalf("counters = %+v, want 500 hits, 0 rollbacks", c)
+	}
+	// Functional guard, not a benchmark: 500 confirmations against a
+	// 1000-entry unrelated backlog finish quickly; the old O(window)
+	// walk did 500k conflict checks here.
+	if elapsed > 5*time.Second {
+		t.Fatalf("500 confirmations took %v against an unrelated backlog", elapsed)
+	}
+	// A decided command that DOES conflict with a ghost still rolls it
+	// back through the index.
+	conflicting := req(2, 1, kvstore.CmdUpdate, kvstore.EncodeKeyValue(1000, val(7)))
+	x.Commit([]*command.Request{conflicting})
+	c = x.Counters()
+	if c.Rollbacks != 1 {
+		t.Fatalf("conflicting decided command did not roll the ghost back: %+v", c)
+	}
+	if got := readKey(t, st, 1000); got != 7 {
+		t.Fatalf("key 1000 = %d, want 7", got)
+	}
+}

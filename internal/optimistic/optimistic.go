@@ -94,9 +94,11 @@ package optimistic
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
 	"github.com/psmr/psmr/internal/paxos"
@@ -143,6 +145,17 @@ type ReplicaConfig struct {
 	// forces optimistic/decided divergence, which a single stable
 	// leader never produces on its own.
 	ReorderEvery int
+	// Checkpoint enables coordinated checkpoints. Under speculation the
+	// quiesce happens inside the executor (Executor.ConfirmedSnapshot):
+	// snapshots capture only ORDER-CONFIRMED state, so ghosts can never
+	// leak into a checkpoint. The service must additionally implement
+	// command.Snapshotter.
+	Checkpoint checkpoint.Config
+	// RecoverPeers bootstraps the replica from a live peer's checkpoint
+	// plus decided suffix (requires Checkpoint enabled).
+	RecoverPeers []transport.Addr
+	// FetchTimeout bounds each peer fetch during recovery. Default 2s.
+	FetchTimeout time.Duration
 	// CPU optionally meters reconciler and worker busy time.
 	CPU *bench.CPUMeter
 }
@@ -153,6 +166,8 @@ type ReplicaConfig struct {
 type Replica struct {
 	learner  *paxos.Learner
 	executor *Executor
+	ckpt     *checkpoint.Driver
+	ckptSrv  *checkpoint.Server
 
 	// Reorder-knob state (driver goroutine only).
 	reorderEvery int
@@ -169,7 +184,10 @@ func LearnerAddr(replicaID int, groupID uint32) transport.Addr {
 	return transport.Addr(fmt.Sprintf("r%d/g%d", replicaID, groupID))
 }
 
-// StartReplica wires the learner, the executor and the driver.
+// StartReplica wires the learner, the executor and the driver. With
+// RecoverPeers set it first bootstraps the service from a live peer's
+// checkpoint (restoring BEFORE the executor clones its committed
+// copy) and replays the decided suffix.
 func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -178,6 +196,20 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	compiled, err := cdep.Compile(cfg.Spec, workers)
 	if err != nil {
 		return nil, fmt.Errorf("optimistic: compile C-Dep: %w", err)
+	}
+	if cfg.Checkpoint.Enabled() {
+		if _, ok := cfg.Service.(command.Snapshotter); !ok {
+			return nil, fmt.Errorf("optimistic: checkpointing requires the service to implement command.Snapshotter, got %T", cfg.Service)
+		}
+	}
+	var boot *checkpoint.Bootstrap
+	if len(cfg.RecoverPeers) > 0 {
+		var err error
+		boot, err = checkpoint.Recover(cfg.Checkpoint, cfg.Transport, cfg.RecoverPeers,
+			cfg.ReplicaID, cfg.FetchTimeout, cfg.Service)
+		if err != nil {
+			return nil, fmt.Errorf("optimistic: %w", err)
+		}
 	}
 	executor, err := StartExecutor(ExecutorConfig{
 		Workers:         workers,
@@ -196,12 +228,13 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("optimistic: start executor: %w", err)
 	}
 	learner, err := paxos.StartLearner(paxos.LearnerConfig{
-		GroupID:      cfg.Group.ID,
-		Addr:         LearnerAddr(cfg.ReplicaID, cfg.Group.ID),
-		Transport:    cfg.Transport,
-		Coordinators: cfg.Group.Coordinators,
-		Optimistic:   true,
-		CPU:          cfg.CPU.Role("learner"),
+		GroupID:       cfg.Group.ID,
+		Addr:          LearnerAddr(cfg.ReplicaID, cfg.Group.ID),
+		Transport:     cfg.Transport,
+		Coordinators:  cfg.Group.Coordinators,
+		Optimistic:    true,
+		StartInstance: boot.Start(),
+		CPU:           cfg.CPU.Role("learner"),
 	})
 	if err != nil {
 		_ = executor.Close()
@@ -213,8 +246,38 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		reorderEvery: cfg.ReorderEvery,
 		done:         make(chan struct{}),
 	}
+	if cfg.Checkpoint.Enabled() {
+		gid := cfg.Group.ID
+		p, err := checkpoint.Wire(checkpoint.WireConfig{
+			Config:    cfg.Checkpoint,
+			ReplicaID: cfg.ReplicaID,
+			Transport: cfg.Transport,
+			Snapshot:  executor.ConfirmedSnapshot,
+			Floor:     learner.SetRetainFloor,
+			Log:       learner,
+			Replay: func(instance uint64, value []byte) {
+				_ = cfg.Transport.Send(LearnerAddr(cfg.ReplicaID, gid), paxos.NewDecisionFrame(gid, instance, value))
+			},
+			Boot: boot,
+		})
+		if err != nil {
+			_ = learner.Close()
+			_ = executor.Close()
+			return nil, fmt.Errorf("optimistic: %w", err)
+		}
+		r.ckpt, r.ckptSrv = p.Driver, p.Server
+	}
 	go r.drive()
 	return r, nil
+}
+
+// CheckpointCounters returns the replica's checkpoint statistics
+// (zero-valued when checkpointing is disabled).
+func (r *Replica) CheckpointCounters() checkpoint.Counters {
+	if r.ckpt == nil {
+		return checkpoint.Counters{}
+	}
+	return r.ckpt.Counters()
 }
 
 // Counters returns the replica's speculation counters.
@@ -225,6 +288,9 @@ func (r *Replica) Counters() Counters { return r.executor.Counters() }
 func (r *Replica) Close() error {
 	var err error
 	r.closeOnce.Do(func() {
+		if r.ckptSrv != nil {
+			_ = r.ckptSrv.Close()
+		}
 		err = r.learner.Close()
 		<-r.done
 		_ = r.executor.Close()
@@ -248,7 +314,7 @@ func (r *Replica) drive() {
 	dec := r.learner.NewCursor()
 	opt := r.learner.NewOptCursor()
 	for {
-		b, decided, ok := r.learner.NextEither(dec, opt)
+		b, instance, decided, ok := r.learner.NextEither(dec, opt)
 		if !ok {
 			return
 		}
@@ -268,6 +334,17 @@ func (r *Replica) drive() {
 		}
 		if reqs := decodeBatch(b); len(reqs) > 0 {
 			r.executor.Commit(reqs)
+			if r.ckpt != nil {
+				// Coordinated checkpoint at the decided batch boundary:
+				// the executor quiesces itself (ConfirmedSnapshot), so
+				// the marker runs right here on the driver instead of
+				// riding an engine barrier — same deterministic decided
+				// position (instance+1), confirmed state only.
+				r.ckpt.Tick(len(reqs))
+				if r.ckpt.Due() {
+					r.ckpt.Marker(instance + 1)()
+				}
+			}
 		}
 	}
 }

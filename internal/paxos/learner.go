@@ -24,8 +24,18 @@ type LearnerConfig struct {
 	// 50ms.
 	GapTimeout time.Duration
 	// TrimThreshold controls how much delivered log is retained before
-	// compaction. Default 4096 batches.
+	// compaction. Default 4096 batches. With a retain floor set
+	// (SetRetainFloor — the checkpoint subsystem's stable-checkpoint
+	// position) the threshold stops DRIVING the trim and becomes a cap:
+	// the log below min(slowest cursor, floor) is dropped in small
+	// chunks as the floor advances, and memory is bounded by the
+	// checkpoint interval instead of the fixed count.
 	TrimThreshold int
+	// StartInstance positions the log: the learner joins the sequence
+	// at this instance, ignoring earlier decisions. A replica recovering
+	// from a checkpoint resumes delivery at the checkpoint's next
+	// instance and replays only the decided suffix.
+	StartInstance uint64
 	// Optimistic retains the coordinators' optimistic (pre-consensus)
 	// stream alongside the decided log, readable through OptCursor.
 	// The stream is best-effort: values are delivered in arrival order,
@@ -54,6 +64,12 @@ type Learner struct {
 	ooo      map[uint64][]byte
 	cursors  []*Cursor
 	closed   bool
+
+	// Checkpoint-gated retention (SetRetainFloor): batches at or above
+	// floor are retained for peer catch-up even after every cursor has
+	// passed them; batches below may go as soon as the cursors allow.
+	floorSet bool
+	floor    uint64
 
 	// Optimistic stream (cfg.Optimistic only): batches in arrival
 	// order, trimmed as optimistic cursors pass. optSeen drops
@@ -89,12 +105,15 @@ func StartLearner(cfg LearnerConfig) (*Learner, error) {
 		return nil, fmt.Errorf("learner %d listen: %w", cfg.GroupID, err)
 	}
 	l := &Learner{
-		cfg:     cfg,
-		ep:      ep,
-		ooo:     make(map[uint64][]byte),
-		done:    make(chan struct{}),
-		stopGap: make(chan struct{}),
+		cfg:      cfg,
+		ep:       ep,
+		base:     cfg.StartInstance,
+		frontier: cfg.StartInstance,
+		ooo:      make(map[uint64][]byte),
+		done:     make(chan struct{}),
+		stopGap:  make(chan struct{}),
 	}
+	l.lastFrontier = cfg.StartInstance
 	if cfg.Optimistic {
 		l.optSeen = make(map[optID]struct{})
 	}
@@ -288,24 +307,103 @@ func (l *Learner) gapLoop() {
 	}
 }
 
-// trimLocked drops delivered log entries once every cursor has passed
-// them.
+// trimChunk amortises floor-gated trims: the prefix copy runs once per
+// chunk of passed batches, not once per delivery.
+const trimChunk = 64
+
+// trimLocked drops delivered log entries below the low-water mark: the
+// slowest registered cursor, further clamped to the retain floor (the
+// stable checkpoint) when one is set. Without a floor the fixed
+// TrimThreshold count drives compaction (the pre-checkpoint behavior);
+// with one, the floor is the driver — batches at or above it are kept
+// for peer catch-up regardless of cursor progress, batches below it go
+// as soon as every cursor has passed, in trimChunk steps (or
+// immediately once the threshold cap is hit).
 func (l *Learner) trimLocked() {
-	min := l.frontier
+	low := l.frontier
 	for _, c := range l.cursors {
-		if c.pos < min {
-			min = c.pos
+		if c.pos < low {
+			low = c.pos
 		}
 	}
-	if min-l.base < uint64(l.cfg.TrimThreshold) {
+	if l.floorSet && l.floor < low {
+		low = l.floor
+	}
+	drop := low - l.base
+	if drop == 0 {
 		return
 	}
-	drop := min - l.base
+	if l.floorSet {
+		if drop < trimChunk && l.frontier-l.base < uint64(l.cfg.TrimThreshold) {
+			return
+		}
+	} else if drop < uint64(l.cfg.TrimThreshold) {
+		return
+	}
 	// Copy the tail so the dropped prefix becomes collectable.
 	rest := make([]*Batch, len(l.log)-int(drop))
 	copy(rest, l.log[drop:])
 	l.log = rest
-	l.base = min
+	l.base = low
+}
+
+// SetRetainFloor enables checkpoint-gated retention and (monotonically)
+// advances the floor: decided batches at or above inst stay retained
+// for peer catch-up even after every cursor passed them, batches below
+// become trimmable immediately. The checkpoint subsystem calls it with
+// 0 at replica start (retain everything until the first checkpoint)
+// and with the stable checkpoint's next instance after each snapshot.
+func (l *Learner) SetRetainFloor(inst uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.floorSet = true
+	if inst > l.floor {
+		l.floor = inst
+	}
+	l.trimLocked()
+}
+
+// Base returns the oldest retained instance (tests, diagnostics).
+func (l *Learner) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// RetainedLen returns the number of retained decided batches (tests,
+// diagnostics — the learner-memory bound the retention policy enforces).
+func (l *Learner) RetainedLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.log)
+}
+
+// RetainedValues re-encodes the retained decided batches from
+// instance `from` on, for peer catch-up: start is the first returned
+// instance (> from when the prefix was already trimmed — the caller
+// then detects the hole and retries against a newer checkpoint).
+// Only the pointer copy runs under the learner lock; the encoding of
+// a possibly checkpoint-interval-sized suffix happens outside it, so
+// serving a recovering peer never stalls live delivery.
+func (l *Learner) RetainedValues(from uint64) (values [][]byte, start uint64) {
+	l.mu.Lock()
+	start = from
+	if start < l.base {
+		start = l.base
+	}
+	if start >= l.frontier {
+		l.mu.Unlock()
+		return nil, start
+	}
+	batches := make([]*Batch, l.frontier-start)
+	copy(batches, l.log[start-l.base:l.frontier-l.base])
+	l.mu.Unlock()
+	// Decided batches are immutable once appended; encode lock-free.
+	values = make([][]byte, len(batches))
+	for i, b := range batches {
+		values[i] = EncodeBatch(b)
+	}
+	return values, start
 }
 
 // Cursor is an independent ordered reader over a learner's log.
@@ -408,24 +506,25 @@ func (c *OptCursor) TryNext() (b *Batch, ready bool) {
 // single-consumer hand-off the optimistic replica's driver loop runs
 // on: one goroutine owns both cursors, so admission and reconciliation
 // interleave in one well-defined order.
-func (l *Learner) NextEither(dc *Cursor, oc *OptCursor) (b *Batch, decided bool, ok bool) {
+func (l *Learner) NextEither(dc *Cursor, oc *OptCursor) (b *Batch, instance uint64, decided bool, ok bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
 		if dc.pos < l.frontier {
 			b = l.log[dc.pos-l.base]
+			instance = dc.pos
 			dc.pos++
 			l.trimLocked()
-			return b, true, true
+			return b, instance, true, true
 		}
 		if oc.pos < l.optNext {
 			b = l.optLog[oc.pos-l.optBase]
 			oc.pos++
 			l.trimOptLocked()
-			return b, false, true
+			return b, 0, false, true
 		}
 		if l.closed {
-			return nil, false, false
+			return nil, 0, false, false
 		}
 		l.cond.Wait()
 	}

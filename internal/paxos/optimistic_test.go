@@ -201,16 +201,16 @@ func TestNextEitherPrefersDecided(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	b, decided, ok := l.NextEither(dec, opt)
-	if !ok || !decided || string(b.Items[0]) != "dec" {
-		t.Fatalf("first NextEither = %v decided=%v ok=%v", b, decided, ok)
+	b, instance, decided, ok := l.NextEither(dec, opt)
+	if !ok || !decided || instance != 0 || string(b.Items[0]) != "dec" {
+		t.Fatalf("first NextEither = %v @%d decided=%v ok=%v", b, instance, decided, ok)
 	}
-	b, decided, ok = l.NextEither(dec, opt)
+	b, _, decided, ok = l.NextEither(dec, opt)
 	if !ok || decided || string(b.Items[0]) != "opt" {
 		t.Fatalf("second NextEither = %v decided=%v ok=%v", b, decided, ok)
 	}
 	_ = l.Close()
-	if _, _, ok := l.NextEither(dec, opt); ok {
+	if _, _, _, ok := l.NextEither(dec, opt); ok {
 		t.Fatal("NextEither after close and drain reported ok")
 	}
 }

@@ -178,6 +178,7 @@ func (q *ingress) pop() *inode {
 // multi-key rendezvous token).
 type inode struct {
 	req    *command.Request
+	marker func()        // quiesce marker closure (barrier tokens only)
 	bar    *indexBarrier // non-nil for barrier tokens
 	mk     *mkToken      // non-nil for multi-key rendezvous tokens
 	keyed  bool
@@ -392,6 +393,39 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 		}
 	}
 	s.flush()
+	return true
+}
+
+// SubmitMarker admits a quiesce marker: a barrier token carrying a
+// closure instead of a command. The buffered burst is flushed first,
+// so the token partitions every queue in admission order — fn runs
+// once every worker has drained up to its token, alone, before
+// anything admitted later starts. It reports false once the engine is
+// stopping.
+func (s *IndexScheduler) SubmitMarker(fn func()) bool {
+	if fn == nil {
+		return true
+	}
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	stopBusy := s.admitCPU.Busy()
+	defer stopBusy()
+	s.flush()
+	n := &inode{
+		marker: fn,
+		bar: &indexBarrier{
+			executor: 0,
+			arrive:   make(chan struct{}, len(s.queues)),
+			release:  make(chan struct{}),
+		},
+	}
+	token := []*inode{n}
+	for _, q := range s.queues {
+		q.pushBatch(token)
+	}
 	return true
 }
 
@@ -913,6 +947,15 @@ func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
 		}
 	}
 	stopBusy := busy()
+	if n.marker != nil {
+		// Quiesce marker: every worker is parked at its token, so the
+		// closure observes the service at one deterministic log
+		// position. No response, no at-most-once record.
+		n.marker()
+		stopBusy()
+		close(n.bar.release)
+		return true
+	}
 	output := s.exec(n.req)
 	s.respond(n.req, output)
 	stopBusy()

@@ -88,9 +88,19 @@ func (k SchedulerKind) String() string {
 // channel, so interleaving Submit and SubmitBatch calls would lose the
 // cross-path admission order (the delivery pumps always use exactly
 // one path, selected by Tuning.NoBatchAdmit).
+//
+// SubmitMarker admits a QUIESCE MARKER: fn runs exactly once, with
+// every worker thread rendezvoused at the marker — all commands
+// admitted before it have completed, none admitted after it has
+// started. This is how the checkpoint subsystem snapshots the service
+// at one deterministic log position without stopping the engine.
+// Markers ride the same global-barrier machinery as Global commands
+// and are ordered with respect to the SubmitBatch stream (checkpointed
+// delivery pumps therefore always use batched admission).
 type Engine interface {
 	Submit(req *command.Request) bool
 	SubmitBatch(reqs []*command.Request) bool
+	SubmitMarker(fn func()) bool
 	Close() error
 }
 
@@ -196,7 +206,7 @@ type Scheduler struct {
 	cfg Config
 
 	reqCh   chan *command.Request
-	batchCh chan []*command.Request
+	batchCh chan admission
 	readyCh chan *node
 	doneCh  chan *node
 	stop    chan struct{}
@@ -205,9 +215,19 @@ type Scheduler struct {
 	wg        sync.WaitGroup
 }
 
-// node is one admitted command in the dependency graph.
+// admission is one hand-off on the scan engine's batch path: a decided
+// batch, or a quiesce marker. Sharing one channel keeps markers ordered
+// with the batches around them.
+type admission struct {
+	reqs   []*command.Request
+	marker func()
+}
+
+// node is one admitted command in the dependency graph (or a quiesce
+// marker when marker is non-nil — req is nil then).
 type node struct {
 	req        *command.Request
+	marker     func()
 	waitCount  int
 	dependents []*node
 	output     []byte
@@ -251,7 +271,7 @@ func Start(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg:     cfg,
 		reqCh:   make(chan *command.Request, 4096),
-		batchCh: make(chan []*command.Request, 256),
+		batchCh: make(chan admission, 256),
 		readyCh: make(chan *node, cfg.QueueBound),
 		doneCh:  make(chan *node, cfg.QueueBound),
 		stop:    make(chan struct{}),
@@ -296,7 +316,28 @@ func (s *Scheduler) SubmitBatch(reqs []*command.Request) bool {
 	default:
 	}
 	select {
-	case s.batchCh <- reqs:
+	case s.batchCh <- admission{reqs: reqs}:
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// SubmitMarker admits a quiesce marker on the batch path: fn runs once
+// every command admitted before it has completed, alone, before
+// anything admitted after it starts. It reports false once the
+// scheduler is stopping.
+func (s *Scheduler) SubmitMarker(fn func()) bool {
+	if fn == nil {
+		return true
+	}
+	select {
+	case <-s.stop:
+		return false
+	default:
+	}
+	select {
+	case s.batchCh <- admission{marker: fn}:
 		return true
 	case <-s.stop:
 		return false
@@ -351,7 +392,7 @@ func (s *Scheduler) schedule() {
 
 	release := func(n *node) {
 		delete(live, n)
-		if s.cfg.Exec == nil {
+		if n.req != nil && s.cfg.Exec == nil {
 			delete(inflight, requestID{client: n.req.Client, seq: n.req.Seq})
 			table.Record(n.req.Client, n.req.Seq, n.output)
 		}
@@ -498,6 +539,33 @@ func (s *Scheduler) schedule() {
 		}
 	}
 
+	// admitMarker admits a quiesce marker: a barrier node carrying a
+	// closure instead of a command — it waits for every live command,
+	// runs alone, and everything admitted later waits for it.
+	admitMarker := func(fn func()) {
+		n := &node{marker: fn}
+		for m := range live {
+			m.dependents = append(m.dependents, n)
+			n.waitCount++
+		}
+		lastBarrier = n
+		live[n] = struct{}{}
+		if n.waitCount == 0 {
+			ready = append(ready, n)
+		}
+	}
+
+	// admitAdmission dispatches one batch-path hand-off.
+	admitAdmission := func(adm admission) {
+		if adm.marker != nil {
+			admitMarker(adm.marker)
+			return
+		}
+		for _, req := range adm.reqs {
+			admit(req)
+		}
+	}
+
 	// popReady removes the head of the ready list.
 	popReady := func() {
 		ready[0] = nil
@@ -523,11 +591,9 @@ func (s *Scheduler) schedule() {
 			stop := cpu.Busy()
 			admit(req)
 			stop()
-		case reqs := <-s.batchCh:
+		case adm := <-s.batchCh:
 			stop := cpu.Busy()
-			for _, req := range reqs {
-				admit(req)
-			}
+			admitAdmission(adm)
 			stop()
 		case n := <-s.doneCh:
 			stop := cpu.Busy()
@@ -556,10 +622,8 @@ func (s *Scheduler) schedule() {
 			default:
 			}
 			select {
-			case reqs := <-s.batchCh:
-				for _, req := range reqs {
-					admit(req)
-				}
+			case adm := <-s.batchCh:
+				admitAdmission(adm)
 				progress = true
 			default:
 			}
@@ -597,8 +661,15 @@ func (s *Scheduler) work() {
 	cpu := s.cfg.CPU.Role("worker")
 	for n := range s.readyCh {
 		stop := cpu.Busy()
-		n.output = s.exec(n.req)
-		s.respond(n.req, n.output)
+		if n.marker != nil {
+			// Quiesce marker: every command admitted before it has
+			// completed (it is a barrier node), so the closure observes
+			// the service at one deterministic log position.
+			n.marker()
+		} else {
+			n.output = s.exec(n.req)
+			s.respond(n.req, n.output)
+		}
 		stop()
 		select {
 		case s.doneCh <- n:

@@ -15,9 +15,11 @@ package spsmr
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
 	"github.com/psmr/psmr/internal/paxos"
@@ -51,16 +53,36 @@ type ReplicaConfig struct {
 	QueueBound int
 	// DedupWindow bounds the per-client at-most-once table.
 	DedupWindow int
+	// Checkpoint enables coordinated checkpoints: every Interval
+	// decided commands the delivery pump injects a quiesce marker that
+	// rides the engine's global barrier, snapshots the service
+	// (command.Snapshotter required), stores it keyed by (instance,
+	// fingerprint), and advances the learner's retain floor. The
+	// replica also serves peer catch-up at checkpoint.ServerAddr.
+	// Checkpointed pumps always use batched admission (markers are
+	// ordered on the batch path).
+	Checkpoint checkpoint.Config
+	// RecoverPeers, when non-empty (requires Checkpoint enabled),
+	// bootstraps the replica from a live peer: fetch the newest
+	// snapshot plus decided suffix, restore, start delivery at the
+	// checkpoint instance and replay.
+	RecoverPeers []transport.Addr
+	// FetchTimeout bounds each peer fetch during recovery. Default 2s.
+	FetchTimeout time.Duration
 	// CPU optionally meters scheduler and worker busy time.
 	CPU *bench.CPUMeter
 }
 
 // Replica is an sP-SMR replica: one learner, one delivery pump feeding
-// the single scheduler, and a pool of worker goroutines.
+// the single scheduler, and a pool of worker goroutines — plus, with
+// checkpointing enabled, a checkpoint driver and the peer catch-up
+// server.
 type Replica struct {
 	learner   *paxos.Learner
 	scheduler sched.Engine
 	perCmd    bool // deliver one Submit per command (ablation)
+	ckpt      *checkpoint.Driver
+	ckptSrv   *checkpoint.Server
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -71,10 +93,28 @@ func LearnerAddr(replicaID int, groupID uint32) transport.Addr {
 }
 
 // StartReplica wires the learner and launches the scheduling engine.
+// With RecoverPeers set it first bootstraps the service from a live
+// peer's checkpoint and replays the decided suffix.
 func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	compiled, err := cdep.Compile(cfg.Spec, max(cfg.Workers, 1))
 	if err != nil {
 		return nil, fmt.Errorf("spsmr: compile C-Dep: %w", err)
+	}
+	var snapper command.Snapshotter
+	if cfg.Checkpoint.Enabled() {
+		var ok bool
+		if snapper, ok = cfg.Service.(command.Snapshotter); !ok {
+			return nil, fmt.Errorf("spsmr: checkpointing requires the service to implement command.Snapshotter, got %T", cfg.Service)
+		}
+	}
+	var boot *checkpoint.Bootstrap
+	if len(cfg.RecoverPeers) > 0 {
+		var err error
+		boot, err = checkpoint.Recover(cfg.Checkpoint, cfg.Transport, cfg.RecoverPeers,
+			cfg.ReplicaID, cfg.FetchTimeout, cfg.Service)
+		if err != nil {
+			return nil, fmt.Errorf("spsmr: %w", err)
+		}
 	}
 	scheduler, err := sched.StartEngine(sched.Config{
 		Kind:        cfg.Scheduler,
@@ -91,11 +131,12 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		return nil, fmt.Errorf("spsmr: start scheduler: %w", err)
 	}
 	learner, err := paxos.StartLearner(paxos.LearnerConfig{
-		GroupID:      cfg.Group.ID,
-		Addr:         LearnerAddr(cfg.ReplicaID, cfg.Group.ID),
-		Transport:    cfg.Transport,
-		Coordinators: cfg.Group.Coordinators,
-		CPU:          cfg.CPU.Role("learner"),
+		GroupID:       cfg.Group.ID,
+		Addr:          LearnerAddr(cfg.ReplicaID, cfg.Group.ID),
+		Transport:     cfg.Transport,
+		Coordinators:  cfg.Group.Coordinators,
+		StartInstance: boot.Start(),
+		CPU:           cfg.CPU.Role("learner"),
 	})
 	if err != nil {
 		_ = scheduler.Close()
@@ -107,8 +148,46 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		perCmd:    cfg.Tuning.NoBatchAdmit,
 		done:      make(chan struct{}),
 	}
+	if cfg.Checkpoint.Enabled() {
+		// Markers ride the batch admission path; the per-command
+		// ablation knob is overridden while checkpointing.
+		r.perCmd = false
+		p, err := checkpoint.Wire(checkpoint.WireConfig{
+			Config:    cfg.Checkpoint,
+			ReplicaID: cfg.ReplicaID,
+			Transport: cfg.Transport,
+			Snapshot:  func() ([]byte, bool) { return snapper.Snapshot(), true },
+			Floor:     learner.SetRetainFloor,
+			Log:       learner,
+			Replay:    replayTo(cfg.Transport, LearnerAddr(cfg.ReplicaID, cfg.Group.ID), cfg.Group.ID),
+			Boot:      boot,
+		})
+		if err != nil {
+			_ = learner.Close()
+			_ = scheduler.Close()
+			return nil, fmt.Errorf("spsmr: %w", err)
+		}
+		r.ckpt, r.ckptSrv = p.Driver, p.Server
+	}
 	go r.deliver()
 	return r, nil
+}
+
+// replayTo injects fetched decided values into a learner endpoint as
+// ordinary decision frames.
+func replayTo(tr transport.Transport, addr transport.Addr, groupID uint32) func(uint64, []byte) {
+	return func(instance uint64, value []byte) {
+		_ = tr.Send(addr, paxos.NewDecisionFrame(groupID, instance, value))
+	}
+}
+
+// CheckpointCounters returns the replica's checkpoint statistics
+// (zero-valued when checkpointing is disabled).
+func (r *Replica) CheckpointCounters() checkpoint.Counters {
+	if r.ckpt == nil {
+		return checkpoint.Counters{}
+	}
+	return r.ckpt.Counters()
 }
 
 // Close stops the replica and waits for all goroutines. Close is
@@ -116,6 +195,9 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 func (r *Replica) Close() error {
 	var err error
 	r.closeOnce.Do(func() {
+		if r.ckptSrv != nil {
+			_ = r.ckptSrv.Close()
+		}
 		err = r.learner.Close()
 		<-r.done
 		_ = r.scheduler.Close()
@@ -133,7 +215,7 @@ func (r *Replica) deliver() {
 	defer close(r.done)
 	cursor := r.learner.NewCursor()
 	for {
-		batch, _, ok := cursor.Next()
+		batch, instance, ok := cursor.Next()
 		if !ok {
 			return
 		}
@@ -165,6 +247,15 @@ func (r *Replica) deliver() {
 		}
 		if !r.scheduler.SubmitBatch(reqs) {
 			return
+		}
+		if r.ckpt != nil {
+			// Coordinated checkpoint: the marker rides the engine's
+			// global barrier right after this batch, so every replica
+			// snapshots at the same decided position (instance+1).
+			r.ckpt.Tick(len(reqs))
+			if r.ckpt.Due() && !r.scheduler.SubmitMarker(r.ckpt.Marker(instance+1)) {
+				return
+			}
 		}
 	}
 }

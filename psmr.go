@@ -29,6 +29,7 @@ import (
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/core"
 	"github.com/psmr/psmr/internal/multicast"
@@ -42,6 +43,16 @@ import (
 // OptimisticCounters is a snapshot of one optimistic replica's
 // speculation statistics (hit rate, rollbacks, rollback depth).
 type OptimisticCounters = optimistic.Counters
+
+// CheckpointConfig enables and sizes coordinated checkpoints (see
+// internal/checkpoint): Interval is the number of decided commands
+// between snapshots (0 disables), Retain how many snapshots each
+// replica keeps for peer catch-up.
+type CheckpointConfig = checkpoint.Config
+
+// CheckpointCounters is a snapshot of one replica's checkpoint
+// statistics (count, snapshot size, quiesce pause, restores).
+type CheckpointCounters = checkpoint.Counters
 
 // SchedulerKind selects the sP-SMR scheduling engine (ModeSPSMR only).
 type SchedulerKind = sched.SchedulerKind
@@ -153,6 +164,17 @@ type Config struct {
 	// test/ablation knob forcing optimistic/decided divergence (a
 	// stable single leader never reorders on its own).
 	OptimisticReorder int
+	// Checkpoint enables coordinated checkpoints and replica recovery:
+	// every Interval decided commands each replica quiesces its workers
+	// at one deterministic log position (the engines' global-barrier
+	// rendezvous; the optimistic executor's confirmed-state quiesce),
+	// snapshots the service (which must implement command.Snapshotter),
+	// gates learner log truncation on the stable checkpoint, and serves
+	// peer catch-up — CrashReplica + RestartReplica then exercise full
+	// recovery. Supported on single-ordered-stream deployments (sP-SMR,
+	// SMR, optimistic sP-SMR, one-worker P-SMR); multi-group P-SMR
+	// checkpoint positions are an open item.
+	Checkpoint CheckpointConfig
 
 	// CPU, when set, meters every role's busy time.
 	CPU *bench.CPUMeter
@@ -240,6 +262,10 @@ func StartCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Optimistic && cfg.Mode != ModeSPSMR {
 		return nil, fmt.Errorf("psmr: Optimistic requires ModeSPSMR, got %v", cfg.Mode)
+	}
+	if cfg.Checkpoint.Enabled() && cfg.groupCount() > 1 {
+		return nil, fmt.Errorf("psmr: checkpointing requires a single ordered stream (sP-SMR, SMR, or 1-worker P-SMR); %v with %d workers has %d groups",
+			cfg.Mode, cfg.Workers, cfg.groupCount())
 	}
 
 	// The client-side C-G is always compiled against the
@@ -342,60 +368,85 @@ func (cl *Cluster) startOrdering() error {
 // startReplicas launches the mode-specific execution engines.
 func (cl *Cluster) startReplicas() error {
 	cfg := &cl.cfg
+	switch {
+	case cfg.Mode == ModeSPSMR && cfg.Optimistic:
+		cl.optRepl = make([]*optimistic.Replica, cfg.Replicas)
+	case cfg.Mode == ModeSPSMR:
+		cl.schedRepl = make([]*spsmr.Replica, cfg.Replicas)
+	default:
+		cl.replicas = make([]*core.Replica, cfg.Replicas)
+	}
 	for r := 0; r < cfg.Replicas; r++ {
-		switch cfg.Mode {
-		case ModePSMR, ModeSMR:
-			rep, err := core.StartReplica(core.ReplicaConfig{
-				ReplicaID:   r,
-				Workers:     cfg.Workers,
-				Service:     cfg.NewService(),
-				Groups:      cl.groups,
-				Transport:   cfg.Transport,
-				MergeWeight: cfg.MergeWeight,
-				CPU:         cfg.CPU,
-			})
-			if err != nil {
-				return fmt.Errorf("psmr: start replica %d: %w", r, err)
-			}
-			cl.replicas = append(cl.replicas, rep)
-		case ModeSPSMR:
-			if cfg.Optimistic {
-				rep, err := optimistic.StartReplica(optimistic.ReplicaConfig{
-					ReplicaID:    r,
-					Workers:      cfg.Workers,
-					Service:      cfg.NewService(),
-					Spec:         cfg.Spec,
-					Group:        cl.groups[0],
-					Transport:    cfg.Transport,
-					Scheduler:    cfg.Scheduler,
-					Tuning:       cfg.SchedTuning,
-					QueueBound:   cfg.SchedulerQueue,
-					ReorderEvery: cfg.OptimisticReorder,
-					CPU:          cfg.CPU,
-				})
-				if err != nil {
-					return fmt.Errorf("psmr: start optimistic replica %d: %w", r, err)
-				}
-				cl.optRepl = append(cl.optRepl, rep)
-				continue
-			}
-			rep, err := spsmr.StartReplica(spsmr.ReplicaConfig{
-				ReplicaID:  r,
-				Workers:    cfg.Workers,
-				Service:    cfg.NewService(),
-				Spec:       cfg.Spec,
-				Group:      cl.groups[0],
-				Transport:  cfg.Transport,
-				Scheduler:  cfg.Scheduler,
-				QueueBound: cfg.SchedulerQueue,
-				Tuning:     cfg.SchedTuning,
-				CPU:        cfg.CPU,
-			})
-			if err != nil {
-				return fmt.Errorf("psmr: start sp-smr replica %d: %w", r, err)
-			}
-			cl.schedRepl = append(cl.schedRepl, rep)
+		if err := cl.startReplica(r, nil); err != nil {
+			return err
 		}
+	}
+	return nil
+}
+
+// startReplica launches (or, on recovery, relaunches) replica r.
+// peers, when non-empty, are live replicas' state-transfer endpoints
+// the new replica bootstraps from.
+func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
+	cfg := &cl.cfg
+	switch cfg.Mode {
+	case ModePSMR, ModeSMR:
+		rep, err := core.StartReplica(core.ReplicaConfig{
+			ReplicaID:    r,
+			Workers:      cfg.Workers,
+			Service:      cfg.NewService(),
+			Groups:       cl.groups,
+			Transport:    cfg.Transport,
+			MergeWeight:  cfg.MergeWeight,
+			Checkpoint:   cfg.Checkpoint,
+			RecoverPeers: peers,
+			CPU:          cfg.CPU,
+		})
+		if err != nil {
+			return fmt.Errorf("psmr: start replica %d: %w", r, err)
+		}
+		cl.replicas[r] = rep
+	case ModeSPSMR:
+		if cfg.Optimistic {
+			rep, err := optimistic.StartReplica(optimistic.ReplicaConfig{
+				ReplicaID:    r,
+				Workers:      cfg.Workers,
+				Service:      cfg.NewService(),
+				Spec:         cfg.Spec,
+				Group:        cl.groups[0],
+				Transport:    cfg.Transport,
+				Scheduler:    cfg.Scheduler,
+				Tuning:       cfg.SchedTuning,
+				QueueBound:   cfg.SchedulerQueue,
+				ReorderEvery: cfg.OptimisticReorder,
+				Checkpoint:   cfg.Checkpoint,
+				RecoverPeers: peers,
+				CPU:          cfg.CPU,
+			})
+			if err != nil {
+				return fmt.Errorf("psmr: start optimistic replica %d: %w", r, err)
+			}
+			cl.optRepl[r] = rep
+			return nil
+		}
+		rep, err := spsmr.StartReplica(spsmr.ReplicaConfig{
+			ReplicaID:    r,
+			Workers:      cfg.Workers,
+			Service:      cfg.NewService(),
+			Spec:         cfg.Spec,
+			Group:        cl.groups[0],
+			Transport:    cfg.Transport,
+			Scheduler:    cfg.Scheduler,
+			QueueBound:   cfg.SchedulerQueue,
+			Tuning:       cfg.SchedTuning,
+			Checkpoint:   cfg.Checkpoint,
+			RecoverPeers: peers,
+			CPU:          cfg.CPU,
+		})
+		if err != nil {
+			return fmt.Errorf("psmr: start sp-smr replica %d: %w", r, err)
+		}
+		cl.schedRepl[r] = rep
 	}
 	return nil
 }
@@ -469,6 +520,51 @@ func (cl *Cluster) CrashReplica(r int) {
 	}
 }
 
+// RestartReplica restarts a crashed (or still-running — it is closed
+// first) replica from its live peers: the new service instance
+// (Config.NewService) restores the newest peer checkpoint, replays the
+// decided suffix, and rejoins live delivery. Requires
+// Config.Checkpoint enabled.
+func (cl *Cluster) RestartReplica(r int) error {
+	cfg := &cl.cfg
+	if !cfg.Checkpoint.Enabled() {
+		return fmt.Errorf("psmr: RestartReplica requires Config.Checkpoint enabled")
+	}
+	if r < 0 || r >= cfg.Replicas {
+		return fmt.Errorf("psmr: replica %d outside [0,%d)", r, cfg.Replicas)
+	}
+	cl.CrashReplica(r) // idempotent: frees the replica's endpoints
+	var peers []transport.Addr
+	for o := 0; o < cfg.Replicas; o++ {
+		if o != r {
+			peers = append(peers, checkpoint.ServerAddr(o))
+		}
+	}
+	return cl.startReplica(r, peers)
+}
+
+// CheckpointCounters returns each replica's checkpoint statistics
+// (zero-valued unless Config.Checkpoint is enabled).
+func (cl *Cluster) CheckpointCounters() []CheckpointCounters {
+	var counters []CheckpointCounters
+	for _, rep := range cl.replicas {
+		if rep != nil {
+			counters = append(counters, rep.CheckpointCounters())
+		}
+	}
+	for _, rep := range cl.schedRepl {
+		if rep != nil {
+			counters = append(counters, rep.CheckpointCounters())
+		}
+	}
+	for _, rep := range cl.optRepl {
+		if rep != nil {
+			counters = append(counters, rep.CheckpointCounters())
+		}
+	}
+	return counters
+}
+
 // OptimisticCounters returns each optimistic replica's speculation
 // counters (empty unless Config.Optimistic).
 func (cl *Cluster) OptimisticCounters() []OptimisticCounters {
@@ -486,13 +582,19 @@ func (cl *Cluster) Close() error {
 	}
 	cl.closed = true
 	for _, rep := range cl.replicas {
-		_ = rep.Close()
+		if rep != nil {
+			_ = rep.Close()
+		}
 	}
 	for _, rep := range cl.schedRepl {
-		_ = rep.Close()
+		if rep != nil {
+			_ = rep.Close()
+		}
 	}
 	for _, rep := range cl.optRepl {
-		_ = rep.Close()
+		if rep != nil {
+			_ = rep.Close()
+		}
 	}
 	for _, co := range cl.coords {
 		_ = co.Close()

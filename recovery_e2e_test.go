@@ -1,0 +1,268 @@
+package psmr_test
+
+// End-to-end crash/restart recovery: a replica is killed mid-workload,
+// the cluster keeps serving, and the replica is restarted from a live
+// peer — snapshot restore plus decided-suffix replay — after which it
+// must converge to byte-identical fingerprints with the survivors.
+// Covered across sP-SMR (scan and index engines), optimistic sP-SMR
+// (both engines — checkpoints must capture only order-confirmed
+// state), and classic SMR (the core replica's inline checkpoint path).
+// Runs under `make race` with a scaled-down workload.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/kvstore"
+)
+
+const (
+	recTestKeys    = 64
+	recTestWorkers = 3
+)
+
+func TestCrashRestartConvergence(t *testing.T) {
+	variants := []struct {
+		name       string
+		mode       psmr.Mode
+		scheduler  psmr.SchedulerKind
+		optimistic bool
+	}{
+		{name: "spsmr-scan", mode: psmr.ModeSPSMR, scheduler: psmr.SchedScan},
+		{name: "spsmr-index", mode: psmr.ModeSPSMR, scheduler: psmr.SchedIndex},
+		{name: "optimistic-scan", mode: psmr.ModeSPSMR, scheduler: psmr.SchedScan, optimistic: true},
+		{name: "optimistic-index", mode: psmr.ModeSPSMR, scheduler: psmr.SchedIndex, optimistic: true},
+		{name: "smr", mode: psmr.ModeSMR},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			runCrashRestart(t, v.mode, v.scheduler, v.optimistic)
+		})
+	}
+}
+
+func runCrashRestart(t *testing.T, mode psmr.Mode, scheduler psmr.SchedulerKind, optimistic bool) {
+	t.Helper()
+	var (
+		mu     sync.Mutex
+		stores []*markedStore
+	)
+	const interval = 20
+	cl, err := psmr.StartCluster(psmr.Config{
+		Mode:       mode,
+		Workers:    recTestWorkers,
+		Scheduler:  scheduler,
+		Optimistic: optimistic,
+		Spec:       kvstore.Spec(),
+		Checkpoint: psmr.CheckpointConfig{Interval: interval},
+		NewService: func() command.Service {
+			mu.Lock()
+			defer mu.Unlock()
+			st := kvstore.New()
+			st.Preload(recTestKeys)
+			ms := &markedStore{Store: st}
+			stores = append(stores, ms)
+			return ms
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+
+	clients, opsPerPhase := 3, 30
+	if raceEnabled {
+		clients, opsPerPhase = 2, 12
+	}
+
+	// runPhase drives one workload phase to completion on all clients.
+	runPhase := func(phase int) {
+		var wg sync.WaitGroup
+		errCh := make(chan error, clients)
+		for c := 0; c < clients; c++ {
+			inv, err := cl.NewClientID(uint64(phase*100 + c + 1))
+			if err != nil {
+				t.Fatalf("NewClient: %v", err)
+			}
+			t.Cleanup(func() { _ = inv.Close() })
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(phase*1000 + c)))
+				const half = recTestKeys / 2
+				for i := 0; i < opsPerPhase; i++ {
+					var err error
+					switch rng.Intn(10) {
+					case 0, 1, 2:
+						_, err = inv.Invoke(kvstore.CmdTransfer,
+							kvstore.EncodeTransfer(rng.Uint64()%half, rng.Uint64()%half, rng.Uint64()%5))
+					case 3, 4:
+						val := binary.LittleEndian.AppendUint64(nil, rng.Uint64())
+						_, err = inv.Invoke(kvstore.CmdUpdate,
+							kvstore.EncodeKeyValue(half+rng.Uint64()%half, val))
+					default:
+						_, err = inv.Invoke(kvstore.CmdRead, kvstore.EncodeKey(rng.Uint64()%recTestKeys))
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("phase %d client %d op %d: %w", phase, c, i, err)
+						return
+					}
+				}
+				errCh <- nil
+			}(c)
+		}
+		wg.Wait()
+		for c := 0; c < clients; c++ {
+			if err := <-errCh; err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Phase 1: both replicas live; enough traffic to cross several
+	// checkpoint intervals.
+	runPhase(1)
+	// Phase 2: replica 1 is dead; the cluster keeps serving and
+	// replica 0 keeps checkpointing past replica 1's last position.
+	cl.CrashReplica(1)
+	runPhase(2)
+
+	// Restart replica 1 from replica 0's newest snapshot + suffix.
+	if err := cl.RestartReplica(1); err != nil {
+		t.Fatalf("RestartReplica: %v", err)
+	}
+	mu.Lock()
+	if len(stores) != 3 {
+		mu.Unlock()
+		t.Fatalf("expected a fresh service for the restarted replica, have %d", len(stores))
+	}
+	live, recovered := stores[0], stores[2]
+	mu.Unlock()
+
+	ck := cl.CheckpointCounters()
+	if len(ck) != 2 || ck[1].Restores != 1 {
+		t.Fatalf("recovered replica did not restore from a peer: %+v", ck)
+	}
+	if ck[1].RestoredCommands == 0 {
+		t.Fatalf("recovery replayed the whole history instead of restoring a snapshot: %+v", ck)
+	}
+	if ck[0].Checkpoints == 0 || ck[0].LastBytes == 0 {
+		t.Fatalf("live replica never checkpointed: %+v", ck)
+	}
+
+	// Phase 3: the recovered replica serves live traffic again.
+	runPhase(3)
+
+	// Quiesce: a global-barrier marker insert, executed on BOTH
+	// replicas; under speculation additionally require every decided
+	// command to be order-CONFIRMED on both (the reconciler is
+	// sequential, so a confirmed tail implies a confirmed prefix).
+	inv, err := cl.NewClientID(9999)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = inv.Close() })
+	if out, err := inv.Invoke(kvstore.CmdInsert,
+		kvstore.EncodeKeyValue(recTestKeys+1, kvstore.EncodeKey(1))); err != nil || out[0] != kvstore.OK {
+		t.Fatalf("marker insert: %v %v", err, out)
+	}
+	totalDecided := uint64(3*clients*opsPerPhase + 1)
+	waitForCondition(t, 15*time.Second, func() bool {
+		if live.inserts.Load() < 1 || recovered.inserts.Load() < 1 {
+			return false
+		}
+		if !optimistic {
+			return true
+		}
+		cs := cl.OptimisticCounters()
+		if len(cs) != 2 {
+			return false
+		}
+		restored := cl.CheckpointCounters()[1].RestoredCommands
+		return cs[0].Decided() >= totalDecided && cs[1].Decided() >= totalDecided-restored
+	}, func() string {
+		return fmt.Sprintf("marker inserts %d/%d, optimistic counters %v (want %d decided)",
+			live.inserts.Load(), recovered.inserts.Load(), cl.OptimisticCounters(), totalDecided)
+	})
+
+	if f0, f1 := live.Fingerprint(), recovered.Fingerprint(); f0 != f1 {
+		t.Fatalf("recovered replica diverged: %x vs live %x (checkpoints: %+v)", f1, f0, cl.CheckpointCounters())
+	}
+	// The original replica-1 store must have stopped cold at the crash
+	// (its state is NOT the converged one — recovery really rebuilt a
+	// fresh service from snapshot + replay).
+	if stores[1].Fingerprint() == live.Fingerprint() {
+		t.Log("note: crashed store coincidentally matches (tiny workload); recovery path still verified via counters")
+	}
+}
+
+// A replica restarted BEFORE any checkpoint exists recovers by full
+// suffix replay: the enabled retain floor pins the peers' logs at
+// instance 0 until the first snapshot, so nothing is lost.
+func TestRestartBeforeFirstCheckpoint(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		stores []*markedStore
+	)
+	cl, err := psmr.StartCluster(psmr.Config{
+		Mode:      psmr.ModeSPSMR,
+		Workers:   2,
+		Scheduler: psmr.SchedIndex,
+		Spec:      kvstore.Spec(),
+		// Interval far beyond the workload: no checkpoint ever taken.
+		Checkpoint: psmr.CheckpointConfig{Interval: 1 << 20},
+		NewService: func() command.Service {
+			mu.Lock()
+			defer mu.Unlock()
+			st := kvstore.New()
+			st.Preload(16)
+			ms := &markedStore{Store: st}
+			stores = append(stores, ms)
+			return ms
+		},
+	})
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { _ = cl.Close() })
+
+	inv, err := cl.NewClient()
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	t.Cleanup(func() { _ = inv.Close() })
+	for i := 0; i < 10; i++ {
+		if out, err := inv.Invoke(kvstore.CmdTransfer, kvstore.EncodeTransfer(1, 2, 1)); err != nil || out[0] != kvstore.OK {
+			t.Fatalf("transfer %d: %v %v", i, err, out)
+		}
+	}
+	cl.CrashReplica(1)
+	if err := cl.RestartReplica(1); err != nil {
+		t.Fatalf("RestartReplica: %v", err)
+	}
+	ck := cl.CheckpointCounters()
+	if len(ck) != 2 || ck[1].Restores != 0 || ck[1].RestoredCommands != 0 {
+		t.Fatalf("suffix-only recovery should not count a snapshot restore: %+v", ck)
+	}
+	if out, err := inv.Invoke(kvstore.CmdInsert,
+		kvstore.EncodeKeyValue(20, kvstore.EncodeKey(1))); err != nil || out[0] != kvstore.OK {
+		t.Fatalf("marker insert: %v %v", err, out)
+	}
+	mu.Lock()
+	live, recovered := stores[0], stores[2]
+	mu.Unlock()
+	waitForCondition(t, 10*time.Second, func() bool {
+		return live.inserts.Load() >= 1 && recovered.inserts.Load() >= 1
+	}, func() string {
+		return fmt.Sprintf("marker inserts %d/%d", live.inserts.Load(), recovered.inserts.Load())
+	})
+	if f0, f1 := live.Fingerprint(), recovered.Fingerprint(); f0 != f1 {
+		t.Fatalf("suffix-only recovery diverged: %x vs %x", f1, f0)
+	}
+}
