@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation recovery-ablation
+.PHONY: verify vet build test no-legacy-rollback race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation
 
-verify: vet build test
+verify: vet build test no-legacy-rollback
 
 vet:
 	$(GO) vet ./...
@@ -15,6 +15,16 @@ build:
 
 test:
 	$(GO) test ./...
+
+# The undo-record/clone-replay rollback model is gone: non-test code
+# must not reference the deleted command.Undoable/command.Cloneable
+# interfaces (speculation rolls back through versioned stores —
+# internal/mvstore — since the multi-version refactor).
+no-legacy-rollback:
+	@if git ls-files '*.go' | grep -v '_test\.go$$' | xargs grep -n 'command\.\(Undoable\|Cloneable\)' 2>/dev/null; then \
+		echo "verify: non-test code references the deleted command.Undoable/Cloneable rollback model"; \
+		exit 1; \
+	fi
 
 # Race-detector pass over the whole module (the root e2e suite scales
 # its workloads down under -race; see raceEnabled in race_test.go).
@@ -49,6 +59,14 @@ multikey-ablation:
 # hit-rate and rollback counters.
 optimistic-ablation:
 	$(GO) run ./cmd/psmr-bench -exp optimistic
+
+# Rollback-model ablation: decided-path baseline vs mvstore epoch
+# abort vs abort+re-speculation under forced optimistic reordering at
+# 0/10/50% collision; emits BENCH_rollback.json alongside the printed
+# rows. The netfs abort-cost-vs-store-size half of the story is
+# BenchmarkRollbackDepth (`make bench`).
+rollback-ablation:
+	$(GO) run ./cmd/psmr-bench -exp rollback
 
 # Checkpoint/recovery ablation: coordinated on-barrier snapshots at
 # interval off/1k/8k/64k decided commands x scan/index engines;

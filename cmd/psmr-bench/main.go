@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|checkpoint|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|rollback|checkpoint|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -70,6 +71,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runMultiKey(scale, threads)
 	case "optimistic":
 		return runOptimistic(scale, threads)
+	case "rollback":
+		return runRollback(scale, threads)
 	case "checkpoint":
 		return runCheckpoint(scale, threads)
 	case "all":
@@ -85,6 +88,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runAdmit(scale, threads) },
 			func() error { return runMultiKey(scale, threads) },
 			func() error { return runOptimistic(scale, threads) },
+			func() error { return runRollback(scale, threads) },
 			func() error { return runCheckpoint(scale, threads) },
 		} {
 			if err := fn(); err != nil {
@@ -248,6 +252,99 @@ func runOptimistic(scale Scale, threads int) error {
 		printCDF(res)
 	}
 	fmt.Println()
+	return nil
+}
+
+// runRollback runs the rollback-model ablation: the decided-path
+// baseline (speculation off) against mvstore speculation under forced
+// optimistic/decided reordering, without and with re-speculation, at
+// 0/10/50% workload collision. Every rollback goes through the
+// versioned-store epoch abort (O(touched keys)); the rows report the
+// rollback and re-speculation counters alongside throughput. Besides
+// printing, the rows are written to BENCH_rollback.json so the
+// ablation is diffable across runs. The store-size side of the
+// rollback story (netfs abort cost flat vs state size) is the root
+// BenchmarkRollbackDepth microbench.
+func runRollback(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Rollback ablation — decided-path baseline vs mvstore epoch\n")
+	fmt.Printf("abort vs abort+re-speculation (sP-SMR/index, %d workers;\n", threads)
+	fmt.Println(" forced optimistic reordering; 0/10/50% collision workload)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.RollbackAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("rollback %s opt=%v respec=%v: %w",
+				setup.Tag, setup.Optimistic, setup.ReSpeculate, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		if res.Extra != nil {
+			fmt.Printf("    speculation: hit-rate=%.1f%% rollbacks=%.0f rolled-back=%.0f max-depth=%.0f re-speculated=%.0f\n",
+				100*res.Extra["opt_hit_rate"], res.Extra["opt_rollbacks"],
+				res.Extra["opt_rolled_back"], res.Extra["opt_max_rb_depth"],
+				res.Extra["opt_respecs"])
+		}
+	}
+	fmt.Println()
+	for _, col := range []string{"col=0%", "col=10%", "col=50%"} {
+		base := kcps["sP-SMR/index "+col]
+		for _, row := range [][2]string{
+			{"sP-SMR/index+opt " + col, "abort"},
+			{"sP-SMR/index+opt+respec " + col, "abort+respec"},
+		} {
+			if on := kcps[row[0]]; base > 0 && on > 0 {
+				fmt.Printf("  %-8s %-13s speculative/decided throughput: %.2fx\n", col, row[1], on/base)
+			}
+		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	if err := writeRollbackJSON("BENCH_rollback.json", results); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_rollback.json")
+	fmt.Println()
+	return nil
+}
+
+// benchRow is the JSON shape of one ablation row: the identifying
+// technique string, throughput, latency summary and the raw Extra
+// counters (speculation/rollback statistics for the rollback rows).
+type benchRow struct {
+	Technique string             `json:"technique"`
+	Threads   int                `json:"threads"`
+	Kcps      float64            `json:"kcps"`
+	MeanUs    float64            `json:"mean_us"`
+	P99Us     float64            `json:"p99_us"`
+	Extra     map[string]float64 `json:"extra,omitempty"`
+}
+
+func writeRollbackJSON(path string, results []*bench.Result) error {
+	rows := make([]benchRow, 0, len(results))
+	for _, res := range results {
+		row := benchRow{
+			Technique: res.Technique,
+			Threads:   res.Threads,
+			Kcps:      res.Kcps(),
+			Extra:     res.Extra,
+		}
+		if res.Latency != nil && res.Latency.Count() > 0 {
+			row.MeanUs = float64(res.Latency.Mean().Microseconds())
+			row.P99Us = float64(res.Latency.Quantile(0.99).Microseconds())
+		}
+		rows = append(rows, row)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal %s: %w", path, err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
 	return nil
 }
 

@@ -23,15 +23,13 @@
 // cross-replica state check.
 //
 // Under optimistic execution the engine barrier is not sufficient: the
-// speculative state may contain effects of commands consensus has not
-// sanctioned. The optimistic executor therefore quiesces differently —
-// it drains the engine, withdraws every unconfirmed speculation (undo
-// records, in reverse execution order), snapshots the then
-// order-confirmed state, and re-applies the withdrawn speculations —
-// or, on a Cloneable service, snapshots the committed copy, which by
-// construction holds exactly the order-confirmed prefix. Either way a
-// ghost (an optimistically delivered, never-decided value) can never
-// leak into a snapshot.
+// speculative overlay may contain effects of commands consensus has
+// not sanctioned. But speculative writes live as UNCOMMITTED versions
+// in the service's multi-version stores (internal/mvstore), and
+// Snapshot reads only committed versions — by construction exactly the
+// order-confirmed prefix — so the optimistic executor snapshots
+// without any quiesce at all, and a ghost (an optimistically
+// delivered, never-decided value) can never leak into a snapshot.
 //
 // # Stable checkpoints and log truncation
 //

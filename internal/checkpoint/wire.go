@@ -38,8 +38,8 @@ func (b *Bootstrap) Start() uint64 {
 
 // Recover bootstraps a restarting replica's service from live peers:
 // fetch the newest checkpoint plus decided suffix, restore the
-// service. Call it BEFORE starting the learner (and, for Cloneable
-// optimistic services, before the executor clones its committed copy).
+// service. Call it BEFORE starting the learner (and, for optimistic
+// replicas, before any speculation is admitted).
 func Recover(cfg Config, tr transport.Transport, peers []transport.Addr, replicaID int,
 	timeout time.Duration, svc command.Service) (*Bootstrap, error) {
 	if !cfg.Enabled() {

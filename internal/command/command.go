@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"github.com/psmr/psmr/internal/mvstore"
 	"github.com/psmr/psmr/internal/transport"
 )
 
@@ -28,21 +29,38 @@ type Service interface {
 	Execute(cmd ID, input []byte) []byte
 }
 
-// Undoable is a state machine that can reverse individual commands:
-// ExecuteUndo applies a command like Execute but additionally returns
-// an undo closure that restores the state the command observed.
+// Versioned is a state machine whose state lives behind multi-version
+// stores (internal/mvstore): speculative executions land their writes
+// as uncommitted versions tagged with a speculation epoch, reads
+// resolve through (newest uncommitted | committed tip), Commit
+// promotes an epoch's versions into committed state and Abort drops
+// them — in O(keys the epoch touched), independent of store size.
+//
 // Optimistic execution uses it to speculate on the unordered stream
 // and roll back the minimal conflicting suffix when the decided order
-// disagrees. Undo closures are applied in reverse execution order and
-// only ever interleave with undos of NON-conflicting commands, so an
-// implementation needs to capture exactly the state its command
-// overwrote (per-command undo records), nothing more. A nil undo means
-// the command changed no state (a read).
-type Undoable interface {
+// disagrees: the executor assigns each admitted command a fresh epoch,
+// runs it via SpeculateAt, then Commits the epoch when the decided
+// order confirms the speculation or Aborts it (newest-first across the
+// tainted suffix) when it does not. Epoch mvstore.Committed executes
+// directly against committed state — the non-speculative path.
+//
+// Callers guarantee conflict-serial execution: two commands touching
+// the same key never run SpeculateAt concurrently, and Abort only runs
+// on a quiesced machine, newest-epoch-first. See the mvstore package
+// doc for why that makes the read rule and commit/abort sound.
+type Versioned interface {
 	Service
-	// ExecuteUndo applies cmd and returns its output plus the undo
-	// record reversing its mutation (nil for read-only commands).
-	ExecuteUndo(cmd ID, input []byte) (output []byte, undo func())
+	// SpeculateAt applies cmd at epoch e and returns its output.
+	// SpeculateAt(Committed, ...) must be equivalent to Execute.
+	SpeculateAt(e mvstore.Epoch, cmd ID, input []byte) []byte
+	// Commit promotes epoch e's uncommitted versions into the
+	// committed state.
+	Commit(e mvstore.Epoch)
+	// Abort drops epoch e's uncommitted versions.
+	Abort(e mvstore.Epoch)
+	// Uncommitted reports the total number of uncommitted versions
+	// across the service's stores (0 on a fully reconciled machine).
+	Uncommitted() int
 }
 
 // Snapshotter is a state machine whose whole state can be serialized
@@ -65,18 +83,6 @@ type Snapshotter interface {
 	Snapshot() []byte
 	// Restore replaces the state with a previously taken snapshot.
 	Restore(snap []byte) error
-}
-
-// Cloneable is a state machine that can deep-copy itself. Optimistic
-// execution falls back to it when a service is not Undoable: commands
-// speculate on a clone and rollback re-derives the clone from the
-// committed copy (re-execution-from-last-commit), so the service never
-// needs per-command undo records. The clone must share no mutable
-// state with the original.
-type Cloneable interface {
-	Service
-	// Clone returns a deep copy of the current state.
-	Clone() Service
 }
 
 // Gamma is a destination set of worker threads encoded as a bitset:

@@ -89,6 +89,10 @@ type KVSetup struct {
 	// OptimisticReorder is the optimistic-stream perturbation knob
 	// (swap every Nth optimistic batch), for rollback-path ablations.
 	OptimisticReorder int
+	// ReSpeculate re-admits rollback collateral as fresh speculations
+	// (requires Optimistic); the result's Extra map then carries the
+	// re-speculation counter.
+	ReSpeculate bool
 	// CheckpointInterval enables coordinated checkpoints every N
 	// decided commands (0 = off); the result's Extra map then carries
 	// checkpoint count, quiesce-pause and snapshot-size columns.
@@ -169,8 +173,9 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			Placement:         setup.Placement,
 			Scheduler:         setup.Scheduler,
 			SchedTuning:       setup.Tuning,
-			Optimistic:        setup.Optimistic,
-			OptimisticReorder: setup.OptimisticReorder,
+			Optimistic:            setup.Optimistic,
+			OptimisticReorder:     setup.OptimisticReorder,
+			OptimisticReSpeculate: setup.ReSpeculate,
 			Checkpoint:        psmr.CheckpointConfig{Interval: setup.CheckpointInterval},
 			CPU:               cpu,
 		})
@@ -267,6 +272,9 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	if setup.Optimistic {
 		tech += "+opt"
 	}
+	if setup.ReSpeculate {
+		tech += "+respec"
+	}
 	if setup.TagTuning {
 		tech += " " + setup.Tuning.Label()
 	}
@@ -314,6 +322,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			"opt_rolled_back":  float64(agg.RolledBack),
 			"opt_max_rb_depth": float64(agg.MaxRollbackDepth),
 			"opt_ghosts":       float64(agg.GhostEvictions),
+			"opt_respecs":      float64(agg.ReSpeculations),
 		} {
 			res.Extra[k] = v
 		}

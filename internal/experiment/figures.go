@@ -314,6 +314,48 @@ func OptimisticAblationSetups(scale Scale, threads int) []KVSetup {
 	return setups
 }
 
+// RollbackAblationSetups returns the rollback-model ablation: sP-SMR
+// under collision-mix workloads (0/10/50% hot-set two-key transfers)
+// with speculation off (the decided-path baseline every speculative
+// row must beat), speculation on with forced optimistic/decided
+// reordering (every rollback goes through the mvstore epoch-abort
+// path — O(touched keys), not O(state) clone-replay), and the same
+// plus re-speculation (rollback collateral re-admitted against the
+// repaired state). The rows report hit-rate, rollback and
+// re-speculation counters in Result.Extra; psmr-bench additionally
+// writes them to BENCH_rollback.json. The netfs side of the rollback
+// story — abort cost flat in store size — is the root
+// BenchmarkRollbackDepth microbench, which a throughput sweep cannot
+// show.
+func RollbackAblationSetups(scale Scale, threads int) []KVSetup {
+	rows := []struct {
+		opt     bool
+		reorder int
+		reSpec  bool
+	}{
+		{opt: false},
+		{opt: true, reorder: 2},
+		{opt: true, reorder: 2, reSpec: true},
+	}
+	var setups []KVSetup
+	for _, collision := range []float64{0, 10, 50} {
+		for _, row := range rows {
+			pct := collision
+			setup := scale.kvSetup(SPSMR, threads)
+			setup.Gen = func(keys workload.KeyGen) workload.Generator {
+				return workload.KVCollisionMix(keys, pct)
+			}
+			setup.Scheduler = psmr.SchedIndex
+			setup.Optimistic = row.opt
+			setup.OptimisticReorder = row.reorder
+			setup.ReSpeculate = row.reSpec
+			setup.Tag = fmt.Sprintf("col=%g%%", pct)
+			setups = append(setups, setup)
+		}
+	}
+	return setups
+}
+
 // CheckpointAblationSetups returns the checkpoint-interval sweep:
 // sP-SMR under the 50/50 read/update kvstore workload with coordinated
 // checkpoints off / every 1k / 8k / 64k decided commands, on both

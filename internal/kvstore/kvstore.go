@@ -19,6 +19,7 @@ import (
 	"github.com/psmr/psmr/internal/btree"
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/mvstore"
 )
 
 // Command identifiers of the key-value store service.
@@ -58,11 +59,29 @@ const (
 // their own way).
 type Store struct {
 	tree *btree.Tree
+	// mv overlays the tree with per-key version chains for optimistic
+	// execution (command.Versioned). Non-speculative execution
+	// addresses the tree directly and never touches the overlay, so
+	// plain P-SMR/sP-SMR deployments keep the unsynchronized hot path.
+	mv *mvstore.Store[uint64, []byte]
+}
+
+// treeBase adapts the B+-tree to mvstore.Base so committed versions
+// promote straight into the tree.
+type treeBase struct{ t *btree.Tree }
+
+func (b treeBase) Get(k uint64) ([]byte, bool) { return b.t.Get(k) }
+func (b treeBase) Put(k uint64, v []byte)      { b.t.Insert(k, v) }
+func (b treeBase) Delete(k uint64) bool        { return b.t.Delete(k) }
+func (b treeBase) Len() int                    { return b.t.Len() }
+func (b treeBase) Range(fn func(k uint64, v []byte) bool) {
+	b.t.Ascend(fn)
 }
 
 // New creates an empty store.
 func New() *Store {
-	return &Store{tree: btree.New(btree.DefaultOrder)}
+	t := btree.New(btree.DefaultOrder)
+	return &Store{tree: t, mv: mvstore.New[uint64, []byte](treeBase{t}, nil)}
 }
 
 // Preload fills the store with n sequential keys (0..n-1), each mapped
@@ -179,7 +198,7 @@ func (s *Store) Execute(cmd command.ID, input []byte) []byte {
 }
 
 var _ command.Service = (*Store)(nil)
-var _ command.Undoable = (*Store)(nil)
+var _ command.Versioned = (*Store)(nil)
 var _ command.Snapshotter = (*Store)(nil)
 
 // snapshotVersion tags the store's snapshot encoding.
@@ -228,73 +247,104 @@ func (s *Store) Restore(snap []byte) error {
 		return fmt.Errorf("kvstore: %d trailing snapshot bytes", len(rest))
 	}
 	s.tree = tree
+	s.mv.Reset(treeBase{tree})
 	return nil
 }
 
-// ExecuteUndo implements command.Undoable: it applies cmd exactly like
-// Execute and returns a per-command undo record restoring the values
-// the command overwrote. Undo records run under the same concurrency
-// contract as execution (the optimistic executor drains the engine
-// before rolling back, so an undo never races a conflicting command)
-// and are applied in reverse execution order, so capturing the
-// overwritten leaf values is sufficient — tree restructuring by
-// insert/delete is reversed by the mirror operation.
-func (s *Store) ExecuteUndo(cmd command.ID, input []byte) ([]byte, func()) {
+// SpeculateAt implements command.Versioned: it applies cmd exactly
+// like Execute but lands every write as an uncommitted version owned
+// by epoch e, reading through (newest uncommitted | committed tip).
+// Commit(e) then promotes the versions into the tree; Abort(e) drops
+// them — either way in O(keys the command touched).
+func (s *Store) SpeculateAt(e mvstore.Epoch, cmd command.ID, input []byte) []byte {
+	if e == mvstore.Committed {
+		return s.Execute(cmd, input)
+	}
 	switch cmd {
 	case CmdInsert:
-		key, _, ok := decodeKeyValue(input)
+		key, value, ok := decodeKeyValue(input)
 		if !ok {
-			return s.Execute(cmd, input), nil
+			return []byte{ErrNotFound}
 		}
-		old, existed := s.tree.Get(key)
-		out := s.Execute(cmd, input)
-		if existed {
-			return out, func() { s.tree.Update(key, old) }
-		}
-		return out, func() { s.tree.Delete(key) }
+		s.mv.Put(e, key, value)
+		return []byte{OK}
 	case CmdDelete:
 		key, ok := decodeKey(input)
+		if !ok || !s.mv.Delete(e, key) {
+			return []byte{ErrNotFound}
+		}
+		return []byte{OK}
+	case CmdRead:
+		key, ok := decodeKey(input)
 		if !ok {
-			return s.Execute(cmd, input), nil
+			return []byte{ErrNotFound}
 		}
-		old, existed := s.tree.Get(key)
-		out := s.Execute(cmd, input)
-		if !existed || out[0] != OK {
-			return out, nil
+		value, found := s.mv.Get(e, key)
+		if !found {
+			return []byte{ErrNotFound}
 		}
-		return out, func() { s.tree.Insert(key, old) }
+		out := make([]byte, 1+len(value))
+		out[0] = OK
+		copy(out[1:], value)
+		return out
 	case CmdUpdate:
-		key, _, ok := decodeKeyValue(input)
+		key, value, ok := decodeKeyValue(input)
 		if !ok {
-			return s.Execute(cmd, input), nil
+			return []byte{ErrNotFound}
 		}
-		old, existed := s.tree.Get(key)
-		out := s.Execute(cmd, input)
-		if !existed || out[0] != OK {
-			return out, nil
+		if _, found := s.mv.Get(e, key); !found {
+			return []byte{ErrNotFound}
 		}
-		return out, func() { s.tree.Update(key, old) }
+		s.mv.Put(e, key, value)
+		return []byte{OK}
+	case CmdMultiRead:
+		keys, ok := decodeMultiRead(input)
+		if !ok {
+			return []byte{ErrNotFound}
+		}
+		out := []byte{OK}
+		for _, key := range keys {
+			value, found := s.mv.Get(e, key)
+			if !found {
+				out = append(out, ErrNotFound)
+				out = binary.LittleEndian.AppendUint32(out, 0)
+				continue
+			}
+			out = append(out, OK)
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(value)))
+			out = append(out, value...)
+		}
+		return out
 	case CmdTransfer:
-		from, to, _, ok := decodeTransfer(input)
+		from, to, amount, ok := decodeTransfer(input)
 		if !ok {
-			return s.Execute(cmd, input), nil
+			return []byte{ErrNotFound}
 		}
-		oldFrom, okF := s.tree.Get(from)
-		oldTo, okT := s.tree.Get(to)
-		out := s.Execute(cmd, input)
-		if !okF || !okT || out[0] != OK || from == to {
-			return out, nil
+		vf, okF := s.mv.Get(e, from)
+		vt, okT := s.mv.Get(e, to)
+		if !okF || !okT || len(vf) < 8 || len(vt) < 8 {
+			return []byte{ErrNotFound}
 		}
-		return out, func() {
-			s.tree.Update(from, oldFrom)
-			s.tree.Update(to, oldTo)
+		if from == to {
+			return []byte{OK}
 		}
+		s.mv.Put(e, from, encodeValue(binary.LittleEndian.Uint64(vf)-amount))
+		s.mv.Put(e, to, encodeValue(binary.LittleEndian.Uint64(vt)+amount))
+		return []byte{OK}
 	default:
-		// Reads (single and snapshot) and unknown commands mutate
-		// nothing.
-		return s.Execute(cmd, input), nil
+		return []byte{ErrNotFound}
 	}
 }
+
+// Commit implements command.Versioned: promote epoch e's versions into
+// the B+-tree.
+func (s *Store) Commit(e mvstore.Epoch) { s.mv.Commit(e) }
+
+// Abort implements command.Versioned: drop epoch e's versions.
+func (s *Store) Abort(e mvstore.Epoch) { s.mv.Abort(e) }
+
+// Uncommitted implements command.Versioned.
+func (s *Store) Uncommitted() int { return s.mv.Uncommitted() }
 
 // Spec returns the service's C-Dep (paper §V-A, extended): "inserts and
 // deletes depend on all commands; an update on key k depends on other

@@ -15,6 +15,7 @@ package lz4
 import (
 	"encoding/binary"
 	"errors"
+	"sync"
 )
 
 // Compression/decompression errors.
@@ -52,11 +53,23 @@ func load32(b []byte, i int) uint32 {
 	return binary.LittleEndian.Uint32(b[i:])
 }
 
+// tablePool recycles the 256 KB match tables across CompressBlock
+// calls: allocating (and zeroing) one per block dominated the cost of
+// compressing small payloads and put every NetFS reply on the GC's
+// books. Pooled tables are NOT cleared between uses — candidate
+// positions are validated against the current block instead (see the
+// cand checks below), so stale entries are at worst missed matches
+// that the 4-byte equality test rejects.
+var tablePool = sync.Pool{
+	New: func() any { return new([1 << hashLog]int32) },
+}
+
 // CompressBlock compresses src into the LZ4 block format, appending to
 // dst (which may be nil). Incompressible input expands by at most
 // CompressBound; callers that need a raw fallback use Pack.
 func CompressBlock(dst, src []byte) []byte {
-	var table [1 << hashLog]int32 // position+1 of last occurrence
+	table := tablePool.Get().(*[1 << hashLog]int32) // position+1 of last occurrence
+	defer tablePool.Put(table)
 	n := len(src)
 	if n == 0 {
 		return append(dst, 0)
@@ -72,7 +85,11 @@ func CompressBlock(dst, src []byte) []byte {
 			h := hash4(uint64(u))
 			cand := int(table[h]) - 1
 			table[h] = int32(pos + 1)
-			if cand < 0 || pos-cand > maxOffset || load32(src, cand) != u {
+			// cand >= pos rejects stale pool entries pointing past the
+			// current scan position (a match source must be strictly
+			// earlier); together with the window and content checks this
+			// makes uncleared tables safe.
+			if cand < 0 || cand >= pos || pos-cand > maxOffset || load32(src, cand) != u {
 				step := searchTries >> skipStrengthLog
 				searchTries++
 				pos += step

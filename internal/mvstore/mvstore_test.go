@@ -1,0 +1,253 @@
+package mvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newMapStore() *Store[uint64, []byte] {
+	return New[uint64, []byte](MapBase[uint64, []byte]{}, nil)
+}
+
+func TestCommittedEpochAddressesBase(t *testing.T) {
+	s := newMapStore()
+	s.Put(Committed, 1, []byte("a"))
+	if v, ok := s.Get(Committed, 1); !ok || string(v) != "a" {
+		t.Fatalf("committed get = %q %v", v, ok)
+	}
+	if s.Uncommitted() != 0 {
+		t.Fatalf("committed put created versions: %d", s.Uncommitted())
+	}
+	if !s.Delete(Committed, 1) {
+		t.Fatal("committed delete missed")
+	}
+	if _, ok := s.Get(Committed, 1); ok {
+		t.Fatal("deleted key still visible")
+	}
+}
+
+func TestSpeculativeReadThroughAndCommit(t *testing.T) {
+	s := newMapStore()
+	s.Put(Committed, 1, []byte("base"))
+
+	const e Epoch = 7
+	// Read-through: epoch sees committed state it hasn't written.
+	if v, ok := s.Get(e, 1); !ok || string(v) != "base" {
+		t.Fatalf("read-through = %q %v", v, ok)
+	}
+	s.Put(e, 1, []byte("spec"))
+	s.Put(e, 2, []byte("new"))
+	if v, _ := s.Get(e, 1); string(v) != "spec" {
+		t.Fatalf("own write not visible: %q", v)
+	}
+	// Committed view unchanged until commit.
+	if v, _ := s.Get(Committed, 1); string(v) != "base" {
+		t.Fatalf("committed view leaked: %q", v)
+	}
+	if _, ok := s.Get(Committed, 2); ok {
+		t.Fatal("uncommitted insert visible at committed epoch")
+	}
+	if s.Uncommitted() != 2 {
+		t.Fatalf("uncommitted = %d, want 2", s.Uncommitted())
+	}
+
+	s.Commit(e)
+	if s.Uncommitted() != 0 || s.LiveEpochs() != 0 {
+		t.Fatalf("commit left versions: %d / %d", s.Uncommitted(), s.LiveEpochs())
+	}
+	if v, _ := s.Get(Committed, 1); string(v) != "spec" {
+		t.Fatalf("commit did not promote: %q", v)
+	}
+	if v, ok := s.Get(Committed, 2); !ok || string(v) != "new" {
+		t.Fatalf("commit did not promote insert: %q %v", v, ok)
+	}
+}
+
+func TestAbortDropsOnlyOwnVersions(t *testing.T) {
+	s := newMapStore()
+	s.Put(Committed, 1, []byte("base"))
+
+	s.Put(1, 1, []byte("e1"))
+	s.Put(2, 1, []byte("e2")) // stacked above e1
+	s.Put(2, 9, []byte("e2-only"))
+
+	s.Abort(2)
+	if v, ok := s.Get(3, 1); !ok || string(v) != "e1" {
+		t.Fatalf("after abort(2) top = %q %v, want e1", v, ok)
+	}
+	if _, ok := s.Get(3, 9); ok {
+		t.Fatal("aborted insert still visible")
+	}
+	s.Abort(1)
+	if v, _ := s.Get(3, 1); string(v) != "base" {
+		t.Fatalf("after abort(1) = %q, want base", v)
+	}
+	if s.Uncommitted() != 0 {
+		t.Fatalf("uncommitted = %d, want 0", s.Uncommitted())
+	}
+}
+
+func TestTombstoneSemantics(t *testing.T) {
+	s := newMapStore()
+	s.Put(Committed, 1, []byte("base"))
+
+	if !s.Delete(5, 1) {
+		t.Fatal("speculative delete of visible key reported miss")
+	}
+	if _, ok := s.Get(5, 1); ok {
+		t.Fatal("tombstoned key visible to its epoch")
+	}
+	if v, ok := s.Get(Committed, 1); !ok || string(v) != "base" {
+		t.Fatalf("committed key gone before commit: %q %v", v, ok)
+	}
+	if s.Delete(5, 1) {
+		t.Fatal("double delete reported hit")
+	}
+	// Mutate on a tombstone misses.
+	if _, ok := s.Mutate(6, 1); ok {
+		t.Fatal("mutate through tombstone succeeded")
+	}
+	s.Commit(5)
+	if _, ok := s.Get(Committed, 1); ok {
+		t.Fatal("commit did not apply delete")
+	}
+}
+
+func TestMutateClonesVisibleVersion(t *testing.T) {
+	clone := func(v []byte) []byte { return append([]byte(nil), v...) }
+	s := New[uint64, []byte](MapBase[uint64, []byte]{}, clone)
+	s.Put(Committed, 1, []byte("base"))
+
+	v, ok := s.Mutate(3, 1)
+	if !ok {
+		t.Fatal("mutate missed committed key")
+	}
+	v[0] = 'X'
+	if got, _ := s.Get(Committed, 1); string(got) != "base" {
+		t.Fatalf("mutate aliased committed value: %q", got)
+	}
+	if got, _ := s.Get(3, 1); string(got) != "Xase" {
+		t.Fatalf("mutated version lost: %q", got)
+	}
+	// Second Mutate by the same epoch returns the SAME version, no
+	// new chain entry.
+	if s.Uncommitted() != 1 {
+		t.Fatalf("uncommitted = %d, want 1", s.Uncommitted())
+	}
+	v2, _ := s.Mutate(3, 1)
+	v2[1] = 'Y'
+	if got, _ := s.Get(3, 1); string(got) != "XYse" {
+		t.Fatalf("in-place remutation lost: %q", got)
+	}
+	if s.Uncommitted() != 1 {
+		t.Fatalf("remutation grew chain: %d", s.Uncommitted())
+	}
+}
+
+func TestSameEpochWritesCollapse(t *testing.T) {
+	s := newMapStore()
+	for i := 0; i < 10; i++ {
+		s.Put(4, 1, []byte{byte(i)})
+	}
+	if s.Uncommitted() != 1 {
+		t.Fatalf("same-epoch writes kept %d versions, want 1", s.Uncommitted())
+	}
+	s.Commit(4)
+	if v, _ := s.Get(Committed, 1); v[0] != 9 {
+		t.Fatalf("last write lost: %v", v)
+	}
+}
+
+func TestRangeCommittedIgnoresSpeculation(t *testing.T) {
+	s := newMapStore()
+	s.Put(Committed, 1, []byte("a"))
+	s.Put(Committed, 2, []byte("b"))
+	s.Put(9, 2, []byte("spec"))
+	s.Put(9, 3, []byte("ghost"))
+	s.Delete(9, 1)
+
+	seen := map[uint64]string{}
+	s.RangeCommitted(func(k uint64, v []byte) bool {
+		seen[k] = string(v)
+		return true
+	})
+	want := map[uint64]string{1: "a", 2: "b"}
+	if len(seen) != len(want) || seen[1] != "a" || seen[2] != "b" {
+		t.Fatalf("committed range = %v, want %v", seen, want)
+	}
+	if s.CommittedLen() != 2 {
+		t.Fatalf("committed len = %d", s.CommittedLen())
+	}
+}
+
+// Out-of-order resolution must not corrupt chains: the implementation
+// searches for the epoch's version rather than assuming its position.
+func TestInterleavedCommitAbortSearchesChain(t *testing.T) {
+	s := newMapStore()
+	s.Put(Committed, 1, []byte("base"))
+	s.Put(1, 1, []byte("e1"))
+	s.Put(2, 1, []byte("e2"))
+	s.Put(3, 1, []byte("e3"))
+
+	s.Abort(2) // middle of the chain
+	s.Commit(1)
+	if v, _ := s.Get(Committed, 1); string(v) != "e1" {
+		t.Fatalf("committed = %q, want e1", v)
+	}
+	if v, _ := s.Get(4, 1); string(v) != "e3" {
+		t.Fatalf("surviving top = %q, want e3", v)
+	}
+	s.Commit(3)
+	if v, _ := s.Get(Committed, 1); string(v) != "e3" {
+		t.Fatalf("committed = %q, want e3", v)
+	}
+	if s.Uncommitted() != 0 || s.LiveEpochs() != 0 {
+		t.Fatalf("residue: %d versions, %d epochs", s.Uncommitted(), s.LiveEpochs())
+	}
+}
+
+func TestConcurrentEpochsDisjointKeys(t *testing.T) {
+	s := newMapStore()
+	const epochs = 16
+	var wg sync.WaitGroup
+	for e := 1; e <= epochs; e++ {
+		wg.Add(1)
+		go func(e int) {
+			defer wg.Done()
+			ep := Epoch(e)
+			for k := 0; k < 32; k++ {
+				key := uint64(e*1000 + k)
+				s.Put(ep, key, []byte(fmt.Sprintf("v%d", e)))
+				if v, ok := s.Get(ep, key); !ok || string(v) != fmt.Sprintf("v%d", e) {
+					panic("own write lost")
+				}
+			}
+			if e%2 == 0 {
+				s.Commit(ep)
+			} else {
+				s.Abort(ep)
+			}
+		}(e)
+	}
+	wg.Wait()
+	if s.Uncommitted() != 0 {
+		t.Fatalf("uncommitted residue: %d", s.Uncommitted())
+	}
+	if got, want := s.CommittedLen(), epochs/2*32; got != want {
+		t.Fatalf("committed len = %d, want %d", got, want)
+	}
+}
+
+func TestResetDropsOverlay(t *testing.T) {
+	s := newMapStore()
+	s.Put(7, 1, []byte("spec"))
+	nb := MapBase[uint64, []byte]{42: []byte("restored")}
+	s.Reset(nb)
+	if s.Uncommitted() != 0 {
+		t.Fatal("reset kept versions")
+	}
+	if v, ok := s.Get(Committed, 42); !ok || string(v) != "restored" {
+		t.Fatalf("reset base lost: %q %v", v, ok)
+	}
+}

@@ -26,9 +26,17 @@
 //     still allocate identical numbers. The per-path sequence is
 //     bumped only by same-path calls, which every scheduler
 //     serializes.
-//   - Structure locking: the path/fd tables are guarded by one RWMutex
-//     for map-structure safety; per-inode field access needs no lock
-//     because the schedulers serialize same-key commands.
+//   - Versioned state: the path table, descriptor table and
+//     allocation sequences live behind multi-version stores
+//     (internal/mvstore). Non-speculative execution addresses the
+//     committed tip; optimistic execution lands writes as uncommitted
+//     versions tagged with the command's speculation epoch, so a
+//     rollback aborts just the epoch's versions — O(paths touched),
+//     never a whole-state clone. The stores' internal locks replace
+//     the old FS-wide mutex for map-structure safety; per-inode field
+//     access needs no further locking because the schedulers
+//     serialize same-key commands and Mutate hands each speculating
+//     epoch its own deep copy of the inode it edits.
 //   - Declared-path verification: fd-based calls (read, write,
 //     release*) verify that the fd actually belongs to the path the
 //     client declared for routing; a mismatch is EBADF. Without this a
@@ -40,7 +48,8 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
-	"sync"
+
+	"github.com/psmr/psmr/internal/mvstore"
 )
 
 // Errno is a NetFS error code (a small subset of POSIX).
@@ -96,9 +105,9 @@ type Stat struct {
 	Atime int64
 }
 
-// inode is one file or directory. Field access is serialized by the
-// scheduler's key conflicts (same path, or parent for structural
-// calls); only the FS-level maps need their own lock.
+// inode is one file or directory. Committed inodes are only mutated by
+// committed execution (the schedulers serialize same-key commands);
+// speculating epochs edit their own deep copies via mvstore.Mutate.
 type inode struct {
 	ino   uint64
 	mode  uint32
@@ -111,45 +120,95 @@ type inode struct {
 
 func (n *inode) isDir() bool { return n.mode&ModeDir != 0 }
 
-// fdEntry is one entry of the shared file-descriptor table. The table's
-// map structure is guarded by FS.mu; an entry's inode is only touched
-// by calls keyed on the entry's path.
+// cloneInode is the mvstore clone func of the path table: a
+// speculating epoch's first mutation of an inode deep-copies it, so
+// committed state and other epochs never observe the edit.
+func cloneInode(n *inode) *inode {
+	c := &inode{
+		ino:   n.ino,
+		mode:  n.mode,
+		mtime: n.mtime,
+		atime: n.atime,
+		nlink: n.nlink,
+	}
+	if n.data != nil {
+		c.data = append([]byte(nil), n.data...)
+	}
+	if n.kids != nil {
+		c.kids = make(map[string]uint64, len(n.kids))
+		for name, ino := range n.kids {
+			c.kids[name] = ino
+		}
+	}
+	return c
+}
+
+// fdEntry is one entry of the shared file-descriptor table. It names
+// its inode by number, not pointer: fd-based calls re-resolve the
+// declared path and verify the inode number still matches, so a
+// descriptor whose file was unlinked (or unlinked and recreated) is
+// EBADF, and copy-on-write inode versions never strand a stale
+// pointer.
 type fdEntry struct {
-	n    *inode
 	path string
 	dir  bool
+	ino  uint64
 }
 
 // FS is the in-memory file system state. Its methods implement the
 // deterministic core of every NetFS command; all inputs (including
 // timestamps) come from the client so replicas stay identical.
+//
+// The exported methods execute against committed state; the *At
+// variants take a speculation epoch and implement optimistic
+// execution's versioned path (see the package doc).
 type FS struct {
-	mu sync.RWMutex
 	// paths maps full canonical paths to live inodes (flat resolution).
-	paths map[string]*inode
+	paths *mvstore.Store[string, *inode]
 	// fds is the shared descriptor table.
-	fds map[uint64]*fdEntry
+	fds *mvstore.Store[uint64, fdEntry]
 	// pathSeq is the per-path allocation sequence feeding deterministic
 	// ino/fd numbers. Entries are never removed: a recreated path keeps
 	// counting up, so numbers are never reused while an old descriptor
 	// could still be live.
-	pathSeq map[string]uint64
+	pathSeq *mvstore.Store[string, uint64]
 }
 
 // NewFS creates a file system holding only the root directory.
 func NewFS() *FS {
 	fs := &FS{
-		paths:   make(map[string]*inode),
-		fds:     make(map[uint64]*fdEntry),
-		pathSeq: make(map[string]uint64),
+		paths:   mvstore.New[string, *inode](mvstore.MapBase[string, *inode]{}, cloneInode),
+		fds:     mvstore.New[uint64, fdEntry](mvstore.MapBase[uint64, fdEntry]{}, nil),
+		pathSeq: mvstore.New[string, uint64](mvstore.MapBase[string, uint64]{}, nil),
 	}
-	fs.paths["/"] = &inode{
+	fs.paths.Put(mvstore.Committed, "/", &inode{
 		ino:   1,
 		mode:  ModeDir | 0o755,
 		kids:  make(map[string]uint64),
 		nlink: 2,
-	}
+	})
 	return fs
+}
+
+// Commit promotes epoch e's uncommitted versions across all three
+// stores into committed state.
+func (fs *FS) Commit(e mvstore.Epoch) {
+	fs.paths.Commit(e)
+	fs.fds.Commit(e)
+	fs.pathSeq.Commit(e)
+}
+
+// Abort drops epoch e's uncommitted versions across all three stores.
+func (fs *FS) Abort(e mvstore.Epoch) {
+	fs.paths.Abort(e)
+	fs.fds.Abort(e)
+	fs.pathSeq.Abort(e)
+}
+
+// Uncommitted reports the total uncommitted version count across the
+// three stores.
+func (fs *FS) Uncommitted() int {
+	return fs.paths.Uncommitted() + fs.fds.Uncommitted() + fs.pathSeq.Uncommitted()
 }
 
 // splitPath validates a CANONICAL path ("/a/b/c") and returns its
@@ -196,14 +255,13 @@ func pathHash(path string) uint64 {
 	return h.Sum64()
 }
 
-// allocSeq bumps path's allocation sequence. Callers hold the path's
-// scheduler key, so the sequence each invocation observes is
-// deterministic across replicas.
-func (fs *FS) allocSeq(path string) uint64 {
-	fs.mu.Lock()
-	seq := fs.pathSeq[path] + 1
-	fs.pathSeq[path] = seq
-	fs.mu.Unlock()
+// allocSeq bumps path's allocation sequence at epoch e. Callers hold
+// the path's scheduler key, so the sequence each invocation observes
+// is deterministic across replicas.
+func (fs *FS) allocSeq(e mvstore.Epoch, path string) uint64 {
+	seq, _ := fs.pathSeq.Get(e, path)
+	seq++
+	fs.pathSeq.Put(e, path, seq)
 	return seq
 }
 
@@ -230,21 +288,19 @@ func mixAlloc(x uint64) uint64 {
 	return x
 }
 
-// lookup resolves a canonical path to its live inode by flat map
-// lookup (never an ancestor walk — see the package doc).
-func (fs *FS) lookup(path string) *inode {
-	fs.mu.RLock()
-	n := fs.paths[path]
-	fs.mu.RUnlock()
+// lookup resolves a canonical path to its visible inode at epoch e by
+// flat map lookup (never an ancestor walk — see the package doc).
+func (fs *FS) lookup(e mvstore.Epoch, path string) *inode {
+	n, _ := fs.paths.Get(e, path)
 	return n
 }
 
-// resolve validates a path and resolves it.
-func (fs *FS) resolve(path string) (*inode, Errno) {
+// resolve validates a path and resolves it at epoch e.
+func (fs *FS) resolve(e mvstore.Epoch, path string) (*inode, Errno) {
 	if _, ok := splitPath(path); !ok {
 		return nil, ErrInval
 	}
-	n := fs.lookup(path)
+	n := fs.lookup(e, path)
 	if n == nil {
 		return nil, ErrNoEnt
 	}
@@ -253,27 +309,24 @@ func (fs *FS) resolve(path string) (*inode, Errno) {
 
 // createNode allocates an inode under the parent of path. The caller
 // holds the scheduler keys {path, parent}.
-func (fs *FS) createNode(path string, mode uint32, mtime int64) (*inode, Errno) {
+func (fs *FS) createNode(e mvstore.Epoch, path string, mode uint32, mtime int64) (*inode, Errno) {
 	parts, ok := splitPath(path)
 	if !ok || len(parts) == 0 {
 		return nil, ErrInval
 	}
 	name := parts[len(parts)-1]
-	fs.mu.RLock()
-	parent := fs.paths[ParentPath(path)]
-	exists := fs.paths[path]
-	fs.mu.RUnlock()
+	parent := fs.lookup(e, ParentPath(path))
 	if parent == nil {
 		return nil, ErrNoEnt
 	}
 	if !parent.isDir() {
 		return nil, ErrNotDir
 	}
-	if exists != nil {
+	if fs.lookup(e, path) != nil {
 		return nil, ErrExist
 	}
 	n := &inode{
-		ino:   inoFor(path, fs.allocSeq(path)),
+		ino:   inoFor(path, fs.allocSeq(e, path)),
 		mode:  mode,
 		mtime: mtime,
 		atime: mtime,
@@ -282,125 +335,157 @@ func (fs *FS) createNode(path string, mode uint32, mtime int64) (*inode, Errno) 
 	if n.isDir() {
 		n.kids = make(map[string]uint64)
 		n.nlink = 2
-		parent.nlink++
 	}
-	fs.mu.Lock()
-	fs.paths[path] = n
-	fs.mu.Unlock()
-	parent.kids[name] = n.ino
-	parent.mtime = mtime
+	// Version the parent for this epoch before editing it.
+	p, _ := fs.paths.Mutate(e, ParentPath(path))
+	if n.isDir() {
+		p.nlink++
+	}
+	p.kids[name] = n.ino
+	p.mtime = mtime
+	fs.paths.Put(e, path, n)
 	return n, OK
+}
+
+// MknodAt creates an empty file at epoch e.
+func (fs *FS) MknodAt(e mvstore.Epoch, path string, mode uint32, mtime int64) Errno {
+	_, errno := fs.createNode(e, path, mode&^ModeDir, mtime)
+	return errno
 }
 
 // Mknod creates an empty file.
 func (fs *FS) Mknod(path string, mode uint32, mtime int64) Errno {
-	_, errno := fs.createNode(path, mode&^ModeDir, mtime)
+	return fs.MknodAt(mvstore.Committed, path, mode, mtime)
+}
+
+// MkdirAt creates a directory at epoch e.
+func (fs *FS) MkdirAt(e mvstore.Epoch, path string, mode uint32, mtime int64) Errno {
+	_, errno := fs.createNode(e, path, mode|ModeDir, mtime)
 	return errno
 }
 
 // Mkdir creates a directory.
 func (fs *FS) Mkdir(path string, mode uint32, mtime int64) Errno {
-	_, errno := fs.createNode(path, mode|ModeDir, mtime)
-	return errno
+	return fs.MkdirAt(mvstore.Committed, path, mode, mtime)
+}
+
+// CreateAt makes a file and opens it at epoch e, returning the new fd.
+func (fs *FS) CreateAt(e mvstore.Epoch, path string, mode uint32, mtime int64) (uint64, Errno) {
+	n, errno := fs.createNode(e, path, mode&^ModeDir, mtime)
+	if errno != OK {
+		return 0, errno
+	}
+	return fs.allocFD(e, path, false, n.ino), OK
 }
 
 // Create makes a file and opens it, returning the new fd.
 func (fs *FS) Create(path string, mode uint32, mtime int64) (uint64, Errno) {
-	n, errno := fs.createNode(path, mode&^ModeDir, mtime)
-	if errno != OK {
-		return 0, errno
-	}
-	return fs.allocFD(n, path, false), OK
+	return fs.CreateAt(mvstore.Committed, path, mode, mtime)
 }
 
-// Open opens an existing file and returns an fd.
-func (fs *FS) Open(path string) (uint64, Errno) {
-	n, errno := fs.resolve(path)
+// OpenAt opens an existing file at epoch e and returns an fd.
+func (fs *FS) OpenAt(e mvstore.Epoch, path string) (uint64, Errno) {
+	n, errno := fs.resolve(e, path)
 	if errno != OK {
 		return 0, errno
 	}
 	if n.isDir() {
 		return 0, ErrIsDir
 	}
-	return fs.allocFD(n, path, false), OK
+	return fs.allocFD(e, path, false, n.ino), OK
 }
 
-// Opendir opens a directory and returns an fd.
-func (fs *FS) Opendir(path string) (uint64, Errno) {
-	n, errno := fs.resolve(path)
+// Open opens an existing file and returns an fd.
+func (fs *FS) Open(path string) (uint64, Errno) {
+	return fs.OpenAt(mvstore.Committed, path)
+}
+
+// OpendirAt opens a directory at epoch e and returns an fd.
+func (fs *FS) OpendirAt(e mvstore.Epoch, path string) (uint64, Errno) {
+	n, errno := fs.resolve(e, path)
 	if errno != OK {
 		return 0, errno
 	}
 	if !n.isDir() {
 		return 0, ErrNotDir
 	}
-	return fs.allocFD(n, path, true), OK
+	return fs.allocFD(e, path, true, n.ino), OK
 }
 
-func (fs *FS) allocFD(n *inode, path string, dir bool) uint64 {
-	fd := fdFor(path, fs.allocSeq(path))
-	fs.mu.Lock()
-	fs.fds[fd] = &fdEntry{n: n, path: path, dir: dir}
-	fs.mu.Unlock()
+// Opendir opens a directory and returns an fd.
+func (fs *FS) Opendir(path string) (uint64, Errno) {
+	return fs.OpendirAt(mvstore.Committed, path)
+}
+
+func (fs *FS) allocFD(e mvstore.Epoch, path string, dir bool, ino uint64) uint64 {
+	fd := fdFor(path, fs.allocSeq(e, path))
+	fs.fds.Put(e, fd, fdEntry{path: path, dir: dir, ino: ino})
 	return fd
 }
 
-// fdEntryFor reads the descriptor table. wantPath, when non-empty, must
-// match the path the descriptor was opened under — the declared-path
-// verification that keeps fd-based commands inside their scheduler key.
-func (fs *FS) fdEntryFor(fd uint64, wantPath string) (*fdEntry, Errno) {
-	fs.mu.RLock()
-	e := fs.fds[fd]
-	fs.mu.RUnlock()
-	if e == nil || (wantPath != "" && e.path != wantPath) {
-		return nil, ErrBadFd
+// fdEntryFor reads the descriptor table at epoch e. wantPath, when
+// non-empty, must match the path the descriptor was opened under — the
+// declared-path verification that keeps fd-based commands inside their
+// scheduler key.
+func (fs *FS) fdEntryFor(e mvstore.Epoch, fd uint64, wantPath string) (fdEntry, Errno) {
+	entry, ok := fs.fds.Get(e, fd)
+	if !ok || (wantPath != "" && entry.path != wantPath) {
+		return fdEntry{}, ErrBadFd
 	}
-	return e, OK
+	return entry, OK
 }
 
 // Release closes a file descriptor.
-func (fs *FS) Release(fd uint64) Errno { return fs.ReleasePath("", fd) }
+func (fs *FS) Release(fd uint64) Errno {
+	return fs.ReleasePathAt(mvstore.Committed, "", fd)
+}
 
 // ReleasePath closes a descriptor, verifying the declared path when
 // non-empty.
 func (fs *FS) ReleasePath(path string, fd uint64) Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	e := fs.fds[fd]
-	if e == nil || (path != "" && e.path != path) {
+	return fs.ReleasePathAt(mvstore.Committed, path, fd)
+}
+
+// ReleasePathAt closes a descriptor at epoch e.
+func (fs *FS) ReleasePathAt(e mvstore.Epoch, path string, fd uint64) Errno {
+	entry, ok := fs.fds.Get(e, fd)
+	if !ok || (path != "" && entry.path != path) {
 		return ErrBadFd
 	}
-	delete(fs.fds, fd)
+	fs.fds.Delete(e, fd)
 	return OK
 }
 
 // Releasedir closes a directory descriptor.
-func (fs *FS) Releasedir(fd uint64) Errno { return fs.ReleasedirPath("", fd) }
+func (fs *FS) Releasedir(fd uint64) Errno {
+	return fs.ReleasedirPathAt(mvstore.Committed, "", fd)
+}
 
 // ReleasedirPath closes a directory descriptor, verifying the declared
 // path when non-empty.
 func (fs *FS) ReleasedirPath(path string, fd uint64) Errno {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	e := fs.fds[fd]
-	if e == nil || !e.dir || (path != "" && e.path != path) {
+	return fs.ReleasedirPathAt(mvstore.Committed, path, fd)
+}
+
+// ReleasedirPathAt closes a directory descriptor at epoch e.
+func (fs *FS) ReleasedirPathAt(e mvstore.Epoch, path string, fd uint64) Errno {
+	entry, ok := fs.fds.Get(e, fd)
+	if !ok || !entry.dir || (path != "" && entry.path != path) {
 		return ErrBadFd
 	}
-	delete(fs.fds, fd)
+	fs.fds.Delete(e, fd)
 	return OK
 }
 
-// Unlink removes a file. The caller holds {path, parent}.
-func (fs *FS) Unlink(path string, mtime int64) Errno {
+// UnlinkAt removes a file at epoch e. The caller holds {path, parent}.
+func (fs *FS) UnlinkAt(e mvstore.Epoch, path string, mtime int64) Errno {
 	parts, ok := splitPath(path)
 	if !ok || len(parts) == 0 {
 		return ErrInval
 	}
 	name := parts[len(parts)-1]
-	fs.mu.RLock()
-	parent := fs.paths[ParentPath(path)]
-	n := fs.paths[path]
-	fs.mu.RUnlock()
+	parent := fs.lookup(e, ParentPath(path))
+	n := fs.lookup(e, path)
 	if parent == nil || (parent.isDir() && n == nil) {
 		return ErrNoEnt
 	}
@@ -410,28 +495,32 @@ func (fs *FS) Unlink(path string, mtime int64) Errno {
 	if n.isDir() {
 		return ErrIsDir
 	}
-	delete(parent.kids, name)
-	parent.mtime = mtime
-	n.nlink--
-	if n.nlink <= 0 {
-		fs.mu.Lock()
-		delete(fs.paths, path)
-		fs.mu.Unlock()
+	p, _ := fs.paths.Mutate(e, ParentPath(path))
+	delete(p.kids, name)
+	p.mtime = mtime
+	m, _ := fs.paths.Mutate(e, path)
+	m.nlink--
+	if m.nlink <= 0 {
+		fs.paths.Delete(e, path)
 	}
 	return OK
 }
 
-// Rmdir removes an empty directory. The caller holds {path, parent}.
-func (fs *FS) Rmdir(path string, mtime int64) Errno {
+// Unlink removes a file.
+func (fs *FS) Unlink(path string, mtime int64) Errno {
+	return fs.UnlinkAt(mvstore.Committed, path, mtime)
+}
+
+// RmdirAt removes an empty directory at epoch e. The caller holds
+// {path, parent}.
+func (fs *FS) RmdirAt(e mvstore.Epoch, path string, mtime int64) Errno {
 	parts, ok := splitPath(path)
 	if !ok || len(parts) == 0 {
 		return ErrInval
 	}
 	name := parts[len(parts)-1]
-	fs.mu.RLock()
-	parent := fs.paths[ParentPath(path)]
-	n := fs.paths[path]
-	fs.mu.RUnlock()
+	parent := fs.lookup(e, ParentPath(path))
+	n := fs.lookup(e, path)
 	if parent == nil || (parent.isDir() && n == nil) {
 		return ErrNoEnt
 	}
@@ -444,36 +533,53 @@ func (fs *FS) Rmdir(path string, mtime int64) Errno {
 	if len(n.kids) != 0 {
 		return ErrNotEmpty
 	}
-	delete(parent.kids, name)
-	parent.nlink--
-	parent.mtime = mtime
-	fs.mu.Lock()
-	delete(fs.paths, path)
-	fs.mu.Unlock()
+	p, _ := fs.paths.Mutate(e, ParentPath(path))
+	delete(p.kids, name)
+	p.nlink--
+	p.mtime = mtime
+	fs.paths.Delete(e, path)
 	return OK
 }
 
-// Utimens sets an inode's timestamps.
-func (fs *FS) Utimens(path string, atime, mtime int64) Errno {
-	n, errno := fs.resolve(path)
-	if errno != OK {
-		return errno
+// Rmdir removes an empty directory.
+func (fs *FS) Rmdir(path string, mtime int64) Errno {
+	return fs.RmdirAt(mvstore.Committed, path, mtime)
+}
+
+// UtimensAt sets an inode's timestamps at epoch e.
+func (fs *FS) UtimensAt(e mvstore.Epoch, path string, atime, mtime int64) Errno {
+	if _, ok := splitPath(path); !ok {
+		return ErrInval
+	}
+	n, ok := fs.paths.Mutate(e, path)
+	if !ok {
+		return ErrNoEnt
 	}
 	n.atime = atime
 	n.mtime = mtime
 	return OK
 }
 
-// Access checks that a path exists (permission checking is trivial in
-// a single-user in-memory fs).
-func (fs *FS) Access(path string) Errno {
-	_, errno := fs.resolve(path)
+// Utimens sets an inode's timestamps.
+func (fs *FS) Utimens(path string, atime, mtime int64) Errno {
+	return fs.UtimensAt(mvstore.Committed, path, atime, mtime)
+}
+
+// AccessAt checks that a path exists at epoch e (permission checking
+// is trivial in a single-user in-memory fs).
+func (fs *FS) AccessAt(e mvstore.Epoch, path string) Errno {
+	_, errno := fs.resolve(e, path)
 	return errno
 }
 
-// Lstat returns an inode's metadata.
-func (fs *FS) Lstat(path string) (Stat, Errno) {
-	n, errno := fs.resolve(path)
+// Access checks that a path exists.
+func (fs *FS) Access(path string) Errno {
+	return fs.AccessAt(mvstore.Committed, path)
+}
+
+// LstatAt returns an inode's metadata at epoch e.
+func (fs *FS) LstatAt(e mvstore.Epoch, path string) (Stat, Errno) {
+	n, errno := fs.resolve(e, path)
 	if errno != OK {
 		return Stat{}, errno
 	}
@@ -486,19 +592,41 @@ func (fs *FS) Lstat(path string) (Stat, Errno) {
 	}, OK
 }
 
+// Lstat returns an inode's metadata.
+func (fs *FS) Lstat(path string) (Stat, Errno) {
+	return fs.LstatAt(mvstore.Committed, path)
+}
+
+// fdInode resolves a descriptor's inode at epoch e by re-resolving its
+// path and matching the inode number: a descriptor whose file was
+// unlinked — or unlinked and recreated — no longer resolves and is
+// EBADF, exactly like the old liveness (nlink) check.
+func (fs *FS) fdInode(e mvstore.Epoch, entry fdEntry) *inode {
+	n := fs.lookup(e, entry.path)
+	if n == nil || n.ino != entry.ino {
+		return nil
+	}
+	return n
+}
+
 // Read reads up to size bytes at offset through an open fd.
 func (fs *FS) Read(fd uint64, offset uint64, size uint32) ([]byte, Errno) {
-	return fs.ReadPath("", fd, offset, size)
+	return fs.ReadPathAt(mvstore.Committed, "", fd, offset, size)
 }
 
 // ReadPath is Read with declared-path verification (the wire path).
 func (fs *FS) ReadPath(path string, fd uint64, offset uint64, size uint32) ([]byte, Errno) {
-	e, errno := fs.fdEntryFor(fd, path)
-	if errno != OK || e.dir {
+	return fs.ReadPathAt(mvstore.Committed, path, fd, offset, size)
+}
+
+// ReadPathAt reads through an open fd at epoch e.
+func (fs *FS) ReadPathAt(e mvstore.Epoch, path string, fd uint64, offset uint64, size uint32) ([]byte, Errno) {
+	entry, errno := fs.fdEntryFor(e, fd, path)
+	if errno != OK || entry.dir {
 		return nil, ErrBadFd
 	}
-	n := e.n
-	if n.nlink <= 0 {
+	n := fs.fdInode(e, entry)
+	if n == nil {
 		return nil, ErrBadFd // unlinked while open
 	}
 	if offset >= uint64(len(n.data)) {
@@ -514,23 +642,28 @@ func (fs *FS) ReadPath(path string, fd uint64, offset uint64, size uint32) ([]by
 // Write writes data at offset through an open fd, growing the file
 // (zero-filled) as needed.
 func (fs *FS) Write(fd uint64, offset uint64, data []byte, mtime int64) (uint32, Errno) {
-	return fs.WritePath("", fd, offset, data, mtime)
+	return fs.WritePathAt(mvstore.Committed, "", fd, offset, data, mtime)
 }
 
 // WritePath is Write with declared-path verification (the wire path).
 func (fs *FS) WritePath(path string, fd uint64, offset uint64, data []byte, mtime int64) (uint32, Errno) {
-	e, errno := fs.fdEntryFor(fd, path)
-	if errno != OK || e.dir {
+	return fs.WritePathAt(mvstore.Committed, path, fd, offset, data, mtime)
+}
+
+// WritePathAt writes through an open fd at epoch e.
+func (fs *FS) WritePathAt(e mvstore.Epoch, path string, fd uint64, offset uint64, data []byte, mtime int64) (uint32, Errno) {
+	entry, errno := fs.fdEntryFor(e, fd, path)
+	if errno != OK || entry.dir {
 		return 0, ErrBadFd
 	}
-	n := e.n
-	if n.nlink <= 0 {
+	if fs.fdInode(e, entry) == nil {
 		return 0, ErrBadFd
 	}
 	end := offset + uint64(len(data))
 	if end < offset {
 		return 0, ErrInval // offset+len overflow: no representable extent
 	}
+	n, _ := fs.paths.Mutate(e, entry.path)
 	if end > uint64(len(n.data)) {
 		grown := make([]byte, end)
 		copy(grown, n.data)
@@ -541,9 +674,9 @@ func (fs *FS) WritePath(path string, fd uint64, offset uint64, data []byte, mtim
 	return uint32(len(data)), OK
 }
 
-// Readdir lists a directory's entries in sorted order.
-func (fs *FS) Readdir(path string) ([]string, Errno) {
-	n, errno := fs.resolve(path)
+// ReaddirAt lists a directory's entries at epoch e in sorted order.
+func (fs *FS) ReaddirAt(e mvstore.Epoch, path string) ([]string, Errno) {
+	n, errno := fs.resolve(e, path)
 	if errno != OK {
 		return nil, errno
 	}
@@ -558,65 +691,16 @@ func (fs *FS) Readdir(path string) ([]string, Errno) {
 	return names, OK
 }
 
-// Clone returns a deep copy of the file system: inodes (including
-// unlinked-but-open ones reachable only through the descriptor table),
-// file contents, directory entries, the descriptor table and the
-// allocation sequences. The copy shares no mutable state with the
-// original. Call it only when the FS is quiescent under its service's
-// concurrency contract (the optimistic executor drains the engine
-// before cloning).
-func (fs *FS) Clone() *FS {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	clone := &FS{
-		paths:   make(map[string]*inode, len(fs.paths)),
-		fds:     make(map[uint64]*fdEntry, len(fs.fds)),
-		pathSeq: make(map[string]uint64, len(fs.pathSeq)),
-	}
-	copied := make(map[*inode]*inode, len(fs.paths))
-	copyInode := func(n *inode) *inode {
-		if c, ok := copied[n]; ok {
-			return c
-		}
-		c := &inode{
-			ino:   n.ino,
-			mode:  n.mode,
-			mtime: n.mtime,
-			atime: n.atime,
-			nlink: n.nlink,
-		}
-		if n.data != nil {
-			c.data = append([]byte(nil), n.data...)
-		}
-		if n.kids != nil {
-			c.kids = make(map[string]uint64, len(n.kids))
-			for name, ino := range n.kids {
-				c.kids[name] = ino
-			}
-		}
-		copied[n] = c
-		return c
-	}
-	for path, n := range fs.paths {
-		clone.paths[path] = copyInode(n)
-	}
-	for fd, e := range fs.fds {
-		// The entry's inode may be unlinked (reachable only here).
-		clone.fds[fd] = &fdEntry{n: copyInode(e.n), path: e.path, dir: e.dir}
-	}
-	for path, seq := range fs.pathSeq {
-		clone.pathSeq[path] = seq
-	}
-	return clone
+// Readdir lists a directory's entries in sorted order.
+func (fs *FS) Readdir(path string) ([]string, Errno) {
+	return fs.ReaddirAt(mvstore.Committed, path)
 }
 
-// Fingerprint folds the whole file system — paths, inode metadata,
-// file contents, directory entries, descriptor table, allocation
-// sequences — into one value, for state-convergence checks in tests.
-// Only call on a quiescent FS.
+// Fingerprint folds the whole committed file system — paths, inode
+// metadata, file contents, directory entries, descriptor table,
+// allocation sequences — into one value, for state-convergence checks
+// in tests. Only call on a quiescent (fully reconciled) FS.
 func (fs *FS) Fingerprint() uint64 {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
 	h := uint64(14695981039346656037) // FNV-64 offset basis
 	mix := func(s string) {
 		for i := 0; i < len(s); i++ {
@@ -630,13 +714,18 @@ func (fs *FS) Fingerprint() uint64 {
 			v >>= 8
 		}
 	}
-	paths := make([]string, 0, len(fs.paths))
-	for p := range fs.paths {
+	pathInodes := make(map[string]*inode)
+	fs.paths.RangeCommitted(func(p string, n *inode) bool {
+		pathInodes[p] = n
+		return true
+	})
+	paths := make([]string, 0, len(pathInodes))
+	for p := range pathInodes {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 	for _, p := range paths {
-		n := fs.paths[p]
+		n := pathInodes[p]
 		mix(p)
 		mixU(n.ino)
 		mixU(uint64(n.mode))
@@ -657,40 +746,43 @@ func (fs *FS) Fingerprint() uint64 {
 			mixU(n.kids[k])
 		}
 	}
-	fds := make([]uint64, 0, len(fs.fds))
-	for fd := range fs.fds {
+	fdEntries := make(map[uint64]fdEntry)
+	fs.fds.RangeCommitted(func(fd uint64, e fdEntry) bool {
+		fdEntries[fd] = e
+		return true
+	})
+	fds := make([]uint64, 0, len(fdEntries))
+	for fd := range fdEntries {
 		fds = append(fds, fd)
 	}
 	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
 	for _, fd := range fds {
-		e := fs.fds[fd]
+		e := fdEntries[fd]
 		mixU(fd)
 		mix(e.path)
-		mixU(e.n.ino)
+		mixU(e.ino)
 	}
-	seqPaths := make([]string, 0, len(fs.pathSeq))
-	for p := range fs.pathSeq {
+	seqs := make(map[string]uint64)
+	fs.pathSeq.RangeCommitted(func(p string, seq uint64) bool {
+		seqs[p] = seq
+		return true
+	})
+	seqPaths := make([]string, 0, len(seqs))
+	for p := range seqs {
 		seqPaths = append(seqPaths, p)
 	}
 	sort.Strings(seqPaths)
 	for _, p := range seqPaths {
 		mix(p)
-		mixU(fs.pathSeq[p])
+		mixU(seqs[p])
 	}
 	return h
 }
 
-// OpenFDs returns the number of open descriptors (for tests).
-func (fs *FS) OpenFDs() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return len(fs.fds)
-}
+// OpenFDs returns the number of committed open descriptors (for
+// tests).
+func (fs *FS) OpenFDs() int { return fs.fds.CommittedLen() }
 
-// Inodes returns the number of live inodes (for tests): every live
-// inode has exactly one paths entry.
-func (fs *FS) Inodes() int {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-	return len(fs.paths)
-}
+// Inodes returns the number of committed live inodes (for tests):
+// every live inode has exactly one paths entry.
+func (fs *FS) Inodes() int { return fs.paths.CommittedLen() }

@@ -10,6 +10,7 @@ import (
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/lz4"
+	"github.com/psmr/psmr/internal/mvstore"
 )
 
 const t0 = int64(1_700_000_000_000_000_000)
@@ -501,12 +502,15 @@ func TestFSSnapshotRestoreRoundTrip(t *testing.T) {
 	if errno := restored.ReleasedirPath("/d", dirFd); errno != OK {
 		t.Fatalf("releasedir via restored fd: %v", errno)
 	}
-	// The orphan's two descriptors must reference ONE restored inode
-	// (not two copies), and releasing both must work.
-	if restored.fds[ofd1].n != restored.fds[ofd2].n {
+	// The orphan's two descriptors must reference ONE inode number
+	// (the unlinked file's), distinct from the recreated path's, and
+	// releasing both must work.
+	oe1, ok1 := restored.fds.Get(mvstore.Committed, ofd1)
+	oe2, ok2 := restored.fds.Get(mvstore.Committed, ofd2)
+	if !ok1 || !ok2 || oe1.ino != oe2.ino {
 		t.Fatal("orphan descriptors no longer share an inode after restore")
 	}
-	if restored.fds[ofd1].n == restored.paths["/d/gone"] {
+	if n := restored.lookup(mvstore.Committed, "/d/gone"); n == nil || oe1.ino == n.ino {
 		t.Fatal("orphan descriptor aliases the recreated path's inode")
 	}
 	if errno := restored.ReleasePath("/d/gone", ofd1); errno != OK {

@@ -7,6 +7,7 @@ import (
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/lz4"
+	"github.com/psmr/psmr/internal/mvstore"
 )
 
 // Command identifiers of the NetFS service (the paper's FUSE subset,
@@ -114,62 +115,74 @@ func NewService() *Service {
 // FS exposes the underlying file system (tests, direct inspection).
 func (s *Service) FS() *FS { return s.fs }
 
-// Clone implements command.Cloneable: optimistic execution speculates
-// NetFS commands on a deep copy and re-derives it from the committed
-// copy on rollback (re-execution-from-last-commit), since the FS keeps
-// no per-command undo records.
-func (s *Service) Clone() command.Service {
-	return &Service{fs: s.fs.Clone()}
-}
-
 var _ command.Service = (*Service)(nil)
-var _ command.Cloneable = (*Service)(nil)
+var _ command.Versioned = (*Service)(nil)
 
 // Execute implements command.Service.
 func (s *Service) Execute(cmd command.ID, input []byte) []byte {
+	return s.SpeculateAt(mvstore.Committed, cmd, input)
+}
+
+// SpeculateAt implements command.Versioned: the command executes
+// against epoch e's view of the versioned file system, landing every
+// mutation — inode edits, descriptor allocation, sequence bumps — as
+// uncommitted versions. Abort(e) drops exactly those versions, so a
+// rolled-back NetFS speculation costs O(paths it touched) instead of
+// the old whole-state clone+replay.
+func (s *Service) SpeculateAt(e mvstore.Epoch, cmd command.ID, input []byte) []byte {
 	path, args, ok := DecodeInput(input)
 	if !ok {
 		return lz4.Pack([]byte{byte(ErrInval)})
 	}
-	return lz4.Pack(s.apply(cmd, path, args))
+	return lz4.Pack(s.apply(e, cmd, path, args))
 }
 
-// apply runs one decompressed command and builds the raw response.
-func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
+// Commit implements command.Versioned.
+func (s *Service) Commit(e mvstore.Epoch) { s.fs.Commit(e) }
+
+// Abort implements command.Versioned.
+func (s *Service) Abort(e mvstore.Epoch) { s.fs.Abort(e) }
+
+// Uncommitted implements command.Versioned.
+func (s *Service) Uncommitted() int { return s.fs.Uncommitted() }
+
+// apply runs one decompressed command at epoch e and builds the raw
+// response.
+func (s *Service) apply(e mvstore.Epoch, cmd command.ID, path string, args []byte) []byte {
 	switch cmd {
 	case CmdCreate:
 		mode, mtime, ok := decodeModeTime(args)
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		fd, errno := s.fs.Create(path, mode, mtime)
+		fd, errno := s.fs.CreateAt(e, path, mode, mtime)
 		return appendFD(errno, fd)
 	case CmdMknod:
 		mode, mtime, ok := decodeModeTime(args)
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		return []byte{byte(s.fs.Mknod(path, mode, mtime))}
+		return []byte{byte(s.fs.MknodAt(e, path, mode, mtime))}
 	case CmdMkdir:
 		mode, mtime, ok := decodeModeTime(args)
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		return []byte{byte(s.fs.Mkdir(path, mode, mtime))}
+		return []byte{byte(s.fs.MkdirAt(e, path, mode, mtime))}
 	case CmdUnlink:
 		mtime, ok := decodeTime(args)
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		return []byte{byte(s.fs.Unlink(path, mtime))}
+		return []byte{byte(s.fs.UnlinkAt(e, path, mtime))}
 	case CmdRmdir:
 		mtime, ok := decodeTime(args)
 		if !ok {
 			return []byte{byte(ErrInval)}
 		}
-		return []byte{byte(s.fs.Rmdir(path, mtime))}
+		return []byte{byte(s.fs.RmdirAt(e, path, mtime))}
 	case CmdOpen:
-		fd, errno := s.fs.Open(path)
+		fd, errno := s.fs.OpenAt(e, path)
 		return appendFD(errno, fd)
 	case CmdUtimens:
 		if len(args) < 16 {
@@ -177,7 +190,7 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		}
 		atime := int64(binary.LittleEndian.Uint64(args[:8]))
 		mtime := int64(binary.LittleEndian.Uint64(args[8:16]))
-		return []byte{byte(s.fs.Utimens(path, atime, mtime))}
+		return []byte{byte(s.fs.UtimensAt(e, path, atime, mtime))}
 	case CmdRelease:
 		fd, ok := decodeFD(args)
 		if !ok {
@@ -189,9 +202,9 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 			// key; the descriptor cannot be valid.
 			return []byte{byte(ErrBadFd)}
 		}
-		return []byte{byte(s.fs.ReleasePath(path, fd))}
+		return []byte{byte(s.fs.ReleasePathAt(e, path, fd))}
 	case CmdOpendir:
-		fd, errno := s.fs.Opendir(path)
+		fd, errno := s.fs.OpendirAt(e, path)
 		return appendFD(errno, fd)
 	case CmdReleasedir:
 		fd, ok := decodeFD(args)
@@ -201,11 +214,11 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		if path == "" {
 			return []byte{byte(ErrBadFd)}
 		}
-		return []byte{byte(s.fs.ReleasedirPath(path, fd))}
+		return []byte{byte(s.fs.ReleasedirPathAt(e, path, fd))}
 	case CmdAccess:
-		return []byte{byte(s.fs.Access(path))}
+		return []byte{byte(s.fs.AccessAt(e, path))}
 	case CmdLstat:
-		st, errno := s.fs.Lstat(path)
+		st, errno := s.fs.LstatAt(e, path)
 		if errno != OK {
 			return []byte{byte(errno)}
 		}
@@ -227,7 +240,7 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		fd := binary.LittleEndian.Uint64(args[:8])
 		offset := binary.LittleEndian.Uint64(args[8:16])
 		size := binary.LittleEndian.Uint32(args[16:20])
-		data, errno := s.fs.ReadPath(path, fd, offset, size)
+		data, errno := s.fs.ReadPathAt(e, path, fd, offset, size)
 		if errno != OK {
 			return []byte{byte(errno)}
 		}
@@ -245,7 +258,7 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		fd := binary.LittleEndian.Uint64(args[:8])
 		offset := binary.LittleEndian.Uint64(args[8:16])
 		mtime := int64(binary.LittleEndian.Uint64(args[16:24]))
-		n, errno := s.fs.WritePath(path, fd, offset, args[24:], mtime)
+		n, errno := s.fs.WritePathAt(e, path, fd, offset, args[24:], mtime)
 		if errno != OK {
 			return []byte{byte(errno)}
 		}
@@ -253,7 +266,7 @@ func (s *Service) apply(cmd command.ID, path string, args []byte) []byte {
 		out[0] = byte(OK)
 		return binary.LittleEndian.AppendUint32(out, n)
 	case CmdReaddir:
-		names, errno := s.fs.Readdir(path)
+		names, errno := s.fs.ReaddirAt(e, path)
 		if errno != OK {
 			return []byte{byte(errno)}
 		}

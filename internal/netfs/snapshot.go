@@ -1,13 +1,20 @@
 package netfs
 
-// Checkpoint support: the whole FS — live inodes, unlinked-but-open
-// inodes reachable only through the descriptor table, file contents,
-// directory entries, the descriptor table itself and the per-path
-// allocation sequences — serializes to one deterministic byte string.
-// Everything the Fingerprint folds is covered, so a restored FS is
+// Checkpoint support: the committed FS — live inodes, file contents,
+// directory entries, the descriptor table and the per-path allocation
+// sequences — serializes to one deterministic byte string. Everything
+// the Fingerprint folds is covered, so a restored FS is
 // fingerprint-identical to the snapshotted one, and replicas holding
 // the same state produce byte-identical snapshots (paths, kids, fds
 // and sequences are emitted in sorted order).
+//
+// Version 2 (the mvstore refactor): descriptor records carry their
+// inode NUMBER instead of a pointer reference, so the v1 orphan-inode
+// section is gone — an unlinked-but-open descriptor simply no longer
+// resolves (EBADF), matching execution semantics, and a snapshot never
+// carries unreachable file contents. Snapshots read only committed
+// versions (mvstore.RangeCommitted); uncommitted speculation is
+// invisible by construction.
 
 import (
 	"encoding/binary"
@@ -15,17 +22,16 @@ import (
 	"sort"
 
 	"github.com/psmr/psmr/internal/command"
+	"github.com/psmr/psmr/internal/mvstore"
 )
 
 // fsSnapshotVersion tags the FS snapshot encoding.
-const fsSnapshotVersion = 1
+const fsSnapshotVersion = 2
 
 // Snapshot implements the state half of command.Snapshotter for the
-// service. Only call on a quiescent FS.
+// service. Only call on a quiescent FS; only committed state is
+// captured.
 func (fs *FS) Snapshot() []byte {
-	fs.mu.RLock()
-	defer fs.mu.RUnlock()
-
 	buf := []byte{fsSnapshotVersion}
 	putStr := func(s string) {
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
@@ -52,82 +58,61 @@ func (fs *FS) Snapshot() []byte {
 	}
 
 	// Live inodes, by path.
-	paths := make([]string, 0, len(fs.paths))
-	for p := range fs.paths {
+	pathInodes := make(map[string]*inode)
+	fs.paths.RangeCommitted(func(p string, n *inode) bool {
+		pathInodes[p] = n
+		return true
+	})
+	paths := make([]string, 0, len(pathInodes))
+	for p := range pathInodes {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(paths)))
 	for _, p := range paths {
 		putStr(p)
-		putInode(fs.paths[p])
-	}
-
-	// Orphan inodes: unlinked but still open, reachable only through
-	// the descriptor table. Two descriptors may share one orphan, so
-	// orphans are emitted once and referenced by index (sorted by ino;
-	// inos derive from (path, sequence) hashes, so ties are vanishingly
-	// unlikely and broken by size/mtime for determinism hygiene).
-	orphanIdx := make(map[*inode]uint32)
-	var orphans []*inode
-	fdList := make([]uint64, 0, len(fs.fds))
-	for fd, e := range fs.fds {
-		fdList = append(fdList, fd)
-		if fs.paths[e.path] != e.n {
-			if _, seen := orphanIdx[e.n]; !seen {
-				orphanIdx[e.n] = 0 // placeholder; assigned after sorting
-				orphans = append(orphans, e.n)
-			}
-		}
-	}
-	sort.Slice(orphans, func(i, j int) bool {
-		a, b := orphans[i], orphans[j]
-		if a.ino != b.ino {
-			return a.ino < b.ino
-		}
-		if len(a.data) != len(b.data) {
-			return len(a.data) < len(b.data)
-		}
-		return a.mtime < b.mtime
-	})
-	for i, n := range orphans {
-		orphanIdx[n] = uint32(i)
-	}
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(orphans)))
-	for _, n := range orphans {
-		putInode(n)
+		putInode(pathInodes[p])
 	}
 
 	// Descriptor table, by fd.
+	fdEntries := make(map[uint64]fdEntry)
+	fs.fds.RangeCommitted(func(fd uint64, e fdEntry) bool {
+		fdEntries[fd] = e
+		return true
+	})
+	fdList := make([]uint64, 0, len(fdEntries))
+	for fd := range fdEntries {
+		fdList = append(fdList, fd)
+	}
 	sort.Slice(fdList, func(i, j int) bool { return fdList[i] < fdList[j] })
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fdList)))
 	for _, fd := range fdList {
-		e := fs.fds[fd]
+		e := fdEntries[fd]
 		buf = binary.LittleEndian.AppendUint64(buf, fd)
 		putStr(e.path)
 		var flags byte
 		if e.dir {
 			flags |= 1
 		}
-		ref := uint32(0)
-		if fs.paths[e.path] != e.n {
-			flags |= 2 // orphan reference
-			ref = orphanIdx[e.n]
-		}
 		buf = append(buf, flags)
-		buf = binary.LittleEndian.AppendUint32(buf, ref)
+		buf = binary.LittleEndian.AppendUint64(buf, e.ino)
 	}
 
 	// Allocation sequences, by path.
-	seqPaths := make([]string, 0, len(fs.pathSeq))
-	for p := range fs.pathSeq {
+	seqs := make(map[string]uint64)
+	fs.pathSeq.RangeCommitted(func(p string, seq uint64) bool {
+		seqs[p] = seq
+		return true
+	})
+	seqPaths := make([]string, 0, len(seqs))
+	for p := range seqs {
 		seqPaths = append(seqPaths, p)
 	}
 	sort.Strings(seqPaths)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(seqPaths)))
 	for _, p := range seqPaths {
 		putStr(p)
-		buf = binary.LittleEndian.AppendUint64(buf, fs.pathSeq[p])
+		buf = binary.LittleEndian.AppendUint64(buf, seqs[p])
 	}
 	return buf
 }
@@ -221,24 +206,20 @@ func (r *fsSnapshotReader) inode() *inode {
 	return n
 }
 
-// Restore replaces the entire FS state with a snapshot's.
+// Restore replaces the entire committed FS state with a snapshot's and
+// drops any uncommitted versions.
 func (fs *FS) Restore(snap []byte) error {
 	if len(snap) < 1 || snap[0] != fsSnapshotVersion {
 		return fmt.Errorf("netfs: bad snapshot header")
 	}
 	r := &fsSnapshotReader{rest: snap[1:]}
 
-	paths := make(map[string]*inode)
+	paths := mvstore.MapBase[string, *inode]{}
 	for i, count := 0, int(r.u32()); i < count && r.err == nil; i++ {
 		p := r.str()
 		paths[p] = r.inode()
 	}
-	orphanCount := int(r.u32())
-	orphans := make([]*inode, 0, orphanCount)
-	for i := 0; i < orphanCount && r.err == nil; i++ {
-		orphans = append(orphans, r.inode())
-	}
-	fds := make(map[uint64]*fdEntry)
+	fds := mvstore.MapBase[uint64, fdEntry]{}
 	for i, count := 0, int(r.u32()); i < count && r.err == nil; i++ {
 		fd := r.u64()
 		path := r.str()
@@ -248,22 +229,10 @@ func (fs *FS) Restore(snap []byte) error {
 		}
 		flags := r.rest[0]
 		r.rest = r.rest[1:]
-		ref := r.u32()
-		e := &fdEntry{path: path, dir: flags&1 != 0}
-		if flags&2 != 0 {
-			if int(ref) >= len(orphans) {
-				return fmt.Errorf("netfs: snapshot fd %d references orphan %d/%d", fd, ref, len(orphans))
-			}
-			e.n = orphans[ref]
-		} else {
-			e.n = paths[path]
-			if e.n == nil {
-				return fmt.Errorf("netfs: snapshot fd %d references missing path %q", fd, path)
-			}
-		}
-		fds[fd] = e
+		ino := r.u64()
+		fds[fd] = fdEntry{path: path, dir: flags&1 != 0, ino: ino}
 	}
-	pathSeq := make(map[string]uint64)
+	pathSeq := mvstore.MapBase[string, uint64]{}
 	for i, count := 0, int(r.u32()); i < count && r.err == nil; i++ {
 		p := r.str()
 		pathSeq[p] = r.u64()
@@ -274,11 +243,9 @@ func (fs *FS) Restore(snap []byte) error {
 	if len(r.rest) != 0 {
 		return fmt.Errorf("netfs: %d trailing snapshot bytes", len(r.rest))
 	}
-	fs.mu.Lock()
-	fs.paths = paths
-	fs.fds = fds
-	fs.pathSeq = pathSeq
-	fs.mu.Unlock()
+	fs.paths.Reset(paths)
+	fs.fds.Reset(fds)
+	fs.pathSeq.Reset(pathSeq)
 	return nil
 }
 

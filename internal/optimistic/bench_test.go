@@ -161,46 +161,60 @@ func TestOptimisticHitLatencyBelowDecided(t *testing.T) {
 	}
 }
 
+// startGhostBacklog builds the ghost-backlog fixture: an executor
+// whose speculation window holds `ghosts` unrelated never-decided
+// commands — with the versioned stores, each also pins one uncommitted
+// version in the service. Eviction is disabled so the backlog stays a
+// stable fixture.
+func startGhostBacklog(b testing.TB, ghosts int) *Executor {
+	b.Helper()
+	st := kvstore.New()
+	st.Preload(benchBatch + ghosts + 1)
+	compiled, err := cdep.Compile(kvstore.Spec(), 4)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	net := transport.NewMemNetwork(1)
+	b.Cleanup(func() { _ = net.Close() })
+	x, err := StartExecutor(ExecutorConfig{
+		Workers:         4,
+		Service:         st,
+		Compiled:        compiled,
+		Transport:       net,
+		Scheduler:       sched.KindIndex,
+		GhostEvictAfter: 1 << 30,
+	})
+	if err != nil {
+		b.Fatalf("StartExecutor: %v", err)
+	}
+	b.Cleanup(func() { _ = x.Close() })
+	var backlog []*command.Request
+	for i := 0; i < ghosts; i++ {
+		backlog = append(backlog, &command.Request{
+			Client: 9, Seq: uint64(i + 1), Cmd: kvstore.CmdUpdate,
+			Input: kvstore.EncodeKeyValue(uint64(benchBatch+i), kvstore.EncodeKey(1)),
+		})
+	}
+	x.Speculate(backlog)
+	x.waitDrained()
+	return x
+}
+
 // BenchmarkReconcileGhostBacklog measures the per-decided-command
-// mismatch check while a large UNRELATED unconfirmed backlog sits in
-// the speculation window — the ghost-backlog recovery scenario. With
-// the key-indexed window the cost tracks the command's own (empty)
-// conflict set; the pre-index reconciler paid a full O(window) scan
-// per decided command here.
+// reconcile cost while a large UNRELATED unconfirmed backlog sits in
+// the speculation window — the ghost-backlog recovery scenario. Two
+// mechanisms have to stay O(own keys) for the cost to be flat: the
+// key-indexed window bounds the mismatch check to the command's own
+// conflict set (the pre-index reconciler paid a full O(window) scan
+// here), and the mvstore version chains bound confirm/commit to the
+// epoch's own journal while the backlog's 4096 uncommitted versions
+// sit in the same stores (the undo-record model it replaced kept the
+// backlog's undo closures alive but was equally indifferent; a
+// clone-based model would have re-cloned the whole state).
 func BenchmarkReconcileGhostBacklog(b *testing.B) {
 	for _, ghosts := range []int{0, 1024, 4096} {
 		b.Run(fmt.Sprintf("backlog=%d", ghosts), func(b *testing.B) {
-			st := kvstore.New()
-			st.Preload(benchBatch + ghosts + 1)
-			compiled, err := cdep.Compile(kvstore.Spec(), 4)
-			if err != nil {
-				b.Fatalf("Compile: %v", err)
-			}
-			net := transport.NewMemNetwork(1)
-			b.Cleanup(func() { _ = net.Close() })
-			x, err := StartExecutor(ExecutorConfig{
-				Workers:   4,
-				Service:   st,
-				Compiled:  compiled,
-				Transport: net,
-				Scheduler: sched.KindIndex,
-				// Keep the backlog a stable fixture: no ghost eviction
-				// mid-benchmark.
-				GhostEvictAfter: 1 << 30,
-			})
-			if err != nil {
-				b.Fatalf("StartExecutor: %v", err)
-			}
-			b.Cleanup(func() { _ = x.Close() })
-			var backlog []*command.Request
-			for i := 0; i < ghosts; i++ {
-				backlog = append(backlog, &command.Request{
-					Client: 9, Seq: uint64(i + 1), Cmd: kvstore.CmdUpdate,
-					Input: kvstore.EncodeKeyValue(uint64(benchBatch+i), kvstore.EncodeKey(1)),
-				})
-			}
-			x.Speculate(backlog)
-			x.waitDrained()
+			x := startGhostBacklog(b, ghosts)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				batch := benchBatchReqs(i)
@@ -213,5 +227,54 @@ func BenchmarkReconcileGhostBacklog(b *testing.B) {
 				b.Fatalf("unexpected rollbacks against a disjoint backlog: %+v", c)
 			}
 		})
+	}
+}
+
+// TestReconcileFlatAcrossGhostBacklog is the acceptance guard behind
+// BenchmarkReconcileGhostBacklog on the versioned stores: the
+// speculate+reconcile cost of a disjoint decided batch with a
+// 4096-ghost backlog (4096 uncommitted versions pinned in the store)
+// must stay within a small constant factor of the empty-window cost.
+// An O(window) reconcile or O(uncommitted) commit would blow the bound
+// by ~64x; measurement is best-of-rounds totals so scheduler noise
+// cannot fake a regression.
+func TestReconcileFlatAcrossGhostBacklog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement")
+	}
+	const rounds, perRound = 5, 30
+	measure := func(ghosts int) int64 {
+		x := startGhostBacklog(t, ghosts)
+		if ghosts > 0 && x.ver.Uncommitted() == 0 {
+			t.Fatalf("backlog fixture pinned no uncommitted versions")
+		}
+		iter := 0
+		best := int64(1<<63 - 1)
+		for r := 0; r < rounds; r++ {
+			var total int64
+			for i := 0; i < perRound; i++ {
+				batch := benchBatchReqs(iter)
+				iter++
+				start := time.Now()
+				x.Speculate(batch)
+				x.waitDrained()
+				x.Commit(batch)
+				total += time.Since(start).Nanoseconds()
+			}
+			if total < best {
+				best = total
+			}
+		}
+		if c := x.Counters(); c.Rollbacks != 0 {
+			t.Fatalf("unexpected rollbacks against a disjoint backlog: %+v", c)
+		}
+		return best
+	}
+	empty := measure(0)
+	loaded := measure(4096)
+	ratio := float64(loaded) / float64(empty)
+	t.Logf("reconcile cost: empty window %dns, 4096-ghost backlog %dns (%.2fx)", empty, loaded, ratio)
+	if ratio > 4 {
+		t.Fatalf("reconcile cost grew %.2fx with a 4096-ghost backlog (want <= 4x): O(own-keys) reconcile regressed", ratio)
 	}
 }

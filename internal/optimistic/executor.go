@@ -9,6 +9,7 @@ import (
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
+	"github.com/psmr/psmr/internal/mvstore"
 	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/transport"
 )
@@ -17,10 +18,10 @@ import (
 type ExecutorConfig struct {
 	// Workers is the execution pool size.
 	Workers int
-	// Service must implement command.Undoable (in-place speculation
-	// with per-command undo records) or command.Cloneable (speculation
-	// on a deep copy, rollback by re-execution from the committed
-	// copy). Undoable wins when both are implemented.
+	// Service must implement command.Versioned: every execution —
+	// speculative or decided-path — runs at a speculation epoch whose
+	// writes land as uncommitted versions; order-confirmation commits
+	// the epoch and a rollback aborts it, in O(keys touched).
 	Service command.Service
 	// Compiled answers conflict queries (from the service's C-Dep).
 	Compiled *cdep.Compiled
@@ -41,13 +42,22 @@ type ExecutorConfig struct {
 	// GhostEvictAfter withdraws an unconfirmed speculation once this
 	// many decided commands have been reconciled since it was admitted
 	// — it was optimistically delivered but never decided (a preempted
-	// leader's proposal), and on an in-place Undoable service its
-	// effects would otherwise linger unsanctioned. Eviction is always
-	// SAFE (a prematurely evicted speculation simply re-executes as a
-	// miss when its decision does arrive), so the bound only trades
-	// hit rate against how long a ghost's effects may stay in the
-	// speculative state. Default 4096.
+	// leader's proposal), and its uncommitted versions would otherwise
+	// shadow the committed state for every later speculative read.
+	// Eviction is always SAFE (a prematurely evicted speculation simply
+	// re-executes as a miss when its decision does arrive), so the
+	// bound only trades hit rate against how long a ghost's effects may
+	// stay visible to speculation. Default 4096.
 	GhostEvictAfter int
+	// ReSpeculate re-admits commands withdrawn by a rollback as fresh
+	// speculations against the repaired state, instead of leaving them
+	// to execute as decided-path misses. With O(touched-keys) aborts a
+	// withdrawn command's decision usually has NOT arrived yet (the
+	// rollback was triggered by a DIFFERENT command's decide), so there
+	// is still time to win the race again. Ghost evictions never
+	// re-speculate: a ghost was withdrawn for not being decided, and
+	// re-admitting it would undo the eviction forever.
+	ReSpeculate bool
 	// CPU optionally meters the executor's roles.
 	CPU *bench.CPUMeter
 }
@@ -66,8 +76,8 @@ type entry struct {
 	req       *command.Request // original request (Reply intact)
 	engineReq *command.Request // Reply-stripped copy admitted to the engine
 	output    []byte
-	undo      func() // Undoable strategy; nil for reads and Cloneable
-	committed bool   // admitted from the decided stream (miss path)
+	epoch     mvstore.Epoch // speculation epoch its writes landed under
+	committed bool          // admitted from the decided stream (miss path)
 	executed  bool
 	confirmed bool
 	done      chan struct{} // closed once executed
@@ -98,18 +108,22 @@ type entry struct {
 type Executor struct {
 	cfg    ExecutorConfig
 	engine sched.Engine
-	und    command.Undoable // in-place strategy when non-nil
-	base   command.Service  // Cloneable strategy: committed copy
-	live   command.Service  // Cloneable strategy: speculative copy
+	ver    command.Versioned // the service, epoch-addressed
 
-	mu           sync.Mutex
-	cond         *sync.Cond // signalled on every hook completion
-	admitted     int64      // engine admissions
-	executed     int64      // hook completions (drain: executed == admitted)
-	log          []*entry   // execution-completion order
-	logSeq       uint64     // next logPos to assign
-	doneInLog    int        // confirmed entries still in log (compaction)
-	byID         map[requestID]*entry
+	mu        sync.Mutex
+	cond      *sync.Cond // signalled on every hook completion
+	admitted  int64      // engine admissions
+	executed  int64      // hook completions (drain: executed == admitted)
+	epochSeq  mvstore.Epoch
+	log       []*entry // execution-completion order
+	logSeq    uint64   // next logPos to assign
+	doneInLog int      // confirmed entries still in log (compaction)
+	byID      map[requestID]*entry
+
+	// pendingReSpec holds rollback-withdrawn requests awaiting
+	// re-admission; flushed (engine submission) only after x.mu is
+	// released, like every other admission path.
+	pendingReSpec []*command.Request
 
 	// Key-indexed speculation window: executed-but-unconfirmed entries
 	// bucketed by canonical key, plus the "wild" list of entries that
@@ -120,8 +134,8 @@ type Executor struct {
 	// which is what keeps reconciliation linear during recovery from a
 	// large ghost backlog. Buckets are pruned lazily (confirmed and
 	// withdrawn entries drop out as they are encountered).
-	byKey map[uint64][]*entry
-	wild  []*entry
+	byKey        map[uint64][]*entry
+	wild         []*entry
 	confirmed    *dedup.Table // confirmed outputs (decided retransmissions)
 	decidedCount uint64       // reconciled decided commands (ghost aging)
 	lastEvictChk uint64       // decidedCount at the last ghost scan
@@ -136,6 +150,7 @@ type Executor struct {
 	rolledBack   atomic.Uint64
 	maxDepth     atomic.Uint64
 	ghostEvicted atomic.Uint64
+	reSpeculated atomic.Uint64
 }
 
 // Counters is a snapshot of the executor's speculation statistics.
@@ -162,6 +177,9 @@ type Counters struct {
 	// preempted leader's proposals) and conflicted with nothing that
 	// would have rolled them back sooner.
 	GhostEvictions uint64
+	// ReSpeculations counts rollback-withdrawn commands re-admitted as
+	// fresh speculations against the repaired state (ReSpeculate on).
+	ReSpeculations uint64
 }
 
 // Add folds another snapshot into c (aggregation across replicas):
@@ -173,6 +191,7 @@ func (c *Counters) Add(o Counters) {
 	c.Rollbacks += o.Rollbacks
 	c.RolledBack += o.RolledBack
 	c.GhostEvictions += o.GhostEvictions
+	c.ReSpeculations += o.ReSpeculations
 	if o.MaxRollbackDepth > c.MaxRollbackDepth {
 		c.MaxRollbackDepth = o.MaxRollbackDepth
 	}
@@ -191,8 +210,8 @@ func (c Counters) HitRate() float64 {
 }
 
 func (c Counters) String() string {
-	return fmt.Sprintf("hit-rate %.1f%% (%d/%d), rollbacks %d (depth sum %d, max %d), ghosts evicted %d",
-		100*c.HitRate(), c.Hits, c.Decided(), c.Rollbacks, c.RolledBack, c.MaxRollbackDepth, c.GhostEvictions)
+	return fmt.Sprintf("hit-rate %.1f%% (%d/%d), rollbacks %d (depth sum %d, max %d), ghosts evicted %d, re-speculated %d",
+		100*c.HitRate(), c.Hits, c.Decided(), c.Rollbacks, c.RolledBack, c.MaxRollbackDepth, c.GhostEvictions, c.ReSpeculations)
 }
 
 // StartExecutor launches the engine and the speculation bookkeeping.
@@ -214,21 +233,18 @@ func StartExecutor(cfg ExecutorConfig) (*Executor, error) {
 	}
 	x := &Executor{
 		cfg:       cfg,
+		epochSeq:  mvstore.Committed + 1, // 0 is the committed epoch, never assigned
 		byID:      make(map[requestID]*entry),
 		byKey:     make(map[uint64][]*entry),
 		confirmed: dedup.NewTable(cfg.DedupWindow),
 		reconCPU:  cfg.CPU.Role("scheduler"),
 	}
 	x.cond = sync.NewCond(&x.mu)
-	switch svc := cfg.Service.(type) {
-	case command.Undoable:
-		x.und = svc
-	case command.Cloneable:
-		x.base = cfg.Service
-		x.live = svc.Clone()
-	default:
-		return nil, fmt.Errorf("optimistic: service %T implements neither command.Undoable nor command.Cloneable", cfg.Service)
+	ver, ok := cfg.Service.(command.Versioned)
+	if !ok {
+		return nil, fmt.Errorf("optimistic: service %T does not implement command.Versioned", cfg.Service)
 	}
+	x.ver = ver
 	engine, err := sched.StartEngine(sched.Config{
 		Kind:       cfg.Scheduler,
 		Workers:    cfg.Workers,
@@ -266,6 +282,7 @@ func (x *Executor) Counters() Counters {
 		RolledBack:       x.rolledBack.Load(),
 		MaxRollbackDepth: x.maxDepth.Load(),
 		GhostEvictions:   x.ghostEvicted.Load(),
+		ReSpeculations:   x.reSpeculated.Load(),
 	}
 }
 
@@ -351,7 +368,12 @@ func (x *Executor) newEntry(req *command.Request, committed bool) *entry {
 	if !e.global {
 		e.keys, e.keysOK = x.cfg.Compiled.KeySet(req.Cmd, req.Input)
 	}
-	e.admittedAt = x.decidedCount // caller holds x.mu
+	// Caller holds x.mu. Every entry — speculative or decided-path —
+	// executes at its own fresh epoch, so confirmation commits exactly
+	// its writes and withdrawal aborts exactly its writes.
+	e.epoch = x.epochSeq
+	x.epochSeq++
+	e.admittedAt = x.decidedCount
 	return e
 }
 
@@ -363,20 +385,10 @@ func (x *Executor) newEntry(req *command.Request, committed bool) *entry {
 func (x *Executor) execute(req *command.Request) []byte {
 	x.mu.Lock()
 	e := x.byID[requestID{client: req.Client, seq: req.Seq}]
-	live := x.live
 	x.mu.Unlock()
-	var (
-		out  []byte
-		undo func()
-	)
-	if x.und != nil {
-		out, undo = x.und.ExecuteUndo(req.Cmd, req.Input)
-	} else {
-		out = live.Execute(req.Cmd, req.Input)
-	}
+	out := x.ver.SpeculateAt(e.epoch, req.Cmd, req.Input)
 	x.mu.Lock()
 	e.output = out
-	e.undo = undo
 	e.executed = true
 	e.logPos = x.logSeq
 	x.logSeq++
@@ -526,17 +538,16 @@ func (x *Executor) commitOne(req *command.Request) {
 		} else {
 			x.hits.Add(1)
 		}
-		// Cloneable strategy: advance the committed copy in decided
-		// order (off the reply critical path).
-		if x.base != nil {
-			x.base.Execute(req.Cmd, req.Input)
-		}
 		stop()
 		return
 	}
 	x.rollbackLocked(e, req)
 	x.mu.Unlock()
 	stop()
+	// Re-admit the rollback's collateral withdrawals (outside x.mu: the
+	// engine submission could block on a full queue while its workers
+	// wait on the executor lock).
+	x.flushReSpec()
 }
 
 // rollbackLocked withdraws the minimal conflicting suffix and
@@ -544,8 +555,8 @@ func (x *Executor) commitOne(req *command.Request) {
 // held; e is the decided command's (mis-ordered) speculative entry.
 func (x *Executor) rollbackLocked(e *entry, req *command.Request) {
 	// Drain the engine: every admitted command must have executed
-	// before state is mutated outside the engine, or an in-flight
-	// speculative execution could race the undo. No new admissions can
+	// before epochs are aborted, or an in-flight speculative execution
+	// could observe a half-withdrawn prefix. No new admissions can
 	// arrive — the driver goroutine is right here.
 	for x.executed < x.admitted && !x.closed {
 		x.cond.Wait()
@@ -594,14 +605,21 @@ func (x *Executor) rollbackLocked(e *entry, req *command.Request) {
 
 	x.withdrawLocked(tainted, taintedSet)
 
-	// Re-execute e in final order and confirm it.
-	var out []byte
-	if x.und != nil {
-		out = x.und.Execute(req.Cmd, req.Input)
-	} else {
-		out = x.live.Execute(req.Cmd, req.Input)
-		x.base.Execute(req.Cmd, req.Input)
+	// Queue the collateral withdrawals (everything tainted except the
+	// decided command itself, which confirms right below) for
+	// re-speculation against the repaired state: their own decisions
+	// have not arrived, so a fresh speculation can still win.
+	if x.cfg.ReSpeculate {
+		for _, o := range tainted {
+			if o != e && !o.committed {
+				x.pendingReSpec = append(x.pendingReSpec, o.req)
+			}
+		}
 	}
+
+	// Re-execute e in final order — at the committed epoch, on a
+	// drained engine, so its writes apply directly — and confirm it.
+	out := x.ver.Execute(req.Cmd, req.Input)
 	e.output = out
 	e.confirmed = true
 	delete(x.byID, requestID{client: req.Client, seq: req.Seq})
@@ -621,31 +639,17 @@ func (x *Executor) rollbackLocked(e *entry, req *command.Request) {
 	x.respond(e.req, out)
 }
 
-// withdrawLocked removes a tainted suffix from the speculative state:
-// undo records applied in reverse execution order (Undoable), or a
-// rebuild of the speculative copy from the committed one replaying the
-// surviving speculations in execution order (Cloneable), followed by
-// dropping the withdrawn entries from the log and the window. Called
-// with x.mu held and the engine drained. Withdrawn entries re-execute
-// when (if) their own decisions arrive.
+// withdrawLocked removes a tainted suffix from the speculative state by
+// aborting each tainted entry's epoch, newest-first — each abort drops
+// only that epoch's uncommitted versions, O(keys the command touched),
+// and peeling from the newest end keeps every abort at its chains'
+// tops. Surviving speculations' versions are untouched (they conflict
+// with nothing tainted, so they share no chains). Called with x.mu held
+// and the engine drained. Withdrawn entries re-execute when (if) their
+// own decisions arrive.
 func (x *Executor) withdrawLocked(tainted []*entry, taintedSet map[*entry]bool) {
-	if x.und != nil {
-		for i := len(tainted) - 1; i >= 0; i-- {
-			if tainted[i].undo != nil {
-				tainted[i].undo()
-			}
-		}
-	} else {
-		x.live = x.base.(command.Cloneable).Clone()
-		for _, o := range x.log {
-			if o.confirmed || taintedSet[o] {
-				continue
-			}
-			// Survivors conflict with no tainted entry, so replaying
-			// them without the tainted effects reproduces their
-			// recorded outputs (determinism + commutativity).
-			x.live.Execute(o.req.Cmd, o.req.Input)
-		}
+	for i := len(tainted) - 1; i >= 0; i-- {
+		x.ver.Abort(tainted[i].epoch)
 	}
 	kept := x.log[:0]
 	for _, o := range x.log {
@@ -702,8 +706,9 @@ func (x *Executor) evictGhostsLocked() {
 	if !stale {
 		return
 	}
-	// Drain so no in-flight speculative execution races the undo; the
-	// driver goroutine is the caller, so no new admissions can arrive.
+	// Drain so no in-flight speculative execution observes a
+	// half-withdrawn prefix; the driver goroutine is the caller, so no
+	// new admissions can arrive.
 	for x.executed < x.admitted && !x.closed {
 		x.cond.Wait()
 	}
@@ -741,63 +746,74 @@ func (x *Executor) evictGhostsLocked() {
 // The caller must be the replica's driver goroutine, between decided
 // batches (every miss-path admission is then confirmed).
 //
-//   - Cloneable services: the committed copy IS the confirmed state
-//     (only the driver advances it, in decided order), so it is
-//     snapshotted directly — no quiesce needed.
-//   - Undoable services: the engine is drained, every unconfirmed
-//     speculation's undo record is applied in reverse execution order,
-//     the in-place state is snapshotted, and the speculations are then
-//     re-executed in their original order (re-capturing outputs and
-//     undo records) — the speculation window survives the checkpoint
-//     intact, and determinism makes the redo byte-identical.
+// With versioned state this needs no quiesce at all: speculative
+// writes live as uncommitted versions, the service's Snapshot reads
+// only committed versions, and only the driver — the goroutine right
+// here — ever commits an epoch. In-flight speculations keep executing
+// through the snapshot and the speculation window survives it intact.
 //
 // ok is false when the service is no command.Snapshotter or the
 // executor is shutting down.
 func (x *Executor) ConfirmedSnapshot() ([]byte, bool) {
-	if x.base != nil {
-		snap, isSnap := x.base.(command.Snapshotter)
-		if !isSnap {
-			return nil, false
-		}
-		return snap.Snapshot(), true
-	}
-	snap, isSnap := x.und.(command.Snapshotter)
+	snap, isSnap := x.cfg.Service.(command.Snapshotter)
 	if !isSnap {
 		return nil, false
 	}
 	x.mu.Lock()
-	defer x.mu.Unlock()
-	// Drain: no in-flight speculative execution may race the undos (no
-	// new admissions can arrive — the driver goroutine is right here).
-	for x.executed < x.admitted && !x.closed {
-		x.cond.Wait()
-	}
-	if x.closed {
+	closed := x.closed
+	x.mu.Unlock()
+	if closed {
 		return nil, false
 	}
-	var unconfirmed []*entry
-	for _, o := range x.log {
-		if !o.confirmed {
-			unconfirmed = append(unconfirmed, o)
+	return snap.Snapshot(), true
+}
+
+// flushReSpec re-admits rollback-withdrawn commands as fresh
+// speculations (fresh entries, fresh epochs) against the repaired
+// state. Runs on the driver goroutine with x.mu NOT held at engine
+// submission, exactly like Speculate. A command whose decision arrived
+// while it sat in the queue is dropped by the dedup checks and simply
+// stays a miss.
+func (x *Executor) flushReSpec() {
+	x.mu.Lock()
+	pending := x.pendingReSpec
+	x.pendingReSpec = nil
+	var admit []*command.Request
+	for _, req := range pending {
+		id := requestID{client: req.Client, seq: req.Seq}
+		if _, dup := x.byID[id]; dup {
+			continue
 		}
-	}
-	for i := len(unconfirmed) - 1; i >= 0; i-- {
-		if unconfirmed[i].undo != nil {
-			unconfirmed[i].undo()
+		if _, dup := x.confirmed.Lookup(req.Client, req.Seq); dup {
+			continue
 		}
+		if len(x.byID) >= x.cfg.MaxSpeculations {
+			break
+		}
+		e := x.newEntry(req, false)
+		x.byID[id] = e
+		x.admitted++
+		admit = append(admit, e.engineReq)
 	}
-	state := snap.Snapshot()
-	for _, o := range unconfirmed {
-		o.output, o.undo = x.und.ExecuteUndo(o.req.Cmd, o.req.Input)
+	x.mu.Unlock()
+	if len(admit) == 0 {
+		return
 	}
-	return state, true
+	x.reSpeculated.Add(uint64(len(admit)))
+	x.engine.SubmitBatch(admit)
 }
 
 // confirmLocked marks an executed entry order-confirmed: it leaves the
 // speculation window and its output becomes the at-most-once record.
 func (x *Executor) confirmLocked(e *entry) {
+	// Promote the entry's uncommitted versions into the committed
+	// state. Safe under x.mu with workers in flight: conflicting
+	// commands are engine-serialized, so nothing concurrently touches
+	// e's chains, and the mismatch check just established that every
+	// conflicting predecessor has been resolved — e's versions sit at
+	// the bottom of their chains.
+	x.ver.Commit(e.epoch)
 	e.confirmed = true
-	e.undo = nil
 	delete(x.byID, requestID{client: e.req.Client, seq: e.req.Seq})
 	x.confirmed.Record(e.req.Client, e.req.Seq, e.output)
 	x.decidedCount++

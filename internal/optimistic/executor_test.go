@@ -15,8 +15,8 @@ import (
 	"github.com/psmr/psmr/internal/transport"
 )
 
-// startKV builds an executor over a preloaded kvstore (the Undoable
-// strategy) on the given engine.
+// startKV builds an executor over a preloaded kvstore (a
+// command.Versioned service) on the given engine.
 func startKV(t *testing.T, kind sched.SchedulerKind, workers, keys int) (*Executor, *kvstore.Store, *transport.MemNetwork) {
 	t.Helper()
 	st := kvstore.New()
@@ -222,10 +222,11 @@ func TestDecidedRetransmissionAnsweredOnce(t *testing.T) {
 	}
 }
 
-// The Cloneable fallback (netfs): speculation runs on a clone,
-// rollback re-derives it from the committed copy, and the decided
-// order's state matches a serial reference execution byte for byte.
-func TestCloneStrategyNetFS(t *testing.T) {
+// The versioned netfs: speculation lands as uncommitted versions over
+// the flat-path stores, rollback aborts just the tainted epochs, and
+// the decided order's state matches a serial reference execution byte
+// for byte.
+func TestVersionedNetFS(t *testing.T) {
 	svc := netfs.NewService()
 	const t0 = int64(1_700_000_000_000_000_000)
 	svc.FS().Mkdir("/d", 0o755, t0)
@@ -276,7 +277,7 @@ func TestCloneStrategyNetFS(t *testing.T) {
 	for _, op := range ops {
 		ref.Execute(op.Cmd, op.Input)
 	}
-	// The committed copy is the replica's authoritative state.
+	// The committed versions are the replica's authoritative state.
 	if got, want := svc.FS().Fingerprint(), ref.FS().Fingerprint(); got != want {
 		t.Fatalf("committed state %x != reference %x (rollbacks=%d)", got, want, x.Counters().Rollbacks)
 	}
@@ -357,9 +358,9 @@ func TestRandomizedDeterminismAcrossEngines(t *testing.T) {
 }
 
 // A ghost that conflicts with NOTHING decided is still withdrawn once
-// enough decided commands pass it by: its unsanctioned effects must
-// not linger in the speculative state (on an in-place Undoable service
-// they would otherwise diverge the replica forever).
+// enough decided commands pass it by: its uncommitted versions must
+// not linger in the speculative state (they would otherwise shadow the
+// committed tip for every later speculative read of those keys).
 func TestGhostEvictedByAge(t *testing.T) {
 	st := kvstore.New()
 	st.Preload(64)
@@ -406,9 +407,117 @@ func TestGhostEvictedByAge(t *testing.T) {
 	}
 }
 
+// A never-decided MULTI-KEY ghost (a transfer touching two keys) must
+// leave zero uncommitted versions behind once evicted: the eviction
+// aborts the ghost's epoch, which drops its version on every key it
+// touched atomically. Regression for the versioned-store refactor —
+// a partial drop would leave one key's chain shadowing the committed
+// tip forever.
+func TestGhostEvictionDropsAllVersions(t *testing.T) {
+	st := kvstore.New()
+	st.Preload(64)
+	compiled, err := cdep.Compile(kvstore.Spec(), 2)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	net := transport.NewMemNetwork(1)
+	t.Cleanup(func() { _ = net.Close() })
+	x, err := StartExecutor(ExecutorConfig{
+		Workers:         2,
+		Service:         st,
+		Compiled:        compiled,
+		Transport:       net,
+		Scheduler:       sched.KindIndex,
+		GhostEvictAfter: 8,
+	})
+	if err != nil {
+		t.Fatalf("StartExecutor: %v", err)
+	}
+	t.Cleanup(func() { _ = x.Close() })
+
+	// Multi-key ghosts: transfers between keys 5 and 6, never decided.
+	x.Speculate([]*command.Request{
+		req(99, 1, kvstore.CmdTransfer, kvstore.EncodeTransfer(5, 6, 2)),
+		req(99, 2, kvstore.CmdTransfer, kvstore.EncodeTransfer(6, 5, 1)),
+	})
+	x.waitDrained()
+	if st.Uncommitted() == 0 {
+		t.Fatal("speculated transfers left no uncommitted versions (test is vacuous)")
+	}
+	// Age the ghosts out with decided traffic on disjoint keys.
+	for i := uint64(1); i <= 20; i++ {
+		x.Commit([]*command.Request{req(1, i, kvstore.CmdUpdate,
+			kvstore.EncodeKeyValue(20+i%8, val(i)))})
+	}
+	c := x.Counters()
+	if c.GhostEvictions != 2 {
+		t.Fatalf("counters = %+v, want 2 ghost evictions", c)
+	}
+	if n := st.Uncommitted(); n != 0 {
+		t.Fatalf("%d uncommitted versions survive the eviction (ghost versions leak)", n)
+	}
+	if got := readKey(t, st, 5); got != 5 {
+		t.Fatalf("key 5 = %d, want preloaded 5", got)
+	}
+	if got := readKey(t, st, 6); got != 6 {
+		t.Fatalf("key 6 = %d, want preloaded 6", got)
+	}
+}
+
+// With ReSpeculate on, a command withdrawn as rollback COLLATERAL
+// (its own decision had not arrived) is re-admitted as a fresh
+// speculation against the repaired state and confirms as a HIT when
+// its decision does arrive — instead of degrading to a decided-path
+// miss.
+func TestReSpeculationTurnsCollateralIntoHit(t *testing.T) {
+	st := kvstore.New()
+	st.Preload(64)
+	compiled, err := cdep.Compile(kvstore.Spec(), 2)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	net := transport.NewMemNetwork(1)
+	t.Cleanup(func() { _ = net.Close() })
+	x, err := StartExecutor(ExecutorConfig{
+		Workers:     2,
+		Service:     st,
+		Compiled:    compiled,
+		Transport:   net,
+		Scheduler:   sched.KindIndex,
+		ReSpeculate: true,
+	})
+	if err != nil {
+		t.Fatalf("StartExecutor: %v", err)
+	}
+	t.Cleanup(func() { _ = x.Close() })
+
+	a := req(1, 1, kvstore.CmdUpdate, kvstore.EncodeKeyValue(5, val(111)))
+	b := req(2, 1, kvstore.CmdUpdate, kvstore.EncodeKeyValue(5, val(222)))
+	// Speculate a before b; decide b before a. Reconciling b rolls a
+	// back as collateral; ReSpeculate re-admits a against the repaired
+	// state, so a's own decide finds a fresh valid speculation.
+	x.Speculate([]*command.Request{a})
+	x.Speculate([]*command.Request{b})
+	x.Commit([]*command.Request{b, a})
+	c := x.Counters()
+	if c.Rollbacks != 1 || c.ReSpeculations != 1 {
+		t.Fatalf("counters = %+v, want 1 rollback and 1 re-speculation", c)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("counters = %+v, want the re-speculated command to confirm as the only hit", c)
+	}
+	// Final order b then a: key 5 ends at a's value.
+	if got := readKey(t, st, 5); got != 111 {
+		t.Fatalf("key 5 = %d, want 111 (decided order b,a)", got)
+	}
+	if n := st.Uncommitted(); n != 0 {
+		t.Fatalf("%d uncommitted versions remain after full confirmation", n)
+	}
+}
+
 // ConfirmedSnapshot must capture ONLY order-confirmed state: an
-// unconfirmed speculation's effects are withdrawn for the snapshot and
-// restored afterwards — the speculation window survives intact and
+// unconfirmed speculation's effects are uncommitted versions the
+// snapshot never reads — the speculation window survives intact and
 // still confirms as hits.
 func TestConfirmedSnapshotExcludesSpeculation(t *testing.T) {
 	x, st, _ := startKV(t, sched.KindIndex, 2, 16)
@@ -450,8 +559,9 @@ func TestConfirmedSnapshotExcludesSpeculation(t *testing.T) {
 	}
 }
 
-// The Cloneable strategy snapshots the committed copy directly.
-func TestConfirmedSnapshotCloneable(t *testing.T) {
+// ConfirmedSnapshot on netfs reads committed versions only, with
+// speculation in flight.
+func TestConfirmedSnapshotNetFS(t *testing.T) {
 	svc := netfs.NewService()
 	compiled, err := cdep.Compile(netfs.Spec(), 2)
 	if err != nil {

@@ -22,16 +22,17 @@
 // # State-machine requirements
 //
 // Speculation mutates service state before consensus confirms the
-// order, so the service must support rollback in one of two ways:
-//
-//   - command.Undoable (kvstore): ExecuteUndo returns a per-command
-//     undo record; rollback applies the records of the withdrawn
-//     suffix in reverse execution order.
-//   - command.Cloneable (netfs): speculation runs on a deep copy of
-//     the state while the Executor replays confirmed commands onto the
-//     committed copy; rollback discards the speculative copy and
-//     re-derives it from the committed one, re-executing the surviving
-//     speculations (re-execution-from-last-commit).
+// order, so the service must implement command.Versioned: its state
+// lives behind multi-version stores (internal/mvstore), every
+// execution runs at a speculation epoch whose writes land as
+// uncommitted versions, confirmation commits the epoch (pointer flip
+// into the committed tip) and rollback aborts it (version drop). Both
+// resolutions cost O(keys the command touched) — no per-command undo
+// records, no whole-state clone-and-replay. Because a withdrawn
+// command's versions vanish without touching anything else, commands
+// rolled back as rollback collateral can immediately RE-SPECULATE
+// against the repaired state (the ReSpeculate knob) instead of waiting
+// to execute as decided-path misses.
 //
 // # Reconciliation and the safety argument
 //
@@ -66,7 +67,9 @@
 //     rolls exactly those back (reverse execution order; non-tainted
 //     entries commute with every tainted one, so they may stay), then
 //     re-executes c in final order. Withdrawn speculations re-execute
-//     when their own decisions arrive.
+//     when their own decisions arrive — or, with ReSpeculate, are
+//     immediately re-admitted as fresh speculations against the
+//     repaired state.
 //
 // Speculation never escapes: replies are withheld until the speculated
 // command is order-confirmed (hit or re-execution), so a client can
@@ -77,9 +80,10 @@
 // never-decided speculation (a "ghost": a preempted leader's proposal
 // that lost consensus) is withdrawn by the first conflicting decided
 // command's rollback; a ghost that conflicts with nothing decided
-// would otherwise leave its effects in the speculative state
-// indefinitely — and, on an in-place Undoable service, diverge the
-// replica — so the executor additionally evicts (rolls back) any
+// would otherwise pin its uncommitted versions in the speculative
+// state indefinitely — shadowing the committed tip for every later
+// speculative read of those keys — so the executor additionally
+// evicts (aborts) any
 // unconfirmed speculation once GhostEvictAfter decided commands have
 // passed it by. Eviction is always safe: if the value is decided after
 // all, it simply re-executes as a miss. The MaxSpeculations window cap
@@ -113,7 +117,7 @@ type ReplicaConfig struct {
 	// Workers is the execution pool size.
 	Workers int
 	// Service is the deterministic state machine; it must implement
-	// command.Undoable or command.Cloneable (see the package doc).
+	// command.Versioned (see the package doc).
 	Service command.Service
 	// Spec is the service's C-Dep, used for conflict queries.
 	Spec cdep.Spec
@@ -140,15 +144,18 @@ type ReplicaConfig struct {
 	// many decided commands passed it by (see ExecutorConfig).
 	// Default 4096.
 	GhostEvictAfter int
+	// ReSpeculate re-admits rollback-withdrawn commands as fresh
+	// speculations against the repaired state (see ExecutorConfig).
+	ReSpeculate bool
 	// ReorderEvery, when positive, swaps every Nth optimistic batch
 	// with its successor before speculating — a test/ablation knob that
 	// forces optimistic/decided divergence, which a single stable
 	// leader never produces on its own.
 	ReorderEvery int
-	// Checkpoint enables coordinated checkpoints. Under speculation the
-	// quiesce happens inside the executor (Executor.ConfirmedSnapshot):
-	// snapshots capture only ORDER-CONFIRMED state, so ghosts can never
-	// leak into a checkpoint. The service must additionally implement
+	// Checkpoint enables coordinated checkpoints. Snapshots read only
+	// COMMITTED versions (Executor.ConfirmedSnapshot), which is exactly
+	// the order-confirmed state — no quiesce, and ghosts can never leak
+	// into a checkpoint. The service must additionally implement
 	// command.Snapshotter.
 	Checkpoint checkpoint.Config
 	// RecoverPeers bootstraps the replica from a live peer's checkpoint
@@ -186,8 +193,8 @@ func LearnerAddr(replicaID int, groupID uint32) transport.Addr {
 
 // StartReplica wires the learner, the executor and the driver. With
 // RecoverPeers set it first bootstraps the service from a live peer's
-// checkpoint (restoring BEFORE the executor clones its committed
-// copy) and replays the decided suffix.
+// checkpoint (restoring BEFORE any speculation is admitted) and
+// replays the decided suffix.
 func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	workers := cfg.Workers
 	if workers < 1 {
@@ -222,6 +229,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		DedupWindow:     cfg.DedupWindow,
 		MaxSpeculations: cfg.MaxSpeculations,
 		GhostEvictAfter: cfg.GhostEvictAfter,
+		ReSpeculate:     cfg.ReSpeculate,
 		CPU:             cfg.CPU,
 	})
 	if err != nil {
@@ -336,7 +344,7 @@ func (r *Replica) drive() {
 			r.executor.Commit(reqs)
 			if r.ckpt != nil {
 				// Coordinated checkpoint at the decided batch boundary:
-				// the executor quiesces itself (ConfirmedSnapshot), so
+				// ConfirmedSnapshot reads only committed versions, so
 				// the marker runs right here on the driver instead of
 				// riding an engine barrier — same deterministic decided
 				// position (instance+1), confirmed state only.

@@ -21,6 +21,7 @@ import (
 	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/mvstore"
 )
 
 // markedStore wraps a kvstore.Store with an atomic count of executed
@@ -39,14 +40,14 @@ func (m *markedStore) Execute(cmd command.ID, input []byte) []byte {
 	return out
 }
 
-// ExecuteUndo keeps the marker count on the speculative path too (the
-// optimistic executor drives Undoable services through it).
-func (m *markedStore) ExecuteUndo(cmd command.ID, input []byte) ([]byte, func()) {
-	out, undo := m.Store.ExecuteUndo(cmd, input)
+// SpeculateAt keeps the marker count on the speculative path too (the
+// optimistic executor drives Versioned services through it).
+func (m *markedStore) SpeculateAt(e mvstore.Epoch, cmd command.ID, input []byte) []byte {
+	out := m.Store.SpeculateAt(e, cmd, input)
 	if cmd == kvstore.CmdInsert {
 		m.inserts.Add(1)
 	}
-	return out, undo
+	return out
 }
 
 func TestKVTransferAllModes(t *testing.T) {

@@ -157,13 +157,18 @@ type Config struct {
 	// through the selected scheduling engine, and replies are released
 	// when the decided order confirms the speculation (see
 	// internal/optimistic). The service must implement
-	// command.Undoable or command.Cloneable.
+	// command.Versioned.
 	Optimistic bool
 	// OptimisticReorder, when positive, makes each replica swap every
 	// Nth optimistic batch with its successor before speculating — a
 	// test/ablation knob forcing optimistic/decided divergence (a
 	// stable single leader never reorders on its own).
 	OptimisticReorder int
+	// OptimisticReSpeculate re-admits rollback-withdrawn commands as
+	// fresh speculations against the repaired state instead of leaving
+	// them to execute as decided-path misses (see internal/optimistic;
+	// requires Optimistic).
+	OptimisticReSpeculate bool
 	// Checkpoint enables coordinated checkpoints and replica recovery:
 	// every Interval decided commands each replica quiesces its workers
 	// at one deterministic log position (the engines' global-barrier
@@ -419,6 +424,7 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 				Tuning:       cfg.SchedTuning,
 				QueueBound:   cfg.SchedulerQueue,
 				ReorderEvery: cfg.OptimisticReorder,
+				ReSpeculate:  cfg.OptimisticReSpeculate,
 				Checkpoint:   cfg.Checkpoint,
 				RecoverPeers: peers,
 				CPU:          cfg.CPU,
