@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify vet build test no-legacy-rollback race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation
+.PHONY: verify vet build test no-legacy-rollback race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation
 
 verify: vet build test no-legacy-rollback
 
@@ -75,3 +75,11 @@ rollback-ablation:
 # (recovery_e2e_test.go).
 recovery-ablation:
 	$(GO) run ./cmd/psmr-bench -exp checkpoint
+
+# Compartmentalized-ordering ablation: proxy-proposer tier size
+# (0/1/2/4 ingress proxies) x learner fan-out off/2 delivery stripes
+# per group; reports throughput, the leader's inbound frames-per-
+# command compression and the proxies' batch fill, and emits
+# BENCH_compartment.json alongside the printed rows.
+compartment-ablation:
+	$(GO) run ./cmd/psmr-bench -exp compartment

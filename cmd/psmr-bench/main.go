@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|rollback|checkpoint|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|rollback|checkpoint|compartment|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -75,6 +75,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runRollback(scale, threads)
 	case "checkpoint":
 		return runCheckpoint(scale, threads)
+	case "compartment":
+		return runCompartment(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -90,6 +92,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runOptimistic(scale, threads) },
 			func() error { return runRollback(scale, threads) },
 			func() error { return runCheckpoint(scale, threads) },
+			func() error { return runCompartment(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -303,7 +306,7 @@ func runRollback(scale Scale, threads int) error {
 	for _, res := range results {
 		printCDF(res)
 	}
-	if err := writeRollbackJSON("BENCH_rollback.json", results); err != nil {
+	if err := writeRowsJSON("BENCH_rollback.json", results); err != nil {
 		return err
 	}
 	fmt.Println("  wrote BENCH_rollback.json")
@@ -313,7 +316,8 @@ func runRollback(scale Scale, threads int) error {
 
 // benchRow is the JSON shape of one ablation row: the identifying
 // technique string, throughput, latency summary and the raw Extra
-// counters (speculation/rollback statistics for the rollback rows).
+// counters (speculation/rollback statistics for the rollback rows,
+// proxy/leader ordering counters for the compartment rows).
 type benchRow struct {
 	Technique string             `json:"technique"`
 	Threads   int                `json:"threads"`
@@ -323,7 +327,7 @@ type benchRow struct {
 	Extra     map[string]float64 `json:"extra,omitempty"`
 }
 
-func writeRollbackJSON(path string, results []*bench.Result) error {
+func writeRowsJSON(path string, results []*bench.Result) error {
 	rows := make([]benchRow, 0, len(results))
 	for _, res := range results {
 		row := benchRow{
@@ -345,6 +349,59 @@ func writeRollbackJSON(path string, results []*bench.Result) error {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
+	return nil
+}
+
+// runCompartment runs the compartmentalized-ordering ablation: a
+// proxy-count scaling curve (0/1/2/4 ingress proxies) crossed with
+// learner fan-out off/on (2 delivery stripes per group). Besides
+// throughput, the proxy rows report the leader's inbound
+// frames-per-command (the ingress compression the tier buys) and the
+// proxies' mean batch fill. Rows are written to BENCH_compartment.json
+// so the curve is diffable across runs.
+func runCompartment(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Compartment ablation — proxy-proposer tier and learner fan-out\n")
+	fmt.Printf("(sP-SMR/index, 50%%/50%% read/update kvstore, %d workers;\n", threads)
+	fmt.Println(" proxies 0/1/2/4 x fan-out off/2 stripes; p=0,fan=0 is the")
+	fmt.Println(" direct-submission baseline)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.CompartmentAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("compartment p=%d fan=%d: %w", setup.Proxies, setup.Fanout, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		if res.Extra != nil && res.Extra["leader_cmds"] > 0 {
+			fmt.Printf("    ordering: leader frames/cmd=%.3f  proxy mean batch=%.1f (%.0f cmds in %.0f batches)\n",
+				res.Extra["leader_frames_per_cmd"], res.Extra["proxy_mean_batch"],
+				res.Extra["proxy_queued"], res.Extra["proxy_batches"])
+		}
+	}
+	fmt.Println()
+	base := kcps["sP-SMR/index"]
+	for _, fan := range []string{"", " fan=2"} {
+		for _, p := range []string{"p=1", "p=2", "p=4"} {
+			name := "sP-SMR/index " + p + fan
+			if on := kcps[name]; base > 0 && on > 0 {
+				fmt.Printf("  %-24s vs direct baseline: %.2fx\n", p+fan, on/base)
+			}
+		}
+	}
+	if fanOnly := kcps["sP-SMR/index fan=2"]; base > 0 && fanOnly > 0 {
+		fmt.Printf("  %-24s vs direct baseline: %.2fx\n", "fan=2", fanOnly/base)
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	if err := writeRowsJSON("BENCH_compartment.json", results); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_compartment.json")
+	fmt.Println()
 	return nil
 }
 

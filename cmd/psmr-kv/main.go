@@ -22,6 +22,7 @@ import (
 	"os"
 	"strconv"
 
+	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/core"
 	"github.com/psmr/psmr/internal/kvstore"
@@ -34,15 +35,16 @@ func main() {
 		server  = flag.String("server", "127.0.0.1:7400", "psmr-kvd host:port")
 		workers = flag.Int("workers", 8, "daemon's worker count (MPL)")
 		mode    = flag.String("mode", "psmr", "daemon's mode: psmr|spsmr|smr")
+		proxies = flag.Int("proxies", 0, "daemon's ingress proxy count (must match psmr-kvd -proxies; 0 = submit to coordinators directly)")
 		id      = flag.Uint64("id", uint64(os.Getpid()), "client id (unique per client)")
 	)
 	flag.Parse()
-	if err := run(*server, *workers, *mode, *id, flag.Args()); err != nil {
+	if err := run(*server, *workers, *mode, *proxies, *id, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(server string, workers int, mode string, id uint64, args []string) error {
+func run(server string, workers int, mode string, proxies int, id uint64, args []string) error {
 	if len(args) < 2 {
 		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE] | transfer FROM TO AMOUNT | mread KEY...")
 	}
@@ -82,9 +84,19 @@ func run(server string, workers int, mode string, id uint64, args []string) erro
 	if err != nil {
 		return err
 	}
+	sender := multicast.NewSender(node, groups)
+	if proxies > 0 {
+		// Submit through the daemon's ingress proxy tier; the endpoint
+		// names mirror psmr.ProxyAddr so client and daemon agree.
+		addrs := make([]transport.Addr, 0, proxies)
+		for i := 0; i < proxies; i++ {
+			addrs = append(addrs, transport.Addr(fmt.Sprintf("%s/%s", server, psmr.ProxyAddr(i))))
+		}
+		sender.UseProxies(addrs)
+	}
 	client, err := core.NewClient(core.ClientConfig{
 		ID:        id,
-		Sender:    multicast.NewSender(node, groups),
+		Sender:    sender,
 		CG:        cg,
 		Transport: node,
 		ReplyAddr: node.Addr(fmt.Sprintf("client/%d", id)),

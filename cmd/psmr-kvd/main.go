@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/command"
@@ -35,14 +36,18 @@ func main() {
 		keys    = flag.Int("keys", 100_000, "preloaded database keys")
 		opt     = flag.Bool("optimistic", false, "spsmr only: speculate on the optimistic stream, reconcile on consensus")
 		ckpt    = flag.Int("checkpoint", 0, "coordinated checkpoint interval in decided commands (0 = off; single-ordered-stream modes only); SIGHUP then crash-restarts replica 1 from its peer's snapshot")
+		proxies = flag.Int("proxies", 0, "ingress proxy-proposer tier size (0 = clients submit to coordinators directly); clients must pass the same -proxies")
+		pbatch  = flag.Int("proxy-batch", 0, "commands per sealed proxy batch (0 = default)")
+		pdelay  = flag.Duration("proxy-delay", 0, "max delay before a partial proxy batch seals (0 = default)")
+		fanout  = flag.Int("fanout", 0, "decided-value delivery stripes per group (0 = coordinator broadcasts directly)")
 	)
 	flag.Parse()
-	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt); err != nil {
+	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt, *proxies, *pbatch, *pdelay, *fanout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval int) error {
+func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval, proxies, proxyBatch int, proxyDelay time.Duration, fanout int) error {
 	var mode psmr.Mode
 	switch modeName {
 	case "psmr":
@@ -80,10 +85,14 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool,
 			return st
 		},
 		Spec:       kvstore.Spec(),
-		Scheduler:  schedKind,
-		Optimistic: optimistic,
-		Checkpoint: psmr.CheckpointConfig{Interval: ckptInterval},
-		Transport:  node,
+		Scheduler:    schedKind,
+		Optimistic:   optimistic,
+		Checkpoint:   psmr.CheckpointConfig{Interval: ckptInterval},
+		Proxies:      proxies,
+		ProxyBatch:   proxyBatch,
+		ProxyDelay:   proxyDelay,
+		FanoutDegree: fanout,
+		Transport:    node,
 	})
 	if err != nil {
 		return err
@@ -96,6 +105,12 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool,
 		"-workers", workers, "get 42")
 	if ckptInterval > 0 {
 		fmt.Printf("psmr-kvd: checkpointing every %d decided commands; SIGHUP crash-restarts replica 1 from its peer\n", ckptInterval)
+	}
+	if proxies > 0 {
+		fmt.Printf("psmr-kvd: %d ingress proxies; clients must pass -proxies %d\n", proxies, proxies)
+	}
+	if fanout > 0 {
+		fmt.Printf("psmr-kvd: decided values striped over %d relays per group\n", fanout)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,128 @@
+package cdep
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+// SubsetTable maps hot worker-subset unions (multi-key γ sets) to
+// dedicated physical multicast groups. Without it, every multi-worker
+// command rides the single shared serial group — the source paper's
+// open physical-multicast gap. With it, a command whose γ exactly
+// matches a compiled subset is ordered on that subset's own group and
+// merged (deterministically) only by the subset's members, so hot
+// pairs no longer serialize behind unrelated multi-key traffic.
+//
+// Subsets are purely a routing optimization: γ sets with no exact
+// match still fall back to the serial group, and correctness never
+// depends on which physical group carried a command (the deterministic
+// merge restricted to any common stream subset is identical at every
+// subscriber).
+type SubsetTable struct {
+	workers int
+	subsets []command.Gamma       // canonical order: ascending bitset value
+	index   map[command.Gamma]int // γ -> position in subsets
+}
+
+// CompileSubsets validates and canonicalizes the configured hot
+// subsets for a deployment of `workers` P-SMR workers. Each subset
+// must name at least two distinct workers within [0, workers);
+// duplicate subsets are rejected. The resulting table order (ascending
+// γ bitset value) is the deployment-wide subset-group numbering, so it
+// must be identical at clients and replicas — deriving it here, from
+// the same config, guarantees that.
+func CompileSubsets(workers int, subsets [][]int) (*SubsetTable, error) {
+	if len(subsets) == 0 {
+		return nil, nil
+	}
+	if workers < 2 {
+		return nil, fmt.Errorf("cdep: subset groups need >= 2 workers, have %d", workers)
+	}
+	t := &SubsetTable{
+		workers: workers,
+		subsets: make([]command.Gamma, 0, len(subsets)),
+		index:   make(map[command.Gamma]int, len(subsets)),
+	}
+	for i, ws := range subsets {
+		var g command.Gamma
+		for _, w := range ws {
+			if w < 0 || w >= workers {
+				return nil, fmt.Errorf("cdep: subset %d: worker %d outside [0,%d)", i, w, workers)
+			}
+			g |= command.GammaOf(w)
+		}
+		if g.Count() < 2 {
+			return nil, fmt.Errorf("cdep: subset %d %s has %d distinct workers, need >= 2", i, g, g.Count())
+		}
+		if g.Count() == workers {
+			return nil, fmt.Errorf("cdep: subset %d %s spans all workers; that is the serial group", i, g)
+		}
+		if _, dup := t.index[g]; dup {
+			return nil, fmt.Errorf("cdep: duplicate subset %s", g)
+		}
+		t.index[g] = 0 // placeholder until sorted
+		t.subsets = append(t.subsets, g)
+	}
+	sort.Slice(t.subsets, func(i, j int) bool { return t.subsets[i] < t.subsets[j] })
+	for i, g := range t.subsets {
+		t.index[g] = i
+	}
+	return t, nil
+}
+
+// AllPairs enumerates every 2-worker subset of a deployment — the
+// exhaustive hot-union set for pairwise multi-key workloads (e.g. the
+// kvstore transfer). Quadratic in workers; intended for small k.
+func AllPairs(workers int) [][]int {
+	var out [][]int
+	for i := 0; i < workers; i++ {
+		for j := i + 1; j < workers; j++ {
+			out = append(out, []int{i, j})
+		}
+	}
+	return out
+}
+
+// Count returns the number of compiled subsets; 0 on a nil table.
+func (t *SubsetTable) Count() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.subsets)
+}
+
+// Gammas returns the compiled subsets in canonical order. The caller
+// must not modify the slice.
+func (t *SubsetTable) Gammas() []command.Gamma {
+	if t == nil {
+		return nil
+	}
+	return t.subsets
+}
+
+// Lookup returns the canonical index of γ if it is a compiled subset.
+func (t *SubsetTable) Lookup(g command.Gamma) (int, bool) {
+	if t == nil {
+		return 0, false
+	}
+	idx, ok := t.index[g]
+	return idx, ok
+}
+
+// ForWorker returns (ascending) the canonical indices of the subsets
+// containing worker w — the subset streams w's merger must subscribe
+// to.
+func (t *SubsetTable) ForWorker(w int) []int {
+	if t == nil {
+		return nil
+	}
+	var out []int
+	for i, g := range t.subsets {
+		if g.Has(w) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

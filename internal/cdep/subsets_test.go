@@ -1,0 +1,97 @@
+package cdep
+
+import (
+	"testing"
+
+	"github.com/psmr/psmr/internal/command"
+)
+
+func TestCompileSubsetsCanonicalOrder(t *testing.T) {
+	// Declaration order must not matter: the canonical numbering is
+	// ascending bitset value.
+	tab, err := CompileSubsets(4, [][]int{{2, 3}, {0, 1}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []command.Gamma{
+		command.GammaOf(0, 1), // 0b0011
+		command.GammaOf(1, 3), // 0b1010
+		command.GammaOf(2, 3), // 0b1100
+	}
+	got := tab.Gammas()
+	if len(got) != len(want) {
+		t.Fatalf("got %d subsets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("subset %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if idx, ok := tab.Lookup(command.GammaOf(3, 1)); !ok || idx != 1 {
+		t.Fatalf("Lookup({1,3}) = %d,%v, want 1,true", idx, ok)
+	}
+	if _, ok := tab.Lookup(command.GammaOf(0, 2)); ok {
+		t.Fatal("Lookup({0,2}) found a subset that was not compiled")
+	}
+}
+
+func TestCompileSubsetsRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		workers int
+		subsets [][]int
+	}{
+		{"singleton", 4, [][]int{{2}}},
+		{"duplicate-members-collapse-to-singleton", 4, [][]int{{2, 2}}},
+		{"out-of-range", 4, [][]int{{1, 4}}},
+		{"negative", 4, [][]int{{-1, 1}}},
+		{"all-workers", 3, [][]int{{0, 1, 2}}},
+		{"duplicate-subset", 4, [][]int{{0, 1}, {1, 0}}},
+		{"one-worker-deployment", 1, [][]int{{0, 1}}},
+	}
+	for _, c := range cases {
+		if _, err := CompileSubsets(c.workers, c.subsets); err == nil {
+			t.Errorf("%s: CompileSubsets accepted %v", c.name, c.subsets)
+		}
+	}
+}
+
+func TestCompileSubsetsEmpty(t *testing.T) {
+	tab, err := CompileSubsets(4, nil)
+	if err != nil || tab != nil {
+		t.Fatalf("CompileSubsets(4, nil) = %v, %v; want nil, nil", tab, err)
+	}
+	// The nil table must behave as "no subsets" everywhere.
+	if tab.Count() != 0 || tab.Gammas() != nil || tab.ForWorker(0) != nil {
+		t.Fatal("nil SubsetTable is not inert")
+	}
+	if _, ok := tab.Lookup(command.GammaOf(0, 1)); ok {
+		t.Fatal("nil SubsetTable resolved a lookup")
+	}
+}
+
+func TestSubsetsForWorker(t *testing.T) {
+	tab, err := CompileSubsets(4, AllPairs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Count() != 6 {
+		t.Fatalf("AllPairs(4) compiled to %d subsets, want 6", tab.Count())
+	}
+	for w := 0; w < 4; w++ {
+		idxs := tab.ForWorker(w)
+		if len(idxs) != 3 {
+			t.Fatalf("worker %d in %d pair subsets, want 3", w, len(idxs))
+		}
+		for i := 1; i < len(idxs); i++ {
+			if idxs[i] <= idxs[i-1] {
+				t.Fatalf("worker %d subset indices not ascending: %v", w, idxs)
+			}
+		}
+		for _, si := range idxs {
+			if !tab.Gammas()[si].Has(w) {
+				t.Fatalf("worker %d listed for subset %s", w, tab.Gammas()[si])
+			}
+		}
+	}
+}

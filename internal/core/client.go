@@ -42,6 +42,11 @@ type ClientConfig struct {
 	RetryInterval time.Duration
 	// Seed drives the random group choice for independent commands.
 	Seed int64
+	// Subsets, when non-nil, routes multi-worker commands whose γ
+	// exactly matches a compiled subset onto that subset's dedicated
+	// group instead of the shared serial group. Must be compiled from
+	// the same configuration the replicas were wired with.
+	Subsets *cdep.SubsetTable
 }
 
 // Client is a P-SMR client proxy. It is safe for concurrent use; a
@@ -145,20 +150,38 @@ func (c *Client) Submit(cmd command.ID, input []byte) (*Call, error) {
 	c.mu.Unlock()
 
 	if err := c.cfg.Sender.Multicast(call.group, call.frame); err != nil {
-		// Keep the call pending; Wait will retransmit.
+		if errors.Is(err, multicast.ErrProxyDown) {
+			// The whole proxy tier is unreachable: fail the submit with
+			// the distinct error instead of letting it pend forever —
+			// retransmission cannot reach a coordinator either.
+			c.forget(seq)
+			return nil, err
+		}
+		// Otherwise keep the call pending; Wait will retransmit.
 		_ = err
 	}
 	return call, nil
 }
 
 // physicalGroup maps a destination set to the single multicast group
-// carrying it: the worker's own group for singletons, the shared serial
-// group otherwise (the paper's prototype restriction, §VI-A).
+// carrying it: the worker's own group for singletons, a dedicated
+// subset group for an exact compiled-subset match, and the shared
+// serial group otherwise (the paper's prototype restriction, §VI-A,
+// which the subset table relaxes). Group numbering is worker groups
+// 0..k-1, subset groups k..k+S-1 (canonical table order), serial last.
 func (c *Client) physicalGroup(gamma command.Gamma) int {
-	if gamma.Count() == 1 && gamma.Min() < c.cfg.Sender.Groups() {
+	total := c.cfg.Sender.Groups()
+	workerGroups := total
+	if total > 1 {
+		workerGroups = total - c.cfg.Subsets.Count() - 1
+	}
+	if gamma.Count() == 1 && gamma.Min() < workerGroups {
 		return gamma.Min()
 	}
-	return c.cfg.Sender.Groups() - 1 // serial group is last
+	if idx, ok := c.cfg.Subsets.Lookup(gamma); ok {
+		return workerGroups + idx
+	}
+	return total - 1 // serial group is last
 }
 
 // Invoke submits a command and waits for its response.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
@@ -37,8 +38,17 @@ type ReplicaConfig struct {
 	Service command.Service
 	// Groups are the multicast groups: either k parallel groups plus
 	// one serial group (P-SMR), or exactly one group when Workers == 1
-	// (classic SMR).
+	// (classic SMR). With Subsets compiled, the layout is k worker
+	// groups, then one group per subset (canonical table order), then
+	// the serial group.
 	Groups []multicast.GroupConfig
+	// Subsets, when non-nil, declares the dedicated multi-worker subset
+	// groups wired between the worker groups and the serial group. Each
+	// worker additionally subscribes (in canonical order) to the subset
+	// streams containing it; the deterministic merge restricted to any
+	// common stream set is identical at every subscriber, so rendezvous
+	// order is unaffected. Must match the clients' table.
+	Subsets *cdep.SubsetTable
 	// Transport carries all replica traffic.
 	Transport transport.Transport
 	// MergeWeight is the deterministic-merge weight: slots per stream
@@ -84,11 +94,12 @@ type Replica struct {
 	wg        sync.WaitGroup
 }
 
-// serialGroup reports the index of the shared serial group, or -1 when
-// the deployment has no serial group (k parallel groups only).
-func serialGroupIndex(workers, groups int) int {
-	if groups == workers+1 {
-		return workers
+// serialGroupIndex reports the index of the shared serial group, or -1
+// when the deployment has no serial group (k parallel groups only).
+// Subset groups sit between the worker groups and the serial group.
+func serialGroupIndex(workers, subsets, groups int) int {
+	if groups == workers+subsets+1 {
+		return groups - 1
 	}
 	return -1
 }
@@ -98,7 +109,12 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.Workers < 1 || cfg.Workers > 64 {
 		return nil, fmt.Errorf("core: %d workers outside [1,64]", cfg.Workers)
 	}
-	if len(cfg.Groups) != cfg.Workers && len(cfg.Groups) != cfg.Workers+1 {
+	if s := cfg.Subsets.Count(); s > 0 {
+		if len(cfg.Groups) != cfg.Workers+s+1 {
+			return nil, fmt.Errorf("core: %d groups for %d workers + %d subsets (want k+S+1)",
+				len(cfg.Groups), cfg.Workers, s)
+		}
+	} else if len(cfg.Groups) != cfg.Workers && len(cfg.Groups) != cfg.Workers+1 {
 		return nil, fmt.Errorf("core: %d groups for %d workers (want k or k+1)",
 			len(cfg.Groups), cfg.Workers)
 	}
@@ -176,9 +192,17 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		r.ckpt, r.ckptSrv = p.Driver, p.Server
 	}
 
-	serialIdx := serialGroupIndex(k, len(cfg.Groups))
+	serialIdx := serialGroupIndex(k, cfg.Subsets.Count(), len(cfg.Groups))
 	for i := 0; i < k; i++ {
+		// Subscription order is ascending group id at every worker: own
+		// group (id i < k), then the subset groups containing this worker
+		// (ids k..k+S-1, canonical order), then the serial group (last).
+		// Identical ordering of the common streams at all subscribers is
+		// what keeps the deterministic merge consistent.
 		cursors := []*paxos.Cursor{r.learners[i].NewCursor()}
+		for _, si := range cfg.Subsets.ForWorker(i) {
+			cursors = append(cursors, r.learners[k+si].NewCursor())
+		}
 		if serialIdx >= 0 {
 			cursors = append(cursors, r.learners[serialIdx].NewCursor())
 		}

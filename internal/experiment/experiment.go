@@ -97,6 +97,19 @@ type KVSetup struct {
 	// decided commands (0 = off); the result's Extra map then carries
 	// checkpoint count, quiesce-pause and snapshot-size columns.
 	CheckpointInterval int
+	// Proxies inserts a proxy-proposer tier of N stateless ingress
+	// proxies between clients and the coordinators (0 = direct
+	// submission); the result's Extra map then carries the per-proxy
+	// queue/batch counters and the leader's frames-per-command ratio.
+	Proxies int
+	// ProxyBatch and ProxyDelay are the proxy sealing knobs (items per
+	// batch; max delay before a partial batch seals).
+	ProxyBatch int
+	ProxyDelay time.Duration
+	// Fanout stripes decided-value delivery across N relay processes
+	// per group instead of the coordinator broadcasting serially
+	// (0 = direct broadcast).
+	Fanout int
 	// TagTuning appends the tuning label to the reported technique
 	// name (used by the admission ablation).
 	TagTuning bool
@@ -149,11 +162,12 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	}
 
 	var (
-		invokers     []workload.Invoker
-		servers      int
-		cleanup      func()
-		optCounters  func() []psmr.OptimisticCounters
-		ckptCounters func() []psmr.CheckpointCounters
+		invokers      []workload.Invoker
+		servers       int
+		cleanup       func()
+		optCounters   func() []psmr.OptimisticCounters
+		ckptCounters  func() []psmr.CheckpointCounters
+		orderCounters func() psmr.OrderingCounters
 	)
 	switch setup.Technique {
 	case PSMR, SPSMR, SMR:
@@ -177,6 +191,10 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			OptimisticReorder:     setup.OptimisticReorder,
 			OptimisticReSpeculate: setup.ReSpeculate,
 			Checkpoint:        psmr.CheckpointConfig{Interval: setup.CheckpointInterval},
+			Proxies:           setup.Proxies,
+			ProxyBatch:        setup.ProxyBatch,
+			ProxyDelay:        setup.ProxyDelay,
+			FanoutDegree:      setup.Fanout,
 			CPU:               cpu,
 		})
 		if err != nil {
@@ -186,6 +204,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		servers = 2
 		optCounters = cluster.OptimisticCounters
 		ckptCounters = cluster.CheckpointCounters
+		orderCounters = cluster.OrderingCounters
 		for i := 0; i < setup.Clients; i++ {
 			c, err := cluster.NewClient()
 			if err != nil {
@@ -278,6 +297,12 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 	if setup.TagTuning {
 		tech += " " + setup.Tuning.Label()
 	}
+	if setup.Proxies > 0 {
+		tech += fmt.Sprintf(" p=%d", setup.Proxies)
+	}
+	if setup.Fanout > 0 {
+		tech += fmt.Sprintf(" fan=%d", setup.Fanout)
+	}
 	if setup.Tag != "" {
 		tech += " " + setup.Tag
 	}
@@ -326,6 +351,28 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		} {
 			res.Extra[k] = v
 		}
+	}
+	if (setup.Proxies > 0 || setup.Fanout > 0) && orderCounters != nil {
+		// Ordering-layer columns: how much the proxy tier compresses the
+		// leader's ingress (frames per command) and how the proxies'
+		// batches filled.
+		oc := orderCounters()
+		var queued, batches uint64
+		for _, p := range oc.Proxies {
+			queued += p.Queued
+			batches += p.Batches
+		}
+		if res.Extra == nil {
+			res.Extra = map[string]float64{}
+		}
+		res.Extra["proxy_queued"] = float64(queued)
+		res.Extra["proxy_batches"] = float64(batches)
+		if batches > 0 {
+			res.Extra["proxy_mean_batch"] = float64(queued) / float64(batches)
+		}
+		res.Extra["leader_frames"] = float64(oc.Leader.InboundFrames)
+		res.Extra["leader_cmds"] = float64(oc.Leader.InboundCommands)
+		res.Extra["leader_frames_per_cmd"] = oc.Leader.FramesPerCommand()
 	}
 	return res, nil
 }

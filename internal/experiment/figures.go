@@ -383,6 +383,30 @@ func CheckpointAblationSetups(scale Scale, threads int) []KVSetup {
 	return setups
 }
 
+// CompartmentAblationSetups returns the compartmentalized-ordering
+// ablation: sP-SMR on the index engine under the 50/50 read/update
+// kvstore workload, sweeping the proxy-proposer tier (0/1/2/4 ingress
+// proxies) crossed with learner fan-out off/on (2 delivery stripes per
+// group). The p=0,fan=0 row is the direct-submission baseline; proxy
+// rows additionally report the leader's frames-per-command compression
+// and per-proxy batch fill in Result.Extra, which is where the
+// ordering-layer claim (batching relieves the leader's ingress, relays
+// relieve its egress) is measured rather than guessed.
+func CompartmentAblationSetups(scale Scale, threads int) []KVSetup {
+	var setups []KVSetup
+	for _, fanout := range []int{0, 2} {
+		for _, proxies := range []int{0, 1, 2, 4} {
+			setup := scale.kvSetup(SPSMR, threads)
+			setup.Gen = workload.KVReadUpdate
+			setup.Scheduler = psmr.SchedIndex
+			setup.Proxies = proxies
+			setup.Fanout = fanout
+			setups = append(setups, setup)
+		}
+	}
+	return setups
+}
+
 // PrintTable1 prints the paper's Table I (delivery/execution
 // parallelism matrix), the structural summary of the three SMR
 // variants.

@@ -18,12 +18,20 @@
 package multicast
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/transport"
 )
+
+// ErrProxyDown reports that a multicast could not be handed to any
+// configured proxy: every proxy send failed. It is distinct from the
+// best-effort nil of a successful (but possibly lost) send so clients
+// can fail fast — and retry elsewhere — when the whole proxy tier is
+// unreachable.
+var ErrProxyDown = errors.New("multicast: no proxy reachable")
 
 // GroupConfig names the endpoints of one multicast group.
 type GroupConfig struct {
@@ -44,6 +52,12 @@ type Sender struct {
 	tr       transport.Transport
 	groups   []GroupConfig
 	believed []atomic.Int32 // believed leader per group
+
+	// Proxy tier (optional): when set, proposals go to a proxy instead
+	// of a coordinator; the proxy batches and forwards them. curProxy
+	// tracks the proxy currently in use.
+	proxies  []transport.Addr
+	curProxy atomic.Uint32
 }
 
 // NewSender builds a sender over the given groups. Group g in Multicast
@@ -56,26 +70,59 @@ func NewSender(tr transport.Transport, groups []GroupConfig) *Sender {
 	}
 }
 
+// UseProxies routes all subsequent multicasts through the proxy tier:
+// each proposal is sent to one proxy (rotating to a survivor when a
+// send fails) instead of directly to a group coordinator. Call before
+// the sender is shared across goroutines.
+func (s *Sender) UseProxies(proxies []transport.Addr) {
+	s.proxies = proxies
+}
+
 // Groups returns the number of configured groups.
 func (s *Sender) Groups() int { return len(s.groups) }
 
-// Multicast proposes payload for total ordering within group g.
+// Multicast proposes payload for total ordering within group g. With a
+// proxy tier configured it tries every proxy (starting from the one
+// last known good) before giving up with ErrProxyDown; without one the
+// send goes straight to the group's believed coordinator.
 func (s *Sender) Multicast(g int, payload []byte) error {
 	if g < 0 || g >= len(s.groups) {
 		return fmt.Errorf("multicast: group %d outside [0,%d)", g, len(s.groups))
 	}
 	grp := &s.groups[g]
+	frame := paxos.NewProposeFrame(grp.ID, payload)
+	if n := len(s.proxies); n > 0 {
+		start := s.curProxy.Load()
+		var lastErr error
+		for i := 0; i < n; i++ {
+			idx := int((start + uint32(i)) % uint32(n))
+			if err := s.tr.Send(s.proxies[idx], frame); err == nil {
+				if i > 0 {
+					s.curProxy.Store(uint32(idx))
+				}
+				return nil
+			} else {
+				lastErr = err
+			}
+		}
+		return fmt.Errorf("%w: %v", ErrProxyDown, lastErr)
+	}
 	leader := int(s.believed[g].Load()) % len(grp.Coordinators)
-	return s.tr.Send(grp.Coordinators[leader], paxos.NewProposeFrame(grp.ID, payload))
+	return s.tr.Send(grp.Coordinators[leader], frame)
 }
 
 // RotateLeader switches the believed leader of group g to the next
-// candidate; client proxies call it when requests time out.
+// candidate; client proxies call it when requests time out. With a
+// proxy tier it also rotates the proxy in use, covering the case of a
+// proxy that accepts frames but no longer forwards them.
 func (s *Sender) RotateLeader(g int) {
 	if g < 0 || g >= len(s.groups) {
 		return
 	}
 	s.believed[g].Add(1)
+	if len(s.proxies) > 0 {
+		s.curProxy.Add(1)
+	}
 }
 
 // Item is one delivered payload with its provenance, used by receivers

@@ -1,0 +1,8 @@
+//go:build race
+
+package paxos
+
+// benchRaceEnabled skips timing-ratio assertions under the race
+// detector, whose instrumentation skews the admission-path costs being
+// compared.
+const benchRaceEnabled = true

@@ -1,0 +1,225 @@
+package paxos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// admissionSink swallows all coordinator sends so the benchmarks time
+// only the submit path (decode + batch buffering + flush encode).
+type admissionSink struct{}
+
+func (admissionSink) Listen(addr transport.Addr) (transport.Endpoint, error) {
+	return nil, transport.ErrClosed
+}
+func (admissionSink) Send(to transport.Addr, frame []byte) error { return nil }
+func (admissionSink) Close() error                               { return nil }
+
+// newAdmissionCoordinator builds a leader coordinator whose event loop
+// is NOT running: the benchmark drives handle() directly, exactly the
+// per-frame work the run() loop performs.
+func newAdmissionCoordinator() *Coordinator {
+	cfg := CoordinatorConfig{
+		GroupID:      0,
+		CandidateIdx: 0,
+		Candidates:   []transport.Addr{"g0/coord0"},
+		Acceptors:    []transport.Addr{"g0/acc0", "g0/acc1", "g0/acc2"},
+		Learners:     []transport.Addr{"r0/g0"},
+		Transport:    admissionSink{},
+	}
+	cfg.fillDefaults()
+	cfg.Window = 1 << 30 // never backlog: keep the measured path uniform
+	c := &Coordinator{
+		cfg:        cfg,
+		pending:    make(map[uint64]*pendingInstance),
+		decisions:  make(map[uint64][]byte),
+		flushTimer: time.NewTimer(time.Hour),
+		leader:     true,
+		ballot:     MakeBallot(1, 0),
+	}
+	if !c.flushTimer.Stop() {
+		<-c.flushTimer.C
+	}
+	return c
+}
+
+// resetAdmission bounds the undecided-instance state the unacked
+// benchmark coordinator accumulates; identical for both variants.
+func resetAdmission(c *Coordinator, i int) {
+	if i&8191 == 0 && len(c.pending) > 0 {
+		c.pending = make(map[uint64]*pendingInstance)
+	}
+}
+
+const admissionPayload = 64
+
+// proxyBatchItems is the proxy seal size the proxied benchmarks and
+// the CPU-ratio test assume.
+const proxyBatchItems = 64
+
+func admissionProposeFrame() []byte {
+	return NewProposeFrame(0, make([]byte, admissionPayload))
+}
+
+func admissionBatchFrame() []byte {
+	items := make([][]byte, proxyBatchItems)
+	for i := range items {
+		items[i] = make([]byte, admissionPayload)
+	}
+	return NewProposeBatchFrame(0, items)
+}
+
+// BenchmarkCoordinatorSubmitDirect measures the leader's per-command
+// submit-path cost with direct client submission: one Propose frame
+// per command. ns/op is per command.
+func BenchmarkCoordinatorSubmitDirect(b *testing.B) {
+	c := newAdmissionCoordinator()
+	frame := admissionProposeFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.handle(frame)
+		resetAdmission(c, i)
+	}
+}
+
+// BenchmarkCoordinatorSubmitProxied measures the same per-command cost
+// when commands arrive pre-batched by a proxy (one ProposeBatch frame
+// per proxyBatchItems commands). ns/op is per command, like the direct
+// variant.
+func BenchmarkCoordinatorSubmitProxied(b *testing.B) {
+	c := newAdmissionCoordinator()
+	frame := admissionBatchFrame()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += proxyBatchItems {
+		c.handle(frame)
+		resetAdmission(c, i)
+	}
+}
+
+// TestProxyAdmissionCPUSpeedup pins the perf claim: proxy batching
+// must cut the coordinator's per-command submit-path CPU by at least
+// 1.5x versus direct submission. (The observed ratio is far larger —
+// one frame decode amortized over 64 commands — so 1.5x leaves slack
+// for noisy CI boxes.)
+func TestProxyAdmissionCPUSpeedup(t *testing.T) {
+	if benchRaceEnabled {
+		t.Skip("timing ratios are meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing test skipped in -short")
+	}
+	best := func(bench func(*testing.B)) float64 {
+		bestNs := 0.0
+		for i := 0; i < 3; i++ {
+			r := testing.Benchmark(bench)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if ns > 0 && (bestNs == 0 || ns < bestNs) {
+				bestNs = ns
+			}
+		}
+		return bestNs
+	}
+	// Best-of-three per variant: noise on a loaded CI box only ever
+	// slows a run down, so minima compare the real costs.
+	dns := best(BenchmarkCoordinatorSubmitDirect)
+	pns := best(BenchmarkCoordinatorSubmitProxied)
+	if pns <= 0 || dns <= 0 {
+		t.Fatalf("degenerate timings: direct %v ns/cmd, proxied %v ns/cmd", dns, pns)
+	}
+	ratio := dns / pns
+	t.Logf("submit path: direct %.1f ns/cmd, proxied %.1f ns/cmd, speedup %.2fx", dns, pns, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("proxied submit path speedup %.2fx, want >= 1.5x", ratio)
+	}
+}
+
+// TestProposeBatchAdmission checks the batch-of-batches unpack at
+// instance assignment: a ProposeBatch admits exactly its items, in
+// order, with frame/command counters reflecting the amortization, and
+// slot accounting (skip suppression's input) counting per command.
+func TestProposeBatchAdmission(t *testing.T) {
+	c := newAdmissionCoordinator()
+	items := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	c.handle(NewProposeBatchFrame(0, items))
+	if got := len(c.curItems); got != 3 {
+		t.Fatalf("admitted %d items, want 3", got)
+	}
+	for i, want := range []string{"a", "bb", "ccc"} {
+		if string(c.curItems[i]) != want {
+			t.Fatalf("item %d = %q, want %q", i, c.curItems[i], want)
+		}
+	}
+	cnt := c.Counters()
+	if cnt.InboundFrames != 1 || cnt.InboundCommands != 3 {
+		t.Fatalf("counters = %+v, want 1 frame / 3 commands", cnt)
+	}
+	c.flush()
+	if c.slotsSinceTick != 3 {
+		t.Fatalf("slotsSinceTick = %d after flush, want 3 (one per command)", c.slotsSinceTick)
+	}
+	// A direct propose costs one frame per command.
+	c.handle(NewProposeFrame(0, []byte("d")))
+	cnt = c.Counters()
+	if cnt.InboundFrames != 2 || cnt.InboundCommands != 4 {
+		t.Fatalf("counters = %+v, want 2 frames / 4 commands", cnt)
+	}
+	if fpc := cnt.FramesPerCommand(); fpc != 0.5 {
+		t.Fatalf("frames per command = %v, want 0.5", fpc)
+	}
+}
+
+// TestProposeBatchRoundTrip pins the fused single-allocation encoder
+// against the generic decode path.
+func TestProposeBatchRoundTrip(t *testing.T) {
+	items := [][]byte{{}, []byte("x"), make([]byte, 300)}
+	frame := NewProposeBatchFrame(42, items)
+	m, err := decodeMessage(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Type != msgProposeBatch || m.Group != 42 {
+		t.Fatalf("decoded type %v group %d", m.Type, m.Group)
+	}
+	b, err := DecodeBatch(m.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Skip || len(b.Items) != len(items) {
+		t.Fatalf("decoded batch %+v", b)
+	}
+	for i := range items {
+		if string(b.Items[i]) != string(items[i]) {
+			t.Fatalf("item %d mismatch", i)
+		}
+	}
+	g, pb, ok := ParseProposeBatch(frame)
+	if !ok || g != 42 || len(pb.Items) != 3 {
+		t.Fatalf("ParseProposeBatch = %d, %+v, %v", g, pb, ok)
+	}
+}
+
+// TestParseProposeAllocFree pins the proxy admission parser: correct
+// extraction and zero allocations.
+func TestParseProposeAllocFree(t *testing.T) {
+	frame := NewProposeFrame(7, []byte("hello"))
+	g, v, ok := ParsePropose(frame)
+	if !ok || g != 7 || string(v) != "hello" {
+		t.Fatalf("ParsePropose = %d, %q, %v", g, v, ok)
+	}
+	if _, _, ok := ParsePropose([]byte{1, 2}); ok {
+		t.Fatal("ParsePropose accepted a truncated frame")
+	}
+	if _, _, ok := ParsePropose(NewProposeBatchFrame(0, [][]byte{[]byte("x"), []byte("y")})); ok {
+		t.Fatal("ParsePropose accepted a propose-batch frame")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, _, _ = ParsePropose(frame)
+	})
+	if allocs != 0 {
+		t.Fatalf("ParsePropose allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package paxos
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
@@ -24,6 +25,15 @@ type CoordinatorConfig struct {
 	// also be listed here (the constructor adds them automatically) so
 	// standbys can serve retransmission after a fail-over.
 	Learners []transport.Addr
+	// Relays, when non-empty, compartmentalize the decision broadcast:
+	// instead of sending every decision to every learner itself, the
+	// leader stripes decisions across the relays (instance mod relay
+	// count) and each relay re-broadcasts to all learners. The leader's
+	// per-decision send work becomes O(1) regardless of learner count.
+	// Learners re-sequence the cross-stripe arrivals through their
+	// out-of-order buffer, so decided order is unaffected; gap
+	// retransmission still flows learner -> coordinator directly.
+	Relays []transport.Addr
 	// Transport carries the coordinator's traffic.
 	Transport transport.Transport
 
@@ -157,6 +167,39 @@ type Coordinator struct {
 
 	// statusCh serves Status() queries without data races.
 	statusCh chan chan Status
+
+	// Inbound admission counters (atomics: read concurrently by
+	// Counters()). A proxy tier shows up here as frames-per-command
+	// falling below 1.
+	inFrames   atomic.Uint64
+	inCommands atomic.Uint64
+}
+
+// CoordinatorCounters reports a coordinator's inbound admission work:
+// how many proposal frames it received versus how many commands those
+// frames carried. Direct client submission costs one frame per
+// command; a proxy tier amortizes one frame over a whole proxy batch.
+type CoordinatorCounters struct {
+	InboundFrames   uint64
+	InboundCommands uint64
+}
+
+// FramesPerCommand is the admission cost ratio; 0 when no commands
+// were admitted.
+func (c CoordinatorCounters) FramesPerCommand() float64 {
+	if c.InboundCommands == 0 {
+		return 0
+	}
+	return float64(c.InboundFrames) / float64(c.InboundCommands)
+}
+
+// Counters returns the coordinator's admission counters. Safe to call
+// concurrently with the event loop.
+func (c *Coordinator) Counters() CoordinatorCounters {
+	return CoordinatorCounters{
+		InboundFrames:   c.inFrames.Load(),
+		InboundCommands: c.inCommands.Load(),
+	}
 }
 
 // Status is a snapshot of coordinator state, for tests and monitoring.
@@ -310,6 +353,8 @@ func (c *Coordinator) handle(frame []byte) {
 	switch m.Type {
 	case msgPropose:
 		c.handlePropose(m)
+	case msgProposeBatch:
+		c.handleProposeBatch(m)
 	case msgPhase1b:
 		c.handlePhase1b(m)
 	case msgPhase2b:
@@ -343,11 +388,51 @@ func (c *Coordinator) handlePropose(m *message) {
 		return
 	}
 	// Leaders (and candidates mid-phase-1) buffer the value.
+	c.inFrames.Add(1)
+	c.inCommands.Add(1)
+	c.admit(m.Value)
+}
+
+// handleProposeBatch admits a proxy-sealed batch: the frame's value is
+// a batch encoding whose items are individual proposal values. The
+// leader unpacks it into the current consensus batch, so admission
+// cost per command shrinks to decode-plus-append while flush
+// thresholds, slot accounting (per command, in flush), optimistic
+// delivery and skip suppression behave exactly as if the commands had
+// arrived one frame each.
+func (c *Coordinator) handleProposeBatch(m *message) {
+	if !c.leader && !c.preparing {
+		if m.Flags&flagForwarded != 0 {
+			return
+		}
+		target := c.cfg.Candidates[c.believedLeader%len(c.cfg.Candidates)]
+		if target == c.cfg.Candidates[c.cfg.CandidateIdx] {
+			return
+		}
+		fwd := *m
+		fwd.Flags |= flagForwarded
+		_ = c.cfg.Transport.Send(target, encodeMessage(&fwd))
+		return
+	}
+	b, err := DecodeBatch(m.Value)
+	if err != nil || b.Skip {
+		return
+	}
+	c.inFrames.Add(1)
+	c.inCommands.Add(uint64(len(b.Items)))
+	for _, item := range b.Items {
+		c.admit(item)
+	}
+}
+
+// admit buffers one proposal value into the current batch, flushing on
+// the size threshold.
+func (c *Coordinator) admit(value []byte) {
 	if len(c.curItems) == 0 {
 		c.flushTimer.Reset(c.cfg.FlushInterval)
 	}
-	c.curItems = append(c.curItems, m.Value)
-	c.curBytes += len(m.Value)
+	c.curItems = append(c.curItems, value)
+	c.curBytes += len(value)
 	if c.curBytes >= c.cfg.BatchMaxBytes {
 		c.flush()
 	}
@@ -395,11 +480,15 @@ func (c *Coordinator) proposeValue(value []byte) {
 			Instance: c.optSeq,
 			Value:    value,
 		}
-		c.optSeq++
 		frame := encodeMessage(m)
-		for _, l := range c.cfg.Learners {
-			_ = c.cfg.Transport.Send(l, frame)
+		if n := len(c.cfg.Relays); n > 0 {
+			_ = c.cfg.Transport.Send(c.cfg.Relays[c.optSeq%uint64(n)], frame)
+		} else {
+			for _, l := range c.cfg.Learners {
+				_ = c.cfg.Transport.Send(l, frame)
+			}
 		}
+		c.optSeq++
 	}
 	c.sendPhase2a(inst, value)
 }
@@ -445,6 +534,15 @@ func (c *Coordinator) decide(inst uint64, value []byte) {
 		Value:    value,
 	}
 	frame := encodeMessage(m)
+	// Striped fan-out: with relays configured the leader hands each
+	// decision to exactly one relay, which re-broadcasts to all
+	// learners. Learners tolerate the resulting cross-stripe reordering
+	// (out-of-order buffer) and recover a lost stripe through gap
+	// retransmission against the coordinator.
+	if n := len(c.cfg.Relays); n > 0 {
+		_ = c.cfg.Transport.Send(c.cfg.Relays[inst%uint64(n)], frame)
+		return
+	}
 	for _, l := range c.cfg.Learners {
 		_ = c.cfg.Transport.Send(l, frame)
 	}

@@ -62,6 +62,15 @@ const (
 	// optimistic values are permitted and must never affect the decided
 	// log.
 	msgOptimistic
+	// msgProposeBatch carries a proxy-sealed batch of client proposals
+	// in one frame (the compartmentalized proxy-proposer tier): Value is
+	// a batchKindNormal batch encoding whose items are the individual
+	// proposal values, in the proxy's admission order. The leader
+	// unpacks the items into its current consensus batch, so its
+	// inbound work drops from one frame per command to one frame per
+	// proxy batch while slot accounting, optimistic delivery and skip
+	// suppression keep operating per command.
+	msgProposeBatch
 )
 
 func (t msgType) String() string {
@@ -86,6 +95,8 @@ func (t msgType) String() string {
 		return "heartbeat"
 	case msgOptimistic:
 		return "optimistic"
+	case msgProposeBatch:
+		return "proposebatch"
 	default:
 		return fmt.Sprintf("msgType(%d)", uint8(t))
 	}
@@ -149,6 +160,75 @@ func NewOptimisticFrame(group uint32, ballot Ballot, optSeq uint64, value []byte
 		Instance: optSeq,
 		Value:    value,
 	})
+}
+
+// ParsePropose reads the group id and proposal value out of a Propose
+// frame without allocating; the value aliases the frame. It is the
+// proxy tier's admission parser: a proxy classifies each client frame
+// by group and re-frames the values as a ProposeBatch, so this path
+// must stay allocation-free.
+func ParsePropose(frame []byte) (group uint32, value []byte, ok bool) {
+	if len(frame) < 36 || msgType(frame[0]) != msgPropose {
+		return 0, nil, false
+	}
+	group = binary.LittleEndian.Uint32(frame[1:5])
+	addrLen := int(binary.LittleEndian.Uint16(frame[34:36]))
+	rest := frame[36:]
+	if len(rest) < addrLen+4 {
+		return 0, nil, false
+	}
+	rest = rest[addrLen:]
+	valLen := int(binary.LittleEndian.Uint32(rest[:4]))
+	rest = rest[4:]
+	if len(rest) < valLen {
+		return 0, nil, false
+	}
+	return group, rest[:valLen:valLen], true
+}
+
+// NewProposeBatchFrame builds a ProposeBatch frame carrying items (the
+// values of individual Propose frames) in admission order. The message
+// Value is a batchKindNormal batch encoding, fused into the frame
+// encode so a proxy seals a batch with exactly one allocation.
+// Decoding via decodeMessage + DecodeBatch yields the items back.
+func NewProposeBatchFrame(group uint32, items [][]byte) []byte {
+	valSize := 1 + 4
+	for _, it := range items {
+		valSize += 4 + len(it)
+	}
+	buf := make([]byte, 0, 36+valSize+4)
+	buf = append(buf, byte(msgProposeBatch))
+	buf = binary.LittleEndian.AppendUint32(buf, group)
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // ballot
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // instance
+	buf = binary.LittleEndian.AppendUint64(buf, 0) // to
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // acceptor
+	buf = append(buf, 0)                           // flags
+	buf = binary.LittleEndian.AppendUint16(buf, 0) // addrLen
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(valSize))
+	buf = append(buf, batchKindNormal)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(items)))
+	for _, it := range items {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(it)))
+		buf = append(buf, it...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, 0) // entryCount
+	return buf
+}
+
+// ParseProposeBatch decodes a ProposeBatch frame back into its group
+// id and batch (the inverse of NewProposeBatchFrame); item slices alias
+// the frame. Used by tests and tools inspecting proxy output.
+func ParseProposeBatch(frame []byte) (group uint32, batch *Batch, ok bool) {
+	m, err := decodeMessage(frame)
+	if err != nil || m.Type != msgProposeBatch {
+		return 0, nil, false
+	}
+	b, err := DecodeBatch(m.Value)
+	if err != nil {
+		return 0, nil, false
+	}
+	return m.Group, b, true
 }
 
 // encodeMessage renders m as a frame.

@@ -1,0 +1,259 @@
+// Package proxy implements the compartmentalized ordering-layer tiers
+// of Whittaker et al., "Scaling Replicated State Machines with
+// Compartmentalization", adapted to the multicast substrate:
+//
+//   - Proxy: a stateless proxy-proposer. Clients submit Propose frames
+//     to any proxy; the proxy classifies them by group, accumulates
+//     per-group batches (size and delay knobs) and forwards each sealed
+//     batch to the group's believed leader as ONE ProposeBatch frame.
+//     The leader's inbound admission work drops from one frame per
+//     command to one frame per proxy batch, and the proxy tier scales
+//     out by just adding proxies — they share no state.
+//
+//   - Relay: a decision fan-out stage. A leader configured with relays
+//     stripes its decision (and optimistic) pushes across them instead
+//     of broadcasting to every learner itself; each relay re-broadcasts
+//     the frames it receives to all learners.
+//
+// Both roles are crash-stop and hold no durable state: a dead proxy
+// surfaces to clients as a distinct submit error (the client library
+// rotates to a surviving proxy), and a lost relay stripe is recovered
+// by learner gap retransmission against the coordinator.
+package proxy
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// Config configures one proxy-proposer.
+type Config struct {
+	// Addr is the proxy's listen address.
+	Addr transport.Addr
+	// Groups are the multicast groups the proxy forwards to; a Propose
+	// frame for an unknown group id is dropped.
+	Groups []multicast.GroupConfig
+	// Transport carries the proxy's traffic.
+	Transport transport.Transport
+	// BatchMax seals a group's batch when it holds this many commands.
+	// Default 64.
+	BatchMax int
+	// Delay bounds how long a queued command may wait before its batch
+	// is sealed regardless of size. Default 200µs.
+	Delay time.Duration
+	// CPU optionally meters the proxy's busy time.
+	CPU *bench.RoleMeter
+}
+
+func (c *Config) fillDefaults() {
+	if c.BatchMax <= 0 {
+		c.BatchMax = 64
+	}
+	if c.Delay <= 0 {
+		c.Delay = 200 * time.Microsecond
+	}
+}
+
+// Counters is a snapshot of one proxy's forwarding work.
+type Counters struct {
+	// Queued is the number of Propose frames admitted.
+	Queued uint64
+	// Batches is the number of sealed ProposeBatch frames forwarded.
+	Batches uint64
+	// Commands is the number of commands those batches carried.
+	Commands uint64
+}
+
+// MeanBatch is the average commands per sealed batch; 0 when nothing
+// was forwarded.
+func (c Counters) MeanBatch() float64 {
+	if c.Batches == 0 {
+		return 0
+	}
+	return float64(c.Commands) / float64(c.Batches)
+}
+
+// groupBuf accumulates one group's pending commands. The items slice
+// header is pooled (reset to items[:0] on seal) so steady-state
+// admission performs no per-command allocation; the sealed frame is
+// the single allocation per batch (it must be fresh — the transport
+// retains sent frames).
+type groupBuf struct {
+	id    uint32
+	items [][]byte
+	// believed indexes the coordinator candidate the proxy currently
+	// forwards to; rotated when a send fails.
+	believed int
+}
+
+// Proxy is one stateless proxy-proposer. See the package comment.
+type Proxy struct {
+	cfg  Config
+	ep   transport.Endpoint
+	bufs []groupBuf
+	gidx map[uint32]int // group id -> bufs index
+	// queuedTotal counts commands buffered across all groups, to arm
+	// the delay timer only on the empty->non-empty transition.
+	queuedTotal int
+	timer       *time.Timer
+
+	queued   atomic.Uint64
+	batches  atomic.Uint64
+	commands atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Start launches a proxy listening on cfg.Addr.
+func Start(cfg Config) (*Proxy, error) {
+	p, err := newProxy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("proxy %s listen: %w", cfg.Addr, err)
+	}
+	p.ep = ep
+	go p.run()
+	return p, nil
+}
+
+// newProxy builds the proxy state without listening; benchmarks drive
+// admit/sealAll directly against it.
+func newProxy(cfg Config) (*Proxy, error) {
+	cfg.fillDefaults()
+	if len(cfg.Groups) == 0 {
+		return nil, fmt.Errorf("proxy %s: no groups", cfg.Addr)
+	}
+	p := &Proxy{
+		cfg:   cfg,
+		bufs:  make([]groupBuf, len(cfg.Groups)),
+		gidx:  make(map[uint32]int, len(cfg.Groups)),
+		timer: time.NewTimer(time.Hour),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if !p.timer.Stop() {
+		<-p.timer.C
+	}
+	for i, g := range cfg.Groups {
+		p.bufs[i] = groupBuf{id: g.ID, items: make([][]byte, 0, cfg.BatchMax)}
+		p.gidx[g.ID] = i
+	}
+	return p, nil
+}
+
+// Close stops the proxy and waits for its goroutine.
+func (p *Proxy) Close() error {
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	err := p.ep.Close()
+	<-p.done
+	return err
+}
+
+// Counters returns a snapshot of the proxy's forwarding counters. Safe
+// to call concurrently.
+func (p *Proxy) Counters() Counters {
+	return Counters{
+		Queued:   p.queued.Load(),
+		Batches:  p.batches.Load(),
+		Commands: p.commands.Load(),
+	}
+}
+
+func (p *Proxy) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case frame, ok := <-p.ep.Recv():
+			if !ok {
+				return
+			}
+			stop := p.cfg.CPU.Busy()
+			p.admit(frame)
+			stop()
+		case <-p.timer.C:
+			stop := p.cfg.CPU.Busy()
+			p.sealAll()
+			stop()
+		}
+	}
+}
+
+// admit classifies one client frame and buffers its value, sealing the
+// group's batch at BatchMax. This is the hot path: ParsePropose does
+// not allocate and the buffered value aliases the frame.
+func (p *Proxy) admit(frame []byte) {
+	group, value, ok := paxos.ParsePropose(frame)
+	if !ok {
+		return
+	}
+	gi, ok := p.gidx[group]
+	if !ok {
+		return
+	}
+	p.queued.Add(1)
+	b := &p.bufs[gi]
+	b.items = append(b.items, value)
+	if p.queuedTotal == 0 {
+		p.timer.Reset(p.cfg.Delay)
+	}
+	p.queuedTotal++
+	if len(b.items) >= p.cfg.BatchMax {
+		p.seal(gi)
+	}
+}
+
+// sealAll flushes every non-empty group buffer (delay-timer path).
+func (p *Proxy) sealAll() {
+	for gi := range p.bufs {
+		if len(p.bufs[gi].items) > 0 {
+			p.seal(gi)
+		}
+	}
+}
+
+// seal forwards one group's pending commands as a single ProposeBatch
+// frame and resets the pooled buffer. On a send failure it rotates
+// through the group's remaining coordinator candidates (the batch is
+// best-effort, like direct submission: client retransmission recovers
+// anything lost).
+func (p *Proxy) seal(gi int) {
+	b := &p.bufs[gi]
+	frame := paxos.NewProposeBatchFrame(b.id, b.items)
+	n := len(b.items)
+	p.queuedTotal -= n
+	for i := range b.items {
+		b.items[i] = nil
+	}
+	b.items = b.items[:0]
+	if p.queuedTotal > 0 {
+		p.timer.Reset(p.cfg.Delay)
+	} else {
+		p.timer.Stop()
+	}
+	cands := p.cfg.Groups[gi].Coordinators
+	for try := 0; try < len(cands); try++ {
+		target := cands[b.believed%len(cands)]
+		if p.cfg.Transport.Send(target, frame) == nil {
+			break
+		}
+		b.believed++
+	}
+	p.batches.Add(1)
+	p.commands.Add(uint64(n))
+}

@@ -1,0 +1,386 @@
+package proxy
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func recvBatch(t *testing.T, ep transport.Endpoint) (uint32, *paxos.Batch) {
+	t.Helper()
+	select {
+	case frame := <-ep.Recv():
+		g, b, ok := paxos.ParseProposeBatch(frame)
+		if !ok {
+			t.Fatalf("received frame is not a propose-batch")
+		}
+		return g, b
+	case <-time.After(5 * time.Second):
+		t.Fatalf("timed out waiting for a sealed batch")
+		return 0, nil
+	}
+}
+
+// TestProxyBatchSeal: with a count threshold of 4, eight proposals
+// yield exactly two sealed batches carrying the values in admission
+// order.
+func TestProxyBatchSeal(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	coord, err := net.Listen("g7/coord0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Start(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 7, Coordinators: []transport.Addr{"g7/coord0"}}},
+		Transport: net,
+		BatchMax:  4,
+		Delay:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 8; i++ {
+		if err := net.Send("proxy0", paxos.NewProposeFrame(7, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got [][]byte
+	for len(got) < 8 {
+		g, b := recvBatch(t, coord)
+		if g != 7 {
+			t.Fatalf("batch for group %d, want 7", g)
+		}
+		if len(b.Items) != 4 {
+			t.Fatalf("batch of %d items, want 4", len(b.Items))
+		}
+		got = append(got, b.Items...)
+	}
+	for i, v := range got {
+		if len(v) != 1 || v[0] != byte(i) {
+			t.Fatalf("item %d = %v, want [%d]", i, v, i)
+		}
+	}
+	c := p.Counters()
+	if c.Queued != 8 || c.Batches != 2 || c.Commands != 8 {
+		t.Fatalf("counters = %+v, want queued 8, batches 2, commands 8", c)
+	}
+	if mb := c.MeanBatch(); mb != 4 {
+		t.Fatalf("mean batch = %v, want 4", mb)
+	}
+}
+
+// TestProxyDelaySeal: a partial batch is sealed once the delay bound
+// expires.
+func TestProxyDelaySeal(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	coord, err := net.Listen("g0/coord0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Start(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 0, Coordinators: []transport.Addr{"g0/coord0"}}},
+		Transport: net,
+		BatchMax:  1000,
+		Delay:     2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := net.Send("proxy0", paxos.NewProposeFrame(0, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, b := recvBatch(t, coord)
+	if len(b.Items) != 3 {
+		t.Fatalf("delay-sealed batch of %d items, want 3", len(b.Items))
+	}
+}
+
+// TestProxyCoordinatorFailover: when the believed coordinator is
+// unreachable the proxy rotates to the next candidate for the same
+// sealed batch.
+func TestProxyCoordinatorFailover(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	standby, err := net.Listen("g0/coord1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "g0/coord0" never listens: mem transport fails the send with
+	// ErrNoRoute, which is the proxy's cue to rotate.
+	p, err := Start(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 0, Coordinators: []transport.Addr{"g0/coord0", "g0/coord1"}}},
+		Transport: net,
+		BatchMax:  2,
+		Delay:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 2; i++ {
+		if err := net.Send("proxy0", paxos.NewProposeFrame(0, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, b := recvBatch(t, standby)
+	if len(b.Items) != 2 {
+		t.Fatalf("failover batch of %d items, want 2", len(b.Items))
+	}
+}
+
+// TestProxyIgnoresForeignFrames: frames for unknown groups and
+// non-propose frames are dropped without wedging the proxy.
+func TestProxyIgnoresForeignFrames(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	coord, err := net.Listen("g0/coord0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Start(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 0, Coordinators: []transport.Addr{"g0/coord0"}}},
+		Transport: net,
+		BatchMax:  2,
+		Delay:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	_ = net.Send("proxy0", []byte{1, 2, 3})                       // garbage
+	_ = net.Send("proxy0", paxos.NewProposeFrame(9, []byte("x"))) // unknown group
+	_ = net.Send("proxy0", paxos.NewProposeFrame(0, []byte("a")))
+	_ = net.Send("proxy0", paxos.NewProposeFrame(0, []byte("b")))
+	_, b := recvBatch(t, coord)
+	if len(b.Items) != 2 || !bytes.Equal(b.Items[0], []byte("a")) || !bytes.Equal(b.Items[1], []byte("b")) {
+		t.Fatalf("batch = %v, want [a b]", b.Items)
+	}
+}
+
+// TestRelayBroadcast: a relay re-broadcasts every inbound frame to all
+// its targets, in order, without decoding.
+func TestRelayBroadcast(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	var eps []transport.Endpoint
+	for i := 0; i < 2; i++ {
+		ep, err := net.Listen(transport.Addr(fmt.Sprintf("learner%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps = append(eps, ep)
+	}
+	r, err := StartRelay(RelayConfig{
+		Addr:      "relay0",
+		Targets:   []transport.Addr{"learner0", "learner1"},
+		Transport: net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := net.Send("relay0", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, ep := range eps {
+		for i := 0; i < 3; i++ {
+			select {
+			case frame := <-ep.Recv():
+				if len(frame) != 1 || frame[0] != byte(i) {
+					t.Fatalf("target %s frame %d = %v", ep.Addr(), i, frame)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("target %s: timed out waiting for frame %d", ep.Addr(), i)
+			}
+		}
+	}
+}
+
+// TestProxyPipeline runs the full compartmentalized ordering path at
+// the paxos level: client frames -> proxy (sealed batches) ->
+// coordinator -> acceptors -> striped relays -> learner. 100 commands
+// must arrive decided, in admission order, and the coordinator must
+// have admitted them in >= 4x fewer frames than commands.
+func TestProxyPipeline(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+
+	accAddrs := []transport.Addr{"g0/acc0", "g0/acc1", "g0/acc2"}
+	for i, a := range accAddrs {
+		acc, err := paxos.StartAcceptor(paxos.AcceptorConfig{GroupID: 0, ID: uint32(i), Addr: a, Transport: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer acc.Close()
+	}
+
+	relayAddrs := []transport.Addr{"g0/relay0", "g0/relay1"}
+	for _, a := range relayAddrs {
+		r, err := StartRelay(RelayConfig{Addr: a, Targets: []transport.Addr{"r0/g0"}, Transport: net})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+	}
+
+	coordAddrs := []transport.Addr{"g0/coord0"}
+	coord, err := paxos.StartCoordinator(paxos.CoordinatorConfig{
+		GroupID:      0,
+		CandidateIdx: 0,
+		Candidates:   coordAddrs,
+		Acceptors:    accAddrs,
+		Learners:     []transport.Addr{"r0/g0"},
+		Relays:       relayAddrs,
+		Transport:    net,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	learner, err := paxos.StartLearner(paxos.LearnerConfig{
+		GroupID:      0,
+		Addr:         "r0/g0",
+		Transport:    net,
+		Coordinators: coordAddrs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Close()
+	cursor := learner.NewCursor()
+
+	p, err := Start(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 0, Coordinators: coordAddrs}},
+		Transport: net,
+		BatchMax:  25,
+		Delay:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := net.Send("proxy0", paxos.NewProposeFrame(0, []byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got []byte
+	deadline := time.After(10 * time.Second)
+	for len(got) < n {
+		type res struct {
+			b  *paxos.Batch
+			ok bool
+		}
+		ch := make(chan res, 1)
+		go func() {
+			b, _, ok := cursor.Next()
+			ch <- res{b, ok}
+		}()
+		select {
+		case r := <-ch:
+			if !r.ok {
+				t.Fatalf("cursor closed after %d/%d commands", len(got), n)
+			}
+			if r.b.Skip {
+				continue
+			}
+			for _, it := range r.b.Items {
+				got = append(got, it[0])
+			}
+		case <-deadline:
+			t.Fatalf("timed out after %d/%d commands", len(got), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != byte(i) {
+			t.Fatalf("decided[%d] = %d, want %d", i, got[i], i)
+		}
+	}
+	c := coord.Counters()
+	if c.InboundCommands != n {
+		t.Fatalf("coordinator admitted %d commands, want %d", c.InboundCommands, n)
+	}
+	if fpc := c.FramesPerCommand(); fpc > 0.25 {
+		t.Fatalf("frames per command = %v (frames %d), want <= 0.25", fpc, c.InboundFrames)
+	}
+}
+
+// sinkTransport swallows sends; it isolates the proxy's own admission
+// cost for the allocation assertions.
+type sinkTransport struct{}
+
+func (sinkTransport) Listen(addr transport.Addr) (transport.Endpoint, error) {
+	return nil, transport.ErrClosed
+}
+func (sinkTransport) Send(to transport.Addr, frame []byte) error { return nil }
+func (sinkTransport) Close() error                               { return nil }
+
+func benchProxy(tb testing.TB) (*Proxy, []byte) {
+	tb.Helper()
+	p, err := newProxy(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 0, Coordinators: []transport.Addr{"g0/coord0"}}},
+		Transport: sinkTransport{},
+		BatchMax:  64,
+		Delay:     time.Hour,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return p, paxos.NewProposeFrame(0, make([]byte, 64))
+}
+
+// TestProxySubmitAllocs pins the zero-alloc admission path: amortized
+// over a full batch, sealing is the only allocation (the batch frame
+// itself), well under 1/8 alloc per admitted command.
+func TestProxySubmitAllocs(t *testing.T) {
+	p, frame := benchProxy(t)
+	perBatch := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			p.admit(frame)
+		}
+	})
+	if perCmd := perBatch / 64; perCmd > 0.125 {
+		t.Fatalf("proxy admission allocates %.3f allocs/command (%.1f per sealed batch), want <= 0.125", perCmd, perBatch)
+	}
+}
+
+// BenchmarkProxySubmit measures the proxy admission hot path
+// (parse + buffer + amortized seal) per command.
+func BenchmarkProxySubmit(b *testing.B) {
+	p, frame := benchProxy(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.admit(frame)
+	}
+	p.sealAll()
+}

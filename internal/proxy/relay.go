@@ -1,0 +1,75 @@
+package proxy
+
+import (
+	"fmt"
+
+	"github.com/psmr/psmr/internal/transport"
+)
+
+// RelayConfig configures one decision-fan-out relay.
+type RelayConfig struct {
+	// Addr is the relay's listen address.
+	Addr transport.Addr
+	// Targets receive a copy of every frame the relay receives (the
+	// group's learner endpoints).
+	Targets []transport.Addr
+	// Transport carries the relay's traffic.
+	Transport transport.Transport
+}
+
+// Relay re-broadcasts every frame it receives to a fixed target set.
+// Leaders stripe decision (and optimistic) pushes across a set of
+// relays so their own per-decision send work is O(1) in the learner
+// count; the relays carry the fan-out. Relays are content-blind: they
+// never decode frames, so they add no serialization work to the path.
+type Relay struct {
+	cfg  RelayConfig
+	ep   transport.Endpoint
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartRelay launches a relay listening on cfg.Addr.
+func StartRelay(cfg RelayConfig) (*Relay, error) {
+	ep, err := cfg.Transport.Listen(cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("relay %s listen: %w", cfg.Addr, err)
+	}
+	r := &Relay{
+		cfg:  cfg,
+		ep:   ep,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go r.run()
+	return r, nil
+}
+
+// Close stops the relay and waits for its goroutine.
+func (r *Relay) Close() error {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	err := r.ep.Close()
+	<-r.done
+	return err
+}
+
+func (r *Relay) run() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case frame, ok := <-r.ep.Recv():
+			if !ok {
+				return
+			}
+			for _, t := range r.cfg.Targets {
+				_ = r.cfg.Transport.Send(t, frame)
+			}
+		}
+	}
+}

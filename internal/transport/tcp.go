@@ -10,9 +10,16 @@ import (
 	"sync"
 )
 
-// maxFrameSize bounds a single frame on the wire (16 MiB). Larger frames
-// indicate a corrupt stream and kill the connection.
+// maxFrameSize bounds a single frame on the wire (16 MiB). On the read
+// side a larger length prefix indicates a corrupt stream and kills the
+// connection; on the send side an oversized frame is rejected with
+// ErrFrameTooLarge before any bytes are written, so the connection
+// stays usable.
 const maxFrameSize = 16 << 20
+
+// MaxFrameSize is the TCP transport's wire limit for a single frame
+// (including the logical-name header).
+const MaxFrameSize = maxFrameSize
 
 // TCPNode is the Transport of one process in a TCP deployment. A node
 // listens on a single host:port and multiplexes any number of logical
@@ -124,6 +131,11 @@ func (n *TCPNode) deliverLocal(logical string, frame []byte) error {
 }
 
 func (n *TCPNode) sendRemote(hostPort, logical string, frame []byte) error {
+	if 2+len(logical)+len(frame) > maxFrameSize {
+		// Reject before writing: a frame this large would make the
+		// receiver's readLoop kill the connection as corrupt.
+		return fmt.Errorf("tcp send to %s: frame %d bytes: %w", hostPort, len(frame), ErrFrameTooLarge)
+	}
 	tc, err := n.getConn(hostPort)
 	if err != nil {
 		return err

@@ -28,6 +28,10 @@ var (
 	ErrDuplicateAddr = errors.New("transport: address already in use")
 	// ErrNoRoute is returned when the destination cannot be resolved.
 	ErrNoRoute = errors.New("transport: no route to address")
+	// ErrFrameTooLarge is returned by Send when a frame exceeds the
+	// transport's wire limit (see MaxFrameSize); nothing is written and
+	// the connection remains usable.
+	ErrFrameTooLarge = errors.New("transport: frame exceeds wire limit")
 )
 
 // Transport sends frames between logical endpoints.

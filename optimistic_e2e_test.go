@@ -32,14 +32,16 @@ const (
 
 // runOptimisticWorkload drives one cluster configuration with a fixed
 // deterministic workload and returns the converged fingerprint plus
-// the aggregated speculation counters.
-func runOptimisticWorkload(t *testing.T, scheduler psmr.SchedulerKind, optimistic bool, reorder int, reSpec bool) (uint64, psmr.OptimisticCounters) {
+// the aggregated speculation counters. Optional mutators adjust the
+// cluster config before start (the compartment e2e uses them to switch
+// on the proxy tier and delivery fan-out).
+func runOptimisticWorkload(t *testing.T, scheduler psmr.SchedulerKind, optimistic bool, reorder int, reSpec bool, mutate ...func(*psmr.Config)) (uint64, psmr.OptimisticCounters) {
 	t.Helper()
 	var (
 		mu     sync.Mutex
 		stores []*markedStore
 	)
-	cl, err := psmr.StartCluster(psmr.Config{
+	cfg := psmr.Config{
 		Mode:                  psmr.ModeSPSMR,
 		Workers:               optTestWorkers,
 		Scheduler:             scheduler,
@@ -56,7 +58,11 @@ func runOptimisticWorkload(t *testing.T, scheduler psmr.SchedulerKind, optimisti
 			stores = append(stores, ms)
 			return ms
 		},
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	cl, err := psmr.StartCluster(cfg)
 	if err != nil {
 		t.Fatalf("StartCluster: %v", err)
 	}

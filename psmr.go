@@ -35,6 +35,7 @@ import (
 	"github.com/psmr/psmr/internal/multicast"
 	"github.com/psmr/psmr/internal/optimistic"
 	"github.com/psmr/psmr/internal/paxos"
+	"github.com/psmr/psmr/internal/proxy"
 	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/spsmr"
 	"github.com/psmr/psmr/internal/transport"
@@ -169,6 +170,31 @@ type Config struct {
 	// them to execute as decided-path misses (see internal/optimistic;
 	// requires Optimistic).
 	OptimisticReSpeculate bool
+	// Proxies, when positive, starts that many stateless proxy-proposers
+	// (the compartmentalized ordering layer's ingress tier): clients
+	// submit to a proxy, which batches frames per group and forwards one
+	// ProposeBatch frame per sealed batch to the leader, cutting the
+	// coordinator's inbound frames per command. Client submits fail with
+	// a distinct error (multicast.ErrProxyDown) only when every proxy is
+	// unreachable; a single dead proxy is routed around.
+	Proxies int
+	// ProxyBatch is the proxy seal threshold in commands. Default 64.
+	ProxyBatch int
+	// ProxyDelay bounds how long a proxy holds a partial batch. Default
+	// 200µs.
+	ProxyDelay time.Duration
+	// FanoutDegree, when positive, starts that many decision relays per
+	// group and makes leaders stripe decision (and optimistic) pushes
+	// across them instead of broadcasting to every learner themselves —
+	// the compartmentalized ordering layer's egress tier.
+	FanoutDegree int
+	// SubsetGroups declares hot multi-worker subsets that get dedicated
+	// multicast groups (multi-group P-SMR only): a command whose γ
+	// exactly matches a subset is ordered on its own group instead of
+	// the shared serial group. cdep.AllPairs(k) covers all pairwise
+	// unions. Deterministic merge positions are preserved; subsets are
+	// routing only.
+	SubsetGroups [][]int
 	// Checkpoint enables coordinated checkpoints and replica recovery:
 	// every Interval decided commands each replica quiesces its workers
 	// at one deterministic log position (the engines' global-barrier
@@ -230,7 +256,7 @@ func (c *Config) groupCount() int {
 			// Degenerate P-SMR: a single worker needs no serial group.
 			return 1
 		}
-		return c.Workers + 1
+		return c.Workers + len(c.SubsetGroups) + 1
 	default:
 		// SMR and sP-SMR order everything through one group.
 		return 1
@@ -240,12 +266,16 @@ func (c *Config) groupCount() int {
 // Cluster is a running deployment: Paxos roles plus replicas, all over
 // one transport.
 type Cluster struct {
-	cfg    Config
-	cg     *cdep.Compiled // client-side C-G (γ over workers)
-	groups []multicast.GroupConfig
+	cfg     Config
+	cg      *cdep.Compiled    // client-side C-G (γ over workers)
+	subsets *cdep.SubsetTable // dedicated multi-worker subset groups
+	groups  []multicast.GroupConfig
 
 	acceptors []*paxos.Acceptor
 	coords    []*paxos.Coordinator
+	relays    []*proxy.Relay
+	proxies   []*proxy.Proxy
+	proxyAddr []transport.Addr
 	replicas  []*core.Replica
 	schedRepl []*spsmr.Replica
 	optRepl   []*optimistic.Replica
@@ -272,6 +302,14 @@ func StartCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("psmr: checkpointing requires a single ordered stream (sP-SMR, SMR, or 1-worker P-SMR); %v with %d workers has %d groups",
 			cfg.Mode, cfg.Workers, cfg.groupCount())
 	}
+	if len(cfg.SubsetGroups) > 0 && (cfg.Mode != ModePSMR || cfg.Workers == 1) {
+		return nil, fmt.Errorf("psmr: SubsetGroups requires multi-group P-SMR (mode %v, %d workers has a single ordered stream)",
+			cfg.Mode, cfg.Workers)
+	}
+	subsets, err := cdep.CompileSubsets(cfg.Workers, cfg.SubsetGroups)
+	if err != nil {
+		return nil, fmt.Errorf("psmr: %w", err)
+	}
 
 	// The client-side C-G is always compiled against the
 	// multiprogramming level; sP-SMR and SMR route every request
@@ -286,8 +324,12 @@ func StartCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("psmr: compile C-Dep: %w", err)
 	}
 
-	cl := &Cluster{cfg: cfg, cg: cg}
+	cl := &Cluster{cfg: cfg, cg: cg, subsets: subsets}
 	if err := cl.startOrdering(); err != nil {
+		cl.Close()
+		return nil, err
+	}
+	if err := cl.startProxies(); err != nil {
 		cl.Close()
 		return nil, err
 	}
@@ -322,6 +364,23 @@ func (cl *Cluster) startOrdering() error {
 		// Standby candidates track decisions for retransmission.
 		pushAddrs = append(pushAddrs, candAddrs[1:]...)
 
+		// Decision fan-out tier: the leader stripes its pushes across
+		// relays, each re-broadcasting to the full learner set.
+		var relayAddrs []transport.Addr
+		for i := 0; i < cfg.FanoutDegree; i++ {
+			addr := transport.Addr(fmt.Sprintf("g%d/relay%d", g, i))
+			rl, err := proxy.StartRelay(proxy.RelayConfig{
+				Addr:      addr,
+				Targets:   pushAddrs,
+				Transport: cfg.Transport,
+			})
+			if err != nil {
+				return fmt.Errorf("psmr: start relay g%d/%d: %w", g, i, err)
+			}
+			cl.relays = append(cl.relays, rl)
+			relayAddrs = append(relayAddrs, addr)
+		}
+
 		for i := range accAddrs {
 			a, err := paxos.StartAcceptor(paxos.AcceptorConfig{
 				GroupID:   gid,
@@ -348,6 +407,7 @@ func (cl *Cluster) startOrdering() error {
 				Candidates:    candAddrs,
 				Acceptors:     accAddrs,
 				Learners:      pushAddrs,
+				Relays:        relayAddrs,
 				Transport:     cfg.Transport,
 				BatchMaxBytes: cfg.BatchMaxBytes,
 				FlushInterval: cfg.FlushInterval,
@@ -368,6 +428,35 @@ func (cl *Cluster) startOrdering() error {
 		})
 	}
 	return nil
+}
+
+// startProxies launches the proxy-proposer tier (Config.Proxies > 0):
+// stateless ingress proxies clients submit through.
+func (cl *Cluster) startProxies() error {
+	cfg := &cl.cfg
+	for i := 0; i < cfg.Proxies; i++ {
+		addr := ProxyAddr(i)
+		p, err := proxy.Start(proxy.Config{
+			Addr:      addr,
+			Groups:    cl.groups,
+			Transport: cfg.Transport,
+			BatchMax:  cfg.ProxyBatch,
+			Delay:     cfg.ProxyDelay,
+			CPU:       cfg.CPU.Role("proxy"),
+		})
+		if err != nil {
+			return fmt.Errorf("psmr: start proxy %d: %w", i, err)
+		}
+		cl.proxies = append(cl.proxies, p)
+		cl.proxyAddr = append(cl.proxyAddr, addr)
+	}
+	return nil
+}
+
+// ProxyAddr names proxy i's endpoint; the cluster wiring and the TCP
+// daemons use the same scheme so remote clients can reconstruct it.
+func ProxyAddr(i int) transport.Addr {
+	return transport.Addr(fmt.Sprintf("proxy%d", i))
 }
 
 // startReplicas launches the mode-specific execution engines.
@@ -401,6 +490,7 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 			Workers:      cfg.Workers,
 			Service:      cfg.NewService(),
 			Groups:       cl.groups,
+			Subsets:      cl.subsets,
 			Transport:    cfg.Transport,
 			MergeWeight:  cfg.MergeWeight,
 			Checkpoint:   cfg.Checkpoint,
@@ -469,13 +559,18 @@ func (cl *Cluster) NewClient() (*core.Client, error) {
 // through the proxy's physical-group mapping; the γ the proxy computes
 // still rides along in the request for the schedulers' benefit.
 func (cl *Cluster) NewClientID(id uint64) (*core.Client, error) {
+	sender := multicast.NewSender(cl.cfg.Transport, cl.groups)
+	if len(cl.proxyAddr) > 0 {
+		sender.UseProxies(cl.proxyAddr)
+	}
 	return core.NewClient(core.ClientConfig{
 		ID:            id,
-		Sender:        multicast.NewSender(cl.cfg.Transport, cl.groups),
+		Sender:        sender,
 		CG:            cl.cg,
 		Transport:     cl.cfg.Transport,
 		RetryInterval: cl.cfg.RetryInterval,
 		Seed:          int64(id),
+		Subsets:       cl.subsets,
 	})
 }
 
@@ -511,6 +606,41 @@ func (cl *Cluster) CrashAcceptor(g, i int) {
 	if mem := cl.Transport(); mem != nil {
 		mem.Drop(cl.groups[g].Acceptors[i])
 	}
+}
+
+// CrashProxy kills proxy i (proxy fail-over tests): clients routing
+// through it rotate to a survivor; with no survivors their submits
+// fail with multicast.ErrProxyDown.
+func (cl *Cluster) CrashProxy(i int) {
+	_ = cl.proxies[i].Close()
+	if mem := cl.Transport(); mem != nil {
+		mem.Drop(cl.proxyAddr[i])
+	}
+}
+
+// OrderingCounters aggregates the compartmentalized ordering layer's
+// observability counters: per-proxy forwarding work plus the
+// coordinators' inbound admission totals (all candidates; standbys
+// contribute zero).
+type OrderingCounters struct {
+	// Proxies holds one counter snapshot per proxy, in proxy order.
+	Proxies []proxy.Counters
+	// Leader is the admission work summed over every coordinator.
+	Leader paxos.CoordinatorCounters
+}
+
+// OrderingCounters snapshots the ordering layer's counters.
+func (cl *Cluster) OrderingCounters() OrderingCounters {
+	var oc OrderingCounters
+	for _, p := range cl.proxies {
+		oc.Proxies = append(oc.Proxies, p.Counters())
+	}
+	for _, co := range cl.coords {
+		c := co.Counters()
+		oc.Leader.InboundFrames += c.InboundFrames
+		oc.Leader.InboundCommands += c.InboundCommands
+	}
+	return oc
 }
 
 // CrashReplica kills replica r (clients keep being served by the
@@ -602,8 +732,14 @@ func (cl *Cluster) Close() error {
 			_ = rep.Close()
 		}
 	}
+	for _, p := range cl.proxies {
+		_ = p.Close()
+	}
 	for _, co := range cl.coords {
 		_ = co.Close()
+	}
+	for _, rl := range cl.relays {
+		_ = rl.Close()
 	}
 	for _, a := range cl.acceptors {
 		_ = a.Close()

@@ -493,4 +493,21 @@ func TestConfigValidation(t *testing.T) {
 	}); err == nil {
 		t.Fatal("worker overflow accepted")
 	}
+	// Subset groups exist only in multi-group P-SMR deployments.
+	if _, err := psmr.StartCluster(psmr.Config{
+		Mode:         psmr.ModeSPSMR,
+		Workers:      4,
+		SubsetGroups: [][]int{{0, 1}},
+		NewService:   func() command.Service { return newRegSvc() },
+	}); err == nil {
+		t.Fatal("subset groups accepted outside P-SMR mode")
+	}
+	if _, err := psmr.StartCluster(psmr.Config{
+		Mode:         psmr.ModePSMR,
+		Workers:      4,
+		SubsetGroups: [][]int{{0, 7}},
+		NewService:   func() command.Service { return newRegSvc() },
+	}); err == nil {
+		t.Fatal("subset member out of worker range accepted")
+	}
 }

@@ -47,14 +47,14 @@ func TestCrashRestartConvergence(t *testing.T) {
 	}
 }
 
-func runCrashRestart(t *testing.T, mode psmr.Mode, scheduler psmr.SchedulerKind, optimistic bool) {
+func runCrashRestart(t *testing.T, mode psmr.Mode, scheduler psmr.SchedulerKind, optimistic bool, mutate ...func(*psmr.Config)) {
 	t.Helper()
 	var (
 		mu     sync.Mutex
 		stores []*markedStore
 	)
 	const interval = 20
-	cl, err := psmr.StartCluster(psmr.Config{
+	cfg := psmr.Config{
 		Mode:       mode,
 		Workers:    recTestWorkers,
 		Scheduler:  scheduler,
@@ -70,7 +70,11 @@ func runCrashRestart(t *testing.T, mode psmr.Mode, scheduler psmr.SchedulerKind,
 			stores = append(stores, ms)
 			return ms
 		},
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	cl, err := psmr.StartCluster(cfg)
 	if err != nil {
 		t.Fatalf("StartCluster: %v", err)
 	}
