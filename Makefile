@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test no-legacy-rollback race paxos-stress bench sched-ablation admit-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation
+.PHONY: verify vet build test no-legacy-rollback allocs-gate race paxos-stress bench sched-ablation admit-ablation schedfast-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation
 
-verify: vet build test no-legacy-rollback
+verify: vet build test no-legacy-rollback allocs-gate
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,23 @@ no-legacy-rollback:
 		echo "verify: non-test code references the deleted command.Undoable/Cloneable rollback model"; \
 		exit 1; \
 	fi
+
+# Steady-state allocation gate for the two admission hot paths: the
+# index engine's batched keyed admission and the proxy-proposer's
+# frame admission must both report 0 allocs/op (pooled inodes/tokens/
+# reader groups and the pooled group buffers make admission recycle
+# everything it touches; warm-up growth is excluded by the benchmarks'
+# own design). A regression that re-introduces per-command garbage
+# fails verify, not just a benchmark diff.
+allocs-gate:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkAdmitKeyedIndexBatch$$' -benchmem -benchtime 100000x ./internal/sched/); \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkAdmitKeyedIndexBatch.* 0 allocs/op' || \
+		{ echo "allocs-gate: BenchmarkAdmitKeyedIndexBatch no longer 0 allocs/op"; exit 1; }
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkProxySubmit$$' -benchmem -benchtime 100000x ./internal/proxy/); \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkProxySubmit.* 0 allocs/op' || \
+		{ echo "allocs-gate: BenchmarkProxySubmit no longer 0 allocs/op"; exit 1; }
 
 # Race-detector pass over the whole module (the root e2e suite scales
 # its workloads down under -race; see raceEnabled in race_test.go).
@@ -46,6 +63,13 @@ sched-ablation:
 # admission x reader sets x work stealing (50/50 read/update kvstore).
 admit-ablation:
 	$(GO) run ./cmd/psmr-bench -exp admit
+
+# Scheduler raw-speed ablation: parked owner rendezvous vs deposit-
+# and-continue multi-key handoff on the index engine, under all-write
+# kvstore workloads with 0/10/50% two-key transfers; emits
+# BENCH_schedfast.json alongside the printed rows.
+schedfast-ablation:
+	$(GO) run ./cmd/psmr-bench -exp schedfast
 
 # Barrier-vs-multikey ablation: the two-key kvstore transfer under a
 # single-key C-G (all-worker barrier) vs the key-set C-Dep (owner

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|multikey|optimistic|rollback|checkpoint|compartment|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|schedfast|multikey|optimistic|rollback|checkpoint|compartment|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -67,6 +67,8 @@ func run(exp string, scale Scale, threads int) error {
 		return runSched(scale, threads)
 	case "admit":
 		return runAdmit(scale, threads)
+	case "schedfast":
+		return runSchedFast(scale, threads)
 	case "multikey":
 		return runMultiKey(scale, threads)
 	case "optimistic":
@@ -88,6 +90,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runFig8(scale) },
 			func() error { return runSched(scale, threads) },
 			func() error { return runAdmit(scale, threads) },
+			func() error { return runSchedFast(scale, threads) },
 			func() error { return runMultiKey(scale, threads) },
 			func() error { return runOptimistic(scale, threads) },
 			func() error { return runRollback(scale, threads) },
@@ -174,6 +177,51 @@ func runAdmit(scale Scale, threads int) error {
 	for _, res := range results {
 		printCDF(res)
 	}
+	fmt.Println()
+	return nil
+}
+
+// runSchedFast runs the scheduler raw-speed ablation: the multi-key
+// owner protocol (parked rendezvous vs deposit-and-continue handoff)
+// under all-write workloads with 0/10/50% two-key transfers. The park
+// rows idle every owner but the executor at each multi-key token; the
+// handoff rows keep those owners draining unrelated keyed work. Rows
+// are written to BENCH_schedfast.json so the sweep is diffable across
+// runs.
+func runSchedFast(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Sched raw-speed ablation — parked rendezvous vs deposit-and-\n")
+	fmt.Printf("continue multi-key handoff (sP-SMR/index, %d workers;\n", threads)
+	fmt.Println(" all-write kvstore with 0/10/50% two-key transfers; 0% is the")
+	fmt.Println(" no-multi-key control where both protocols must tie)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.SchedFastAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("schedfast %s %s: %w", setup.Tuning.Label(), setup.Tag, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		fmt.Printf("    roles: scheduler=%.1f%% worker=%.1f%% learner=%.1f%%\n",
+			res.CPUByRole["scheduler"], res.CPUByRole["worker"], res.CPUByRole["learner"])
+	}
+	fmt.Println()
+	for _, xfer := range []string{"xfer=0%", "xfer=10%", "xfer=50%"} {
+		park := kcps["sP-SMR/index batch+rs+steal+park "+xfer]
+		handoff := kcps["sP-SMR/index batch+rs+steal "+xfer]
+		if park > 0 && handoff > 0 {
+			fmt.Printf("  %-9s handoff/park throughput: %.2fx\n", xfer, handoff/park)
+		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	if err := writeRowsJSON("BENCH_schedfast.json", results); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_schedfast.json")
 	fmt.Println()
 	return nil
 }

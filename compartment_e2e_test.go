@@ -267,6 +267,35 @@ func TestSubsetGroupsTransferConvergence(t *testing.T) {
 				}
 			}
 
+			if len(v.mutate) > 0 {
+				// The frames-per-command assertion below needs at least
+				// some batches to seal on COUNT: the closed-loop clients
+				// above rarely coincide inside one proxy's 1ms seal
+				// window (especially under the race detector), so their
+				// batches may all carry a single command. A pipelined
+				// burst of same-pair transfers — every frame rides pair
+				// group {1,2} — fills batches deterministically, as in
+				// TestProxyFrameCompressionE2E.
+				burst, err := cl.NewClient()
+				if err != nil {
+					t.Fatalf("NewClient: %v", err)
+				}
+				t.Cleanup(func() { _ = burst.Close() })
+				calls := make([]*core.Call, 16)
+				for i := range calls {
+					call, err := burst.Submit(kvstore.CmdTransfer, kvstore.EncodeTransfer(1, 2, 1))
+					if err != nil {
+						t.Fatalf("burst submit %d: %v", i, err)
+					}
+					calls[i] = call
+				}
+				for i, call := range calls {
+					if out, err := call.Wait(); err != nil || out[0] != kvstore.OK {
+						t.Fatalf("burst transfer %d: %v %v", i, err, out)
+					}
+				}
+			}
+
 			// Conservation through the replicated path.
 			inv, err := cl.NewClient()
 			if err != nil {

@@ -539,15 +539,32 @@ func (c *Compiled) Key(cmd command.ID, input []byte) (key uint64, ok bool) {
 // enqueues a multi-key command on its owners in sorted-key order, so
 // every replica visits shards identically.
 func (c *Compiled) KeySet(cmd command.ID, input []byte) ([]uint64, bool) {
+	return c.AppendKeySet(nil, cmd, input)
+}
+
+// AppendKeySet is KeySet into a caller-owned buffer: it appends the
+// canonical (sorted, deduplicated) key set of the invocation to dst and
+// returns the extended slice, allocating only when dst lacks capacity.
+// This is the index engine's admission-path variant — tokens carry
+// small inline key buffers, so steady-state multi-key admission reuses
+// them instead of paying KeySet's per-call copy. On ok == false dst is
+// returned unchanged (len(dst) is restored even if the extractor ran).
+func (c *Compiled) AppendKeySet(dst []uint64, cmd command.ID, input []byte) ([]uint64, bool) {
+	base := len(dst)
 	if ksf := c.keySets[cmd]; ksf != nil {
 		keys, ok := ksf(input)
 		if !ok || len(keys) == 0 {
-			return nil, false
+			return dst[:base], false
 		}
-		out := make([]uint64, len(keys))
-		copy(out, keys)
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-		// Deduplicate in place (sorted).
+		dst = append(dst, keys...)
+		out := dst[base:]
+		// Insertion sort + in-place dedup: key sets are small (2-4
+		// keys), so this beats sort.Slice without its closure overhead.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && out[j] < out[j-1]; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
 		w := 1
 		for i := 1; i < len(out); i++ {
 			if out[i] != out[w-1] {
@@ -555,14 +572,14 @@ func (c *Compiled) KeySet(cmd command.ID, input []byte) ([]uint64, bool) {
 				w++
 			}
 		}
-		return out[:w], true
+		return dst[:base+w], true
 	}
 	if kf := c.keys[cmd]; kf != nil {
 		key, ok := kf(input)
 		if !ok {
-			return nil, false
+			return dst[:base], false
 		}
-		return []uint64{key}, true
+		return append(dst, key), true
 	}
-	return nil, false
+	return dst[:base], false
 }

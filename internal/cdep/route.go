@@ -29,11 +29,16 @@ const (
 	// execute, and no later command may start before they finish.
 	RouteBarrier
 	// RouteMultiKey commands serialize against same-key commands over a
-	// key SET: they are enqueued on every worker owning one of their
-	// keys' conflict chains (in sorted-key order) with a 2PL-style
-	// rendezvous token — the lowest-id owner executes once every owner
-	// reaches the token. Unlike RouteBarrier, only the owners of the
-	// touched keys stall, so disjoint-key traffic keeps flowing.
+	// key SET: one token is enqueued on every worker owning one of
+	// their keys' conflict chains (keys claimed in sorted order — a
+	// 2PL-style lock point). The index engine's default discipline is
+	// deposit-and-continue: each owner marks its arrival and keeps
+	// draining unrelated queued work, and the LAST depositor executes,
+	// so unlike RouteBarrier no worker stalls on the token at all;
+	// same-key successors wait on the token's completion gates
+	// instead. (The parking rendezvous — owners idle until the last
+	// arrival, lowest-id owner executes — survives behind sched's
+	// Tuning.NoMKHandoff as the ablation baseline.)
 	RouteMultiKey
 )
 

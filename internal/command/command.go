@@ -196,6 +196,18 @@ func EncodedRequestSize(r *Request) int {
 	return 8 + 8 + 2 + 8 + 4 + len(r.Input) + 2 + len(r.Reply)
 }
 
+// PeekRequestID reads the request id (Client, Seq) off an encoded
+// Request without decoding the rest of the frame. ok is false when buf
+// is shorter than the minimum request encoding — callers treating
+// arbitrary values (which may not be request encodings at all) should
+// pass such values through untouched rather than treat them as ids.
+func PeekRequestID(buf []byte) (client, seq uint64, ok bool) {
+	if len(buf) < 30 {
+		return 0, 0, false
+	}
+	return binary.LittleEndian.Uint64(buf[0:8]), binary.LittleEndian.Uint64(buf[8:16]), true
+}
+
 // DecodeRequest decodes one request from buf, returning the remainder.
 // The decoded request aliases buf; callers that retain it must not
 // modify the buffer.

@@ -246,6 +246,35 @@ func AdmitAblationSetups(scale Scale, threads int) []KVSetup {
 	return setups
 }
 
+// SchedFastAblationSetups returns the scheduler raw-speed ablation:
+// sP-SMR on the index engine under all-write workloads with 0/10/50%
+// two-key transfers, sweeping the multi-key owner protocol — parked
+// rendezvous (Tuning.NoMKHandoff, the pre-handoff engine) vs
+// deposit-and-continue handoff (default). At each token the park rows
+// idle every owner but the executor; the handoff rows keep those
+// owners draining unrelated keyed work, which is where the raw-speed
+// tier's throughput claim lives. The 0% column is the control: with no
+// multi-key commands the two protocols must be statistically
+// indistinguishable.
+func SchedFastAblationSetups(scale Scale, threads int) []KVSetup {
+	var setups []KVSetup
+	for _, park := range []bool{true, false} {
+		for _, pct := range []float64{0, 10, 50} {
+			p := pct
+			setup := scale.kvSetup(SPSMR, threads)
+			setup.Gen = func(keys workload.KeyGen) workload.Generator {
+				return workload.KVTransferShare(keys, p)
+			}
+			setup.Scheduler = psmr.SchedIndex
+			setup.Tuning = psmr.SchedTuning{NoMKHandoff: park}
+			setup.TagTuning = true
+			setup.Tag = fmt.Sprintf("xfer=%g%%", p)
+			setups = append(setups, setup)
+		}
+	}
+	return setups
+}
+
 // BarrierTransferSpec returns the multi-key ablation's baseline C-Dep:
 // the kvstore spec with the transfer declared always-conflicting with
 // itself, which is what a single-object C-G forces on a multi-object

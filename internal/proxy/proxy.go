@@ -8,7 +8,11 @@
 //     batch to the group's believed leader as ONE ProposeBatch frame.
 //     The leader's inbound admission work drops from one frame per
 //     command to one frame per proxy batch, and the proxy tier scales
-//     out by just adding proxies — they share no state.
+//     out by just adding proxies — they share no state. A per-proxy
+//     recent-request window additionally sheds client retransmissions
+//     of recently admitted requests before they cost the leader
+//     anything; it is an optimization only — exactly-once semantics
+//     remain the replicas' at-most-once cache's job.
 //
 //   - Relay: a decision fan-out stage. A leader configured with relays
 //     stripes its decision (and optimistic) pushes across them instead
@@ -27,6 +31,7 @@ import (
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/transport"
@@ -47,6 +52,13 @@ type Config struct {
 	// Delay bounds how long a queued command may wait before its batch
 	// is sealed regardless of size. Default 200µs.
 	Delay time.Duration
+	// DedupWindow sizes the proxy's recent-request window (rounded up
+	// to a power of two): a direct-mapped cache of (client, seq) ids
+	// that sheds client retransmissions before they reach the leader's
+	// batch path. 0 selects the default (4096 ids); negative disables
+	// shedding. Values too short to carry a request id bypass the
+	// window untouched.
+	DedupWindow int
 	// CPU optionally meters the proxy's busy time.
 	CPU *bench.RoleMeter
 }
@@ -58,6 +70,9 @@ func (c *Config) fillDefaults() {
 	if c.Delay <= 0 {
 		c.Delay = 200 * time.Microsecond
 	}
+	if c.DedupWindow == 0 {
+		c.DedupWindow = 4096
+	}
 }
 
 // Counters is a snapshot of one proxy's forwarding work.
@@ -68,6 +83,9 @@ type Counters struct {
 	Batches uint64
 	// Commands is the number of commands those batches carried.
 	Commands uint64
+	// Shed is the number of Propose frames dropped by the dedup window
+	// as retransmissions of a recently admitted request.
+	Shed uint64
 }
 
 // MeanBatch is the average commands per sealed batch; 0 when nothing
@@ -92,6 +110,17 @@ type groupBuf struct {
 	believed int
 }
 
+// dedupSlot is one entry of the direct-mapped recent-request window.
+// The group is part of the identity: a multi-group command (subset
+// routing) legitimately submits one Propose frame PER destination
+// group with the same request id, and those copies must all pass. The
+// used flag distinguishes an empty slot from the legal id (0, 0).
+type dedupSlot struct {
+	client, seq uint64
+	group       uint32
+	used        bool
+}
+
 // Proxy is one stateless proxy-proposer. See the package comment.
 type Proxy struct {
 	cfg  Config
@@ -102,10 +131,15 @@ type Proxy struct {
 	// the delay timer only on the empty->non-empty transition.
 	queuedTotal int
 	timer       *time.Timer
+	// dedup is the recent-request window (nil when disabled); accessed
+	// only from the run goroutine, so it needs no lock.
+	dedup     []dedupSlot
+	dedupMask uint64
 
 	queued   atomic.Uint64
 	batches  atomic.Uint64
 	commands atomic.Uint64
+	shed     atomic.Uint64
 
 	stop chan struct{}
 	done chan struct{}
@@ -148,6 +182,14 @@ func newProxy(cfg Config) (*Proxy, error) {
 		p.bufs[i] = groupBuf{id: g.ID, items: make([][]byte, 0, cfg.BatchMax)}
 		p.gidx[g.ID] = i
 	}
+	if cfg.DedupWindow > 0 {
+		n := 1
+		for n < cfg.DedupWindow {
+			n <<= 1
+		}
+		p.dedup = make([]dedupSlot, n)
+		p.dedupMask = uint64(n - 1)
+	}
 	return p, nil
 }
 
@@ -170,6 +212,7 @@ func (p *Proxy) Counters() Counters {
 		Queued:   p.queued.Load(),
 		Batches:  p.batches.Load(),
 		Commands: p.commands.Load(),
+		Shed:     p.shed.Load(),
 	}
 }
 
@@ -206,6 +249,26 @@ func (p *Proxy) admit(frame []byte) {
 	if !ok {
 		return
 	}
+	if p.dedup != nil {
+		if client, seq, idOK := command.PeekRequestID(value); idOK {
+			slot := &p.dedup[dedupIndex(client, seq, group)&p.dedupMask]
+			if slot.used && slot.client == client && slot.seq == seq && slot.group == group {
+				// A retransmission of a request admitted within the
+				// window: shed it, and CLEAR the slot so a further
+				// retransmission of the same id passes through. That
+				// keeps the window safe against false liveness loss —
+				// if the first copy was lost downstream of the proxy,
+				// the client's second retransmission still reaches the
+				// replicas' at-most-once cache, which is the actual
+				// correctness mechanism; the window only thins the
+				// common duplicate storm.
+				slot.used = false
+				p.shed.Add(1)
+				return
+			}
+			*slot = dedupSlot{client: client, seq: seq, group: group, used: true}
+		}
+	}
 	p.queued.Add(1)
 	b := &p.bufs[gi]
 	b.items = append(b.items, value)
@@ -216,6 +279,18 @@ func (p *Proxy) admit(frame []byte) {
 	if len(b.items) >= p.cfg.BatchMax {
 		p.seal(gi)
 	}
+}
+
+// dedupIndex mixes a per-group request id into a table index
+// (splitmix64-style finalizer) so clients with adjacent ids spread
+// across the window.
+func dedupIndex(client, seq uint64, group uint32) uint64 {
+	x := client*0x9e3779b97f4a7c15 + seq + uint64(group)<<56
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ x>>31
 }
 
 // sealAll flushes every non-empty group buffer (delay-timer path).

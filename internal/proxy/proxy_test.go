@@ -2,10 +2,12 @@ package proxy
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"testing"
 	"time"
 
+	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/transport"
@@ -342,7 +344,12 @@ func (sinkTransport) Listen(addr transport.Addr) (transport.Endpoint, error) {
 func (sinkTransport) Send(to transport.Addr, frame []byte) error { return nil }
 func (sinkTransport) Close() error                               { return nil }
 
-func benchProxy(tb testing.TB) (*Proxy, []byte) {
+// benchProxy builds a proxy plus one Propose frame carrying a real
+// encoded request, and returns the offset of the request's Seq field
+// within the frame: the benchmarks mutate it in place per iteration so
+// every admitted command carries a fresh request id and the dedup
+// window probes (and misses) exactly like live traffic.
+func benchProxy(tb testing.TB) (p *Proxy, frame []byte, seqOff int) {
 	tb.Helper()
 	p, err := newProxy(Config{
 		Addr:      "proxy0",
@@ -354,16 +361,23 @@ func benchProxy(tb testing.TB) (*Proxy, []byte) {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return p, paxos.NewProposeFrame(0, make([]byte, 64))
+	value := command.AppendRequest(nil, &command.Request{
+		Client: 7, Seq: 1, Cmd: 1, Input: make([]byte, 16), Reply: "client0",
+	})
+	frame = paxos.NewProposeFrame(0, value)
+	return p, frame, len(frame) - len(value) + 8
 }
 
 // TestProxySubmitAllocs pins the zero-alloc admission path: amortized
 // over a full batch, sealing is the only allocation (the batch frame
 // itself), well under 1/8 alloc per admitted command.
 func TestProxySubmitAllocs(t *testing.T) {
-	p, frame := benchProxy(t)
+	p, frame, seqOff := benchProxy(t)
+	var seq uint64
 	perBatch := testing.AllocsPerRun(100, func() {
 		for i := 0; i < 64; i++ {
+			seq++
+			binary.LittleEndian.PutUint64(frame[seqOff:], seq)
 			p.admit(frame)
 		}
 	})
@@ -373,14 +387,140 @@ func TestProxySubmitAllocs(t *testing.T) {
 }
 
 // BenchmarkProxySubmit measures the proxy admission hot path
-// (parse + buffer + amortized seal) per command.
+// (parse + dedup probe + buffer + amortized seal) per command.
 func BenchmarkProxySubmit(b *testing.B) {
-	p, frame := benchProxy(b)
+	p, frame, seqOff := benchProxy(b)
 	b.ReportAllocs()
 	b.SetBytes(int64(len(frame)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(frame[seqOff:], uint64(i+1))
 		p.admit(frame)
 	}
 	p.sealAll()
+}
+
+// proposeReq wraps an encoded request in a Propose frame for group 0.
+func proposeReq(client, seq uint64) []byte {
+	value := command.AppendRequest(nil, &command.Request{
+		Client: client, Seq: seq, Cmd: 1, Input: make([]byte, 16), Reply: "client0",
+	})
+	return paxos.NewProposeFrame(0, value)
+}
+
+// TestProxyDedupWindowSheds forces a client double-submit through the
+// proxy: the retransmission must be shed (never reach the sealed
+// batch), the Shed counter must record it, and — because a shed clears
+// its slot — a THIRD copy of the same request must pass through again,
+// preserving liveness when the shed copy was the only one in flight.
+func TestProxyDedupWindowSheds(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	coord, err := net.Listen("g0/coord0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Start(Config{
+		Addr:      "proxy0",
+		Groups:    []multicast.GroupConfig{{ID: 0, Coordinators: []transport.Addr{"g0/coord0"}}},
+		Transport: net,
+		BatchMax:  3,
+		Delay:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	send := func(frame []byte) {
+		t.Helper()
+		if err := net.Send("proxy0", frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(proposeReq(1, 1))
+	send(proposeReq(1, 1)) // retransmission: shed
+	send(proposeReq(1, 2))
+	send(proposeReq(2, 1))
+	_, b := recvBatch(t, coord)
+	if len(b.Items) != 3 {
+		t.Fatalf("sealed batch of %d items, want 3 (dup shed)", len(b.Items))
+	}
+	ids := make([][2]uint64, len(b.Items))
+	for i, it := range b.Items {
+		c, s, ok := command.PeekRequestID(it)
+		if !ok {
+			t.Fatalf("item %d: not a request encoding", i)
+		}
+		ids[i] = [2]uint64{c, s}
+	}
+	want := [][2]uint64{{1, 1}, {1, 2}, {2, 1}}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("batch ids = %v, want %v", ids, want)
+		}
+	}
+	// The shed cleared (1,1)'s slot: a third copy passes through.
+	send(proposeReq(1, 1))
+	send(proposeReq(1, 3))
+	send(proposeReq(1, 4))
+	_, b = recvBatch(t, coord)
+	if len(b.Items) != 3 {
+		t.Fatalf("second batch of %d items, want 3 (post-shed copy readmitted)", len(b.Items))
+	}
+	if c, s, _ := command.PeekRequestID(b.Items[0]); c != 1 || s != 1 {
+		t.Fatalf("readmitted id = (%d,%d), want (1,1)", c, s)
+	}
+	cnt := p.Counters()
+	if cnt.Shed != 1 || cnt.Queued != 6 {
+		t.Fatalf("counters = %+v, want Shed 1, Queued 6", cnt)
+	}
+}
+
+// TestProxyDedupIsPerGroup: a multi-group command (subset routing)
+// submits one Propose frame per destination group with the SAME
+// request id; the dedup window must pass every group's copy.
+func TestProxyDedupIsPerGroup(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	coord0, err := net.Listen("g0/coord0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1, err := net.Listen("g1/coord0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Start(Config{
+		Addr: "proxy0",
+		Groups: []multicast.GroupConfig{
+			{ID: 0, Coordinators: []transport.Addr{"g0/coord0"}},
+			{ID: 1, Coordinators: []transport.Addr{"g1/coord0"}},
+		},
+		Transport: net,
+		BatchMax:  1,
+		Delay:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	value := command.AppendRequest(nil, &command.Request{
+		Client: 1, Seq: 1, Cmd: 1, Input: make([]byte, 16), Reply: "client0",
+	})
+	for _, g := range []uint32{0, 1} {
+		if err := net.Send("proxy0", paxos.NewProposeFrame(g, value)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, coord := range []transport.Endpoint{coord0, coord1} {
+		_, b := recvBatch(t, coord)
+		if len(b.Items) != 1 {
+			t.Fatalf("%s batch of %d items, want 1", coord.Addr(), len(b.Items))
+		}
+	}
+	if cnt := p.Counters(); cnt.Shed != 0 || cnt.Queued != 2 {
+		t.Fatalf("counters = %+v, want Shed 0, Queued 2 (per-group copies both pass)", cnt)
+	}
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package sched
+
+// benchRaceEnabled skips timing-ratio and allocation assertions under
+// the race detector, whose instrumentation skews both the costs being
+// compared and the allocation counts.
+const benchRaceEnabled = true

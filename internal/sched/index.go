@@ -2,9 +2,9 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
@@ -50,27 +50,60 @@ import (
 //   - An idle worker steals a bounded batch of non-keyed work from the
 //     longest ingress queue. Keyed chains never migrate (the per-key
 //     FIFO is the conflict order) and nothing is taken at or past a
-//     pending barrier token, so stealing cannot reorder dependent
-//     commands.
+//     pending barrier or multi-key token, so stealing cannot reorder
+//     dependent commands.
 //   - Global (barrier) commands are enqueued on every worker's queue;
 //     workers rendezvous at the token, the compiled set's minimum
 //     member executes alone, then releases the rest — exactly the
 //     paper's "wait for the worker threads to finish their ongoing
 //     work" semantics.
-//   - MULTI-KEY commands (cdep.RouteMultiKey) are a partial barrier
-//     over exactly the workers owning the command's keys: admission
+//   - MULTI-KEY commands (cdep.RouteMultiKey) acquire every touched
+//     key like a 2PL lock point over the per-key FIFOs: admission
 //     places the command as the new last writer of every key (in
-//     sorted-key order) and enqueues ONE rendezvous token on every
-//     distinct owner queue — a 2PL-style lock acquisition where the
-//     per-key FIFOs are the lock queues. The lowest-id owner executes
-//     once every owner reaches its token and every sealed reader set
-//     of the touched keys has drained; the other owners park until
-//     released. Deadlock-freedom: admission is serialized and a token
-//     is fully enqueued (after flushing the buffered burst) before
-//     admission continues, so tokens appear on ALL queues in one
-//     global admission order, every wait edge (FIFO predecessor,
-//     writer gate, sealed reader group, rendezvous arrival) points to
-//     an earlier-admitted command, and the wait graph stays acyclic.
+//     sorted-key order) and enqueues ONE token on every distinct owner
+//     queue. The default protocol is a deposit-and-continue handoff:
+//     the token carries an atomic countdown initialized to the number
+//     of distinct owners, and an owner popping the token DEPOSITS
+//     (decrements) and keeps draining the unrelated work queued behind
+//     it — no owner parks. The LAST depositor becomes the executor: it
+//     waits for the touched keys' sealed reader sets and for the
+//     completion gates of any predecessor multi-key tokens on shared
+//     keys, executes once, and closes the token's pre-allocated
+//     completion gate, releasing the successors of every touched key.
+//
+//     Safety argument. (a) Per-key FIFO: an owner deposits only after
+//     popping everything admitted before the token on that queue, and
+//     single-key commands execute inline at pop — so when the last
+//     owner deposits, every EARLIER same-key command has completed,
+//     except predecessor multi-key tokens (for which popped does not
+//     imply completed); those are covered by explicit completion-gate
+//     waits latched at admission. Every LATER same-key command — the
+//     next writer, readers, successor tokens — latches this token's
+//     completion gate at admission and cannot start before it closes.
+//     The last deposit is therefore exactly the 2PL lock point the
+//     parking rendezvous implemented, and the serialization order is
+//     identical: same command set, same per-key order, one execution.
+//     (b) No deadlock: tokens are fully enqueued under the serialized
+//     admission path before admission continues, so they appear on all
+//     queues in ONE global admission order, and every wait edge (FIFO
+//     predecessor, writer gate, sealed reader group, predecessor token
+//     gate) points to an earlier-admitted command — the wait graph is
+//     acyclic. (c) The parking rendezvous is retained behind
+//     Tuning.NoMKHandoff as the ablation baseline; the two modes are
+//     byte-identical on any input stream (asserted by the root
+//     determinism e2e).
+//
+// The admission and completion hot paths are allocation-free at steady
+// state (asserted by TestAdmitKeyedIndexBatchZeroAlloc): inodes,
+// multi-key tokens, reader groups and conflict-index entries are
+// pooled and recycled at completion, key sets use small inline buffers
+// (cdep.Compiled.AppendKeySet), and the ingress deques are pre-sized
+// power-of-two rings. Completion gates and reader-group done channels
+// are the deliberate exception: a closed channel cannot be re-armed
+// and waiters retain the pointer past the owner's recycling, so they
+// are allocated fresh — but only on paths that already pay a
+// rendezvous (multi-key tokens, reader/writer transitions), never on
+// the plain keyed fast path.
 //
 // The ingress deques are unbounded, like the scan engine's ready list:
 // backpressure comes from the closed-loop clients and the ordering
@@ -90,11 +123,23 @@ type IndexScheduler struct {
 
 	admitCPU *bench.RoleMeter
 
+	// Object pools backing zero-alloc admission. ipool holds plain
+	// inodes (keyed, free, multi-key readers); mkpool holds multi-key
+	// token inodes (recycled in handoff mode only); gpool holds reader
+	// groups.
+	ipool  sync.Pool
+	mkpool sync.Pool
+	gpool  sync.Pool
+
 	// Admission scratch, reused across calls (producers are externally
 	// serialized, so no locking). buckets groups one burst's keyed
 	// commands by key shard; touched lists the non-empty buckets;
-	// perWorker/workersHit bucket the placed burst by target queue.
+	// perWorker/workersHit bucket the placed burst by target queue;
+	// mkScratch receives AppendKeySet output; token is the one-element
+	// slice pushed per owner/worker queue.
 	single     [1]*command.Request
+	token      [1]*inode
+	mkScratch  []uint64
 	buckets    [][]*inode // len keyShardCount
 	touched    []int
 	free       []*inode
@@ -107,14 +152,21 @@ type IndexScheduler struct {
 	wg        sync.WaitGroup
 }
 
+// ingressInitCap pre-sizes each worker's ring so steady-state bursts
+// never grow it; it doubles on overflow and keeps the peak capacity.
+const ingressInitCap = 256
+
 // ingress is one worker's unbounded admission deque. A mutex-guarded
-// slice replaces a bounded channel so that (a) a whole burst enqueues
-// under one lock acquisition and (b) an idle worker can steal from the
-// middle of another worker's backlog — neither is expressible over a
-// channel.
+// power-of-two ring replaces a bounded channel so that (a) a whole
+// burst enqueues under one lock acquisition, (b) an idle worker can
+// steal from the middle of another worker's backlog, and (c) the
+// steady state allocates nothing — head/tail chase each other around
+// a buffer sized once at the workload's peak.
 type ingress struct {
-	mu    sync.Mutex
-	items []*inode
+	mu   sync.Mutex
+	buf  []*inode // power-of-two ring
+	head int
+	n    int
 	// load counts queued + executing commands; admission's least-loaded
 	// placement reads it without the lock.
 	load atomic.Int64
@@ -129,12 +181,37 @@ type ingress struct {
 	// counter as extra load and stops preferring the queue as the owner
 	// of idle keys; imbalance is then fixed at admission instead of
 	// being re-stolen every burst. The counter halves each time the
-	// owner finds its queue empty, so the penalty fades once the
-	// backlog clears.
+	// owner finds its queue empty AND each time it drains a multi-key
+	// token (progress through the backlog that never empties the queue
+	// in token-heavy workloads), so the penalty fades once the backlog
+	// clears.
 	raided atomic.Int64
 	// wake is a 1-buffered doorbell: pushed-to while the owner may be
 	// parked.
 	wake chan struct{}
+}
+
+func newIngress() *ingress {
+	return &ingress{
+		buf:  make([]*inode, ingressInitCap),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// grow doubles the ring until it fits need, unwrapping to index 0.
+// The caller holds mu.
+func (q *ingress) grow(need int) {
+	capNew := len(q.buf) * 2
+	for capNew < need {
+		capNew *= 2
+	}
+	nb := make([]*inode, capNew)
+	mask := len(q.buf) - 1
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&mask]
+	}
+	q.buf = nb
+	q.head = 0
 }
 
 func (q *ingress) pushBatch(ns []*inode) {
@@ -149,7 +226,14 @@ func (q *ingress) pushBatch(ns []*inode) {
 	}
 	q.load.Add(int64(len(ns)))
 	q.mu.Lock()
-	q.items = append(q.items, ns...)
+	if q.n+len(ns) > len(q.buf) {
+		q.grow(q.n + len(ns))
+	}
+	mask := len(q.buf) - 1
+	for i, n := range ns {
+		q.buf[(q.head+q.n+i)&mask] = n
+	}
+	q.n += len(ns)
 	q.mu.Unlock()
 	select {
 	case q.wake <- struct{}{}:
@@ -160,36 +244,36 @@ func (q *ingress) pushBatch(ns []*inode) {
 // pop removes the queue head, or returns nil when the queue is empty.
 func (q *ingress) pop() *inode {
 	q.mu.Lock()
-	if len(q.items) == 0 {
+	if q.n == 0 {
 		q.mu.Unlock()
 		return nil
 	}
-	n := q.items[0]
-	q.items[0] = nil
-	q.items = q.items[1:]
-	if len(q.items) == 0 {
-		q.items = nil // release the drained backing array
-	}
+	n := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	q.mu.Unlock()
 	return n
 }
 
 // inode is one admitted command (or one worker's view of a barrier or
-// multi-key rendezvous token).
+// multi-key token). Plain inodes are pooled and recycled at
+// completion; barrier inodes are not (parked workers may still select
+// on their channels), and token inodes recycle only in handoff mode.
 type inode struct {
 	req    *command.Request
 	marker func()        // quiesce marker closure (barrier tokens only)
 	bar    *indexBarrier // non-nil for barrier tokens
-	mk     *mkToken      // non-nil for multi-key rendezvous tokens
+	mk     *mkToken      // non-nil for multi-key tokens
 	keyed  bool
 	reader bool
 	key    uint64
-	mkeys  []uint64 // multi-key readers: canonical key set
+	mkeys  []uint64 // multi-key readers: canonical key set (len 0 otherwise)
 
 	set    command.Gamma // compiled worker set (admission scratch)
 	worker int           // target queue (admission scratch)
 
-	waitW  *gate          // readers: completion gate of the last admitted writer
+	waitW  *gate          // readers, and writers behind a pending token: completion gate to wait
 	waitWs []*gate        // multi-key readers: one writer gate per live key
 	waitR  *readerGroup   // writers: reader set admitted since the previous writer
 	gate   *gate          // writers: closed on completion
@@ -198,27 +282,43 @@ type inode struct {
 }
 
 // mkToken coordinates one multi-key command across the workers owning
-// its keys. The SAME inode is enqueued on every owner queue; gate is
-// pre-allocated (readers of any touched key may latch onto it from
-// under different key shards, so lazy allocation would race).
+// its keys. The SAME inode is enqueued on every owner queue; the
+// completion gate is pre-allocated (readers of any touched key may
+// latch onto it from under different key shards, so lazy allocation
+// would race). keys and owners alias the inline buffers until a
+// command touches more than four keys, mirroring the pooled proxy
+// frames of the ordering layer.
 type mkToken struct {
-	keys     []uint64       // canonical (sorted, deduped) key set
-	owners   []int          // distinct owner workers, ascending
-	executor int            // owners[0]: the lowest-id owner executes
-	arrive   chan struct{}  // owners signal "drained up to the token"
-	release  chan struct{}  // closed by the executor after running
-	waitRs   []*readerGroup // sealed reader sets of the touched keys
+	keys      []uint64 // canonical (sorted, deduped) key set
+	keysBuf   [4]uint64
+	owners    []int // distinct owner workers, ascending
+	ownersBuf [4]int
+
+	// pending is the handoff countdown: initialized to len(owners)
+	// before the token is enqueued; each owner deposits by decrementing
+	// at pop, and the owner that reaches zero executes.
+	pending atomic.Int32
+
+	executor int           // park mode: owners[0] executes
+	arrive   chan struct{} // park mode: owners signal "drained up to the token"
+	release  chan struct{} // park mode: closed by the executor after running
+
+	waitRs []*readerGroup // sealed reader sets of the touched keys
+	waitWs []*gate        // completion gates of predecessor multi-key tokens
 }
 
-// gate is a writer's completion latch; readers admitted while the
+// gate is a writer's completion latch; successors admitted while the
 // writer is live wait on it before executing. It is allocated lazily —
-// only when a reader actually arrives behind a live writer — so
-// write-only chains pay nothing for it.
+// only when a successor actually needs it — so write-only chains pay
+// nothing for it. Gates are never pooled: waiters hold the pointer
+// past the owner's recycling, and a closed channel cannot be re-armed.
 type gate struct{ ch chan struct{} }
 
 // readerGroup counts the live readers admitted between two writers of
 // one key. The next writer seals the group at admission (allocating
-// done); the last member to complete after sealing closes done.
+// done); the last member to complete after sealing closes done. Groups
+// are pooled: the unique waiter recycles a sealed group after its wait,
+// and a dying key entry recycles its unsealed one.
 type readerGroup struct {
 	n    int
 	done chan struct{} // non-nil once sealed by a writer
@@ -238,6 +338,26 @@ type indexBarrier struct {
 type keyShard struct {
 	mu   sync.Mutex
 	live map[uint64]*keyEntry
+	// epool is the shard's keyEntry free list, pushed/popped under mu:
+	// entries churn at the rate keys go idle, so recycling them is what
+	// keeps the map's delete/insert cycle allocation-free.
+	epool []*keyEntry
+}
+
+func (ks *keyShard) getEntry() *keyEntry {
+	if n := len(ks.epool); n > 0 {
+		e := ks.epool[n-1]
+		ks.epool[n-1] = nil
+		ks.epool = ks.epool[:n-1]
+		return e
+	}
+	return &keyEntry{}
+}
+
+func (ks *keyShard) putEntry(e *keyEntry) {
+	e.worker, e.writers, e.total = 0, 0, 0
+	e.lastWriter, e.readers = nil, nil
+	ks.epool = append(ks.epool, e)
 }
 
 // keyEntry tracks one key with live (queued or executing) commands:
@@ -300,7 +420,7 @@ func StartIndex(cfg Config) (*IndexScheduler, error) {
 		stop:       make(chan struct{}),
 	}
 	for i := range s.queues {
-		s.queues[i] = &ingress{wake: make(chan struct{}, 1)}
+		s.queues[i] = newIngress()
 	}
 	for i := range s.keyIdx {
 		s.keyIdx[i].live = make(map[uint64]*keyEntry)
@@ -318,6 +438,84 @@ func StartIndex(cfg Config) (*IndexScheduler, error) {
 		go s.work(w)
 	}
 	return s, nil
+}
+
+// getInode returns a pooled plain inode (fields zeroed at put).
+func (s *IndexScheduler) getInode() *inode {
+	if v := s.ipool.Get(); v != nil {
+		return v.(*inode)
+	}
+	return &inode{}
+}
+
+// putInode recycles a drained plain inode. Callers guarantee no live
+// references remain: the conflict index no longer points at it
+// (cleared under the shard lock before the call), and waiters hold its
+// gate pointer, never the inode itself. Barrier and multi-key token
+// inodes are never recycled here.
+func (s *IndexScheduler) putInode(n *inode) {
+	n.req = nil
+	n.keyed, n.reader = false, false
+	n.key, n.set, n.worker = 0, 0, 0
+	n.mkeys = n.mkeys[:0]
+	n.waitW, n.waitR, n.gate, n.grp = nil, nil, nil, nil
+	n.waitWs = n.waitWs[:0]
+	n.grps = n.grps[:0]
+	s.ipool.Put(n)
+}
+
+// getMK returns a pooled multi-key token inode with a fresh completion
+// gate (gates are never reused; see gate).
+func (s *IndexScheduler) getMK() *inode {
+	if v := s.mkpool.Get(); v != nil {
+		n := v.(*inode)
+		n.gate = &gate{ch: make(chan struct{})}
+		return n
+	}
+	mk := &mkToken{}
+	mk.keys = mk.keysBuf[:0]
+	mk.owners = mk.ownersBuf[:0]
+	return &inode{
+		keyed: true, // never stealable, never counted as free
+		mk:    mk,
+		gate:  &gate{ch: make(chan struct{})},
+	}
+}
+
+// putMK recycles a completed multi-key token — handoff mode only: a
+// park-mode token's released owners may still be selecting on
+// mk.release, so park-mode tokens are left to the GC. In handoff mode
+// no owner retains the inode past its deposit (the countdown is the
+// only cross-owner state), and completeMulti cleared the conflict
+// index under the shard locks before this call.
+func (s *IndexScheduler) putMK(n *inode) {
+	mk := n.mk
+	mk.keys = mk.keys[:0]
+	mk.owners = mk.owners[:0]
+	mk.waitRs = mk.waitRs[:0]
+	mk.waitWs = mk.waitWs[:0]
+	n.req = nil
+	n.gate = nil
+	n.waitW = nil
+	n.worker = 0
+	s.mkpool.Put(n)
+}
+
+func (s *IndexScheduler) getGroup() *readerGroup {
+	if v := s.gpool.Get(); v != nil {
+		return v.(*readerGroup)
+	}
+	return &readerGroup{}
+}
+
+// putGroup recycles a reader group once provably unreferenced: either
+// its unique waiter saw done close (a sealed group is waited on by
+// exactly one successor), or its key entry died with the group
+// unsealed and empty. done channels are never reused — a closed
+// channel cannot be re-armed — so sealing allocates a fresh one.
+func (s *IndexScheduler) putGroup(g *readerGroup) {
+	g.n, g.done = 0, nil
+	s.gpool.Put(g)
 }
 
 // Submit routes one command to its worker queue in O(1). It reports
@@ -350,7 +548,6 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 		route := s.cfg.Compiled.Route(req.Cmd)
 		kind := route.Kind
 		var key uint64
-		var mkeys []uint64
 		switch kind {
 		case cdep.RouteKeyed:
 			if k, ok := s.cfg.Compiled.Key(req.Cmd, req.Input); ok {
@@ -361,9 +558,9 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 				kind = cdep.RouteBarrier
 			}
 		case cdep.RouteMultiKey:
-			if ks, ok := s.cfg.Compiled.KeySet(req.Cmd, req.Input); ok {
-				mkeys = ks
-			} else {
+			var ok bool
+			s.mkScratch, ok = s.cfg.Compiled.AppendKeySet(s.mkScratch[:0], req.Cmd, req.Input)
+			if !ok {
 				// Undeterminable key set: synchronous mode.
 				kind = cdep.RouteBarrier
 			}
@@ -379,17 +576,19 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 			// across all queues.
 			s.flush()
 			if route.ReadOnly && !s.cfg.NoReaderSets {
-				s.admitMultiKeyRead(req, route, mkeys)
+				s.admitMultiKeyRead(req, route, s.mkScratch)
 			} else {
-				s.admitMultiKey(req, route, mkeys)
+				s.admitMultiKey(req, route, s.mkScratch)
 			}
 		case cdep.RouteKeyed:
-			s.bufferKeyed(&inode{
-				req: req, keyed: true, key: key, set: route.Workers,
-				reader: route.ReadOnly && !s.cfg.NoReaderSets,
-			})
+			n := s.getInode()
+			n.req, n.keyed, n.key, n.set = req, true, key, route.Workers
+			n.reader = route.ReadOnly && !s.cfg.NoReaderSets
+			s.bufferKeyed(n)
 		default:
-			s.free = append(s.free, &inode{req: req, set: route.Workers})
+			n := s.getInode()
+			n.req, n.set = req, route.Workers
+			s.free = append(s.free, n)
 		}
 	}
 	s.flush()
@@ -422,9 +621,9 @@ func (s *IndexScheduler) SubmitMarker(fn func()) bool {
 			release:  make(chan struct{}),
 		},
 	}
-	token := []*inode{n}
+	s.token[0] = n
 	for _, q := range s.queues {
-		q.pushBatch(token)
+		q.pushBatch(s.token[:])
 	}
 	return true
 }
@@ -530,13 +729,16 @@ func (s *IndexScheduler) addToWorker(n *inode) {
 // Writers chain on one worker's FIFO (admission order = execution
 // order) and wait for the reader set admitted since the previous
 // writer. Readers are routed independently and wait only for the last
-// admitted writer's completion gate. Every wait edge points to an
-// earlier-admitted command and every queue is FIFO in admission order,
-// so the wait graph is acyclic — no deadlock.
+// admitted writer's completion gate. A successor admitted behind a
+// multi-key token additionally latches the token's completion gate:
+// under the handoff protocol a popped token may still be pending, so
+// FIFO position alone no longer implies the token completed. Every
+// wait edge points to an earlier-admitted command and every queue is
+// FIFO in admission order, so the wait graph is acyclic — no deadlock.
 func (s *IndexScheduler) placeKeyedLocked(ks *keyShard, n *inode) {
 	e := ks.live[n.key]
 	if e == nil {
-		e = &keyEntry{}
+		e = ks.getEntry()
 		ks.live[n.key] = e
 	}
 	e.total++
@@ -550,7 +752,7 @@ func (s *IndexScheduler) placeKeyedLocked(ks *keyShard, n *inode) {
 			n.waitW = w.gate
 		}
 		if e.readers == nil {
-			e.readers = &readerGroup{}
+			e.readers = s.getGroup()
 		}
 		e.readers.n++
 		n.grp = e.readers
@@ -574,6 +776,12 @@ func (s *IndexScheduler) placeKeyedLocked(ks *keyShard, n *inode) {
 		} else {
 			n.worker = s.leastLoaded(n.set)
 		}
+	}
+	if w := e.lastWriter; w != nil && w.mk != nil {
+		// The predecessor is a multi-key token, which may still be
+		// pending when this writer reaches the queue head (handoff
+		// mode): wait its completion gate explicitly.
+		n.waitW = w.gate
 	}
 	e.worker = n.worker
 	e.writers++
@@ -610,38 +818,30 @@ func (s *IndexScheduler) admitBarrier(req *command.Request, route cdep.Route) {
 			release:  make(chan struct{}),
 		},
 	}
-	token := []*inode{n}
+	s.token[0] = n
 	for _, q := range s.queues {
-		q.pushBatch(token)
+		q.pushBatch(s.token[:])
 	}
 }
 
 // admitMultiKey admits one multi-key command: a 2PL-style acquisition
 // of every touched key, in the canonical sorted-key order, followed by
-// one rendezvous token on every distinct owner queue. The caller has
-// flushed the buffered burst, so everything admitted earlier is already
-// enqueued and the token partitions each owner queue in admission
-// order. keys is sorted and deduplicated (cdep.Compiled.KeySet).
+// ONE token on every distinct owner queue. The caller has flushed the
+// buffered burst, so everything admitted earlier is already enqueued
+// and the token partitions each owner queue in admission order. keys
+// is sorted and deduplicated (admission scratch; copied into the
+// token's inline buffer).
 func (s *IndexScheduler) admitMultiKey(req *command.Request, route cdep.Route, keys []uint64) {
-	n := &inode{
-		req:   req,
-		keyed: true, // never stealable, never counted as free
-		mk: &mkToken{
-			keys:    keys,
-			release: make(chan struct{}),
-		},
-		// Readers of any touched key latch onto this gate from under
-		// their own key's shard lock; pre-allocating it keeps that
-		// race-free (two shards cannot both lazily allocate).
-		gate: &gate{ch: make(chan struct{})},
-	}
+	n := s.getMK()
+	n.req = req
 	mk := n.mk
-	for _, key := range keys {
+	mk.keys = append(mk.keys[:0], keys...)
+	for _, key := range mk.keys {
 		ks := s.keyShard(key)
 		ks.mu.Lock()
 		e := ks.live[key]
 		if e == nil {
-			e = &keyEntry{}
+			e = ks.getEntry()
 			ks.live[key] = e
 		}
 		e.total++
@@ -655,6 +855,13 @@ func (s *IndexScheduler) admitMultiKey(req *command.Request, route cdep.Route, k
 			e.worker = s.leastLoaded(route.Workers)
 		}
 		e.writers++
+		if w := e.lastWriter; w != nil && w.mk != nil {
+			// Predecessor multi-key token on a shared key: it may still
+			// be pending when this token's owners deposit (a popped
+			// token is not a completed token), so the executor waits
+			// its completion gate explicitly.
+			mk.waitWs = append(mk.waitWs, w.gate)
+		}
 		if g := e.readers; g != nil && g.n > 0 {
 			g.done = make(chan struct{}) // seal: the executor waits for the drain
 			mk.waitRs = append(mk.waitRs, g)
@@ -676,13 +883,26 @@ func (s *IndexScheduler) admitMultiKey(req *command.Request, route cdep.Route, k
 			s.pendingLen[owner]++ // later keys' leastLoaded sees this token
 		}
 	}
-	sort.Ints(mk.owners)
+	// Insertion sort: owner sets are tiny, and this keeps sort's
+	// interface conversion off the admission path.
+	for i := 1; i < len(mk.owners); i++ {
+		for j := i; j > 0 && mk.owners[j] < mk.owners[j-1]; j-- {
+			mk.owners[j], mk.owners[j-1] = mk.owners[j-1], mk.owners[j]
+		}
+	}
 	mk.executor = mk.owners[0]
-	mk.arrive = make(chan struct{}, len(mk.owners))
-	token := []*inode{n}
+	if s.cfg.NoMKHandoff {
+		mk.arrive = make(chan struct{}, len(mk.owners))
+		mk.release = make(chan struct{})
+	} else {
+		// The countdown must be armed before any owner can pop the
+		// token.
+		mk.pending.Store(int32(len(mk.owners)))
+	}
+	s.token[0] = n
 	for _, w := range mk.owners {
 		s.pendingLen[w] = 0
-		s.queues[w].pushBatch(token)
+		s.queues[w].pushBatch(s.token[:])
 	}
 }
 
@@ -695,21 +915,20 @@ func (s *IndexScheduler) admitMultiKey(req *command.Request, route cdep.Route, k
 // waits for single-key readers. Every wait edge (the keys' last
 // writers) points to an earlier-admitted command, so the wait graph
 // stays acyclic. The caller has flushed the buffered burst; keys is
-// sorted and deduplicated (cdep.Compiled.KeySet).
+// sorted and deduplicated (admission scratch; copied into the pooled
+// inode's buffer).
 func (s *IndexScheduler) admitMultiKeyRead(req *command.Request, route cdep.Route, keys []uint64) {
-	n := &inode{
-		req:    req,
-		keyed:  true, // never stealable, never counted as free
-		reader: true,
-		mkeys:  keys,
-		grps:   make([]*readerGroup, len(keys)),
-	}
-	for i, key := range keys {
+	n := s.getInode()
+	n.req = req
+	n.keyed = true // never stealable, never counted as free
+	n.reader = true
+	n.mkeys = append(n.mkeys[:0], keys...)
+	for _, key := range n.mkeys {
 		ks := s.keyShard(key)
 		ks.mu.Lock()
 		e := ks.live[key]
 		if e == nil {
-			e = &keyEntry{}
+			e = ks.getEntry()
 			ks.live[key] = e
 		}
 		e.total++
@@ -723,14 +942,15 @@ func (s *IndexScheduler) admitMultiKeyRead(req *command.Request, route cdep.Rout
 			n.waitWs = append(n.waitWs, w.gate)
 		}
 		if e.readers == nil {
-			e.readers = &readerGroup{}
+			e.readers = s.getGroup()
 		}
 		e.readers.n++
-		n.grps[i] = e.readers
+		n.grps = append(n.grps, e.readers)
 		ks.mu.Unlock()
 	}
 	n.worker = s.leastLoaded(route.Workers)
-	s.queues[n.worker].pushBatch([]*inode{n})
+	s.token[0] = n
+	s.queues[n.worker].pushBatch(s.token[:])
 }
 
 // leastLoaded returns the member of the compiled worker set with the
@@ -759,6 +979,13 @@ func (s *IndexScheduler) leastLoaded(set command.Gamma) int {
 	return best
 }
 
+// stealScratch is one worker's reusable steal buffers, sized once at
+// worker start so the steal path performs no allocation.
+type stealScratch struct {
+	batch []*inode // taken commands, cap stealBatch
+	keep  []*inode // scanned-but-kept prefix, cap = scan limit
+}
+
 // work is one pool worker draining its own ingress queue, stealing
 // from the longest queue when its own runs dry.
 func (s *IndexScheduler) work(w int) {
@@ -769,6 +996,10 @@ func (s *IndexScheduler) work(w int) {
 	if s.cfg.NoSteal {
 		stealSig = nil
 	}
+	sc := &stealScratch{
+		batch: make([]*inode, 0, s.stealBatch),
+		keep:  make([]*inode, 0, 8*s.stealBatch),
+	}
 	for {
 		n := q.pop()
 		if n == nil {
@@ -777,7 +1008,7 @@ func (s *IndexScheduler) work(w int) {
 			if r := q.raided.Load(); r > 0 {
 				q.raided.Store(r / 2)
 			}
-			if batch := s.steal(w); len(batch) > 0 {
+			if batch := s.steal(w, sc); len(batch) > 0 {
 				for _, m := range batch {
 					if !s.execute(m, cpu) {
 						return
@@ -797,13 +1028,30 @@ func (s *IndexScheduler) work(w int) {
 		}
 		switch {
 		case n.bar != nil:
-			if !s.rendezvous(w, n, cpu.Busy) {
+			if !s.rendezvous(w, n, cpu) {
 				return
 			}
 		case n.mk != nil:
-			if !s.rendezvousMulti(w, n, cpu.Busy) {
-				return
+			// Draining a token is progress through the backlog just
+			// like an empty-queue pop: decay the raided penalty here
+			// too, so a queue fed a steady diet of multi-key tokens
+			// (which never let it go empty) sheds the penalty as well.
+			if r := q.raided.Load(); r > 0 {
+				q.raided.Store(r / 2)
 			}
+			if s.cfg.NoMKHandoff {
+				if !s.rendezvousMulti(w, n, cpu) {
+					return
+				}
+			} else if n.mk.pending.Add(-1) == 0 {
+				// Last depositor: every owner reached its token, so the
+				// key set is claimed — execute here.
+				if !s.executeMulti(n, cpu) {
+					return
+				}
+			}
+			// Otherwise this owner deposited and keeps draining the
+			// unrelated work behind the token.
 		default:
 			if !n.keyed {
 				q.freeLoad.Add(-1)
@@ -819,12 +1067,13 @@ func (s *IndexScheduler) work(w int) {
 // steal takes up to stealBatch non-keyed commands from the front of
 // the ingress queue with the most stealable work. Keyed chains never
 // migrate (their FIFO is the conflict order) and the scan stops at the
-// first barrier token, so a stolen command was admitted after every
-// executed barrier and before every pending one — executing it on the
-// thief is indistinguishable from the victim executing it. The scan is
-// bounded, and queues with no stealable work are skipped on an atomic
-// read alone.
-func (s *IndexScheduler) steal(w int) []*inode {
+// first barrier or multi-key token, so a stolen command was admitted
+// after every executed barrier and before every pending one —
+// executing it on the thief is indistinguishable from the victim
+// executing it. The scan is bounded, queues with no stealable work are
+// skipped on an atomic read alone, and the scratch buffers make the
+// path allocation-free.
+func (s *IndexScheduler) steal(w int, sc *stealScratch) []*inode {
 	if s.cfg.NoSteal {
 		return nil
 	}
@@ -842,31 +1091,41 @@ func (s *IndexScheduler) steal(w int) []*inode {
 	}
 	q := s.queues[victim]
 	limit := 8 * s.stealBatch // bound the time under the victim's lock
-	var batch []*inode
+	batch := sc.batch[:0]
+	keep := sc.keep[:0]
 	q.mu.Lock()
-	if len(q.items) < limit {
-		limit = len(q.items)
+	if q.n < limit {
+		limit = q.n
 	}
-	orig := len(q.items)
-	kept := q.items[:0]
-	for i, n := range q.items[:limit] {
+	mask := len(q.buf) - 1
+	scanned := 0
+	for ; scanned < limit; scanned++ {
+		n := q.buf[(q.head+scanned)&mask]
 		if n.bar != nil || n.mk != nil {
 			// Stop at rendezvous tokens (full or multi-key barriers):
 			// nothing at or past one may jump it.
-			limit = i // copy the rest wholesale below
 			break
 		}
 		if !n.keyed && len(batch) < s.stealBatch {
 			batch = append(batch, n)
 			continue
 		}
-		kept = append(kept, n)
+		keep = append(keep, n)
 	}
-	kept = append(kept, q.items[limit:]...)
-	for i := len(kept); i < orig; i++ {
-		q.items[i] = nil
+	if len(batch) > 0 {
+		// Compact the scanned prefix in place: kept entries slide back
+		// by len(batch) ring slots (their copies are already in keep,
+		// so overwrites are safe in any order) and the head advances
+		// past the vacated slots.
+		for i, n := range keep {
+			q.buf[(q.head+len(batch)+i)&mask] = n
+		}
+		for i := 0; i < len(batch); i++ {
+			q.buf[(q.head+i)&mask] = nil
+		}
+		q.head = (q.head + len(batch)) & mask
+		q.n -= len(batch)
 	}
-	q.items = kept
 	q.mu.Unlock()
 	if len(batch) > 0 {
 		q.load.Add(-int64(len(batch)))
@@ -888,9 +1147,10 @@ func (s *IndexScheduler) steal(w int) []*inode {
 }
 
 // execute runs one non-barrier command after waiting out its gates:
-// the last writer's completion for readers, the sealed reader set for
-// writers. Gate owners are always earlier-admitted commands, so the
-// waits terminate. It reports false when the engine is stopping.
+// the predecessor's completion gate for readers and for successors of
+// multi-key tokens, the sealed reader set for writers. Gate owners are
+// always earlier-admitted commands, so the waits terminate. It reports
+// false when the engine is stopping.
 func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
 	if n.waitW != nil {
 		select {
@@ -906,18 +1166,66 @@ func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
 			return false
 		}
 	}
-	if n.waitR != nil {
+	if g := n.waitR; g != nil {
 		select {
-		case <-n.waitR.done:
+		case <-g.done:
+		case <-s.stop:
+			return false
+		}
+		// This writer is the sealed group's unique waiter: recycle it.
+		s.putGroup(g)
+		n.waitR = nil
+	}
+	var start time.Time
+	if cpu != nil {
+		start = time.Now()
+	}
+	output := s.exec(n.req)
+	s.respond(n.req, output)
+	if cpu != nil {
+		cpu.Add(time.Since(start))
+	}
+	s.complete(n, output)
+	return true
+}
+
+// executeMulti runs one multi-key token as its last-depositing owner
+// (handoff mode). Every owner has deposited, so per-key FIFO order
+// guarantees all earlier single-key commands of every touched key have
+// completed; predecessor multi-key tokens (popped but possibly still
+// pending) are waited out via their completion gates, and the sealed
+// reader sets of the touched keys via their done channels. It reports
+// false when the engine is stopping.
+func (s *IndexScheduler) executeMulti(n *inode, cpu *bench.RoleMeter) bool {
+	mk := n.mk
+	for _, g := range mk.waitWs {
+		select {
+		case <-g.ch:
 		case <-s.stop:
 			return false
 		}
 	}
-	stopBusy := cpu.Busy()
+	for _, g := range mk.waitRs {
+		select {
+		case <-g.done:
+		case <-s.stop:
+			return false
+		}
+		// The executor is each sealed group's unique waiter.
+		s.putGroup(g)
+	}
+	mk.waitRs = mk.waitRs[:0]
+	var start time.Time
+	if cpu != nil {
+		start = time.Now()
+	}
 	output := s.exec(n.req)
 	s.respond(n.req, output)
-	stopBusy()
-	s.complete(n, output)
+	if cpu != nil {
+		cpu.Add(time.Since(start))
+	}
+	s.completeMulti(n, output)
+	s.putMK(n)
 	return true
 }
 
@@ -925,7 +1233,7 @@ func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
 // compiled worker set) waits for every other worker to drain up to its
 // token, executes the command alone, then releases them. It reports
 // false when the engine is stopping.
-func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
+func (s *IndexScheduler) rendezvous(w int, n *inode, cpu *bench.RoleMeter) bool {
 	if w != n.bar.executor {
 		select {
 		case n.bar.arrive <- struct{}{}:
@@ -946,32 +1254,43 @@ func (s *IndexScheduler) rendezvous(w int, n *inode, busy func() func()) bool {
 			return false
 		}
 	}
-	stopBusy := busy()
+	var start time.Time
+	if cpu != nil {
+		start = time.Now()
+	}
 	if n.marker != nil {
 		// Quiesce marker: every worker is parked at its token, so the
 		// closure observes the service at one deterministic log
 		// position. No response, no at-most-once record.
 		n.marker()
-		stopBusy()
+		if cpu != nil {
+			cpu.Add(time.Since(start))
+		}
 		close(n.bar.release)
 		return true
 	}
 	output := s.exec(n.req)
 	s.respond(n.req, output)
-	stopBusy()
+	if cpu != nil {
+		cpu.Add(time.Since(start))
+	}
 	s.complete(n, output)
 	close(n.bar.release)
 	return true
 }
 
-// rendezvousMulti runs one multi-key token: the executor (the lowest-id
-// owner) waits for the other owners to drain up to their tokens and for
-// the sealed reader sets of the touched keys, executes the command
-// once, then releases the parked owners. Per-key FIFO order guarantees
-// every earlier writer of every touched key completed before its owner
-// reached the token, so the rendezvous is exactly a 2PL lock point over
-// the key set. It reports false when the engine is stopping.
-func (s *IndexScheduler) rendezvousMulti(w int, n *inode, busy func() func()) bool {
+// rendezvousMulti runs one multi-key token under the parking protocol
+// (Tuning.NoMKHandoff — the ablation baseline the handoff is measured
+// against): the executor (the lowest-id owner) waits for the other
+// owners to drain up to their tokens and park, waits out the sealed
+// reader sets, executes the command once, then releases the parked
+// owners. Per-key FIFO order guarantees every earlier writer of every
+// touched key completed before its owner reached the token, so the
+// rendezvous is exactly the same 2PL lock point as the handoff's last
+// deposit — at the cost of idling every non-executor owner for the
+// command's full duration. It reports false when the engine is
+// stopping.
+func (s *IndexScheduler) rendezvousMulti(w int, n *inode, cpu *bench.RoleMeter) bool {
 	mk := n.mk
 	if w != mk.executor {
 		select {
@@ -993,17 +1312,34 @@ func (s *IndexScheduler) rendezvousMulti(w int, n *inode, busy func() func()) bo
 			return false
 		}
 	}
+	for _, g := range mk.waitWs {
+		// Closed by construction in park mode (popped implies completed
+		// for every predecessor), but waiting keeps the two protocols
+		// structurally identical.
+		select {
+		case <-g.ch:
+		case <-s.stop:
+			return false
+		}
+	}
 	for _, g := range mk.waitRs {
 		select {
 		case <-g.done:
 		case <-s.stop:
 			return false
 		}
+		s.putGroup(g)
 	}
-	stopBusy := busy()
+	mk.waitRs = mk.waitRs[:0]
+	var start time.Time
+	if cpu != nil {
+		start = time.Now()
+	}
 	output := s.exec(n.req)
 	s.respond(n.req, output)
-	stopBusy()
+	if cpu != nil {
+		cpu.Add(time.Since(start))
+	}
 	s.completeMulti(n, output)
 	close(mk.release)
 	return true
@@ -1024,8 +1360,9 @@ func (s *IndexScheduler) recordDone(req *command.Request, output []byte) {
 
 // completeMulti releases a multi-key command: at-most-once recording,
 // per-key conflict-index cleanup (in the same sorted-key order as
-// admission), and the writer-gate close readers of any touched key may
-// be parked on.
+// admission), and the completion-gate close that successors of any
+// touched key may be parked on. The token inode itself is recycled by
+// the caller (handoff mode only).
 func (s *IndexScheduler) completeMulti(n *inode, output []byte) {
 	s.recordDone(n.req, output)
 	for _, key := range n.mk.keys {
@@ -1038,26 +1375,35 @@ func (s *IndexScheduler) completeMulti(n *inode, output []byte) {
 				e.lastWriter = nil
 			}
 			if e.total <= 0 {
+				if g := e.readers; g != nil {
+					// Unsealed, empty group: the dying entry held the
+					// last reference.
+					s.putGroup(g)
+				}
 				delete(ks.live, key)
+				ks.putEntry(e)
 			}
 		}
 		ks.mu.Unlock()
 	}
-	// The gate was pre-allocated at admission; any reader that latched
-	// on did so under its key's shard lock, before the lastWriter
-	// clearing above.
+	// The gate was pre-allocated at admission; any successor that
+	// latched on did so under its key's shard lock, before the
+	// lastWriter clearing above.
 	close(n.gate.ch)
 }
 
 // complete records the response for at-most-once, closes the command's
-// writer gate (if a reader latched one on), and releases it from the
-// conflict index.
+// writer gate (if a successor latched one on), releases it from the
+// conflict index, and recycles the inode.
 func (s *IndexScheduler) complete(n *inode, output []byte) {
 	s.recordDone(n.req, output)
 	if !n.keyed {
+		if n.bar == nil {
+			s.putInode(n)
+		}
 		return
 	}
-	if n.mkeys != nil {
+	if len(n.mkeys) > 0 {
 		// Multi-key reader: leave every touched key's reader group, in
 		// the same sorted-key order as admission.
 		for i, key := range n.mkeys {
@@ -1072,11 +1418,16 @@ func (s *IndexScheduler) complete(n *inode, output []byte) {
 					}
 				}
 				if e.total <= 0 {
+					if g := e.readers; g != nil {
+						s.putGroup(g)
+					}
 					delete(ks.live, key)
+					ks.putEntry(e)
 				}
 			}
 			ks.mu.Unlock()
 		}
+		s.putInode(n)
 		return
 	}
 	ks := s.keyShard(n.key)
@@ -1097,11 +1448,15 @@ func (s *IndexScheduler) complete(n *inode, output []byte) {
 			}
 		}
 		if e.total <= 0 {
+			if g := e.readers; g != nil {
+				s.putGroup(g)
+			}
 			delete(ks.live, n.key)
+			ks.putEntry(e)
 		}
 	}
-	// n.gate is written by reader admissions under this shard's lock;
-	// read it under the same lock, close it after.
+	// n.gate is written by successor admissions under this shard's
+	// lock; read it under the same lock, close it after.
 	var g *gate
 	if !n.reader {
 		g = n.gate
@@ -1110,6 +1465,7 @@ func (s *IndexScheduler) complete(n *inode, output []byte) {
 	if g != nil {
 		close(g.ch)
 	}
+	s.putInode(n)
 }
 
 func (s *IndexScheduler) respond(req *command.Request, output []byte) {

@@ -379,7 +379,11 @@ func TestStealAwarePlacementFeedback(t *testing.T) {
 		frees[i] = &inode{req: &command.Request{Client: 1, Seq: uint64(i + 1), Cmd: cmdPing}}
 	}
 	s.queues[0].pushBatch(frees)
-	batch := s.steal(1)
+	sc := &stealScratch{
+		batch: make([]*inode, 0, s.stealBatch),
+		keep:  make([]*inode, 0, 8*s.stealBatch),
+	}
+	batch := s.steal(1, sc)
 	if len(batch) != 4 {
 		t.Fatalf("stole %d, want 4", len(batch))
 	}

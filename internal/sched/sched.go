@@ -24,9 +24,14 @@
 // Both engines route MULTI-KEY commands (cdep.RouteMultiKey, key sets
 // instead of a single key) without a global barrier: the scan engine
 // chains the command as a writer of every key it touches; the index
-// engine enqueues one rendezvous token on every owner worker in
-// sorted-key order and lets the lowest-id owner execute once all owners
-// reach it (see index.go for the deadlock-freedom argument).
+// engine enqueues one token on every owner worker in sorted-key order
+// and runs a deposit-and-continue handoff — each owner atomically
+// deposits "arrived" at its token and keeps draining unrelated work,
+// and the last depositor executes, so an N-key command no longer idles
+// N−1 workers. The parking rendezvous it replaced survives behind
+// Tuning.NoMKHandoff as the ablation baseline; both protocols realize
+// the same 2PL lock point over the per-key FIFOs (see index.go for the
+// safety and deadlock-freedom argument).
 //
 // Both engines are deterministic with respect to their input stream: a
 // command waits for exactly the earlier-admitted live commands that
@@ -172,6 +177,15 @@ type Tuning struct {
 	NoSteal bool
 	// StealBatch caps the commands moved per steal. Default 8.
 	StealBatch int
+	// NoMKHandoff makes the index engine run multi-key commands with
+	// the parking owner rendezvous (every owner worker idles at its
+	// token until the executor releases it) instead of the default
+	// deposit-and-continue handoff where owners keep draining unrelated
+	// work and the last depositor executes. The two protocols produce
+	// byte-identical results (see index.go); this is the ablation
+	// baseline the handoff is measured against. The scan engine
+	// ignores it.
+	NoMKHandoff bool
 	// AdmitYieldEvery paces the UNPACED direct delivery path (the
 	// no-rep server): its admission loop yields the processor after
 	// this many admitted commands, so on starved-core hosts the worker
@@ -195,6 +209,11 @@ func (t Tuning) Label() string {
 	}
 	if t.NoSteal {
 		parts[2] = "nosteal"
+	}
+	if t.NoMKHandoff {
+		// Appended only when set, so the established three-part tags
+		// stay stable for the existing ablations.
+		parts = append(parts, "park")
 	}
 	return strings.Join(parts, "+")
 }
