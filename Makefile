@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test no-legacy-rollback allocs-gate race paxos-stress bench sched-ablation admit-ablation schedfast-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation
+.PHONY: verify vet build test no-legacy-rollback allocs-gate obs-gate race paxos-stress bench sched-ablation admit-ablation schedfast-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation obs-ablation
 
-verify: vet build test no-legacy-rollback allocs-gate
+verify: vet build test no-legacy-rollback allocs-gate obs-gate
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,14 @@ allocs-gate:
 	echo "$$out"; \
 	echo "$$out" | grep -q 'BenchmarkProxySubmit.* 0 allocs/op' || \
 		{ echo "allocs-gate: BenchmarkProxySubmit no longer 0 allocs/op"; exit 1; }
+
+# Sampled-tracing overhead gate: best-of-3 throughput on the e2e
+# sP-SMR/index kv workload with 1-in-1024 stage tracing must stay
+# within 3% of tracing-off (the observability layer's "free when
+# sampled" claim). Short measured intervals keep verify fast;
+# best-of-3 damps scheduler noise.
+obs-gate:
+	$(GO) run ./cmd/psmr-bench -exp obsgate -duration 2s -warmup 300ms
 
 # Race-detector pass over the whole module (the root e2e suite scales
 # its workloads down under -race; see raceEnabled in race_test.go).
@@ -107,3 +115,10 @@ recovery-ablation:
 # BENCH_compartment.json alongside the printed rows.
 compartment-ablation:
 	$(GO) run ./cmd/psmr-bench -exp compartment
+
+# Observability ablation: pipeline-stage tracing off / 1-in-1024
+# sampled / every command x scan/index engines; prints the per-stage
+# latency breakdown for the traced rows and emits BENCH_obs.json with
+# the stage histograms and the full registry snapshot embedded.
+obs-ablation:
+	$(GO) run ./cmd/psmr-bench -exp obs

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|schedfast|multikey|optimistic|rollback|checkpoint|compartment|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|fig4|fig5|fig6|fig7|fig8|sched|admit|schedfast|multikey|optimistic|rollback|checkpoint|compartment|obs|obsgate|all")
 		threads  = flag.Int("threads", 8, "worker threads for the sched/admit ablations")
 		keys     = flag.Int("keys", 1_000_000, "preloaded database keys (paper: 10M)")
 		clients  = flag.Int("clients", 8, "closed-loop clients")
@@ -79,6 +80,10 @@ func run(exp string, scale Scale, threads int) error {
 		return runCheckpoint(scale, threads)
 	case "compartment":
 		return runCompartment(scale, threads)
+	case "obs":
+		return runObs(scale, threads)
+	case "obsgate":
+		return runObsGate(scale, threads)
 	case "all":
 		for _, fn := range []func() error{
 			runTable1,
@@ -96,6 +101,7 @@ func run(exp string, scale Scale, threads int) error {
 			func() error { return runRollback(scale, threads) },
 			func() error { return runCheckpoint(scale, threads) },
 			func() error { return runCompartment(scale, threads) },
+			func() error { return runObs(scale, threads) },
 		} {
 			if err := fn(); err != nil {
 				return err
@@ -494,6 +500,102 @@ func runCheckpoint(scale Scale, threads int) error {
 	}
 	fmt.Println()
 	return nil
+}
+
+// runObs runs the observability-overhead ablation: pipeline-stage
+// tracing off / sampled 1-in-1024 / every command, on the scan and
+// index engines under the 50/50 read/update kvstore workload. Traced
+// rows print the per-stage latency breakdown table; the JSON rows
+// carry the stage histograms plus the full registry snapshot. The
+// headline number is the sampled/off throughput ratio — sampling is
+// supposed to be free (≤3%, the make-verify gate), trace=all is the
+// measured worst case.
+func runObs(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Observability ablation — pipeline-stage tracing overhead\n")
+	fmt.Printf("(sP-SMR, 50%%/50%% read/update kvstore, %d workers; tracing\n", threads)
+	fmt.Println(" off / 1-in-1024 sampled / every command x scan/index engines)")
+	kcps := map[string]float64{}
+	var results []*bench.Result
+	for _, setup := range experiment.ObsAblationSetups(scale, threads) {
+		res, err := experiment.RunKV(setup)
+		if err != nil {
+			return fmt.Errorf("obs %v %s: %w", setup.Scheduler, setup.Tag, err)
+		}
+		kcps[res.Technique] = res.Kcps()
+		results = append(results, res)
+		fmt.Println(" ", res)
+		if res.Breakdown != "" {
+			fmt.Println(indent(res.Breakdown, "    "))
+		}
+	}
+	fmt.Println()
+	for _, base := range []string{"sP-SMR", "sP-SMR/index"} {
+		off := kcps[base+" trace=off"]
+		for _, row := range []string{"trace=1/1024", "trace=all"} {
+			if on := kcps[base+" "+row]; off > 0 && on > 0 {
+				fmt.Printf("  %-14s %-13s traced/off throughput: %.3fx\n", base, row, on/off)
+			}
+		}
+	}
+	for _, res := range results {
+		printCDF(res)
+	}
+	if err := writeRowsJSON("BENCH_obs.json", results); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_obs.json")
+	fmt.Println()
+	return nil
+}
+
+// runObsGate is the make-verify overhead gate: best-of-3 throughput
+// with sampled (1/1024) tracing must stay within 3% of best-of-3 with
+// tracing off, on the e2e sP-SMR/index kv workload. Best-of-N damps
+// scheduler noise; a real regression (a hot-path stamp that allocates
+// or takes a lock) shows up far above 3%.
+func runObsGate(scale Scale, threads int) error {
+	fmt.Println("==============================================================")
+	fmt.Printf("Observability gate — sampled tracing ≤3%% overhead (best of 3)\n")
+	best := func(sample int) (float64, error) {
+		var b float64
+		for i := 0; i < 3; i++ {
+			setup := experiment.ObsGateSetup(scale, threads, sample)
+			res, err := experiment.RunKV(setup)
+			if err != nil {
+				return 0, err
+			}
+			fmt.Println(" ", res)
+			if k := res.Kcps(); k > b {
+				b = k
+			}
+		}
+		return b, nil
+	}
+	off, err := best(-1)
+	if err != nil {
+		return fmt.Errorf("obsgate trace=off: %w", err)
+	}
+	sampled, err := best(0)
+	if err != nil {
+		return fmt.Errorf("obsgate trace=1/1024: %w", err)
+	}
+	if off <= 0 {
+		return fmt.Errorf("obsgate: zero baseline throughput")
+	}
+	ratio := sampled / off
+	fmt.Printf("  best-of-3: off=%.1f Kcps  sampled=%.1f Kcps  ratio=%.3fx\n", off, sampled, ratio)
+	if ratio < 0.97 {
+		return fmt.Errorf("obsgate: sampled tracing costs %.1f%% throughput (limit 3%%)", 100*(1-ratio))
+	}
+	fmt.Println("  PASS: sampled tracing within the 3% budget")
+	fmt.Println()
+	return nil
+}
+
+// indent prefixes every line of s (multi-line tables under a row).
+func indent(s, prefix string) string {
+	return prefix + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n"+prefix)
 }
 
 // Scale aliases the experiment scale for brevity.

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -24,6 +25,7 @@ import (
 	psmr "github.com/psmr/psmr"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/kvstore"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/transport"
 )
 
@@ -40,14 +42,16 @@ func main() {
 		pbatch  = flag.Int("proxy-batch", 0, "commands per sealed proxy batch (0 = default)")
 		pdelay  = flag.Duration("proxy-delay", 0, "max delay before a partial proxy batch seals (0 = default)")
 		fanout  = flag.Int("fanout", 0, "decided-value delivery stripes per group (0 = coordinator broadcasts directly)")
+		metrics = flag.String("metrics-addr", "", "serve live metrics on this host:port — /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (empty = off)")
+		tsample = flag.Int("trace-sample", 0, "pipeline-stage trace sampling: 0 = 1 in 1024, 1 = every command, -1 = off")
 	)
 	flag.Parse()
-	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt, *proxies, *pbatch, *pdelay, *fanout); err != nil {
+	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt, *proxies, *pbatch, *pdelay, *fanout, *metrics, *tsample); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval, proxies, proxyBatch int, proxyDelay time.Duration, fanout int) error {
+func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval, proxies, proxyBatch int, proxyDelay time.Duration, fanout int, metricsAddr string, traceSample int) error {
 	var mode psmr.Mode
 	switch modeName {
 	case "psmr":
@@ -93,11 +97,23 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool,
 		ProxyDelay:   proxyDelay,
 		FanoutDegree: fanout,
 		Transport:    node,
+		TraceSample:  traceSample,
 	})
 	if err != nil {
 		return err
 	}
 	defer cluster.Close()
+
+	if metricsAddr != "" {
+		srv := &http.Server{Addr: metricsAddr, Handler: obs.ServeMux(cluster.Registry())}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Println("psmr-kvd: metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("psmr-kvd: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", metricsAddr)
+	}
 
 	fmt.Printf("psmr-kvd: %s cluster on %s — %d workers, %d groups, %d keys preloaded\n",
 		mode, node.HostPort(), workers, len(cluster.Groups()), keys)

@@ -62,18 +62,41 @@ func (m *CPUMeter) Reset() {
 	m.start = time.Now()
 }
 
+// Snapshot returns the accumulated busy time per role plus the start
+// of the observation window. The map lock is held only while the role
+// pointers are copied — the atomic counters are read outside it — so
+// scraping never contends with Role registration, let alone the
+// worker loops.
+func (m *CPUMeter) Snapshot() (busy map[string]time.Duration, since time.Time) {
+	if m == nil {
+		return nil, time.Time{}
+	}
+	m.mu.Lock()
+	counters := make(map[string]*atomic.Int64, len(m.roles))
+	for name, c := range m.roles {
+		counters[name] = c
+	}
+	since = m.start
+	m.mu.Unlock()
+
+	busy = make(map[string]time.Duration, len(counters))
+	for name, c := range counters {
+		busy[name] = time.Duration(c.Load())
+	}
+	return busy, since
+}
+
 // Usage returns per-role CPU usage as a percentage of one core
 // (100 = one core fully busy, 400 = four cores' worth) plus the total.
 func (m *CPUMeter) Usage() (perRole map[string]float64, total float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	wall := time.Since(m.start).Seconds()
+	busy, since := m.Snapshot()
+	wall := time.Since(since).Seconds()
 	if wall <= 0 {
 		wall = math.SmallestNonzeroFloat64
 	}
-	perRole = make(map[string]float64, len(m.roles))
-	for name, c := range m.roles {
-		pct := float64(c.Load()) / 1e9 / wall * 100
+	perRole = make(map[string]float64, len(busy))
+	for name, d := range busy {
+		pct := d.Seconds() / wall * 100
 		perRole[name] = pct
 		total += pct
 	}
@@ -85,18 +108,11 @@ type RoleMeter struct {
 	busy *atomic.Int64
 }
 
-// Busy marks the start of a processing section and returns a function
-// that ends it. Usage: defer meter.Busy()() around a processing block,
-// or stop := meter.Busy(); ...; stop().
-func (r *RoleMeter) Busy() func() {
-	if r == nil {
-		return func() {}
-	}
-	start := time.Now()
-	return func() { r.busy.Add(int64(time.Since(start))) }
-}
-
-// Add accrues a pre-measured busy duration.
+// Add accrues a pre-measured busy duration. The canonical metering
+// pattern is an explicit start/Add pair around the processing block
+// (t0 := time.Now(); ...; meter.Add(time.Since(t0))) — a closure-based
+// Busy()/stop() API used to exist but cost one allocation per loop
+// iteration on hot paths.
 func (r *RoleMeter) Add(d time.Duration) {
 	if r == nil {
 		return
@@ -267,6 +283,7 @@ type Result struct {
 	CPUPercent float64            // total across roles
 	CPUByRole  map[string]float64 // per role
 	Extra      map[string]float64 // experiment-specific values
+	Breakdown  string             // per-stage latency table (tracing on)
 }
 
 // Kcps returns throughput in kilo-commands per second, the paper's unit.

@@ -147,9 +147,9 @@ func TestBucketRoundTripMonotonic(t *testing.T) {
 func TestCPUMeterBusyFraction(t *testing.T) {
 	m := NewCPUMeter()
 	role := m.Role("worker")
-	stop := role.Busy()
+	t0 := time.Now()
 	time.Sleep(50 * time.Millisecond)
-	stop()
+	role.Add(time.Since(t0))
 	time.Sleep(50 * time.Millisecond)
 	byRole, total := m.Usage()
 	// ~50ms busy of ~100ms wall ≈ 50%; allow slack.
@@ -176,8 +176,10 @@ func TestCPUMeterReset(t *testing.T) {
 func TestNilMeterSafe(t *testing.T) {
 	var m *CPUMeter
 	role := m.Role("anything")
-	role.Busy()()              // must not panic
 	role.Add(time.Millisecond) // must not panic
+	if busy, _ := m.Snapshot(); busy != nil {
+		t.Fatal("nil meter Snapshot not empty")
+	}
 }
 
 func TestResultKcpsAndString(t *testing.T) {

@@ -21,6 +21,7 @@ import (
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
 	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/transport"
 )
@@ -71,6 +72,9 @@ type ReplicaConfig struct {
 	FetchTimeout time.Duration
 	// CPU optionally meters worker and learner busy time.
 	CPU *bench.CPUMeter
+	// Trace optionally stamps sampled commands at the learner-delivery
+	// and execution stage boundaries (nil disables at zero cost).
+	Trace *obs.Tracer
 }
 
 // Replica is a P-SMR server replica: k worker goroutines, each
@@ -163,6 +167,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 			Coordinators:  g.Coordinators,
 			StartInstance: boot.Start(),
 			CPU:           cfg.CPU.Role("learner"),
+			Trace:         cfg.Trace,
 		})
 		if err != nil {
 			r.closeLearners()
@@ -305,25 +310,25 @@ func (w *worker) run() {
 // step handles one merged delivery; it reports false when the replica
 // is stopping.
 func (w *worker) step(item multicast.Item) bool {
-	stop := w.cpu.Busy()
+	t0 := time.Now()
 	req, _, err := command.DecodeRequest(item.Payload)
 	if err != nil {
-		stop()
+		w.cpu.Add(time.Since(t0))
 		return true
 	}
 	if req.Gamma.Count() <= 1 {
 		// Parallel mode: the command was multicast to this worker's
 		// own group only (lines 10-13).
 		w.executeAndReply(req)
-		stop()
+		w.cpu.Add(time.Since(t0))
 		return true
 	}
 	if !req.Gamma.Has(w.idx) {
 		// Serial-group traffic destined to other workers.
-		stop()
+		w.cpu.Add(time.Since(t0))
 		return true
 	}
-	stop()
+	w.cpu.Add(time.Since(t0))
 	return w.synchronousMode(req)
 }
 
@@ -357,9 +362,9 @@ func (w *worker) synchronousMode(req *command.Request) bool {
 			return false
 		}
 	}
-	stop := w.cpu.Busy()
+	t0 := time.Now()
 	w.executeAndReply(req) // lines 20-21
-	stop()
+	w.cpu.Add(time.Since(t0))
 	// Release the paused workers (lines 22-23).
 	for _, j := range req.Gamma.Workers() {
 		if j == w.idx {
@@ -379,7 +384,9 @@ func (w *worker) synchronousMode(req *command.Request) bool {
 func (w *worker) executeAndReply(req *command.Request) {
 	output, duplicate := w.dedup.Lookup(req.Client, req.Seq)
 	if !duplicate {
+		w.r.cfg.Trace.StampID(obs.StageExecStart, req.Client, req.Seq)
 		output = w.r.cfg.Service.Execute(req.Cmd, req.Input)
+		w.r.cfg.Trace.StampID(obs.StageExecEnd, req.Client, req.Seq)
 		w.dedup.Record(req.Client, req.Seq, output)
 	}
 	if req.Reply == "" {

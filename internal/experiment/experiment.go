@@ -22,6 +22,7 @@ import (
 	"github.com/psmr/psmr/internal/lockstore"
 	"github.com/psmr/psmr/internal/netfs"
 	"github.com/psmr/psmr/internal/norep"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/transport"
 	"github.com/psmr/psmr/internal/workload"
 )
@@ -110,6 +111,15 @@ type KVSetup struct {
 	// per group instead of the coordinator broadcasting serially
 	// (0 = direct broadcast).
 	Fanout int
+	// TraceSample sets the cluster's pipeline-stage trace sampling
+	// (0 = the 1/1024 default, 1 = every command, -1 = off). When a
+	// tracer runs, the result carries the per-stage breakdown table
+	// and the per-stage latency columns in Extra.
+	TraceSample int
+	// EmbedObs additionally folds the cluster's full metrics-registry
+	// snapshot into the result's Extra map (one reg_-prefixed column
+	// per sample) — the obs ablation's JSON rows.
+	EmbedObs bool
 	// TagTuning appends the tuning label to the reported technique
 	// name (used by the admission ablation).
 	TagTuning bool
@@ -168,6 +178,8 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		optCounters   func() []psmr.OptimisticCounters
 		ckptCounters  func() []psmr.CheckpointCounters
 		orderCounters func() psmr.OrderingCounters
+		tracer        func() *obs.Tracer
+		registry      func() *obs.Registry
 	)
 	switch setup.Technique {
 	case PSMR, SPSMR, SMR:
@@ -196,6 +208,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			ProxyDelay:        setup.ProxyDelay,
 			FanoutDegree:      setup.Fanout,
 			CPU:               cpu,
+			TraceSample:       setup.TraceSample,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("start %v cluster: %w", setup.Technique, err)
@@ -205,6 +218,8 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		optCounters = cluster.OptimisticCounters
 		ckptCounters = cluster.CheckpointCounters
 		orderCounters = cluster.OrderingCounters
+		tracer = cluster.Tracer
+		registry = cluster.Registry
 		for i := 0; i < setup.Clients; i++ {
 			c, err := cluster.NewClient()
 			if err != nil {
@@ -373,6 +388,45 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 		res.Extra["leader_frames"] = float64(oc.Leader.InboundFrames)
 		res.Extra["leader_cmds"] = float64(oc.Leader.InboundCommands)
 		res.Extra["leader_frames_per_cmd"] = oc.Leader.FramesPerCommand()
+	}
+	if tracer != nil {
+		if tr := tracer(); tr != nil {
+			// Per-stage latency columns plus the printable breakdown
+			// table; the cluster is still live (cleanup is deferred),
+			// so the histograms include every fold up to now.
+			res.Breakdown = tr.StageBreakdown()
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			for _, st := range obs.Stages() {
+				h := tr.StageHistogram(st)
+				if h == nil || h.Count() == 0 {
+					continue
+				}
+				key := "trace_" + st.String()
+				res.Extra[key+"_count"] = float64(h.Count())
+				res.Extra[key+"_mean_us"] = float64(h.Mean().Microseconds())
+				res.Extra[key+"_p99_us"] = float64(h.Quantile(0.99).Microseconds())
+			}
+			if th := tr.TotalHistogram(); th != nil && th.Count() > 0 {
+				res.Extra["trace_total_count"] = float64(th.Count())
+				res.Extra["trace_total_mean_us"] = float64(th.Mean().Microseconds())
+				res.Extra["trace_total_p99_us"] = float64(th.Quantile(0.99).Microseconds())
+			}
+			sampled, folded, _, _ := tr.Counts()
+			res.Extra["trace_sampled"] = float64(sampled)
+			res.Extra["trace_folded"] = float64(folded)
+		}
+	}
+	if setup.EmbedObs && registry != nil {
+		if reg := registry(); reg != nil {
+			if res.Extra == nil {
+				res.Extra = map[string]float64{}
+			}
+			for k, v := range reg.Flatten() {
+				res.Extra["reg_"+k] = v
+			}
+		}
 	}
 	return res, nil
 }

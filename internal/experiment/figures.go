@@ -436,6 +436,48 @@ func CompartmentAblationSetups(scale Scale, threads int) []KVSetup {
 	return setups
 }
 
+// ObsAblationSetups returns the observability-overhead ablation:
+// sP-SMR under the 50/50 read/update kvstore workload with
+// pipeline-stage tracing off / sampled 1-in-1024 / on every command,
+// crossed with the scan and index engines. The off column is the
+// baseline the ≤3% sampled-overhead claim is gated against; the
+// trace=all column bounds the worst case (it is expected to cost
+// real throughput — that is why sampling exists).
+func ObsAblationSetups(scale Scale, threads int) []KVSetup {
+	var setups []KVSetup
+	for _, kind := range []psmr.SchedulerKind{psmr.SchedScan, psmr.SchedIndex} {
+		for _, trace := range []struct {
+			sample int
+			tag    string
+		}{
+			{sample: -1, tag: "trace=off"},
+			{sample: 0, tag: "trace=1/1024"},
+			{sample: 1, tag: "trace=all"},
+		} {
+			setup := scale.kvSetup(SPSMR, threads)
+			setup.Gen = workload.KVReadUpdate
+			setup.Scheduler = kind
+			setup.TraceSample = trace.sample
+			setup.EmbedObs = trace.sample >= 0
+			setup.Tag = trace.tag
+			setups = append(setups, setup)
+		}
+	}
+	return setups
+}
+
+// ObsGateSetup returns one row of the sampled-overhead gate: the
+// sP-SMR/index 50/50 read/update kv workload at the given trace
+// sampling (-1 off, 0 the 1/1024 default) — the e2e configuration the
+// make-verify ≤3% assertion measures.
+func ObsGateSetup(scale Scale, threads, traceSample int) KVSetup {
+	setup := scale.kvSetup(SPSMR, threads)
+	setup.Gen = workload.KVReadUpdate
+	setup.Scheduler = psmr.SchedIndex
+	setup.TraceSample = traceSample
+	return setup
+}
+
 // PrintTable1 prints the paper's Table I (delivery/execution
 // parallelism matrix), the structural summary of the three SMR
 // variants.

@@ -25,6 +25,7 @@ package lockstore
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
@@ -125,10 +126,10 @@ func (s *Server) serve(ep transport.Endpoint) {
 	cpu := s.cfg.CPU.Role("worker")
 	table := dedup.NewTable(s.cfg.DedupWindow)
 	for frame := range ep.Recv() {
-		stop := cpu.Busy()
+		t0 := time.Now()
 		req, _, err := command.DecodeRequest(frame)
 		if err != nil {
-			stop()
+			cpu.Add(time.Since(t0))
 			continue
 		}
 		// Dedup is per thread; clients stick to one thread, so their
@@ -146,7 +147,7 @@ func (s *Server) serve(ep transport.Endpoint) {
 			})
 			_ = s.cfg.Transport.Send(req.Reply, resp)
 		}
-		stop()
+		cpu.Add(time.Since(t0))
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/transport"
 )
@@ -58,6 +59,9 @@ type Sender struct {
 	// tracks the proxy currently in use.
 	proxies  []transport.Addr
 	curProxy atomic.Uint32
+
+	// trace optionally stamps sampled payloads at the submit stage.
+	trace *obs.Tracer
 }
 
 // NewSender builds a sender over the given groups. Group g in Multicast
@@ -78,6 +82,11 @@ func (s *Sender) UseProxies(proxies []transport.Addr) {
 	s.proxies = proxies
 }
 
+// SetTracer attaches a pipeline tracer: every multicast payload (an
+// encoded request) is stamped at the submit stage. Call before the
+// sender is shared across goroutines.
+func (s *Sender) SetTracer(t *obs.Tracer) { s.trace = t }
+
 // Groups returns the number of configured groups.
 func (s *Sender) Groups() int { return len(s.groups) }
 
@@ -90,6 +99,9 @@ func (s *Sender) Multicast(g int, payload []byte) error {
 		return fmt.Errorf("multicast: group %d outside [0,%d)", g, len(s.groups))
 	}
 	grp := &s.groups[g]
+	// Submit-stage stamp: first-write-wins in the tracer, so the
+	// retransmission path keeps the original submit time.
+	s.trace.Stamp(obs.StageSubmit, payload)
 	frame := paxos.NewProposeFrame(grp.ID, payload)
 	if n := len(s.proxies); n > 0 {
 		start := s.curProxy.Load()

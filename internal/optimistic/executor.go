@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
 	"github.com/psmr/psmr/internal/mvstore"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/transport"
 )
@@ -60,6 +62,10 @@ type ExecutorConfig struct {
 	ReSpeculate bool
 	// CPU optionally meters the executor's roles.
 	CPU *bench.CPUMeter
+	// Trace optionally stamps sampled commands at the
+	// confirmation/rollback stage boundaries (and, through the engine,
+	// at admission and execution).
+	Trace *obs.Tracer
 }
 
 // requestID identifies a command invocation.
@@ -253,6 +259,7 @@ func StartExecutor(cfg ExecutorConfig) (*Executor, error) {
 		Transport:  cfg.Transport,
 		QueueBound: cfg.QueueBound,
 		CPU:        cfg.CPU,
+		Trace:      cfg.Trace,
 		Tuning:     cfg.Tuning,
 	})
 	if err != nil {
@@ -518,7 +525,7 @@ func (x *Executor) commitOne(req *command.Request) {
 	}
 	<-e.done
 
-	stop := x.reconCPU.Busy()
+	t0 := time.Now()
 	x.mu.Lock()
 	// MISMATCH check: an unconfirmed log entry BEFORE e that conflicts
 	// with it executed ahead of e, but the decided order wants e first.
@@ -532,18 +539,19 @@ func (x *Executor) commitOne(req *command.Request) {
 	if !mismatch {
 		x.confirmLocked(e)
 		x.mu.Unlock()
+		x.cfg.Trace.StampID(obs.StageConfirm, e.req.Client, e.req.Seq)
 		x.respond(e.req, e.output)
 		if e.committed {
 			x.misses.Add(1)
 		} else {
 			x.hits.Add(1)
 		}
-		stop()
+		x.reconCPU.Add(time.Since(t0))
 		return
 	}
 	x.rollbackLocked(e, req)
 	x.mu.Unlock()
-	stop()
+	x.reconCPU.Add(time.Since(t0))
 	// Re-admit the rollback's collateral withdrawals (outside x.mu: the
 	// engine submission could block on a full queue while its workers
 	// wait on the executor lock).
@@ -636,6 +644,8 @@ func (x *Executor) rollbackLocked(e *entry, req *command.Request) {
 		}
 	}
 	x.misses.Add(1)
+	x.cfg.Trace.StampID(obs.StageRollback, e.req.Client, e.req.Seq)
+	x.cfg.Trace.StampID(obs.StageConfirm, e.req.Client, e.req.Seq)
 	x.respond(e.req, out)
 }
 

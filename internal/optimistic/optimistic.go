@@ -105,6 +105,7 @@ import (
 	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/transport"
@@ -165,6 +166,9 @@ type ReplicaConfig struct {
 	FetchTimeout time.Duration
 	// CPU optionally meters reconciler and worker busy time.
 	CPU *bench.CPUMeter
+	// Trace optionally stamps sampled commands at the learner-delivery,
+	// engine, confirmation and rollback stage boundaries.
+	Trace *obs.Tracer
 }
 
 // Replica is an optimistic sP-SMR replica: one learner retaining both
@@ -231,6 +235,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		GhostEvictAfter: cfg.GhostEvictAfter,
 		ReSpeculate:     cfg.ReSpeculate,
 		CPU:             cfg.CPU,
+		Trace:           cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("optimistic: start executor: %w", err)
@@ -243,6 +248,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		Optimistic:    true,
 		StartInstance: boot.Start(),
 		CPU:           cfg.CPU.Role("learner"),
+		Trace:         cfg.Trace,
 	})
 	if err != nil {
 		_ = executor.Close()
@@ -290,6 +296,12 @@ func (r *Replica) CheckpointCounters() checkpoint.Counters {
 
 // Counters returns the replica's speculation counters.
 func (r *Replica) Counters() Counters { return r.executor.Counters() }
+
+// SchedStats reports the underlying engine's work-stealing counters
+// (zeros for the scan engine, which does not steal).
+func (r *Replica) SchedStats() (stolen uint64, raided int64) {
+	return sched.EngineStats(r.executor.engine)
+}
 
 // Close stops the replica and waits for all goroutines. Close is
 // idempotent.

@@ -3,6 +3,7 @@ package paxos
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/transport"
@@ -76,9 +77,9 @@ func (a *Acceptor) AcceptedCount() int {
 func (a *Acceptor) run() {
 	defer close(a.done)
 	for frame := range a.ep.Recv() {
-		stop := a.cfg.CPU.Busy()
+		t0 := time.Now()
 		a.handle(frame)
-		stop()
+		a.cfg.CPU.Add(time.Since(t0))
 	}
 }
 

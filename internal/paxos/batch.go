@@ -51,6 +51,31 @@ func EncodeBatch(b *Batch) []byte {
 	return buf
 }
 
+// WalkBatchItems calls fn for each item of an encoded normal batch
+// without allocating (items alias buf). Skip batches and corrupt
+// encodings walk zero items. Instrumentation paths that only need to
+// peek at each item (e.g. pipeline-stage stamping on the decide path)
+// use this instead of DecodeBatch, which allocates the item slice.
+func WalkBatchItems(buf []byte, fn func(item []byte)) {
+	if len(buf) < 5 || buf[0] != batchKindNormal {
+		return
+	}
+	count := int(binary.LittleEndian.Uint32(buf[1:5]))
+	rest := buf[5:]
+	for i := 0; i < count; i++ {
+		if len(rest) < 4 {
+			return
+		}
+		l := int(binary.LittleEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if len(rest) < l {
+			return
+		}
+		fn(rest[:l:l])
+		rest = rest[l:]
+	}
+}
+
 // DecodeBatch parses a consensus value into a batch. Item slices alias
 // the input buffer.
 func DecodeBatch(buf []byte) (*Batch, error) {

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/transport"
 )
 
@@ -74,6 +75,9 @@ type CoordinatorConfig struct {
 	RetainDecisions int
 	// CPU optionally meters the coordinator's busy time.
 	CPU *bench.RoleMeter
+	// Trace optionally stamps sampled commands at the leader-admit and
+	// decided stage boundaries.
+	Trace *obs.Tracer
 }
 
 func (c *CoordinatorConfig) fillDefaults() {
@@ -170,9 +174,11 @@ type Coordinator struct {
 
 	// Inbound admission counters (atomics: read concurrently by
 	// Counters()). A proxy tier shows up here as frames-per-command
-	// falling below 1.
+	// falling below 1. decided counts decision pushes, the activity
+	// signal the relay-staleness watchdog compares stripes against.
 	inFrames   atomic.Uint64
 	inCommands atomic.Uint64
+	decided    atomic.Uint64
 }
 
 // CoordinatorCounters reports a coordinator's inbound admission work:
@@ -182,6 +188,9 @@ type Coordinator struct {
 type CoordinatorCounters struct {
 	InboundFrames   uint64
 	InboundCommands uint64
+	// Decided counts the decision pushes this coordinator performed as
+	// leader (0 on a standby).
+	Decided uint64
 }
 
 // FramesPerCommand is the admission cost ratio; 0 when no commands
@@ -199,6 +208,7 @@ func (c *Coordinator) Counters() CoordinatorCounters {
 	return CoordinatorCounters{
 		InboundFrames:   c.inFrames.Load(),
 		InboundCommands: c.inCommands.Load(),
+		Decided:         c.decided.Load(),
 	}
 }
 
@@ -298,9 +308,9 @@ func (c *Coordinator) run() {
 			if !ok {
 				return
 			}
-			stop := c.cfg.CPU.Busy()
+			t0 := time.Now()
 			c.handle(frame)
-			stop()
+			c.cfg.CPU.Add(time.Since(t0))
 			continue
 		default:
 		}
@@ -319,28 +329,28 @@ func (c *Coordinator) run() {
 			if !ok {
 				return
 			}
-			stop := c.cfg.CPU.Busy()
+			t0 := time.Now()
 			c.handle(frame)
-			stop()
+			c.cfg.CPU.Add(time.Since(t0))
 		case frame, ok := <-c.ep.Recv():
 			if !ok {
 				return
 			}
-			stop := c.cfg.CPU.Busy()
+			t0 := time.Now()
 			c.handle(frame)
-			stop()
+			c.cfg.CPU.Add(time.Since(t0))
 		case <-c.flushTimer.C:
-			stop := c.cfg.CPU.Busy()
+			t0 := time.Now()
 			c.flush()
-			stop()
+			c.cfg.CPU.Add(time.Since(t0))
 		case <-skipC:
-			stop := c.cfg.CPU.Busy()
+			t0 := time.Now()
 			c.skipTick()
-			stop()
+			c.cfg.CPU.Add(time.Since(t0))
 		case <-hbTicker.C:
-			stop := c.cfg.CPU.Busy()
+			t0 := time.Now()
 			c.heartbeatTick()
-			stop()
+			c.cfg.CPU.Add(time.Since(t0))
 		}
 	}
 }
@@ -428,6 +438,7 @@ func (c *Coordinator) handleProposeBatch(m *message) {
 // admit buffers one proposal value into the current batch, flushing on
 // the size threshold.
 func (c *Coordinator) admit(value []byte) {
+	c.cfg.Trace.Stamp(obs.StageLeaderAdmit, value)
 	if len(c.curItems) == 0 {
 		c.flushTimer.Reset(c.cfg.FlushInterval)
 	}
@@ -526,6 +537,10 @@ func (c *Coordinator) handlePhase2b(m *message) {
 }
 
 func (c *Coordinator) decide(inst uint64, value []byte) {
+	if tr := c.cfg.Trace; tr != nil {
+		WalkBatchItems(value, func(item []byte) { tr.Stamp(obs.StageDecided, item) })
+	}
+	c.decided.Add(1)
 	c.storeDecision(inst, value)
 	m := &message{
 		Type:     msgDecision,

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/transport"
 )
 
@@ -46,6 +47,10 @@ type LearnerConfig struct {
 	Optimistic bool
 	// CPU optionally meters the learner's busy time.
 	CPU *bench.RoleMeter
+	// Trace optionally stamps sampled commands at the learner-delivery
+	// stage boundary (decided stream only; the optimistic stream is
+	// pre-consensus and not a pipeline boundary).
+	Trace *obs.Tracer
 }
 
 // Learner receives a group's decisions and exposes them as an ordered
@@ -158,9 +163,9 @@ func (l *Learner) NewCursor() *Cursor {
 func (l *Learner) run() {
 	defer close(l.done)
 	for frame := range l.ep.Recv() {
-		stop := l.cfg.CPU.Busy()
+		t0 := time.Now()
 		l.handle(frame)
-		stop()
+		l.cfg.CPU.Add(time.Since(t0))
 	}
 }
 
@@ -208,6 +213,11 @@ func (l *Learner) appendLocked(value []byte) {
 		// without memory corruption: deliver an empty batch to keep
 		// the stream moving and the replicas aligned.
 		b = &Batch{}
+	}
+	if tr := l.cfg.Trace; tr != nil && !b.Skip {
+		for _, item := range b.Items {
+			tr.Stamp(obs.StageLearnerDeliver, item)
+		}
 	}
 	l.log = append(l.log, b)
 	l.frontier++

@@ -33,6 +33,7 @@ import (
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/transport"
 )
@@ -61,6 +62,9 @@ type Config struct {
 	DedupWindow int
 	// CPU optionally meters the proxy's busy time.
 	CPU *bench.RoleMeter
+	// Trace optionally stamps sampled commands at the proxy-seal stage
+	// boundary.
+	Trace *obs.Tracer
 }
 
 func (c *Config) fillDefaults() {
@@ -226,13 +230,13 @@ func (p *Proxy) run() {
 			if !ok {
 				return
 			}
-			stop := p.cfg.CPU.Busy()
+			t0 := time.Now()
 			p.admit(frame)
-			stop()
+			p.cfg.CPU.Add(time.Since(t0))
 		case <-p.timer.C:
-			stop := p.cfg.CPU.Busy()
+			t0 := time.Now()
 			p.sealAll()
-			stop()
+			p.cfg.CPU.Add(time.Since(t0))
 		}
 	}
 }
@@ -311,6 +315,9 @@ func (p *Proxy) seal(gi int) {
 	b := &p.bufs[gi]
 	frame := paxos.NewProposeBatchFrame(b.id, b.items)
 	n := len(b.items)
+	for _, item := range b.items {
+		p.cfg.Trace.Stamp(obs.StageProxySeal, item)
+	}
 	p.queuedTotal -= n
 	for i := range b.items {
 		b.items[i] = nil

@@ -2,6 +2,8 @@ package proxy
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"github.com/psmr/psmr/internal/transport"
 )
@@ -27,6 +29,13 @@ type Relay struct {
 	ep   transport.Endpoint
 	stop chan struct{}
 	done chan struct{}
+
+	// Staleness surface: forwarded frame count and the wall-clock nanos
+	// of the last forward. A relay cannot report its own death, so the
+	// cluster watchdog compares these against the leader's decide
+	// activity to flag a silent stripe.
+	forwarded   atomic.Uint64
+	lastForward atomic.Int64
 }
 
 // StartRelay launches a relay listening on cfg.Addr.
@@ -57,6 +66,21 @@ func (r *Relay) Close() error {
 	return err
 }
 
+// Forwarded returns the number of frames the relay has re-broadcast.
+// Safe to call concurrently, including on a closed relay.
+func (r *Relay) Forwarded() uint64 { return r.forwarded.Load() }
+
+// LastForward returns the time of the relay's most recent forward
+// (zero time if it never forwarded). Safe to call concurrently,
+// including on a closed relay.
+func (r *Relay) LastForward() time.Time {
+	ns := r.lastForward.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 func (r *Relay) run() {
 	defer close(r.done)
 	for {
@@ -70,6 +94,8 @@ func (r *Relay) run() {
 			for _, t := range r.cfg.Targets {
 				_ = r.cfg.Transport.Send(t, frame)
 			}
+			r.forwarded.Add(1)
+			r.lastForward.Store(time.Now().UnixNano())
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
+	"github.com/psmr/psmr/internal/obs"
 )
 
 // IndexScheduler is the index-based early scheduling engine, combining
@@ -120,6 +121,9 @@ type IndexScheduler struct {
 
 	stealBatch int
 	stealSig   chan struct{}
+	// stolen counts commands migrated between ingress queues by work
+	// stealing since start (monotonic; exported via Stats).
+	stolen atomic.Uint64
 
 	admitCPU *bench.RoleMeter
 
@@ -539,9 +543,9 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 		return false
 	default:
 	}
-	stopBusy := s.admitCPU.Busy()
-	defer stopBusy()
+	t0 := time.Now()
 	for _, req := range reqs {
+		s.cfg.Trace.StampID(obs.StageEngineAdmit, req.Client, req.Seq)
 		if s.dropDuplicate(req) {
 			continue
 		}
@@ -592,6 +596,7 @@ func (s *IndexScheduler) SubmitBatch(reqs []*command.Request) bool {
 		}
 	}
 	s.flush()
+	s.admitCPU.Add(time.Since(t0))
 	return true
 }
 
@@ -610,8 +615,7 @@ func (s *IndexScheduler) SubmitMarker(fn func()) bool {
 		return false
 	default:
 	}
-	stopBusy := s.admitCPU.Busy()
-	defer stopBusy()
+	t0 := time.Now()
 	s.flush()
 	n := &inode{
 		marker: fn,
@@ -625,6 +629,7 @@ func (s *IndexScheduler) SubmitMarker(fn func()) bool {
 	for _, q := range s.queues {
 		q.pushBatch(s.token[:])
 	}
+	s.admitCPU.Add(time.Since(t0))
 	return true
 }
 
@@ -1133,6 +1138,7 @@ func (s *IndexScheduler) steal(w int, sc *stealScratch) []*inode {
 		// Steal-aware placement feedback: record that this queue needed
 		// raiding, so admission stops preferring it for idle keys.
 		q.raided.Add(int64(len(batch)))
+		s.stolen.Add(uint64(len(batch)))
 		s.queues[w].load.Add(int64(len(batch)))
 		if left > 0 {
 			// More stealable backlog remains: cascade the doorbell so
@@ -1180,7 +1186,9 @@ func (s *IndexScheduler) execute(n *inode, cpu *bench.RoleMeter) bool {
 	if cpu != nil {
 		start = time.Now()
 	}
+	s.cfg.Trace.StampID(obs.StageExecStart, n.req.Client, n.req.Seq)
 	output := s.exec(n.req)
+	s.cfg.Trace.StampID(obs.StageExecEnd, n.req.Client, n.req.Seq)
 	s.respond(n.req, output)
 	if cpu != nil {
 		cpu.Add(time.Since(start))
@@ -1219,7 +1227,9 @@ func (s *IndexScheduler) executeMulti(n *inode, cpu *bench.RoleMeter) bool {
 	if cpu != nil {
 		start = time.Now()
 	}
+	s.cfg.Trace.StampID(obs.StageExecStart, n.req.Client, n.req.Seq)
 	output := s.exec(n.req)
+	s.cfg.Trace.StampID(obs.StageExecEnd, n.req.Client, n.req.Seq)
 	s.respond(n.req, output)
 	if cpu != nil {
 		cpu.Add(time.Since(start))
@@ -1269,7 +1279,9 @@ func (s *IndexScheduler) rendezvous(w int, n *inode, cpu *bench.RoleMeter) bool 
 		close(n.bar.release)
 		return true
 	}
+	s.cfg.Trace.StampID(obs.StageExecStart, n.req.Client, n.req.Seq)
 	output := s.exec(n.req)
+	s.cfg.Trace.StampID(obs.StageExecEnd, n.req.Client, n.req.Seq)
 	s.respond(n.req, output)
 	if cpu != nil {
 		cpu.Add(time.Since(start))
@@ -1335,7 +1347,9 @@ func (s *IndexScheduler) rendezvousMulti(w int, n *inode, cpu *bench.RoleMeter) 
 	if cpu != nil {
 		start = time.Now()
 	}
+	s.cfg.Trace.StampID(obs.StageExecStart, n.req.Client, n.req.Seq)
 	output := s.exec(n.req)
+	s.cfg.Trace.StampID(obs.StageExecEnd, n.req.Client, n.req.Seq)
 	s.respond(n.req, output)
 	if cpu != nil {
 		cpu.Add(time.Since(start))
@@ -1501,6 +1515,29 @@ func mix64(x uint64) uint64 {
 	x *= 0x94d049bb133111eb
 	x ^= x >> 31
 	return x
+}
+
+// Stats reports the engine's work-stealing counters: stolen is the
+// total number of commands migrated between ingress queues since start
+// (monotonic); raided is the current sum of the per-queue decaying
+// stolen-from penalties (a load-balance health signal — persistently
+// non-zero means admission keeps placing work on queues that drain
+// slower than their load suggests).
+func (s *IndexScheduler) Stats() (stolen uint64, raided int64) {
+	stolen = s.stolen.Load()
+	for _, q := range s.queues {
+		raided += q.raided.Load()
+	}
+	return stolen, raided
+}
+
+// EngineStats extracts the work-stealing counters from an engine;
+// engines without stealing (the scan scheduler) report zeros.
+func EngineStats(e Engine) (stolen uint64, raided int64) {
+	if is, ok := e.(*IndexScheduler); ok {
+		return is.Stats()
+	}
+	return 0, 0
 }
 
 var _ Engine = (*IndexScheduler)(nil)

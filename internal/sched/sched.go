@@ -44,11 +44,13 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/dedup"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/transport"
 )
 
@@ -154,6 +156,10 @@ type Config struct {
 	DedupWindow int
 	// CPU optionally meters scheduler and worker busy time.
 	CPU *bench.CPUMeter
+	// Trace optionally stamps sampled commands at the engine-admission
+	// and execution stage boundaries (nil disables tracing at zero
+	// cost on the admission fast path).
+	Trace *obs.Tracer
 	// Tuning carries the batch-admission pipeline knobs (all default
 	// on); the engines read the reader-set and stealing switches, the
 	// delivery paths read NoBatchAdmit.
@@ -434,6 +440,7 @@ func (s *Scheduler) schedule() {
 	}
 
 	admit := func(req *command.Request) {
+		s.cfg.Trace.StampID(obs.StageEngineAdmit, req.Client, req.Seq)
 		// With an external execution hook the at-most-once layer moves
 		// to the hook's owner (see Config.Exec).
 		if s.cfg.Exec == nil {
@@ -607,21 +614,21 @@ func (s *Scheduler) schedule() {
 		}
 		select {
 		case req := <-s.reqCh:
-			stop := cpu.Busy()
+			t0 := time.Now()
 			admit(req)
-			stop()
+			cpu.Add(time.Since(t0))
 		case adm := <-s.batchCh:
-			stop := cpu.Busy()
+			t0 := time.Now()
 			admitAdmission(adm)
-			stop()
+			cpu.Add(time.Since(t0))
 		case n := <-s.doneCh:
-			stop := cpu.Busy()
+			t0 := time.Now()
 			release(n)
-			stop()
+			cpu.Add(time.Since(t0))
 		case handoff <- head:
-			stop := cpu.Busy()
+			t0 := time.Now()
 			popReady()
-			stop()
+			cpu.Add(time.Since(t0))
 		case <-s.stop:
 			return
 		}
@@ -629,7 +636,7 @@ func (s *Scheduler) schedule() {
 		// without further blocking. This amortises scheduler wake-ups
 		// across bursts — a single-thread scheduler lives or dies by
 		// its per-command constant.
-		stop := cpu.Busy()
+		t0 := time.Now()
 		for {
 			progress := false
 			select {
@@ -669,7 +676,7 @@ func (s *Scheduler) schedule() {
 				break
 			}
 		}
-		stop()
+		cpu.Add(time.Since(t0))
 	}
 }
 
@@ -679,17 +686,19 @@ func (s *Scheduler) work() {
 	defer s.wg.Done()
 	cpu := s.cfg.CPU.Role("worker")
 	for n := range s.readyCh {
-		stop := cpu.Busy()
+		t0 := time.Now()
 		if n.marker != nil {
 			// Quiesce marker: every command admitted before it has
 			// completed (it is a barrier node), so the closure observes
 			// the service at one deterministic log position.
 			n.marker()
 		} else {
+			s.cfg.Trace.StampID(obs.StageExecStart, n.req.Client, n.req.Seq)
 			n.output = s.exec(n.req)
+			s.cfg.Trace.StampID(obs.StageExecEnd, n.req.Client, n.req.Seq)
 			s.respond(n.req, n.output)
 		}
-		stop()
+		cpu.Add(time.Since(t0))
 		select {
 		case s.doneCh <- n:
 		case <-s.stop:

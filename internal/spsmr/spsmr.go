@@ -22,6 +22,7 @@ import (
 	"github.com/psmr/psmr/internal/checkpoint"
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/sched"
 	"github.com/psmr/psmr/internal/transport"
@@ -71,6 +72,9 @@ type ReplicaConfig struct {
 	FetchTimeout time.Duration
 	// CPU optionally meters scheduler and worker busy time.
 	CPU *bench.CPUMeter
+	// Trace optionally stamps sampled commands at the learner-delivery,
+	// engine-admission and execution stage boundaries.
+	Trace *obs.Tracer
 }
 
 // Replica is an sP-SMR replica: one learner, one delivery pump feeding
@@ -125,6 +129,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		QueueBound:  cfg.QueueBound,
 		DedupWindow: cfg.DedupWindow,
 		CPU:         cfg.CPU,
+		Trace:       cfg.Trace,
 		Tuning:      cfg.Tuning,
 	})
 	if err != nil {
@@ -137,6 +142,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		Coordinators:  cfg.Group.Coordinators,
 		StartInstance: boot.Start(),
 		CPU:           cfg.CPU.Role("learner"),
+		Trace:         cfg.Trace,
 	})
 	if err != nil {
 		_ = scheduler.Close()
@@ -179,6 +185,12 @@ func replayTo(tr transport.Transport, addr transport.Addr, groupID uint32) func(
 	return func(instance uint64, value []byte) {
 		_ = tr.Send(addr, paxos.NewDecisionFrame(groupID, instance, value))
 	}
+}
+
+// SchedStats reports the engine's work-stealing counters (zeros for
+// the scan engine, which does not steal).
+func (r *Replica) SchedStats() (stolen uint64, raided int64) {
+	return sched.EngineStats(r.scheduler)
 }
 
 // CheckpointCounters returns the replica's checkpoint statistics

@@ -33,6 +33,7 @@ import (
 	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/core"
 	"github.com/psmr/psmr/internal/multicast"
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/optimistic"
 	"github.com/psmr/psmr/internal/paxos"
 	"github.com/psmr/psmr/internal/proxy"
@@ -209,6 +210,23 @@ type Config struct {
 
 	// CPU, when set, meters every role's busy time.
 	CPU *bench.CPUMeter
+
+	// TraceSample controls pipeline-stage tracing: every TraceSample-th
+	// command (deterministically chosen by request-id hash) is stamped
+	// with monotonic timestamps at each pipeline stage boundary it
+	// crosses — client submit, proxy seal, leader admit, decided,
+	// learner delivery, engine admission, execution, optimistic
+	// confirm/rollback — and folded into per-stage latency histograms.
+	// 0 samples 1 in 1024 (the default), 1 traces every command, -1
+	// disables tracing entirely (no tracer is built; every stamp site
+	// is a nil-receiver no-op).
+	TraceSample int
+	// RelaySilentAfter is the staleness horizon of the decision-relay
+	// watchdog (FanoutDegree > 0): a relay whose forward counter has
+	// not moved for this long while its group kept deciding is flagged
+	// silent (the ordering_relay_silent counter; one increment per
+	// transition). Default 500ms.
+	RelaySilentAfter time.Duration
 }
 
 func (c *Config) fillDefaults() error {
@@ -245,6 +263,9 @@ func (c *Config) fillDefaults() error {
 	if c.Transport == nil {
 		c.Transport = transport.NewMemNetwork(1)
 	}
+	if c.RelaySilentAfter <= 0 {
+		c.RelaySilentAfter = 500 * time.Millisecond
+	}
 	return nil
 }
 
@@ -279,6 +300,14 @@ type Cluster struct {
 	replicas  []*core.Replica
 	schedRepl []*spsmr.Replica
 	optRepl   []*optimistic.Replica
+
+	tracer *obs.Tracer
+	reg    *obs.Registry
+
+	// Relay-staleness watchdog state (FanoutDegree > 0).
+	relaySilent *obs.Counter
+	watchStop   chan struct{}
+	watchDone   chan struct{}
 
 	clientSeq uint64
 	closed    bool
@@ -324,7 +353,17 @@ func StartCluster(cfg Config) (*Cluster, error) {
 		return nil, fmt.Errorf("psmr: compile C-Dep: %w", err)
 	}
 
-	cl := &Cluster{cfg: cfg, cg: cg, subsets: subsets}
+	cl := &Cluster{cfg: cfg, cg: cg, subsets: subsets, reg: obs.NewRegistry()}
+	if cfg.TraceSample >= 0 {
+		// The trace folds (and the total histogram closes) at the last
+		// stage a command crosses: optimistic confirmation when
+		// speculation is on, execution end otherwise.
+		final := obs.StageExecEnd
+		if cfg.Optimistic {
+			final = obs.StageConfirm
+		}
+		cl.tracer = obs.NewTracer(obs.TracerConfig{Sample: cfg.TraceSample, Final: final})
+	}
 	if err := cl.startOrdering(); err != nil {
 		cl.Close()
 		return nil, err
@@ -336,6 +375,12 @@ func StartCluster(cfg Config) (*Cluster, error) {
 	if err := cl.startReplicas(); err != nil {
 		cl.Close()
 		return nil, err
+	}
+	cl.registerMetrics()
+	if cl.cfg.FanoutDegree > 0 {
+		cl.watchStop = make(chan struct{})
+		cl.watchDone = make(chan struct{})
+		go cl.watchRelays()
 	}
 	return cl, nil
 }
@@ -415,6 +460,7 @@ func (cl *Cluster) startOrdering() error {
 				SkipSlots:     uint32(cfg.MergeWeight),
 				Optimistic:    cfg.Optimistic,
 				CPU:           cfg.CPU.Role("coordinator"),
+				Trace:         cl.tracer,
 			})
 			if err != nil {
 				return fmt.Errorf("psmr: start coordinator g%d/%d: %w", g, i, err)
@@ -443,6 +489,7 @@ func (cl *Cluster) startProxies() error {
 			BatchMax:  cfg.ProxyBatch,
 			Delay:     cfg.ProxyDelay,
 			CPU:       cfg.CPU.Role("proxy"),
+			Trace:     cl.tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("psmr: start proxy %d: %w", i, err)
@@ -496,6 +543,7 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 			Checkpoint:   cfg.Checkpoint,
 			RecoverPeers: peers,
 			CPU:          cfg.CPU,
+			Trace:        cl.tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("psmr: start replica %d: %w", r, err)
@@ -518,6 +566,7 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 				Checkpoint:   cfg.Checkpoint,
 				RecoverPeers: peers,
 				CPU:          cfg.CPU,
+				Trace:        cl.tracer,
 			})
 			if err != nil {
 				return fmt.Errorf("psmr: start optimistic replica %d: %w", r, err)
@@ -538,6 +587,7 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 			Checkpoint:   cfg.Checkpoint,
 			RecoverPeers: peers,
 			CPU:          cfg.CPU,
+			Trace:        cl.tracer,
 		})
 		if err != nil {
 			return fmt.Errorf("psmr: start sp-smr replica %d: %w", r, err)
@@ -563,6 +613,7 @@ func (cl *Cluster) NewClientID(id uint64) (*core.Client, error) {
 	if len(cl.proxyAddr) > 0 {
 		sender.UseProxies(cl.proxyAddr)
 	}
+	sender.SetTracer(cl.tracer)
 	return core.NewClient(core.ClientConfig{
 		ID:            id,
 		Sender:        sender,
@@ -711,12 +762,224 @@ func (cl *Cluster) OptimisticCounters() []OptimisticCounters {
 	return counters
 }
 
+// Registry exposes the cluster's metrics registry: every counter the
+// scattered per-tier snapshots report, the relay watchdog, CPU-meter
+// busy time and — when tracing is on — the per-stage latency
+// histograms, all behind one name+labels namespace. Serve it with
+// obs.ServeMux for live Prometheus/expvar/pprof exposition.
+func (cl *Cluster) Registry() *obs.Registry { return cl.reg }
+
+// Tracer exposes the pipeline-stage tracer (nil when TraceSample < 0).
+func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
+
+// Metrics returns one coherent snapshot of every registered metric.
+func (cl *Cluster) Metrics() []obs.Sample { return cl.reg.Snapshot() }
+
+// RelaySilent reports how many silent-relay transitions the watchdog
+// has flagged (zero when FanoutDegree is 0).
+func (cl *Cluster) RelaySilent() uint64 { return cl.relaySilent.Load() }
+
+// registerMetrics folds every tier's counters into the cluster
+// registry as live function-backed metrics. Reads are atomic counter
+// loads on the instrumented components, so scrapes never contend with
+// the hot path.
+func (cl *Cluster) registerMetrics() {
+	r := cl.reg
+	cl.tracer.Register(r)
+	cl.relaySilent = r.Counter("ordering_relay_silent", "")
+
+	for i, p := range cl.proxies {
+		p := p
+		labels := fmt.Sprintf(`proxy="%d"`, i)
+		r.FuncCounter("proxy_queued_total", labels, func() uint64 { return p.Counters().Queued })
+		r.FuncCounter("proxy_batches_total", labels, func() uint64 { return p.Counters().Batches })
+		r.FuncCounter("proxy_commands_total", labels, func() uint64 { return p.Counters().Commands })
+		r.FuncCounter("proxy_shed_total", labels, func() uint64 { return p.Counters().Shed })
+	}
+
+	coords := cl.coords
+	sumCoord := func(pick func(paxos.CoordinatorCounters) uint64) func() uint64 {
+		return func() uint64 {
+			var total uint64
+			for _, co := range coords {
+				total += pick(co.Counters())
+			}
+			return total
+		}
+	}
+	r.FuncCounter("ordering_leader_inbound_frames_total", "",
+		sumCoord(func(c paxos.CoordinatorCounters) uint64 { return c.InboundFrames }))
+	r.FuncCounter("ordering_leader_inbound_commands_total", "",
+		sumCoord(func(c paxos.CoordinatorCounters) uint64 { return c.InboundCommands }))
+	r.FuncCounter("ordering_decided_total", "",
+		sumCoord(func(c paxos.CoordinatorCounters) uint64 { return c.Decided }))
+
+	if d := cl.cfg.FanoutDegree; d > 0 {
+		for idx, rl := range cl.relays {
+			rl := rl
+			labels := fmt.Sprintf(`group="%d",relay="%d"`, idx/d, idx%d)
+			r.FuncCounter("ordering_relay_forwarded_total", labels, rl.Forwarded)
+			// Idle age in seconds since the relay last forwarded a
+			// decision (0 until its first forward) — the per-stripe
+			// last-delivery gauge the staleness test watches.
+			r.FuncGauge("ordering_relay_idle_seconds", labels, func() float64 {
+				last := rl.LastForward()
+				if last.IsZero() {
+					return 0
+				}
+				return time.Since(last).Seconds()
+			})
+		}
+	}
+
+	if cl.cfg.Checkpoint.Enabled() {
+		sumCkpt := func(pick func(checkpoint.Counters) uint64) func() uint64 {
+			return func() uint64 {
+				var total uint64
+				for _, c := range cl.CheckpointCounters() {
+					total += pick(c)
+				}
+				return total
+			}
+		}
+		r.FuncCounter("checkpoint_snapshots_total", "",
+			sumCkpt(func(c checkpoint.Counters) uint64 { return c.Checkpoints }))
+		r.FuncCounter("checkpoint_restores_total", "",
+			sumCkpt(func(c checkpoint.Counters) uint64 { return c.Restores }))
+		r.FuncCounter("checkpoint_pause_ns_total", "",
+			sumCkpt(func(c checkpoint.Counters) uint64 { return c.TotalPauseNs }))
+	}
+
+	if cl.cfg.Optimistic {
+		sumOpt := func(pick func(optimistic.Counters) uint64) func() uint64 {
+			return func() uint64 {
+				var total uint64
+				for _, c := range cl.OptimisticCounters() {
+					total += pick(c)
+				}
+				return total
+			}
+		}
+		r.FuncCounter("optimistic_speculated_total", "",
+			sumOpt(func(c optimistic.Counters) uint64 { return c.Speculated }))
+		r.FuncCounter("optimistic_hits_total", "",
+			sumOpt(func(c optimistic.Counters) uint64 { return c.Hits }))
+		r.FuncCounter("optimistic_misses_total", "",
+			sumOpt(func(c optimistic.Counters) uint64 { return c.Misses }))
+		r.FuncCounter("optimistic_rollbacks_total", "",
+			sumOpt(func(c optimistic.Counters) uint64 { return c.Rollbacks }))
+	}
+
+	if cl.cfg.Mode == ModeSPSMR {
+		r.FuncCounter("sched_stolen_total", "", func() uint64 {
+			var total uint64
+			for _, rep := range cl.schedRepl {
+				s, _ := rep.SchedStats()
+				total += s
+			}
+			for _, rep := range cl.optRepl {
+				s, _ := rep.SchedStats()
+				total += s
+			}
+			return total
+		})
+		r.FuncGauge("sched_raided", "", func() float64 {
+			var total int64
+			for _, rep := range cl.schedRepl {
+				_, ra := rep.SchedStats()
+				total += ra
+			}
+			for _, rep := range cl.optRepl {
+				_, ra := rep.SchedStats()
+				total += ra
+			}
+			return float64(total)
+		})
+	}
+
+	if cpu := cl.cfg.CPU; cpu != nil {
+		busy, _ := cpu.Snapshot()
+		for role := range busy {
+			role := role
+			r.FuncGauge("cpu_role_busy_seconds", fmt.Sprintf(`role="%s"`, role),
+				func() float64 {
+					b, _ := cpu.Snapshot()
+					return b[role].Seconds()
+				})
+		}
+	}
+}
+
+// watchRelays is the relay-staleness watchdog (FanoutDegree > 0): a
+// relay whose forward counter stopped moving for RelaySilentAfter
+// while its group kept deciding has lost its stripe — learners survive
+// via gap retransmission, but tail latency degrades silently. The
+// watchdog counts one ordering_relay_silent transition per stall and
+// re-arms when the relay forwards again.
+func (cl *Cluster) watchRelays() {
+	defer close(cl.watchDone)
+	cfg := &cl.cfg
+	nGroups := len(cl.relays) / cfg.FanoutDegree
+	lastDecided := make([]uint64, nGroups)
+	lastForwarded := make([]uint64, len(cl.relays))
+	silent := make([]bool, len(cl.relays))
+	ticker := time.NewTicker(cfg.RelaySilentAfter / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cl.watchStop:
+			return
+		case <-ticker.C:
+		}
+		for g := 0; g < nGroups; g++ {
+			var decided uint64
+			for i := 0; i < cfg.CoordinatorCandidates; i++ {
+				decided += cl.coords[g*cfg.CoordinatorCandidates+i].Counters().Decided
+			}
+			groupActive := decided > lastDecided[g]
+			lastDecided[g] = decided
+			for i := 0; i < cfg.FanoutDegree; i++ {
+				idx := g*cfg.FanoutDegree + i
+				rl := cl.relays[idx]
+				fwd := rl.Forwarded()
+				if fwd != lastForwarded[idx] {
+					lastForwarded[idx] = fwd
+					silent[idx] = false
+					continue
+				}
+				if silent[idx] || !groupActive {
+					continue
+				}
+				if last := rl.LastForward(); last.IsZero() || time.Since(last) > cfg.RelaySilentAfter {
+					silent[idx] = true
+					cl.relaySilent.Inc()
+				}
+			}
+		}
+	}
+}
+
+// CrashRelay kills relay i of group g (staleness-detection tests):
+// learners keep completing via gap retransmission while the watchdog
+// flags the dead stripe.
+func (cl *Cluster) CrashRelay(g, i int) {
+	rl := cl.relays[g*cl.cfg.FanoutDegree+i]
+	_ = rl.Close()
+	if mem := cl.Transport(); mem != nil {
+		mem.Drop(transport.Addr(fmt.Sprintf("g%d/relay%d", g, i)))
+	}
+}
+
 // Close shuts the whole deployment down.
 func (cl *Cluster) Close() error {
 	if cl.closed {
 		return nil
 	}
 	cl.closed = true
+	if cl.watchStop != nil {
+		close(cl.watchStop)
+		<-cl.watchDone
+	}
 	for _, rep := range cl.replicas {
 		if rep != nil {
 			_ = rep.Close()
