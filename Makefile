@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: verify vet build test no-legacy-rollback allocs-gate obs-gate race paxos-stress bench sched-ablation admit-ablation schedfast-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation obs-ablation
+.PHONY: verify vet build test no-legacy-rollback allocs-gate obs-gate flight-gate race paxos-stress bench sched-ablation admit-ablation schedfast-ablation multikey-ablation optimistic-ablation rollback-ablation recovery-ablation compartment-ablation obs-ablation
 
-verify: vet build test no-legacy-rollback allocs-gate obs-gate
+verify: vet build test no-legacy-rollback allocs-gate obs-gate flight-gate
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,18 @@ allocs-gate:
 # best-of-3 damps scheduler noise.
 obs-gate:
 	$(GO) run ./cmd/psmr-bench -exp obsgate -duration 2s -warmup 300ms
+
+# Flight-recorder gate, two halves of the "always-on black box" claim:
+# (1) a journal emit that loses the sampling coin-flip must cost 0
+# allocs/op (the common case on the per-command paths), and (2) e2e
+# throughput with the journal on (the default) must stay within 3% of
+# journal-off, best-of-3 on the same workload as the obs gate.
+flight-gate:
+	@out=$$($(GO) test -run '^$$' -bench 'BenchmarkJournalEmitSampledOut$$' -benchmem -benchtime 100000x ./internal/obs/); \
+	echo "$$out"; \
+	echo "$$out" | grep -q 'BenchmarkJournalEmitSampledOut.* 0 allocs/op' || \
+		{ echo "flight-gate: BenchmarkJournalEmitSampledOut no longer 0 allocs/op"; exit 1; }
+	$(GO) run ./cmd/psmr-bench -exp flightgate -duration 2s -warmup 300ms
 
 # Race-detector pass over the whole module (the root e2e suite scales
 # its workloads down under -race; see raceEnabled in race_test.go).

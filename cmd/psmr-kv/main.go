@@ -18,12 +18,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
+	"time"
 
 	psmr "github.com/psmr/psmr"
+	"github.com/psmr/psmr/internal/bench"
 	"github.com/psmr/psmr/internal/cdep"
+	"github.com/psmr/psmr/internal/command"
 	"github.com/psmr/psmr/internal/core"
 	"github.com/psmr/psmr/internal/kvstore"
 	"github.com/psmr/psmr/internal/multicast"
@@ -37,14 +41,16 @@ func main() {
 		mode    = flag.String("mode", "psmr", "daemon's mode: psmr|spsmr|smr")
 		proxies = flag.Int("proxies", 0, "daemon's ingress proxy count (must match psmr-kvd -proxies; 0 = submit to coordinators directly)")
 		id      = flag.Uint64("id", uint64(os.Getpid()), "client id (unique per client)")
+		repeat  = flag.Int("n", 1, "repeat the operation N times (iterations after the first print nothing; pair with -stats)")
+		stats   = flag.Bool("stats", false, "print the client-observed latency histogram (count/mean/p50/p99/max) to stderr on exit")
 	)
 	flag.Parse()
-	if err := run(*server, *workers, *mode, *proxies, *id, flag.Args()); err != nil {
+	if err := run(*server, *workers, *mode, *proxies, *id, *repeat, *stats, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(server string, workers int, mode string, proxies int, id uint64, args []string) error {
+func run(server string, workers int, mode string, proxies int, id uint64, repeat int, stats bool, args []string) error {
 	if len(args) < 2 {
 		return errors.New("usage: psmr-kv [flags] get|put|update|del KEY [VALUE] | transfer FROM TO AMOUNT | mread KEY...")
 	}
@@ -106,9 +112,42 @@ func run(server string, workers int, mode string, proxies int, id uint64, args [
 	}
 	defer client.Close()
 
+	// Every Invoke is timed into the latency histogram; -stats renders
+	// it on exit. Iterations past the first run the same command with
+	// output suppressed, so `-n 1000 -stats` measures a steady stream.
+	var hist bench.Histogram
+	invoke := func(cmd command.ID, input []byte) ([]byte, error) {
+		t0 := time.Now()
+		out, err := client.Invoke(cmd, input)
+		if err == nil {
+			hist.Record(time.Since(t0))
+		}
+		return out, err
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	for i := 0; i < repeat; i++ {
+		w := io.Writer(os.Stdout)
+		if i > 0 {
+			w = io.Discard
+		}
+		if err := doVerb(invoke, verb, key, args, w); err != nil {
+			return err
+		}
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "latency: count=%d mean=%s p50=%s p99=%s max=%s\n",
+			hist.Count(), hist.Mean(), hist.Quantile(0.50), hist.Quantile(0.99), hist.Max())
+	}
+	return nil
+}
+
+// doVerb runs one client operation, writing human output to w.
+func doVerb(invoke func(command.ID, []byte) ([]byte, error), verb string, key uint64, args []string, w io.Writer) error {
 	switch verb {
 	case "get":
-		out, err := client.Invoke(kvstore.CmdRead, kvstore.EncodeKey(key))
+		out, err := invoke(kvstore.CmdRead, kvstore.EncodeKey(key))
 		if err != nil {
 			return err
 		}
@@ -116,7 +155,7 @@ func run(server string, workers int, mode string, proxies int, id uint64, args [
 		if code != kvstore.OK {
 			return fmt.Errorf("key %d not found", key)
 		}
-		fmt.Printf("%s\n", value)
+		fmt.Fprintf(w, "%s\n", value)
 	case "put", "update":
 		if len(args) < 3 {
 			return fmt.Errorf("%s needs a value", verb)
@@ -125,23 +164,23 @@ func run(server string, workers int, mode string, proxies int, id uint64, args [
 		if verb == "update" {
 			cmd = kvstore.CmdUpdate
 		}
-		out, err := client.Invoke(cmd, kvstore.EncodeKeyValue(key, []byte(args[2])))
+		out, err := invoke(cmd, kvstore.EncodeKeyValue(key, []byte(args[2])))
 		if err != nil {
 			return err
 		}
 		if out[0] != kvstore.OK {
 			return fmt.Errorf("%s %d: error code %d", verb, key, out[0])
 		}
-		fmt.Println("OK")
+		fmt.Fprintln(w, "OK")
 	case "del":
-		out, err := client.Invoke(kvstore.CmdDelete, kvstore.EncodeKey(key))
+		out, err := invoke(kvstore.CmdDelete, kvstore.EncodeKey(key))
 		if err != nil {
 			return err
 		}
 		if out[0] != kvstore.OK {
 			return fmt.Errorf("key %d not found", key)
 		}
-		fmt.Println("OK")
+		fmt.Fprintln(w, "OK")
 	case "transfer":
 		// Two-key transaction: multicast to the union of both keys'
 		// groups (multi-key C-G), executed once after the owners
@@ -157,14 +196,14 @@ func run(server string, workers int, mode string, proxies int, id uint64, args [
 		if err != nil {
 			return fmt.Errorf("amount %q: %w", args[3], err)
 		}
-		out, err := client.Invoke(kvstore.CmdTransfer, kvstore.EncodeTransfer(key, to, amount))
+		out, err := invoke(kvstore.CmdTransfer, kvstore.EncodeTransfer(key, to, amount))
 		if err != nil {
 			return err
 		}
 		if out[0] != kvstore.OK {
 			return fmt.Errorf("transfer %d→%d: error code %d", key, to, out[0])
 		}
-		fmt.Println("OK")
+		fmt.Fprintln(w, "OK")
 	case "mread":
 		// Snapshot read over a key set: read-only multi-key routing —
 		// the schedulers latch every key's reader set, so the values
@@ -177,7 +216,7 @@ func run(server string, workers int, mode string, proxies int, id uint64, args [
 			}
 			keys = append(keys, k)
 		}
-		out, err := client.Invoke(kvstore.CmdMultiRead, kvstore.EncodeMultiRead(keys...))
+		out, err := invoke(kvstore.CmdMultiRead, kvstore.EncodeMultiRead(keys...))
 		if err != nil {
 			return err
 		}
@@ -187,10 +226,10 @@ func run(server string, workers int, mode string, proxies int, id uint64, args [
 		}
 		for i, k := range keys {
 			if codes[i] != kvstore.OK {
-				fmt.Printf("%d: not found\n", k)
+				fmt.Fprintf(w, "%d: not found\n", k)
 				continue
 			}
-			fmt.Printf("%d: %s\n", k, values[i])
+			fmt.Fprintf(w, "%d: %s\n", k, values[i])
 		}
 	default:
 		return fmt.Errorf("unknown verb %q (get|put|update|del|transfer|mread)", verb)

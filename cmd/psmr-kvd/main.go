@@ -44,14 +44,15 @@ func main() {
 		fanout  = flag.Int("fanout", 0, "decided-value delivery stripes per group (0 = coordinator broadcasts directly)")
 		metrics = flag.String("metrics-addr", "", "serve live metrics on this host:port — /metrics (Prometheus text), /debug/vars (expvar), /debug/pprof (empty = off)")
 		tsample = flag.Int("trace-sample", 0, "pipeline-stage trace sampling: 0 = 1 in 1024, 1 = every command, -1 = off")
+		journal = flag.Int("journal-events", 0, "flight-recorder journal size in events: 0 = default (4096), -1 = off; dump with SIGQUIT or GET /debug/flight")
 	)
 	flag.Parse()
-	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt, *proxies, *pbatch, *pdelay, *fanout, *metrics, *tsample); err != nil {
+	if err := run(*listen, *mode, *sched, *workers, *keys, *opt, *ckpt, *proxies, *pbatch, *pdelay, *fanout, *metrics, *tsample, *journal); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval, proxies, proxyBatch int, proxyDelay time.Duration, fanout int, metricsAddr string, traceSample int) error {
+func run(listen, modeName, schedName string, workers, keys int, optimistic bool, ckptInterval, proxies, proxyBatch int, proxyDelay time.Duration, fanout int, metricsAddr string, traceSample, journalEvents int) error {
 	var mode psmr.Mode
 	switch modeName {
 	case "psmr":
@@ -88,16 +89,17 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool,
 			st.Preload(keys)
 			return st
 		},
-		Spec:       kvstore.Spec(),
-		Scheduler:    schedKind,
-		Optimistic:   optimistic,
-		Checkpoint:   psmr.CheckpointConfig{Interval: ckptInterval},
-		Proxies:      proxies,
-		ProxyBatch:   proxyBatch,
-		ProxyDelay:   proxyDelay,
-		FanoutDegree: fanout,
-		Transport:    node,
-		TraceSample:  traceSample,
+		Spec:          kvstore.Spec(),
+		Scheduler:     schedKind,
+		Optimistic:    optimistic,
+		Checkpoint:    psmr.CheckpointConfig{Interval: ckptInterval},
+		Proxies:       proxies,
+		ProxyBatch:    proxyBatch,
+		ProxyDelay:    proxyDelay,
+		FanoutDegree:  fanout,
+		Transport:     node,
+		TraceSample:   traceSample,
+		JournalEvents: journalEvents,
 	})
 	if err != nil {
 		return err
@@ -105,14 +107,18 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool,
 	defer cluster.Close()
 
 	if metricsAddr != "" {
-		srv := &http.Server{Addr: metricsAddr, Handler: obs.ServeMux(cluster.Registry())}
+		mux := obs.ServeMux(cluster.Registry())
+		if f := cluster.Flight(); f != nil {
+			mux.Handle("/debug/flight", f.Handler())
+		}
+		srv := &http.Server{Addr: metricsAddr, Handler: mux}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Println("psmr-kvd: metrics server:", err)
 			}
 		}()
 		defer srv.Close()
-		fmt.Printf("psmr-kvd: metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", metricsAddr)
+		fmt.Printf("psmr-kvd: metrics on http://%s/metrics (also /debug/vars, /debug/pprof, /debug/flight)\n", metricsAddr)
 	}
 
 	fmt.Printf("psmr-kvd: %s cluster on %s — %d workers, %d groups, %d keys preloaded\n",
@@ -130,8 +136,21 @@ func run(listen, modeName, schedName string, workers, keys int, optimistic bool,
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP, syscall.SIGQUIT)
 	for s := range sig {
+		if s == syscall.SIGQUIT {
+			// Black-box dump: cut a flight bundle and render it to
+			// stderr, then keep serving (the airplane analogue — read
+			// the recorder without crashing the plane).
+			f := cluster.Flight()
+			if f == nil {
+				fmt.Println("psmr-kvd: SIGQUIT ignored (flight recorder off: -journal-events -1)")
+				continue
+			}
+			f.Dump("SIGQUIT operator dump")
+			f.WriteText(os.Stderr)
+			continue
+		}
 		if s != syscall.SIGHUP {
 			break
 		}

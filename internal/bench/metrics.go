@@ -193,6 +193,11 @@ func (h *Histogram) Record(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the exact sum of all observations in nanoseconds (the
+// Prometheus summary `_sum` series, which must not be a mean×count
+// reconstruction).
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // Mean returns the mean latency.
 func (h *Histogram) Mean() time.Duration {
 	n := h.count.Load()

@@ -75,6 +75,9 @@ type ReplicaConfig struct {
 	// Trace optionally stamps sampled commands at the learner-delivery
 	// and execution stage boundaries (nil disables at zero cost).
 	Trace *obs.Tracer
+	// Journal optionally records learner/checkpoint events in the
+	// flight recorder (nil disables at zero cost).
+	Journal *obs.Journal
 }
 
 // Replica is a P-SMR server replica: k worker goroutines, each
@@ -168,6 +171,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 			StartInstance: boot.Start(),
 			CPU:           cfg.CPU.Role("learner"),
 			Trace:         cfg.Trace,
+			Journal:       cfg.Journal,
 		})
 		if err != nil {
 			r.closeLearners()
@@ -257,6 +261,16 @@ func (r *Replica) CheckpointCounters() checkpoint.Counters {
 	return r.ckpt.Counters()
 }
 
+// GapStalls sums the replica's learners' gap-stall transitions (the
+// anomaly watcher's learner-stall signal).
+func (r *Replica) GapStalls() uint64 {
+	var total uint64
+	for _, l := range r.learners {
+		total += l.GapStalls()
+	}
+	return total
+}
+
 func (r *Replica) closeLearners() {
 	for _, l := range r.learners {
 		_ = l.Close()
@@ -301,6 +315,7 @@ func (w *worker) run() {
 			// across replicas: same stream, same count).
 			w.r.ckpt.Tick(1)
 			if item.Last && w.r.ckpt.Due() {
+				w.r.cfg.Journal.Emit(obs.EvCheckpoint, uint64(w.r.cfg.ReplicaID), item.Instance+1)
 				w.r.ckpt.Marker(item.Instance + 1)()
 			}
 		}

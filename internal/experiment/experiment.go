@@ -120,6 +120,9 @@ type KVSetup struct {
 	// snapshot into the result's Extra map (one reg_-prefixed column
 	// per sample) — the obs ablation's JSON rows.
 	EmbedObs bool
+	// JournalOff disables the always-on flight-recorder journal
+	// (JournalEvents: -1), the baseline side of the flight gate.
+	JournalOff bool
 	// TagTuning appends the tuning label to the reported technique
 	// name (used by the admission ablation).
 	TagTuning bool
@@ -155,6 +158,15 @@ func (s *KVSetup) fillDefaults() {
 	if s.Gen == nil {
 		s.Gen = workload.KVReads
 	}
+}
+
+// journalEvents maps the JournalOff knob to the cluster config value
+// (0 = default journal on, -1 = off).
+func journalEvents(off bool) int {
+	if off {
+		return -1
+	}
+	return 0
 }
 
 // RunKV measures one technique under one key-value workload.
@@ -209,6 +221,7 @@ func RunKV(setup KVSetup) (*bench.Result, error) {
 			FanoutDegree:      setup.Fanout,
 			CPU:               cpu,
 			TraceSample:       setup.TraceSample,
+			JournalEvents:     journalEvents(setup.JournalOff),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("start %v cluster: %w", setup.Technique, err)

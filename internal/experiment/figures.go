@@ -478,6 +478,20 @@ func ObsGateSetup(scale Scale, threads, traceSample int) KVSetup {
 	return setup
 }
 
+// FlightGateSetup returns one side of the flight-recorder overhead
+// gate: the same sP-SMR/index e2e workload as the obs gate with the
+// black-box journal on (the default) or off (JournalEvents: -1).
+// Tracing runs at the 1/1024 default on both sides so the journal-on
+// row exercises the real emit path (stage events plus component
+// events), isolating the journal's marginal cost.
+func FlightGateSetup(scale Scale, threads int, journalOff bool) KVSetup {
+	setup := scale.kvSetup(SPSMR, threads)
+	setup.Gen = workload.KVReadUpdate
+	setup.Scheduler = psmr.SchedIndex
+	setup.JournalOff = journalOff
+	return setup
+}
+
 // PrintTable1 prints the paper's Table I (delivery/execution
 // parallelism matrix), the structural summary of the three SMR
 // variants.

@@ -103,6 +103,10 @@ func (s *Sender) Multicast(g int, payload []byte) error {
 	// retransmission path keeps the original submit time.
 	s.trace.Stamp(obs.StageSubmit, payload)
 	frame := paxos.NewProposeFrame(grp.ID, payload)
+	// Ship the submit stamp on the wire so out-of-process proxies and
+	// coordinators fold this hop into the same trace (no-op when the
+	// request is not sampled).
+	frame = s.trace.AppendTagForValue(frame, payload)
 	if n := len(s.proxies); n > 0 {
 		start := s.curProxy.Load()
 		var lastErr error

@@ -51,7 +51,7 @@ func writeSummary(w io.Writer, s Sample) {
 		}
 	}
 	fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, ""),
-		promFloat(s.MeanUs/1e6*float64(s.Count)))
+		promFloat(s.SumUs/1e6))
 	fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, ""), s.Count)
 }
 

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight is the anomaly-triggered dump side of the flight recorder:
+// when a watchdog fires (silent relay stripe, rollback storm, learner
+// gap stall) — or an operator asks via /debug/flight or SIGQUIT — it
+// snapshots the event journal, the recent-trace ring and the full
+// metrics registry into a timestamped diagnostic bundle. Bundles are
+// retained in a small ring so the state surrounding the FIRST
+// occurrence survives later occurrences; a per-reason cooldown keeps a
+// recurring anomaly from churning the ring.
+type Flight struct {
+	cfg       FlightConfig
+	triggered atomic.Uint64
+
+	mu       sync.Mutex
+	bundles  []Bundle
+	lastFire map[string]time.Time
+}
+
+// FlightConfig configures a Flight recorder. Any of the sources may be
+// nil; the bundle simply omits that section.
+type FlightConfig struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Journal  *Journal
+	// Keep bounds retained bundles (oldest dropped). 0 selects the
+	// default (8).
+	Keep int
+	// Cooldown suppresses re-triggers of the SAME reason within the
+	// window (on-demand dumps are never suppressed). 0 selects the
+	// default (5s).
+	Cooldown time.Duration
+}
+
+// Bundle is one diagnostic dump: everything the process knew at the
+// moment a trigger fired.
+type Bundle struct {
+	// Seq numbers bundles from 1 in trigger order.
+	Seq    uint64
+	Time   time.Time
+	Reason string
+	// Events is the journal snapshot, oldest first.
+	Events []Event
+	// Recent is the recently folded trace ring, newest last.
+	Recent []Record
+	// Metrics is the full registry snapshot.
+	Metrics []Sample
+}
+
+const (
+	defaultFlightKeep     = 8
+	defaultFlightCooldown = 5 * time.Second
+)
+
+// NewFlight creates a flight recorder. Callers that want dumps off
+// keep a nil *Flight (every method is a no-op on nil).
+func NewFlight(cfg FlightConfig) *Flight {
+	if cfg.Keep <= 0 {
+		cfg.Keep = defaultFlightKeep
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = defaultFlightCooldown
+	}
+	return &Flight{cfg: cfg, lastFire: make(map[string]time.Time)}
+}
+
+// Trigger cuts a diagnostic bundle for reason, unless the same reason
+// fired within the cooldown window (then it returns nil). Safe from
+// any goroutine; no-op on nil.
+func (f *Flight) Trigger(reason string) *Bundle {
+	return f.trigger(reason, true)
+}
+
+// Dump cuts a bundle unconditionally (operator-initiated: /debug/
+// flight, SIGQUIT) — no cooldown, the human asking IS the rate limit.
+func (f *Flight) Dump(reason string) *Bundle {
+	return f.trigger(reason, false)
+}
+
+func (f *Flight) trigger(reason string, cooldown bool) *Bundle {
+	if f == nil {
+		return nil
+	}
+	now := time.Now()
+	f.mu.Lock()
+	if cooldown {
+		if last, ok := f.lastFire[reason]; ok && now.Sub(last) < f.cfg.Cooldown {
+			f.mu.Unlock()
+			return nil
+		}
+	}
+	f.lastFire[reason] = now
+	f.mu.Unlock()
+
+	// Snapshot outside the lock: the journal/registry walks are the
+	// expensive part and must not serialize concurrent triggers.
+	b := Bundle{
+		Seq:     f.triggered.Add(1),
+		Time:    now,
+		Reason:  reason,
+		Events:  f.cfg.Journal.Snapshot(),
+		Recent:  f.cfg.Tracer.Recent(),
+		Metrics: f.cfg.Registry.Snapshot(),
+	}
+	// The dump itself is journal-worthy: later bundles show when
+	// earlier ones were cut.
+	f.cfg.Journal.Emit(EvDump, b.Seq, 0)
+
+	f.mu.Lock()
+	f.bundles = append(f.bundles, b)
+	if len(f.bundles) > f.cfg.Keep {
+		f.bundles = f.bundles[len(f.bundles)-f.cfg.Keep:]
+	}
+	f.mu.Unlock()
+	return &b
+}
+
+// Triggered returns how many bundles were ever cut.
+func (f *Flight) Triggered() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.triggered.Load()
+}
+
+// Bundles returns the retained bundles, oldest first.
+func (f *Flight) Bundles() []Bundle {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Bundle, len(f.bundles))
+	copy(out, f.bundles)
+	return out
+}
+
+// WriteText renders every retained bundle as human-readable text.
+func (f *Flight) WriteText(w io.Writer) {
+	if f == nil {
+		fmt.Fprintln(w, "flight recorder disabled")
+		return
+	}
+	bundles := f.Bundles()
+	if len(bundles) == 0 {
+		fmt.Fprintln(w, "no flight bundles (no anomaly triggered; GET /debug/flight?dump=1 for an on-demand dump)")
+		return
+	}
+	for i := range bundles {
+		bundles[i].WriteText(w)
+	}
+}
+
+// WriteText renders one bundle as human-readable text.
+func (b *Bundle) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "== flight bundle %d — %s — reason: %s\n",
+		b.Seq, b.Time.Format(time.RFC3339Nano), b.Reason)
+	fmt.Fprintf(w, "-- journal (%d events, oldest first)\n", len(b.Events))
+	for _, e := range b.Events {
+		fmt.Fprintf(w, "  %12s  %s\n", e.TS.Round(time.Microsecond), e)
+	}
+	fmt.Fprintf(w, "-- recent traces (%d, newest last)\n", len(b.Recent))
+	for _, r := range b.Recent {
+		fmt.Fprintf(w, "  client=%d seq=%d", r.Client, r.Seq)
+		for i, ts := range r.TS {
+			if ts != 0 {
+				fmt.Fprintf(w, " %s=%s", Stage(i), time.Duration(ts).Round(time.Microsecond))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "-- metrics (%d samples)\n", len(b.Metrics))
+	for _, s := range b.Metrics {
+		name := s.Name
+		if s.Labels != "" {
+			name += "{" + s.Labels + "}"
+		}
+		if s.Kind == KindHistogram {
+			fmt.Fprintf(w, "  %s count=%d mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus\n",
+				name, s.Count, s.MeanUs, s.P50Us, s.P99Us, s.MaxUs)
+			continue
+		}
+		fmt.Fprintf(w, "  %s %v\n", name, s.Value)
+	}
+}
+
+// Handler serves the retained bundles as text on GET; `?dump=1` cuts
+// an on-demand bundle first. Mounted at /debug/flight by psmr-kvd's
+// metrics listener.
+func (f *Flight) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("dump") != "" {
+			f.Dump("on-demand /debug/flight")
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		f.WriteText(w)
+	})
+}
+
+// Register adds the dump counter to a registry.
+func (f *Flight) Register(r *Registry) {
+	if f == nil || r == nil {
+		return
+	}
+	r.FuncCounter("flight_bundles_total", "", f.Triggered)
+}

@@ -1,0 +1,435 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/bench"
+	"github.com/psmr/psmr/internal/command"
+)
+
+// --- wire trace-context tags -------------------------------------------
+
+func TestWireTagRoundTrip(t *testing.T) {
+	frame := []byte("a propose frame body")
+	tag := WireTag{Client: 7, Seq: 42}
+	tag.Stages = 1<<StageSubmit | 1<<StageProxySeal | 1<<StageDecided
+	tag.Durations[StageSubmit] = 0
+	tag.Durations[StageProxySeal] = 1500
+	tag.Durations[StageDecided] = 90_000
+
+	tagged := AppendWireTag(append([]byte(nil), frame...), tag)
+	if len(tagged) <= len(frame) {
+		t.Fatal("tag not appended")
+	}
+	got, rest, ok := SplitWireTag(tagged)
+	if !ok {
+		t.Fatal("tag not detected")
+	}
+	if string(rest) != string(frame) {
+		t.Fatalf("rest = %q, want original frame", rest)
+	}
+	if got.Client != 7 || got.Seq != 42 || got.Stages != tag.Stages {
+		t.Fatalf("tag = %+v, want %+v", got, tag)
+	}
+	for i := 0; i < NumStages; i++ {
+		if got.Durations[i] != tag.Durations[i] {
+			t.Fatalf("duration[%d] = %d, want %d", i, got.Durations[i], tag.Durations[i])
+		}
+	}
+}
+
+func TestWireTagEmptyBitmapNotAppended(t *testing.T) {
+	frame := []byte("frame")
+	if out := AppendWireTag(frame, WireTag{Client: 1, Seq: 2}); len(out) != len(frame) {
+		t.Fatal("empty-bitmap tag was appended")
+	}
+	if out := AppendWireTag(frame, WireTag{Stages: 1 << NumStages}); len(out) != len(frame) {
+		t.Fatal("overflow-bitmap tag was appended")
+	}
+}
+
+func TestSplitWireTagRejectsCorruptAndLegacy(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      {},
+		"short":      {wireMagic0, wireMagic1},
+		"no magic":   []byte("plain frame with no trailer at all......"),
+		"zero tail":  append(make([]byte, 40), 0, 0, 0, 0), // legacy frame: zero entry count
+		"bad bitmap": AppendWireTag(nil, WireTag{Stages: 1 << StageSubmit})[:0],
+	}
+	// A structurally valid trailer whose bitmap says 3 durations but
+	// whose length field claims only the fixed ctx.
+	bad := AppendWireTag([]byte("frame"), WireTag{Stages: 1<<StageSubmit | 1<<StageDecided,
+		Durations: [NumStages]int64{}})
+	bad[len(bad)-4] = 0
+	bad[len(bad)-3] = wireCtxFixed
+	cases["length/bitmap mismatch"] = bad
+
+	for name, frame := range cases {
+		if _, rest, ok := SplitWireTag(frame); ok {
+			t.Fatalf("%s: tag detected on invalid frame", name)
+		} else if len(rest) != len(frame) {
+			t.Fatalf("%s: rest mutated", name)
+		}
+	}
+}
+
+func TestAppendTagRequiresLiveSampledSlot(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	frame := []byte("frame")
+	// No stamps yet: nothing to ship.
+	if out := tr.AppendTag(frame, 3, 9); len(out) != len(frame) {
+		t.Fatal("tag appended with no in-flight trace")
+	}
+	tr.StampID(StageSubmit, 3, 9)
+	out := tr.AppendTag(frame, 3, 9)
+	if len(out) == len(frame) {
+		t.Fatal("tag not appended for live trace")
+	}
+	tag, _, ok := SplitWireTag(out)
+	if !ok || tag.Client != 3 || tag.Seq != 9 || tag.Stages&(1<<StageSubmit) == 0 {
+		t.Fatalf("shipped tag = %+v ok=%v", tag, ok)
+	}
+	// Nil tracer is a strict no-op.
+	var nilT *Tracer
+	if out := nilT.AppendTag(frame, 3, 9); len(out) != len(frame) {
+		t.Fatal("nil tracer appended a tag")
+	}
+}
+
+func TestAbsorbTagCrossProcessFold(t *testing.T) {
+	// Process A (client + ordering): stamps early stages and ships them.
+	a := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	a.StampID(StageSubmit, 5, 1)
+	time.Sleep(2 * time.Millisecond)
+	a.StampID(StageDecided, 5, 1)
+	frame := a.AppendTag([]byte("decision"), 5, 1)
+
+	// Process B (replica): absorbs the tag, runs execution, folds.
+	b := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	rest := b.AbsorbTags(frame)
+	if string(rest) != "decision" {
+		t.Fatalf("rest = %q", rest)
+	}
+	b.StampID(StageExecStart, 5, 1)
+	b.StampID(StageExecEnd, 5, 1)
+	if _, folded, _, _ := b.Counts(); folded != 1 {
+		t.Fatalf("folded = %d, want 1", folded)
+	}
+	// The cross-process trace is complete: the decided→exec histogram
+	// folded on B includes A's stages, and the shipped submit→decided
+	// gap survives (≥ the 2ms slept on A).
+	for _, st := range []Stage{StageDecided, StageExecEnd} {
+		if got := b.StageHistogram(st).Count(); got != 1 {
+			t.Fatalf("stage %v count = %d, want 1", st, got)
+		}
+	}
+	if d := b.StageHistogram(StageDecided).Mean(); d < 2*time.Millisecond {
+		t.Fatalf("submit→decided delta = %v, want ≥ 2ms (shipped duration lost)", d)
+	}
+	if got := b.TotalHistogram().Count(); got != 1 {
+		t.Fatalf("total count = %d, want 1", got)
+	}
+}
+
+func TestAbsorbTagSampledOutStripsTag(t *testing.T) {
+	a := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	a.StampID(StageSubmit, 5, 1)
+	frame := a.AppendTag([]byte("frame"), 5, 1)
+
+	// Find an id the 1024-divisor peer does NOT sample, tag it on A...
+	b := NewTracer(TracerConfig{Sample: 1024, Final: StageExecEnd})
+	if b.SampledID(5, 1) {
+		t.Skip("id 5/1 happens to be sampled at 1/1024")
+	}
+	rest := b.AbsorbTags(frame)
+	if string(rest) != "frame" {
+		t.Fatalf("sampled-out absorb kept the tag: %q", rest)
+	}
+	if sampled, _, _, _ := b.Counts(); sampled != 0 {
+		t.Fatal("sampled-out absorb claimed a slot")
+	}
+}
+
+func TestAbsorbTagsStacked(t *testing.T) {
+	a := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	a.StampID(StageSubmit, 1, 1)
+	a.StampID(StageSubmit, 1, 2)
+	frame := []byte("batch")
+	frame = a.AppendTag(frame, 1, 1)
+	frame = a.AppendTag(frame, 1, 2)
+
+	b := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	rest := b.AbsorbTags(frame)
+	if string(rest) != "batch" {
+		t.Fatalf("rest = %q", rest)
+	}
+	for _, seq := range []uint64{1, 2} {
+		b.StampID(StageExecEnd, 1, seq)
+	}
+	if _, folded, _, _ := b.Counts(); folded != 2 {
+		t.Fatalf("folded = %d, want 2 (both stacked tags absorbed)", folded)
+	}
+}
+
+func TestAppendTagForValue(t *testing.T) {
+	tr := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	item := command.AppendRequest(nil, &command.Request{
+		Client: 11, Seq: 3, Cmd: 1, Input: []byte("x"), Reply: "cl/11",
+	})
+	tr.Stamp(StageSubmit, item)
+	out := tr.AppendTagForValue([]byte("frame"), item)
+	tag, _, ok := SplitWireTag(out)
+	if !ok || tag.Client != 11 || tag.Seq != 3 {
+		t.Fatalf("tag = %+v ok=%v", tag, ok)
+	}
+	// Non-request values leave the frame alone.
+	if out := tr.AppendTagForValue([]byte("frame"), []byte("junk")); len(out) != len("frame") {
+		t.Fatal("tag appended for non-request value")
+	}
+}
+
+// --- journal -----------------------------------------------------------
+
+func TestJournalEmitAndSnapshot(t *testing.T) {
+	j := NewJournal(JournalConfig{Events: 64})
+	j.Emit(EvLeaderFlush, 10, 2048)
+	j.Emit(EvDecide, 0, 17)
+	j.Emit(EvRelaySilent, 1, 0)
+	evs := j.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("snapshot = %d events, want 3", len(evs))
+	}
+	kinds := map[EventKind]bool{}
+	for i, e := range evs {
+		kinds[e.Kind] = true
+		if i > 0 && evs[i-1].TS > e.TS {
+			t.Fatal("snapshot not time-ordered")
+		}
+		if e.String() == "" || e.Kind.String() == "unknown" {
+			t.Fatalf("unrenderable event %+v", e)
+		}
+	}
+	for _, k := range []EventKind{EvLeaderFlush, EvDecide, EvRelaySilent} {
+		if !kinds[k] {
+			t.Fatalf("kind %v missing from snapshot", k)
+		}
+	}
+	if j.Emitted() != 3 {
+		t.Fatalf("emitted = %d, want 3", j.Emitted())
+	}
+}
+
+func TestJournalWrapsDropOldest(t *testing.T) {
+	j := NewJournal(JournalConfig{Events: 64})
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		j.Emit(EvDecide, i, i)
+	}
+	if j.Emitted() != n {
+		t.Fatalf("emitted = %d, want %d", j.Emitted(), n)
+	}
+	evs := j.Snapshot()
+	if len(evs) == 0 || len(evs) > j.Capacity() {
+		t.Fatalf("snapshot = %d events, want (0,%d]", len(evs), j.Capacity())
+	}
+}
+
+func TestJournalEmitIDSampling(t *testing.T) {
+	j := NewJournal(JournalConfig{Events: 4096, Sample: 1024})
+	const n = 100_000
+	for i := uint64(0); i < n; i++ {
+		j.EmitID(EvProxyShed, 1, i)
+	}
+	got := j.Emitted()
+	if got == 0 || got > n/1024*8 {
+		t.Fatalf("emitted = %d, want ≈ %d (1/1024 sampled)", got, n/1024)
+	}
+	// Emit is never sampled (control-plane events always land).
+	before := j.Emitted()
+	j.Emit(EvRelaySilent, 0, 0)
+	if j.Emitted() != before+1 {
+		t.Fatal("Emit was sampled out")
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(EvDecide, 1, 2)
+	j.EmitID(EvProxyShed, 1, 2)
+	j.stageEvent(StageSubmit, 1, 2)
+	if j.Snapshot() != nil || j.Capacity() != 0 || j.Emitted() != 0 {
+		t.Fatal("nil journal not inert")
+	}
+	j.Register(NewRegistry())
+}
+
+func TestTracerRoutesStageEventsToJournal(t *testing.T) {
+	j := NewJournal(JournalConfig{Events: 256})
+	tr := NewTracer(TracerConfig{Sample: 1, Final: StageExecEnd})
+	tr.AttachJournal(j)
+	tr.StampID(StageSubmit, 2, 7)
+	tr.StampID(StageSubmit, 2, 7) // duplicate: first-write-wins, no second event
+	tr.StampID(StageExecEnd, 2, 7)
+	var stages []Stage
+	for _, e := range j.Snapshot() {
+		if e.Kind == EvStage && e.Arg1 == 2 && e.Arg2 == 7 {
+			stages = append(stages, Stage(e.Aux))
+		}
+	}
+	if len(stages) != 2 || stages[0] != StageSubmit || stages[1] != StageExecEnd {
+		t.Fatalf("journaled stages = %v, want [submit exec_end]", stages)
+	}
+}
+
+// --- flight recorder ---------------------------------------------------
+
+func TestFlightTriggerCooldownAndDump(t *testing.T) {
+	j := NewJournal(JournalConfig{Events: 64})
+	j.Emit(EvRelaySilent, 0, 0)
+	reg := NewRegistry()
+	reg.Counter("some_total", "").Add(3)
+	f := NewFlight(FlightConfig{Registry: reg, Journal: j, Cooldown: time.Hour})
+
+	b1 := f.Trigger("relay dead")
+	if b1 == nil {
+		t.Fatal("first trigger suppressed")
+	}
+	if f.Trigger("relay dead") != nil {
+		t.Fatal("cooldown did not suppress re-trigger")
+	}
+	if f.Trigger("different reason") == nil {
+		t.Fatal("cooldown is per-reason; different reason suppressed")
+	}
+	// Operator dumps ignore the cooldown entirely.
+	if f.Dump("relay dead") == nil {
+		t.Fatal("Dump was suppressed by cooldown")
+	}
+	if f.Triggered() != 3 {
+		t.Fatalf("triggered = %d, want 3", f.Triggered())
+	}
+	if len(f.Bundles()) != 3 {
+		t.Fatalf("bundles = %d, want 3", len(f.Bundles()))
+	}
+	// The bundle carries the journal snapshot and the registry.
+	if len(b1.Events) == 0 {
+		t.Fatal("bundle has no journal events")
+	}
+	found := false
+	for _, s := range b1.Metrics {
+		if s.Name == "some_total" && s.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("bundle metrics missing some_total=3")
+	}
+	// Each dump lands an EvDump marker in the journal for the NEXT
+	// bundle to see (black-box chaining).
+	last := f.Bundles()[2]
+	sawDump := false
+	for _, e := range last.Events {
+		if e.Kind == EvDump {
+			sawDump = true
+		}
+	}
+	if !sawDump {
+		t.Fatal("later bundle does not show the earlier dump event")
+	}
+}
+
+func TestFlightKeepBound(t *testing.T) {
+	f := NewFlight(FlightConfig{Keep: 2, Cooldown: time.Nanosecond})
+	for i := 0; i < 5; i++ {
+		if f.Dump("again") == nil {
+			t.Fatal("dump failed")
+		}
+	}
+	bs := f.Bundles()
+	if len(bs) != 2 {
+		t.Fatalf("bundles = %d, want 2 (oldest dropped)", len(bs))
+	}
+	if bs[0].Seq != 4 || bs[1].Seq != 5 {
+		t.Fatalf("kept seqs = %d,%d, want 4,5", bs[0].Seq, bs[1].Seq)
+	}
+}
+
+func TestFlightWriteText(t *testing.T) {
+	j := NewJournal(JournalConfig{Events: 64})
+	j.Emit(EvRelaySilent, 2, 1)
+	reg := NewRegistry()
+	reg.Counter("ordering_relay_silent", "").Add(1)
+	f := NewFlight(FlightConfig{Registry: reg, Journal: j})
+	f.Trigger("relay g2/1 silent")
+
+	var sb strings.Builder
+	f.WriteText(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"flight bundle 1",
+		"relay g2/1 silent",
+		"relay_silent group=2 relay=1",
+		"ordering_relay_silent",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("WriteText missing %q:\n%s", want, out)
+		}
+	}
+
+	var nilF *Flight
+	sb.Reset()
+	nilF.WriteText(&sb)
+	if !strings.Contains(sb.String(), "disabled") {
+		t.Fatal("nil flight WriteText silent")
+	}
+	if nilF.Trigger("x") != nil || nilF.Dump("x") != nil || nilF.Bundles() != nil {
+		t.Fatal("nil flight not inert")
+	}
+}
+
+// --- prometheus exactness ----------------------------------------------
+
+func TestPrometheusSummaryExactSum(t *testing.T) {
+	var h bench.Histogram
+	h.Record(1500 * time.Microsecond)
+	h.Record(2500 * time.Microsecond)
+	h.Record(250 * time.Microsecond)
+	if got, want := h.Sum(), int64(4250*time.Microsecond); got != want {
+		t.Fatalf("Sum = %d ns, want %d", got, want)
+	}
+	r := NewRegistry()
+	r.Histogram("stage_us", "", &h)
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	out := sb.String()
+	// _sum must be the exact observation total in seconds, not a
+	// mean×count reconstruction from bucket midpoints.
+	if !strings.Contains(out, "stage_us_sum 0.00425") {
+		t.Fatalf("prometheus output missing exact _sum:\n%s", out)
+	}
+	if !strings.Contains(out, "stage_us_count 3") {
+		t.Fatalf("prometheus output missing _count:\n%s", out)
+	}
+	// The snapshot carries the exact sum for JSON consumers.
+	for _, s := range r.Snapshot() {
+		if s.Name == "stage_us" && s.SumUs != 4250 {
+			t.Fatalf("SumUs = %v, want 4250", s.SumUs)
+		}
+	}
+}
+
+// --- the flight-gate alloc benchmark -----------------------------------
+
+// BenchmarkJournalEmitSampledOut is half of `make flight-gate`: a
+// per-command journal emit that loses the sampling coin flip must cost
+// zero allocations (it is on the proxy admission and stage-stamp hot
+// paths).
+func BenchmarkJournalEmitSampledOut(b *testing.B) {
+	j := NewJournal(JournalConfig{Events: 4096, Sample: 1 << 30})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.EmitID(EvProxyShed, 1, uint64(i)<<1) // even ids: hash spread, mostly sampled out
+	}
+}

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Journal is the flight recorder's black box: a fixed-size, lock-free,
+// structured event log that is always on and always bounded. Emitters
+// write four atomic words per event (timestamp, kind+aux, two args)
+// into striped ring segments; when a stripe wraps, the oldest events
+// are overwritten (drop-oldest — under an anomaly the most recent
+// history is the valuable part, and a bounded ring is the only way an
+// always-on recorder can never become the outage). Emit never blocks,
+// never allocates, and is a no-op on a nil *Journal, so every
+// instrumentation point can call it unconditionally.
+//
+// Striping: events hash to one of a fixed set of stripes by their
+// payload, each with its own ring cursor on a private cache line, so
+// concurrent emitters from different pipeline tiers don't serialize on
+// one counter. The cost is that Snapshot must merge-sort stripes by
+// timestamp — fine, snapshots are anomaly-frequency.
+//
+// Consistency: an event's words are published timestamp-last (and the
+// timestamp is cleared first on overwrite), so a concurrent Snapshot
+// observing a nonzero timestamp almost always reads a complete event.
+// A reader racing a wrap can still see a torn event (timestamp from
+// one event, args from the next); this is accepted — the journal is
+// diagnostics, not accounting, and per-word atomics keep the race
+// detector clean without a lock on the emit path.
+type Journal struct {
+	base      time.Time
+	sample    uint64
+	perStripe uint64
+	stripes   [journalStripes]journalStripe
+	words     []atomic.Uint64
+	emitted   atomic.Uint64
+}
+
+type journalStripe struct {
+	cur atomic.Uint64
+	_   [7]uint64 // pad to a cache line: stripe cursors must not false-share
+}
+
+const (
+	journalStripes       = 8
+	defaultJournalEvents = 4096
+	eventWords           = 4
+)
+
+// EventKind names one flight-recorder event type.
+type EventKind uint8
+
+// The flight-recorder event kinds.
+const (
+	// EvStage is a sampled command crossing a pipeline-stage boundary
+	// (aux = Stage, args = client, seq). Emitted by the Tracer.
+	EvStage EventKind = iota + 1
+	// EvProxySeal is a proxy sealing a batch (args = group, commands).
+	EvProxySeal
+	// EvProxyShed is a proxy shedding a duplicate client frame
+	// (args = client, seq).
+	EvProxyShed
+	// EvLeaderFlush is the leader flushing a proposal batch
+	// (args = commands, bytes).
+	EvLeaderFlush
+	// EvDecide is consensus reached on an instance (args = group,
+	// instance).
+	EvDecide
+	// EvRelayForward is a delivery relay forwarding a decision frame
+	// (args = group<<32|relay, forwarded-so-far).
+	EvRelayForward
+	// EvLearnerGap is a learner stalled on a delivery gap
+	// (args = frontier, buffered out-of-order instances).
+	EvLearnerGap
+	// EvLearnerOOO is a learner buffering an out-of-order instance
+	// (args = instance, frontier).
+	EvLearnerOOO
+	// EvSchedSteal is a worker stealing keyed work (args = thief,
+	// commands moved).
+	EvSchedSteal
+	// EvSchedHandoff is a multi-key handoff executing on the last
+	// depositor (args = worker, keys).
+	EvSchedHandoff
+	// EvRollback is the optimistic executor rolling back a
+	// misspeculation (args = instance, collateral).
+	EvRollback
+	// EvGhostEvict is the optimistic executor evicting ghost
+	// speculations (args = evicted, 0).
+	EvGhostEvict
+	// EvCheckpoint is a replica taking a checkpoint barrier
+	// (args = replica, barrier instance).
+	EvCheckpoint
+	// EvRelaySilent is the watchdog flagging a silent delivery stripe
+	// (args = group, relay).
+	EvRelaySilent
+	// EvDump is the flight recorder cutting a diagnostic bundle
+	// (args = bundle seq, 0).
+	EvDump
+
+	numEventKinds = int(EvDump) + 1
+)
+
+var eventKindNames = [numEventKinds]string{
+	EvStage:        "stage",
+	EvProxySeal:    "proxy_seal",
+	EvProxyShed:    "proxy_shed",
+	EvLeaderFlush:  "leader_flush",
+	EvDecide:       "decide",
+	EvRelayForward: "relay_forward",
+	EvLearnerGap:   "learner_gap_stall",
+	EvLearnerOOO:   "learner_ooo",
+	EvSchedSteal:   "sched_steal",
+	EvSchedHandoff: "sched_mk_handoff",
+	EvRollback:     "opt_rollback",
+	EvGhostEvict:   "ghost_evict",
+	EvCheckpoint:   "checkpoint_barrier",
+	EvRelaySilent:  "relay_silent",
+	EvDump:         "flight_dump",
+}
+
+func (k EventKind) String() string {
+	if int(k) < numEventKinds && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return "unknown"
+}
+
+// JournalConfig configures a Journal.
+type JournalConfig struct {
+	// Events bounds the total retained events across all stripes
+	// (rounded up so each stripe is a power-of-two ring). 0 selects
+	// the default (4096, ~128 KiB).
+	Events int
+	// Sample is the divisor EmitID applies to per-command events,
+	// with the tracer's deterministic request-id hash so journal and
+	// trace sampling agree. 0 or 1 keeps every per-command event.
+	Sample int
+}
+
+// NewJournal creates a journal. Callers that want the flight recorder
+// off keep a nil *Journal instead (every method is a no-op on nil).
+func NewJournal(cfg JournalConfig) *Journal {
+	events := cfg.Events
+	if events <= 0 {
+		events = defaultJournalEvents
+	}
+	per := 1
+	for per*journalStripes < events {
+		per <<= 1
+	}
+	j := &Journal{
+		base:      time.Now(),
+		perStripe: uint64(per),
+		words:     make([]atomic.Uint64, journalStripes*per*eventWords),
+	}
+	if cfg.Sample > 1 {
+		j.sample = uint64(cfg.Sample)
+	}
+	return j
+}
+
+// Capacity returns the number of events the journal retains.
+func (j *Journal) Capacity() int {
+	if j == nil {
+		return 0
+	}
+	return int(j.perStripe) * journalStripes
+}
+
+// Emitted returns the total events ever recorded (retained or
+// overwritten).
+func (j *Journal) Emitted() uint64 {
+	if j == nil {
+		return 0
+	}
+	return j.emitted.Load()
+}
+
+// Emit records an event unconditionally. Lock- and allocation-free;
+// no-op on nil. Use for low-frequency control-plane events (flushes,
+// gaps, rollbacks, watchdog transitions); per-command data-plane
+// events go through EmitID so sampling bounds their cost.
+func (j *Journal) Emit(kind EventKind, arg1, arg2 uint64) {
+	if j == nil {
+		return
+	}
+	j.record(kind, 0, arg1, arg2)
+}
+
+// EmitID records a per-command event, subject to the journal's
+// sampling divisor over the deterministic request-id hash (the same
+// hash the tracer samples with, so journal events line up with traced
+// commands). Lock- and allocation-free; sampled-out calls return
+// after the hash. No-op on nil.
+func (j *Journal) EmitID(kind EventKind, client, seq uint64) {
+	if j == nil {
+		return
+	}
+	if j.sample > 1 && traceHash(client, seq)%j.sample != 0 {
+		return
+	}
+	j.record(kind, 0, client, seq)
+}
+
+// stageEvent records a pipeline-stage crossing (called by an attached
+// Tracer, which already applied its own sampling).
+func (j *Journal) stageEvent(stage Stage, client, seq uint64) {
+	if j == nil {
+		return
+	}
+	j.record(EvStage, uint64(stage), client, seq)
+}
+
+func (j *Journal) record(kind EventKind, aux, arg1, arg2 uint64) {
+	ts := uint64(time.Since(j.base)) | 1 // nonzero: 0 marks an empty slot
+	// Stripe by payload so concurrent emitters of different events
+	// spread; same-payload repeats share a stripe, which is fine at
+	// control-plane frequency.
+	h := (arg1 ^ arg2<<17 ^ aux<<7 ^ uint64(kind)) * 0x9e3779b97f4a7c15
+	si := (h >> 32) & (journalStripes - 1)
+	st := &j.stripes[si]
+	i := st.cur.Add(1) - 1
+	w := (si*j.perStripe + i&(j.perStripe-1)) * eventWords
+	j.words[w].Store(0) // clear first: readers skip half-written slots
+	j.words[w+1].Store(uint64(kind)<<56 | aux&(1<<56-1))
+	j.words[w+2].Store(arg1)
+	j.words[w+3].Store(arg2)
+	j.words[w].Store(ts) // publish last
+	j.emitted.Add(1)
+}
+
+// Event is one decoded flight-recorder event.
+type Event struct {
+	// TS is the emit instant relative to the journal's creation.
+	TS time.Duration
+	// Time is the absolute emit instant.
+	Time time.Time
+	Kind EventKind
+	// Aux is kind-specific small payload (the Stage for EvStage).
+	Aux        uint64
+	Arg1, Arg2 uint64
+}
+
+// String renders the event's payload with kind-appropriate field
+// names.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvStage:
+		return fmt.Sprintf("stage %s client=%d seq=%d", Stage(e.Aux), e.Arg1, e.Arg2)
+	case EvProxySeal:
+		return fmt.Sprintf("proxy_seal group=%d commands=%d", e.Arg1, e.Arg2)
+	case EvProxyShed:
+		return fmt.Sprintf("proxy_shed client=%d seq=%d", e.Arg1, e.Arg2)
+	case EvLeaderFlush:
+		return fmt.Sprintf("leader_flush commands=%d bytes=%d", e.Arg1, e.Arg2)
+	case EvDecide:
+		return fmt.Sprintf("decide group=%d instance=%d", e.Arg1, e.Arg2)
+	case EvRelayForward:
+		return fmt.Sprintf("relay_forward group=%d relay=%d forwarded=%d",
+			e.Arg1>>32, e.Arg1&0xffffffff, e.Arg2)
+	case EvLearnerGap:
+		return fmt.Sprintf("learner_gap_stall frontier=%d buffered=%d", e.Arg1, e.Arg2)
+	case EvLearnerOOO:
+		return fmt.Sprintf("learner_ooo instance=%d frontier=%d", e.Arg1, e.Arg2)
+	case EvSchedSteal:
+		return fmt.Sprintf("sched_steal thief=%d moved=%d", e.Arg1, e.Arg2)
+	case EvSchedHandoff:
+		return fmt.Sprintf("sched_mk_handoff worker=%d keys=%d", e.Arg1, e.Arg2)
+	case EvRollback:
+		return fmt.Sprintf("opt_rollback instance=%d collateral=%d", e.Arg1, e.Arg2)
+	case EvGhostEvict:
+		return fmt.Sprintf("ghost_evict evicted=%d", e.Arg1)
+	case EvCheckpoint:
+		return fmt.Sprintf("checkpoint_barrier replica=%d instance=%d", e.Arg1, e.Arg2)
+	case EvRelaySilent:
+		return fmt.Sprintf("relay_silent group=%d relay=%d", e.Arg1, e.Arg2)
+	case EvDump:
+		return fmt.Sprintf("flight_dump bundle=%d", e.Arg1)
+	}
+	return fmt.Sprintf("%s aux=%d arg1=%d arg2=%d", e.Kind, e.Aux, e.Arg1, e.Arg2)
+}
+
+// Snapshot decodes the retained events, oldest first. Concurrent with
+// emitters; see the type comment for the (accepted) torn-event race.
+// Nil on a nil journal.
+func (j *Journal) Snapshot() []Event {
+	if j == nil {
+		return nil
+	}
+	out := make([]Event, 0, 256)
+	for si := uint64(0); si < journalStripes; si++ {
+		for i := uint64(0); i < j.perStripe; i++ {
+			w := (si*j.perStripe + i) * eventWords
+			ts := j.words[w].Load()
+			if ts == 0 {
+				continue
+			}
+			kw := j.words[w+1].Load()
+			out = append(out, Event{
+				TS:   time.Duration(ts),
+				Time: j.base.Add(time.Duration(ts)),
+				Kind: EventKind(kw >> 56),
+				Aux:  kw & (1<<56 - 1),
+				Arg1: j.words[w+2].Load(),
+				Arg2: j.words[w+3].Load(),
+			})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].TS < out[b].TS })
+	return out
+}
+
+// Register adds the journal's bookkeeping to a registry under the
+// flight_* namespace.
+func (j *Journal) Register(r *Registry) {
+	if j == nil || r == nil {
+		return
+	}
+	r.FuncCounter("flight_journal_emitted_total", "", j.Emitted)
+	r.FuncGauge("flight_journal_capacity_events", "", func() float64 {
+		return float64(j.Capacity())
+	})
+}

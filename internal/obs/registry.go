@@ -34,6 +34,40 @@
 // at the sampling rate (~throughput/1024), so contention is noise.
 // Tracing every command (TraceSample=1) is supported for debugging and
 // measured by `make obs-ablation`; it is priced accordingly.
+//
+// # Flight recorder (the black-box argument)
+//
+// Journal is the always-on black box: a fixed-size, striped, lock-free
+// ring of structured events (four atomic words each) fed by every tier
+// — proxy seal/shed, leader flush, decide, relay forward, learner
+// gap/ooo, scheduler steal/handoff, rollback/evict, checkpoint
+// barriers, watchdog transitions — plus an EvStage event per sampled
+// stage crossing via the attached Tracer. The ring drops oldest on
+// wrap: when an anomaly fires, the most recent history is the part
+// worth keeping, and a hard size bound is what lets the recorder stay
+// on in production without ever becoming the outage itself. Emit is
+// allocation-free; per-command events are sampled out by the same
+// deterministic request-id hash as tracing (EmitID returns after one
+// hash when sampled out — 0 allocs/op, gated by `make flight-gate`).
+//
+// Flight is the dump side: anomaly triggers (silent relay stripe,
+// rollback storm, learner gap stall) — or /debug/flight and SIGQUIT —
+// snapshot the journal, the recent-trace ring and the registry into a
+// timestamped Bundle, so the question "what was the system doing when
+// the watchdog fired" has an answer without reproducing the failure.
+//
+// # Wire trace context
+//
+// Tracer stamps survive process boundaries through a compact tag
+// appended to carrier frames (client submit, ProposeBatch, decision/
+// optimistic relay frames): request id + stage bitmap + one duration
+// per stamped stage, durations relative to the trace's origin so
+// per-process clock skew cancels (the stamping process folds its
+// stage deltas locally and ships only durations). Receivers absorb
+// the tag into their own slot table first-write-wins and strip it;
+// processes without a tracer parse tagged frames unchanged, because
+// every frame codec reads by explicit lengths and ignores trailing
+// bytes. See wire.go for the exact layout and validation rules.
 package obs
 
 import (
@@ -186,9 +220,12 @@ type Sample struct {
 	Kind   Kind
 	Value  float64 // counter/gauge
 
-	// Histogram summary (KindHistogram only).
-	Count              int64
-	MeanUs             float64
+	// Histogram summary (KindHistogram only). SumUs is the exact sum
+	// of observations (not mean×count reconstruction), so Prometheus
+	// `_sum`/`_count` rate math is faithful.
+	Count               int64
+	SumUs               float64
+	MeanUs              float64
 	P50Us, P99Us, MaxUs float64
 }
 
@@ -209,6 +246,7 @@ func (r *Registry) Snapshot() []Sample {
 		if m.kind == KindHistogram {
 			s.Count = m.hist.Count()
 			if s.Count > 0 {
+				s.SumUs = float64(m.hist.Sum()) / 1e3
 				s.MeanUs = float64(m.hist.Mean().Microseconds())
 				s.P50Us = float64(m.hist.Quantile(0.50).Microseconds())
 				s.P99Us = float64(m.hist.Quantile(0.99).Microseconds())

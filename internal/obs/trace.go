@@ -81,11 +81,15 @@ type Record struct {
 // traceSlot is one direct-mapped slot of the in-flight table. key is
 // the claimed trace's nonzero id hash (0 = free); claim is the claim
 // time, used to steal slots abandoned by commands that never reached
-// the final stage (lost proposals, ghosts).
+// the final stage (lost proposals, ghosts); origin is the local
+// instant (ns since base) that maps to the trace's time zero — the
+// reference point wire tags ship their durations against (see
+// wire.go).
 type traceSlot struct {
-	key   atomic.Uint64
-	claim atomic.Int64
-	ts    [NumStages]atomic.Int64
+	key    atomic.Uint64
+	claim  atomic.Int64
+	origin atomic.Int64
+	ts     [NumStages]atomic.Int64
 }
 
 const (
@@ -130,6 +134,10 @@ type Tracer struct {
 	slots    []traceSlot
 	slotMask uint64
 
+	// journal, when attached, receives an EvStage flight-recorder
+	// event for every first crossing of a stage by a sampled command.
+	journal *Journal
+
 	sampled    atomic.Uint64
 	folded     atomic.Uint64
 	collisions atomic.Uint64
@@ -140,6 +148,17 @@ type Tracer struct {
 	totalHist *bench.Histogram
 	ring      [traceRingSize]Record
 	ringN     uint64
+}
+
+// EffectiveSample normalizes a user-facing sample knob to the divisor
+// NewTracer applies: <=0 selects the default (1024), 1 keeps every
+// command. Lets the journal sample per-command events at the exact
+// rate the tracer will use so the two stay in agreement.
+func EffectiveSample(sample int) int {
+	if sample <= 0 {
+		return defaultTraceSample
+	}
+	return sample
 }
 
 // NewTracer creates a tracer. Callers that want tracing off should
@@ -208,19 +227,42 @@ func (t *Tracer) StampID(stage Stage, client, seq uint64) {
 	if t.sample > 1 && h%t.sample != 0 {
 		return
 	}
-	key := h | 1 // nonzero: 0 marks a free slot
 	now := int64(time.Since(t.base))
-	s := &t.slots[(h>>1)&t.slotMask]
+	s, fresh := t.claimSlot(h|1, now)
+	if s == nil {
+		return
+	}
+	if fresh {
+		// This process saw the trace first: its first stamp is the
+		// trace's local time zero (what wire tags ship durations
+		// against).
+		s.origin.Store(now)
+	}
+	if s.ts[stage].CompareAndSwap(0, now) {
+		t.journal.stageEvent(stage, client, seq)
+	}
+	if stage == t.final {
+		t.fold(s, h|1, client, seq)
+	}
+}
+
+// claimSlot finds or claims the in-flight slot for the trace keyed by
+// key (a nonzero id hash; 0 marks a free slot). fresh reports whether
+// this call claimed (or stole) the slot rather than matching an
+// existing claim; nil means the mapped slot is held by a live
+// different trace and the caller must drop its stamp.
+func (t *Tracer) claimSlot(key uint64, now int64) (s *traceSlot, fresh bool) {
+	s = &t.slots[(key>>1)&t.slotMask]
 	for {
 		k := s.key.Load()
 		if k == key {
-			break
+			return s, false
 		}
 		if k == 0 {
 			if s.key.CompareAndSwap(0, key) {
 				s.claim.Store(now)
 				t.sampled.Add(1)
-				break
+				return s, true
 			}
 			continue
 		}
@@ -234,17 +276,23 @@ func (t *Tracer) StampID(stage Stage, client, seq uint64) {
 				}
 				s.claim.Store(now)
 				t.evicted.Add(1)
-				break
+				return s, true
 			}
 			continue
 		}
 		t.collisions.Add(1)
+		return nil, false
+	}
+}
+
+// AttachJournal routes an EvStage flight-recorder event to j for every
+// first crossing of a stage by a sampled command. Call before the
+// tracer is shared; safe to leave unattached (and on a nil tracer).
+func (t *Tracer) AttachJournal(j *Journal) {
+	if t == nil {
 		return
 	}
-	s.ts[stage].CompareAndSwap(0, now)
-	if stage == t.final {
-		t.fold(s, key, client, seq)
-	}
+	t.journal = j
 }
 
 // fold completes a trace: snapshot the stamps, free the slot for
@@ -354,4 +402,3 @@ func (t *Tracer) Register(r *Registry) {
 	r.FuncCounter("trace_evicted_total", "", func() uint64 { return t.evicted.Load() })
 	r.FuncGauge("trace_sample_rate", "", func() float64 { return float64(t.sample) })
 }
-

@@ -66,6 +66,9 @@ type ExecutorConfig struct {
 	// confirmation/rollback stage boundaries (and, through the engine,
 	// at admission and execution).
 	Trace *obs.Tracer
+	// Journal optionally records rollback/ghost-eviction events in the
+	// flight recorder.
+	Journal *obs.Journal
 }
 
 // requestID identifies a command invocation.
@@ -260,6 +263,7 @@ func StartExecutor(cfg ExecutorConfig) (*Executor, error) {
 		QueueBound: cfg.QueueBound,
 		CPU:        cfg.CPU,
 		Trace:      cfg.Trace,
+		Journal:    cfg.Journal,
 		Tuning:     cfg.Tuning,
 	})
 	if err != nil {
@@ -637,6 +641,7 @@ func (x *Executor) rollbackLocked(e *entry, req *command.Request) {
 	depth := uint64(len(tainted))
 	x.rollbacks.Add(1)
 	x.rolledBack.Add(depth)
+	x.cfg.Journal.Emit(obs.EvRollback, uint64(x.decidedCount), depth)
 	for {
 		max := x.maxDepth.Load()
 		if depth <= max || x.maxDepth.CompareAndSwap(max, depth) {
@@ -747,6 +752,9 @@ func (x *Executor) evictGhostsLocked() {
 	}
 	x.withdrawLocked(tainted, taintedSet)
 	x.ghostEvicted.Add(uint64(len(tainted)))
+	if len(tainted) > 0 {
+		x.cfg.Journal.Emit(obs.EvGhostEvict, uint64(len(tainted)), 0)
+	}
 }
 
 // ConfirmedSnapshot serializes the ORDER-CONFIRMED service state — the

@@ -169,6 +169,9 @@ type ReplicaConfig struct {
 	// Trace optionally stamps sampled commands at the learner-delivery,
 	// engine, confirmation and rollback stage boundaries.
 	Trace *obs.Tracer
+	// Journal optionally records learner/engine/rollback/checkpoint
+	// events in the flight recorder.
+	Journal *obs.Journal
 }
 
 // Replica is an optimistic sP-SMR replica: one learner retaining both
@@ -185,6 +188,8 @@ type Replica struct {
 	sinceSwap    int
 	held         []*command.Request
 
+	journal   *obs.Journal
+	replicaID int
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -236,6 +241,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		ReSpeculate:     cfg.ReSpeculate,
 		CPU:             cfg.CPU,
 		Trace:           cfg.Trace,
+		Journal:         cfg.Journal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("optimistic: start executor: %w", err)
@@ -249,6 +255,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		StartInstance: boot.Start(),
 		CPU:           cfg.CPU.Role("learner"),
 		Trace:         cfg.Trace,
+		Journal:       cfg.Journal,
 	})
 	if err != nil {
 		_ = executor.Close()
@@ -258,6 +265,8 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		learner:      learner,
 		executor:     executor,
 		reorderEvery: cfg.ReorderEvery,
+		journal:      cfg.Journal,
+		replicaID:    cfg.ReplicaID,
 		done:         make(chan struct{}),
 	}
 	if cfg.Checkpoint.Enabled() {
@@ -296,6 +305,10 @@ func (r *Replica) CheckpointCounters() checkpoint.Counters {
 
 // Counters returns the replica's speculation counters.
 func (r *Replica) Counters() Counters { return r.executor.Counters() }
+
+// GapStalls reports the learner's gap-stall transitions (the anomaly
+// watcher's learner-stall signal).
+func (r *Replica) GapStalls() uint64 { return r.learner.GapStalls() }
 
 // SchedStats reports the underlying engine's work-stealing counters
 // (zeros for the scan engine, which does not steal).
@@ -362,6 +375,7 @@ func (r *Replica) drive() {
 				// position (instance+1), confirmed state only.
 				r.ckpt.Tick(len(reqs))
 				if r.ckpt.Due() {
+					r.journal.Emit(obs.EvCheckpoint, uint64(r.replicaID), instance+1)
 					r.ckpt.Marker(instance + 1)()
 				}
 			}

@@ -76,8 +76,13 @@ type CoordinatorConfig struct {
 	// CPU optionally meters the coordinator's busy time.
 	CPU *bench.RoleMeter
 	// Trace optionally stamps sampled commands at the leader-admit and
-	// decided stage boundaries.
+	// decided stage boundaries (and carries trace context across the
+	// wire: inbound proposal tags are absorbed, outbound decision/
+	// optimistic frames are re-tagged).
 	Trace *obs.Tracer
+	// Journal optionally records flush/decide events in the flight
+	// recorder.
+	Journal *obs.Journal
 }
 
 func (c *CoordinatorConfig) fillDefaults() {
@@ -356,6 +361,15 @@ func (c *Coordinator) run() {
 }
 
 func (c *Coordinator) handle(frame []byte) {
+	// Fold wire-shipped trace tags into the local tracer before
+	// decoding. Only proposal/decision frames carry tags; gating on
+	// the type byte keeps every other message off the magic-byte scan.
+	if len(frame) > 0 {
+		switch msgType(frame[0]) {
+		case msgPropose, msgProposeBatch, msgDecision:
+			frame = c.cfg.Trace.AbsorbTags(frame)
+		}
+	}
 	m, err := decodeMessage(frame)
 	if err != nil || m.Group != c.cfg.GroupID {
 		return
@@ -456,6 +470,7 @@ func (c *Coordinator) flush() {
 		return
 	}
 	value := EncodeBatch(&Batch{Items: c.curItems})
+	c.cfg.Journal.Emit(obs.EvLeaderFlush, uint64(len(c.curItems)), uint64(c.curBytes))
 	// One merge slot per command (not per batch): slot accounting must
 	// match the receivers' command-granular merge.
 	c.slotsSinceTick += uint32(len(c.curItems))
@@ -492,6 +507,7 @@ func (c *Coordinator) proposeValue(value []byte) {
 			Value:    value,
 		}
 		frame := encodeMessage(m)
+		frame = appendBatchTags(c.cfg.Trace, frame, value)
 		if n := len(c.cfg.Relays); n > 0 {
 			_ = c.cfg.Transport.Send(c.cfg.Relays[c.optSeq%uint64(n)], frame)
 		} else {
@@ -541,6 +557,7 @@ func (c *Coordinator) decide(inst uint64, value []byte) {
 		WalkBatchItems(value, func(item []byte) { tr.Stamp(obs.StageDecided, item) })
 	}
 	c.decided.Add(1)
+	c.cfg.Journal.Emit(obs.EvDecide, uint64(c.cfg.GroupID), inst)
 	c.storeDecision(inst, value)
 	m := &message{
 		Type:     msgDecision,
@@ -549,6 +566,7 @@ func (c *Coordinator) decide(inst uint64, value []byte) {
 		Value:    value,
 	}
 	frame := encodeMessage(m)
+	frame = appendBatchTags(c.cfg.Trace, frame, value)
 	// Striped fan-out: with relays configured the leader hands each
 	// decision to exactly one relay, which re-broadcasts to all
 	// learners. Learners tolerate the resulting cross-stripe reordering
@@ -561,6 +579,20 @@ func (c *Coordinator) decide(inst uint64, value []byte) {
 	for _, l := range c.cfg.Learners {
 		_ = c.cfg.Transport.Send(l, frame)
 	}
+}
+
+// appendBatchTags appends the trace-context tag of every sampled
+// command in the batch-encoded value to frame, so decision/optimistic
+// frames carry the accumulated stamps to out-of-process learners. A
+// no-op with a nil tracer or when nothing in the batch is sampled.
+func appendBatchTags(tr *obs.Tracer, frame, value []byte) []byte {
+	if tr == nil {
+		return frame
+	}
+	WalkBatchItems(value, func(item []byte) {
+		frame = tr.AppendTagForValue(frame, item)
+	})
+	return frame
 }
 
 func (c *Coordinator) storeDecision(inst uint64, value []byte) {

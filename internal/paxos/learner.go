@@ -3,6 +3,7 @@ package paxos
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
@@ -49,8 +50,12 @@ type LearnerConfig struct {
 	CPU *bench.RoleMeter
 	// Trace optionally stamps sampled commands at the learner-delivery
 	// stage boundary (decided stream only; the optimistic stream is
-	// pre-consensus and not a pipeline boundary).
+	// pre-consensus and not a pipeline boundary), and absorbs wire-
+	// shipped trace tags off inbound decision/optimistic frames.
 	Trace *obs.Tracer
+	// Journal optionally records gap/out-of-order events in the flight
+	// recorder.
+	Journal *obs.Journal
 }
 
 // Learner receives a group's decisions and exposes them as an ordered
@@ -86,6 +91,7 @@ type Learner struct {
 	optCursors []*OptCursor
 
 	lastFrontier uint64
+	gapStalls    atomic.Uint64
 	done         chan struct{}
 	stopGap      chan struct{}
 }
@@ -150,6 +156,12 @@ func (l *Learner) Frontier() uint64 {
 	return l.frontier
 }
 
+// GapStalls counts the gap-loop ticks that found delivery stalled
+// behind a hole (later decisions buffered, frontier unmoved). The
+// cluster anomaly watcher treats a growing count as a dump trigger.
+// Safe to call concurrently.
+func (l *Learner) GapStalls() uint64 { return l.gapStalls.Load() }
+
 // NewCursor returns an independent reader positioned at the oldest
 // retained batch.
 func (l *Learner) NewCursor() *Cursor {
@@ -170,6 +182,14 @@ func (l *Learner) run() {
 }
 
 func (l *Learner) handle(frame []byte) {
+	// Fold wire-shipped trace tags (decision/optimistic frames only)
+	// into the local tracer before decoding.
+	if len(frame) > 0 {
+		switch msgType(frame[0]) {
+		case msgDecision, msgOptimistic:
+			frame = l.cfg.Trace.AbsorbTags(frame)
+		}
+	}
 	m, err := decodeMessage(frame)
 	if err != nil || m.Group != l.cfg.GroupID {
 		return
@@ -189,6 +209,7 @@ func (l *Learner) handle(frame []byte) {
 	if m.Instance > l.frontier {
 		if _, ok := l.ooo[m.Instance]; !ok {
 			l.ooo[m.Instance] = m.Value
+			l.cfg.Journal.Emit(obs.EvLearnerOOO, m.Instance, l.frontier)
 		}
 		return
 	}
@@ -301,6 +322,8 @@ func (l *Learner) gapLoop() {
 		if !stalled {
 			continue
 		}
+		l.gapStalls.Add(1)
+		l.cfg.Journal.Emit(obs.EvLearnerGap, from, to-from)
 		m := &message{
 			Type:     msgLearnReq,
 			Group:    l.cfg.GroupID,

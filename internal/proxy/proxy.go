@@ -63,8 +63,12 @@ type Config struct {
 	// CPU optionally meters the proxy's busy time.
 	CPU *bench.RoleMeter
 	// Trace optionally stamps sampled commands at the proxy-seal stage
-	// boundary.
+	// boundary (and carries trace context across the wire: inbound
+	// tags are absorbed, sealed batches are re-tagged).
 	Trace *obs.Tracer
+	// Journal optionally records seal/shed events in the flight
+	// recorder.
+	Journal *obs.Journal
 }
 
 func (c *Config) fillDefaults() {
@@ -245,6 +249,10 @@ func (p *Proxy) run() {
 // group's batch at BatchMax. This is the hot path: ParsePropose does
 // not allocate and the buffered value aliases the frame.
 func (p *Proxy) admit(frame []byte) {
+	// Fold a client-shipped trace tag (the submit stamp) into the
+	// local tracer before the value is buffered; the tag is stripped
+	// so it is not duplicated into the sealed batch.
+	frame = p.cfg.Trace.AbsorbTags(frame)
 	group, value, ok := paxos.ParsePropose(frame)
 	if !ok {
 		return
@@ -268,6 +276,7 @@ func (p *Proxy) admit(frame []byte) {
 				// common duplicate storm.
 				slot.used = false
 				p.shed.Add(1)
+				p.cfg.Journal.EmitID(obs.EvProxyShed, client, seq)
 				return
 			}
 			*slot = dedupSlot{client: client, seq: seq, group: group, used: true}
@@ -317,7 +326,12 @@ func (p *Proxy) seal(gi int) {
 	n := len(b.items)
 	for _, item := range b.items {
 		p.cfg.Trace.Stamp(obs.StageProxySeal, item)
+		// Re-tag the sealed batch with each sampled item's trace
+		// context so the (possibly out-of-process) leader inherits the
+		// submit/seal stamps; a no-op for unsampled items.
+		frame = p.cfg.Trace.AppendTagForValue(frame, item)
 	}
+	p.cfg.Journal.Emit(obs.EvProxySeal, uint64(b.id), uint64(n))
 	p.queuedTotal -= n
 	for i := range b.items {
 		b.items[i] = nil

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/psmr/psmr/internal/obs"
 	"github.com/psmr/psmr/internal/transport"
 )
 
@@ -17,6 +18,12 @@ type RelayConfig struct {
 	Targets []transport.Addr
 	// Transport carries the relay's traffic.
 	Transport transport.Transport
+	// ID identifies the relay in flight-recorder events
+	// (group<<32|stripe index).
+	ID uint64
+	// Journal optionally records forward events in the flight
+	// recorder.
+	Journal *obs.Journal
 }
 
 // Relay re-broadcasts every frame it receives to a fixed target set.
@@ -94,8 +101,9 @@ func (r *Relay) run() {
 			for _, t := range r.cfg.Targets {
 				_ = r.cfg.Transport.Send(t, frame)
 			}
-			r.forwarded.Add(1)
+			n := r.forwarded.Add(1)
 			r.lastForward.Store(time.Now().UnixNano())
+			r.cfg.Journal.Emit(obs.EvRelayForward, r.cfg.ID, n)
 		}
 	}
 }

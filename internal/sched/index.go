@@ -1051,6 +1051,7 @@ func (s *IndexScheduler) work(w int) {
 			} else if n.mk.pending.Add(-1) == 0 {
 				// Last depositor: every owner reached its token, so the
 				// key set is claimed — execute here.
+				s.cfg.Journal.Emit(obs.EvSchedHandoff, uint64(w), uint64(len(n.mk.keys)))
 				if !s.executeMulti(n, cpu) {
 					return
 				}
@@ -1139,6 +1140,7 @@ func (s *IndexScheduler) steal(w int, sc *stealScratch) []*inode {
 		// raiding, so admission stops preferring it for idle keys.
 		q.raided.Add(int64(len(batch)))
 		s.stolen.Add(uint64(len(batch)))
+		s.cfg.Journal.Emit(obs.EvSchedSteal, uint64(w), uint64(len(batch)))
 		s.queues[w].load.Add(int64(len(batch)))
 		if left > 0 {
 			// More stealable backlog remains: cascade the doorbell so

@@ -160,6 +160,9 @@ type Config struct {
 	// and execution stage boundaries (nil disables tracing at zero
 	// cost on the admission fast path).
 	Trace *obs.Tracer
+	// Journal optionally records steal/handoff events in the flight
+	// recorder.
+	Journal *obs.Journal
 	// Tuning carries the batch-admission pipeline knobs (all default
 	// on); the engines read the reader-set and stealing switches, the
 	// delivery paths read NoBatchAdmit.

@@ -75,6 +75,9 @@ type ReplicaConfig struct {
 	// Trace optionally stamps sampled commands at the learner-delivery,
 	// engine-admission and execution stage boundaries.
 	Trace *obs.Tracer
+	// Journal optionally records learner/engine/checkpoint events in
+	// the flight recorder.
+	Journal *obs.Journal
 }
 
 // Replica is an sP-SMR replica: one learner, one delivery pump feeding
@@ -87,6 +90,8 @@ type Replica struct {
 	perCmd    bool // deliver one Submit per command (ablation)
 	ckpt      *checkpoint.Driver
 	ckptSrv   *checkpoint.Server
+	journal   *obs.Journal
+	replicaID int
 	done      chan struct{}
 	closeOnce sync.Once
 }
@@ -130,6 +135,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		DedupWindow: cfg.DedupWindow,
 		CPU:         cfg.CPU,
 		Trace:       cfg.Trace,
+		Journal:     cfg.Journal,
 		Tuning:      cfg.Tuning,
 	})
 	if err != nil {
@@ -143,6 +149,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		StartInstance: boot.Start(),
 		CPU:           cfg.CPU.Role("learner"),
 		Trace:         cfg.Trace,
+		Journal:       cfg.Journal,
 	})
 	if err != nil {
 		_ = scheduler.Close()
@@ -151,6 +158,8 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	r := &Replica{
 		learner:   learner,
 		scheduler: scheduler,
+		journal:   cfg.Journal,
+		replicaID: cfg.ReplicaID,
 		perCmd:    cfg.Tuning.NoBatchAdmit,
 		done:      make(chan struct{}),
 	}
@@ -192,6 +201,10 @@ func replayTo(tr transport.Transport, addr transport.Addr, groupID uint32) func(
 func (r *Replica) SchedStats() (stolen uint64, raided int64) {
 	return sched.EngineStats(r.scheduler)
 }
+
+// GapStalls reports the learner's gap-stall transitions (the anomaly
+// watcher's learner-stall signal).
+func (r *Replica) GapStalls() uint64 { return r.learner.GapStalls() }
 
 // CheckpointCounters returns the replica's checkpoint statistics
 // (zero-valued when checkpointing is disabled).
@@ -265,8 +278,11 @@ func (r *Replica) deliver() {
 			// global barrier right after this batch, so every replica
 			// snapshots at the same decided position (instance+1).
 			r.ckpt.Tick(len(reqs))
-			if r.ckpt.Due() && !r.scheduler.SubmitMarker(r.ckpt.Marker(instance+1)) {
-				return
+			if r.ckpt.Due() {
+				r.journal.Emit(obs.EvCheckpoint, uint64(r.replicaID), instance+1)
+				if !r.scheduler.SubmitMarker(r.ckpt.Marker(instance + 1)) {
+					return
+				}
 			}
 		}
 	}

@@ -1,0 +1,152 @@
+// Trace-context tags ride transport frames as opaque trailing bytes:
+// the transport must deliver a tagged frame bit-exactly (TCP framing
+// and the in-memory network alike), reject oversized tagged frames the
+// same way it rejects oversized payloads, and pass legacy untagged
+// frames through a tag-aware receiver unchanged. This is the wire half
+// of the cross-process tracing contract; the tag codec itself is
+// tested in internal/obs.
+package transport_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/psmr/psmr/internal/obs"
+	"github.com/psmr/psmr/internal/transport"
+)
+
+func tagged(t *testing.T, frame []byte) []byte {
+	t.Helper()
+	tag := obs.WireTag{Client: 3, Seq: 99}
+	tag.Stages = 1<<obs.StageSubmit | 1<<obs.StageProxySeal
+	tag.Durations[obs.StageProxySeal] = 12_345
+	out := obs.AppendWireTag(append([]byte(nil), frame...), tag)
+	if len(out) == len(frame) {
+		t.Fatal("tag not appended")
+	}
+	return out
+}
+
+func recvFrame(t *testing.T, ep transport.Endpoint) []byte {
+	t.Helper()
+	select {
+	case frame, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("endpoint closed while waiting for frame")
+		}
+		return frame
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out waiting for frame")
+		return nil
+	}
+}
+
+func checkTagRoundTrip(t *testing.T, sent, got []byte, body []byte) {
+	t.Helper()
+	if !bytes.Equal(got, sent) {
+		t.Fatalf("tagged frame mutated in flight: got %d bytes, want %d", len(got), len(sent))
+	}
+	tag, rest, ok := obs.SplitWireTag(got)
+	if !ok {
+		t.Fatal("tag lost in flight")
+	}
+	if tag.Client != 3 || tag.Seq != 99 || tag.Durations[obs.StageProxySeal] != 12_345 {
+		t.Fatalf("tag corrupted: %+v", tag)
+	}
+	if !bytes.Equal(rest, body) {
+		t.Fatalf("frame body corrupted: %q", rest)
+	}
+}
+
+func TestMemTaggedFrameRoundTrip(t *testing.T) {
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	ep, err := net.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	body := []byte("propose body")
+	sent := tagged(t, body)
+	if err := net.Send("svc", sent); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	checkTagRoundTrip(t, sent, recvFrame(t, ep), body)
+}
+
+func TestTCPTaggedFrameRoundTrip(t *testing.T) {
+	// Two nodes: same-node sends take the deliverLocal shortcut, so a
+	// remote pair is what actually exercises the wire encode/decode.
+	a, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPNode: %v", err)
+	}
+	defer a.Close()
+	b, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPNode: %v", err)
+	}
+	defer b.Close()
+	ep, err := b.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	body := bytes.Repeat([]byte("x"), 10_000)
+	sent := tagged(t, body)
+	if err := a.Send(b.Addr("svc"), sent); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	checkTagRoundTrip(t, sent, recvFrame(t, ep), body)
+}
+
+func TestTCPOversizedTaggedFrameRejected(t *testing.T) {
+	a, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPNode: %v", err)
+	}
+	defer a.Close()
+	b, err := transport.NewTCPNode("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPNode: %v", err)
+	}
+	defer b.Close()
+	if _, err := b.Listen("svc"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	// A frame at the limit grows past it once tagged: the transport
+	// must reject it cleanly, not truncate the tag.
+	frame := tagged(t, make([]byte, transport.MaxFrameSize-10))
+	if len(frame) <= transport.MaxFrameSize {
+		t.Fatalf("tagged frame is %d bytes, want > %d", len(frame), transport.MaxFrameSize)
+	}
+	err = a.Send(b.Addr("svc"), frame)
+	if !errors.Is(err, transport.ErrFrameTooLarge) {
+		t.Fatalf("oversized tagged send error = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestLegacyUntaggedFrameUnchanged(t *testing.T) {
+	// A tag-aware receiver must treat untagged traffic as a no-op:
+	// AbsorbTags on a frame that never carried a tag returns it intact
+	// (the zero entry-count tail of the real codecs can never alias the
+	// tag magic).
+	net := transport.NewMemNetwork(1)
+	defer net.Close()
+	ep, err := net.Listen("svc")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	legacy := append(bytes.Repeat([]byte{0xB7}, 32), 0, 0, 0, 0)
+	if err := net.Send("svc", legacy); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := recvFrame(t, ep)
+	tr := obs.NewTracer(obs.TracerConfig{Sample: 1, Final: obs.StageExecEnd})
+	if out := tr.AbsorbTags(got); !bytes.Equal(out, legacy) {
+		t.Fatalf("legacy frame mutated by AbsorbTags: %x", out)
+	}
+	if sampled, _, _, _ := tr.Counts(); sampled != 0 {
+		t.Fatal("legacy frame claimed a trace slot")
+	}
+}

@@ -25,6 +25,7 @@ package psmr
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/psmr/psmr/internal/bench"
@@ -227,6 +228,15 @@ type Config struct {
 	// silent (the ordering_relay_silent counter; one increment per
 	// transition). Default 500ms.
 	RelaySilentAfter time.Duration
+	// JournalEvents sizes the always-on flight-recorder journal (total
+	// retained events across its stripes). 0 selects the default
+	// (4096, ~128 KiB); -1 disables the journal and the flight
+	// recorder entirely (every emit site is a nil-receiver no-op).
+	JournalEvents int
+	// RollbackStormThreshold is the per-tick rollback-delta above which
+	// the anomaly watcher cuts a "rollback storm" diagnostic bundle
+	// (Optimistic mode only). Default 256.
+	RollbackStormThreshold int
 }
 
 func (c *Config) fillDefaults() error {
@@ -266,6 +276,9 @@ func (c *Config) fillDefaults() error {
 	if c.RelaySilentAfter <= 0 {
 		c.RelaySilentAfter = 500 * time.Millisecond
 	}
+	if c.RollbackStormThreshold <= 0 {
+		c.RollbackStormThreshold = 256
+	}
 	return nil
 }
 
@@ -297,17 +310,28 @@ type Cluster struct {
 	relays    []*proxy.Relay
 	proxies   []*proxy.Proxy
 	proxyAddr []transport.Addr
+
+	// replMu guards the replica slots: RestartReplica swaps a slot
+	// while the anomaly watcher and live metric scrapes read them.
+	replMu    sync.RWMutex
 	replicas  []*core.Replica
 	schedRepl []*spsmr.Replica
 	optRepl   []*optimistic.Replica
 
-	tracer *obs.Tracer
-	reg    *obs.Registry
+	tracer  *obs.Tracer
+	reg     *obs.Registry
+	journal *obs.Journal
+	flight  *obs.Flight
 
 	// Relay-staleness watchdog state (FanoutDegree > 0).
 	relaySilent *obs.Counter
 	watchStop   chan struct{}
 	watchDone   chan struct{}
+
+	// Anomaly-watcher state (JournalEvents >= 0): learner gap stalls
+	// and optimistic rollback storms trigger flight dumps.
+	anomStop chan struct{}
+	anomDone chan struct{}
 
 	clientSeq uint64
 	closed    bool
@@ -354,6 +378,15 @@ func StartCluster(cfg Config) (*Cluster, error) {
 	}
 
 	cl := &Cluster{cfg: cfg, cg: cg, subsets: subsets, reg: obs.NewRegistry()}
+	if cfg.JournalEvents >= 0 {
+		// Always-on black box: the journal samples per-command events
+		// at the tracer's rate so trace and journal agree on which
+		// commands are interesting.
+		cl.journal = obs.NewJournal(obs.JournalConfig{
+			Events: cfg.JournalEvents,
+			Sample: obs.EffectiveSample(cfg.TraceSample),
+		})
+	}
 	if cfg.TraceSample >= 0 {
 		// The trace folds (and the total histogram closes) at the last
 		// stage a command crosses: optimistic confirmation when
@@ -363,6 +396,14 @@ func StartCluster(cfg Config) (*Cluster, error) {
 			final = obs.StageConfirm
 		}
 		cl.tracer = obs.NewTracer(obs.TracerConfig{Sample: cfg.TraceSample, Final: final})
+		cl.tracer.AttachJournal(cl.journal)
+	}
+	if cl.journal != nil {
+		cl.flight = obs.NewFlight(obs.FlightConfig{
+			Registry: cl.reg,
+			Tracer:   cl.tracer,
+			Journal:  cl.journal,
+		})
 	}
 	if err := cl.startOrdering(); err != nil {
 		cl.Close()
@@ -381,6 +422,11 @@ func StartCluster(cfg Config) (*Cluster, error) {
 		cl.watchStop = make(chan struct{})
 		cl.watchDone = make(chan struct{})
 		go cl.watchRelays()
+	}
+	if cl.flight != nil {
+		cl.anomStop = make(chan struct{})
+		cl.anomDone = make(chan struct{})
+		go cl.watchAnomalies()
 	}
 	return cl, nil
 }
@@ -416,8 +462,10 @@ func (cl *Cluster) startOrdering() error {
 			addr := transport.Addr(fmt.Sprintf("g%d/relay%d", g, i))
 			rl, err := proxy.StartRelay(proxy.RelayConfig{
 				Addr:      addr,
+				ID:        uint64(g)<<32 | uint64(i),
 				Targets:   pushAddrs,
 				Transport: cfg.Transport,
+				Journal:   cl.journal,
 			})
 			if err != nil {
 				return fmt.Errorf("psmr: start relay g%d/%d: %w", g, i, err)
@@ -461,6 +509,7 @@ func (cl *Cluster) startOrdering() error {
 				Optimistic:    cfg.Optimistic,
 				CPU:           cfg.CPU.Role("coordinator"),
 				Trace:         cl.tracer,
+				Journal:       cl.journal,
 			})
 			if err != nil {
 				return fmt.Errorf("psmr: start coordinator g%d/%d: %w", g, i, err)
@@ -490,6 +539,7 @@ func (cl *Cluster) startProxies() error {
 			Delay:     cfg.ProxyDelay,
 			CPU:       cfg.CPU.Role("proxy"),
 			Trace:     cl.tracer,
+			Journal:   cl.journal,
 		})
 		if err != nil {
 			return fmt.Errorf("psmr: start proxy %d: %w", i, err)
@@ -544,11 +594,14 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 			RecoverPeers: peers,
 			CPU:          cfg.CPU,
 			Trace:        cl.tracer,
+			Journal:      cl.journal,
 		})
 		if err != nil {
 			return fmt.Errorf("psmr: start replica %d: %w", r, err)
 		}
+		cl.replMu.Lock()
 		cl.replicas[r] = rep
+		cl.replMu.Unlock()
 	case ModeSPSMR:
 		if cfg.Optimistic {
 			rep, err := optimistic.StartReplica(optimistic.ReplicaConfig{
@@ -567,11 +620,14 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 				RecoverPeers: peers,
 				CPU:          cfg.CPU,
 				Trace:        cl.tracer,
+				Journal:      cl.journal,
 			})
 			if err != nil {
 				return fmt.Errorf("psmr: start optimistic replica %d: %w", r, err)
 			}
+			cl.replMu.Lock()
 			cl.optRepl[r] = rep
+			cl.replMu.Unlock()
 			return nil
 		}
 		rep, err := spsmr.StartReplica(spsmr.ReplicaConfig{
@@ -588,11 +644,14 @@ func (cl *Cluster) startReplica(r int, peers []transport.Addr) error {
 			RecoverPeers: peers,
 			CPU:          cfg.CPU,
 			Trace:        cl.tracer,
+			Journal:      cl.journal,
 		})
 		if err != nil {
 			return fmt.Errorf("psmr: start sp-smr replica %d: %w", r, err)
 		}
+		cl.replMu.Lock()
 		cl.schedRepl[r] = rep
+		cl.replMu.Unlock()
 	}
 	return nil
 }
@@ -733,6 +792,8 @@ func (cl *Cluster) RestartReplica(r int) error {
 // CheckpointCounters returns each replica's checkpoint statistics
 // (zero-valued unless Config.Checkpoint is enabled).
 func (cl *Cluster) CheckpointCounters() []CheckpointCounters {
+	cl.replMu.RLock()
+	defer cl.replMu.RUnlock()
 	var counters []CheckpointCounters
 	for _, rep := range cl.replicas {
 		if rep != nil {
@@ -755,6 +816,8 @@ func (cl *Cluster) CheckpointCounters() []CheckpointCounters {
 // OptimisticCounters returns each optimistic replica's speculation
 // counters (empty unless Config.Optimistic).
 func (cl *Cluster) OptimisticCounters() []OptimisticCounters {
+	cl.replMu.RLock()
+	defer cl.replMu.RUnlock()
 	counters := make([]OptimisticCounters, 0, len(cl.optRepl))
 	for _, rep := range cl.optRepl {
 		counters = append(counters, rep.Counters())
@@ -772,6 +835,14 @@ func (cl *Cluster) Registry() *obs.Registry { return cl.reg }
 // Tracer exposes the pipeline-stage tracer (nil when TraceSample < 0).
 func (cl *Cluster) Tracer() *obs.Tracer { return cl.tracer }
 
+// Journal exposes the flight-recorder event journal (nil when
+// JournalEvents < 0).
+func (cl *Cluster) Journal() *obs.Journal { return cl.journal }
+
+// Flight exposes the flight recorder: anomaly-triggered diagnostic
+// bundles plus operator-initiated dumps (nil when JournalEvents < 0).
+func (cl *Cluster) Flight() *obs.Flight { return cl.flight }
+
 // Metrics returns one coherent snapshot of every registered metric.
 func (cl *Cluster) Metrics() []obs.Sample { return cl.reg.Snapshot() }
 
@@ -786,6 +857,8 @@ func (cl *Cluster) RelaySilent() uint64 { return cl.relaySilent.Load() }
 func (cl *Cluster) registerMetrics() {
 	r := cl.reg
 	cl.tracer.Register(r)
+	cl.journal.Register(r)
+	cl.flight.Register(r)
 	cl.relaySilent = r.Counter("ordering_relay_silent", "")
 
 	for i, p := range cl.proxies {
@@ -872,6 +945,8 @@ func (cl *Cluster) registerMetrics() {
 
 	if cl.cfg.Mode == ModeSPSMR {
 		r.FuncCounter("sched_stolen_total", "", func() uint64 {
+			cl.replMu.RLock()
+			defer cl.replMu.RUnlock()
 			var total uint64
 			for _, rep := range cl.schedRepl {
 				s, _ := rep.SchedStats()
@@ -884,6 +959,8 @@ func (cl *Cluster) registerMetrics() {
 			return total
 		})
 		r.FuncGauge("sched_raided", "", func() float64 {
+			cl.replMu.RLock()
+			defer cl.replMu.RUnlock()
 			var total int64
 			for _, rep := range cl.schedRepl {
 				_, ra := rep.SchedStats()
@@ -953,10 +1030,72 @@ func (cl *Cluster) watchRelays() {
 				if last := rl.LastForward(); last.IsZero() || time.Since(last) > cfg.RelaySilentAfter {
 					silent[idx] = true
 					cl.relaySilent.Inc()
+					cl.journal.Emit(obs.EvRelaySilent, uint64(g), uint64(i))
+					cl.flight.Trigger(fmt.Sprintf("ordering_relay_silent g%d/relay%d", g, i))
 				}
 			}
 		}
 	}
+}
+
+// watchAnomalies is the flight recorder's trigger loop for the
+// execution-side black-box conditions the relay watchdog cannot see:
+// learner gap stalls (a replica waiting on retransmission while its
+// peers advance) and optimistic rollback storms (a re-speculation
+// cascade burning CPU without confirming work). Each tick compares the
+// counters against the previous tick and cuts a diagnostic bundle on a
+// fresh burst; Flight's per-reason cooldown keeps a sustained storm
+// from flooding the bundle ring.
+func (cl *Cluster) watchAnomalies() {
+	defer close(cl.anomDone)
+	cfg := &cl.cfg
+	ticker := time.NewTicker(cfg.RelaySilentAfter / 2)
+	defer ticker.Stop()
+	var lastStalls, lastRollbacks uint64
+	for {
+		select {
+		case <-cl.anomStop:
+			return
+		case <-ticker.C:
+		}
+		if stalls := cl.gapStalls(); stalls > lastStalls {
+			lastStalls = stalls
+			cl.flight.Trigger("learner_gap_stall")
+		}
+		if cfg.Optimistic {
+			var rollbacks uint64
+			for _, c := range cl.OptimisticCounters() {
+				rollbacks += c.Rollbacks
+			}
+			if rollbacks-lastRollbacks > uint64(cfg.RollbackStormThreshold) {
+				cl.flight.Trigger("optimistic_rollback_storm")
+			}
+			lastRollbacks = rollbacks
+		}
+	}
+}
+
+// gapStalls sums learner gap-stall transitions across every replica.
+func (cl *Cluster) gapStalls() uint64 {
+	cl.replMu.RLock()
+	defer cl.replMu.RUnlock()
+	var total uint64
+	for _, rep := range cl.replicas {
+		if rep != nil {
+			total += rep.GapStalls()
+		}
+	}
+	for _, rep := range cl.schedRepl {
+		if rep != nil {
+			total += rep.GapStalls()
+		}
+	}
+	for _, rep := range cl.optRepl {
+		if rep != nil {
+			total += rep.GapStalls()
+		}
+	}
+	return total
 }
 
 // CrashRelay kills relay i of group g (staleness-detection tests):
@@ -979,6 +1118,10 @@ func (cl *Cluster) Close() error {
 	if cl.watchStop != nil {
 		close(cl.watchStop)
 		<-cl.watchDone
+	}
+	if cl.anomStop != nil {
+		close(cl.anomStop)
+		<-cl.anomDone
 	}
 	for _, rep := range cl.replicas {
 		if rep != nil {
